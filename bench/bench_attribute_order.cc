@@ -1,0 +1,80 @@
+// Extension ablation — attribute order sensitivity.
+//
+// AVQ's differences compress only what φ-adjacent tuples share: their
+// attribute *prefix*. Placing high-entropy attributes first therefore
+// destroys the ratio even when the data is highly correlated. This bench
+// quantifies that on a prefix-clustered relation under three orders:
+// the natural one, the worst case (free attributes first), and the
+// entropy-ascending order suggested by SuggestAttributeOrder.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/avq/attribute_order.h"
+#include "src/avq/relation_codec.h"
+#include "src/workload/generator.h"
+
+namespace avqdb::bench {
+namespace {
+
+double Reduction(const SchemaPtr& schema,
+                 const std::vector<OrdinalTuple>& tuples) {
+  RelationCodec codec(schema, CodecOptions{});
+  auto encoded = codec.Encode(tuples);
+  AVQDB_CHECK(encoded.ok(), "encode failed");
+  return encoded->stats.BlockReductionPercent();
+}
+
+void Run() {
+  GeneratedRelation rel =
+      MustGenerate(ClusteredRelationSpec(100000, 200, 23));
+  const size_t n = rel.schema->num_attributes();
+
+  PrintHeader(
+      "Extension -- attribute order vs. compression\n"
+      "prefix-clustered relation, 100k tuples, 15 attributes, 8 KiB blocks");
+
+  // Worst case: the 3 free high-entropy attributes lead.
+  std::vector<size_t> scramble;
+  for (size_t i = n - 3; i < n; ++i) scramble.push_back(i);
+  for (size_t i = 0; i + 3 < n; ++i) scramble.push_back(i);
+  auto bad_schema = PermuteSchema(*rel.schema, scramble).value();
+  std::vector<OrdinalTuple> bad_tuples;
+  bad_tuples.reserve(rel.tuples.size());
+  for (const auto& t : rel.tuples) {
+    bad_tuples.push_back(PermuteTuple(t, scramble).value());
+  }
+
+  // Advised order, recovered from a sample of the scrambled relation.
+  std::vector<OrdinalTuple> sample(bad_tuples.begin(),
+                                   bad_tuples.begin() + 5000);
+  auto advice = SuggestAttributeOrder(*bad_schema, sample).value();
+  auto advised_schema = PermuteSchema(*bad_schema, advice.order).value();
+  std::vector<OrdinalTuple> advised_tuples;
+  advised_tuples.reserve(bad_tuples.size());
+  for (const auto& t : bad_tuples) {
+    advised_tuples.push_back(PermuteTuple(t, advice.order).value());
+  }
+
+  std::printf("%-44s %10s\n", "attribute order", "reduction");
+  PrintRule();
+  std::printf("%-44s %9.1f%%\n", "natural (repetitive attributes lead)",
+              Reduction(rel.schema, rel.tuples));
+  std::printf("%-44s %9.1f%%\n", "scrambled (free attributes lead)",
+              Reduction(bad_schema, bad_tuples));
+  std::printf("%-44s %9.1f%%\n", "entropy-advised (SuggestAttributeOrder)",
+              Reduction(advised_schema, advised_tuples));
+  std::printf(
+      "\nthe advisor estimates per-attribute entropy from a 5k-tuple "
+      "sample\nand restores (or beats) the natural order; physical "
+      "attribute order\nis a free 2-10x lever for AVQ on correlated "
+      "relations.\n");
+}
+
+}  // namespace
+}  // namespace avqdb::bench
+
+int main() {
+  avqdb::bench::Run();
+  return 0;
+}

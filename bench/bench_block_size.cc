@@ -1,0 +1,67 @@
+// §3.3 ablation — block-size sensitivity: compression ratio, packing
+// occupancy and per-block codec cost as the unit of I/O transfer varies.
+// The paper fixes 8192 bytes; this sweep shows what that choice trades.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/avq/block_decoder.h"
+#include "src/avq/relation_codec.h"
+#include "src/common/slice.h"
+#include "src/storage/disk_model.h"
+#include "src/workload/generator.h"
+
+namespace avqdb::bench {
+namespace {
+
+void Run() {
+  GeneratedRelation rel = MustGenerate(PaperTestSpec(3, 100000, 17));
+  auto sorted = SortedUnique(std::move(rel.tuples));
+
+  PrintHeader(
+      "Ablation (SS 3.3) -- block size sweep, 100k tuples, 15 attributes");
+  std::printf("%-10s %8s %10s %12s %12s %12s %10s\n", "block", "blocks",
+              "reduction", "tuples/blk", "code ms/blk", "dec ms/blk",
+              "t1 (ms)");
+  PrintRule();
+
+  DiskParameters disk;
+  for (size_t block_size :
+       {1024ull, 2048ull, 4096ull, 8192ull, 16384ull, 65536ull}) {
+    CodecOptions options;
+    options.block_size = block_size;
+    RelationCodec codec(rel.schema, options);
+    EncodedRelation encoded;
+    const double code_ms = TimeMs([&] {
+      auto e = codec.EncodeSorted(sorted);
+      AVQDB_CHECK(e.ok(), "encode failed");
+      encoded = std::move(e).value();
+    });
+    const double decode_ms = TimeMs([&] {
+      for (const auto& block : encoded.blocks) {
+        auto decoded = DecodeBlock(*rel.schema, Slice(block));
+        AVQDB_CHECK(decoded.ok(), "decode failed");
+      }
+    });
+    const double blocks = static_cast<double>(encoded.blocks.size());
+    std::printf("%-10zu %8zu %9.1f%% %12.1f %12.3f %12.3f %10.2f\n",
+                block_size, encoded.blocks.size(),
+                encoded.stats.BlockReductionPercent(),
+                static_cast<double>(sorted.size()) / blocks,
+                code_ms / blocks, decode_ms / blocks,
+                disk.BlockTimeMs(block_size));
+  }
+  std::printf(
+      "\nbigger blocks amortize the representative and improve the\n"
+      "reduction slightly, but each random I/O transfers more and every\n"
+      "point access decodes more tuples -- the paper's 8192 sits at the\n"
+      "knee.\n");
+}
+
+}  // namespace
+}  // namespace avqdb::bench
+
+int main() {
+  avqdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §2.1 ablation — codebook construction cost and fidelity: conventional
+// VQ (LBG, iterative refinement + full codebook search, lossy) versus
+// AVQ (per-block median representative, O(1), no search, lossless).
+//
+// This quantifies the paper's two claims: "It computes the codebook in
+// constant time" and "No searching is required".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/avq/relation_codec.h"
+#include "src/vq/lbg.h"
+#include "src/vq/lossy_vq.h"
+#include "src/workload/generator.h"
+
+namespace avqdb::bench {
+namespace {
+
+void Run() {
+  // A dense 15-attribute relation (paper test 3 shape).
+  GeneratedRelation rel = MustGenerate(PaperTestSpec(3, 20000, 11));
+
+  PrintHeader(
+      "Ablation (SS 2.1) -- codebook construction: LBG vs AVQ\n"
+      "20k tuples, 15 attributes");
+
+  // AVQ: codebook = one median per block, computed while packing.
+  RelationCodec codec(rel.schema, CodecOptions{});
+  double encode_ms = 0.0;
+  size_t blocks = 0;
+  {
+    auto tuples = rel.tuples;
+    encode_ms = TimeMs([&] {
+      auto encoded = codec.Encode(tuples);
+      AVQDB_CHECK(encoded.ok(), "encode failed");
+      blocks = encoded->blocks.size();
+    });
+  }
+  std::printf(
+      "AVQ: %zu representatives (one per block), selected during the\n"
+      "     %.1f ms full relation encode (sort + pack + code);\n"
+      "     no Lloyd iterations, no codeword search, zero distortion.\n\n",
+      blocks, encode_ms);
+
+  std::printf("%-10s %12s %12s %14s %12s %10s\n", "codebook", "train (ms)",
+              "iterations", "distortion", "code (ms)", "exact");
+  PrintRule();
+  for (size_t k : {16ull, 64ull, 256ull}) {
+    LbgOptions options;
+    options.codebook_size = k;
+    LbgCodebook book;
+    const double train_ms = TimeMs([&] {
+      auto trained = TrainLbgCodebook(rel.tuples, options);
+      AVQDB_CHECK(trained.ok(), "LBG failed");
+      book = std::move(trained).value();
+    });
+    auto quantizer = LossyVectorQuantizer::Create(rel.schema, book).value();
+    LossyCodingStats stats;
+    const double code_ms =
+        TimeMs([&] { stats = quantizer.CodeRelation(rel.tuples); });
+    std::printf("%-10zu %12.1f %12zu %14.2f %12.1f %9.1f%%\n", k, train_ms,
+                book.iterations, stats.mean_squared_error, code_ms,
+                100.0 * stats.exact_fraction);
+  }
+  std::printf(
+      "\nLBG training cost grows with codebook size and iterates to\n"
+      "convergence; even at 256 codewords the coding stays lossy\n"
+      "(distortion > 0), which is why SS 2.2 rejects conventional VQ for\n"
+      "databases.\n");
+}
+
+}  // namespace
+}  // namespace avqdb::bench
+
+int main() {
+  avqdb::bench::Run();
+  return 0;
+}

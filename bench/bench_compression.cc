@@ -1,0 +1,101 @@
+// Fig 5.7 — compression efficiency.
+//
+// Reproduces the paper's four test configurations (skew × domain-size
+// variance, 15 attributes) across relation sizes, reporting the paper's
+// metric 100·(1 − after/before) over disk blocks. Adds two panels the
+// paper's analysis implies but does not print: a density sweep showing
+// how the reduction scales with |R|/N (which explains the absolute level
+// of the paper's 73%/65.6% figures), and prefix-clustered relations (the
+// correlated-data regime where AVQ reaches and exceeds the paper's
+// numbers).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/avq/relation_codec.h"
+#include "src/workload/generator.h"
+
+namespace avqdb::bench {
+namespace {
+
+CompressionStats Measure(const RelationSpec& spec) {
+  GeneratedRelation rel = MustGenerate(spec);
+  RelationCodec codec(rel.schema, CodecOptions{});
+  auto encoded = codec.Encode(std::move(rel.tuples));
+  AVQDB_CHECK(encoded.ok(), "%s", encoded.status().ToString().c_str());
+  return encoded->stats;
+}
+
+void RunFig57() {
+  PrintHeader(
+      "Fig 5.7 -- Compression efficiency, 8192-byte blocks\n"
+      "Tests: 1 = skew/small variance, 2 = skew/large variance,\n"
+      "       3 = uniform/small variance, 4 = uniform/large variance");
+  std::printf("%-14s %10s %10s %10s %10s\n", "No. of tuples", "Test 1",
+              "Test 2", "Test 3", "Test 4");
+  PrintRule();
+  for (size_t n : {10000ull, 50000ull, 100000ull, 200000ull}) {
+    std::printf("%-14zu", n);
+    for (int test = 1; test <= 4; ++test) {
+      CompressionStats stats = Measure(PaperTestSpec(test, n, 42));
+      std::printf(" %9.1f%%", stats.BlockReductionPercent());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper reports: Test1 73.0%%  Test2 65.6%%  Test3 73.0%%  Test4 "
+      "65.6%%\n"
+      "shape checks: small variance > large variance; skew ~neutral;\n"
+      "absolute level tracks density |R|/N (next panel).\n");
+}
+
+void RunDensitySweep() {
+  PrintHeader(
+      "Extension -- reduction vs. relation density (uniform, 15 attrs)\n"
+      "density = log2|R| / log2 N; small ratio = dense = compressible");
+  std::printf("%-10s %-12s %12s %12s %12s\n", "base |A|", "tuples",
+              "log2|R|", "blocks", "reduction");
+  PrintRule();
+  for (uint64_t base : {3ull, 4ull, 8ull, 16ull, 64ull}) {
+    RelationSpec spec;
+    spec.num_attributes = 15;
+    spec.base_domain_size = base;
+    spec.domain_spread = 0.1;
+    spec.num_tuples = 100000;
+    spec.seed = 42;
+    GeneratedRelation rel = MustGenerate(spec);
+    RelationCodec codec(rel.schema, CodecOptions{});
+    auto encoded = codec.Encode(std::move(rel.tuples));
+    AVQDB_CHECK(encoded.ok(), "encode failed");
+    std::printf("%-10llu %-12zu %12.1f %5zu->%-5zu %11.1f%%\n",
+                static_cast<unsigned long long>(base), spec.num_tuples,
+                rel.schema->space_size_log2(),
+                encoded->stats.uncoded_blocks, encoded->stats.coded_blocks,
+                encoded->stats.BlockReductionPercent());
+  }
+}
+
+void RunClustered() {
+  PrintHeader(
+      "Extension -- prefix-clustered (correlated) relations, 100k tuples");
+  std::printf("%-12s %12s %12s %12s\n", "clusters", "blocks before",
+              "blocks after", "reduction");
+  PrintRule();
+  for (size_t clusters : {20ull, 100ull, 500ull, 2000ull}) {
+    CompressionStats stats =
+        Measure(ClusteredRelationSpec(100000, clusters, 42));
+    std::printf("%-12zu %13zu %12zu %11.1f%%\n", clusters,
+                stats.uncoded_blocks, stats.coded_blocks,
+                stats.BlockReductionPercent());
+  }
+}
+
+}  // namespace
+}  // namespace avqdb::bench
+
+int main() {
+  avqdb::bench::RunFig57();
+  avqdb::bench::RunDensitySweep();
+  avqdb::bench::RunClustered();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each binary regenerates one table or figure of the paper (see
+// DESIGN.md §4 and EXPERIMENTS.md) and prints it in a paper-like layout.
+
+#ifndef AVQDB_BENCH_BENCH_UTIL_H_
+#define AVQDB_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/schema/tuple.h"
+#include "src/workload/generator.h"
+
+namespace avqdb::bench {
+
+// Wall-clock milliseconds of `fn()` averaged over `repetitions` runs.
+template <typename Fn>
+double TimeMs(Fn&& fn, int repetitions = 1) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  for (int i = 0; i < repetitions; ++i) fn();
+  const auto end = Clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         repetitions;
+}
+
+// φ-sorts and deduplicates tuples (tables require set semantics).
+inline std::vector<OrdinalTuple> SortedUnique(
+    std::vector<OrdinalTuple> tuples) {
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return tuples;
+}
+
+inline GeneratedRelation MustGenerate(const RelationSpec& spec) {
+  auto rel = GenerateRelation(spec);
+  AVQDB_CHECK(rel.ok(), "generation failed: %s",
+              rel.status().ToString().c_str());
+  return std::move(rel).value();
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("============================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("------------------------------------------------------------\n");
+}
+
+}  // namespace avqdb::bench
+
+#endif  // AVQDB_BENCH_BENCH_UTIL_H_

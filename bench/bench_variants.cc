@@ -1,0 +1,88 @@
+// §3.4 ablation — the three coding stages of Fig 3.3 plus representative
+// choice: representative-delta (table (b)), chain-delta ("additional
+// subtraction", table (c)), and leading-zero run-length coding
+// (table (d) = full AVQ). Reports compression and per-block CPU cost for
+// each variant, which is what §5.2's "each of the three techniques"
+// compares.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/avq/block_decoder.h"
+#include "src/avq/relation_codec.h"
+#include "src/common/slice.h"
+#include "src/workload/generator.h"
+
+namespace avqdb::bench {
+namespace {
+
+struct VariantSpec {
+  const char* name;
+  CodecVariant variant;
+  bool rle;
+  RepresentativeChoice rep;
+};
+
+void Run() {
+  GeneratedRelation rel = MustGenerate(PaperTestSpec(3, 100000, 13));
+  auto sorted = SortedUnique(std::move(rel.tuples));
+
+  const VariantSpec variants[] = {
+      {"rep-delta, no RLE   (b-)", CodecVariant::kRepresentativeDelta,
+       false, RepresentativeChoice::kMiddle},
+      {"rep-delta + RLE     (b)", CodecVariant::kRepresentativeDelta, true,
+       RepresentativeChoice::kMiddle},
+      {"chain-delta, no RLE (c)", CodecVariant::kChainDelta, false,
+       RepresentativeChoice::kMiddle},
+      {"chain-delta + RLE   (d)", CodecVariant::kChainDelta, true,
+       RepresentativeChoice::kMiddle},
+      {"chain + RLE, first rep", CodecVariant::kChainDelta, true,
+       RepresentativeChoice::kFirst},
+  };
+
+  PrintHeader(
+      "Ablation (SS 3.4 / Fig 3.3) -- coding stages, 100k tuples,\n"
+      "15 attributes, 8192-byte blocks; (d) is the full AVQ pipeline");
+  std::printf("%-26s %8s %10s %12s %12s\n", "variant", "blocks",
+              "reduction", "code ms/blk", "decode ms/blk");
+  PrintRule();
+
+  for (const VariantSpec& v : variants) {
+    CodecOptions options;
+    options.variant = v.variant;
+    options.run_length_zeros = v.rle;
+    options.representative = v.rep;
+    RelationCodec codec(rel.schema, options);
+
+    EncodedRelation encoded;
+    const double code_ms = TimeMs([&] {
+      auto e = codec.EncodeSorted(sorted);
+      AVQDB_CHECK(e.ok(), "encode failed: %s", e.status().ToString().c_str());
+      encoded = std::move(e).value();
+    });
+    const double decode_ms = TimeMs([&] {
+      for (const auto& block : encoded.blocks) {
+        auto decoded = DecodeBlock(*rel.schema, Slice(block));
+        AVQDB_CHECK(decoded.ok(), "decode failed");
+      }
+    });
+    const double blocks = static_cast<double>(encoded.blocks.size());
+    std::printf("%-26s %8zu %9.1f%% %12.3f %12.3f\n", v.name,
+                encoded.blocks.size(),
+                encoded.stats.BlockReductionPercent(), code_ms / blocks,
+                decode_ms / blocks);
+  }
+  std::printf(
+      "\nwithout RLE the differences occupy full tuple width, so stages\n"
+      "(b-)/(c) store no fewer bytes than the uncoded relation -- the\n"
+      "leading-zero run-length step is where the compression appears, and\n"
+      "the chain deltas (additional subtraction) lengthen the zero runs.\n");
+}
+
+}  // namespace
+}  // namespace avqdb::bench
+
+int main() {
+  avqdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// compression_survey: explore how AVQ compression responds to the shape
+// of your data — domain sizes, skew, correlation, and the codec's own
+// knobs — the way a storage engineer would before adopting the format.
+
+#include <cstdio>
+
+#include "src/avq/relation_codec.h"
+#include "src/common/string_util.h"
+#include "src/workload/generator.h"
+
+using namespace avqdb;
+
+namespace {
+
+void Survey(const char* label, const RelationSpec& spec,
+            const CodecOptions& options = CodecOptions{}) {
+  auto rel = GenerateRelation(spec).value();
+  RelationCodec codec(rel.schema, options);
+  auto encoded = codec.Encode(std::move(rel.tuples)).value();
+  std::printf("  %-36s %5zu -> %4zu blocks  %5.1f%%  (%s coded)\n", label,
+              encoded.stats.uncoded_blocks, encoded.stats.coded_blocks,
+              encoded.stats.BlockReductionPercent(),
+              HumanBytes(encoded.stats.coded_payload_bytes).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = 50000;
+
+  std::printf("data shape (15 attributes, %zu tuples, 8 KiB blocks):\n", n);
+  {
+    RelationSpec tiny;
+    tiny.base_domain_size = 3;
+    tiny.num_tuples = n;
+    Survey("tiny domains (|A| ~ 3)", tiny);
+  }
+  Survey("small domains, uniform (test 3)", PaperTestSpec(3, n));
+  Survey("small domains, 60/40 skew (test 1)", PaperTestSpec(1, n));
+  Survey("varied domains, uniform (test 4)", PaperTestSpec(4, n));
+  {
+    RelationSpec wide;
+    wide.base_domain_size = 64;
+    wide.num_tuples = n;
+    Survey("wide domains (|A| ~ 64), uniform", wide);
+  }
+  Survey("correlated, 100 prefix clusters",
+         ClusteredRelationSpec(n, 100));
+  Survey("correlated, 2000 prefix clusters",
+         ClusteredRelationSpec(n, 2000));
+
+  std::printf("\ncodec knobs (on the test-3 relation):\n");
+  {
+    CodecOptions chain;  // default: chain deltas + RLE
+    Survey("chain deltas + RLE (paper default)", PaperTestSpec(3, n), chain);
+
+    CodecOptions rep;
+    rep.variant = CodecVariant::kRepresentativeDelta;
+    Survey("representative deltas + RLE", PaperTestSpec(3, n), rep);
+
+    CodecOptions norle;
+    norle.run_length_zeros = false;
+    Survey("chain deltas, RLE off", PaperTestSpec(3, n), norle);
+
+    CodecOptions big;
+    big.block_size = 65536;
+    Survey("64 KiB blocks", PaperTestSpec(3, n), big);
+
+    CodecOptions small;
+    small.block_size = 1024;
+    Survey("1 KiB blocks", PaperTestSpec(3, n), small);
+  }
+
+  std::printf(
+      "\nrules of thumb: compression tracks density log2N / log2|R| —\n"
+      "small or correlated domains compress hard, wide independent ones\n"
+      "do not; skew is nearly neutral; the RLE stage is where the bytes\n"
+      "disappear; block size barely matters until it gets extreme.\n");
+  return 0;
+}

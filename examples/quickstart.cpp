@@ -1,0 +1,92 @@
+// Quickstart: define a schema, load rows into an AVQ-compressed table,
+// run a selection, and look at the storage savings.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "src/db/database.h"
+#include "src/db/query.h"
+#include "src/schema/domain.h"
+
+using namespace avqdb;
+
+int main() {
+  // 1. A schema is an ordered list of attributes, each with a finite
+  //    domain. Domain cardinalities are the radices of the tuple space.
+  auto city = CategoricalDomain::Create(
+                  {"amsterdam", "berlin", "chicago", "detroit"})
+                  .value();
+  std::vector<Attribute> attrs = {
+      {"city", city},
+      {"temperature_c", std::make_shared<IntegerRangeDomain>(-40, 50)},
+      {"humidity_pct", std::make_shared<IntegerRangeDomain>(0, 100)},
+      {"station_id", std::make_shared<IntegerRangeDomain>(0, 9999)},
+  };
+  auto schema = Schema::Create(std::move(attrs)).value();
+  std::printf("%s\n", schema->ToString().c_str());
+
+  // 2. A Database hands out tables; kAvq stores blocks AVQ-compressed,
+  //    kHeap stores plain fixed-width tuples (the comparison baseline).
+  Database db(/*block_size=*/4096);
+  Table* readings = db.CreateTable("readings", schema, TableKind::kAvq).value();
+
+  // 3. Insert rows; values are domain-mapped to ordinals automatically.
+  int inserted = 0;
+  for (int station = 0; station < 2000; ++station) {
+    const char* where =
+        (station % 4 == 0) ? "amsterdam"
+        : (station % 4 == 1) ? "berlin"
+        : (station % 4 == 2) ? "chicago" : "detroit";
+    Row row = {Value(where), Value(int64_t{10 + station % 15}),
+               Value(int64_t{40 + (station * 7) % 50}),
+               Value(int64_t{station})};
+    Status s = readings->InsertRow(row);
+    if (s.ok()) ++inserted;
+  }
+  std::printf("inserted %d rows into %llu data blocks (%llu index blocks)\n",
+              inserted,
+              static_cast<unsigned long long>(readings->DataBlockCount()),
+              static_cast<unsigned long long>(readings->IndexBlockCount()));
+
+  // 4. Range selection: sigma_{18 <= temperature <= 22}. The executor
+  //    reports exactly which blocks it had to read.
+  QueryStats stats;
+  auto rows = ExecuteRangeSelectRows(*readings, "temperature_c",
+                                     Value(int64_t{18}), Value(int64_t{22}),
+                                     &stats)
+                  .value();
+  std::printf("query matched %zu rows; %s\n", rows.size(),
+              stats.ToString().c_str());
+  for (size_t i = 0; i < rows.size() && i < 3; ++i) {
+    std::printf("  %s\n", RowToString(rows[i]).c_str());
+  }
+
+  // 5. Compare against the uncompressed baseline: bulk-load both stores
+  //    from the same tuples (insert-built tables sit around half full,
+  //    like any B-tree; bulk loads pack to 100%).
+  auto tuples = readings->ScanAll().value();
+  Table* packed =
+      db.CreateTable("readings_packed", schema, TableKind::kAvq).value();
+  Table* baseline =
+      db.CreateTable("readings_raw", schema, TableKind::kHeap).value();
+  AVQDB_CHECK_OK(packed->BulkLoad(tuples));
+  AVQDB_CHECK_OK(baseline->BulkLoad(tuples));
+  std::printf(
+      "storage (bulk-loaded): AVQ %llu blocks vs uncoded %llu blocks "
+      "(%.1f%% smaller)\n",
+      static_cast<unsigned long long>(packed->DataBlockCount()),
+      static_cast<unsigned long long>(baseline->DataBlockCount()),
+      100.0 * (1.0 - static_cast<double>(packed->DataBlockCount()) /
+                         static_cast<double>(baseline->DataBlockCount())));
+
+  // 6. Deleting is symmetric; the affected block is re-coded in place.
+  AVQDB_CHECK_OK(readings->DeleteRow(
+      {Value("amsterdam"), Value(int64_t{10}), Value(int64_t{40}),
+       Value(int64_t{0})}));
+  std::printf("after delete: %llu rows\n",
+              static_cast<unsigned long long>(readings->num_tuples()));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// range_query: the paper's I/O-bandwidth argument (§5.3) made tangible.
+// Loads the same relation into a compressed and an uncompressed store,
+// runs the selection σ_{a ≤ A_k ≤ b} through each access path, and prices
+// every query with the disk model — showing where compression pays.
+
+#include <cstdio>
+
+#include "src/db/cost_model.h"
+#include "src/db/query.h"
+#include "src/db/table.h"
+#include "src/workload/generator.h"
+
+using namespace avqdb;
+
+namespace {
+
+void Report(const char* label, const QueryStats& stats, double cpu_ms) {
+  const QueryCostBreakdown cost = EstimateResponseTime(
+      static_cast<double>(stats.index_blocks_read),
+      static_cast<double>(stats.data_blocks_read), 30.0, cpu_ms);
+  std::printf("  %-6s %-16.*s N=%-5llu index=%-4llu est. response %.2f s\n",
+              label, static_cast<int>(AccessPathName(stats.path).size()),
+              AccessPathName(stats.path).data(),
+              static_cast<unsigned long long>(stats.data_blocks_read),
+              static_cast<unsigned long long>(stats.index_blocks_read),
+              cost.total_seconds());
+}
+
+}  // namespace
+
+int main() {
+  // The §5.2 reference relation: 16 attributes, ~32-byte tuples,
+  // correlated leading attributes, unique trailing key.
+  auto rel = GenerateRelation(PaperQueryRelationSpec(50000)).value();
+
+  MemBlockDevice avq_device(8192), heap_device(8192);
+  auto avq = Table::CreateAvq(rel.schema, &avq_device).value();
+  auto heap = Table::CreateHeap(rel.schema, &heap_device).value();
+  AVQDB_CHECK_OK(avq->BulkLoad(rel.tuples));
+  AVQDB_CHECK_OK(heap->BulkLoad(rel.tuples));
+  const size_t key = rel.schema->num_attributes() - 1;
+  AVQDB_CHECK_OK(avq->CreateSecondaryIndex(key));
+  AVQDB_CHECK_OK(heap->CreateSecondaryIndex(key));
+
+  std::printf("relation: %llu tuples, m = %zu bytes\n",
+              static_cast<unsigned long long>(avq->num_tuples()),
+              rel.schema->tuple_width());
+  std::printf("data blocks: AVQ %llu vs uncoded %llu\n\n",
+              static_cast<unsigned long long>(avq->DataBlockCount()),
+              static_cast<unsigned long long>(heap->DataBlockCount()));
+
+  // CPU costs per block for the response-time estimate: use the paper's
+  // HP 9000/735 column so the numbers line up with Fig 5.9.
+  const MachineProfile machine = PaperMachines()[0];
+
+  struct Scenario {
+    const char* what;
+    RangeQuery query;
+  };
+  const Scenario scenarios[] = {
+      {"clustered range on the leading attribute",
+       {0, 2, 5}},
+      {"full scan: selective range on an unindexed attribute",
+       {5, 100, 120}},
+      {"keyed probe through the secondary index",
+       {key, 12345, 12345}},
+  };
+
+  for (const Scenario& s : scenarios) {
+    std::printf("sigma_{%llu <= A_%zu <= %llu}  (%s)\n",
+                static_cast<unsigned long long>(s.query.lo),
+                s.query.attribute + 1,
+                static_cast<unsigned long long>(s.query.hi), s.what);
+    QueryStats avq_stats, heap_stats;
+    auto avq_rows = ExecuteRangeSelect(*avq, s.query, &avq_stats).value();
+    auto heap_rows = ExecuteRangeSelect(*heap, s.query, &heap_stats).value();
+    AVQDB_CHECK(avq_rows == heap_rows, "stores disagree");
+    Report("AVQ", avq_stats, machine.decode_ms_per_block);
+    Report("heap", heap_stats, machine.extract_ms_per_block);
+    std::printf("  both stores returned the same %zu tuples\n\n",
+                avq_rows.size());
+  }
+
+  std::printf(
+      "the compressed store reads ~1/3 the blocks on scans; with 1995 CPU\n"
+      "speeds (HP 9000/735 decode at %.1f ms/block) it still wins, and the\n"
+      "margin widens as CPUs outpace disks (SS 5.3.4).\n",
+      machine.decode_ms_per_block);
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "src/avq/attribute_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+Result<AttributeOrderAdvice> SuggestAttributeOrder(
+    const Schema& schema, const std::vector<OrdinalTuple>& sample) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("empty sample");
+  }
+  const size_t n = schema.num_attributes();
+  for (const auto& t : sample) {
+    AVQDB_RETURN_IF_ERROR(ValidateTuple(schema, t));
+  }
+
+  AttributeOrderAdvice advice;
+  advice.entropy_bits.resize(n, 0.0);
+  const double total = static_cast<double>(sample.size());
+  for (size_t attr = 0; attr < n; ++attr) {
+    std::unordered_map<uint64_t, uint64_t> counts;
+    for (const auto& t : sample) ++counts[t[attr]];
+    double entropy = 0.0;
+    for (const auto& [value, count] : counts) {
+      const double p = static_cast<double>(count) / total;
+      entropy -= p * std::log2(p);
+    }
+    advice.entropy_bits[attr] = entropy;
+  }
+
+  advice.order.resize(n);
+  for (size_t i = 0; i < n; ++i) advice.order[i] = i;
+  std::stable_sort(advice.order.begin(), advice.order.end(),
+                   [&](size_t a, size_t b) {
+                     if (advice.entropy_bits[a] != advice.entropy_bits[b]) {
+                       return advice.entropy_bits[a] <
+                              advice.entropy_bits[b];
+                     }
+                     // Tie break: smaller domains first (narrower digits
+                     // at the significant end waste fewer delta bytes).
+                     return schema.radices()[a] < schema.radices()[b];
+                   });
+  for (size_t i = 0; i < n; ++i) {
+    if (advice.order[i] != i) {
+      advice.reorder_suggested = true;
+      break;
+    }
+  }
+  return advice;
+}
+
+namespace {
+
+Status ValidatePermutation(size_t n, const std::vector<size_t>& order) {
+  if (order.size() != n) {
+    return Status::InvalidArgument(StringFormat(
+        "permutation size %zu != arity %zu", order.size(), n));
+  }
+  std::vector<bool> seen(n, false);
+  for (size_t index : order) {
+    if (index >= n || seen[index]) {
+      return Status::InvalidArgument("not a permutation");
+    }
+    seen[index] = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SchemaPtr> PermuteSchema(const Schema& schema,
+                                const std::vector<size_t>& order) {
+  AVQDB_RETURN_IF_ERROR(ValidatePermutation(schema.num_attributes(), order));
+  std::vector<Attribute> attrs;
+  attrs.reserve(order.size());
+  for (size_t index : order) attrs.push_back(schema.attribute(index));
+  return Schema::Create(std::move(attrs));
+}
+
+Result<OrdinalTuple> PermuteTuple(const OrdinalTuple& tuple,
+                                  const std::vector<size_t>& order) {
+  AVQDB_RETURN_IF_ERROR(ValidatePermutation(tuple.size(), order));
+  OrdinalTuple out(tuple.size());
+  for (size_t i = 0; i < order.size(); ++i) out[i] = tuple[order[i]];
+  return out;
+}
+
+std::vector<size_t> InvertPermutation(const std::vector<size_t>& order) {
+  std::vector<size_t> inverse(order.size());
+  for (size_t i = 0; i < order.size(); ++i) inverse[order[i]] = i;
+  return inverse;
+}
+
+}  // namespace avqdb

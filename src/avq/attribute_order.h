@@ -1,0 +1,57 @@
+// Attribute-order advisor.
+//
+// AVQ's differences shrink when φ-adjacent tuples share long attribute
+// *prefixes* — the most significant attributes dominate the ordering, so
+// their entropy determines how quickly sorted neighbours diverge. The
+// paper fixes the attribute order to the scheme's; this extension
+// estimates per-attribute empirical entropy from a sample and suggests
+// placing low-entropy (repetitive) attributes first and high-entropy
+// (near-key) attributes last, which can multiply the compression ratio on
+// real, correlated relations (see bench/bench_attribute_order.cc).
+//
+// The permutation is metadata-only: rows keep their logical order at the
+// API; only the physical clustering changes.
+
+#ifndef AVQDB_AVQ_ATTRIBUTE_ORDER_H_
+#define AVQDB_AVQ_ATTRIBUTE_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+struct AttributeOrderAdvice {
+  // Permutation: order[new_position] = original attribute index.
+  std::vector<size_t> order;
+  // Estimated entropy in bits per original attribute.
+  std::vector<double> entropy_bits;
+  // True when the suggestion differs from the identity order.
+  bool reorder_suggested = false;
+};
+
+// Estimates per-attribute entropy over `sample` (all of it; callers
+// subsample large relations) and suggests an ascending-entropy order.
+// InvalidArgument on arity mismatches or an empty sample.
+Result<AttributeOrderAdvice> SuggestAttributeOrder(
+    const Schema& schema, const std::vector<OrdinalTuple>& sample);
+
+// Schema with attributes permuted by `order` (must be a permutation of
+// [0, n)).
+Result<SchemaPtr> PermuteSchema(const Schema& schema,
+                                const std::vector<size_t>& order);
+
+// Reorders one tuple's digits: out[i] = tuple[order[i]].
+Result<OrdinalTuple> PermuteTuple(const OrdinalTuple& tuple,
+                                  const std::vector<size_t>& order);
+
+// Inverse permutation, for mapping permuted tuples back.
+std::vector<size_t> InvertPermutation(const std::vector<size_t>& order);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_AVQ_ATTRIBUTE_ORDER_H_

@@ -1,0 +1,143 @@
+#include "src/avq/block_decoder.h"
+
+#include <algorithm>
+
+#include "src/common/crc32c.h"
+#include "src/common/string_util.h"
+#include "src/ordinal/digit_bytes.h"
+#include "src/ordinal/mixed_radix.h"
+
+namespace avqdb {
+namespace {
+
+// Reads the next coded difference from *stream.
+Status ReadDiff(const DigitLayout& layout, bool run_length, Slice* stream,
+                OrdinalTuple* diff) {
+  const size_t m = layout.total_width();
+  if (run_length) {
+    if (stream->empty()) {
+      return Status::Corruption("difference stream truncated at count byte");
+    }
+    const size_t lz = (*stream)[0];
+    stream->RemovePrefix(1);
+    if (lz > m) {
+      return Status::Corruption(StringFormat(
+          "leading-zero count %zu exceeds tuple width %zu", lz, m));
+    }
+    AVQDB_RETURN_IF_ERROR(layout.ParseSuffixImage(lz, *stream, diff));
+    stream->RemovePrefix(m - lz);
+  } else {
+    AVQDB_RETURN_IF_ERROR(layout.ParseImage(*stream, diff));
+    stream->RemovePrefix(m);
+  }
+  return Status::OK();
+}
+
+// Wraps arithmetic failures (which indicate inconsistent coded data) as
+// corruption.
+Status AsCorruption(const Status& s, const char* what) {
+  if (s.ok()) return s;
+  return Status::Corruption(
+      StringFormat("%s while decoding block: %s", what,
+                   s.message().c_str()));
+}
+
+}  // namespace
+
+Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block) {
+  AVQDB_ASSIGN_OR_RETURN(BlockHeader header, BlockHeader::DecodeFrom(block));
+  Slice payload = block.Subslice(kBlockHeaderSize, header.payload_size);
+  if (header.has_checksum()) {
+    const uint32_t expected = crc32c::Unmask(header.crc);
+    const uint32_t actual = crc32c::Value(payload);
+    if (expected != actual) {
+      return Status::Corruption(StringFormat(
+          "block checksum mismatch: stored 0x%08x, computed 0x%08x",
+          expected, actual));
+    }
+  }
+
+  AVQDB_ASSIGN_OR_RETURN(DigitLayout layout,
+                         DigitLayout::Create(schema.digit_widths()));
+  const auto& radices = schema.radices();
+  const size_t m = layout.total_width();
+  const size_t count = header.tuple_count;
+  const size_t rep = header.rep_index;
+
+  Slice stream = payload;
+  OrdinalTuple rep_tuple;
+  AVQDB_RETURN_IF_ERROR(layout.ParseImage(stream, &rep_tuple));
+  stream.RemovePrefix(m);
+  AVQDB_RETURN_IF_ERROR(
+      AsCorruption(mixed_radix::Validate(radices, rep_tuple),
+                   "invalid representative"));
+
+  // Differences appear in tuple (φ) order with the representative's slot
+  // skipped: positions 0..rep-1, then rep+1..count-1.
+  std::vector<OrdinalTuple> diffs(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (i == rep) continue;
+    AVQDB_RETURN_IF_ERROR(
+        ReadDiff(layout, header.has_run_length(), &stream, &diffs[i]));
+  }
+  if (!stream.empty()) {
+    return Status::Corruption(StringFormat(
+        "%zu trailing bytes after difference stream", stream.size()));
+  }
+
+  DecodedBlock out;
+  out.header = header;
+  out.tuples.assign(count, OrdinalTuple());
+  out.tuples[rep] = rep_tuple;
+
+  if (header.variant == CodecVariant::kChainDelta) {
+    // Backward: t_i = t_{i+1} − d_i (d_i was t_{i+1} − t_i).
+    for (size_t i = rep; i-- > 0;) {
+      AVQDB_RETURN_IF_ERROR(AsCorruption(
+          mixed_radix::Sub(radices, out.tuples[i + 1], diffs[i],
+                           &out.tuples[i]),
+          "chain-delta underflow"));
+    }
+    // Forward: t_i = t_{i−1} + d_i.
+    for (size_t i = rep + 1; i < count; ++i) {
+      AVQDB_RETURN_IF_ERROR(AsCorruption(
+          mixed_radix::Add(radices, out.tuples[i - 1], diffs[i],
+                           &out.tuples[i]),
+          "chain-delta overflow"));
+    }
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      if (i == rep) continue;
+      if (i < rep) {
+        AVQDB_RETURN_IF_ERROR(AsCorruption(
+            mixed_radix::Sub(radices, rep_tuple, diffs[i], &out.tuples[i]),
+            "representative-delta underflow"));
+      } else {
+        AVQDB_RETURN_IF_ERROR(AsCorruption(
+            mixed_radix::Add(radices, rep_tuple, diffs[i], &out.tuples[i]),
+            "representative-delta overflow"));
+      }
+    }
+  }
+
+  // The block must be internally sorted; a violation means the stored
+  // differences are inconsistent.
+  for (size_t i = 1; i < count; ++i) {
+    if (CompareTuples(out.tuples[i - 1], out.tuples[i]) > 0) {
+      return Status::Corruption("decoded block is not φ-sorted");
+    }
+  }
+  return out;
+}
+
+size_t LowerBoundInBlock(const std::vector<OrdinalTuple>& tuples,
+                         const OrdinalTuple& key) {
+  auto it = std::lower_bound(
+      tuples.begin(), tuples.end(), key,
+      [](const OrdinalTuple& a, const OrdinalTuple& b) {
+        return CompareTuples(a, b) < 0;
+      });
+  return static_cast<size_t>(it - tuples.begin());
+}
+
+}  // namespace avqdb

@@ -1,0 +1,41 @@
+// BlockDecoder: parses one AVQ-coded block image back into its tuples
+// (the inverse of BlockEncoder; §3.4's stream-parsing procedure).
+//
+// Decoding is local to the block (§3.3): the representative is read at
+// full width, then differences are applied backward (before the
+// representative) and forward (after it). All reconstruction errors —
+// bad magic, CRC mismatch, truncated streams, digit overflow — surface
+// as Status::Corruption.
+
+#ifndef AVQDB_AVQ_BLOCK_DECODER_H_
+#define AVQDB_AVQ_BLOCK_DECODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/avq/block_format.h"
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+struct DecodedBlock {
+  BlockHeader header;
+  // All tuples of the block in φ order.
+  std::vector<OrdinalTuple> tuples;
+};
+
+// Fully decodes `block` (a block_size-byte image) against `schema`.
+Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block);
+
+// Binary search over a decoded block: index of the first tuple >= `key`
+// in φ order (== tuples.size() when all are smaller).
+size_t LowerBoundInBlock(const std::vector<OrdinalTuple>& tuples,
+                         const OrdinalTuple& key);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_AVQ_BLOCK_DECODER_H_

@@ -1,0 +1,235 @@
+#include "src/avq/block_encoder.h"
+
+#include <utility>
+
+#include "src/common/crc32c.h"
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/ordinal/mixed_radix.h"
+
+namespace avqdb {
+
+Status CodecOptions::Validate(size_t tuple_width) const {
+  if (block_size < kBlockHeaderSize + 2 * tuple_width + 1) {
+    return Status::InvalidArgument(StringFormat(
+        "block size %zu too small for %zu-byte tuples", block_size,
+        tuple_width));
+  }
+  if (block_size > (1u << 20)) {
+    return Status::InvalidArgument("block size exceeds 1 MiB");
+  }
+  return Status::OK();
+}
+
+Result<BlockHeader> BlockHeader::DecodeFrom(Slice block) {
+  if (block.size() < kBlockHeaderSize) {
+    return Status::Corruption("block shorter than header");
+  }
+  BlockHeader header;
+  header.magic = DecodeFixed16(block.data());
+  if (header.magic != kBlockMagic) {
+    return Status::Corruption(
+        StringFormat("bad block magic 0x%04x", header.magic));
+  }
+  const uint8_t variant = block[2];
+  if (variant > static_cast<uint8_t>(CodecVariant::kRepresentativeDelta)) {
+    return Status::Corruption(StringFormat("bad codec variant %u", variant));
+  }
+  header.variant = static_cast<CodecVariant>(variant);
+  header.flags = block[3];
+  header.tuple_count = DecodeFixed16(block.data() + 4);
+  header.rep_index = DecodeFixed16(block.data() + 6);
+  header.payload_size = DecodeFixed32(block.data() + 8);
+  header.crc = DecodeFixed32(block.data() + 12);
+  if (header.tuple_count == 0) {
+    return Status::Corruption("block with zero tuples");
+  }
+  if (header.rep_index >= header.tuple_count) {
+    return Status::Corruption(StringFormat(
+        "representative index %u out of range (count %u)", header.rep_index,
+        header.tuple_count));
+  }
+  if (kBlockHeaderSize + static_cast<size_t>(header.payload_size) >
+      block.size()) {
+    return Status::Corruption(StringFormat(
+        "payload size %u exceeds block size %zu", header.payload_size,
+        block.size()));
+  }
+  return header;
+}
+
+BlockEncoder::BlockEncoder(SchemaPtr schema, const CodecOptions& options)
+    : schema_(std::move(schema)),
+      options_(options),
+      layout_(DigitLayout::Create(schema_->digit_widths()).value()) {
+  AVQDB_CHECK_OK(options_.Validate(schema_->tuple_width()));
+}
+
+size_t BlockEncoder::representative_index() const {
+  if (tuples_.empty()) return 0;
+  if (options_.representative == RepresentativeChoice::kFirst) return 0;
+  return tuples_.size() / 2;
+}
+
+size_t BlockEncoder::DiffCost(const OrdinalTuple& diff) const {
+  const size_t m = layout_.total_width();
+  if (!options_.run_length_zeros) return m;
+  return 1 + (m - layout_.CountLeadingZeroBytes(diff));
+}
+
+size_t BlockEncoder::ComputePayloadSize(
+    const DigitLayout& layout, const mixed_radix::Digits& radices,
+    const CodecOptions& options, const std::vector<OrdinalTuple>& tuples) {
+  if (tuples.empty()) return 0;
+  const size_t m = layout.total_width();
+  auto diff_cost = [&](const OrdinalTuple& diff) {
+    return options.run_length_zeros
+               ? 1 + (m - layout.CountLeadingZeroBytes(diff))
+               : m;
+  };
+  size_t size = m;  // representative at full width
+  OrdinalTuple diff;
+  if (options.variant == CodecVariant::kChainDelta) {
+    // Costs are the adjacent differences, independent of the
+    // representative's position.
+    for (size_t i = 1; i < tuples.size(); ++i) {
+      AVQDB_CHECK_OK(
+          mixed_radix::Sub(radices, tuples[i], tuples[i - 1], &diff));
+      size += diff_cost(diff);
+    }
+  } else {
+    const size_t rep =
+        options.representative == RepresentativeChoice::kFirst
+            ? 0
+            : tuples.size() / 2;
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      if (i == rep) continue;
+      AVQDB_CHECK_OK(
+          mixed_radix::AbsDiff(radices, tuples[i], tuples[rep], &diff));
+      size += diff_cost(diff);
+    }
+  }
+  return size;
+}
+
+void BlockEncoder::RecomputePayloadSize() {
+  payload_size_ =
+      ComputePayloadSize(layout_, schema_->radices(), options_, tuples_);
+}
+
+Result<bool> BlockEncoder::TryAdd(const OrdinalTuple& tuple) {
+  AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, tuple));
+  if (!tuples_.empty() && CompareTuples(tuple, tuples_.back()) < 0) {
+    return Status::InvalidArgument(StringFormat(
+        "tuple %s added out of φ order (last was %s)",
+        TupleToString(tuple).c_str(), TupleToString(tuples_.back()).c_str()));
+  }
+  const size_t capacity = options_.block_size - kBlockHeaderSize;
+  // The header's tuple count is 16-bit; degenerate all-duplicate blocks
+  // could otherwise overflow it (a duplicate codes in a single byte).
+  if (tuples_.size() >= 0xffff) return false;
+  if (tuples_.empty()) {
+    // A lone tuple always fits: CodecOptions::Validate guarantees room for
+    // two full-width tuples plus a count byte.
+    tuples_.push_back(tuple);
+    payload_size_ = layout_.total_width();
+    return true;
+  }
+  if (options_.variant == CodecVariant::kChainDelta) {
+    OrdinalTuple diff;
+    AVQDB_RETURN_IF_ERROR(
+        mixed_radix::Sub(schema_->radices(), tuple, tuples_.back(), &diff));
+    const size_t added = DiffCost(diff);
+    if (payload_size_ + added > capacity) return false;
+    tuples_.push_back(tuple);
+    payload_size_ += added;
+    return true;
+  }
+  // Representative-delta: the representative shifts as tuples are added,
+  // so recompute the exact candidate size.
+  tuples_.push_back(tuple);
+  const size_t old_size = payload_size_;
+  RecomputePayloadSize();
+  if (payload_size_ > capacity) {
+    tuples_.pop_back();
+    payload_size_ = old_size;
+    return false;
+  }
+  return true;
+}
+
+Result<std::string> BlockEncoder::Finish() {
+  if (tuples_.empty()) {
+    return Status::InvalidArgument("Finish() on empty block");
+  }
+  const size_t rep = representative_index();
+  const auto& radices = schema_->radices();
+  const size_t m = layout_.total_width();
+
+  std::string payload;
+  payload.reserve(payload_size_);
+  AVQDB_RETURN_IF_ERROR(layout_.AppendImage(tuples_[rep], &payload));
+
+  OrdinalTuple diff;
+  auto append_diff = [&](const OrdinalTuple& d) -> Status {
+    if (options_.run_length_zeros) {
+      const size_t lz = layout_.CountLeadingZeroBytes(d);
+      payload.push_back(static_cast<char>(lz));
+      std::string image;
+      AVQDB_RETURN_IF_ERROR(layout_.AppendImage(d, &image));
+      payload.append(image, lz, m - lz);
+    } else {
+      AVQDB_RETURN_IF_ERROR(layout_.AppendImage(d, &payload));
+    }
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i == rep) continue;
+    if (options_.variant == CodecVariant::kChainDelta) {
+      // Before the representative: difference to the successor
+      // (Example 3.3); after it: difference to the predecessor.
+      if (i < rep) {
+        AVQDB_RETURN_IF_ERROR(
+            mixed_radix::Sub(radices, tuples_[i + 1], tuples_[i], &diff));
+      } else {
+        AVQDB_RETURN_IF_ERROR(
+            mixed_radix::Sub(radices, tuples_[i], tuples_[i - 1], &diff));
+      }
+    } else {
+      AVQDB_RETURN_IF_ERROR(
+          mixed_radix::AbsDiff(radices, tuples_[i], tuples_[rep], &diff));
+    }
+    AVQDB_RETURN_IF_ERROR(append_diff(diff));
+  }
+
+  AVQDB_CHECK(payload.size() == payload_size_,
+              "payload accounting drift: built %zu, tracked %zu",
+              payload.size(), payload_size_);
+
+  BlockHeader header;
+  header.variant = options_.variant;
+  header.flags = 0;
+  if (options_.checksum) header.flags |= kBlockFlagChecksum;
+  if (options_.run_length_zeros) header.flags |= kBlockFlagRunLength;
+  header.tuple_count = static_cast<uint16_t>(tuples_.size());
+  header.rep_index = static_cast<uint16_t>(rep);
+  header.payload_size = static_cast<uint32_t>(payload.size());
+  header.crc = options_.checksum
+                   ? crc32c::Mask(crc32c::Value(Slice(payload)))
+                   : 0;
+
+  std::string block(options_.block_size, '\0');
+  header.EncodeTo(reinterpret_cast<uint8_t*>(block.data()));
+  block.replace(kBlockHeaderSize, payload.size(), payload);
+
+  Reset();
+  return block;
+}
+
+void BlockEncoder::Reset() {
+  tuples_.clear();
+  payload_size_ = 0;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,86 @@
+// BlockEncoder: greedy packing of φ-sorted tuples into one AVQ-coded block
+// (§3.3–§3.4).
+//
+// Usage:
+//   BlockEncoder enc(schema, options);           // options pre-validated
+//   while (more tuples && enc.TryAdd(t).value()) { ... }
+//   std::string block = enc.Finish().value();    // exactly block_size bytes
+//
+// TryAdd accepts tuples in non-decreasing φ order and answers whether the
+// tuple still fits ("the number of tuples allocated to a block before
+// coding must be suitably fixed so as to minimize this [unused] space",
+// §3.4 — greedy filling against the exact coded size achieves that).
+
+#ifndef AVQDB_AVQ_BLOCK_ENCODER_H_
+#define AVQDB_AVQ_BLOCK_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/avq/block_format.h"
+#include "src/avq/codec_options.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/ordinal/digit_bytes.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+class BlockEncoder {
+ public:
+  // The schema must outlive the encoder. Aborts on invalid options —
+  // callers validate options once via CodecOptions::Validate.
+  BlockEncoder(SchemaPtr schema, const CodecOptions& options);
+
+  BlockEncoder(const BlockEncoder&) = delete;
+  BlockEncoder& operator=(const BlockEncoder&) = delete;
+
+  // Adds `tuple` if the block would still fit in block_size afterwards.
+  // Returns false (tuple not added) when full. Errors on invalid tuples or
+  // φ-order violations.
+  Result<bool> TryAdd(const OrdinalTuple& tuple);
+
+  size_t tuple_count() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  // Exact on-disk footprint of the current content (header + payload).
+  size_t encoded_size() const { return kBlockHeaderSize + payload_size_; }
+
+  // Index of the representative tuple for the current count.
+  size_t representative_index() const;
+
+  // Serializes the current content into exactly options.block_size bytes
+  // and resets the encoder. Errors if no tuples were added.
+  Result<std::string> Finish();
+
+  void Reset();
+
+  // Exact coded payload size (without header) for `tuples`, which must be
+  // φ-sorted. Shared with the encoder's incremental accounting; exposed
+  // for tests and for the table-maintenance path that re-codes a block.
+  static size_t ComputePayloadSize(const DigitLayout& layout,
+                                   const mixed_radix::Digits& radices,
+                                   const CodecOptions& options,
+                                   const std::vector<OrdinalTuple>& tuples);
+
+ private:
+  // Coded size of one difference under the options (count byte + suffix,
+  // or full width without RLE).
+  size_t DiffCost(const OrdinalTuple& diff) const;
+
+  // Recomputes payload_size_ from scratch (used by the rep-delta variant,
+  // whose per-tuple costs change as the representative moves).
+  void RecomputePayloadSize();
+
+  SchemaPtr schema_;
+  CodecOptions options_;
+  DigitLayout layout_;
+  std::vector<OrdinalTuple> tuples_;
+  size_t payload_size_ = 0;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_AVQ_BLOCK_ENCODER_H_

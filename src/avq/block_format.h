@@ -1,0 +1,68 @@
+// On-disk layout of an AVQ-coded block (§3.4).
+//
+//   +----------------------+ 0
+//   | BlockHeader (16 B)   |
+//   +----------------------+ kBlockHeaderSize
+//   | representative tuple |  m bytes (raw digit image)
+//   | difference stream    |  per non-representative tuple, in φ order:
+//   |                      |    with RLE:  count byte r, then m−r bytes
+//   |                      |    without:   m bytes
+//   +----------------------+ kBlockHeaderSize + payload_size
+//   | zero padding         |  up to the device block size
+//   +----------------------+ block_size
+//
+// The stream stores tuples before the representative first, then tuples
+// after it ("the first and second halves of these differences represent
+// tuples which are lexicographically smaller and larger than the
+// representative", §3.4); the header's rep_index says where the split is.
+
+#ifndef AVQDB_AVQ_BLOCK_FORMAT_H_
+#define AVQDB_AVQ_BLOCK_FORMAT_H_
+
+#include <cstdint>
+
+#include "src/avq/codec_options.h"
+#include "src/common/coding.h"
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace avqdb {
+
+inline constexpr size_t kBlockHeaderSize = 16;
+inline constexpr uint16_t kBlockMagic = 0x5156;  // "VQ"
+
+// Header flag bits.
+inline constexpr uint8_t kBlockFlagChecksum = 0x1;
+inline constexpr uint8_t kBlockFlagRunLength = 0x2;
+
+struct BlockHeader {
+  uint16_t magic = kBlockMagic;
+  CodecVariant variant = CodecVariant::kChainDelta;
+  uint8_t flags = 0;
+  uint16_t tuple_count = 0;
+  uint16_t rep_index = 0;     // position of the representative in φ order
+  uint32_t payload_size = 0;  // bytes after the header, before padding
+  uint32_t crc = 0;           // masked CRC-32C of the payload (if flagged)
+
+  bool has_checksum() const { return flags & kBlockFlagChecksum; }
+  bool has_run_length() const { return flags & kBlockFlagRunLength; }
+
+  // Serializes into exactly kBlockHeaderSize bytes at dst.
+  void EncodeTo(uint8_t* dst) const {
+    EncodeFixed16(dst, magic);
+    dst[2] = static_cast<uint8_t>(variant);
+    dst[3] = flags;
+    EncodeFixed16(dst + 4, tuple_count);
+    EncodeFixed16(dst + 6, rep_index);
+    EncodeFixed32(dst + 8, payload_size);
+    EncodeFixed32(dst + 12, crc);
+  }
+
+  // Parses and sanity-checks a header; `block` must be the full block.
+  static Result<BlockHeader> DecodeFrom(Slice block);
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_AVQ_BLOCK_FORMAT_H_

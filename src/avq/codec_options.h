@@ -1,0 +1,54 @@
+// Knobs of the AVQ block codec.
+//
+// The defaults reproduce the paper's full pipeline (Fig 3.3 table (d)):
+// chain deltas ("additional subtraction", Example 3.3) anchored at the
+// middle tuple, with leading-zero run-length coding. The other settings
+// exist for the §3.4-stage ablation benches:
+//   * kRepresentativeDelta = Fig 3.3 table (b): every tuple differenced
+//     directly against the representative;
+//   * run_length_zeros=false = Fig 3.3 table (c): differences stored at
+//     full tuple width;
+//   * kFirst = replace the median representative with the block's first
+//     tuple (tests the paper's §3.4 median-minimizes-distortion argument).
+
+#ifndef AVQDB_AVQ_CODEC_OPTIONS_H_
+#define AVQDB_AVQ_CODEC_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace avqdb {
+
+enum class CodecVariant : uint8_t {
+  // t_i − t_{i−1} after the representative, t_{i+1} − t_i before it
+  // (the paper's optimized Table (c)/(d) coding).
+  kChainDelta = 0,
+  // |t_i − t̂| for every tuple (the paper's intermediate Table (b) coding).
+  kRepresentativeDelta = 1,
+};
+
+enum class RepresentativeChoice : uint8_t {
+  kMiddle = 0,  // the paper's median tuple
+  kFirst = 1,   // ablation: block's smallest tuple
+};
+
+struct CodecOptions {
+  CodecVariant variant = CodecVariant::kChainDelta;
+  RepresentativeChoice representative = RepresentativeChoice::kMiddle;
+  // Elide leading zero bytes of each difference behind a count byte.
+  bool run_length_zeros = true;
+  // CRC-32C over the payload, verified on decode.
+  bool checksum = true;
+  // Bytes per disk block; the paper evaluates 8192.
+  size_t block_size = 8192;
+
+  // Checks that a block can hold its header plus at least one tuple of
+  // `tuple_width` bytes plus one worst-case coded difference.
+  Status Validate(size_t tuple_width) const;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_AVQ_CODEC_OPTIONS_H_

@@ -1,0 +1,123 @@
+#include "src/avq/relation_codec.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/avq/block_decoder.h"
+#include "src/avq/block_encoder.h"
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+double CompressionStats::BlockReductionPercent() const {
+  if (uncoded_blocks == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(coded_blocks) /
+                            static_cast<double>(uncoded_blocks));
+}
+
+double CompressionStats::ByteReductionPercent() const {
+  if (uncoded_bytes == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(coded_payload_bytes) /
+                            static_cast<double>(uncoded_bytes));
+}
+
+double CompressionStats::CompressionRatio() const {
+  if (coded_blocks == 0) return 0.0;
+  return static_cast<double>(uncoded_blocks) /
+         static_cast<double>(coded_blocks);
+}
+
+std::string CompressionStats::ToString() const {
+  return StringFormat(
+      "%zu tuples x %zu B: %zu -> %zu blocks (%.1f%% reduction, ratio "
+      "%.2fx); bytes %llu -> %llu (%.1f%%)",
+      tuple_count, tuple_width, uncoded_blocks, coded_blocks,
+      BlockReductionPercent(), CompressionRatio(),
+      static_cast<unsigned long long>(uncoded_bytes),
+      static_cast<unsigned long long>(coded_payload_bytes),
+      ByteReductionPercent());
+}
+
+RelationCodec::RelationCodec(SchemaPtr schema, const CodecOptions& options)
+    : schema_(std::move(schema)), options_(options) {
+  AVQDB_CHECK_OK(options_.Validate(schema_->tuple_width()));
+}
+
+size_t RelationCodec::UncodedTuplesPerBlock() const {
+  return (options_.block_size - kBlockHeaderSize) / schema_->tuple_width();
+}
+
+size_t RelationCodec::UncodedBlockCount(size_t tuple_count) const {
+  const size_t per_block = UncodedTuplesPerBlock();
+  return (tuple_count + per_block - 1) / per_block;
+}
+
+Result<EncodedRelation> RelationCodec::Encode(
+    std::vector<OrdinalTuple> tuples) const {
+  for (const auto& t : tuples) {
+    AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, t));
+  }
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  return EncodeSorted(tuples);
+}
+
+Result<EncodedRelation> RelationCodec::EncodeSorted(
+    const std::vector<OrdinalTuple>& tuples) const {
+  EncodedRelation out;
+  out.stats.tuple_count = tuples.size();
+  out.stats.tuple_width = schema_->tuple_width();
+  out.stats.block_size = options_.block_size;
+  out.stats.uncoded_blocks = UncodedBlockCount(tuples.size());
+  out.stats.uncoded_bytes =
+      static_cast<uint64_t>(tuples.size()) * schema_->tuple_width();
+
+  BlockEncoder encoder(schema_, options_);
+  for (const auto& tuple : tuples) {
+    AVQDB_ASSIGN_OR_RETURN(bool added, encoder.TryAdd(tuple));
+    if (!added) {
+      out.stats.coded_payload_bytes += encoder.encoded_size();
+      AVQDB_ASSIGN_OR_RETURN(std::string block, encoder.Finish());
+      out.blocks.push_back(std::move(block));
+      AVQDB_ASSIGN_OR_RETURN(added, encoder.TryAdd(tuple));
+      if (!added) {
+        return Status::Internal(
+            "tuple does not fit in an empty block; options invalid");
+      }
+    }
+  }
+  if (!encoder.empty()) {
+    out.stats.coded_payload_bytes += encoder.encoded_size();
+    AVQDB_ASSIGN_OR_RETURN(std::string block, encoder.Finish());
+    out.blocks.push_back(std::move(block));
+  }
+  out.stats.coded_blocks = out.blocks.size();
+  return out;
+}
+
+Result<EncodedRelation> RelationCodec::EncodeRows(
+    const std::vector<Row>& rows) const {
+  std::vector<OrdinalTuple> tuples;
+  tuples.reserve(rows.size());
+  for (const auto& row : rows) {
+    AVQDB_ASSIGN_OR_RETURN(OrdinalTuple tuple, EncodeRow(*schema_, row));
+    tuples.push_back(std::move(tuple));
+  }
+  return Encode(std::move(tuples));
+}
+
+Result<std::vector<OrdinalTuple>> RelationCodec::DecodeAll(
+    const std::vector<std::string>& blocks) const {
+  std::vector<OrdinalTuple> tuples;
+  for (const auto& block : blocks) {
+    AVQDB_ASSIGN_OR_RETURN(DecodedBlock decoded,
+                           DecodeBlock(*schema_, Slice(block)));
+    for (auto& t : decoded.tuples) tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+}  // namespace avqdb

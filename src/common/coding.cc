@@ -1,0 +1,123 @@
+#include "src/common/coding.h"
+
+#include <cstring>
+
+namespace avqdb {
+
+void EncodeFixed16(uint8_t* dst, uint16_t value) {
+  dst[0] = static_cast<uint8_t>(value);
+  dst[1] = static_cast<uint8_t>(value >> 8);
+}
+
+void EncodeFixed32(uint8_t* dst, uint32_t value) {
+  dst[0] = static_cast<uint8_t>(value);
+  dst[1] = static_cast<uint8_t>(value >> 8);
+  dst[2] = static_cast<uint8_t>(value >> 16);
+  dst[3] = static_cast<uint8_t>(value >> 24);
+}
+
+void EncodeFixed64(uint8_t* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+uint16_t DecodeFixed16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0]) |
+         static_cast<uint16_t>(static_cast<uint16_t>(src[1]) << 8);
+}
+
+uint32_t DecodeFixed32(const uint8_t* src) {
+  return static_cast<uint32_t>(src[0]) | (static_cast<uint32_t>(src[1]) << 8) |
+         (static_cast<uint32_t>(src[2]) << 16) |
+         (static_cast<uint32_t>(src[3]) << 24);
+}
+
+uint64_t DecodeFixed64(const uint8_t* src) {
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | src[i];
+  }
+  return value;
+}
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  uint8_t buf[2];
+  EncodeFixed16(buf, value);
+  dst->append(reinterpret_cast<char*>(buf), sizeof(buf));
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  uint8_t buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(reinterpret_cast<char*>(buf), sizeof(buf));
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  uint8_t buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(reinterpret_cast<char*>(buf), sizeof(buf));
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  uint8_t buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<uint8_t>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<uint8_t>(value);
+  dst->append(reinterpret_cast<char*>(buf), static_cast<size_t>(n));
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = (*input)[0];
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7f) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64 = 0;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(reinterpret_cast<const char*>(value.data()), value.size());
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* value) {
+  uint64_t len = 0;
+  if (!GetVarint64(input, &len)) return false;
+  if (len > input->size()) return false;
+  *value = Slice(input->data(), static_cast<size_t>(len));
+  input->RemovePrefix(static_cast<size_t>(len));
+  return true;
+}
+
+}  // namespace avqdb

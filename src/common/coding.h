@@ -1,0 +1,63 @@
+// Fixed-width little-endian and varint integer encodings.
+//
+// Used by the block format, the index pages and the dictionary
+// serialization. The varint format is the common LEB128-style 7-bit
+// continuation encoding (as in RocksDB / protobuf).
+
+#ifndef AVQDB_COMMON_CODING_H_
+#define AVQDB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/slice.h"
+
+namespace avqdb {
+
+// ---- Fixed-width little-endian ----
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+void EncodeFixed16(uint8_t* dst, uint16_t value);
+void EncodeFixed32(uint8_t* dst, uint32_t value);
+void EncodeFixed64(uint8_t* dst, uint64_t value);
+
+uint16_t DecodeFixed16(const uint8_t* src);
+uint32_t DecodeFixed32(const uint8_t* src);
+uint64_t DecodeFixed64(const uint8_t* src);
+
+// ---- Varint ----
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+// On success advances *input past the varint and stores it in *value,
+// returning true. Returns false on truncated/overlong input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+// Number of bytes PutVarint64 would emit.
+int VarintLength(uint64_t value);
+
+// ---- ZigZag (signed <-> unsigned) for varint-coding signed values ----
+
+inline uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^
+         -static_cast<int64_t>(value & 1);
+}
+
+// ---- Length-prefixed byte strings ----
+
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+bool GetLengthPrefixed(Slice* input, Slice* value);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_COMMON_CODING_H_

@@ -1,0 +1,41 @@
+// CRC-32C (Castagnoli) checksums for block integrity.
+//
+// Software table-driven implementation (no SSE4.2 dependency, per the
+// portability rules). Values match the iSCSI / RocksDB polynomial 0x1EDC6F41
+// (reflected 0x82F63B78).
+
+#ifndef AVQDB_COMMON_CRC32C_H_
+#define AVQDB_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/slice.h"
+
+namespace avqdb::crc32c {
+
+// Extends a running CRC with `data`; start from crc = 0 for a fresh sum.
+uint32_t Extend(uint32_t crc, const uint8_t* data, size_t n);
+
+inline uint32_t Value(const uint8_t* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+inline uint32_t Value(const Slice& data) {
+  return Extend(0, data.data(), data.size());
+}
+
+// Masked CRC (RocksDB-style rotation+constant) so that storing a CRC of data
+// that itself contains CRCs does not produce degenerate values.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace avqdb::crc32c
+
+#endif  // AVQDB_COMMON_CRC32C_H_

@@ -1,0 +1,66 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace avqdb {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void LogV(LogLevel level, const char* file, int line, const char* fmt,
+          va_list ap) {
+  if (static_cast<int>(level) <
+      g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), file, line);
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+}
+
+void Log(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  LogV(level, file, line, fmt, ap);
+  va_end(ap);
+}
+
+void FatalCheckFailure(const char* file, int line, const char* condition,
+                       const char* fmt, ...) {
+  std::fprintf(stderr, "[FATAL %s:%d] check failed: %s: ", file, line,
+               condition);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+}  // namespace avqdb

@@ -1,0 +1,68 @@
+// Minimal leveled logging and fatal-check macros.
+//
+// The library itself logs nothing at Info level during normal operation;
+// logging exists for tools, benches and debugging. AVQDB_CHECK* macros abort
+// the process with a message when an invariant is violated — they guard
+// programmer errors, not data errors (data errors surface as Status).
+
+#ifndef AVQDB_COMMON_LOGGING_H_
+#define AVQDB_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace avqdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style log emission to stderr with a level tag.
+void LogV(LogLevel level, const char* file, int line, const char* fmt,
+          va_list ap);
+void Log(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+// Aborts with a formatted message. Never returns.
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const char* condition, const char* fmt,
+                                    ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace avqdb
+
+#define AVQDB_LOG_DEBUG(...) \
+  ::avqdb::Log(::avqdb::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define AVQDB_LOG_INFO(...) \
+  ::avqdb::Log(::avqdb::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define AVQDB_LOG_WARN(...) \
+  ::avqdb::Log(::avqdb::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define AVQDB_LOG_ERROR(...) \
+  ::avqdb::Log(::avqdb::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
+
+// AVQDB_CHECK(cond, fmt, ...): aborts when cond is false.
+#define AVQDB_CHECK(cond, ...)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::avqdb::FatalCheckFailure(__FILE__, __LINE__, #cond, __VA_ARGS__); \
+    }                                                                     \
+  } while (0)
+
+#define AVQDB_CHECK_OK(status_expr)                                          \
+  do {                                                                      \
+    ::avqdb::Status _avqdb_chk = (status_expr);                             \
+    if (!_avqdb_chk.ok()) {                                                 \
+      ::avqdb::FatalCheckFailure(__FILE__, __LINE__, #status_expr, "%s",    \
+                                 _avqdb_chk.ToString().c_str());            \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define AVQDB_DCHECK(cond, ...) AVQDB_CHECK(cond, __VA_ARGS__)
+#else
+#define AVQDB_DCHECK(cond, ...) \
+  do {                          \
+  } while (0)
+#endif
+
+#endif  // AVQDB_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation for workload synthesis
+// and property tests.
+//
+// xoshiro256++ (Blackman & Vigna): fast, high-quality, and — unlike
+// std::mt19937 across standard libraries — bit-for-bit reproducible, which
+// keeps benches and tests deterministic everywhere.
+
+#ifndef AVQDB_COMMON_RANDOM_H_
+#define AVQDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace avqdb {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0. Uses rejection to avoid modulo bias.
+  uint64_t Uniform(uint64_t n) {
+    const uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_COMMON_RANDOM_H_

@@ -1,0 +1,80 @@
+// Result<T>: a value-or-Status holder (the StatusOr idiom).
+//
+// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+// the value of a non-OK Result aborts the process, so callers must check
+// ok() (or use AVQDB_ASSIGN_OR_RETURN) first.
+
+#ifndef AVQDB_COMMON_RESULT_H_
+#define AVQDB_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/status.h"
+
+namespace avqdb {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from a Status keeps call sites
+  // terse: `return value;` / `return Status::NotFound(...)`. This mirrors
+  // absl::StatusOr and is the one place we allow implicit conversion.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    AVQDB_CHECK(!status_.ok(), "Result constructed from OK Status without a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AVQDB_CHECK(ok(), "Result::value() on error: %s", status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    AVQDB_CHECK(ok(), "Result::value() on error: %s", status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    AVQDB_CHECK(ok(), "Result::value() on error: %s", status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;            // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace avqdb
+
+// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+// moves the value into `lhs`. `lhs` may include a declaration:
+//   AVQDB_ASSIGN_OR_RETURN(auto block, device.Read(id));
+#define AVQDB_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  AVQDB_ASSIGN_OR_RETURN_IMPL_(                                 \
+      AVQDB_RESULT_CONCAT_(_avqdb_result, __LINE__), lhs, rexpr)
+
+#define AVQDB_RESULT_CONCAT_INNER_(a, b) a##b
+#define AVQDB_RESULT_CONCAT_(a, b) AVQDB_RESULT_CONCAT_INNER_(a, b)
+
+#define AVQDB_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
+
+#endif  // AVQDB_COMMON_RESULT_H_

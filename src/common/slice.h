@@ -1,0 +1,86 @@
+// Slice: a non-owning view over a byte range, in the RocksDB tradition.
+//
+// Used at storage/codec boundaries where std::string_view's char focus is
+// awkward. A Slice never owns memory; the referenced bytes must outlive it.
+
+#ifndef AVQDB_COMMON_SLICE_H_
+#define AVQDB_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avqdb {
+
+class Slice {
+ public:
+  Slice() = default;
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  // Views over common owning containers.
+  explicit Slice(const std::string& s)
+      : Slice(s.data(), s.size()) {}
+  explicit Slice(std::string_view s) : Slice(s.data(), s.size()) {}
+  explicit Slice(const std::vector<uint8_t>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  // Drops the first n bytes (n must be <= size()).
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  Slice Subslice(size_t offset, size_t length) const {
+    return Slice(data_ + offset, length);
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  // Lexicographic byte comparison: <0, 0, >0.
+  int Compare(const Slice& other) const {
+    const size_t n = size_ < other.size_ ? size_ : other.size_;
+    int r = n == 0 ? 0 : std::memcmp(data_, other.data_, n);
+    if (r != 0) return r;
+    if (size_ < other.size_) return -1;
+    if (size_ > other.size_) return 1;
+    return 0;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           (prefix.size_ == 0 ||
+            std::memcmp(data_, prefix.data_, prefix.size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.Compare(b) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.Compare(b) < 0;
+}
+
+}  // namespace avqdb
+
+#endif  // AVQDB_COMMON_SLICE_H_

@@ -1,0 +1,70 @@
+#include "src/common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace avqdb {
+
+std::string StringFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) {
+    return StringFormat("%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return StringFormat("%.1f %s", value, kUnits[unit]);
+}
+
+std::string WithThousandsSeparators(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string HexDump(const uint8_t* data, size_t n) {
+  std::string out;
+  out.reserve(n * 3);
+  for (size_t i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(' ');
+    out += StringFormat("%02x", data[i]);
+  }
+  return out;
+}
+
+}  // namespace avqdb

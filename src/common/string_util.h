@@ -1,0 +1,31 @@
+// Small string formatting helpers shared by tools, benches and examples.
+
+#ifndef AVQDB_COMMON_STRING_UTIL_H_
+#define AVQDB_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace avqdb {
+
+// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// "12.3 KiB", "4.0 MiB", ...
+std::string HumanBytes(uint64_t bytes);
+
+// "12,345,678"
+std::string WithThousandsSeparators(uint64_t value);
+
+// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& sep);
+
+// Hex dump of a byte range, e.g. "0a 1f 00".
+std::string HexDump(const uint8_t* data, size_t n);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_COMMON_STRING_UTIL_H_

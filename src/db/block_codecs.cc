@@ -1,0 +1,205 @@
+#include "src/db/block_codecs.h"
+
+#include <utility>
+
+#include "src/avq/block_decoder.h"
+#include "src/avq/block_encoder.h"
+#include "src/common/coding.h"
+#include "src/common/crc32c.h"
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/ordinal/digit_bytes.h"
+#include "src/ordinal/mixed_radix.h"
+
+namespace avqdb {
+namespace {
+
+class AvqBlockCodec final : public TupleBlockCodec {
+ public:
+  AvqBlockCodec(SchemaPtr schema, const CodecOptions& options)
+      : schema_(std::move(schema)),
+        options_(options),
+        layout_(DigitLayout::Create(schema_->digit_widths()).value()) {
+    AVQDB_CHECK_OK(options_.Validate(schema_->tuple_width()));
+  }
+
+  const char* name() const override { return "avq"; }
+  size_t block_size() const override { return options_.block_size; }
+  bool is_avq() const override { return true; }
+  CodecOptions options() const override { return options_; }
+
+  Result<std::string> EncodeBlock(
+      const std::vector<OrdinalTuple>& tuples) const override {
+    if (tuples.empty()) {
+      return Status::InvalidArgument("cannot encode an empty block");
+    }
+    BlockEncoder encoder(schema_, options_);
+    for (const auto& tuple : tuples) {
+      AVQDB_ASSIGN_OR_RETURN(bool added, encoder.TryAdd(tuple));
+      if (!added) {
+        return Status::InvalidArgument(StringFormat(
+            "%zu tuples do not fit in a %zu-byte AVQ block", tuples.size(),
+            options_.block_size));
+      }
+    }
+    return encoder.Finish();
+  }
+
+  Result<std::vector<OrdinalTuple>> DecodeBlock(Slice block) const override {
+    AVQDB_ASSIGN_OR_RETURN(DecodedBlock decoded,
+                           avqdb::DecodeBlock(*schema_, block));
+    return std::move(decoded.tuples);
+  }
+
+  bool Fits(const std::vector<OrdinalTuple>& tuples) const override {
+    if (tuples.empty() || tuples.size() > 0xfffe) return false;
+    const size_t payload = BlockEncoder::ComputePayloadSize(
+        layout_, schema_->radices(), options_, tuples);
+    return kBlockHeaderSize + payload <= options_.block_size;
+  }
+
+  size_t FillCount(const std::vector<OrdinalTuple>& sorted,
+                   size_t start) const override {
+    BlockEncoder encoder(schema_, options_);
+    size_t count = 0;
+    for (size_t i = start; i < sorted.size(); ++i) {
+      auto added = encoder.TryAdd(sorted[i]);
+      if (!added.ok() || !added.value()) break;
+      ++count;
+    }
+    return count;
+  }
+
+ private:
+  SchemaPtr schema_;
+  CodecOptions options_;
+  DigitLayout layout_;
+};
+
+// Uncoded block: 16-byte header + count fixed-width tuple images.
+//   magic u16 | pad u8 | flags u8 | count u16 | pad u16 | payload u32 | crc u32
+constexpr uint16_t kRawMagic = 0x5752;  // "RW"
+constexpr size_t kRawHeaderSize = 16;
+constexpr uint8_t kRawFlagChecksum = 0x1;
+
+class RawBlockCodec final : public TupleBlockCodec {
+ public:
+  RawBlockCodec(SchemaPtr schema, size_t block_size, bool checksum)
+      : schema_(std::move(schema)),
+        block_size_(block_size),
+        checksum_(checksum),
+        layout_(DigitLayout::Create(schema_->digit_widths()).value()) {
+    AVQDB_CHECK(Capacity() >= 1,
+                "block size %zu holds no %zu-byte tuples", block_size,
+                layout_.total_width());
+  }
+
+  const char* name() const override { return "raw"; }
+  size_t block_size() const override { return block_size_; }
+  bool is_avq() const override { return false; }
+  CodecOptions options() const override {
+    CodecOptions options;
+    options.block_size = block_size_;
+    options.checksum = checksum_;
+    return options;
+  }
+
+  size_t Capacity() const {
+    return (block_size_ - kRawHeaderSize) / layout_.total_width();
+  }
+
+  Result<std::string> EncodeBlock(
+      const std::vector<OrdinalTuple>& tuples) const override {
+    if (tuples.empty()) {
+      return Status::InvalidArgument("cannot encode an empty block");
+    }
+    if (tuples.size() > Capacity()) {
+      return Status::InvalidArgument(StringFormat(
+          "%zu tuples exceed raw block capacity %zu", tuples.size(),
+          Capacity()));
+    }
+    std::string payload;
+    payload.reserve(tuples.size() * layout_.total_width());
+    for (const auto& tuple : tuples) {
+      AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, tuple));
+      AVQDB_RETURN_IF_ERROR(layout_.AppendImage(tuple, &payload));
+    }
+    std::string block(kRawHeaderSize, '\0');
+    uint8_t* header = reinterpret_cast<uint8_t*>(block.data());
+    EncodeFixed16(header, kRawMagic);
+    block[3] = checksum_ ? static_cast<char>(kRawFlagChecksum) : '\0';
+    EncodeFixed16(header + 4, static_cast<uint16_t>(tuples.size()));
+    EncodeFixed32(header + 8, static_cast<uint32_t>(payload.size()));
+    EncodeFixed32(header + 12,
+                  checksum_ ? crc32c::Mask(crc32c::Value(Slice(payload)))
+                            : 0);
+    block += payload;
+    block.resize(block_size_, '\0');
+    return block;
+  }
+
+  Result<std::vector<OrdinalTuple>> DecodeBlock(Slice block) const override {
+    if (block.size() < kRawHeaderSize) {
+      return Status::Corruption("raw block shorter than header");
+    }
+    if (DecodeFixed16(block.data()) != kRawMagic) {
+      return Status::Corruption("bad raw block magic");
+    }
+    const uint8_t flags = block[3];
+    const size_t count = DecodeFixed16(block.data() + 4);
+    const size_t payload_size = DecodeFixed32(block.data() + 8);
+    const uint32_t crc = DecodeFixed32(block.data() + 12);
+    const size_t m = layout_.total_width();
+    if (payload_size != count * m ||
+        kRawHeaderSize + payload_size > block.size()) {
+      return Status::Corruption("raw block payload size inconsistent");
+    }
+    Slice payload = block.Subslice(kRawHeaderSize, payload_size);
+    if (flags & kRawFlagChecksum) {
+      const uint32_t actual = crc32c::Value(payload);
+      if (crc32c::Unmask(crc) != actual) {
+        return Status::Corruption("raw block checksum mismatch");
+      }
+    }
+    std::vector<OrdinalTuple> tuples(count);
+    for (size_t i = 0; i < count; ++i) {
+      AVQDB_RETURN_IF_ERROR(
+          layout_.ParseImage(payload.Subslice(i * m, m), &tuples[i]));
+      AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, tuples[i]));
+    }
+    return tuples;
+  }
+
+  bool Fits(const std::vector<OrdinalTuple>& tuples) const override {
+    return !tuples.empty() && tuples.size() <= Capacity();
+  }
+
+  size_t FillCount(const std::vector<OrdinalTuple>& sorted,
+                   size_t start) const override {
+    if (start >= sorted.size()) return 0;
+    const size_t remaining = sorted.size() - start;
+    return remaining < Capacity() ? remaining : Capacity();
+  }
+
+ private:
+  SchemaPtr schema_;
+  size_t block_size_;
+  bool checksum_;
+  DigitLayout layout_;
+};
+
+}  // namespace
+
+std::unique_ptr<TupleBlockCodec> MakeAvqBlockCodec(
+    SchemaPtr schema, const CodecOptions& options) {
+  return std::make_unique<AvqBlockCodec>(std::move(schema), options);
+}
+
+std::unique_ptr<TupleBlockCodec> MakeRawBlockCodec(SchemaPtr schema,
+                                                   size_t block_size,
+                                                   bool checksum) {
+  return std::make_unique<RawBlockCodec>(std::move(schema), block_size,
+                                         checksum);
+}
+
+}  // namespace avqdb

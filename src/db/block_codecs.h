@@ -1,0 +1,70 @@
+// TupleBlockCodec: the pluggable block representation under a clustered
+// table.
+//
+// Two implementations mirror the paper's comparison:
+//   * AvqBlockCodec — AVQ-coded blocks (the paper's contribution);
+//   * RawBlockCodec — the uncoded baseline: fixed-width domain-mapped
+//     tuple images ("a table of numerical tuples", §5.1), which is what
+//     rows 5/7/9 of Fig 5.9 measure.
+// Both store φ-sorted tuples and keep coding local to one block, so the
+// table maintenance logic (insert / delete / split) is codec-agnostic.
+
+#ifndef AVQDB_DB_BLOCK_CODECS_H_
+#define AVQDB_DB_BLOCK_CODECS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/avq/codec_options.h"
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+class TupleBlockCodec {
+ public:
+  virtual ~TupleBlockCodec() = default;
+
+  virtual const char* name() const = 0;
+  virtual size_t block_size() const = 0;
+
+  // Self-description for persistence (db/table_io.h): true for the AVQ
+  // codec, false for the raw baseline, plus the effective options (for
+  // the raw codec only block_size is meaningful).
+  virtual bool is_avq() const = 0;
+  virtual CodecOptions options() const = 0;
+
+  // Serializes φ-sorted `tuples` into one block image (exactly
+  // block_size() bytes). InvalidArgument if they do not fit or are empty.
+  virtual Result<std::string> EncodeBlock(
+      const std::vector<OrdinalTuple>& tuples) const = 0;
+
+  // Inverse of EncodeBlock.
+  virtual Result<std::vector<OrdinalTuple>> DecodeBlock(
+      Slice block) const = 0;
+
+  // Exact test: would `tuples` fit in one block?
+  virtual bool Fits(const std::vector<OrdinalTuple>& tuples) const = 0;
+
+  // Greedy packing: number of tuples from sorted[start..] that fill one
+  // block (>= 1 whenever start < sorted.size()).
+  virtual size_t FillCount(const std::vector<OrdinalTuple>& sorted,
+                           size_t start) const = 0;
+};
+
+// AVQ-coded blocks under `options` (options.block_size rules).
+std::unique_ptr<TupleBlockCodec> MakeAvqBlockCodec(SchemaPtr schema,
+                                                   const CodecOptions& options);
+
+// Uncoded fixed-width blocks of `block_size` bytes.
+std::unique_ptr<TupleBlockCodec> MakeRawBlockCodec(SchemaPtr schema,
+                                                   size_t block_size,
+                                                   bool checksum = true);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_BLOCK_CODECS_H_

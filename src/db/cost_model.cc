@@ -1,0 +1,50 @@
+#include "src/db/cost_model.h"
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+QueryCostBreakdown EstimateResponseTime(double index_blocks,
+                                        double data_blocks, double t1_ms,
+                                        double cpu_ms_per_block) {
+  QueryCostBreakdown cost;
+  cost.index_seconds = index_blocks * t1_ms / 1000.0;
+  cost.data_io_seconds = data_blocks * t1_ms / 1000.0;
+  cost.cpu_seconds = data_blocks * cpu_ms_per_block / 1000.0;
+  return cost;
+}
+
+std::string ResponseTimeRow::ToString() const {
+  return StringFormat(
+      "%-14s t2=%6.2fms t3=%5.2fms I=%.3f/%.3fs N=%.1f/%.1f C2=%.3fs "
+      "C1=%.3fs improvement=%.1f%%",
+      machine.c_str(), t2_ms, t3_ms, index_uncoded_s, index_coded_s,
+      n_uncoded, n_coded, c2_s, c1_s, improvement_pct);
+}
+
+ResponseTimeRow ComputeResponseTimeRow(const MachineProfile& machine,
+                                       double index_blocks_uncoded,
+                                       double index_blocks_coded,
+                                       double n_uncoded, double n_coded,
+                                       double t1_ms) {
+  ResponseTimeRow row;
+  row.machine = machine.name;
+  row.t1_ms = t1_ms;
+  row.t2_ms = machine.decode_ms_per_block;
+  row.t3_ms = machine.extract_ms_per_block;
+  row.index_uncoded_s = index_blocks_uncoded * t1_ms / 1000.0;
+  row.index_coded_s = index_blocks_coded * t1_ms / 1000.0;
+  row.n_uncoded = n_uncoded;
+  row.n_coded = n_coded;
+  const QueryCostBreakdown c2 = EstimateResponseTime(
+      index_blocks_uncoded, n_uncoded, t1_ms, machine.extract_ms_per_block);
+  const QueryCostBreakdown c1 = EstimateResponseTime(
+      index_blocks_coded, n_coded, t1_ms, machine.decode_ms_per_block);
+  row.c2_s = c2.total_seconds();
+  row.c1_s = c1.total_seconds();
+  row.improvement_pct =
+      row.c2_s > 0.0 ? 100.0 * (1.0 - row.c1_s / row.c2_s) : 0.0;
+  return row;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,66 @@
+// The response-time model of §5.3:
+//
+//   C1 = I + N(t1 + t2)   (AVQ-coded relation, Eq 5.7)
+//   C2 = I + N(t1 + t3)   (uncoded relation,   Eq 5.8)
+//
+// where I is index search time (dominated by index-block I/O), N the data
+// blocks accessed, t1 the per-block I/O time, t2 the per-block decode time
+// and t3 the per-block tuple-extraction time. This module reconstructs
+// Fig 5.9 rows 5–11 from any MachineProfile plus measured N and index
+// footprints.
+
+#ifndef AVQDB_DB_COST_MODEL_H_
+#define AVQDB_DB_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/storage/disk_model.h"
+
+namespace avqdb {
+
+struct QueryCostBreakdown {
+  double index_seconds = 0.0;    // I
+  double data_io_seconds = 0.0;  // N * t1
+  double cpu_seconds = 0.0;      // N * t_cpu (t2 or t3)
+
+  double total_seconds() const {
+    return index_seconds + data_io_seconds + cpu_seconds;
+  }
+};
+
+// C = index_blocks*t1 + data_blocks*(t1 + cpu_ms).
+QueryCostBreakdown EstimateResponseTime(double index_blocks,
+                                        double data_blocks, double t1_ms,
+                                        double cpu_ms_per_block);
+
+// One machine column of Fig 5.9.
+struct ResponseTimeRow {
+  std::string machine;
+  double t1_ms = 0.0;
+  double t2_ms = 0.0;  // decode per block
+  double t3_ms = 0.0;  // extract per block
+  double index_uncoded_s = 0.0;  // row 5
+  double index_coded_s = 0.0;    // row 6
+  double n_uncoded = 0.0;        // row 7
+  double n_coded = 0.0;          // row 8
+  double c2_s = 0.0;             // row 9
+  double c1_s = 0.0;             // row 10
+  double improvement_pct = 0.0;  // row 11: 100(1 - C1/C2)
+
+  std::string ToString() const;
+};
+
+// Builds a Fig 5.9 column. `index_blocks_*` is the index footprint in
+// blocks (the paper assumes 5% of the data blocks); `n_*` the average data
+// blocks accessed per query (Fig 5.8 averages); `t1_ms` the modeled block
+// I/O time (the paper uses 30 ms).
+ResponseTimeRow ComputeResponseTimeRow(const MachineProfile& machine,
+                                       double index_blocks_uncoded,
+                                       double index_blocks_coded,
+                                       double n_uncoded, double n_coded,
+                                       double t1_ms = 30.0);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_COST_MODEL_H_

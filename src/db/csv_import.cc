@@ -1,0 +1,201 @@
+#include "src/db/csv_import.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <set>
+
+#include "src/common/string_util.h"
+#include "src/schema/domain.h"
+
+namespace avqdb {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == options.delimiter) {
+      end_field();
+      field_started = false;
+    } else if (c == '\n') {
+      // Tolerate Windows line endings.
+      if (!field.empty() && field.back() == '\r') field.pop_back();
+      end_row();
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    if (!field.empty() && field.back() == '\r') field.pop_back();
+    end_row();
+  }
+  // Drop a trailing completely-empty row (file ends with newline).
+  while (!rows.empty() && rows.back().size() == 1 && rows.back()[0].empty()) {
+    rows.pop_back();
+  }
+  if (!rows.empty()) {
+    const size_t width = rows.front().size();
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].size() != width) {
+        return Status::Corruption(StringFormat(
+            "CSV row %zu has %zu fields, expected %zu", r, rows[r].size(),
+            width));
+      }
+    }
+  }
+  return rows;
+}
+
+namespace {
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<CsvRelation> ImportCsvText(const std::string& text,
+                                  const CsvOptions& options) {
+  AVQDB_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                         ParseCsv(text, options));
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV has no rows");
+  }
+  const size_t width = rows.front().size();
+  if (options.has_header) {
+    names = rows.front();
+    first_data_row = 1;
+  } else {
+    for (size_t i = 0; i < width; ++i) {
+      names.push_back("c" + std::to_string(i));
+    }
+  }
+  if (first_data_row >= rows.size()) {
+    return Status::InvalidArgument("CSV has a header but no data rows");
+  }
+
+  // Column typing: integer iff every value parses.
+  const size_t data_rows = rows.size() - first_data_row;
+  std::vector<Attribute> attrs(width);
+  std::vector<bool> is_int(width, true);
+  std::vector<int64_t> min_int(width, std::numeric_limits<int64_t>::max());
+  std::vector<int64_t> max_int(width, std::numeric_limits<int64_t>::min());
+  std::vector<std::set<std::string>> distinct(width);
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      const std::string& value = rows[r][c];
+      int64_t v = 0;
+      if (is_int[c] && ParseInt(value, &v)) {
+        min_int[c] = std::min(min_int[c], v);
+        max_int[c] = std::max(max_int[c], v);
+      } else {
+        is_int[c] = false;
+      }
+      distinct[c].insert(value);
+    }
+  }
+  for (size_t c = 0; c < width; ++c) {
+    if (is_int[c]) {
+      attrs[c] = Attribute{
+          names[c],
+          std::make_shared<IntegerRangeDomain>(min_int[c], max_int[c])};
+    } else {
+      std::vector<std::string> values(distinct[c].begin(),
+                                      distinct[c].end());
+      AVQDB_ASSIGN_OR_RETURN(std::shared_ptr<CategoricalDomain> domain,
+                             CategoricalDomain::Create(std::move(values)));
+      attrs[c] = Attribute{names[c], std::move(domain)};
+    }
+  }
+
+  CsvRelation out;
+  AVQDB_ASSIGN_OR_RETURN(out.schema, Schema::Create(std::move(attrs)));
+  out.tuples.reserve(data_rows);
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    Row row(width);
+    for (size_t c = 0; c < width; ++c) {
+      if (is_int[c]) {
+        int64_t v = 0;
+        ParseInt(rows[r][c], &v);
+        row[c] = Value(v);
+      } else {
+        row[c] = Value(rows[r][c]);
+      }
+    }
+    AVQDB_ASSIGN_OR_RETURN(OrdinalTuple tuple, EncodeRow(*out.schema, row));
+    out.tuples.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+Result<CsvRelation> ImportCsvFile(const std::string& path,
+                                  const CsvOptions& options) {
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError(StringFormat("open(%s): %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  std::string text;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::IOError(StringFormat("read(%s) failed", path.c_str()));
+  }
+  return ImportCsvText(text, options);
+}
+
+}  // namespace avqdb

@@ -1,0 +1,53 @@
+// CSV import with schema inference.
+//
+// Reads a delimited text file (optional header row naming the
+// attributes), infers a domain per column — an IntegerRangeDomain
+// spanning [min, max] when every value parses as an integer, otherwise a
+// CategoricalDomain over the sorted distinct strings — and domain-maps
+// every row to an ordinal tuple ready for Table::BulkLoad or
+// RelationCodec::Encode.
+//
+// Quoting follows RFC 4180: fields may be wrapped in double quotes, with
+// "" as the escape for a literal quote; quoted fields may contain the
+// delimiter and newlines.
+
+#ifndef AVQDB_DB_CSV_IMPORT_H_
+#define AVQDB_DB_CSV_IMPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // First row holds attribute names; otherwise columns are named c0, c1...
+  bool has_header = true;
+};
+
+struct CsvRelation {
+  SchemaPtr schema;
+  std::vector<OrdinalTuple> tuples;  // file order, duplicates kept
+};
+
+// Parses CSV text (already in memory) into fields.
+// Corruption on unbalanced quotes or ragged rows.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, const CsvOptions& options = CsvOptions{});
+
+// Infers a schema and encodes all rows. InvalidArgument on empty input.
+Result<CsvRelation> ImportCsvText(const std::string& text,
+                                  const CsvOptions& options = CsvOptions{});
+
+// Reads `path` and imports it.
+Result<CsvRelation> ImportCsvFile(const std::string& path,
+                                  const CsvOptions& options = CsvOptions{});
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_CSV_IMPORT_H_

@@ -1,0 +1,56 @@
+#include "src/db/database.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     SchemaPtr schema, TableKind kind,
+                                     CodecOptions options) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists(
+        StringFormat("table \"%s\" exists", name.c_str()));
+  }
+  Entry entry;
+  entry.device = std::make_unique<MemBlockDevice>(block_size_);
+  if (kind == TableKind::kAvq) {
+    options.block_size = block_size_;
+    AVQDB_ASSIGN_OR_RETURN(
+        entry.table, Table::CreateAvq(std::move(schema), entry.device.get(),
+                                      options));
+  } else {
+    AVQDB_ASSIGN_OR_RETURN(
+        entry.table, Table::CreateHeap(std::move(schema), entry.device.get()));
+  }
+  Table* raw = entry.table.get();
+  tables_.emplace(name, std::move(entry));
+  return raw;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(
+        StringFormat("no table named \"%s\"", name.c_str()));
+  }
+  return it->second.table.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound(
+        StringFormat("no table named \"%s\"", name.c_str()));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace avqdb

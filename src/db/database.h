@@ -1,0 +1,59 @@
+// Database: a small catalog of named tables.
+//
+// Each table is backed by its own in-memory block device of the database's
+// block size, so dropping a table releases its storage wholesale. This is
+// the top-level entry point the examples use.
+
+#ifndef AVQDB_DB_DATABASE_H_
+#define AVQDB_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/avq/codec_options.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/db/table.h"
+#include "src/schema/schema.h"
+
+namespace avqdb {
+
+enum class TableKind : int {
+  kAvq = 0,   // AVQ-compressed storage
+  kHeap = 1,  // uncoded fixed-width storage (the paper's baseline)
+};
+
+class Database {
+ public:
+  explicit Database(size_t block_size = 8192) : block_size_(block_size) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates a table. For kAvq tables, `options.block_size` is forced to
+  // the database block size. AlreadyExists on name collision.
+  Result<Table*> CreateTable(const std::string& name, SchemaPtr schema,
+                             TableKind kind,
+                             CodecOptions options = CodecOptions{});
+
+  Result<Table*> GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+  size_t block_size() const { return block_size_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<MemBlockDevice> device;
+    std::unique_ptr<Table> table;
+  };
+
+  size_t block_size_;
+  std::map<std::string, Entry> tables_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_DATABASE_H_

@@ -1,0 +1,237 @@
+#include "src/db/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+std::string_view JoinStrategyName(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kAuto:
+      return "auto";
+    case JoinStrategy::kMerge:
+      return "merge";
+    case JoinStrategy::kHash:
+      return "hash";
+    case JoinStrategy::kIndexNestedLoop:
+      return "index-nested-loop";
+  }
+  return "?";
+}
+
+std::string JoinStats::ToString() const {
+  return StringFormat(
+      "%.*s join: %llu + %llu data blocks, %llu output tuples",
+      static_cast<int>(JoinStrategyName(strategy).size()),
+      JoinStrategyName(strategy).data(),
+      static_cast<unsigned long long>(left_blocks_read),
+      static_cast<unsigned long long>(right_blocks_read),
+      static_cast<unsigned long long>(output_tuples));
+}
+
+namespace {
+
+OrdinalTuple Concatenate(const OrdinalTuple& a, const OrdinalTuple& b) {
+  OrdinalTuple out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
+  return CompareTuples(a, b) < 0;
+}
+
+// Streams one cursor, grouping consecutive tuples with equal values of
+// `attr`. Only correct when the table is clustered by `attr` (attr == 0).
+class GroupReader {
+ public:
+  GroupReader(const Table& table, size_t attr) : table_(table), attr_(attr) {}
+
+  Status Init() {
+    AVQDB_ASSIGN_OR_RETURN(cursor_, table_.NewCursor());
+    return Advance();
+  }
+
+  bool Valid() const { return valid_; }
+  uint64_t key() const { return key_; }
+  const std::vector<OrdinalTuple>& group() const { return group_; }
+
+  // Loads the next group.
+  Status Advance() {
+    group_.clear();
+    if (!cursor_.Valid()) {
+      valid_ = false;
+      return Status::OK();
+    }
+    key_ = cursor_.tuple()[attr_];
+    while (cursor_.Valid() && cursor_.tuple()[attr_] == key_) {
+      group_.push_back(cursor_.tuple());
+      AVQDB_RETURN_IF_ERROR(cursor_.Next());
+    }
+    valid_ = true;
+    return Status::OK();
+  }
+
+ private:
+  const Table& table_;
+  size_t attr_;
+  Table::Cursor cursor_;
+  std::vector<OrdinalTuple> group_;
+  uint64_t key_ = 0;
+  bool valid_ = false;
+};
+
+Status MergeJoin(const Table& left, size_t left_attr, const Table& right,
+                 size_t right_attr, std::vector<OrdinalTuple>* out) {
+  GroupReader lhs(left, left_attr);
+  GroupReader rhs(right, right_attr);
+  AVQDB_RETURN_IF_ERROR(lhs.Init());
+  AVQDB_RETURN_IF_ERROR(rhs.Init());
+  while (lhs.Valid() && rhs.Valid()) {
+    if (lhs.key() < rhs.key()) {
+      AVQDB_RETURN_IF_ERROR(lhs.Advance());
+    } else if (lhs.key() > rhs.key()) {
+      AVQDB_RETURN_IF_ERROR(rhs.Advance());
+    } else {
+      for (const auto& l : lhs.group()) {
+        for (const auto& r : rhs.group()) {
+          out->push_back(Concatenate(l, r));
+        }
+      }
+      AVQDB_RETURN_IF_ERROR(lhs.Advance());
+      AVQDB_RETURN_IF_ERROR(rhs.Advance());
+    }
+  }
+  return Status::OK();
+}
+
+Status HashJoin(const Table& left, size_t left_attr, const Table& right,
+                size_t right_attr, std::vector<OrdinalTuple>* out) {
+  // Build over the smaller relation.
+  const bool build_left = left.num_tuples() <= right.num_tuples();
+  const Table& build = build_left ? left : right;
+  const Table& probe = build_left ? right : left;
+  const size_t build_attr = build_left ? left_attr : right_attr;
+  const size_t probe_attr = build_left ? right_attr : left_attr;
+
+  std::unordered_map<uint64_t, std::vector<OrdinalTuple>> hash;
+  AVQDB_ASSIGN_OR_RETURN(Table::Cursor build_cursor, build.NewCursor());
+  while (build_cursor.Valid()) {
+    hash[build_cursor.tuple()[build_attr]].push_back(build_cursor.tuple());
+    AVQDB_RETURN_IF_ERROR(build_cursor.Next());
+  }
+  AVQDB_ASSIGN_OR_RETURN(Table::Cursor probe_cursor, probe.NewCursor());
+  while (probe_cursor.Valid()) {
+    auto it = hash.find(probe_cursor.tuple()[probe_attr]);
+    if (it != hash.end()) {
+      for (const auto& match : it->second) {
+        // Output order is always left ⧺ right.
+        out->push_back(build_left
+                           ? Concatenate(match, probe_cursor.tuple())
+                           : Concatenate(probe_cursor.tuple(), match));
+      }
+    }
+    AVQDB_RETURN_IF_ERROR(probe_cursor.Next());
+  }
+  return Status::OK();
+}
+
+Status IndexNestedLoopJoin(const Table& left, size_t left_attr,
+                           const Table& right, size_t right_attr,
+                           std::vector<OrdinalTuple>* out) {
+  const SecondaryIndex* index = right.GetSecondaryIndex(right_attr);
+  if (index == nullptr) {
+    return Status::InvalidArgument(
+        "index-nested-loop join needs a secondary index on the right "
+        "attribute");
+  }
+  AVQDB_ASSIGN_OR_RETURN(Table::Cursor cursor, left.NewCursor());
+  // Per-key memoization: the left side is φ-sorted, so equal keys on the
+  // clustered prefix arrive together; a one-entry cache already removes
+  // most repeated probes, and correctness never depends on it.
+  uint64_t cached_key = 0;
+  bool cache_valid = false;
+  std::vector<OrdinalTuple> cached_matches;
+  while (cursor.Valid()) {
+    const uint64_t key = cursor.tuple()[left_attr];
+    if (!cache_valid || key != cached_key) {
+      cached_matches.clear();
+      AVQDB_ASSIGN_OR_RETURN(std::vector<BlockId> blocks,
+                             index->Lookup(key));
+      for (BlockId id : blocks) {
+        AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
+                               right.ReadDataBlock(id));
+        for (auto& t : tuples) {
+          if (t[right_attr] == key) cached_matches.push_back(std::move(t));
+        }
+      }
+      cached_key = key;
+      cache_valid = true;
+    }
+    for (const auto& match : cached_matches) {
+      out->push_back(Concatenate(cursor.tuple(), match));
+    }
+    AVQDB_RETURN_IF_ERROR(cursor.Next());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<OrdinalTuple>> ExecuteEquiJoin(
+    const Table& left, size_t left_attr, const Table& right,
+    size_t right_attr, JoinStrategy strategy, JoinStats* stats) {
+  if (left_attr >= left.schema()->num_attributes() ||
+      right_attr >= right.schema()->num_attributes()) {
+    return Status::InvalidArgument("join attribute out of range");
+  }
+  JoinStrategy chosen = strategy;
+  if (chosen == JoinStrategy::kAuto) {
+    chosen = (left_attr == 0 && right_attr == 0) ? JoinStrategy::kMerge
+                                                 : JoinStrategy::kHash;
+  }
+  if (chosen == JoinStrategy::kMerge &&
+      (left_attr != 0 || right_attr != 0)) {
+    return Status::InvalidArgument(
+        "merge join requires both join attributes to be the clustered "
+        "(leading) attribute");
+  }
+
+  const IoStats left_before = left.data_pager().stats();
+  const IoStats right_before = right.data_pager().stats();
+  std::vector<OrdinalTuple> out;
+  switch (chosen) {
+    case JoinStrategy::kMerge:
+      AVQDB_RETURN_IF_ERROR(
+          MergeJoin(left, left_attr, right, right_attr, &out));
+      break;
+    case JoinStrategy::kHash:
+      AVQDB_RETURN_IF_ERROR(
+          HashJoin(left, left_attr, right, right_attr, &out));
+      break;
+    case JoinStrategy::kIndexNestedLoop:
+      AVQDB_RETURN_IF_ERROR(
+          IndexNestedLoopJoin(left, left_attr, right, right_attr, &out));
+      break;
+    case JoinStrategy::kAuto:
+      return Status::Internal("unresolved join strategy");
+  }
+  std::sort(out.begin(), out.end(), TupleLess);
+
+  if (stats != nullptr) {
+    stats->strategy = chosen;
+    stats->left_blocks_read =
+        (left.data_pager().stats() - left_before).physical_reads;
+    stats->right_blocks_read =
+        (right.data_pager().stats() - right_before).physical_reads;
+    stats->output_tuples = out.size();
+  }
+  return out;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,62 @@
+// Equi-join execution over clustered tables — the remaining "standard
+// database operation" of §4, demonstrating that joins run directly over
+// AVQ-compressed storage (blocks decode locally as the join streams).
+//
+// Three physical strategies:
+//   * merge     — both join attributes are their tables' most significant
+//                 attribute, so both relations stream in join-key order
+//                 through cursors: one pass, no build side;
+//   * hash      — build an in-memory hash table over the smaller input,
+//                 probe with the other (the general case);
+//   * index-nl  — index nested loops: probe a secondary index on the
+//                 right attribute per distinct left key (wins when the
+//                 left side is small and selective).
+// kAuto picks merge when legal, otherwise hash.
+//
+// Output tuples are the concatenation left ⧺ right, sorted for
+// deterministic comparison.
+
+#ifndef AVQDB_DB_JOIN_H_
+#define AVQDB_DB_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/db/table.h"
+
+namespace avqdb {
+
+enum class JoinStrategy : int {
+  kAuto = 0,
+  kMerge = 1,
+  kHash = 2,
+  kIndexNestedLoop = 3,
+};
+
+std::string_view JoinStrategyName(JoinStrategy strategy);
+
+struct JoinStats {
+  JoinStrategy strategy = JoinStrategy::kAuto;  // the one actually used
+  uint64_t left_blocks_read = 0;
+  uint64_t right_blocks_read = 0;
+  uint64_t output_tuples = 0;
+
+  std::string ToString() const;
+};
+
+// R ⋈_{R.left_attr = S.right_attr} S. The joined attributes may have
+// different domains; ordinals are compared directly (join on the same
+// logical domain for meaningful results). InvalidArgument for bad
+// attributes, a kMerge request when either attribute is not the leading
+// one, or kIndexNestedLoop without a secondary index on the right.
+Result<std::vector<OrdinalTuple>> ExecuteEquiJoin(
+    const Table& left, size_t left_attr, const Table& right,
+    size_t right_attr, JoinStrategy strategy = JoinStrategy::kAuto,
+    JoinStats* stats = nullptr);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_JOIN_H_

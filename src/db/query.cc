@@ -1,0 +1,394 @@
+#include "src/db/query.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+std::string_view AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kClusteredRange:
+      return "clustered-range";
+    case AccessPath::kSecondaryIndex:
+      return "secondary-index";
+    case AccessPath::kFullScan:
+      return "full-scan";
+  }
+  return "?";
+}
+
+std::string QueryStats::ToString() const {
+  return StringFormat(
+      "%.*s: %llu data blocks, %llu index blocks, %llu/%llu tuples matched, "
+      "%.1f ms simulated I/O",
+      static_cast<int>(AccessPathName(path).size()),
+      AccessPathName(path).data(),
+      static_cast<unsigned long long>(data_blocks_read),
+      static_cast<unsigned long long>(index_blocks_read),
+      static_cast<unsigned long long>(tuples_matched),
+      static_cast<unsigned long long>(tuples_examined), simulated_io_ms);
+}
+
+namespace {
+
+bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
+  return CompareTuples(a, b) < 0;
+}
+
+// Appends the tuples of `block` that satisfy the predicate.
+void FilterInto(const std::vector<OrdinalTuple>& block, size_t attr,
+                uint64_t lo, uint64_t hi, QueryStats* stats,
+                std::vector<OrdinalTuple>* out) {
+  for (const auto& tuple : block) {
+    ++stats->tuples_examined;
+    if (tuple[attr] >= lo && tuple[attr] <= hi) {
+      out->push_back(tuple);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<OrdinalTuple>> ExecuteRangeSelect(const Table& table,
+                                                     const RangeQuery& query,
+                                                     QueryStats* stats) {
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = QueryStats{};
+
+  const Schema& schema = *table.schema();
+  if (query.attribute >= schema.num_attributes()) {
+    return Status::InvalidArgument(
+        StringFormat("attribute %zu out of range", query.attribute));
+  }
+  const uint64_t radix = schema.radices()[query.attribute];
+  const uint64_t lo = query.lo;
+  const uint64_t hi = query.hi >= radix ? radix - 1 : query.hi;
+
+  const IoStats data_before = table.data_pager().stats();
+  const IoStats index_before = table.index_pager().stats();
+  std::vector<OrdinalTuple> results;
+
+  if (lo <= hi && lo < radix) {
+    stats->driver_attribute = query.attribute;
+  }
+  if (lo > hi || lo >= radix) {
+    // Empty range; fall through to stats accounting.
+    stats->path = AccessPath::kFullScan;
+  } else if (query.attribute == 0) {
+    // Clustered: matching tuples are contiguous in φ order.
+    stats->path = AccessPath::kClusteredRange;
+    OrdinalTuple start(schema.num_attributes(), 0);
+    start[0] = lo;
+    OrdinalTuple end(schema.num_attributes());
+    for (size_t i = 0; i < end.size(); ++i) {
+      end[i] = schema.radices()[i] - 1;
+    }
+    end[0] = hi;
+    if (table.num_tuples() > 0) {
+      AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
+                             table.primary_index().SeekBlock(start));
+      while (iter.Valid()) {
+        AVQDB_ASSIGN_OR_RETURN(OrdinalTuple block_min,
+                               table.primary_index().DecodeKey(iter.key()));
+        if (CompareTuples(block_min, end) > 0) break;
+        AVQDB_ASSIGN_OR_RETURN(
+            std::vector<OrdinalTuple> block,
+            table.ReadDataBlock(static_cast<BlockId>(iter.value())));
+        FilterInto(block, query.attribute, lo, hi, stats, &results);
+        AVQDB_RETURN_IF_ERROR(iter.Next());
+      }
+    }
+  } else if (const SecondaryIndex* index =
+                 table.GetSecondaryIndex(query.attribute)) {
+    stats->path = AccessPath::kSecondaryIndex;
+    AVQDB_ASSIGN_OR_RETURN(std::vector<BlockId> blocks,
+                           index->LookupRange(lo, hi));
+    for (BlockId id : blocks) {
+      AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> block,
+                             table.ReadDataBlock(id));
+      FilterInto(block, query.attribute, lo, hi, stats, &results);
+    }
+    // Bucket order is by block id; restore φ order.
+    std::sort(results.begin(), results.end(), TupleLess);
+  } else {
+    stats->path = AccessPath::kFullScan;
+    AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
+                           table.primary_index().Begin());
+    while (iter.Valid()) {
+      AVQDB_ASSIGN_OR_RETURN(
+          std::vector<OrdinalTuple> block,
+          table.ReadDataBlock(static_cast<BlockId>(iter.value())));
+      FilterInto(block, query.attribute, lo, hi, stats, &results);
+      AVQDB_RETURN_IF_ERROR(iter.Next());
+    }
+  }
+
+  const IoStats data_delta = table.data_pager().stats() - data_before;
+  const IoStats index_delta = table.index_pager().stats() - index_before;
+  stats->data_blocks_read = data_delta.physical_reads;
+  stats->index_blocks_read = index_delta.physical_reads;
+  stats->simulated_io_ms =
+      data_delta.simulated_read_ms + index_delta.simulated_read_ms;
+  stats->tuples_matched = results.size();
+  return results;
+}
+
+namespace {
+
+// Normalized conjunction: attribute -> [lo, hi] ordinal range, clamped to
+// the domain. Returns false (empty result) when any predicate is
+// unsatisfiable.
+Result<bool> NormalizePredicates(const Schema& schema,
+                                 const ConjunctiveQuery& query,
+                                 std::map<size_t, std::pair<uint64_t, uint64_t>>* out) {
+  for (const RangeQuery& p : query.predicates) {
+    if (p.attribute >= schema.num_attributes()) {
+      return Status::InvalidArgument(
+          StringFormat("attribute %zu out of range", p.attribute));
+    }
+    const uint64_t radix = schema.radices()[p.attribute];
+    const uint64_t lo = p.lo;
+    const uint64_t hi = p.hi >= radix ? radix - 1 : p.hi;
+    if (lo > hi || lo >= radix) return false;
+    auto [it, inserted] = out->emplace(p.attribute, std::make_pair(lo, hi));
+    if (!inserted) {
+      it->second.first = std::max(it->second.first, lo);
+      it->second.second = std::min(it->second.second, hi);
+      if (it->second.first > it->second.second) return false;
+    }
+  }
+  return true;
+}
+
+bool MatchesAll(
+    const OrdinalTuple& tuple,
+    const std::map<size_t, std::pair<uint64_t, uint64_t>>& preds) {
+  for (const auto& [attr, range] : preds) {
+    if (tuple[attr] < range.first || tuple[attr] > range.second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+// Shared access-path driver for conjunctive queries: normalizes the
+// predicates, picks clustered-range / best-secondary-index / full-scan,
+// and invokes `on_match` for every qualifying tuple (in block order, which
+// is φ order except on the secondary-index path). Fills *stats.
+Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
+                    QueryStats* stats,
+                    const std::function<void(const OrdinalTuple&)>& on_match) {
+  *stats = QueryStats{};
+  const Schema& schema = *table.schema();
+  std::map<size_t, std::pair<uint64_t, uint64_t>> preds;
+  AVQDB_ASSIGN_OR_RETURN(bool satisfiable,
+                         NormalizePredicates(schema, query, &preds));
+
+  const IoStats data_before = table.data_pager().stats();
+  const IoStats index_before = table.index_pager().stats();
+
+  auto filter_block = [&](const std::vector<OrdinalTuple>& block) {
+    for (const auto& tuple : block) {
+      ++stats->tuples_examined;
+      if (MatchesAll(tuple, preds)) {
+        ++stats->tuples_matched;
+        on_match(tuple);
+      }
+    }
+  };
+
+  if (!satisfiable) {
+    stats->path = AccessPath::kFullScan;  // degenerate: zero blocks read
+  } else if (preds.contains(0)) {
+    // A predicate on the most significant attribute bounds the physical
+    // tuple range: drive a clustered scan, filter the rest.
+    stats->path = AccessPath::kClusteredRange;
+    stats->driver_attribute = 0;
+    const auto [lo, hi] = preds.at(0);
+    OrdinalTuple start(schema.num_attributes(), 0);
+    start[0] = lo;
+    OrdinalTuple end(schema.num_attributes());
+    for (size_t i = 0; i < end.size(); ++i) end[i] = schema.radices()[i] - 1;
+    end[0] = hi;
+    if (table.num_tuples() > 0) {
+      AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
+                             table.primary_index().SeekBlock(start));
+      while (iter.Valid()) {
+        AVQDB_ASSIGN_OR_RETURN(OrdinalTuple block_min,
+                               table.primary_index().DecodeKey(iter.key()));
+        if (CompareTuples(block_min, end) > 0) break;
+        AVQDB_ASSIGN_OR_RETURN(
+            std::vector<OrdinalTuple> block,
+            table.ReadDataBlock(static_cast<BlockId>(iter.value())));
+        filter_block(block);
+        AVQDB_RETURN_IF_ERROR(iter.Next());
+      }
+    }
+  } else {
+    // Most selective indexed predicate, if any.
+    const SecondaryIndex* best_index = nullptr;
+    size_t best_attr = static_cast<size_t>(-1);
+    double best_fraction = 2.0;
+    const TableStatistics* statistics = table.statistics();
+    for (const auto& [attr, range] : preds) {
+      const SecondaryIndex* index = table.GetSecondaryIndex(attr);
+      if (index == nullptr) continue;
+      // With Analyze()d statistics, rank predicates by estimated matching
+      // fraction (skew-aware); otherwise fall back to domain-range width.
+      const double fraction =
+          statistics != nullptr
+              ? statistics->EstimateSelectivity(attr, range.first,
+                                                range.second)
+              : static_cast<double>(range.second - range.first + 1) /
+                    static_cast<double>(schema.radices()[attr]);
+      if (fraction < best_fraction) {
+        best_fraction = fraction;
+        best_index = index;
+        best_attr = attr;
+      }
+    }
+    if (best_index != nullptr) {
+      stats->path = AccessPath::kSecondaryIndex;
+      stats->driver_attribute = best_attr;
+      const auto [lo, hi] = preds.at(best_attr);
+      AVQDB_ASSIGN_OR_RETURN(std::vector<BlockId> blocks,
+                             best_index->LookupRange(lo, hi));
+      for (BlockId id : blocks) {
+        AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> block,
+                               table.ReadDataBlock(id));
+        filter_block(block);
+      }
+    } else {
+      stats->path = AccessPath::kFullScan;
+      AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
+                             table.primary_index().Begin());
+      while (iter.Valid()) {
+        AVQDB_ASSIGN_OR_RETURN(
+            std::vector<OrdinalTuple> block,
+            table.ReadDataBlock(static_cast<BlockId>(iter.value())));
+        filter_block(block);
+        AVQDB_RETURN_IF_ERROR(iter.Next());
+      }
+    }
+  }
+
+  const IoStats data_delta = table.data_pager().stats() - data_before;
+  const IoStats index_delta = table.index_pager().stats() - index_before;
+  stats->data_blocks_read = data_delta.physical_reads;
+  stats->index_blocks_read = index_delta.physical_reads;
+  stats->simulated_io_ms =
+      data_delta.simulated_read_ms + index_delta.simulated_read_ms;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<OrdinalTuple>> ExecuteConjunctiveSelect(
+    const Table& table, const ConjunctiveQuery& query, QueryStats* stats) {
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  std::vector<OrdinalTuple> results;
+  AVQDB_RETURN_IF_ERROR(ScanMatching(
+      table, query, stats,
+      [&](const OrdinalTuple& tuple) { results.push_back(tuple); }));
+  if (stats->path == AccessPath::kSecondaryIndex) {
+    // Bucket order is by block id; restore φ order.
+    std::sort(results.begin(), results.end(), TupleLess);
+  }
+  return results;
+}
+
+Result<AggregateResult> ExecuteAggregate(const Table& table,
+                                         const ConjunctiveQuery& query,
+                                         size_t aggregate_attribute,
+                                         QueryStats* stats) {
+  if (aggregate_attribute >= table.schema()->num_attributes()) {
+    return Status::InvalidArgument(
+        StringFormat("attribute %zu out of range", aggregate_attribute));
+  }
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  AggregateResult result;
+  AVQDB_RETURN_IF_ERROR(
+      ScanMatching(table, query, stats, [&](const OrdinalTuple& tuple) {
+        const uint64_t v = tuple[aggregate_attribute];
+        if (result.count == 0) {
+          result.min = v;
+          result.max = v;
+        } else {
+          result.min = std::min(result.min, v);
+          result.max = std::max(result.max, v);
+        }
+        result.sum += v;
+        ++result.count;
+      }));
+  return result;
+}
+
+Result<std::vector<OrdinalTuple>> ExecuteProject(
+    const Table& table, const ConjunctiveQuery& query,
+    const std::vector<size_t>& attributes, bool distinct,
+    QueryStats* stats) {
+  const size_t arity = table.schema()->num_attributes();
+  if (attributes.empty()) {
+    return Status::InvalidArgument("projection needs at least one attribute");
+  }
+  for (size_t attr : attributes) {
+    if (attr >= arity) {
+      return Status::InvalidArgument(
+          StringFormat("attribute %zu out of range", attr));
+    }
+  }
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  std::vector<OrdinalTuple> projected;
+  AVQDB_RETURN_IF_ERROR(
+      ScanMatching(table, query, stats, [&](const OrdinalTuple& tuple) {
+        OrdinalTuple row(attributes.size());
+        for (size_t i = 0; i < attributes.size(); ++i) {
+          row[i] = tuple[attributes[i]];
+        }
+        projected.push_back(std::move(row));
+      }));
+  std::sort(projected.begin(), projected.end(), TupleLess);
+  if (distinct) {
+    projected.erase(std::unique(projected.begin(), projected.end()),
+                    projected.end());
+  }
+  return projected;
+}
+
+Result<std::vector<Row>> ExecuteRangeSelectRows(const Table& table,
+                                                std::string_view attribute,
+                                                const Value& lo,
+                                                const Value& hi,
+                                                QueryStats* stats) {
+  const Schema& schema = *table.schema();
+  AVQDB_ASSIGN_OR_RETURN(size_t attr, schema.AttributeIndex(attribute));
+  const Domain& domain = *schema.attribute(attr).domain;
+  AVQDB_ASSIGN_OR_RETURN(uint64_t lo_ord, domain.Encode(lo));
+  AVQDB_ASSIGN_OR_RETURN(uint64_t hi_ord, domain.Encode(hi));
+  RangeQuery query;
+  query.attribute = attr;
+  query.lo = lo_ord;
+  query.hi = hi_ord;
+  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
+                         ExecuteRangeSelect(table, query, stats));
+  std::vector<Row> rows;
+  rows.reserve(tuples.size());
+  for (const auto& tuple : tuples) {
+    AVQDB_ASSIGN_OR_RETURN(Row row, DecodeTuple(schema, tuple));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,114 @@
+// Range-selection execution: σ_{a <= A_k <= b}(R), the paper's reference
+// query (§5.3).
+//
+// Three access paths, chosen automatically:
+//   * clustered-range — A_k is the most significant attribute, so matching
+//     tuples are physically contiguous in φ order and only the covering
+//     block range is read (why Fig 5.8 shows small N for attribute 1);
+//   * secondary-index — a SecondaryIndex on A_k exists: its buckets name
+//     the candidate blocks (why the paper's primary-key attribute touches
+//     one block);
+//   * full-scan — everything else: every data block is read (the 189- and
+//     64-block columns of Fig 5.8).
+//
+// QueryStats separates data-block from index-block I/O so the benches can
+// reconstruct N and I of Eq 5.7 exactly.
+
+#ifndef AVQDB_DB_QUERY_H_
+#define AVQDB_DB_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/db/table.h"
+#include "src/schema/value.h"
+
+namespace avqdb {
+
+enum class AccessPath : int {
+  kClusteredRange = 0,
+  kSecondaryIndex = 1,
+  kFullScan = 2,
+};
+
+std::string_view AccessPathName(AccessPath path);
+
+struct RangeQuery {
+  size_t attribute = 0;
+  uint64_t lo = 0;  // inclusive ordinals
+  uint64_t hi = 0;
+};
+
+// A conjunction of range predicates, one or more attributes:
+//   σ_{lo_1 ≤ A_{k1} ≤ hi_1 ∧ lo_2 ≤ A_{k2} ≤ hi_2 ∧ …}(R)
+// Repeated attributes are intersected. The planner drives the scan with
+// the cheapest predicate (clustered prefix > most selective secondary
+// index > full scan) and applies the rest as residual filters.
+struct ConjunctiveQuery {
+  std::vector<RangeQuery> predicates;
+};
+
+struct QueryStats {
+  AccessPath path = AccessPath::kFullScan;
+  // Attribute whose predicate drove the access path (conjunctive
+  // queries); SIZE_MAX when no predicate drove it.
+  size_t driver_attribute = static_cast<size_t>(-1);
+  uint64_t data_blocks_read = 0;   // N of Eq 5.7
+  uint64_t index_blocks_read = 0;  // behind I of Eq 5.7
+  uint64_t tuples_examined = 0;
+  uint64_t tuples_matched = 0;
+  double simulated_io_ms = 0.0;  // DiskParameters-priced physical reads
+
+  std::string ToString() const;
+};
+
+// Executes the selection; results arrive in φ order. `stats` is optional.
+Result<std::vector<OrdinalTuple>> ExecuteRangeSelect(const Table& table,
+                                                     const RangeQuery& query,
+                                                     QueryStats* stats);
+
+// Executes a conjunctive selection; results in φ order. An empty
+// predicate list selects everything (a full scan).
+Result<std::vector<OrdinalTuple>> ExecuteConjunctiveSelect(
+    const Table& table, const ConjunctiveQuery& query, QueryStats* stats);
+
+// One-pass aggregates over a conjunctive selection: computed while
+// streaming the chosen access path, without materializing result tuples.
+// min/max/sum range over the ordinals of `aggregate_attribute` (decode
+// them through the domain for value-space answers).
+struct AggregateResult {
+  uint64_t count = 0;
+  // Unset (count == 0) leaves these at their identities.
+  uint64_t min = 0;
+  uint64_t max = 0;
+  unsigned __int128 sum = 0;
+};
+
+Result<AggregateResult> ExecuteAggregate(const Table& table,
+                                         const ConjunctiveQuery& query,
+                                         size_t aggregate_attribute,
+                                         QueryStats* stats);
+
+// Projection π over a conjunctive selection: keeps `attributes` (in the
+// given order, repeats allowed). With `distinct`, duplicate projected
+// tuples are collapsed (the relational π). Results are sorted in the
+// projected tuple order.
+Result<std::vector<OrdinalTuple>> ExecuteProject(
+    const Table& table, const ConjunctiveQuery& query,
+    const std::vector<size_t>& attributes, bool distinct,
+    QueryStats* stats);
+
+// Row-typed convenience: bounds as attribute Values, results as Rows.
+Result<std::vector<Row>> ExecuteRangeSelectRows(const Table& table,
+                                                std::string_view attribute,
+                                                const Value& lo,
+                                                const Value& hi,
+                                                QueryStats* stats);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_QUERY_H_

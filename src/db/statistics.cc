@@ -1,0 +1,64 @@
+#include "src/db/statistics.h"
+
+#include <algorithm>
+
+namespace avqdb {
+
+AttributeHistogram AttributeHistogram::Build(std::vector<uint64_t> values,
+                                             size_t buckets) {
+  AttributeHistogram histogram;
+  if (values.empty() || buckets == 0) return histogram;
+  std::sort(values.begin(), values.end());
+  if (buckets > values.size()) buckets = values.size();
+  histogram.boundaries_.reserve(buckets + 1);
+  histogram.boundaries_.push_back(values.front());
+  for (size_t b = 1; b <= buckets; ++b) {
+    const size_t index =
+        (b * values.size()) / buckets - 1;  // last element of bucket b
+    histogram.boundaries_.push_back(values[index]);
+  }
+  return histogram;
+}
+
+double AttributeHistogram::CumulativeFraction(double v) const {
+  if (boundaries_.empty()) return 0.0;
+  const double buckets = static_cast<double>(boundaries_.size() - 1);
+  if (v <= static_cast<double>(boundaries_.front())) return 0.0;
+  if (v > static_cast<double>(boundaries_.back())) return 1.0;
+  // j = number of boundaries strictly below v. Heavy duplicates produce
+  // runs of equal boundaries; counting all of them makes F(v) jump across
+  // the whole run, which is exactly the mass those duplicates carry.
+  auto it = std::partition_point(
+      boundaries_.begin(), boundaries_.end(),
+      [&](uint64_t boundary) { return static_cast<double>(boundary) < v; });
+  const size_t j = static_cast<size_t>(it - boundaries_.begin());
+  // 0 < j <= B here (front < v <= back). Interpolate within the bucket
+  // [boundaries_[j-1], boundaries_[j]].
+  if (j >= boundaries_.size()) return 1.0;
+  const double lo = static_cast<double>(boundaries_[j - 1]);
+  const double hi = static_cast<double>(boundaries_[j]);
+  const double within = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+  return (static_cast<double>(j - 1) + within) / buckets;
+}
+
+double AttributeHistogram::EstimateSelectivity(uint64_t lo,
+                                               uint64_t hi) const {
+  if (boundaries_.empty() || lo > hi) return 0.0;
+  // Fraction with value <= hi minus fraction with value < lo.
+  const double below_hi =
+      CumulativeFraction(static_cast<double>(hi) + 0.5);
+  const double below_lo =
+      CumulativeFraction(static_cast<double>(lo) - 0.5);
+  double estimate = below_hi - below_lo;
+  if (estimate < 0.0) estimate = 0.0;
+  if (estimate > 1.0) estimate = 1.0;
+  return estimate;
+}
+
+double TableStatistics::EstimateSelectivity(size_t attr, uint64_t lo,
+                                            uint64_t hi) const {
+  if (attr >= histograms.size()) return 1.0;
+  return histograms[attr].EstimateSelectivity(lo, hi);
+}
+
+}  // namespace avqdb

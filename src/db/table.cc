@@ -1,0 +1,459 @@
+#include "src/db/table.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+Table::Table(SchemaPtr schema, BlockDevice* device,
+             BlockDevice* index_device,
+             std::unique_ptr<TupleBlockCodec> codec, DiskParameters disk)
+    : schema_(std::move(schema)),
+      codec_(std::move(codec)),
+      data_pager_(std::make_unique<Pager>(device, disk)),
+      index_pager_(std::make_unique<Pager>(
+          index_device != nullptr ? index_device : device, disk)) {}
+
+Result<std::unique_ptr<Table>> Table::Create(
+    SchemaPtr schema, BlockDevice* device,
+    std::unique_ptr<TupleBlockCodec> codec, DiskParameters disk,
+    BlockDevice* index_device) {
+  if (codec->block_size() != device->block_size()) {
+    return Status::InvalidArgument(StringFormat(
+        "codec block size %zu != device block size %zu",
+        codec->block_size(), device->block_size()));
+  }
+  if (index_device != nullptr &&
+      index_device->block_size() != device->block_size()) {
+    return Status::InvalidArgument("index device block size mismatch");
+  }
+  auto table = std::unique_ptr<Table>(new Table(
+      std::move(schema), device, index_device, std::move(codec), disk));
+  AVQDB_ASSIGN_OR_RETURN(
+      table->primary_,
+      PrimaryIndex::Create(table->index_pager_.get(), table->schema_));
+  return table;
+}
+
+Result<std::unique_ptr<Table>> Table::CreateAvq(SchemaPtr schema,
+                                                BlockDevice* device,
+                                                const CodecOptions& options) {
+  // The codec's block size is dictated by the device; any value in
+  // `options` is overridden so callers configure it in one place.
+  CodecOptions effective = options;
+  effective.block_size = device->block_size();
+  AVQDB_RETURN_IF_ERROR(effective.Validate(schema->tuple_width()));
+  auto codec = MakeAvqBlockCodec(schema, effective);
+  return Create(std::move(schema), device, std::move(codec));
+}
+
+Result<std::unique_ptr<Table>> Table::CreateHeap(SchemaPtr schema,
+                                                 BlockDevice* device) {
+  auto codec = MakeRawBlockCodec(schema, device->block_size());
+  return Create(std::move(schema), device, std::move(codec));
+}
+
+const SecondaryIndex* Table::GetSecondaryIndex(size_t attr) const {
+  auto it = secondary_.find(attr);
+  return it == secondary_.end() ? nullptr : it->second.get();
+}
+
+Result<std::vector<OrdinalTuple>> Table::ReadDataBlock(BlockId id) const {
+  AVQDB_ASSIGN_OR_RETURN(std::string raw, data_pager_->Read(id));
+  return codec_->DecodeBlock(Slice(raw));
+}
+
+Status Table::WriteDataBlock(BlockId id,
+                             const std::vector<OrdinalTuple>& tuples) {
+  AVQDB_ASSIGN_OR_RETURN(std::string block, codec_->EncodeBlock(tuples));
+  return data_pager_->Write(id, Slice(block));
+}
+
+Status Table::BulkLoad(std::vector<OrdinalTuple> tuples,
+                       double fill_factor) {
+  if (num_tuples_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty table");
+  }
+  if (fill_factor <= 0.0 || fill_factor > 1.0) {
+    return Status::InvalidArgument("fill factor must be in (0, 1]");
+  }
+  for (const auto& t : tuples) {
+    AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, t));
+  }
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    if (CompareTuples(tuples[i - 1], tuples[i]) == 0) {
+      return Status::InvalidArgument(
+          StringFormat("duplicate tuple %s in bulk load",
+                       TupleToString(tuples[i]).c_str()));
+    }
+  }
+  size_t start = 0;
+  while (start < tuples.size()) {
+    size_t count = codec_->FillCount(tuples, start);
+    AVQDB_CHECK(count > 0, "codec refused to pack any tuple");
+    if (fill_factor < 1.0) {
+      const size_t trimmed = static_cast<size_t>(
+          fill_factor * static_cast<double>(count));
+      count = trimmed > 0 ? trimmed : 1;
+    }
+    std::vector<OrdinalTuple> chunk(
+        tuples.begin() + static_cast<ptrdiff_t>(start),
+        tuples.begin() + static_cast<ptrdiff_t>(start + count));
+    AVQDB_ASSIGN_OR_RETURN(BlockId id, data_pager_->Allocate());
+    AVQDB_RETURN_IF_ERROR(WriteDataBlock(id, chunk));
+    AVQDB_RETURN_IF_ERROR(primary_->Insert(chunk.front(), id));
+    start += count;
+  }
+  num_tuples_ = tuples.size();
+  return Status::OK();
+}
+
+Status Table::AttachDataBlocks(const std::vector<BlockId>& blocks) {
+  if (num_tuples_ != 0) {
+    return Status::InvalidArgument("AttachDataBlocks requires an empty table");
+  }
+  uint64_t total = 0;
+  const OrdinalTuple* previous_max = nullptr;
+  OrdinalTuple last_max;
+  for (BlockId id : blocks) {
+    AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
+                           ReadDataBlock(id));
+    if (tuples.empty()) {
+      return Status::Corruption(StringFormat("data block %u is empty", id));
+    }
+    if (previous_max != nullptr &&
+        CompareTuples(*previous_max, tuples.front()) >= 0) {
+      return Status::Corruption(
+          StringFormat("data block %u overlaps its predecessor", id));
+    }
+    AVQDB_RETURN_IF_ERROR(primary_->Insert(tuples.front(), id));
+    total += tuples.size();
+    last_max = tuples.back();
+    previous_max = &last_max;
+  }
+  num_tuples_ = total;
+  return Status::OK();
+}
+
+Status Table::ReplaceBlockContent(BlockId id, const OrdinalTuple& old_min,
+                                  std::vector<OrdinalTuple> tuples,
+                                  const OrdinalTuple* removed) {
+  if (tuples.empty()) {
+    // The block vanished entirely; it held exactly the removed tuple.
+    AVQDB_RETURN_IF_ERROR(data_pager_->Free(id));
+    AVQDB_RETURN_IF_ERROR(primary_->Delete(old_min));
+    if (removed != nullptr) {
+      for (auto& [attr, index] : secondary_) {
+        AVQDB_RETURN_IF_ERROR(index->Remove((*removed)[attr], id));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Balanced re-chunking: when the spliced content overflows the block,
+  // split it in half recursively (the classic B-tree split, Fig 4.6's
+  // overflow case generalized). Greedy full/remainder splitting would
+  // leave every split's left block 100% full, so the next insert there
+  // splits again — fragmenting the table into slivers.
+  std::vector<std::vector<OrdinalTuple>> chunks;
+  std::vector<std::pair<size_t, size_t>> work = {{0, tuples.size()}};
+  while (!work.empty()) {
+    auto [begin, end] = work.back();
+    work.pop_back();
+    std::vector<OrdinalTuple> piece(
+        tuples.begin() + static_cast<ptrdiff_t>(begin),
+        tuples.begin() + static_cast<ptrdiff_t>(end));
+    if (end - begin == 1 || codec_->Fits(piece)) {
+      chunks.push_back(std::move(piece));
+      continue;
+    }
+    const size_t mid = begin + (end - begin) / 2;
+    // LIFO: push the right half first so the left half is processed next,
+    // keeping chunks in φ order.
+    work.emplace_back(mid, end);
+    work.emplace_back(begin, mid);
+  }
+
+  AVQDB_RETURN_IF_ERROR(WriteDataBlock(id, chunks.front()));
+  AVQDB_RETURN_IF_ERROR(primary_->Rekey(old_min, chunks.front().front(), id));
+
+  std::vector<BlockId> new_ids;
+  for (size_t c = 1; c < chunks.size(); ++c) {
+    AVQDB_ASSIGN_OR_RETURN(BlockId new_id, data_pager_->Allocate());
+    AVQDB_RETURN_IF_ERROR(WriteDataBlock(new_id, chunks[c]));
+    AVQDB_RETURN_IF_ERROR(primary_->Insert(chunks[c].front(), new_id));
+    new_ids.push_back(new_id);
+  }
+
+  if (secondary_.empty()) return Status::OK();
+  for (auto& [attr, index] : secondary_) {
+    // Values that stayed in the original block.
+    std::set<uint64_t> kept;
+    for (const auto& t : chunks.front()) kept.insert(t[attr]);
+    // Tuples that moved to new blocks register there; postings to the old
+    // block are dropped for values that left it entirely.
+    for (size_t c = 1; c < chunks.size(); ++c) {
+      std::set<uint64_t> moved;
+      for (const auto& t : chunks[c]) moved.insert(t[attr]);
+      for (uint64_t v : moved) {
+        AVQDB_RETURN_IF_ERROR(index->Add(v, new_ids[c - 1]));
+        if (!kept.contains(v)) {
+          AVQDB_RETURN_IF_ERROR(index->Remove(v, id));
+        }
+      }
+    }
+    if (removed != nullptr && !kept.contains((*removed)[attr])) {
+      bool in_moved = false;
+      for (size_t c = 1; c < chunks.size() && !in_moved; ++c) {
+        for (const auto& t : chunks[c]) {
+          if (t[attr] == (*removed)[attr]) {
+            in_moved = true;
+            break;
+          }
+        }
+      }
+      if (!in_moved) {
+        AVQDB_RETURN_IF_ERROR(index->Remove((*removed)[attr], id));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(const OrdinalTuple& tuple) {
+  AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, tuple));
+  auto target = primary_->FindBlock(tuple);
+  if (!target.ok()) {
+    if (!target.status().IsNotFound()) return target.status();
+    // Empty table: first block.
+    AVQDB_ASSIGN_OR_RETURN(BlockId id, data_pager_->Allocate());
+    AVQDB_RETURN_IF_ERROR(WriteDataBlock(id, {tuple}));
+    AVQDB_RETURN_IF_ERROR(primary_->Insert(tuple, id));
+    for (auto& [attr, index] : secondary_) {
+      AVQDB_RETURN_IF_ERROR(index->Add(tuple[attr], id));
+    }
+    ++num_tuples_;
+    return Status::OK();
+  }
+  const BlockId id = target.value();
+  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
+                         ReadDataBlock(id));
+  AVQDB_CHECK(!tuples.empty(), "indexed data block %u is empty", id);
+  const OrdinalTuple old_min = tuples.front();
+  auto it = std::lower_bound(tuples.begin(), tuples.end(), tuple,
+                             [](const OrdinalTuple& a, const OrdinalTuple& b) {
+                               return CompareTuples(a, b) < 0;
+                             });
+  if (it != tuples.end() && CompareTuples(*it, tuple) == 0) {
+    return Status::AlreadyExists(
+        StringFormat("tuple %s already stored", TupleToString(tuple).c_str()));
+  }
+  tuples.insert(it, tuple);
+  AVQDB_RETURN_IF_ERROR(
+      ReplaceBlockContent(id, old_min, std::move(tuples), nullptr));
+  // Register the new tuple in secondary indexes. If a split moved it to a
+  // fresh block, ReplaceBlockContent already registered it there; Add is
+  // idempotent, and the value genuinely exists in the block that kept or
+  // received it — re-deriving which one costs a FindBlock probe.
+  if (!secondary_.empty()) {
+    AVQDB_ASSIGN_OR_RETURN(BlockId home, primary_->FindBlock(tuple));
+    for (auto& [attr, index] : secondary_) {
+      AVQDB_RETURN_IF_ERROR(index->Add(tuple[attr], home));
+    }
+  }
+  ++num_tuples_;
+  return Status::OK();
+}
+
+Status Table::Delete(const OrdinalTuple& tuple) {
+  AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, tuple));
+  auto target = primary_->FindBlock(tuple);
+  if (!target.ok()) {
+    if (target.status().IsNotFound()) {
+      return Status::NotFound("tuple not in table");
+    }
+    return target.status();
+  }
+  const BlockId id = target.value();
+  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
+                         ReadDataBlock(id));
+  const OrdinalTuple old_min = tuples.front();
+  auto it = std::lower_bound(tuples.begin(), tuples.end(), tuple,
+                             [](const OrdinalTuple& a, const OrdinalTuple& b) {
+                               return CompareTuples(a, b) < 0;
+                             });
+  if (it == tuples.end() || CompareTuples(*it, tuple) != 0) {
+    return Status::NotFound("tuple not in table");
+  }
+  tuples.erase(it);
+  AVQDB_RETURN_IF_ERROR(
+      ReplaceBlockContent(id, old_min, std::move(tuples), &tuple));
+  --num_tuples_;
+  return Status::OK();
+}
+
+Result<bool> Table::Contains(const OrdinalTuple& tuple) const {
+  AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, tuple));
+  auto target = primary_->FindBlock(tuple);
+  if (!target.ok()) {
+    if (target.status().IsNotFound()) return false;
+    return target.status();
+  }
+  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
+                         ReadDataBlock(target.value()));
+  return std::binary_search(tuples.begin(), tuples.end(), tuple,
+                            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+                              return CompareTuples(a, b) < 0;
+                            });
+}
+
+Status Table::Update(const OrdinalTuple& from, const OrdinalTuple& to) {
+  AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, from));
+  AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, to));
+  if (CompareTuples(from, to) == 0) {
+    AVQDB_ASSIGN_OR_RETURN(bool present, Contains(from));
+    return present ? Status::OK() : Status::NotFound("tuple not in table");
+  }
+  AVQDB_ASSIGN_OR_RETURN(bool target_exists, Contains(to));
+  if (target_exists) {
+    return Status::AlreadyExists("updated tuple already exists");
+  }
+  AVQDB_RETURN_IF_ERROR(Delete(from));
+  Status inserted = Insert(to);
+  if (!inserted.ok()) {
+    // Best-effort rollback to keep the relation a superset of intent.
+    Status rollback = Insert(from);
+    if (!rollback.ok()) return rollback;
+    return inserted;
+  }
+  return Status::OK();
+}
+
+Status Table::InsertRow(const Row& row) {
+  AVQDB_ASSIGN_OR_RETURN(OrdinalTuple tuple, EncodeRow(*schema_, row));
+  return Insert(tuple);
+}
+
+Status Table::DeleteRow(const Row& row) {
+  AVQDB_ASSIGN_OR_RETURN(OrdinalTuple tuple, EncodeRow(*schema_, row));
+  return Delete(tuple);
+}
+
+Status Table::UpdateRow(const Row& from, const Row& to) {
+  AVQDB_ASSIGN_OR_RETURN(OrdinalTuple from_tuple, EncodeRow(*schema_, from));
+  AVQDB_ASSIGN_OR_RETURN(OrdinalTuple to_tuple, EncodeRow(*schema_, to));
+  return Update(from_tuple, to_tuple);
+}
+
+Status Table::CreateSecondaryIndex(size_t attr) {
+  if (attr >= schema_->num_attributes()) {
+    return Status::InvalidArgument(
+        StringFormat("attribute %zu out of range", attr));
+  }
+  if (secondary_.contains(attr)) {
+    return Status::AlreadyExists(
+        StringFormat("secondary index on attribute %zu exists", attr));
+  }
+  AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<SecondaryIndex> index,
+                         SecondaryIndex::Create(index_pager_.get(), attr));
+  AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter, primary_->Begin());
+  while (iter.Valid()) {
+    const BlockId id = static_cast<BlockId>(iter.value());
+    AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
+                           ReadDataBlock(id));
+    std::set<uint64_t> values;
+    for (const auto& t : tuples) values.insert(t[attr]);
+    for (uint64_t v : values) {
+      AVQDB_RETURN_IF_ERROR(index->Add(v, id));
+    }
+    AVQDB_RETURN_IF_ERROR(iter.Next());
+  }
+  secondary_.emplace(attr, std::move(index));
+  return Status::OK();
+}
+
+Result<std::vector<OrdinalTuple>> Table::ScanAll() const {
+  std::vector<OrdinalTuple> out;
+  AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter, primary_->Begin());
+  while (iter.Valid()) {
+    AVQDB_ASSIGN_OR_RETURN(
+        std::vector<OrdinalTuple> tuples,
+        ReadDataBlock(static_cast<BlockId>(iter.value())));
+    for (auto& t : tuples) out.push_back(std::move(t));
+    AVQDB_RETURN_IF_ERROR(iter.Next());
+  }
+  return out;
+}
+
+Status Table::Cursor::LoadCurrentBlock() {
+  while (block_iter_.Valid()) {
+    AVQDB_ASSIGN_OR_RETURN(
+        block_,
+        table_->ReadDataBlock(static_cast<BlockId>(block_iter_.value())));
+    pos_ = 0;
+    if (!block_.empty()) {
+      valid_ = true;
+      return Status::OK();
+    }
+    AVQDB_RETURN_IF_ERROR(block_iter_.Next());
+  }
+  valid_ = false;
+  return Status::OK();
+}
+
+Status Table::Cursor::Next() {
+  if (!valid_) return Status::OK();
+  ++pos_;
+  if (pos_ < block_.size()) return Status::OK();
+  AVQDB_RETURN_IF_ERROR(block_iter_.Next());
+  return LoadCurrentBlock();
+}
+
+Result<Table::Cursor> Table::NewCursor() const {
+  Cursor cursor;
+  cursor.table_ = this;
+  AVQDB_ASSIGN_OR_RETURN(cursor.block_iter_, primary_->Begin());
+  AVQDB_RETURN_IF_ERROR(cursor.LoadCurrentBlock());
+  return cursor;
+}
+
+Status Table::Analyze(size_t histogram_buckets) {
+  const size_t arity = schema_->num_attributes();
+  std::vector<std::vector<uint64_t>> samples(arity);
+  AVQDB_ASSIGN_OR_RETURN(Cursor cursor, NewCursor());
+  uint64_t count = 0;
+  while (cursor.Valid()) {
+    for (size_t i = 0; i < arity; ++i) {
+      samples[i].push_back(cursor.tuple()[i]);
+    }
+    ++count;
+    AVQDB_RETURN_IF_ERROR(cursor.Next());
+  }
+  TableStatistics stats;
+  stats.num_tuples = count;
+  stats.histograms.reserve(arity);
+  for (auto& values : samples) {
+    stats.histograms.push_back(
+        AttributeHistogram::Build(std::move(values), histogram_buckets));
+  }
+  statistics_ = std::move(stats);
+  return Status::OK();
+}
+
+uint64_t Table::IndexBlockCount() const {
+  uint64_t count = primary_->num_index_nodes();
+  for (const auto& [attr, index] : secondary_) {
+    count += index->num_index_nodes();
+  }
+  return count;
+}
+
+}  // namespace avqdb

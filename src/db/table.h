@@ -1,0 +1,186 @@
+// Table: a φ-clustered relation over a block device, with the paper's
+// access methods and maintenance operations (§4).
+//
+// Layout: data blocks hold φ-sorted tuple runs under a pluggable
+// TupleBlockCodec (AVQ or raw); a PrimaryIndex maps each block's smallest
+// tuple to its block id; optional SecondaryIndexes map attribute ordinals
+// to block postings. Insert and delete decode exactly one data block,
+// splice it, and re-encode ("the changes are confined to the affected
+// block", §4.2), splitting greedily when the re-coded content overflows.
+//
+// Two pagers share the device so data-block and index-block I/O are
+// accounted separately (the N and I components of Eq 5.7).
+
+#ifndef AVQDB_DB_TABLE_H_
+#define AVQDB_DB_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/db/block_codecs.h"
+#include "src/db/statistics.h"
+#include "src/index/primary_index.h"
+#include "src/index/secondary_index.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+#include "src/schema/value.h"
+#include "src/storage/block_device.h"
+#include "src/storage/pager.h"
+
+namespace avqdb {
+
+class Table {
+ public:
+  // The devices must outlive the table. The codec's block size must equal
+  // the data device's. When `index_device` is null, index blocks share
+  // the data device; passing a separate device keeps them apart (e.g. a
+  // read-only data file with an in-memory rebuilt index, see
+  // db/table_io.h).
+  static Result<std::unique_ptr<Table>> Create(
+      SchemaPtr schema, BlockDevice* device,
+      std::unique_ptr<TupleBlockCodec> codec,
+      DiskParameters disk = DiskParameters{},
+      BlockDevice* index_device = nullptr);
+
+  // Convenience factories for the two stores the paper compares. For
+  // CreateAvq, options.block_size is ignored: the device's block size is
+  // authoritative.
+  static Result<std::unique_ptr<Table>> CreateAvq(
+      SchemaPtr schema, BlockDevice* device,
+      const CodecOptions& options = CodecOptions{});
+  static Result<std::unique_ptr<Table>> CreateHeap(SchemaPtr schema,
+                                                   BlockDevice* device);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // --- loading and maintenance (set semantics: tuples are unique) ---
+
+  // Loads a (possibly unsorted) tuple set into an empty table.
+  // `fill_factor` in (0, 1] caps how full each block is packed: 1.0 packs
+  // greedily to capacity (densest storage, but the next insert into any
+  // block must split), lower values leave update headroom the way B-tree
+  // bulk loaders do. InvalidArgument on duplicates, a non-empty table, or
+  // a fill factor outside (0, 1].
+  Status BulkLoad(std::vector<OrdinalTuple> tuples,
+                  double fill_factor = 1.0);
+
+  // Adopts existing φ-ordered, already-coded data blocks into an empty
+  // table (the open path of db/table_io.h): reads each block, validates
+  // global order and uniqueness, and builds the primary index.
+  Status AttachDataBlocks(const std::vector<BlockId>& blocks);
+
+  Status Insert(const OrdinalTuple& tuple);  // AlreadyExists on duplicate
+  Status Delete(const OrdinalTuple& tuple);  // NotFound when absent
+  Result<bool> Contains(const OrdinalTuple& tuple) const;
+
+  // Tuple modification = deletion + insertion (§4.2). NotFound when
+  // `from` is absent, AlreadyExists when `to` already exists (in which
+  // case `from` is untouched); `from` is re-inserted if inserting `to`
+  // fails for any other reason.
+  Status Update(const OrdinalTuple& from, const OrdinalTuple& to);
+
+  // Row-typed convenience wrappers (§3.1 domain mapping applied here).
+  Status InsertRow(const Row& row);
+  Status DeleteRow(const Row& row);
+  Status UpdateRow(const Row& from, const Row& to);
+
+  // --- secondary indices (Fig 4.5) ---
+
+  // Builds a secondary index over attribute `attr` from current contents.
+  Status CreateSecondaryIndex(size_t attr);
+  bool HasSecondaryIndex(size_t attr) const {
+    return secondary_.contains(attr);
+  }
+  const SecondaryIndex* GetSecondaryIndex(size_t attr) const;
+
+  // --- scans ---
+
+  // All tuples in φ order.
+  Result<std::vector<OrdinalTuple>> ScanAll() const;
+
+  // Streaming scan in φ order, one block in memory at a time:
+  //   AVQDB_ASSIGN_OR_RETURN(Table::Cursor cur, table.NewCursor());
+  //   for (; cur.Valid(); AVQDB_RETURN_IF_ERROR(cur.Next())) use(cur.tuple());
+  class Cursor {
+   public:
+    bool Valid() const { return valid_; }
+    const OrdinalTuple& tuple() const { return block_[pos_]; }
+    // Advances; clears Valid() past the end.
+    Status Next();
+
+   private:
+    friend class Table;
+    const Table* table_ = nullptr;
+    BPlusTree::Iterator block_iter_;
+    std::vector<OrdinalTuple> block_;
+    size_t pos_ = 0;
+    bool valid_ = false;
+
+    Status LoadCurrentBlock();
+  };
+  Result<Cursor> NewCursor() const;
+
+  // --- statistics ---
+
+  // Builds per-attribute equi-depth histograms (one streaming pass); the
+  // query planner then estimates predicate selectivities from data rather
+  // than domain widths. Re-run after heavy mutation; statistics are
+  // advisory and never affect correctness.
+  Status Analyze(size_t histogram_buckets = 64);
+  // Null until Analyze() has run.
+  const TableStatistics* statistics() const {
+    return statistics_.num_tuples > 0 ? &statistics_ : nullptr;
+  }
+
+  // --- accounting ---
+
+  SchemaPtr schema() const { return schema_; }
+  const TupleBlockCodec& codec() const { return *codec_; }
+  uint64_t num_tuples() const { return num_tuples_; }
+  // Data blocks currently holding tuples (the paper's block counts).
+  uint64_t DataBlockCount() const { return primary_->num_blocks_indexed(); }
+  // All index blocks: primary tree nodes + secondary trees and buckets.
+  uint64_t IndexBlockCount() const;
+
+  Pager& data_pager() const { return *data_pager_; }
+  Pager& index_pager() const { return *index_pager_; }
+  const PrimaryIndex& primary_index() const { return *primary_; }
+
+  // Reads + decodes one data block (counted as data I/O).
+  Result<std::vector<OrdinalTuple>> ReadDataBlock(BlockId id) const;
+
+ private:
+  Table(SchemaPtr schema, BlockDevice* device, BlockDevice* index_device,
+        std::unique_ptr<TupleBlockCodec> codec, DiskParameters disk);
+
+  // Writes `tuples` (sorted, non-empty) over block `id`; caller maintains
+  // indexes.
+  Status WriteDataBlock(BlockId id, const std::vector<OrdinalTuple>& tuples);
+
+  // Replaces the content of block `id` with `tuples`, splitting greedily
+  // into additional blocks when the codec cannot fit them; updates the
+  // primary index and all secondary indexes. `old_min` is the block's key
+  // before the change; `removed` names a tuple that vanished (for
+  // secondary-index cleanup), empty when none did.
+  Status ReplaceBlockContent(BlockId id, const OrdinalTuple& old_min,
+                             std::vector<OrdinalTuple> tuples,
+                             const OrdinalTuple* removed);
+
+  SchemaPtr schema_;
+  std::unique_ptr<TupleBlockCodec> codec_;
+  mutable std::unique_ptr<Pager> data_pager_;
+  mutable std::unique_ptr<Pager> index_pager_;
+  std::unique_ptr<PrimaryIndex> primary_;
+  std::map<size_t, std::unique_ptr<SecondaryIndex>> secondary_;
+  TableStatistics statistics_;
+  uint64_t num_tuples_ = 0;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_TABLE_H_

@@ -1,0 +1,199 @@
+#include "src/db/table_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/coding.h"
+#include "src/common/crc32c.h"
+#include "src/common/string_util.h"
+#include "src/schema/schema_io.h"
+
+namespace avqdb {
+namespace {
+
+constexpr uint32_t kTableMagic = 0x54515641;  // "AVQT"
+constexpr uint16_t kTableVersion = 1;
+
+struct Metadata {
+  bool avq = true;
+  CodecOptions options;
+  uint32_t num_data_blocks = 0;
+  uint64_t num_tuples = 0;
+  SchemaPtr schema;
+};
+
+std::string EncodeMetadata(const Metadata& meta) {
+  std::string out;
+  PutFixed32(&out, kTableMagic);
+  PutFixed16(&out, kTableVersion);
+  out.push_back(meta.avq ? '\1' : '\0');
+  out.push_back(static_cast<char>(meta.options.variant));
+  out.push_back(static_cast<char>(meta.options.representative));
+  out.push_back(meta.options.run_length_zeros ? '\1' : '\0');
+  out.push_back(meta.options.checksum ? '\1' : '\0');
+  out.push_back('\0');  // pad
+  PutFixed32(&out, static_cast<uint32_t>(meta.options.block_size));
+  PutFixed32(&out, meta.num_data_blocks);
+  PutFixed64(&out, meta.num_tuples);
+  std::string schema_bytes;
+  EncodeSchema(*meta.schema, &schema_bytes);
+  PutLengthPrefixed(&out, Slice(schema_bytes));
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(Slice(out))));
+  return out;
+}
+
+Result<Metadata> DecodeMetadata(const std::string& block) {
+  Slice input(block);
+  if (input.size() < 28) {
+    return Status::Corruption("table metadata truncated");
+  }
+  if (DecodeFixed32(input.data()) != kTableMagic) {
+    return Status::Corruption("bad table file magic");
+  }
+  const uint16_t version = DecodeFixed16(input.data() + 4);
+  if (version != kTableVersion) {
+    return Status::Corruption(
+        StringFormat("unsupported table file version %u", version));
+  }
+  Metadata meta;
+  meta.avq = input[6] != 0;
+  const uint8_t variant = input[7];
+  if (variant > static_cast<uint8_t>(CodecVariant::kRepresentativeDelta)) {
+    return Status::Corruption("bad codec variant in metadata");
+  }
+  meta.options.variant = static_cast<CodecVariant>(variant);
+  const uint8_t rep = input[8];
+  if (rep > static_cast<uint8_t>(RepresentativeChoice::kFirst)) {
+    return Status::Corruption("bad representative choice in metadata");
+  }
+  meta.options.representative = static_cast<RepresentativeChoice>(rep);
+  meta.options.run_length_zeros = input[9] != 0;
+  meta.options.checksum = input[10] != 0;
+  meta.options.block_size = DecodeFixed32(input.data() + 12);
+  meta.num_data_blocks = DecodeFixed32(input.data() + 16);
+  meta.num_tuples = DecodeFixed64(input.data() + 20);
+  input.RemovePrefix(28);
+  Slice schema_bytes;
+  if (!GetLengthPrefixed(&input, &schema_bytes)) {
+    return Status::Corruption("table schema truncated");
+  }
+  if (input.size() < 4) {
+    return Status::Corruption("table metadata checksum missing");
+  }
+  const size_t covered = block.size() - input.size();
+  const uint32_t stored = crc32c::Unmask(DecodeFixed32(input.data()));
+  const uint32_t actual = crc32c::Value(
+      Slice(reinterpret_cast<const uint8_t*>(block.data()), covered));
+  if (stored != actual) {
+    return Status::Corruption("table metadata checksum mismatch");
+  }
+  Slice schema_input = schema_bytes;
+  AVQDB_ASSIGN_OR_RETURN(meta.schema, DecodeSchema(&schema_input));
+  if (!schema_input.empty()) {
+    return Status::Corruption("trailing bytes after schema");
+  }
+  return meta;
+}
+
+}  // namespace
+
+Status SaveTable(const Table& table, const std::string& path) {
+  Metadata meta;
+  meta.avq = table.codec().is_avq();
+  meta.options = table.codec().options();
+  meta.num_data_blocks = static_cast<uint32_t>(table.DataBlockCount());
+  meta.num_tuples = table.num_tuples();
+  meta.schema = table.schema();
+  const std::string metadata = EncodeMetadata(meta);
+  const size_t block_size = table.codec().block_size();
+  if (metadata.size() > block_size) {
+    return Status::ResourceExhausted(StringFormat(
+        "table metadata (%zu bytes) exceeds one %zu-byte block "
+        "(dictionary too large)",
+        metadata.size(), block_size));
+  }
+
+  AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<FileBlockDevice> file,
+                         FileBlockDevice::Create(path, block_size));
+  AVQDB_ASSIGN_OR_RETURN(BlockId meta_block, file->Allocate());
+  AVQDB_RETURN_IF_ERROR(file->Write(meta_block, Slice(metadata)));
+
+  // Copy data blocks verbatim, in φ order.
+  AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
+                         table.primary_index().Begin());
+  while (iter.Valid()) {
+    AVQDB_ASSIGN_OR_RETURN(
+        std::string raw,
+        table.data_pager().Read(static_cast<BlockId>(iter.value())));
+    AVQDB_ASSIGN_OR_RETURN(BlockId out_block, file->Allocate());
+    AVQDB_RETURN_IF_ERROR(file->Write(out_block, Slice(raw)));
+    AVQDB_RETURN_IF_ERROR(iter.Next());
+  }
+  return Status::OK();
+}
+
+Result<LoadedTable> LoadTable(const std::string& path) {
+  LoadedTable loaded;
+  // Peek at the fixed metadata prefix to learn the block size before
+  // opening the file as a block device.
+  uint8_t head[16];
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::IOError(StringFormat("open(%s): %s", path.c_str(),
+                                          std::strerror(errno)));
+    }
+    const ssize_t n = ::pread(fd, head, sizeof(head), 0);
+    ::close(fd);
+    if (n != static_cast<ssize_t>(sizeof(head))) {
+      return Status::Corruption("table file shorter than its header");
+    }
+  }
+  if (DecodeFixed32(head) != kTableMagic) {
+    return Status::Corruption("not a table file");
+  }
+  const uint32_t block_size = DecodeFixed32(head + 12);
+  if (block_size < 64 || block_size > (1u << 20)) {
+    return Status::Corruption("implausible block size in table file");
+  }
+
+  AVQDB_ASSIGN_OR_RETURN(loaded.data_device,
+                         FileBlockDevice::Open(path, block_size));
+  std::string metadata_block;
+  AVQDB_RETURN_IF_ERROR(loaded.data_device->Read(0, &metadata_block));
+  AVQDB_ASSIGN_OR_RETURN(Metadata meta, DecodeMetadata(metadata_block));
+  if (loaded.data_device->allocated_blocks() <
+      1 + static_cast<size_t>(meta.num_data_blocks)) {
+    return Status::Corruption("table file shorter than its block count");
+  }
+
+  loaded.index_device = std::make_unique<MemBlockDevice>(block_size);
+  std::unique_ptr<TupleBlockCodec> codec =
+      meta.avq ? MakeAvqBlockCodec(meta.schema, meta.options)
+               : MakeRawBlockCodec(meta.schema, meta.options.block_size,
+                                   meta.options.checksum);
+  AVQDB_ASSIGN_OR_RETURN(
+      loaded.table,
+      Table::Create(meta.schema, loaded.data_device.get(), std::move(codec),
+                    DiskParameters{}, loaded.index_device.get()));
+
+  std::vector<BlockId> data_blocks;
+  data_blocks.reserve(meta.num_data_blocks);
+  for (uint32_t i = 0; i < meta.num_data_blocks; ++i) {
+    data_blocks.push_back(static_cast<BlockId>(i + 1));
+  }
+  AVQDB_RETURN_IF_ERROR(loaded.table->AttachDataBlocks(data_blocks));
+  if (loaded.table->num_tuples() != meta.num_tuples) {
+    return Status::Corruption(StringFormat(
+        "tuple count mismatch: metadata %llu, blocks hold %llu",
+        static_cast<unsigned long long>(meta.num_tuples),
+        static_cast<unsigned long long>(loaded.table->num_tuples())));
+  }
+  return loaded;
+}
+
+}  // namespace avqdb

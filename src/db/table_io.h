@@ -1,0 +1,45 @@
+// Single-file table persistence.
+//
+// SaveTable writes a self-describing image:
+//   block 0           metadata: magic, version, store kind, codec options,
+//                     data-block count, serialized schema
+//   blocks 1..k       the table's data blocks, copied verbatim in φ order
+//
+// LoadTable opens the file read-mostly: data blocks are served straight
+// from the file, while the primary index is rebuilt into a private
+// in-memory device (an open-time scan — the tradeoff of not persisting
+// index pages is documented in DESIGN.md). Mutations after load write
+// back to the file device.
+//
+// The metadata must fit in one block; schemas whose dictionaries exceed
+// that return ResourceExhausted at save time.
+
+#ifndef AVQDB_DB_TABLE_IO_H_
+#define AVQDB_DB_TABLE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/db/table.h"
+#include "src/storage/block_device.h"
+
+namespace avqdb {
+
+// A loaded table together with the devices that back it.
+struct LoadedTable {
+  std::unique_ptr<FileBlockDevice> data_device;
+  std::unique_ptr<MemBlockDevice> index_device;
+  std::unique_ptr<Table> table;
+};
+
+// Serializes `table` (schema + data blocks) into `path`, overwriting it.
+Status SaveTable(const Table& table, const std::string& path);
+
+// Opens a table image written by SaveTable.
+Result<LoadedTable> LoadTable(const std::string& path);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_TABLE_IO_H_

@@ -1,0 +1,149 @@
+// A paged B+-tree over fixed-width byte-string keys (§4.1).
+//
+// Both of the paper's access methods build on this structure:
+//   * the clustered primary index, whose search key is an *entire encoded
+//     tuple* (Fig 4.4 — "in conventional primary indices, the search key
+//     is usually only an attribute value"); and
+//   * the secondary indices, which map attribute ordinals to bucket pages
+//     (Fig 4.5).
+//
+// Nodes live in pager blocks, so every descent is visible in IoStats —
+// that is how the benches measure the index component I of Eq 5.7.
+//
+// Keys are fixed-width (key_size bytes, set at creation) and compared as
+// big-endian byte strings; values are uint64. Keys are unique: Insert
+// returns AlreadyExists on duplicates (callers that need multi-maps add a
+// disambiguating suffix, as SecondaryIndex does). Deletion frees empty
+// leaves and collapses the root, but does not rebalance underfull nodes —
+// the classic lazy-deletion tradeoff, fine for this workload mix.
+//
+// Node layout (one pager block):
+//   common header: magic u16 | type u8 | pad u8 | count u16 | pad u16
+//   leaf:     next u32 | prev u32 | count × (key, value u64)
+//   internal: leftmost-child u32 | pad u32 | count × (key, child u32)
+// An internal entry (k, c) means: child c holds keys >= k; keys below the
+// first separator live under the leftmost child.
+
+#ifndef AVQDB_INDEX_BPTREE_H_
+#define AVQDB_INDEX_BPTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/pager.h"
+
+namespace avqdb {
+
+class BPlusTree {
+ public:
+  // Creates an empty tree (a single empty leaf). The pager must outlive
+  // the tree. InvalidArgument if a node cannot hold at least two entries.
+  static Result<std::unique_ptr<BPlusTree>> Create(Pager* pager,
+                                                   size_t key_size);
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  size_t key_size() const { return key_size_; }
+  BlockId root() const { return root_; }
+  uint64_t num_entries() const { return num_entries_; }
+  // Number of index nodes (blocks) currently allocated.
+  uint64_t num_nodes() const { return num_nodes_; }
+  size_t height() const { return height_; }
+
+  // Inserts a unique key. AlreadyExists if present.
+  Status Insert(Slice key, uint64_t value);
+
+  // Exact lookup. NotFound if absent.
+  Result<uint64_t> Get(Slice key) const;
+
+  // Rewrites the value of an existing key. NotFound if absent.
+  Status Update(Slice key, uint64_t value);
+
+  // Removes a key. NotFound if absent.
+  Status Delete(Slice key);
+
+  // Greatest entry with key <= `key` (the Fig 4.4 primary-index probe:
+  // blocks are keyed by their smallest tuple). NotFound when `key`
+  // precedes every entry.
+  struct Entry {
+    std::string key;
+    uint64_t value;
+  };
+  Result<Entry> Floor(Slice key) const;
+
+  // Forward iterator over entries in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    const std::string& key() const { return key_; }
+    uint64_t value() const { return value_; }
+    // Advances; sets Valid()==false past the end. Errors are sticky.
+    Status Next();
+
+   private:
+    friend class BPlusTree;
+    const BPlusTree* tree_ = nullptr;
+    BlockId leaf_ = kInvalidBlockId;
+    // Decoded content of the current leaf.
+    std::vector<std::string> keys_;
+    std::vector<uint64_t> values_;
+    BlockId next_leaf_ = kInvalidBlockId;
+    size_t pos_ = 0;
+    bool valid_ = false;
+    std::string key_;
+    uint64_t value_ = 0;
+
+    Status LoadLeaf(BlockId id);
+    void Capture();
+  };
+
+  // Iterator positioned at the first entry >= `key` (end iterator if none).
+  Result<Iterator> Seek(Slice key) const;
+  // Iterator at the smallest entry.
+  Result<Iterator> Begin() const;
+
+  // Structural self-check (key order, separator consistency, leaf
+  // chaining, entry count). Used by tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  BPlusTree(Pager* pager, size_t key_size, BlockId root);
+
+  Result<Node> ReadNode(BlockId id) const;
+  Status WriteNode(BlockId id, const Node& node);
+  size_t MaxLeafEntries() const;
+  size_t MaxInternalEntries() const;
+
+  // Descends to the leaf for `key`, recording (node, child-index) hops
+  // and returning the leaf's decoded content (one read per level).
+  struct PathStep {
+    BlockId id;
+    size_t child_index;  // which child we took (0 = leftmost)
+  };
+  Status DescendToLeaf(Slice key, std::vector<PathStep>* path,
+                       BlockId* leaf_id, Node* leaf) const;
+
+  Status InsertIntoParent(std::vector<PathStep>* path, std::string key,
+                          BlockId new_child);
+  Status RemoveFromParent(std::vector<PathStep>* path);
+
+  Pager* pager_;
+  size_t key_size_;
+  BlockId root_;
+  uint64_t num_entries_ = 0;
+  uint64_t num_nodes_ = 1;
+  size_t height_ = 1;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_INDEX_BPTREE_H_

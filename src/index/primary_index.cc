@@ -1,0 +1,72 @@
+#include "src/index/primary_index.h"
+
+#include <utility>
+
+namespace avqdb {
+
+Result<std::unique_ptr<PrimaryIndex>> PrimaryIndex::Create(Pager* pager,
+                                                           SchemaPtr schema) {
+  AVQDB_ASSIGN_OR_RETURN(DigitLayout layout,
+                         DigitLayout::Create(schema->digit_widths()));
+  AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<BPlusTree> tree,
+                         BPlusTree::Create(pager, layout.total_width()));
+  return std::unique_ptr<PrimaryIndex>(new PrimaryIndex(
+      std::move(schema), std::move(layout), std::move(tree)));
+}
+
+Result<std::string> PrimaryIndex::KeyFor(const OrdinalTuple& tuple) const {
+  AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, tuple));
+  std::string key;
+  key.reserve(layout_.total_width());
+  AVQDB_RETURN_IF_ERROR(layout_.AppendImage(tuple, &key));
+  return key;
+}
+
+Status PrimaryIndex::Insert(const OrdinalTuple& min_tuple, BlockId block) {
+  AVQDB_ASSIGN_OR_RETURN(std::string key, KeyFor(min_tuple));
+  return tree_->Insert(Slice(key), block);
+}
+
+Status PrimaryIndex::Delete(const OrdinalTuple& min_tuple) {
+  AVQDB_ASSIGN_OR_RETURN(std::string key, KeyFor(min_tuple));
+  return tree_->Delete(Slice(key));
+}
+
+Status PrimaryIndex::Rekey(const OrdinalTuple& old_min,
+                           const OrdinalTuple& new_min, BlockId block) {
+  if (CompareTuples(old_min, new_min) == 0) return Status::OK();
+  AVQDB_RETURN_IF_ERROR(Delete(old_min));
+  return Insert(new_min, block);
+}
+
+Result<BlockId> PrimaryIndex::FindBlock(const OrdinalTuple& tuple) const {
+  AVQDB_ASSIGN_OR_RETURN(std::string key, KeyFor(tuple));
+  auto floor = tree_->Floor(Slice(key));
+  if (floor.ok()) return static_cast<BlockId>(floor.value().value);
+  if (!floor.status().IsNotFound()) return floor.status();
+  // Tuple precedes every block: it belongs to the first block, if any.
+  AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator first, tree_->Begin());
+  if (!first.Valid()) {
+    return Status::NotFound("primary index is empty");
+  }
+  return static_cast<BlockId>(first.value());
+}
+
+Result<BPlusTree::Iterator> PrimaryIndex::SeekBlock(
+    const OrdinalTuple& tuple) const {
+  AVQDB_ASSIGN_OR_RETURN(std::string key, KeyFor(tuple));
+  auto floor = tree_->Floor(Slice(key));
+  if (floor.ok()) {
+    return tree_->Seek(Slice(floor.value().key));
+  }
+  if (!floor.status().IsNotFound()) return floor.status();
+  return tree_->Begin();
+}
+
+Result<OrdinalTuple> PrimaryIndex::DecodeKey(const std::string& key) const {
+  OrdinalTuple tuple;
+  AVQDB_RETURN_IF_ERROR(layout_.ParseImage(Slice(key), &tuple));
+  return tuple;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,76 @@
+// PrimaryIndex: the clustered index of Fig 4.4.
+//
+// The search key is an *entire encoded tuple* — the smallest tuple stored
+// in each data block — serialized to its fixed-width digit image so that
+// byte-lexicographic comparison in the B+-tree equals the φ order. A probe
+// for tuple t answers "which data block would hold t": the greatest entry
+// whose key is <= t (clamped to the first block for tuples below every
+// key, which matters on the insertion path).
+
+#ifndef AVQDB_INDEX_PRIMARY_INDEX_H_
+#define AVQDB_INDEX_PRIMARY_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/index/bptree.h"
+#include "src/ordinal/digit_bytes.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+#include "src/storage/pager.h"
+
+namespace avqdb {
+
+class PrimaryIndex {
+ public:
+  // The pager must outlive the index.
+  static Result<std::unique_ptr<PrimaryIndex>> Create(Pager* pager,
+                                                      SchemaPtr schema);
+
+  // Registers a data block keyed by its smallest tuple.
+  Status Insert(const OrdinalTuple& min_tuple, BlockId block);
+
+  // Unregisters the block keyed by `min_tuple`.
+  Status Delete(const OrdinalTuple& min_tuple);
+
+  // Re-keys a block whose smallest tuple changed.
+  Status Rekey(const OrdinalTuple& old_min, const OrdinalTuple& new_min,
+               BlockId block);
+
+  // The data block whose key range covers `tuple`. NotFound only when the
+  // index is empty.
+  Result<BlockId> FindBlock(const OrdinalTuple& tuple) const;
+
+  // Iterator over (min-tuple key, block) pairs, for clustered range scans.
+  // Positioned at the block covering `tuple` (i.e. starting at the floor
+  // entry, or the first entry if `tuple` precedes everything).
+  Result<BPlusTree::Iterator> SeekBlock(const OrdinalTuple& tuple) const;
+  Result<BPlusTree::Iterator> Begin() const { return tree_->Begin(); }
+
+  // Decodes an iterator's key back to the block's minimum tuple.
+  Result<OrdinalTuple> DecodeKey(const std::string& key) const;
+
+  uint64_t num_blocks_indexed() const { return tree_->num_entries(); }
+  uint64_t num_index_nodes() const { return tree_->num_nodes(); }
+  size_t height() const { return tree_->height(); }
+  const BPlusTree& tree() const { return *tree_; }
+
+ private:
+  PrimaryIndex(SchemaPtr schema, DigitLayout layout,
+               std::unique_ptr<BPlusTree> tree)
+      : schema_(std::move(schema)),
+        layout_(std::move(layout)),
+        tree_(std::move(tree)) {}
+
+  Result<std::string> KeyFor(const OrdinalTuple& tuple) const;
+
+  SchemaPtr schema_;
+  DigitLayout layout_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_INDEX_PRIMARY_INDEX_H_

@@ -1,0 +1,234 @@
+#include "src/index/secondary_index.h"
+
+#include <algorithm>
+
+#include "src/common/coding.h"
+#include "src/common/string_util.h"
+
+namespace avqdb {
+namespace {
+
+constexpr uint16_t kBucketMagic = 0x4b42;  // "BK"
+constexpr size_t kBucketHeaderSize = 12;
+
+// Tree values with this bit set carry a single data-block id inline;
+// otherwise they name the head page of a bucket chain.
+constexpr uint64_t kInlineTag = uint64_t{1} << 63;
+
+bool IsInline(uint64_t tree_value) { return (tree_value & kInlineTag) != 0; }
+BlockId InlineBlock(uint64_t tree_value) {
+  return static_cast<BlockId>(tree_value & ~kInlineTag);
+}
+
+// Big-endian so byte order equals numeric order in the tree.
+std::string OrdinalKey(uint64_t ordinal) {
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    key[static_cast<size_t>(i)] = static_cast<char>(ordinal & 0xff);
+    ordinal >>= 8;
+  }
+  return key;
+}
+
+struct BucketPage {
+  std::vector<BlockId> entries;
+  BlockId next = kInvalidBlockId;
+};
+
+Result<BucketPage> ParseBucket(const std::string& raw) {
+  Slice block(raw);
+  if (block.size() < kBucketHeaderSize) {
+    return Status::Corruption("bucket page shorter than header");
+  }
+  if (DecodeFixed16(block.data()) != kBucketMagic) {
+    return Status::Corruption("bad bucket page magic");
+  }
+  BucketPage page;
+  const size_t count = DecodeFixed16(block.data() + 4);
+  page.next = DecodeFixed32(block.data() + 8);
+  if (kBucketHeaderSize + count * 4 > block.size()) {
+    return Status::Corruption("bucket count overflows page");
+  }
+  page.entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    page.entries.push_back(
+        DecodeFixed32(block.data() + kBucketHeaderSize + 4 * i));
+  }
+  return page;
+}
+
+std::string EncodeBucket(const BucketPage& page) {
+  std::string raw(kBucketHeaderSize, '\0');
+  EncodeFixed16(reinterpret_cast<uint8_t*>(raw.data()), kBucketMagic);
+  EncodeFixed16(reinterpret_cast<uint8_t*>(raw.data()) + 4,
+                static_cast<uint16_t>(page.entries.size()));
+  EncodeFixed32(reinterpret_cast<uint8_t*>(raw.data()) + 8, page.next);
+  for (BlockId id : page.entries) {
+    PutFixed32(&raw, id);
+  }
+  return raw;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Create(
+    Pager* pager, size_t attribute_index) {
+  AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<BPlusTree> tree,
+                         BPlusTree::Create(pager, 8));
+  return std::unique_ptr<SecondaryIndex>(
+      new SecondaryIndex(pager, attribute_index, std::move(tree)));
+}
+
+size_t SecondaryIndex::BucketCapacity() const {
+  return (pager_->block_size() - kBucketHeaderSize) / 4;
+}
+
+Status SecondaryIndex::Add(uint64_t ordinal, BlockId block) {
+  const std::string key = OrdinalKey(ordinal);
+  auto head = tree_->Get(Slice(key));
+  if (!head.ok()) {
+    if (!head.status().IsNotFound()) return head.status();
+    // First posting for this value: store it inline.
+    return tree_->Insert(Slice(key), kInlineTag | block);
+  }
+  if (IsInline(head.value())) {
+    const BlockId existing = InlineBlock(head.value());
+    if (existing == block) return Status::OK();
+    // Second distinct block: materialize a bucket page.
+    AVQDB_ASSIGN_OR_RETURN(BlockId page_id, pager_->Allocate());
+    ++bucket_pages_;
+    BucketPage page;
+    page.entries.push_back(existing);
+    page.entries.push_back(block);
+    AVQDB_RETURN_IF_ERROR(pager_->Write(page_id, Slice(EncodeBucket(page))));
+    return tree_->Update(Slice(key), page_id);
+  }
+
+  // Walk the chain: bail on duplicates, remember the tail.
+  BlockId current = static_cast<BlockId>(head.value());
+  BlockId tail = current;
+  BucketPage tail_page;
+  while (current != kInvalidBlockId) {
+    AVQDB_ASSIGN_OR_RETURN(std::string raw, pager_->Read(current));
+    AVQDB_ASSIGN_OR_RETURN(BucketPage page, ParseBucket(raw));
+    for (BlockId id : page.entries) {
+      if (id == block) return Status::OK();  // already registered
+    }
+    tail = current;
+    tail_page = page;
+    current = page.next;
+  }
+  if (tail_page.entries.size() < BucketCapacity()) {
+    tail_page.entries.push_back(block);
+    return pager_->Write(tail, Slice(EncodeBucket(tail_page)));
+  }
+  // Tail full: chain a new page.
+  AVQDB_ASSIGN_OR_RETURN(BlockId page_id, pager_->Allocate());
+  ++bucket_pages_;
+  BucketPage fresh;
+  fresh.entries.push_back(block);
+  AVQDB_RETURN_IF_ERROR(pager_->Write(page_id, Slice(EncodeBucket(fresh))));
+  tail_page.next = page_id;
+  return pager_->Write(tail, Slice(EncodeBucket(tail_page)));
+}
+
+Status SecondaryIndex::Remove(uint64_t ordinal, BlockId block) {
+  const std::string key = OrdinalKey(ordinal);
+  auto head = tree_->Get(Slice(key));
+  if (!head.ok()) {
+    return head.status().IsNotFound() ? Status::OK() : head.status();
+  }
+  if (IsInline(head.value())) {
+    if (InlineBlock(head.value()) != block) return Status::OK();
+    return tree_->Delete(Slice(key));
+  }
+  BlockId prev = kInvalidBlockId;
+  BucketPage prev_page;
+  BlockId current = static_cast<BlockId>(head.value());
+  while (current != kInvalidBlockId) {
+    AVQDB_ASSIGN_OR_RETURN(std::string raw, pager_->Read(current));
+    AVQDB_ASSIGN_OR_RETURN(BucketPage page, ParseBucket(raw));
+    auto it = std::find(page.entries.begin(), page.entries.end(), block);
+    if (it == page.entries.end()) {
+      prev = current;
+      prev_page = page;
+      current = page.next;
+      continue;
+    }
+    page.entries.erase(it);
+    if (!page.entries.empty()) {
+      return pager_->Write(current, Slice(EncodeBucket(page)));
+    }
+    // Page emptied: unlink it.
+    if (prev != kInvalidBlockId) {
+      prev_page.next = page.next;
+      AVQDB_RETURN_IF_ERROR(pager_->Write(prev, Slice(EncodeBucket(prev_page))));
+      AVQDB_RETURN_IF_ERROR(pager_->Free(current));
+      --bucket_pages_;
+      return Status::OK();
+    }
+    // It was the head page.
+    AVQDB_RETURN_IF_ERROR(pager_->Free(current));
+    --bucket_pages_;
+    if (page.next != kInvalidBlockId) {
+      return tree_->Update(Slice(key), page.next);
+    }
+    return tree_->Delete(Slice(key));
+  }
+  return Status::OK();  // pair was not present
+}
+
+Status SecondaryIndex::ReadBucketChain(BlockId head,
+                                       std::vector<BlockId>* out) const {
+  BlockId current = head;
+  size_t hops = 0;
+  while (current != kInvalidBlockId) {
+    if (++hops > 1u << 20) {
+      return Status::Corruption("bucket chain cycle suspected");
+    }
+    AVQDB_ASSIGN_OR_RETURN(std::string raw, pager_->Read(current));
+    AVQDB_ASSIGN_OR_RETURN(BucketPage page, ParseBucket(raw));
+    out->insert(out->end(), page.entries.begin(), page.entries.end());
+    current = page.next;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<BlockId>> SecondaryIndex::Lookup(uint64_t ordinal) const {
+  std::vector<BlockId> out;
+  auto head = tree_->Get(Slice(OrdinalKey(ordinal)));
+  if (!head.ok()) {
+    if (head.status().IsNotFound()) return out;
+    return head.status();
+  }
+  if (IsInline(head.value())) {
+    out.push_back(InlineBlock(head.value()));
+    return out;
+  }
+  AVQDB_RETURN_IF_ERROR(
+      ReadBucketChain(static_cast<BlockId>(head.value()), &out));
+  return out;
+}
+
+Result<std::vector<BlockId>> SecondaryIndex::LookupRange(uint64_t lo,
+                                                         uint64_t hi) const {
+  std::vector<BlockId> out;
+  if (lo > hi) return out;
+  const std::string hi_key = OrdinalKey(hi);
+  AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
+                         tree_->Seek(Slice(OrdinalKey(lo))));
+  while (iter.Valid() && iter.key() <= hi_key) {
+    if (IsInline(iter.value())) {
+      out.push_back(InlineBlock(iter.value()));
+    } else {
+      AVQDB_RETURN_IF_ERROR(
+          ReadBucketChain(static_cast<BlockId>(iter.value()), &out));
+    }
+    AVQDB_RETURN_IF_ERROR(iter.Next());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,81 @@
+// SecondaryIndex: the non-clustering attribute index of Fig 4.5.
+//
+// A B+-tree maps an attribute ordinal to a *bucket* — a chain of pages of
+// data-block ids containing at least one tuple with that attribute value.
+// The bucket indirection is the paper's: "each bucket contains a set of
+// pairs (a : b) where b indicates the data block whose tuples have
+// A_k = a". Because the relation is clustered by φ, postings name blocks
+// rather than tuples, and queries re-filter after decoding the block.
+//
+// Bucket page layout: magic u16 | pad u16 | count u16 | pad u16 |
+// next-page u32 | count × block-id u32.
+//
+// Space optimization over the paper's figure: a value that occurs in a
+// single data block (the common case for selective attributes, and every
+// value of a unique key) stores its block id *inline* in the B+-tree
+// value, tagged in the high bit; a bucket page is only allocated once a
+// second block appears. Without this, indexing a unique attribute would
+// burn one block-sized bucket page per tuple.
+
+#ifndef AVQDB_INDEX_SECONDARY_INDEX_H_
+#define AVQDB_INDEX_SECONDARY_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/index/bptree.h"
+#include "src/storage/pager.h"
+
+namespace avqdb {
+
+class SecondaryIndex {
+ public:
+  // An index over the attribute at `attribute_index` (kept for catalogs;
+  // the index itself only sees ordinals). The pager must outlive it.
+  static Result<std::unique_ptr<SecondaryIndex>> Create(
+      Pager* pager, size_t attribute_index);
+
+  size_t attribute_index() const { return attribute_index_; }
+
+  // Registers data block `block` under attribute value `ordinal`.
+  // Idempotent: re-adding an existing (ordinal, block) pair is a no-op.
+  Status Add(uint64_t ordinal, BlockId block);
+
+  // Unregisters the pair; a no-op when it is not present.
+  Status Remove(uint64_t ordinal, BlockId block);
+
+  // Blocks holding tuples with this exact attribute value (unsorted).
+  Result<std::vector<BlockId>> Lookup(uint64_t ordinal) const;
+
+  // Union of buckets for ordinals in [lo, hi], sorted and deduplicated —
+  // the access path of σ_{a <= A_k <= b} (§5.3).
+  Result<std::vector<BlockId>> LookupRange(uint64_t lo, uint64_t hi) const;
+
+  // Tree nodes plus bucket pages: the index footprint contributing to I.
+  uint64_t num_index_nodes() const {
+    return tree_->num_nodes() + bucket_pages_;
+  }
+  uint64_t num_values() const { return tree_->num_entries(); }
+
+ private:
+  SecondaryIndex(Pager* pager, size_t attribute_index,
+                 std::unique_ptr<BPlusTree> tree)
+      : pager_(pager),
+        attribute_index_(attribute_index),
+        tree_(std::move(tree)) {}
+
+  size_t BucketCapacity() const;
+  Status ReadBucketChain(BlockId head, std::vector<BlockId>* out) const;
+
+  Pager* pager_;
+  size_t attribute_index_;
+  std::unique_ptr<BPlusTree> tree_;
+  uint64_t bucket_pages_ = 0;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_INDEX_SECONDARY_INDEX_H_

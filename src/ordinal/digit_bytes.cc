@@ -1,0 +1,114 @@
+#include "src/ordinal/digit_bytes.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+DigitLayout::DigitLayout(std::vector<uint8_t> widths)
+    : widths_(std::move(widths)) {
+  for (uint8_t w : widths_) total_width_ += w;
+}
+
+Result<DigitLayout> DigitLayout::Create(std::vector<uint8_t> widths) {
+  if (widths.empty()) {
+    return Status::InvalidArgument("digit layout needs at least one digit");
+  }
+  size_t total = 0;
+  for (uint8_t w : widths) {
+    if (w == 0 || w > 8) {
+      return Status::InvalidArgument(
+          StringFormat("digit width %u outside [1, 8]", w));
+    }
+    total += w;
+  }
+  if (total > 255) {
+    return Status::InvalidArgument(
+        StringFormat("total width %zu exceeds 255", total));
+  }
+  return DigitLayout(std::move(widths));
+}
+
+Status DigitLayout::AppendImage(const mixed_radix::Digits& digits,
+                                std::string* dst) const {
+  if (digits.size() != widths_.size()) {
+    return Status::Internal("digit count does not match layout");
+  }
+  for (size_t i = 0; i < digits.size(); ++i) {
+    const int width = widths_[i];
+    const uint64_t digit = digits[i];
+    if (width < 8 && (digit >> (8 * width)) != 0) {
+      return Status::Internal(StringFormat(
+          "digit %zu (%llu) does not fit in %d bytes", i,
+          static_cast<unsigned long long>(digit), width));
+    }
+    for (int b = width - 1; b >= 0; --b) {
+      dst->push_back(static_cast<char>((digit >> (8 * b)) & 0xff));
+    }
+  }
+  return Status::OK();
+}
+
+Status DigitLayout::ParseImage(Slice image,
+                               mixed_radix::Digits* digits) const {
+  if (image.size() < total_width_) {
+    return Status::Corruption(StringFormat(
+        "tuple image truncated: %zu of %zu bytes", image.size(),
+        total_width_));
+  }
+  digits->assign(widths_.size(), 0);
+  size_t pos = 0;
+  for (size_t i = 0; i < widths_.size(); ++i) {
+    uint64_t digit = 0;
+    for (int b = 0; b < widths_[i]; ++b) {
+      digit = (digit << 8) | image[pos++];
+    }
+    (*digits)[i] = digit;
+  }
+  return Status::OK();
+}
+
+Status DigitLayout::ParseSuffixImage(size_t leading_zeros, Slice suffix,
+                                     mixed_radix::Digits* digits) const {
+  if (leading_zeros > total_width_) {
+    return Status::Corruption(StringFormat(
+        "leading-zero count %zu exceeds tuple width %zu", leading_zeros,
+        total_width_));
+  }
+  const size_t suffix_len = total_width_ - leading_zeros;
+  if (suffix.size() < suffix_len) {
+    return Status::Corruption(StringFormat(
+        "tuple suffix truncated: %zu of %zu bytes", suffix.size(),
+        suffix_len));
+  }
+  digits->assign(widths_.size(), 0);
+  // Walk the virtual full image: positions < leading_zeros read as zero.
+  size_t pos = 0;
+  for (size_t i = 0; i < widths_.size(); ++i) {
+    uint64_t digit = 0;
+    for (int b = 0; b < widths_[i]; ++b, ++pos) {
+      const uint8_t byte =
+          pos < leading_zeros ? 0 : suffix[pos - leading_zeros];
+      digit = (digit << 8) | byte;
+    }
+    (*digits)[i] = digit;
+  }
+  return Status::OK();
+}
+
+size_t DigitLayout::CountLeadingZeroBytes(
+    const mixed_radix::Digits& digits) const {
+  size_t count = 0;
+  for (size_t i = 0; i < widths_.size(); ++i) {
+    const int width = widths_[i];
+    const uint64_t digit = digits[i];
+    for (int b = width - 1; b >= 0; --b) {
+      if (((digit >> (8 * b)) & 0xff) != 0) return count;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace avqdb

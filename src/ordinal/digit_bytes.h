@@ -1,0 +1,63 @@
+// Serialization of digit vectors to fixed-width byte images, and the
+// leading-zero-byte counting behind the paper's run-length step (§3.4, [4]).
+//
+// Each attribute digit occupies the schema's digit_width bytes, big-endian,
+// attributes in schema order. Because digits sit most-significant-first,
+// the lexicographic order of byte images equals the φ order, and small
+// differences produce long runs of leading 0x00 bytes — which AVQ encodes
+// as a single count byte.
+
+#ifndef AVQDB_ORDINAL_DIGIT_BYTES_H_
+#define AVQDB_ORDINAL_DIGIT_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/ordinal/mixed_radix.h"
+
+namespace avqdb {
+
+// Fixed byte geometry of a schema: widths[i] bytes per attribute digit.
+class DigitLayout {
+ public:
+  // Widths must be >= 1 each; total width <= 255.
+  static Result<DigitLayout> Create(std::vector<uint8_t> widths);
+
+  size_t num_digits() const { return widths_.size(); }
+  size_t total_width() const { return total_width_; }
+  const std::vector<uint8_t>& widths() const { return widths_; }
+
+  // Appends the big-endian image of `digits` (exactly total_width() bytes)
+  // to *dst. Digits must fit their widths (checked, Internal on violation
+  // since callers validate against the schema first).
+  Status AppendImage(const mixed_radix::Digits& digits,
+                     std::string* dst) const;
+
+  // Parses exactly total_width() bytes into digits. Corruption on short
+  // input.
+  Status ParseImage(Slice image, mixed_radix::Digits* digits) const;
+
+  // Parses an image whose first `leading_zeros` bytes were elided by the
+  // run-length step: `suffix` holds the remaining total_width() -
+  // leading_zeros bytes.
+  Status ParseSuffixImage(size_t leading_zeros, Slice suffix,
+                          mixed_radix::Digits* digits) const;
+
+  // Number of leading zero bytes the image of `digits` would have
+  // (0 .. total_width()). Computed without materializing the image.
+  size_t CountLeadingZeroBytes(const mixed_radix::Digits& digits) const;
+
+ private:
+  explicit DigitLayout(std::vector<uint8_t> widths);
+
+  std::vector<uint8_t> widths_;
+  size_t total_width_ = 0;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_ORDINAL_DIGIT_BYTES_H_

@@ -1,0 +1,138 @@
+#include "src/ordinal/mixed_radix.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace avqdb::mixed_radix {
+
+Status Validate(const Digits& radices, const Digits& value) {
+  if (value.size() != radices.size()) {
+    return Status::InvalidArgument(
+        StringFormat("digit vector arity %zu != radix arity %zu",
+                     value.size(), radices.size()));
+  }
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] >= radices[i]) {
+      return Status::OutOfRange(StringFormat(
+          "digit %zu is %llu, radix %llu", i,
+          static_cast<unsigned long long>(value[i]),
+          static_cast<unsigned long long>(radices[i])));
+    }
+  }
+  return Status::OK();
+}
+
+int Compare(const Digits& a, const Digits& b) {
+  AVQDB_DCHECK(a.size() == b.size(), "arity mismatch %zu vs %zu", a.size(),
+               b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+bool IsZero(const Digits& value) {
+  for (uint64_t d : value) {
+    if (d != 0) return false;
+  }
+  return true;
+}
+
+Digits Zero(const Digits& radices) { return Digits(radices.size(), 0); }
+
+Digits Max(const Digits& radices) {
+  Digits out(radices.size());
+  for (size_t i = 0; i < radices.size(); ++i) out[i] = radices[i] - 1;
+  return out;
+}
+
+Status Sub(const Digits& radices, const Digits& a, const Digits& b,
+           Digits* out) {
+  const size_t n = radices.size();
+  AVQDB_DCHECK(a.size() == n && b.size() == n, "arity mismatch");
+  Digits result(n);
+  uint64_t borrow = 0;
+  // Least significant digit is the last one.
+  for (size_t idx = n; idx-- > 0;) {
+    const uint64_t sub = b[idx] + borrow;
+    if (a[idx] >= sub) {
+      result[idx] = a[idx] - sub;
+      borrow = 0;
+    } else {
+      result[idx] = a[idx] + radices[idx] - sub;
+      borrow = 1;
+    }
+  }
+  if (borrow != 0) {
+    return Status::OutOfRange("mixed-radix subtraction underflow (a < b)");
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status Add(const Digits& radices, const Digits& a, const Digits& b,
+           Digits* out) {
+  const size_t n = radices.size();
+  AVQDB_DCHECK(a.size() == n && b.size() == n, "arity mismatch");
+  Digits result(n);
+  uint64_t carry = 0;
+  for (size_t idx = n; idx-- > 0;) {
+    // Digits are < their radix <= 2^64-1 and carry <= 1, so a[idx] + b[idx]
+    // + carry can overflow uint64 only if radix is near 2^64; detect that
+    // case explicitly.
+    uint64_t sum = a[idx] + carry;
+    uint64_t overflowed = (sum < a[idx]) ? 1 : 0;
+    uint64_t sum2 = sum + b[idx];
+    overflowed |= (sum2 < sum) ? 1 : 0;
+    if (overflowed) {
+      // sum2 wrapped past 2^64; true value = sum2 + 2^64 >= radix, so a
+      // carry is produced and the digit is sum2 + (2^64 - radix).
+      result[idx] = sum2 + (0 - radices[idx]);
+      carry = 1;
+    } else if (sum2 >= radices[idx]) {
+      result[idx] = sum2 - radices[idx];
+      carry = 1;
+    } else {
+      result[idx] = sum2;
+      carry = 0;
+    }
+  }
+  if (carry != 0) {
+    return Status::OutOfRange("mixed-radix addition overflow");
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status AbsDiff(const Digits& radices, const Digits& a, const Digits& b,
+               Digits* out) {
+  if (Compare(a, b) >= 0) return Sub(radices, a, b, out);
+  return Sub(radices, b, a, out);
+}
+
+Status AddSmall(const Digits& radices, const Digits& value, uint64_t delta,
+                Digits* out) {
+  const size_t n = radices.size();
+  AVQDB_DCHECK(value.size() == n, "arity mismatch");
+  Digits result = value;
+  uint64_t carry = delta;
+  for (size_t idx = n; idx-- > 0 && carry != 0;) {
+    // result[idx] + carry may exceed 64 bits; split via 128-bit arithmetic.
+    unsigned __int128 sum =
+        static_cast<unsigned __int128>(result[idx]) + carry;
+    result[idx] = static_cast<uint64_t>(sum % radices[idx]);
+    carry = static_cast<uint64_t>(sum / radices[idx]);
+  }
+  if (carry != 0) {
+    return Status::OutOfRange("mixed-radix AddSmall overflow");
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status Increment(const Digits& radices, Digits* value) {
+  return AddSmall(radices, *value, 1, value);
+}
+
+}  // namespace avqdb::mixed_radix

@@ -1,0 +1,66 @@
+// Mixed-radix digit-vector arithmetic — the algebra behind φ (§2.2).
+//
+// A tuple (a_1 … a_n) with radices (|A_1| … |A_n|) *is* the mixed-radix
+// representation of φ(t), most significant digit first. The tuple
+// differences of Definition 2.1 / Eq 2.6 can therefore be computed
+// digit-wise with borrows, and the losslessness proof of Theorem 2.1 is
+// just the statement that subtraction is invertible by addition with
+// carries. Working digit-wise keeps everything exact even when
+// ‖𝓡‖ = Π|A_i| far exceeds any machine integer.
+//
+// All functions take the radices explicitly; digit vectors are plain
+// std::vector<uint64_t> with digits[i] ∈ [0, radices[i]).
+
+#ifndef AVQDB_ORDINAL_MIXED_RADIX_H_
+#define AVQDB_ORDINAL_MIXED_RADIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace avqdb::mixed_radix {
+
+using Digits = std::vector<uint64_t>;
+
+// Digits in range and arity matching radices?
+Status Validate(const Digits& radices, const Digits& value);
+
+// Lexicographic comparison (equivalent to comparing φ values): <0, 0, >0.
+// Both vectors must have the radices' arity.
+int Compare(const Digits& a, const Digits& b);
+
+bool IsZero(const Digits& value);
+
+// All-zero vector of the radices' arity.
+Digits Zero(const Digits& radices);
+
+// Largest representable value: each digit = radix-1.
+Digits Max(const Digits& radices);
+
+// out = a - b (requires a >= b, else OutOfRange). Digit-wise subtraction
+// with borrow; the result is a valid digit vector in the same radices.
+// Aliasing (out == &a or &b) is allowed.
+Status Sub(const Digits& radices, const Digits& a, const Digits& b,
+           Digits* out);
+
+// out = a + b; OutOfRange if the sum exceeds Max(radices).
+Status Add(const Digits& radices, const Digits& a, const Digits& b,
+           Digits* out);
+
+// |φ(a) - φ(b)| as a digit vector (Eq 2.6's d(t_i, t_j)).
+Status AbsDiff(const Digits& radices, const Digits& a, const Digits& b,
+               Digits* out);
+
+// out = value + delta where delta is a small machine integer (carry
+// propagation); OutOfRange on overflow. Used by range iteration.
+Status AddSmall(const Digits& radices, const Digits& value, uint64_t delta,
+                Digits* out);
+
+// Successor in φ order; OutOfRange past Max(radices).
+Status Increment(const Digits& radices, Digits* value);
+
+}  // namespace avqdb::mixed_radix
+
+#endif  // AVQDB_ORDINAL_MIXED_RADIX_H_

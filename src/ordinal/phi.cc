@@ -1,0 +1,59 @@
+#include "src/ordinal/phi.h"
+
+#include <algorithm>
+
+namespace avqdb {
+
+Result<u128> SpaceSize(const mixed_radix::Digits& radices) {
+  u128 size = 1;
+  for (uint64_t radix : radices) {
+    if (radix == 0) {
+      return Status::InvalidArgument("zero radix");
+    }
+    const u128 next = size * radix;
+    if (next / radix != size) {
+      return Status::OutOfRange("|R| exceeds 128 bits");
+    }
+    size = next;
+  }
+  return size;
+}
+
+Result<u128> Phi(const mixed_radix::Digits& radices,
+                 const mixed_radix::Digits& tuple) {
+  AVQDB_RETURN_IF_ERROR(mixed_radix::Validate(radices, tuple));
+  AVQDB_RETURN_IF_ERROR(SpaceSize(radices).status());
+  // Horner evaluation: φ = ((a_1·|A_2| + a_2)·|A_3| + a_3)·…
+  u128 value = 0;
+  for (size_t i = 0; i < radices.size(); ++i) {
+    value = value * radices[i] + tuple[i];
+  }
+  return value;
+}
+
+Result<mixed_radix::Digits> PhiInverse(const mixed_radix::Digits& radices,
+                                       u128 ordinal) {
+  AVQDB_ASSIGN_OR_RETURN(u128 space, SpaceSize(radices));
+  if (ordinal >= space) {
+    return Status::OutOfRange("ordinal outside |R|");
+  }
+  mixed_radix::Digits tuple(radices.size());
+  for (size_t idx = radices.size(); idx-- > 0;) {
+    tuple[idx] = static_cast<uint64_t>(ordinal % radices[idx]);
+    ordinal /= radices[idx];
+  }
+  return tuple;
+}
+
+std::string U128ToString(u128 value) {
+  if (value == 0) return "0";
+  std::string out;
+  while (value > 0) {
+    out.push_back(static_cast<char>('0' + static_cast<int>(value % 10)));
+    value /= 10;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,43 @@
+// φ and φ⁻¹ (Eq 2.2–2.5): the bijection between tuples and their ordinal
+// positions in the 𝓡 space, materialized as a 128-bit integer.
+//
+// The production codec never materializes φ — it works digit-wise (see
+// ordinal/mixed_radix.h) so that arbitrarily large spaces are exact. This
+// module exists for schemas whose ‖𝓡‖ fits in 128 bits: tests use it to
+// cross-check the digit-wise algebra against plain integer arithmetic, and
+// tools use it to print the 𝓝_𝓡 column of the paper's figures.
+
+#ifndef AVQDB_ORDINAL_PHI_H_
+#define AVQDB_ORDINAL_PHI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/ordinal/mixed_radix.h"
+
+namespace avqdb {
+
+using u128 = unsigned __int128;
+
+// φ(t) = Σ a_i · Π_{j>i} |A_j|. OutOfRange if ‖𝓡‖ (and hence possibly the
+// result) does not fit in 128 bits; InvalidArgument/OutOfRange for malformed
+// digit vectors.
+Result<u128> Phi(const mixed_radix::Digits& radices,
+                 const mixed_radix::Digits& tuple);
+
+// φ⁻¹(e) (Eq 2.3–2.5, by repeated division). OutOfRange if e >= ‖𝓡‖.
+Result<mixed_radix::Digits> PhiInverse(const mixed_radix::Digits& radices,
+                                       u128 ordinal);
+
+// ‖𝓡‖ = Π |A_i| if it fits in 128 bits, else OutOfRange.
+Result<u128> SpaceSize(const mixed_radix::Digits& radices);
+
+// Decimal rendering of a 128-bit value (no std support for __int128 I/O).
+std::string U128ToString(u128 value);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_ORDINAL_PHI_H_

@@ -1,0 +1,90 @@
+#include "src/schema/dictionary.h"
+
+#include <utility>
+
+#include "src/common/coding.h"
+#include "src/common/slice.h"
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+Result<Dictionary> Dictionary::FromValues(std::vector<std::string> values) {
+  Dictionary dict(values.size());
+  for (auto& v : values) {
+    if (dict.index_.contains(v)) {
+      return Status::InvalidArgument(
+          StringFormat("duplicate dictionary value \"%s\"", v.c_str()));
+    }
+    dict.index_.emplace(v, dict.values_.size());
+    dict.values_.push_back(std::move(v));
+  }
+  return dict;
+}
+
+Result<uint64_t> Dictionary::Lookup(const std::string& s) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) {
+    return Status::NotFound(
+        StringFormat("\"%s\" not in dictionary", s.c_str()));
+  }
+  return it->second;
+}
+
+Result<uint64_t> Dictionary::LookupOrAdd(const std::string& s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  if (values_.size() >= capacity_) {
+    return Status::ResourceExhausted(StringFormat(
+        "dictionary full (capacity %llu), cannot add \"%s\"",
+        static_cast<unsigned long long>(capacity_), s.c_str()));
+  }
+  uint64_t code = values_.size();
+  index_.emplace(s, code);
+  values_.push_back(s);
+  return code;
+}
+
+Result<std::string> Dictionary::Decode(uint64_t code) const {
+  if (code >= values_.size()) {
+    return Status::OutOfRange(StringFormat(
+        "dictionary code %llu out of range (size %zu)",
+        static_cast<unsigned long long>(code), values_.size()));
+  }
+  return values_[code];
+}
+
+void Dictionary::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, capacity_);
+  PutVarint64(dst, values_.size());
+  for (const auto& v : values_) {
+    PutLengthPrefixed(dst, Slice(v));
+  }
+}
+
+Result<Dictionary> Dictionary::DecodeFrom(const std::string& src) {
+  Slice input(src);
+  uint64_t capacity = 0;
+  uint64_t count = 0;
+  if (!GetVarint64(&input, &capacity) || !GetVarint64(&input, &count)) {
+    return Status::Corruption("dictionary header truncated");
+  }
+  if (count > capacity) {
+    return Status::Corruption("dictionary count exceeds capacity");
+  }
+  Dictionary dict(capacity);
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice value;
+    if (!GetLengthPrefixed(&input, &value)) {
+      return Status::Corruption("dictionary entry truncated");
+    }
+    std::string s = value.ToString();
+    if (dict.index_.contains(s)) {
+      return Status::Corruption("duplicate dictionary entry");
+    }
+    dict.index_.emplace(s, dict.values_.size());
+    dict.values_.push_back(std::move(s));
+  }
+  return dict;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,57 @@
+// Dictionary: maps strings to dense ordinal codes and back (§3.1, [6]).
+//
+// Two usage patterns:
+//  * a frozen dictionary built from a known value list, where the code is
+//    the position in that list (the paper's "ordinal position in the
+//    domain"); and
+//  * a growing dictionary with a fixed capacity, where unseen strings are
+//    appended (codes are then insertion-ordered, which is still lossless —
+//    only clustering quality depends on the order).
+
+#ifndef AVQDB_SCHEMA_DICTIONARY_H_
+#define AVQDB_SCHEMA_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace avqdb {
+
+class Dictionary {
+ public:
+  // Empty growing dictionary that can hold up to `capacity` strings.
+  explicit Dictionary(uint64_t capacity) : capacity_(capacity) {}
+
+  // Frozen dictionary over `values` in the given order. Capacity equals
+  // values.size(); duplicate entries are rejected at Validate() time.
+  static Result<Dictionary> FromValues(std::vector<std::string> values);
+
+  // Code for `s`, or NotFound.
+  Result<uint64_t> Lookup(const std::string& s) const;
+
+  // Code for `s`, inserting it if absent. ResourceExhausted when full.
+  Result<uint64_t> LookupOrAdd(const std::string& s);
+
+  // String for `code`, or OutOfRange.
+  Result<std::string> Decode(uint64_t code) const;
+
+  uint64_t size() const { return values_.size(); }
+  uint64_t capacity() const { return capacity_; }
+
+  // Serialization (varint count + length-prefixed strings + capacity).
+  void EncodeTo(std::string* dst) const;
+  static Result<Dictionary> DecodeFrom(const std::string& src);
+
+ private:
+  uint64_t capacity_;
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint64_t> index_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_SCHEMA_DICTIONARY_H_

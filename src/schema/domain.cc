@@ -1,0 +1,103 @@
+#include "src/schema/domain.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+IntegerRangeDomain::IntegerRangeDomain(int64_t lo, int64_t hi)
+    : lo_(lo), hi_(hi) {
+  AVQDB_CHECK(hi >= lo, "IntegerRangeDomain [%lld, %lld] is empty",
+              static_cast<long long>(lo), static_cast<long long>(hi));
+}
+
+uint64_t IntegerRangeDomain::cardinality() const {
+  return static_cast<uint64_t>(hi_ - lo_) + 1;
+}
+
+Result<uint64_t> IntegerRangeDomain::Encode(const Value& value) const {
+  if (!value.is_int()) {
+    return Status::InvalidArgument(
+        StringFormat("expected integer for %s, got %s", ToString().c_str(),
+                     value.ToString().c_str()));
+  }
+  const int64_t v = value.AsInt();
+  if (v < lo_ || v > hi_) {
+    return Status::OutOfRange(
+        StringFormat("%lld outside %s", static_cast<long long>(v),
+                     ToString().c_str()));
+  }
+  return static_cast<uint64_t>(v - lo_);
+}
+
+Result<Value> IntegerRangeDomain::Decode(uint64_t ordinal) const {
+  if (ordinal >= cardinality()) {
+    return Status::OutOfRange(StringFormat(
+        "ordinal %llu outside %s", static_cast<unsigned long long>(ordinal),
+        ToString().c_str()));
+  }
+  return Value(lo_ + static_cast<int64_t>(ordinal));
+}
+
+std::string IntegerRangeDomain::ToString() const {
+  return StringFormat("int[%lld..%lld]", static_cast<long long>(lo_),
+                      static_cast<long long>(hi_));
+}
+
+Result<std::shared_ptr<CategoricalDomain>> CategoricalDomain::Create(
+    std::vector<std::string> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("categorical domain must be non-empty");
+  }
+  AVQDB_ASSIGN_OR_RETURN(Dictionary dict,
+                         Dictionary::FromValues(std::move(values)));
+  return std::shared_ptr<CategoricalDomain>(
+      new CategoricalDomain(std::move(dict)));
+}
+
+Result<uint64_t> CategoricalDomain::Encode(const Value& value) const {
+  if (!value.is_string()) {
+    return Status::InvalidArgument(
+        StringFormat("expected string for categorical domain, got %s",
+                     value.ToString().c_str()));
+  }
+  return dict_.Lookup(value.AsString());
+}
+
+Result<Value> CategoricalDomain::Decode(uint64_t ordinal) const {
+  AVQDB_ASSIGN_OR_RETURN(std::string s, dict_.Decode(ordinal));
+  return Value(std::move(s));
+}
+
+std::string CategoricalDomain::ToString() const {
+  return StringFormat("categorical[%llu]",
+                      static_cast<unsigned long long>(dict_.size()));
+}
+
+Result<uint64_t> StringDictionaryDomain::Encode(const Value& value) const {
+  if (!value.is_string()) {
+    return Status::InvalidArgument(
+        StringFormat("expected string for dictionary domain, got %s",
+                     value.ToString().c_str()));
+  }
+  return dict_.LookupOrAdd(value.AsString());
+}
+
+Result<Value> StringDictionaryDomain::Decode(uint64_t ordinal) const {
+  if (ordinal >= capacity_) {
+    return Status::OutOfRange(StringFormat(
+        "ordinal %llu outside dictionary capacity %llu",
+        static_cast<unsigned long long>(ordinal),
+        static_cast<unsigned long long>(capacity_)));
+  }
+  AVQDB_ASSIGN_OR_RETURN(std::string s, dict_.Decode(ordinal));
+  return Value(std::move(s));
+}
+
+std::string StringDictionaryDomain::ToString() const {
+  return StringFormat("dict[%llu/%llu]",
+                      static_cast<unsigned long long>(dict_.size()),
+                      static_cast<unsigned long long>(capacity_));
+}
+
+}  // namespace avqdb

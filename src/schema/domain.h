@@ -1,0 +1,120 @@
+// Domain: an attribute domain A_i — a finite, totally ordered set of values
+// with a bijection onto {0, 1, ..., |A_i|-1} (the paper's attribute
+// encoding, §3.1).
+//
+// The cardinality |A_i| is fixed at construction: it is the radix of this
+// attribute's digit in the mixed-radix tuple space 𝓡, so it must not change
+// underneath existing encoded data. Growing domains (StringDictionaryDomain)
+// therefore reserve a fixed capacity and fill it over time.
+
+#ifndef AVQDB_SCHEMA_DOMAIN_H_
+#define AVQDB_SCHEMA_DOMAIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/schema/dictionary.h"
+#include "src/schema/value.h"
+
+namespace avqdb {
+
+enum class DomainKind : int {
+  kIntegerRange = 0,
+  kCategorical = 1,
+  kStringDictionary = 2,
+};
+
+class Domain {
+ public:
+  virtual ~Domain() = default;
+
+  virtual DomainKind kind() const = 0;
+
+  // |A_i|: number of encodable ordinals; the radix of this digit.
+  virtual uint64_t cardinality() const = 0;
+
+  // Maps a value to its ordinal in [0, cardinality()).
+  virtual Result<uint64_t> Encode(const Value& value) const = 0;
+
+  // Inverse of Encode. OutOfRange for ordinals >= cardinality() and
+  // NotFound for ordinals that no value maps to yet (sparse dictionaries).
+  virtual Result<Value> Decode(uint64_t ordinal) const = 0;
+
+  // Short description for catalogs and debugging.
+  virtual std::string ToString() const = 0;
+};
+
+// Integers in the inclusive range [lo, hi]; ordinal = v - lo.
+class IntegerRangeDomain final : public Domain {
+ public:
+  // Aborts if hi < lo (programmer error, not data error).
+  IntegerRangeDomain(int64_t lo, int64_t hi);
+
+  DomainKind kind() const override { return DomainKind::kIntegerRange; }
+  uint64_t cardinality() const override;
+  Result<uint64_t> Encode(const Value& value) const override;
+  Result<Value> Decode(uint64_t ordinal) const override;
+  std::string ToString() const override;
+
+  int64_t lo() const { return lo_; }
+  int64_t hi() const { return hi_; }
+
+ private:
+  int64_t lo_;
+  int64_t hi_;
+};
+
+// A fixed, explicitly enumerated set of strings; ordinal = position in the
+// construction list (the paper's department / job-title domains).
+class CategoricalDomain final : public Domain {
+ public:
+  static Result<std::shared_ptr<CategoricalDomain>> Create(
+      std::vector<std::string> values);
+
+  DomainKind kind() const override { return DomainKind::kCategorical; }
+  uint64_t cardinality() const override { return dict_.size(); }
+  Result<uint64_t> Encode(const Value& value) const override;
+  Result<Value> Decode(uint64_t ordinal) const override;
+  std::string ToString() const override;
+
+ private:
+  explicit CategoricalDomain(Dictionary dict) : dict_(std::move(dict)) {}
+  Dictionary dict_;
+};
+
+// A growing string dictionary with fixed capacity. Encode() of an unseen
+// string assigns the next free ordinal. Encode is therefore non-const in
+// spirit; the dictionary is internal mutable state guarded by the usual
+// single-writer discipline of the storage engine (this library is
+// single-threaded per table, like the paper's implementation).
+class StringDictionaryDomain final : public Domain {
+ public:
+  explicit StringDictionaryDomain(uint64_t capacity)
+      : capacity_(capacity), dict_(capacity) {}
+
+  // Restores a domain around an existing dictionary (deserialization).
+  explicit StringDictionaryDomain(Dictionary dict)
+      : capacity_(dict.capacity()), dict_(std::move(dict)) {}
+
+  const Dictionary& dictionary() const { return dict_; }
+
+  DomainKind kind() const override { return DomainKind::kStringDictionary; }
+  uint64_t cardinality() const override { return capacity_; }
+  Result<uint64_t> Encode(const Value& value) const override;
+  Result<Value> Decode(uint64_t ordinal) const override;
+  std::string ToString() const override;
+
+  uint64_t assigned() const { return dict_.size(); }
+
+ private:
+  uint64_t capacity_;
+  mutable Dictionary dict_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_SCHEMA_DOMAIN_H_

@@ -1,0 +1,103 @@
+#include "src/schema/schema.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+namespace {
+
+// Bytes needed to represent values in [0, cardinality): width of the
+// largest ordinal, minimum 1.
+uint8_t DigitWidth(uint64_t cardinality) {
+  uint64_t max_ordinal = cardinality - 1;
+  uint8_t width = 1;
+  while (max_ordinal > 0xff) {
+    max_ordinal >>= 8;
+    ++width;
+  }
+  return width;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Schema>> Schema::Create(
+    std::vector<Attribute> attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  auto schema = std::shared_ptr<Schema>(new Schema());
+  std::unordered_set<std::string> names;
+  size_t width = 0;
+  bool fits = true;
+  unsigned __int128 space = 1;
+  double log2_space = 0.0;
+  for (auto& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (!names.insert(attr.name).second) {
+      return Status::InvalidArgument(
+          StringFormat("duplicate attribute name \"%s\"", attr.name.c_str()));
+    }
+    if (attr.domain == nullptr) {
+      return Status::InvalidArgument(
+          StringFormat("attribute \"%s\" has no domain", attr.name.c_str()));
+    }
+    const uint64_t card = attr.domain->cardinality();
+    if (card == 0) {
+      return Status::InvalidArgument(
+          StringFormat("attribute \"%s\" has empty domain",
+                       attr.name.c_str()));
+    }
+    schema->radices_.push_back(card);
+    const uint8_t digit_width = DigitWidth(card);
+    schema->digit_widths_.push_back(digit_width);
+    width += digit_width;
+    log2_space += std::log2(static_cast<double>(card));
+    if (fits) {
+      const unsigned __int128 next = space * card;
+      // Overflow check: division must invert the multiplication.
+      if (card != 0 && next / card != space) {
+        fits = false;
+      } else {
+        space = next;
+      }
+    }
+  }
+  if (width > kMaxTupleWidth) {
+    return Status::InvalidArgument(StringFormat(
+        "tuple width %zu exceeds maximum %zu bytes", width, kMaxTupleWidth));
+  }
+  schema->attributes_ = std::move(attributes);
+  schema->tuple_width_ = width;
+  schema->space_fits_ = fits;
+  schema->space_size_ = fits ? space : 0;
+  schema->space_log2_ = log2_space;
+  return std::shared_ptr<const Schema>(std::move(schema));
+}
+
+Result<size_t> Schema::AttributeIndex(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound(
+      StringFormat("no attribute named \"%.*s\"",
+                   static_cast<int>(name.size()), name.data()));
+}
+
+std::string Schema::ToString() const {
+  std::string out = StringFormat("schema (m=%zu bytes, log2|R|=%.1f):\n",
+                                 tuple_width_, space_log2_);
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    out += StringFormat("  [%zu] %s : %s (width %u)\n", i,
+                        attributes_[i].name.c_str(),
+                        attributes_[i].domain->ToString().c_str(),
+                        digit_widths_[i]);
+  }
+  return out;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,87 @@
+// Schema: a relation scheme 𝓡 = ⟨⟨A_1, ..., A_n⟩⟩ (§2.2).
+//
+// A Schema fixes the attribute order, each attribute's domain (and hence
+// its radix |A_i|), and the derived byte geometry used by the AVQ codec:
+// per-attribute digit widths and the tuple byte width m. The tuple space
+// size ‖𝓡‖ = Π|A_i| routinely overflows 64 bits for realistic relations,
+// which is exactly why the codec does digit-wise mixed-radix arithmetic
+// instead of materializing φ(t); the schema still reports ‖𝓡‖ when it fits
+// in 128 bits, plus log2‖𝓡‖ always, for diagnostics.
+
+#ifndef AVQDB_SCHEMA_SCHEMA_H_
+#define AVQDB_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/schema/domain.h"
+
+namespace avqdb {
+
+struct Attribute {
+  std::string name;
+  std::shared_ptr<Domain> domain;
+};
+
+class Schema {
+ public:
+  // Validates and freezes the attribute list. Requirements:
+  //  * at least one attribute, unique names, non-null domains;
+  //  * every cardinality >= 1;
+  //  * tuple byte width m <= kMaxTupleWidth (the leading-zero run length
+  //    must fit in one byte, §3.4).
+  static Result<std::shared_ptr<const Schema>> Create(
+      std::vector<Attribute> attributes);
+
+  static constexpr size_t kMaxTupleWidth = 255;
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  // Index of the attribute named `name`, or NotFound.
+  Result<size_t> AttributeIndex(std::string_view name) const;
+
+  // |A_i| for each attribute, in schema order. These are the radices of
+  // the mixed-radix number system that φ defines.
+  const std::vector<uint64_t>& radices() const { return radices_; }
+
+  // Bytes used by attribute i's digit in the serialized tuple image
+  // (minimum 1; enough for cardinality-1).
+  const std::vector<uint8_t>& digit_widths() const { return digit_widths_; }
+
+  // m: total serialized tuple width in bytes.
+  size_t tuple_width() const { return tuple_width_; }
+
+  // ‖𝓡‖ = Π |A_i| if it fits in 128 bits.
+  bool space_size_fits_u128() const { return space_fits_; }
+  unsigned __int128 space_size_u128() const { return space_size_; }
+
+  // log2 ‖𝓡‖ (always available; useful for compressibility estimates).
+  double space_size_log2() const { return space_log2_; }
+
+  // Multi-line human-readable description.
+  std::string ToString() const;
+
+ private:
+  Schema() = default;
+
+  std::vector<Attribute> attributes_;
+  std::vector<uint64_t> radices_;
+  std::vector<uint8_t> digit_widths_;
+  size_t tuple_width_ = 0;
+  bool space_fits_ = false;
+  unsigned __int128 space_size_ = 0;
+  double space_log2_ = 0.0;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace avqdb
+
+#endif  // AVQDB_SCHEMA_SCHEMA_H_

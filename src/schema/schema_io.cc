@@ -1,0 +1,135 @@
+#include "src/schema/schema_io.h"
+
+#include <memory>
+
+#include "src/common/coding.h"
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/schema/dictionary.h"
+#include "src/schema/domain.h"
+
+namespace avqdb {
+
+void EncodeSchema(const Schema& schema, std::string* dst) {
+  PutVarint64(dst, schema.num_attributes());
+  for (const Attribute& attr : schema.attributes()) {
+    PutLengthPrefixed(dst, Slice(attr.name));
+    dst->push_back(static_cast<char>(attr.domain->kind()));
+    switch (attr.domain->kind()) {
+      case DomainKind::kIntegerRange: {
+        const auto* domain =
+            static_cast<const IntegerRangeDomain*>(attr.domain.get());
+        PutVarint64(dst, ZigZagEncode(domain->lo()));
+        PutVarint64(dst, ZigZagEncode(domain->hi()));
+        break;
+      }
+      case DomainKind::kCategorical: {
+        const Domain& domain = *attr.domain;
+        PutVarint64(dst, domain.cardinality());
+        for (uint64_t ordinal = 0; ordinal < domain.cardinality();
+             ++ordinal) {
+          auto value = domain.Decode(ordinal);
+          AVQDB_CHECK(value.ok(), "categorical ordinal %llu undecodable",
+                      static_cast<unsigned long long>(ordinal));
+          PutLengthPrefixed(dst, Slice(value.value().AsString()));
+        }
+        break;
+      }
+      case DomainKind::kStringDictionary: {
+        const auto* domain =
+            static_cast<const StringDictionaryDomain*>(attr.domain.get());
+        std::string dict;
+        domain->dictionary().EncodeTo(&dict);
+        PutLengthPrefixed(dst, Slice(dict));
+        break;
+      }
+    }
+  }
+}
+
+Result<SchemaPtr> DecodeSchema(Slice* input) {
+  uint64_t count = 0;
+  if (!GetVarint64(input, &count)) {
+    return Status::Corruption("schema attribute count truncated");
+  }
+  if (count == 0 || count > Schema::kMaxTupleWidth) {
+    return Status::Corruption(
+        StringFormat("implausible attribute count %llu",
+                     static_cast<unsigned long long>(count)));
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice name;
+    if (!GetLengthPrefixed(input, &name)) {
+      return Status::Corruption("attribute name truncated");
+    }
+    if (input->empty()) {
+      return Status::Corruption("domain kind truncated");
+    }
+    const uint8_t kind = (*input)[0];
+    input->RemovePrefix(1);
+    std::shared_ptr<Domain> domain;
+    switch (kind) {
+      case static_cast<uint8_t>(DomainKind::kIntegerRange): {
+        uint64_t lo_raw = 0, hi_raw = 0;
+        if (!GetVarint64(input, &lo_raw) || !GetVarint64(input, &hi_raw)) {
+          return Status::Corruption("integer domain truncated");
+        }
+        const int64_t lo = ZigZagDecode(lo_raw);
+        const int64_t hi = ZigZagDecode(hi_raw);
+        if (hi < lo) {
+          return Status::Corruption("integer domain with hi < lo");
+        }
+        domain = std::make_shared<IntegerRangeDomain>(lo, hi);
+        break;
+      }
+      case static_cast<uint8_t>(DomainKind::kCategorical): {
+        uint64_t value_count = 0;
+        if (!GetVarint64(input, &value_count)) {
+          return Status::Corruption("categorical count truncated");
+        }
+        std::vector<std::string> values;
+        values.reserve(value_count);
+        for (uint64_t v = 0; v < value_count; ++v) {
+          Slice value;
+          if (!GetLengthPrefixed(input, &value)) {
+            return Status::Corruption("categorical value truncated");
+          }
+          values.push_back(value.ToString());
+        }
+        auto created = CategoricalDomain::Create(std::move(values));
+        if (!created.ok()) {
+          return Status::Corruption(StringFormat(
+              "categorical domain invalid: %s",
+              created.status().message().c_str()));
+        }
+        domain = std::move(created).value();
+        break;
+      }
+      case static_cast<uint8_t>(DomainKind::kStringDictionary): {
+        Slice dict_bytes;
+        if (!GetLengthPrefixed(input, &dict_bytes)) {
+          return Status::Corruption("dictionary domain truncated");
+        }
+        auto dict = Dictionary::DecodeFrom(dict_bytes.ToString());
+        if (!dict.ok()) return dict.status();
+        domain = std::make_shared<StringDictionaryDomain>(
+            std::move(dict).value());
+        break;
+      }
+      default:
+        return Status::Corruption(
+            StringFormat("unknown domain kind %u", kind));
+    }
+    attrs.push_back(Attribute{name.ToString(), std::move(domain)});
+  }
+  auto schema = Schema::Create(std::move(attrs));
+  if (!schema.ok()) {
+    return Status::Corruption(StringFormat(
+        "decoded schema invalid: %s", schema.status().message().c_str()));
+  }
+  return schema;
+}
+
+}  // namespace avqdb

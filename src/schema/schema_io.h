@@ -1,0 +1,35 @@
+// Schema (de)serialization for on-disk catalogs.
+//
+// Format (all integers varint unless noted):
+//   attribute count
+//   per attribute:
+//     length-prefixed name
+//     domain kind (u8)
+//     kind-specific payload:
+//       integer-range:     zigzag lo, zigzag hi
+//       categorical:       value count, length-prefixed values in ordinal
+//                          order
+//       string-dictionary: serialized Dictionary (capacity + entries)
+
+#ifndef AVQDB_SCHEMA_SCHEMA_IO_H_
+#define AVQDB_SCHEMA_SCHEMA_IO_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/schema/schema.h"
+
+namespace avqdb {
+
+// Appends the serialized schema to *dst.
+void EncodeSchema(const Schema& schema, std::string* dst);
+
+// Parses a schema from *input, consuming exactly the encoded bytes.
+// Corruption on malformed input.
+Result<SchemaPtr> DecodeSchema(Slice* input);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_SCHEMA_SCHEMA_IO_H_

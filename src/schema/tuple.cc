@@ -1,0 +1,82 @@
+#include "src/schema/tuple.h"
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+Result<OrdinalTuple> EncodeRow(const Schema& schema, const Row& row) {
+  if (row.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        StringFormat("row arity %zu != schema arity %zu", row.size(),
+                     schema.num_attributes()));
+  }
+  OrdinalTuple tuple(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    auto ordinal = schema.attribute(i).domain->Encode(row[i]);
+    if (!ordinal.ok()) {
+      return Status(ordinal.status().code(),
+                    StringFormat("attribute \"%s\": %s",
+                                 schema.attribute(i).name.c_str(),
+                                 ordinal.status().message().c_str()));
+    }
+    tuple[i] = ordinal.value();
+  }
+  return tuple;
+}
+
+Result<Row> DecodeTuple(const Schema& schema, const OrdinalTuple& tuple) {
+  AVQDB_RETURN_IF_ERROR(ValidateTuple(schema, tuple));
+  Row row(tuple.size());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    auto value = schema.attribute(i).domain->Decode(tuple[i]);
+    if (!value.ok()) {
+      return Status(value.status().code(),
+                    StringFormat("attribute \"%s\": %s",
+                                 schema.attribute(i).name.c_str(),
+                                 value.status().message().c_str()));
+    }
+    row[i] = std::move(value).value();
+  }
+  return row;
+}
+
+Status ValidateTuple(const Schema& schema, const OrdinalTuple& tuple) {
+  if (tuple.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        StringFormat("tuple arity %zu != schema arity %zu", tuple.size(),
+                     schema.num_attributes()));
+  }
+  const auto& radices = schema.radices();
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i] >= radices[i]) {
+      return Status::OutOfRange(StringFormat(
+          "digit %zu is %llu, radix %llu", i,
+          static_cast<unsigned long long>(tuple[i]),
+          static_cast<unsigned long long>(radices[i])));
+    }
+  }
+  return Status::OK();
+}
+
+int CompareTuples(const OrdinalTuple& a, const OrdinalTuple& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+std::string TupleToString(const OrdinalTuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += StringFormat("%llu", static_cast<unsigned long long>(tuple[i]));
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace avqdb

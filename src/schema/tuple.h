@@ -1,0 +1,46 @@
+// Tuples as ordinal (digit) vectors, and the row ⇄ tuple conversions of
+// §3.1.
+//
+// Internally the engine works on OrdinalTuple: a vector of attribute
+// ordinals, one digit per attribute, most significant first. Comparing
+// OrdinalTuples lexicographically is exactly the φ total order of Eq 2.2
+// (digit-wise comparison of mixed-radix numbers), so no big integers are
+// needed to sort or search.
+
+#ifndef AVQDB_SCHEMA_TUPLE_H_
+#define AVQDB_SCHEMA_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/schema/schema.h"
+#include "src/schema/value.h"
+
+namespace avqdb {
+
+// One attribute ordinal per attribute, in schema order.
+using OrdinalTuple = std::vector<uint64_t>;
+
+// Domain-maps a user row to its ordinal tuple (§3.1). Errors if arity or
+// any value/domain mismatch.
+Result<OrdinalTuple> EncodeRow(const Schema& schema, const Row& row);
+
+// Inverse of EncodeRow.
+Result<Row> DecodeTuple(const Schema& schema, const OrdinalTuple& tuple);
+
+// Checks arity and digit ranges against the schema's radices.
+Status ValidateTuple(const Schema& schema, const OrdinalTuple& tuple);
+
+// Lexicographic (= φ order) comparison: <0, 0, >0. Tuples must have equal
+// arity; trailing digits break ties.
+int CompareTuples(const OrdinalTuple& a, const OrdinalTuple& b);
+
+// "(3, 08, 36, 39, 35)"
+std::string TupleToString(const OrdinalTuple& tuple);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_SCHEMA_TUPLE_H_

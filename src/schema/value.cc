@@ -1,0 +1,39 @@
+#include "src/schema/value.h"
+
+#include "src/common/logging.h"
+
+namespace avqdb {
+
+int64_t Value::AsInt() const {
+  AVQDB_CHECK(is_int(), "Value::AsInt on %s", ToString().c_str());
+  return std::get<int64_t>(data_);
+}
+
+const std::string& Value::AsString() const {
+  AVQDB_CHECK(is_string(), "Value::AsString on %s", ToString().c_str());
+  return std::get<std::string>(data_);
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "NULL";
+    case ValueKind::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueKind::kString:
+      return "\"" + std::get<std::string>(data_) + "\"";
+  }
+  return "?";
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,66 @@
+// Value: the dynamically-typed attribute value used at the database API
+// boundary, before domain mapping turns rows into ordinal tuples (§3.1 of
+// the paper).
+//
+// The paper's relations contain categorical strings (department, job title)
+// and bounded integers (years, hours, employee number), so Value supports
+// exactly {null, int64, string}.
+
+#ifndef AVQDB_SCHEMA_VALUE_H_
+#define AVQDB_SCHEMA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace avqdb {
+
+enum class ValueKind : int { kNull = 0, kInt = 1, kString = 2 };
+
+class Value {
+ public:
+  // Null value.
+  Value() : data_(std::monostate{}) {}
+  // The int64 and string constructors are intentionally implicit so rows
+  // can be written as brace lists: {"marketing", 12, 31}.
+  Value(int64_t v) : data_(v) {}            // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT
+
+  ValueKind kind() const {
+    return static_cast<ValueKind>(data_.index());
+  }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+
+  // Accessors abort if the kind is wrong; use kind() first when unsure.
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  // Human-readable rendering ("NULL", "42", "\"marketing\"").
+  std::string ToString() const;
+
+  // Total order: null < int < string across kinds; natural order within.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.data_ < b.data_;
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, std::string> data_;
+};
+
+// A row of attribute values as supplied by / returned to the user.
+using Row = std::vector<Value>;
+
+// Renders a row as "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_SCHEMA_VALUE_H_

@@ -1,0 +1,197 @@
+#include "src/storage/block_device.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+MemBlockDevice::MemBlockDevice(size_t block_size) : block_size_(block_size) {}
+
+Status MemBlockDevice::CheckLive(BlockId id) const {
+  if (id >= blocks_.size() || !live_[id]) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is not allocated", id));
+  }
+  return Status::OK();
+}
+
+Result<BlockId> MemBlockDevice::Allocate() {
+  if (!free_list_.empty()) {
+    const BlockId id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+    blocks_[id].assign(block_size_, '\0');
+    return id;
+  }
+  if (blocks_.size() >= kInvalidBlockId) {
+    return Status::ResourceExhausted("device is out of block ids");
+  }
+  blocks_.emplace_back(block_size_, '\0');
+  live_.push_back(true);
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+Status MemBlockDevice::Free(BlockId id) {
+  AVQDB_RETURN_IF_ERROR(CheckLive(id));
+  live_[id] = false;
+  blocks_[id].clear();
+  blocks_[id].shrink_to_fit();
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status MemBlockDevice::Read(BlockId id, std::string* out) const {
+  AVQDB_RETURN_IF_ERROR(CheckLive(id));
+  *out = blocks_[id];
+  return Status::OK();
+}
+
+Status MemBlockDevice::Write(BlockId id, Slice data) {
+  AVQDB_RETURN_IF_ERROR(CheckLive(id));
+  if (data.size() > block_size_) {
+    return Status::InvalidArgument(
+        StringFormat("write of %zu bytes exceeds block size %zu",
+                     data.size(), block_size_));
+  }
+  std::string& block = blocks_[id];
+  block.assign(reinterpret_cast<const char*>(data.data()), data.size());
+  block.resize(block_size_, '\0');
+  return Status::OK();
+}
+
+size_t MemBlockDevice::allocated_blocks() const {
+  size_t count = 0;
+  for (bool l : live_) {
+    if (l) ++count;
+  }
+  return count;
+}
+
+Status MemBlockDevice::CorruptByte(BlockId id, size_t offset, uint8_t value) {
+  AVQDB_RETURN_IF_ERROR(CheckLive(id));
+  if (offset >= block_size_) {
+    return Status::InvalidArgument("corruption offset outside block");
+  }
+  blocks_[id][offset] = static_cast<char>(value);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Create(
+    const std::string& path, size_t block_size) {
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError(StringFormat("open(%s): %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(fd, block_size, 0));
+}
+
+Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
+    const std::string& path, size_t block_size) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(StringFormat("open(%s): %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(StringFormat("fstat(%s): %s", path.c_str(),
+                                        std::strerror(err)));
+  }
+  if (st.st_size % static_cast<off_t>(block_size) != 0) {
+    ::close(fd);
+    return Status::Corruption(StringFormat(
+        "file size %lld is not a multiple of block size %zu",
+        static_cast<long long>(st.st_size), block_size));
+  }
+  return std::unique_ptr<FileBlockDevice>(new FileBlockDevice(
+      fd, block_size, static_cast<size_t>(st.st_size) / block_size));
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<BlockId> FileBlockDevice::Allocate() {
+  if (!free_list_.empty()) {
+    const BlockId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  if (num_blocks_ >= kInvalidBlockId) {
+    return Status::ResourceExhausted("device is out of block ids");
+  }
+  const BlockId id = static_cast<BlockId>(num_blocks_);
+  // Extend the file with a zero block so Read of a fresh block succeeds.
+  std::string zeros(block_size_, '\0');
+  const off_t offset = static_cast<off_t>(id) * block_size_;
+  if (::pwrite(fd_, zeros.data(), zeros.size(), offset) !=
+      static_cast<ssize_t>(zeros.size())) {
+    return Status::IOError(
+        StringFormat("pwrite extend: %s", std::strerror(errno)));
+  }
+  ++num_blocks_;
+  return id;
+}
+
+Status FileBlockDevice::Free(BlockId id) {
+  if (id >= num_blocks_) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is not allocated", id));
+  }
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status FileBlockDevice::Read(BlockId id, std::string* out) const {
+  if (id >= num_blocks_) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is not allocated", id));
+  }
+  out->resize(block_size_);
+  const off_t offset = static_cast<off_t>(id) * block_size_;
+  const ssize_t n = ::pread(fd_, out->data(), block_size_, offset);
+  if (n != static_cast<ssize_t>(block_size_)) {
+    return Status::IOError(StringFormat("pread block %u: %s", id,
+                                        std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FileBlockDevice::Write(BlockId id, Slice data) {
+  if (id >= num_blocks_) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is not allocated", id));
+  }
+  if (data.size() > block_size_) {
+    return Status::InvalidArgument(
+        StringFormat("write of %zu bytes exceeds block size %zu",
+                     data.size(), block_size_));
+  }
+  std::string padded(reinterpret_cast<const char*>(data.data()),
+                     data.size());
+  padded.resize(block_size_, '\0');
+  const off_t offset = static_cast<off_t>(id) * block_size_;
+  if (::pwrite(fd_, padded.data(), padded.size(), offset) !=
+      static_cast<ssize_t>(padded.size())) {
+    return Status::IOError(StringFormat("pwrite block %u: %s", id,
+                                        std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+size_t FileBlockDevice::allocated_blocks() const {
+  return num_blocks_ - free_list_.size();
+}
+
+}  // namespace avqdb

@@ -1,0 +1,107 @@
+// BlockDevice: the fixed-block-size disk abstraction under the storage
+// engine.
+//
+// MemBlockDevice is the default substrate for tests and benches; the
+// simulated I/O *timing* lives in DiskModel/Pager, so the device itself
+// only moves bytes. FileBlockDevice persists blocks in a plain file for
+// the examples that want durable output.
+
+#ifndef AVQDB_STORAGE_BLOCK_DEVICE_H_
+#define AVQDB_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace avqdb {
+
+using BlockId = uint32_t;
+inline constexpr BlockId kInvalidBlockId = 0xffffffffu;
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual size_t block_size() const = 0;
+
+  // Reserves a fresh (or recycled) block id.
+  virtual Result<BlockId> Allocate() = 0;
+
+  // Returns a block to the free pool. Freed ids may be recycled.
+  virtual Status Free(BlockId id) = 0;
+
+  // Reads a whole block into *out (resized to block_size()).
+  virtual Status Read(BlockId id, std::string* out) const = 0;
+
+  // Writes `data` (at most block_size() bytes; shorter data is
+  // zero-padded) to an allocated block.
+  virtual Status Write(BlockId id, Slice data) = 0;
+
+  // Currently allocated block count (excludes freed blocks).
+  virtual size_t allocated_blocks() const = 0;
+};
+
+// Heap-backed device.
+class MemBlockDevice final : public BlockDevice {
+ public:
+  explicit MemBlockDevice(size_t block_size);
+
+  size_t block_size() const override { return block_size_; }
+  Result<BlockId> Allocate() override;
+  Status Free(BlockId id) override;
+  Status Read(BlockId id, std::string* out) const override;
+  Status Write(BlockId id, Slice data) override;
+  size_t allocated_blocks() const override;
+
+  // Test hook: overwrites raw bytes of a live block (fault injection).
+  Status CorruptByte(BlockId id, size_t offset, uint8_t value);
+
+ private:
+  Status CheckLive(BlockId id) const;
+
+  size_t block_size_;
+  std::vector<std::string> blocks_;
+  std::vector<bool> live_;
+  std::vector<BlockId> free_list_;
+};
+
+// POSIX-file-backed device; block i lives at offset i * block_size.
+// The free list is kept in memory (rebuilt as empty on reopen — reopening
+// an existing file exposes all previously written blocks as allocated).
+class FileBlockDevice final : public BlockDevice {
+ public:
+  // Creates or truncates `path`.
+  static Result<std::unique_ptr<FileBlockDevice>> Create(
+      const std::string& path, size_t block_size);
+
+  // Opens an existing file; its size must be a multiple of block_size.
+  static Result<std::unique_ptr<FileBlockDevice>> Open(
+      const std::string& path, size_t block_size);
+
+  ~FileBlockDevice() override;
+
+  size_t block_size() const override { return block_size_; }
+  Result<BlockId> Allocate() override;
+  Status Free(BlockId id) override;
+  Status Read(BlockId id, std::string* out) const override;
+  Status Write(BlockId id, Slice data) override;
+  size_t allocated_blocks() const override;
+
+ private:
+  FileBlockDevice(int fd, size_t block_size, size_t num_blocks)
+      : fd_(fd), block_size_(block_size), num_blocks_(num_blocks) {}
+
+  int fd_;
+  size_t block_size_;
+  size_t num_blocks_;
+  std::vector<BlockId> free_list_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,46 @@
+#include "src/storage/buffer_pool.h"
+
+#include <utility>
+
+namespace avqdb {
+
+const std::string* BufferPool::Get(BlockId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->data;
+}
+
+void BufferPool::Put(BlockId id, std::string block) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second->data = std::move(block);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{id, std::move(block)});
+  entries_[id] = lru_.begin();
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+}
+
+void BufferPool::Erase(BlockId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second);
+  entries_.erase(it);
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace avqdb

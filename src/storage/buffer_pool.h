@@ -1,0 +1,56 @@
+// BufferPool: a fixed-capacity LRU cache of block images.
+//
+// Sits between the Pager and the BlockDevice so repeated index-node reads
+// during a query cost one physical I/O, as they would with a real buffer
+// manager. Single-threaded, like the rest of the engine.
+
+#ifndef AVQDB_STORAGE_BUFFER_POOL_H_
+#define AVQDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/slice.h"
+#include "src/storage/block_device.h"
+
+namespace avqdb {
+
+class BufferPool {
+ public:
+  // Capacity of zero disables caching entirely.
+  explicit BufferPool(size_t capacity_blocks) : capacity_(capacity_blocks) {}
+
+  // Returns the cached image or nullptr; refreshes LRU position on hit.
+  const std::string* Get(BlockId id);
+
+  // Inserts/overwrites an entry, evicting the least recently used block
+  // when over capacity.
+  void Put(BlockId id, std::string block);
+
+  // Drops one block (after Free) or everything.
+  void Erase(BlockId id);
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    BlockId id;
+    std::string data;
+  };
+
+  size_t capacity_;
+  // Most recently used at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<BlockId, std::list<Entry>::iterator> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_STORAGE_BUFFER_POOL_H_

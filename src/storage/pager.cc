@@ -1,0 +1,79 @@
+#include "src/storage/pager.h"
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+IoStats& IoStats::operator-=(const IoStats& other) {
+  logical_reads -= other.logical_reads;
+  physical_reads -= other.physical_reads;
+  writes -= other.writes;
+  allocations -= other.allocations;
+  frees -= other.frees;
+  simulated_read_ms -= other.simulated_read_ms;
+  simulated_write_ms -= other.simulated_write_ms;
+  return *this;
+}
+
+std::string IoStats::ToString() const {
+  return StringFormat(
+      "reads %llu (physical %llu), writes %llu, alloc %llu, free %llu, "
+      "sim read %.1f ms, sim write %.1f ms",
+      static_cast<unsigned long long>(logical_reads),
+      static_cast<unsigned long long>(physical_reads),
+      static_cast<unsigned long long>(writes),
+      static_cast<unsigned long long>(allocations),
+      static_cast<unsigned long long>(frees), simulated_read_ms,
+      simulated_write_ms);
+}
+
+Pager::Pager(BlockDevice* device, DiskParameters disk)
+    : device_(device), disk_(disk) {}
+
+void Pager::EnableBufferPool(size_t capacity_blocks) {
+  pool_ = capacity_blocks > 0 ? std::make_unique<BufferPool>(capacity_blocks)
+                              : nullptr;
+}
+
+Result<std::string> Pager::Read(BlockId id) {
+  ++stats_.logical_reads;
+  if (pool_ != nullptr) {
+    if (const std::string* cached = pool_->Get(id)) {
+      return *cached;
+    }
+  }
+  std::string block;
+  AVQDB_RETURN_IF_ERROR(device_->Read(id, &block));
+  ++stats_.physical_reads;
+  stats_.simulated_read_ms += disk_.BlockTimeMs(device_->block_size());
+  if (pool_ != nullptr) pool_->Put(id, block);
+  return block;
+}
+
+Status Pager::Write(BlockId id, Slice data) {
+  AVQDB_RETURN_IF_ERROR(device_->Write(id, data));
+  ++stats_.writes;
+  stats_.simulated_write_ms += disk_.BlockTimeMs(device_->block_size());
+  if (pool_ != nullptr) {
+    std::string padded(reinterpret_cast<const char*>(data.data()),
+                       data.size());
+    padded.resize(device_->block_size(), '\0');
+    pool_->Put(id, std::move(padded));
+  }
+  return Status::OK();
+}
+
+Result<BlockId> Pager::Allocate() {
+  AVQDB_ASSIGN_OR_RETURN(BlockId id, device_->Allocate());
+  ++stats_.allocations;
+  return id;
+}
+
+Status Pager::Free(BlockId id) {
+  AVQDB_RETURN_IF_ERROR(device_->Free(id));
+  ++stats_.frees;
+  if (pool_ != nullptr) pool_->Erase(id);
+  return Status::OK();
+}
+
+}  // namespace avqdb

@@ -1,0 +1,72 @@
+// Pager: the counting, optionally caching access path to a BlockDevice.
+//
+// Every physical block access is counted and priced with the DiskParameters
+// (§5.3.2), which is how the benches obtain N (blocks accessed, Fig 5.8)
+// and the I/O component of C1/C2 (Fig 5.9). Reads served from the attached
+// buffer pool count as logical but not physical accesses.
+
+#ifndef AVQDB_STORAGE_PAGER_H_
+#define AVQDB_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_model.h"
+
+namespace avqdb {
+
+struct IoStats {
+  uint64_t logical_reads = 0;
+  uint64_t physical_reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+  double simulated_read_ms = 0.0;
+  double simulated_write_ms = 0.0;
+
+  IoStats& operator-=(const IoStats& other);
+  std::string ToString() const;
+};
+
+inline IoStats operator-(IoStats a, const IoStats& b) { return a -= b; }
+
+class Pager {
+ public:
+  // The device must outlive the pager.
+  explicit Pager(BlockDevice* device, DiskParameters disk = DiskParameters{});
+
+  size_t block_size() const { return device_->block_size(); }
+  BlockDevice* device() const { return device_; }
+
+  // Enables an LRU cache of `capacity_blocks` images (0 disables).
+  void EnableBufferPool(size_t capacity_blocks);
+  const BufferPool* buffer_pool() const { return pool_.get(); }
+
+  Result<std::string> Read(BlockId id);
+  Status Write(BlockId id, Slice data);
+  Result<BlockId> Allocate();
+  Status Free(BlockId id);
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+  // Snapshot helper for scoped measurements:
+  //   IoStats before = pager.stats(); ...; IoStats delta = pager.stats() - before;
+  const DiskParameters& disk() const { return disk_; }
+
+ private:
+  BlockDevice* device_;
+  DiskParameters disk_;
+  std::unique_ptr<BufferPool> pool_;
+  IoStats stats_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_STORAGE_PAGER_H_

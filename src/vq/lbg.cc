@@ -1,0 +1,144 @@
+#include "src/vq/lbg.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+double SquaredError(const OrdinalTuple& x, const std::vector<double>& y) {
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = static_cast<double>(x[i]) - y[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+namespace {
+
+// One Lloyd pass: assigns every vector to its nearest codeword and returns
+// the total distortion; fills per-codeword sums/counts for the centroid
+// update and remembers the worst-coded vector (used to reseed empty cells).
+double AssignAndAccumulate(const std::vector<OrdinalTuple>& training,
+                           const std::vector<std::vector<double>>& codebook,
+                           std::vector<std::vector<double>>* sums,
+                           std::vector<size_t>* counts,
+                           size_t* worst_vector) {
+  const size_t dim = training[0].size();
+  sums->assign(codebook.size(), std::vector<double>(dim, 0.0));
+  counts->assign(codebook.size(), 0);
+  double total = 0.0;
+  double worst_err = -1.0;
+  *worst_vector = 0;
+  for (size_t v = 0; v < training.size(); ++v) {
+    const auto& x = training[v];
+    size_t best = 0;
+    double best_err = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < codebook.size(); ++c) {
+      const double err = SquaredError(x, codebook[c]);
+      if (err < best_err) {
+        best_err = err;
+        best = c;
+      }
+    }
+    total += best_err;
+    if (best_err > worst_err) {
+      worst_err = best_err;
+      *worst_vector = v;
+    }
+    ++(*counts)[best];
+    auto& sum = (*sums)[best];
+    for (size_t i = 0; i < dim; ++i) sum[i] += static_cast<double>(x[i]);
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<LbgCodebook> TrainLbgCodebook(const std::vector<OrdinalTuple>& training,
+                                     const LbgOptions& options) {
+  if (training.empty()) {
+    return Status::InvalidArgument("LBG training set is empty");
+  }
+  if (options.codebook_size == 0) {
+    return Status::InvalidArgument("LBG codebook size must be positive");
+  }
+  const size_t dim = training[0].size();
+  for (const auto& x : training) {
+    if (x.size() != dim) {
+      return Status::InvalidArgument("LBG training vectors differ in arity");
+    }
+  }
+
+  LbgCodebook result;
+  // Level 0: the global centroid.
+  std::vector<double> centroid(dim, 0.0);
+  for (const auto& x : training) {
+    for (size_t i = 0; i < dim; ++i) centroid[i] += static_cast<double>(x[i]);
+  }
+  for (double& v : centroid) v /= static_cast<double>(training.size());
+  std::vector<std::vector<double>> codebook = {centroid};
+
+  std::vector<std::vector<double>> sums;
+  std::vector<size_t> counts;
+  size_t worst = 0;
+  double distortion =
+      AssignAndAccumulate(training, codebook, &sums, &counts, &worst) /
+      static_cast<double>(training.size());
+
+  while (codebook.size() < options.codebook_size) {
+    // Split every codeword into a ±delta pair.
+    std::vector<std::vector<double>> split;
+    split.reserve(codebook.size() * 2);
+    for (const auto& c : codebook) {
+      std::vector<double> plus = c;
+      std::vector<double> minus = c;
+      for (size_t i = 0; i < dim; ++i) {
+        plus[i] *= (1.0 + options.split_delta);
+        minus[i] *= (1.0 - options.split_delta);
+        // All-zero centroids would split into identical twins; nudge.
+        if (plus[i] == minus[i]) {
+          plus[i] += options.split_delta;
+        }
+      }
+      split.push_back(std::move(plus));
+      split.push_back(std::move(minus));
+    }
+    codebook = std::move(split);
+
+    // Lloyd iterations at this level.
+    double previous = std::numeric_limits<double>::infinity();
+    for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+      const double total =
+          AssignAndAccumulate(training, codebook, &sums, &counts, &worst);
+      distortion = total / static_cast<double>(training.size());
+      ++result.iterations;
+      for (size_t c = 0; c < codebook.size(); ++c) {
+        if (counts[c] == 0) {
+          // Empty cell: reseed at the worst-coded vector (a standard LBG
+          // refinement that avoids wasted codewords / local minima).
+          for (size_t i = 0; i < dim; ++i) {
+            codebook[c][i] = static_cast<double>(training[worst][i]);
+          }
+          continue;
+        }
+        for (size_t i = 0; i < dim; ++i) {
+          codebook[c][i] = sums[c][i] / static_cast<double>(counts[c]);
+        }
+      }
+      if (previous < std::numeric_limits<double>::infinity() &&
+          previous - distortion <= options.epsilon * previous) {
+        break;
+      }
+      previous = distortion;
+    }
+  }
+
+  result.codewords = std::move(codebook);
+  result.distortion = distortion;
+  return result;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,55 @@
+// Linde–Buzo–Gray (generalized Lloyd) codebook design [9] — the
+// conventional-VQ baseline of §2.1.
+//
+// The paper contrasts AVQ against classical VQ on two axes:
+//   * codebook cost: LBG needs "a non-deterministic number of iterations",
+//     AVQ computes its per-block representative in constant time;
+//   * fidelity: VQ is lossy (non-zero squared-error distortion, Eq 2.1),
+//     AVQ is lossless.
+// This trainer lets the benches measure both claims.
+
+#ifndef AVQDB_VQ_LBG_H_
+#define AVQDB_VQ_LBG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+struct LbgOptions {
+  // Target codebook size (number of output vectors). Rounded up to a
+  // power of two by the splitting initialisation.
+  size_t codebook_size = 64;
+  // Lloyd iterations stop when the relative distortion improvement falls
+  // below this threshold ...
+  double epsilon = 1e-4;
+  // ... or after this many iterations per split level.
+  size_t max_iterations = 100;
+  // Perturbation used when splitting centroids.
+  double split_delta = 0.01;
+};
+
+struct LbgCodebook {
+  // Codewords as real-valued centroids in ordinal space.
+  std::vector<std::vector<double>> codewords;
+  // Total Lloyd iterations executed across all split levels.
+  size_t iterations = 0;
+  // Mean squared error per vector of the final partition (Eq 2.1).
+  double distortion = 0.0;
+};
+
+// Squared Euclidean distance between a tuple and a centroid (Eq 2.1).
+double SquaredError(const OrdinalTuple& x, const std::vector<double>& y);
+
+// Trains a codebook on `training` (all tuples must share arity).
+// InvalidArgument if training is empty or codebook_size == 0.
+Result<LbgCodebook> TrainLbgCodebook(const std::vector<OrdinalTuple>& training,
+                                     const LbgOptions& options);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_VQ_LBG_H_

@@ -1,0 +1,97 @@
+#include "src/vq/lossy_vq.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+std::string LossyCodingStats::ToString() const {
+  return StringFormat(
+      "%zu tuples @ %zu bits/codeword, MSE %.2f, exact %.1f%%", tuple_count,
+      bits_per_codeword, mean_squared_error, 100.0 * exact_fraction);
+}
+
+Result<LossyVectorQuantizer> LossyVectorQuantizer::Create(
+    SchemaPtr schema, const LbgCodebook& codebook) {
+  if (codebook.codewords.empty()) {
+    return Status::InvalidArgument("empty codebook");
+  }
+  const size_t dim = schema->num_attributes();
+  std::vector<OrdinalTuple> outputs;
+  outputs.reserve(codebook.codewords.size());
+  for (const auto& centroid : codebook.codewords) {
+    if (centroid.size() != dim) {
+      return Status::InvalidArgument("codeword arity does not match schema");
+    }
+    OrdinalTuple out(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      double rounded = std::round(centroid[i]);
+      if (rounded < 0.0) rounded = 0.0;
+      const double max_ordinal =
+          static_cast<double>(schema->radices()[i] - 1);
+      if (rounded > max_ordinal) rounded = max_ordinal;
+      out[i] = static_cast<uint64_t>(rounded);
+    }
+    outputs.push_back(std::move(out));
+  }
+  return LossyVectorQuantizer(std::move(schema), codebook.codewords,
+                              std::move(outputs));
+}
+
+size_t LossyVectorQuantizer::Encode(const OrdinalTuple& tuple) const {
+  size_t best = 0;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    const double err = SquaredError(tuple, centroids_[c]);
+    if (err < best_err) {
+      best_err = err;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Result<OrdinalTuple> LossyVectorQuantizer::Decode(size_t codeword) const {
+  if (codeword >= outputs_.size()) {
+    return Status::OutOfRange(
+        StringFormat("codeword %zu outside codebook of %zu", codeword,
+                     outputs_.size()));
+  }
+  return outputs_[codeword];
+}
+
+size_t LossyVectorQuantizer::bits_per_codeword() const {
+  size_t bits = 1;
+  while ((size_t{1} << bits) < outputs_.size()) ++bits;
+  return bits;
+}
+
+LossyCodingStats LossyVectorQuantizer::CodeRelation(
+    const std::vector<OrdinalTuple>& tuples) const {
+  LossyCodingStats stats;
+  stats.tuple_count = tuples.size();
+  stats.bits_per_codeword = bits_per_codeword();
+  if (tuples.empty()) return stats;
+  double total_err = 0.0;
+  size_t exact = 0;
+  for (const auto& tuple : tuples) {
+    const size_t codeword = Encode(tuple);
+    const OrdinalTuple& reproduced = outputs_[codeword];
+    double err = 0.0;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      const double d = static_cast<double>(tuple[i]) -
+                       static_cast<double>(reproduced[i]);
+      err += d * d;
+    }
+    total_err += err;
+    if (reproduced == tuple) ++exact;
+  }
+  stats.mean_squared_error = total_err / static_cast<double>(tuples.size());
+  stats.exact_fraction =
+      static_cast<double>(exact) / static_cast<double>(tuples.size());
+  return stats;
+}
+
+}  // namespace avqdb

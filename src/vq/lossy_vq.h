@@ -1,0 +1,71 @@
+// Conventional lossy vector quantizer over relations (§2.1–§2.2).
+//
+// Codes each tuple as the index of its nearest codeword (a full-search
+// coder — the codebook-search cost the paper's §6 calls out) and decodes
+// an index back to the rounded, domain-clamped centroid. The "direct
+// application of VQ to encode a relation" that §2.2 rejects for being
+// lossy; benches use it to quantify that loss against AVQ.
+
+#ifndef AVQDB_VQ_LOSSY_VQ_H_
+#define AVQDB_VQ_LOSSY_VQ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+#include "src/vq/lbg.h"
+
+namespace avqdb {
+
+struct LossyCodingStats {
+  size_t tuple_count = 0;
+  // Bits per coded tuple: ceil(log2 |codebook|).
+  size_t bits_per_codeword = 0;
+  // Mean squared error over all tuples (Eq 2.1).
+  double mean_squared_error = 0.0;
+  // Fraction of tuples recovered exactly (== 1.0 would mean lossless).
+  double exact_fraction = 0.0;
+
+  std::string ToString() const;
+};
+
+class LossyVectorQuantizer {
+ public:
+  // The codebook centroids are rounded and clamped into the schema's
+  // domains up front (output vectors must live in 𝓡).
+  // InvalidArgument on arity mismatch or empty codebook.
+  static Result<LossyVectorQuantizer> Create(SchemaPtr schema,
+                                             const LbgCodebook& codebook);
+
+  // Index of the nearest codeword (full search).
+  size_t Encode(const OrdinalTuple& tuple) const;
+
+  // Output vector for a codeword index; OutOfRange past the codebook.
+  Result<OrdinalTuple> Decode(size_t codeword) const;
+
+  size_t codebook_size() const { return outputs_.size(); }
+  size_t bits_per_codeword() const;
+
+  // Codes and decodes the whole relation, measuring the information loss.
+  LossyCodingStats CodeRelation(const std::vector<OrdinalTuple>& tuples) const;
+
+ private:
+  LossyVectorQuantizer(SchemaPtr schema,
+                       std::vector<std::vector<double>> centroids,
+                       std::vector<OrdinalTuple> outputs)
+      : schema_(std::move(schema)),
+        centroids_(std::move(centroids)),
+        outputs_(std::move(outputs)) {}
+
+  SchemaPtr schema_;
+  std::vector<std::vector<double>> centroids_;  // for nearest search
+  std::vector<OrdinalTuple> outputs_;           // clamped integer outputs
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_VQ_LOSSY_VQ_H_

@@ -1,0 +1,42 @@
+// Value distributions for synthetic relations (§5.1).
+//
+// The paper's skew rule: "the distribution of values within a domain was
+// taken to be skewed when 60% of the values were drawn from 40% of the
+// domain"; otherwise uniform. A Zipf sampler is included for the
+// extension benches.
+
+#ifndef AVQDB_WORKLOAD_DISTRIBUTIONS_H_
+#define AVQDB_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace avqdb {
+
+// Uniform ordinal in [0, cardinality).
+uint64_t SampleUniform(Random& rng, uint64_t cardinality);
+
+// The paper's 60/40 skew: with probability `hot_probability` draw
+// uniformly from the first `hot_fraction` of the domain, otherwise from
+// the rest. Defaults are the paper's 0.6 / 0.4.
+uint64_t SampleSkewed(Random& rng, uint64_t cardinality,
+                      double hot_probability = 0.6,
+                      double hot_fraction = 0.4);
+
+// Zipf(s) over [0, cardinality) via precomputed CDF inversion.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t cardinality, double exponent);
+
+  uint64_t Sample(Random& rng) const;
+  uint64_t cardinality() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_WORKLOAD_DISTRIBUTIONS_H_

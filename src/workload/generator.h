@@ -1,0 +1,80 @@
+// Synthetic relation generation with the paper's §5.1 knobs.
+//
+// The paper varies (1) relation size, (2) domain-size variance (small:
+// sizes within 10% of the mean; large: differences beyond 100%), and
+// (3) attribute-value skew (60% of draws from 40% of the domain), always
+// with 15 attributes. GenerateRelation reproduces those axes
+// deterministically from a seed, and PaperTestSpec builds the four §5.1
+// test configurations.
+
+#ifndef AVQDB_WORKLOAD_GENERATOR_H_
+#define AVQDB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+struct RelationSpec {
+  size_t num_attributes = 15;
+  // Mean |A_i| when explicit_domain_sizes is empty.
+  uint64_t base_domain_size = 64;
+  // Relative spread of domain sizes: <= 0.5 draws sizes uniformly from
+  // [base(1-s), base(1+s)]; larger values draw log-uniformly from
+  // [base/(1+s), base(1+s)] (the paper's "large variance" regime).
+  double domain_spread = 0.1;
+  // When non-empty, used verbatim (overrides the three fields above).
+  std::vector<uint64_t> explicit_domain_sizes;
+  // 60/40 skew per the paper; false = uniform.
+  bool skewed = false;
+  // Make the last attribute a unique key 0..num_tuples-1 (the paper's
+  // employee-number attribute; also guarantees tuple uniqueness).
+  bool unique_last_attribute = false;
+  // Discard duplicate tuples and redraw until num_tuples unique ones
+  // exist (needed for Table set semantics without a unique key).
+  bool dedupe = false;
+  // When > 0, tuples are drawn from this many cluster centres instead of
+  // independently per attribute: a tuple copies its centre's leading
+  // attributes and redraws the trailing `cluster_tail` attributes
+  // uniformly. Models the correlated data real relations exhibit —
+  // repeated attribute-prefix combinations with free low-order columns —
+  // which is the regime where φ-adjacent tuples share long prefixes and
+  // AVQ's differences collapse (cf. §3.4 "tuples in a block form a
+  // cluster").
+  size_t cluster_count = 0;
+  size_t cluster_tail = 3;
+  size_t num_tuples = 10000;
+  uint64_t seed = 42;
+};
+
+struct GeneratedRelation {
+  SchemaPtr schema;
+  std::vector<OrdinalTuple> tuples;  // generation order (unsorted)
+};
+
+Result<GeneratedRelation> GenerateRelation(const RelationSpec& spec);
+
+// The four §5.1 configurations (Fig 5.7 table (a)):
+//   1: skew,    small variance      3: no skew, small variance
+//   2: skew,    large variance      4: no skew, large variance
+RelationSpec PaperTestSpec(int test_number, size_t num_tuples,
+                           uint64_t seed = 42);
+
+// The §5.2/§5.3 reference relation: 16 attributes of varying domain
+// sizes, a unique last attribute, ~38-byte tuples.
+RelationSpec PaperQueryRelationSpec(size_t num_tuples, uint64_t seed = 42);
+
+// A clustered relation (correlated attributes) — the data regime the
+// paper's clustering argument targets; used by the extension benches.
+RelationSpec ClusteredRelationSpec(size_t num_tuples, size_t clusters,
+                                   uint64_t seed = 42);
+
+}  // namespace avqdb
+
+#endif  // AVQDB_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,122 @@
+#include "src/workload/paper_relation.h"
+
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/schema/domain.h"
+
+namespace avqdb {
+namespace {
+
+struct EmployeeRow {
+  const char* department;
+  const char* job;
+  int64_t years;
+  int64_t hours;
+  int64_t number;
+};
+
+// Fig 2.2 table (a); the department/job encodings in table (b) fix the
+// categorical ordinals.
+constexpr EmployeeRow kRows[] = {
+    {"production", "part-time", 24, 32, 0},
+    {"marketing", "director", 12, 31, 1},
+    {"management", "worker1", 29, 21, 2},
+    {"marketing", "worker2", 30, 42, 3},
+    {"management", "supervisor", 27, 27, 4},
+    {"production", "secretary", 23, 25, 5},
+    {"production", "secretary", 34, 28, 6},
+    {"production", "worker1", 32, 37, 7},
+    {"marketing", "worker2", 39, 37, 8},
+    {"production", "executive", 31, 25, 9},
+    {"marketing", "part-time", 19, 21, 10},
+    {"production", "secretary", 28, 22, 11},
+    {"production", "manager", 32, 34, 12},
+    {"marketing", "manager", 38, 34, 13},
+    {"marketing", "worker2", 26, 32, 14},
+    {"personnel", "supervisor", 33, 22, 15},
+    {"production", "part-time", 34, 28, 16},
+    {"marketing", "part-time", 25, 27, 17},
+    {"marketing", "manager", 41, 28, 18},
+    {"production", "manager", 32, 25, 19},
+    {"marketing", "secretary", 39, 29, 20},
+    {"marketing", "manager", 50, 26, 21},
+    {"production", "manager", 31, 33, 22},
+    {"personnel", "manager", 26, 32, 23},
+    {"production", "worker1", 34, 26, 24},
+    {"personnel", "worker2", 45, 16, 25},
+    {"production", "worker2", 39, 37, 26},
+    {"marketing", "worker1", 40, 27, 27},
+    {"marketing", "supervisor", 30, 44, 28},
+    {"production", "manager", 24, 30, 29},
+    {"marketing", "worker2", 33, 32, 30},
+    {"marketing", "part-time", 32, 42, 31},
+    {"personnel", "supervisor", 19, 31, 32},
+    {"production", "part-time", 27, 26, 33},
+    {"production", "supervisor", 32, 30, 34},
+    {"production", "manager", 36, 39, 35},
+    {"management", "worker1", 26, 20, 36},
+    {"production", "part-time", 26, 27, 37},
+    {"production", "supervisor", 35, 25, 38},
+    {"marketing", "supervisor", 39, 33, 39},
+    {"production", "worker2", 35, 28, 40},
+    {"marketing", "manager", 32, 24, 41},
+    {"marketing", "manager", 31, 24, 42},
+    {"marketing", "supervisor", 35, 19, 43},
+    {"marketing", "executive", 55, 23, 44},
+    {"marketing", "manager", 32, 27, 45},
+    {"production", "worker2", 37, 31, 46},
+    {"personnel", "secretary", 24, 26, 47},
+    {"production", "worker2", 30, 32, 48},
+    {"marketing", "worker2", 39, 31, 49},
+};
+
+}  // namespace
+
+SchemaPtr PaperEmployeeSchema() {
+  // Slot positions match the paper's encodings; unused slots are
+  // placeholders so the domain sizes stay 8 and 16.
+  auto department = CategoricalDomain::Create({
+                        "dept-0", "dept-1", "management", "production",
+                        "marketing", "personnel", "dept-6", "dept-7"})
+                        .value();
+  auto job = CategoricalDomain::Create(
+                 {"job-0", "job-1", "job-2", "job-3", "executive",
+                  "secretary", "worker1", "worker2", "manager", "part-time",
+                  "supervisor", "job-11", "director", "job-13", "job-14",
+                  "job-15"})
+                 .value();
+  std::vector<Attribute> attrs = {
+      {"department", department},
+      {"job_title", job},
+      {"years_in_company", std::make_shared<IntegerRangeDomain>(0, 63)},
+      {"hours_per_week", std::make_shared<IntegerRangeDomain>(0, 63)},
+      {"employee_number", std::make_shared<IntegerRangeDomain>(0, 63)},
+  };
+  return Schema::Create(std::move(attrs)).value();
+}
+
+std::vector<Row> PaperEmployeeRows() {
+  std::vector<Row> rows;
+  rows.reserve(std::size(kRows));
+  for (const auto& r : kRows) {
+    rows.push_back(Row{Value(r.department), Value(r.job), Value(r.years),
+                       Value(r.hours), Value(r.number)});
+  }
+  return rows;
+}
+
+std::vector<OrdinalTuple> PaperEmployeeTuples() {
+  SchemaPtr schema = PaperEmployeeSchema();
+  std::vector<OrdinalTuple> tuples;
+  tuples.reserve(std::size(kRows));
+  for (const Row& row : PaperEmployeeRows()) {
+    auto tuple = EncodeRow(*schema, row);
+    AVQDB_CHECK(tuple.ok(), "paper relation row failed to encode: %s",
+                tuple.status().ToString().c_str());
+    tuples.push_back(std::move(tuple).value());
+  }
+  return tuples;
+}
+
+}  // namespace avqdb

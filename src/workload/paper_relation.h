@@ -1,0 +1,33 @@
+// The paper's running example: the 50-tuple employee relation of Fig 2.2,
+// reconstructed from tables (a)–(c) of the figure.
+//
+// Domains (sizes 8, 16, 64, 64, 64): department and job title are
+// categorical with the paper's exact ordinal assignments (management = 2,
+// production = 3, marketing = 4, personnel = 5; executive = 4,
+// secretary = 5, worker1 = 6, worker2 = 7, manager = 8, part-time = 9,
+// supervisor = 10, director = 12 — unused slots carry placeholder names);
+// years-in-company, hours-per-week and employee-number are int[0..63].
+
+#ifndef AVQDB_WORKLOAD_PAPER_RELATION_H_
+#define AVQDB_WORKLOAD_PAPER_RELATION_H_
+
+#include <vector>
+
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+#include "src/schema/value.h"
+
+namespace avqdb {
+
+// The 5-attribute employee schema.
+SchemaPtr PaperEmployeeSchema();
+
+// All 50 rows, in the paper's table (a) order (employee number 0..49).
+std::vector<Row> PaperEmployeeRows();
+
+// The domain-mapped tuples (table (b)), same order.
+std::vector<OrdinalTuple> PaperEmployeeTuples();
+
+}  // namespace avqdb
+
+#endif  // AVQDB_WORKLOAD_PAPER_RELATION_H_

@@ -1,0 +1,284 @@
+// Block encoder/decoder behaviour plus randomized round-trip sweeps over
+// schemas × codec variants × block sizes, and corruption injection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/avq/block_decoder.h"
+#include "src/avq/block_encoder.h"
+#include "src/common/random.h"
+#include "src/common/slice.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+std::vector<OrdinalTuple> SortedRandomTuples(const Schema& schema,
+                                             size_t count, uint64_t seed) {
+  auto tuples = testing::RandomTuples(schema, count, seed);
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  return tuples;
+}
+
+TEST(BlockEncoder, SingleTupleBlock) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;
+  BlockEncoder encoder(schema, options);
+  ASSERT_TRUE(encoder.TryAdd({1, 2, 3, 4, 5}).value());
+  EXPECT_EQ(encoder.tuple_count(), 1u);
+  EXPECT_EQ(encoder.encoded_size(), kBlockHeaderSize + 5);
+  auto block = encoder.Finish();
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value().size(), options.block_size);
+  auto decoded = DecodeBlock(*schema, Slice(block.value()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().tuples,
+            (std::vector<OrdinalTuple>{{1, 2, 3, 4, 5}}));
+}
+
+TEST(BlockEncoder, FinishOnEmptyFails) {
+  BlockEncoder encoder(testing::PaperShapeSchema(), CodecOptions{});
+  EXPECT_TRUE(encoder.Finish().status().IsInvalidArgument());
+}
+
+TEST(BlockEncoder, RejectsOutOfOrderTuples) {
+  BlockEncoder encoder(testing::PaperShapeSchema(), CodecOptions{});
+  ASSERT_TRUE(encoder.TryAdd({3, 0, 0, 0, 0}).value());
+  EXPECT_TRUE(encoder.TryAdd({2, 0, 0, 0, 0}).status().IsInvalidArgument());
+}
+
+TEST(BlockEncoder, AcceptsDuplicates) {
+  auto schema = testing::PaperShapeSchema();
+  BlockEncoder encoder(schema, CodecOptions{});
+  ASSERT_TRUE(encoder.TryAdd({1, 2, 3, 4, 5}).value());
+  ASSERT_TRUE(encoder.TryAdd({1, 2, 3, 4, 5}).value());
+  auto block = encoder.Finish();
+  ASSERT_TRUE(block.ok());
+  auto decoded = DecodeBlock(*schema, Slice(block.value()));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().tuples.size(), 2u);
+  EXPECT_EQ(decoded.value().tuples[0], decoded.value().tuples[1]);
+}
+
+TEST(BlockEncoder, RejectsInvalidTuple) {
+  BlockEncoder encoder(testing::PaperShapeSchema(), CodecOptions{});
+  EXPECT_TRUE(encoder.TryAdd({8, 0, 0, 0, 0}).status().IsOutOfRange());
+  EXPECT_TRUE(encoder.TryAdd({0, 0}).status().IsInvalidArgument());
+}
+
+TEST(BlockEncoder, FillsUntilCapacity) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;
+  options.block_size = 128;  // tiny blocks to force refusal quickly
+  BlockEncoder encoder(schema, options);
+  auto tuples = SortedRandomTuples(*schema, 200, 77);
+  size_t added = 0;
+  for (const auto& t : tuples) {
+    auto ok = encoder.TryAdd(t);
+    ASSERT_TRUE(ok.ok());
+    if (!ok.value()) break;
+    ++added;
+  }
+  EXPECT_GT(added, 1u);
+  EXPECT_LT(added, tuples.size());
+  EXPECT_LE(encoder.encoded_size(), options.block_size);
+  // Once full, it stays full for this tuple.
+  EXPECT_FALSE(encoder.TryAdd(tuples[added]).value());
+  // But Finish then reset allows reuse.
+  ASSERT_TRUE(encoder.Finish().ok());
+  EXPECT_TRUE(encoder.empty());
+  EXPECT_TRUE(encoder.TryAdd(tuples[added]).value());
+}
+
+TEST(BlockEncoder, EncodedSizeMatchesPayload) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;
+  options.checksum = false;
+  BlockEncoder encoder(schema, options);
+  auto tuples = SortedRandomTuples(*schema, 40, 3);
+  for (const auto& t : tuples) ASSERT_TRUE(encoder.TryAdd(t).value());
+  const size_t predicted = encoder.encoded_size();
+  auto block = encoder.Finish();
+  ASSERT_TRUE(block.ok());
+  auto header = BlockHeader::DecodeFrom(Slice(block.value()));
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(kBlockHeaderSize + header.value().payload_size, predicted);
+}
+
+TEST(BlockEncoder, MiddleRepresentativeIsMedian) {
+  auto schema = testing::PaperShapeSchema();
+  BlockEncoder encoder(schema, CodecOptions{});
+  for (uint64_t i = 0; i < 7; ++i) {
+    ASSERT_TRUE(encoder.TryAdd({0, 0, 0, 0, i}).value());
+  }
+  EXPECT_EQ(encoder.representative_index(), 3u);
+}
+
+TEST(BlockDecoder, RejectsGarbage) {
+  auto schema = testing::PaperShapeSchema();
+  std::string garbage(8192, '\xAB');
+  EXPECT_TRUE(DecodeBlock(*schema, Slice(garbage)).status().IsCorruption());
+  std::string tiny(4, '\0');
+  EXPECT_TRUE(DecodeBlock(*schema, Slice(tiny)).status().IsCorruption());
+}
+
+TEST(BlockDecoder, DetectsPayloadCorruptionViaChecksum) {
+  auto schema = testing::PaperShapeSchema();
+  BlockEncoder encoder(schema, CodecOptions{});
+  auto tuples = SortedRandomTuples(*schema, 50, 9);
+  for (const auto& t : tuples) ASSERT_TRUE(encoder.TryAdd(t).value());
+  auto block = encoder.Finish();
+  ASSERT_TRUE(block.ok());
+  // Flip one payload byte at a time; every flip must be caught.
+  for (size_t offset = kBlockHeaderSize; offset < kBlockHeaderSize + 40;
+       offset += 5) {
+    std::string corrupted = block.value();
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x40);
+    auto decoded = DecodeBlock(*schema, Slice(corrupted));
+    EXPECT_TRUE(decoded.status().IsCorruption()) << "offset " << offset;
+  }
+}
+
+TEST(BlockDecoder, CorruptHeaderFieldsRejected) {
+  auto schema = testing::PaperShapeSchema();
+  BlockEncoder encoder(schema, CodecOptions{});
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(encoder.TryAdd({0, 0, 0, 0, i}).value());
+  }
+  auto block = encoder.Finish();
+  ASSERT_TRUE(block.ok());
+
+  {
+    std::string corrupted = block.value();
+    corrupted[0] = '\x00';  // magic
+    EXPECT_TRUE(DecodeBlock(*schema, Slice(corrupted)).status().IsCorruption());
+  }
+  {
+    std::string corrupted = block.value();
+    corrupted[2] = '\x07';  // variant
+    EXPECT_TRUE(DecodeBlock(*schema, Slice(corrupted)).status().IsCorruption());
+  }
+  {
+    std::string corrupted = block.value();
+    corrupted[4] = '\x00';  // tuple count -> 0
+    corrupted[5] = '\x00';
+    EXPECT_TRUE(DecodeBlock(*schema, Slice(corrupted)).status().IsCorruption());
+  }
+  {
+    std::string corrupted = block.value();
+    corrupted[6] = '\x09';  // rep index beyond count
+    EXPECT_TRUE(DecodeBlock(*schema, Slice(corrupted)).status().IsCorruption());
+  }
+}
+
+TEST(BlockDecoder, TruncatedStreamWithoutChecksumRejected) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;
+  options.checksum = false;
+  BlockEncoder encoder(schema, options);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(encoder.TryAdd({0, 0, 0, i, 0}).value());
+  }
+  auto block = encoder.Finish();
+  ASSERT_TRUE(block.ok());
+  // Shrink the payload-size field so the stream ends mid-tuple.
+  std::string corrupted = block.value();
+  corrupted[8] = static_cast<char>(static_cast<uint8_t>(corrupted[8]) - 3);
+  EXPECT_TRUE(DecodeBlock(*schema, Slice(corrupted)).status().IsCorruption());
+}
+
+// ---- Parameterized round-trip sweep ----
+
+struct CodecCase {
+  const char* name;
+  std::vector<uint64_t> cardinalities;
+  CodecVariant variant;
+  bool rle;
+  RepresentativeChoice rep;
+  size_t block_size;
+};
+
+class BlockCodecRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(BlockCodecRoundTrip, ManyBlocksRoundTrip) {
+  const CodecCase& c = GetParam();
+  auto schema = testing::IntSchema(c.cardinalities);
+  CodecOptions options;
+  options.variant = c.variant;
+  options.run_length_zeros = c.rle;
+  options.representative = c.rep;
+  options.block_size = c.block_size;
+  ASSERT_TRUE(options.Validate(schema->tuple_width()).ok());
+
+  auto tuples = SortedRandomTuples(*schema, 2000, 0xbeef);
+  BlockEncoder encoder(schema, options);
+  std::vector<OrdinalTuple> decoded_all;
+  size_t i = 0;
+  while (i < tuples.size()) {
+    auto added = encoder.TryAdd(tuples[i]);
+    ASSERT_TRUE(added.ok()) << added.status().ToString();
+    if (added.value()) {
+      ++i;
+      continue;
+    }
+    auto block = encoder.Finish();
+    ASSERT_TRUE(block.ok());
+    auto decoded = DecodeBlock(*schema, Slice(block.value()));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    for (auto& t : decoded.value().tuples) decoded_all.push_back(std::move(t));
+  }
+  if (!encoder.empty()) {
+    auto block = encoder.Finish();
+    ASSERT_TRUE(block.ok());
+    auto decoded = DecodeBlock(*schema, Slice(block.value()));
+    ASSERT_TRUE(decoded.ok());
+    for (auto& t : decoded.value().tuples) decoded_all.push_back(std::move(t));
+  }
+  EXPECT_EQ(decoded_all, tuples);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockCodecRoundTrip,
+    ::testing::Values(
+        CodecCase{"paper_chain_rle", {8, 16, 64, 64, 64},
+                  CodecVariant::kChainDelta, true,
+                  RepresentativeChoice::kMiddle, 1024},
+        CodecCase{"paper_chain_norle", {8, 16, 64, 64, 64},
+                  CodecVariant::kChainDelta, false,
+                  RepresentativeChoice::kMiddle, 1024},
+        CodecCase{"paper_repdelta_rle", {8, 16, 64, 64, 64},
+                  CodecVariant::kRepresentativeDelta, true,
+                  RepresentativeChoice::kMiddle, 1024},
+        CodecCase{"paper_repdelta_norle", {8, 16, 64, 64, 64},
+                  CodecVariant::kRepresentativeDelta, false,
+                  RepresentativeChoice::kMiddle, 1024},
+        CodecCase{"first_rep_chain", {8, 16, 64, 64, 64},
+                  CodecVariant::kChainDelta, true,
+                  RepresentativeChoice::kFirst, 1024},
+        CodecCase{"first_rep_repdelta", {8, 16, 64, 64, 64},
+                  CodecVariant::kRepresentativeDelta, true,
+                  RepresentativeChoice::kFirst, 1024},
+        CodecCase{"wide_digits", {1u << 20, 3, 65536, 100, 1u << 18},
+                  CodecVariant::kChainDelta, true,
+                  RepresentativeChoice::kMiddle, 4096},
+        CodecCase{"single_attribute", {1000000},
+                  CodecVariant::kChainDelta, true,
+                  RepresentativeChoice::kMiddle, 512},
+        CodecCase{"binary_attrs", {2, 2, 2, 2, 2, 2, 2, 2, 2, 2},
+                  CodecVariant::kChainDelta, true,
+                  RepresentativeChoice::kMiddle, 256},
+        CodecCase{"large_blocks", {8, 16, 64, 64, 64},
+                  CodecVariant::kChainDelta, true,
+                  RepresentativeChoice::kMiddle, 8192}),
+    [](const ::testing::TestParamInfo<CodecCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace avqdb

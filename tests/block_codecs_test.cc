@@ -1,0 +1,157 @@
+// Direct tests of the pluggable block codecs (db/block_codecs.h),
+// including decoder fuzzing: arbitrary bytes must never crash and must
+// fail with structured Corruption errors.
+
+#include "src/db/block_codecs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+std::vector<OrdinalTuple> Sorted(std::vector<OrdinalTuple> tuples) {
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  return tuples;
+}
+
+TEST(RawBlockCodec, RoundTripAndCapacity) {
+  auto schema = testing::PaperShapeSchema();
+  auto codec = MakeRawBlockCodec(schema, 128);
+  EXPECT_STREQ(codec->name(), "raw");
+  EXPECT_FALSE(codec->is_avq());
+  EXPECT_EQ(codec->block_size(), 128u);
+  // (128 - 16) / 5 = 22 tuples per block.
+  auto tuples = Sorted(testing::RandomTuples(*schema, 22, 5));
+  EXPECT_TRUE(codec->Fits(tuples));
+  auto block = codec->EncodeBlock(tuples);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->size(), 128u);
+  EXPECT_EQ(codec->DecodeBlock(Slice(block.value())).value(), tuples);
+
+  tuples.push_back(tuples.back());
+  EXPECT_FALSE(codec->Fits(tuples));
+  EXPECT_TRUE(codec->EncodeBlock(tuples).status().IsInvalidArgument());
+}
+
+TEST(RawBlockCodec, FillCountIsCapacityBounded) {
+  auto schema = testing::PaperShapeSchema();
+  auto codec = MakeRawBlockCodec(schema, 128);
+  auto tuples = Sorted(testing::RandomTuples(*schema, 100, 6));
+  EXPECT_EQ(codec->FillCount(tuples, 0), 22u);
+  EXPECT_EQ(codec->FillCount(tuples, 90), 10u);
+  EXPECT_EQ(codec->FillCount(tuples, 100), 0u);
+}
+
+TEST(RawBlockCodec, EmptyBlockRejected) {
+  auto schema = testing::PaperShapeSchema();
+  auto codec = MakeRawBlockCodec(schema, 128);
+  EXPECT_TRUE(codec->EncodeBlock({}).status().IsInvalidArgument());
+  EXPECT_FALSE(codec->Fits({}));
+}
+
+TEST(AvqBlockCodec, FitsAgreesWithEncode) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;
+  options.block_size = 256;
+  auto codec = MakeAvqBlockCodec(schema, options);
+  EXPECT_TRUE(codec->is_avq());
+  auto tuples = Sorted(testing::RandomTuples(*schema, 300, 7));
+  // Grow a prefix until Fits flips; Encode must agree at every step.
+  for (size_t count = 1; count <= tuples.size(); count += 13) {
+    std::vector<OrdinalTuple> prefix(tuples.begin(),
+                                     tuples.begin() +
+                                         static_cast<ptrdiff_t>(count));
+    const bool fits = codec->Fits(prefix);
+    const bool encodes = codec->EncodeBlock(prefix).ok();
+    EXPECT_EQ(fits, encodes) << "count " << count;
+    if (!fits) break;
+  }
+}
+
+TEST(AvqBlockCodec, FillCountMatchesFits) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;
+  options.block_size = 512;
+  auto codec = MakeAvqBlockCodec(schema, options);
+  auto tuples = Sorted(testing::RandomTuples(*schema, 400, 8));
+  const size_t count = codec->FillCount(tuples, 0);
+  ASSERT_GT(count, 0u);
+  std::vector<OrdinalTuple> exact(tuples.begin(),
+                                  tuples.begin() +
+                                      static_cast<ptrdiff_t>(count));
+  EXPECT_TRUE(codec->Fits(exact));
+  if (count < tuples.size()) {
+    exact.push_back(tuples[count]);
+    EXPECT_FALSE(codec->Fits(exact));
+  }
+}
+
+class CodecFuzz : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CodecFuzz, RandomBuffersNeverCrash) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;
+  options.block_size = 256;
+  auto codec = GetParam() ? MakeAvqBlockCodec(schema, options)
+                          : MakeRawBlockCodec(schema, 256);
+  Random rng(0xf22);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string buffer(256, '\0');
+    for (auto& c : buffer) c = static_cast<char>(rng.Next() & 0xff);
+    auto decoded = codec->DecodeBlock(Slice(buffer));
+    if (decoded.ok()) continue;  // astronomically unlikely, but legal
+    EXPECT_TRUE(decoded.status().IsCorruption())
+        << decoded.status().ToString();
+  }
+}
+
+TEST_P(CodecFuzz, MutatedValidBlocksNeverYieldWrongSchema) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;
+  options.block_size = 256;
+  auto codec = GetParam() ? MakeAvqBlockCodec(schema, options)
+                          : MakeRawBlockCodec(schema, 256);
+  auto tuples = Sorted(testing::RandomTuples(*schema, 20, 9));
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  auto block = codec->EncodeBlock(tuples).value();
+  Random rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = block;
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] =
+          static_cast<char>(mutated[pos] ^ (1u << rng.Uniform(8)));
+    }
+    auto decoded = codec->DecodeBlock(Slice(mutated));
+    if (!decoded.ok()) {
+      EXPECT_TRUE(decoded.status().IsCorruption());
+      continue;
+    }
+    // If it decodes (e.g. the flip hit padding), every tuple must still
+    // be schema-valid and sorted.
+    for (size_t i = 0; i < decoded->size(); ++i) {
+      EXPECT_TRUE(ValidateTuple(*schema, decoded.value()[i]).ok());
+      if (i > 0) {
+        EXPECT_LE(CompareTuples(decoded.value()[i - 1], decoded.value()[i]),
+                  0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecFuzz, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "avq" : "raw";
+                         });
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,135 @@
+#include "src/storage/block_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace avqdb {
+namespace {
+
+TEST(MemBlockDevice, AllocateReadWrite) {
+  MemBlockDevice device(64);
+  EXPECT_EQ(device.block_size(), 64u);
+  auto id = device.Allocate();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(device.allocated_blocks(), 1u);
+
+  std::string fresh;
+  ASSERT_TRUE(device.Read(id.value(), &fresh).ok());
+  EXPECT_EQ(fresh, std::string(64, '\0'));  // zero-initialized
+
+  std::string payload = "hello";
+  ASSERT_TRUE(device.Write(id.value(), Slice(payload)).ok());
+  std::string back;
+  ASSERT_TRUE(device.Read(id.value(), &back).ok());
+  EXPECT_EQ(back.substr(0, 5), "hello");
+  EXPECT_EQ(back.size(), 64u);  // zero-padded
+  EXPECT_EQ(back[5], '\0');
+}
+
+TEST(MemBlockDevice, WriteTooLargeRejected) {
+  MemBlockDevice device(8);
+  auto id = device.Allocate();
+  ASSERT_TRUE(id.ok());
+  std::string big(9, 'x');
+  EXPECT_TRUE(device.Write(id.value(), Slice(big)).IsInvalidArgument());
+}
+
+TEST(MemBlockDevice, AccessToUnallocatedRejected) {
+  MemBlockDevice device(8);
+  std::string out;
+  EXPECT_TRUE(device.Read(5, &out).IsInvalidArgument());
+  EXPECT_TRUE(device.Write(5, Slice(out)).IsInvalidArgument());
+  EXPECT_TRUE(device.Free(5).IsInvalidArgument());
+}
+
+TEST(MemBlockDevice, FreeAndRecycle) {
+  MemBlockDevice device(8);
+  BlockId a = device.Allocate().value();
+  BlockId b = device.Allocate().value();
+  std::string payload = "data";
+  ASSERT_TRUE(device.Write(a, Slice(payload)).ok());
+  ASSERT_TRUE(device.Free(a).ok());
+  EXPECT_EQ(device.allocated_blocks(), 1u);
+  std::string out;
+  EXPECT_TRUE(device.Read(a, &out).IsInvalidArgument());
+  EXPECT_TRUE(device.Free(a).IsInvalidArgument());  // double free
+  // The freed id is recycled, zeroed.
+  BlockId c = device.Allocate().value();
+  EXPECT_EQ(c, a);
+  ASSERT_TRUE(device.Read(c, &out).ok());
+  EXPECT_EQ(out, std::string(8, '\0'));
+  (void)b;
+}
+
+TEST(MemBlockDevice, CorruptByteHook) {
+  MemBlockDevice device(8);
+  BlockId id = device.Allocate().value();
+  std::string payload = "abcdefgh";
+  ASSERT_TRUE(device.Write(id, Slice(payload)).ok());
+  ASSERT_TRUE(device.CorruptByte(id, 2, 0x7f).ok());
+  std::string out;
+  ASSERT_TRUE(device.Read(id, &out).ok());
+  EXPECT_NE(out[2], 'c');
+  EXPECT_TRUE(device.CorruptByte(id, 8, 0).IsInvalidArgument());
+}
+
+class FileBlockDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    path_ = "/tmp/avqdb_device_test_" + path_;
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(FileBlockDeviceTest, CreateWriteReadPersist) {
+  auto device = FileBlockDevice::Create(path_, 32);
+  ASSERT_TRUE(device.ok()) << device.status().ToString();
+  BlockId a = device.value()->Allocate().value();
+  BlockId b = device.value()->Allocate().value();
+  std::string pa = "first", pb = "second";
+  ASSERT_TRUE(device.value()->Write(a, Slice(pa)).ok());
+  ASSERT_TRUE(device.value()->Write(b, Slice(pb)).ok());
+  EXPECT_EQ(device.value()->allocated_blocks(), 2u);
+
+  // Reopen and read back.
+  auto reopened = FileBlockDevice::Open(path_, 32);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->allocated_blocks(), 2u);
+  std::string out;
+  ASSERT_TRUE(reopened.value()->Read(a, &out).ok());
+  EXPECT_EQ(out.substr(0, 5), "first");
+  ASSERT_TRUE(reopened.value()->Read(b, &out).ok());
+  EXPECT_EQ(out.substr(0, 6), "second");
+}
+
+TEST_F(FileBlockDeviceTest, OpenMissingFileFails) {
+  auto device = FileBlockDevice::Open(path_ + ".missing", 32);
+  EXPECT_TRUE(device.status().IsIOError());
+}
+
+TEST_F(FileBlockDeviceTest, OpenRejectsMisalignedFile) {
+  {
+    auto device = FileBlockDevice::Create(path_, 32);
+    ASSERT_TRUE(device.ok());
+    ASSERT_TRUE(device.value()->Allocate().ok());
+  }
+  // Block size 24 does not divide the 32-byte file.
+  auto reopened = FileBlockDevice::Open(path_, 24);
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(FileBlockDeviceTest, FreeListRecyclesIds) {
+  auto device = FileBlockDevice::Create(path_, 32);
+  ASSERT_TRUE(device.ok());
+  BlockId a = device.value()->Allocate().value();
+  ASSERT_TRUE(device.value()->Free(a).ok());
+  EXPECT_EQ(device.value()->Allocate().value(), a);
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,271 @@
+#include "src/index/bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/storage/block_device.h"
+
+namespace avqdb {
+namespace {
+
+std::string Key8(uint64_t v) {
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    key[static_cast<size_t>(i)] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return key;
+}
+
+struct TreeFixture {
+  // Small blocks force multi-level trees quickly.
+  explicit TreeFixture(size_t block_size = 128)
+      : device(block_size), pager(&device) {
+    tree = BPlusTree::Create(&pager, 8).value();
+  }
+  MemBlockDevice device;
+  Pager pager;
+  std::unique_ptr<BPlusTree> tree;
+};
+
+TEST(BPlusTree, CreateValidation) {
+  MemBlockDevice device(32);
+  Pager pager(&device);
+  EXPECT_TRUE(BPlusTree::Create(&pager, 0).status().IsInvalidArgument());
+  // 32-byte blocks cannot hold two 200-byte keys.
+  EXPECT_TRUE(BPlusTree::Create(&pager, 200).status().IsInvalidArgument());
+}
+
+TEST(BPlusTree, EmptyTree) {
+  TreeFixture f;
+  EXPECT_EQ(f.tree->num_entries(), 0u);
+  EXPECT_EQ(f.tree->num_nodes(), 1u);
+  EXPECT_EQ(f.tree->height(), 1u);
+  EXPECT_TRUE(f.tree->Get(Slice(Key8(1))).status().IsNotFound());
+  EXPECT_TRUE(f.tree->Floor(Slice(Key8(1))).status().IsNotFound());
+  auto iter = f.tree->Begin();
+  ASSERT_TRUE(iter.ok());
+  EXPECT_FALSE(iter.value().Valid());
+}
+
+TEST(BPlusTree, InsertGetSmall) {
+  TreeFixture f;
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Slice(Key8(i * 10)), i).ok());
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.tree->Get(Slice(Key8(i * 10))).value(), i);
+  }
+  EXPECT_TRUE(f.tree->Get(Slice(Key8(5))).status().IsNotFound());
+  EXPECT_EQ(f.tree->num_entries(), 5u);
+}
+
+TEST(BPlusTree, DuplicateInsertRejected) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Insert(Slice(Key8(7)), 1).ok());
+  EXPECT_TRUE(f.tree->Insert(Slice(Key8(7)), 2).IsAlreadyExists());
+  EXPECT_EQ(f.tree->Get(Slice(Key8(7))).value(), 1u);
+}
+
+TEST(BPlusTree, KeySizeEnforced) {
+  TreeFixture f;
+  std::string short_key(4, 'x');
+  EXPECT_TRUE(f.tree->Insert(Slice(short_key), 1).IsInvalidArgument());
+  EXPECT_TRUE(f.tree->Get(Slice(short_key)).status().IsInvalidArgument());
+  EXPECT_TRUE(f.tree->Delete(Slice(short_key)).IsInvalidArgument());
+}
+
+TEST(BPlusTree, SplitsGrowTheTree) {
+  TreeFixture f;
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Slice(Key8(i)), i).ok());
+  }
+  EXPECT_GT(f.tree->height(), 2u);
+  EXPECT_GT(f.tree->num_nodes(), 10u);
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(f.tree->Get(Slice(Key8(i))).value(), i);
+  }
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+TEST(BPlusTree, ReverseAndRandomInsertionOrders) {
+  for (int mode = 0; mode < 2; ++mode) {
+    TreeFixture f;
+    std::vector<uint64_t> keys;
+    for (uint64_t i = 0; i < 400; ++i) keys.push_back(i * 3);
+    if (mode == 0) {
+      std::reverse(keys.begin(), keys.end());
+    } else {
+      Random rng(5);
+      for (size_t i = keys.size(); i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.Uniform(i)]);
+      }
+    }
+    for (uint64_t k : keys) {
+      ASSERT_TRUE(f.tree->Insert(Slice(Key8(k)), k + 1).ok());
+    }
+    for (uint64_t k : keys) {
+      ASSERT_EQ(f.tree->Get(Slice(Key8(k))).value(), k + 1);
+    }
+    ASSERT_TRUE(f.tree->CheckInvariants().ok());
+  }
+}
+
+TEST(BPlusTree, IterationIsSorted) {
+  TreeFixture f;
+  Random rng(6);
+  std::map<std::string, uint64_t> expected;
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t k = rng.Uniform(100000);
+    if (expected.contains(Key8(k))) continue;
+    expected[Key8(k)] = k;
+    ASSERT_TRUE(f.tree->Insert(Slice(Key8(k)), k).ok());
+  }
+  auto iter = f.tree->Begin();
+  ASSERT_TRUE(iter.ok());
+  auto it = expected.begin();
+  while (iter.value().Valid()) {
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(iter.value().key(), it->first);
+    EXPECT_EQ(iter.value().value(), it->second);
+    ++it;
+    ASSERT_TRUE(iter.value().Next().ok());
+  }
+  EXPECT_EQ(it, expected.end());
+}
+
+TEST(BPlusTree, SeekFindsLowerBound) {
+  TreeFixture f;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Slice(Key8(i * 10)), i).ok());
+  }
+  auto iter = f.tree->Seek(Slice(Key8(55)));
+  ASSERT_TRUE(iter.ok());
+  ASSERT_TRUE(iter.value().Valid());
+  EXPECT_EQ(iter.value().key(), Key8(60));
+  iter = f.tree->Seek(Slice(Key8(60)));
+  ASSERT_TRUE(iter.ok());
+  EXPECT_EQ(iter.value().key(), Key8(60));
+  iter = f.tree->Seek(Slice(Key8(10000)));
+  ASSERT_TRUE(iter.ok());
+  EXPECT_FALSE(iter.value().Valid());
+}
+
+TEST(BPlusTree, FloorSemantics) {
+  TreeFixture f;
+  for (uint64_t i = 1; i <= 50; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Slice(Key8(i * 10)), i).ok());
+  }
+  EXPECT_EQ(f.tree->Floor(Slice(Key8(10))).value().key, Key8(10));
+  EXPECT_EQ(f.tree->Floor(Slice(Key8(15))).value().key, Key8(10));
+  EXPECT_EQ(f.tree->Floor(Slice(Key8(505))).value().key, Key8(500));
+  EXPECT_EQ(f.tree->Floor(Slice(Key8(99999))).value().key, Key8(500));
+  EXPECT_TRUE(f.tree->Floor(Slice(Key8(9))).status().IsNotFound());
+}
+
+TEST(BPlusTree, UpdateRewritesValue) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Insert(Slice(Key8(3)), 1).ok());
+  ASSERT_TRUE(f.tree->Update(Slice(Key8(3)), 99).ok());
+  EXPECT_EQ(f.tree->Get(Slice(Key8(3))).value(), 99u);
+  EXPECT_TRUE(f.tree->Update(Slice(Key8(4)), 1).IsNotFound());
+}
+
+TEST(BPlusTree, DeleteBasics) {
+  TreeFixture f;
+  for (uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Slice(Key8(i)), i).ok());
+  }
+  ASSERT_TRUE(f.tree->Delete(Slice(Key8(7))).ok());
+  EXPECT_TRUE(f.tree->Get(Slice(Key8(7))).status().IsNotFound());
+  EXPECT_TRUE(f.tree->Delete(Slice(Key8(7))).IsNotFound());
+  EXPECT_EQ(f.tree->num_entries(), 19u);
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+TEST(BPlusTree, DeleteEverythingCollapsesTree) {
+  TreeFixture f;
+  const uint64_t n = 400;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Slice(Key8(i)), i).ok());
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(f.tree->Delete(Slice(Key8(i))).ok()) << i;
+  }
+  EXPECT_EQ(f.tree->num_entries(), 0u);
+  auto iter = f.tree->Begin();
+  ASSERT_TRUE(iter.ok());
+  EXPECT_FALSE(iter.value().Valid());
+  // All nodes except a root should have been freed.
+  EXPECT_LE(f.tree->num_nodes(), 3u);
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+TEST(BPlusTree, RandomizedMirrorAgainstStdMap) {
+  TreeFixture f;
+  Random rng(77);
+  std::map<std::string, uint64_t> mirror;
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t k = rng.Uniform(700);
+    const std::string key = Key8(k);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {  // insert
+        Status s = f.tree->Insert(Slice(key), k);
+        if (mirror.contains(key)) {
+          EXPECT_TRUE(s.IsAlreadyExists());
+        } else {
+          EXPECT_TRUE(s.ok()) << s.ToString();
+          mirror[key] = k;
+        }
+        break;
+      }
+      case 2: {  // delete
+        Status s = f.tree->Delete(Slice(key));
+        if (mirror.contains(key)) {
+          EXPECT_TRUE(s.ok()) << s.ToString();
+          mirror.erase(key);
+        } else {
+          EXPECT_TRUE(s.IsNotFound());
+        }
+        break;
+      }
+      default: {  // lookup + floor
+        auto got = f.tree->Get(Slice(key));
+        EXPECT_EQ(got.ok(), mirror.contains(key));
+        auto floor = f.tree->Floor(Slice(key));
+        auto ub = mirror.upper_bound(key);
+        if (ub == mirror.begin()) {
+          EXPECT_TRUE(floor.status().IsNotFound());
+        } else {
+          --ub;
+          ASSERT_TRUE(floor.ok());
+          EXPECT_EQ(floor.value().key, ub->first);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(f.tree->num_entries(), mirror.size());
+  ASSERT_TRUE(f.tree->CheckInvariants().ok());
+}
+
+TEST(BPlusTree, IndexIoIsCounted) {
+  TreeFixture f;
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(f.tree->Insert(Slice(Key8(i)), i).ok());
+  }
+  const IoStats before = f.pager.stats();
+  ASSERT_TRUE(f.tree->Get(Slice(Key8(100))).ok());
+  const IoStats delta = f.pager.stats() - before;
+  // One node read per level.
+  EXPECT_EQ(delta.physical_reads, f.tree->height());
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,64 @@
+#include "src/storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace avqdb {
+namespace {
+
+TEST(BufferPool, MissThenHit) {
+  BufferPool pool(2);
+  EXPECT_EQ(pool.Get(1), nullptr);
+  EXPECT_EQ(pool.misses(), 1u);
+  pool.Put(1, "one");
+  const std::string* hit = pool.Get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "one");
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPool, EvictsLeastRecentlyUsed) {
+  BufferPool pool(2);
+  pool.Put(1, "one");
+  pool.Put(2, "two");
+  ASSERT_NE(pool.Get(1), nullptr);  // 1 becomes most recent
+  pool.Put(3, "three");             // evicts 2
+  EXPECT_EQ(pool.Get(2), nullptr);
+  EXPECT_NE(pool.Get(1), nullptr);
+  EXPECT_NE(pool.Get(3), nullptr);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(BufferPool, PutOverwritesAndRefreshes) {
+  BufferPool pool(2);
+  pool.Put(1, "one");
+  pool.Put(2, "two");
+  pool.Put(1, "uno");  // overwrite refreshes recency
+  pool.Put(3, "three");
+  EXPECT_EQ(pool.Get(2), nullptr);  // 2 was LRU
+  const std::string* v = pool.Get(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, "uno");
+}
+
+TEST(BufferPool, EraseAndClear) {
+  BufferPool pool(4);
+  pool.Put(1, "a");
+  pool.Put(2, "b");
+  pool.Erase(1);
+  EXPECT_EQ(pool.Get(1), nullptr);
+  EXPECT_NE(pool.Get(2), nullptr);
+  pool.Erase(99);  // absent: no-op
+  pool.Clear();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.Get(2), nullptr);
+}
+
+TEST(BufferPool, ZeroCapacityCachesNothing) {
+  BufferPool pool(0);
+  pool.Put(1, "one");
+  EXPECT_EQ(pool.Get(1), nullptr);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+}  // namespace
+}  // namespace avqdb

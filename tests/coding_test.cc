@@ -1,0 +1,129 @@
+#include "src/common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace avqdb {
+namespace {
+
+TEST(Coding, Fixed16RoundTrip) {
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xffffu}) {
+    std::string buf;
+    PutFixed16(&buf, static_cast<uint16_t>(v));
+    ASSERT_EQ(buf.size(), 2u);
+    EXPECT_EQ(DecodeFixed16(reinterpret_cast<const uint8_t*>(buf.data())), v);
+  }
+}
+
+TEST(Coding, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0xffu, 0x12345678u, 0xffffffffu}) {
+    std::string buf;
+    PutFixed32(&buf, v);
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(reinterpret_cast<const uint8_t*>(buf.data())), v);
+  }
+}
+
+TEST(Coding, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0x123456789abcdef0},
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutFixed64(&buf, v);
+    ASSERT_EQ(buf.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(reinterpret_cast<const uint8_t*>(buf.data())), v);
+  }
+}
+
+TEST(Coding, FixedIsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x01020304u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x01);
+}
+
+TEST(Coding, VarintRoundTrip) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (uint64_t{1} << 32) - 1,
+                            uint64_t{1} << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+    Slice input(buf);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(Coding, Varint32RejectsOversized) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{1} << 33);
+  Slice input(buf);
+  uint32_t decoded = 0;
+  EXPECT_FALSE(GetVarint32(&input, &decoded));
+}
+
+TEST(Coding, VarintRejectsTruncated) {
+  std::string buf;
+  PutVarint64(&buf, 1u << 20);
+  buf.pop_back();
+  Slice input(buf);
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint64(&input, &decoded));
+}
+
+TEST(Coding, VarintLengths) {
+  EXPECT_EQ(VarintLength(0), 1);
+  EXPECT_EQ(VarintLength(127), 1);
+  EXPECT_EQ(VarintLength(128), 2);
+  EXPECT_EQ(VarintLength(std::numeric_limits<uint64_t>::max()), 10);
+}
+
+TEST(Coding, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice(std::string("hello")));
+  PutLengthPrefixed(&buf, Slice(std::string("")));
+  PutLengthPrefixed(&buf, Slice(std::string("world!")));
+  Slice input(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&input, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&input, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&input, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_EQ(b.ToString(), "");
+  EXPECT_EQ(c.ToString(), "world!");
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, LengthPrefixedRejectsTruncated) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice(std::string("hello")));
+  buf.resize(buf.size() - 2);
+  Slice input(buf);
+  Slice value;
+  EXPECT_FALSE(GetLengthPrefixed(&input, &value));
+}
+
+TEST(Coding, MultipleVarintsSequential) {
+  std::string buf;
+  for (uint64_t i = 0; i < 100; ++i) PutVarint64(&buf, i * i * 37);
+  Slice input(buf);
+  for (uint64_t i = 0; i < 100; ++i) {
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(&input, &v));
+    EXPECT_EQ(v, i * i * 37);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+}  // namespace
+}  // namespace avqdb

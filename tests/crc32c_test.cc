@@ -1,0 +1,59 @@
+#include "src/common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace avqdb::crc32c {
+namespace {
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 / standard CRC-32C test vectors.
+  const std::string numbers = "123456789";
+  EXPECT_EQ(Value(reinterpret_cast<const uint8_t*>(numbers.data()),
+                  numbers.size()),
+            0xe3069283u);
+
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Value(reinterpret_cast<const uint8_t*>(zeros.data()),
+                  zeros.size()),
+            0x8a9136aau);
+
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Value(reinterpret_cast<const uint8_t*>(ones.data()),
+                  ones.size()),
+            0x62a8ab43u);
+}
+
+TEST(Crc32c, EmptyInputIsZero) { EXPECT_EQ(Value(nullptr, 0), 0u); }
+
+TEST(Crc32c, ExtendMatchesOneShot) {
+  const std::string data = "hello, block device world";
+  const uint32_t whole = Value(Slice(data));
+  const auto* bytes = reinterpret_cast<const uint8_t*>(data.data());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t partial = Extend(0, bytes, split);
+    partial = Extend(partial, bytes + split, data.size() - split);
+    EXPECT_EQ(partial, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, MaskIsInvertible) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0xe3069283u}) {
+    EXPECT_EQ(Unmask(Mask(crc)), crc);
+    EXPECT_NE(Mask(crc), crc);  // masking must change the value
+  }
+}
+
+TEST(Crc32c, SensitiveToSingleBitFlips) {
+  std::string data(64, 'x');
+  const uint32_t base = Value(Slice(data));
+  for (size_t i = 0; i < data.size(); i += 7) {
+    std::string flipped = data;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    EXPECT_NE(Value(Slice(flipped)), base) << "flip at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace avqdb::crc32c

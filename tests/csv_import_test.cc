@@ -1,0 +1,114 @@
+#include "src/db/csv_import.h"
+
+#include <gtest/gtest.h>
+
+#include "src/schema/domain.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+namespace {
+
+TEST(CsvParse, SimpleRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows.value()[2], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvParse, QuotedFields) {
+  auto rows = ParseCsv("name,note\n\"Smith, Jo\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(rows.value()[1][0], "Smith, Jo");
+  EXPECT_EQ(rows.value()[1][1], "said \"hi\"");
+}
+
+TEST(CsvParse, QuotedNewlines) {
+  auto rows = ParseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(rows.value()[1][0], "line1\nline2");
+}
+
+TEST(CsvParse, WindowsLineEndings) {
+  auto rows = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(rows.value()[1][1], "2");
+}
+
+TEST(CsvParse, NoTrailingNewline) {
+  auto rows = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvParse, RejectsRaggedRows) {
+  EXPECT_TRUE(ParseCsv("a,b\n1,2,3\n").status().IsCorruption());
+}
+
+TEST(CsvParse, RejectsUnterminatedQuote) {
+  EXPECT_TRUE(ParseCsv("a,b\n\"oops,2\n").status().IsCorruption());
+}
+
+TEST(CsvParse, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto rows = ParseCsv("a;b\n1;2\n", options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[1][0], "1");
+}
+
+TEST(CsvImport, InfersIntegerAndCategoricalDomains) {
+  auto rel = ImportCsvText(
+      "city,temp,station\nberlin,-5,a1\nparis,12,b2\nberlin,30,a1\n");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  const Schema& schema = *rel->schema;
+  EXPECT_EQ(schema.attribute(0).name, "city");
+  EXPECT_EQ(schema.attribute(0).domain->kind(), DomainKind::kCategorical);
+  EXPECT_EQ(schema.attribute(0).domain->cardinality(), 2u);
+  EXPECT_EQ(schema.attribute(1).domain->kind(), DomainKind::kIntegerRange);
+  auto* temp = static_cast<IntegerRangeDomain*>(
+      schema.attribute(1).domain.get());
+  EXPECT_EQ(temp->lo(), -5);
+  EXPECT_EQ(temp->hi(), 30);
+  ASSERT_EQ(rel->tuples.size(), 3u);
+  // Rows round-trip through the inferred schema.
+  auto row = DecodeTuple(schema, rel->tuples[1]);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value()[0], Value("paris"));
+  EXPECT_EQ(row.value()[1], Value(int64_t{12}));
+  EXPECT_EQ(row.value()[2], Value("b2"));
+}
+
+TEST(CsvImport, MixedColumnFallsBackToCategorical) {
+  auto rel = ImportCsvText("v\n1\ntwo\n3\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema->attribute(0).domain->kind(),
+            DomainKind::kCategorical);
+  EXPECT_EQ(rel->schema->attribute(0).domain->cardinality(), 3u);
+}
+
+TEST(CsvImport, HeaderlessNamesColumns) {
+  CsvOptions options;
+  options.has_header = false;
+  auto rel = ImportCsvText("1,2\n3,4\n", options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema->attribute(0).name, "c0");
+  EXPECT_EQ(rel->schema->attribute(1).name, "c1");
+  EXPECT_EQ(rel->tuples.size(), 2u);
+}
+
+TEST(CsvImport, RejectsEmptyInputs) {
+  EXPECT_TRUE(ImportCsvText("").status().IsInvalidArgument());
+  EXPECT_TRUE(ImportCsvText("a,b\n").status().IsInvalidArgument());
+}
+
+TEST(CsvImport, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      ImportCsvFile("/nonexistent/no.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,60 @@
+#include "src/db/database.h"
+
+#include <gtest/gtest.h>
+
+#include "src/db/query.h"
+#include "src/workload/paper_relation.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+TEST(Database, CreateGetDrop) {
+  Database db(1024);
+  EXPECT_EQ(db.block_size(), 1024u);
+  auto table =
+      db.CreateTable("emp", PaperEmployeeSchema(), TableKind::kAvq);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(db.GetTable("emp").value(), table.value());
+  EXPECT_TRUE(db.GetTable("nope").status().IsNotFound());
+  EXPECT_TRUE(db.CreateTable("emp", PaperEmployeeSchema(), TableKind::kHeap)
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"emp"}));
+  ASSERT_TRUE(db.DropTable("emp").ok());
+  EXPECT_TRUE(db.DropTable("emp").IsNotFound());
+  EXPECT_TRUE(db.TableNames().empty());
+}
+
+TEST(Database, AvqTableUsesDatabaseBlockSize) {
+  Database db(2048);
+  CodecOptions options;
+  options.block_size = 512;  // overridden by the database
+  auto table = db.CreateTable("t", testing::PaperShapeSchema(),
+                              TableKind::kAvq, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->codec().block_size(), 2048u);
+}
+
+TEST(Database, EndToEndBothKinds) {
+  Database db(512);
+  auto schema = PaperEmployeeSchema();
+  auto avq = db.CreateTable("avq", schema, TableKind::kAvq).value();
+  auto heap = db.CreateTable("heap", schema, TableKind::kHeap).value();
+  for (const Row& row : PaperEmployeeRows()) {
+    ASSERT_TRUE(avq->InsertRow(row).ok());
+    ASSERT_TRUE(heap->InsertRow(row).ok());
+  }
+  QueryStats s1, s2;
+  auto a = ExecuteRangeSelectRows(*avq, "department", Value("production"),
+                                  Value("production"), &s1);
+  auto b = ExecuteRangeSelectRows(*heap, "department", Value("production"),
+                                  Value("production"), &s2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().size(), b.value().size());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,88 @@
+#include "src/schema/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace avqdb {
+namespace {
+
+TEST(Dictionary, FromValuesAssignsPositions) {
+  auto dict = Dictionary::FromValues({"zebra", "apple", "mango"});
+  ASSERT_TRUE(dict.ok());
+  EXPECT_EQ(dict->Lookup("zebra").value(), 0u);
+  EXPECT_EQ(dict->Lookup("apple").value(), 1u);
+  EXPECT_EQ(dict->Lookup("mango").value(), 2u);
+  EXPECT_EQ(dict->Decode(1).value(), "apple");
+  EXPECT_EQ(dict->size(), 3u);
+  EXPECT_EQ(dict->capacity(), 3u);
+}
+
+TEST(Dictionary, FromValuesRejectsDuplicates) {
+  auto dict = Dictionary::FromValues({"a", "b", "a"});
+  EXPECT_TRUE(dict.status().IsInvalidArgument());
+}
+
+TEST(Dictionary, LookupMissing) {
+  auto dict = Dictionary::FromValues({"a"});
+  ASSERT_TRUE(dict.ok());
+  EXPECT_TRUE(dict->Lookup("b").status().IsNotFound());
+}
+
+TEST(Dictionary, DecodeOutOfRange) {
+  auto dict = Dictionary::FromValues({"a"});
+  ASSERT_TRUE(dict.ok());
+  EXPECT_TRUE(dict->Decode(1).status().IsOutOfRange());
+}
+
+TEST(Dictionary, LookupOrAddGrows) {
+  Dictionary dict(3);
+  EXPECT_EQ(dict.LookupOrAdd("x").value(), 0u);
+  EXPECT_EQ(dict.LookupOrAdd("y").value(), 1u);
+  EXPECT_EQ(dict.LookupOrAdd("x").value(), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(Dictionary, LookupOrAddRespectsCapacity) {
+  Dictionary dict(2);
+  ASSERT_TRUE(dict.LookupOrAdd("a").ok());
+  ASSERT_TRUE(dict.LookupOrAdd("b").ok());
+  EXPECT_TRUE(dict.LookupOrAdd("c").status().IsResourceExhausted());
+  EXPECT_TRUE(dict.LookupOrAdd("a").ok());  // existing still fine
+}
+
+TEST(Dictionary, SerializationRoundTrip) {
+  Dictionary dict(10);
+  ASSERT_TRUE(dict.LookupOrAdd("alpha").ok());
+  ASSERT_TRUE(dict.LookupOrAdd("beta").ok());
+  ASSERT_TRUE(dict.LookupOrAdd("").ok());  // empty string is a value
+  std::string encoded;
+  dict.EncodeTo(&encoded);
+  auto decoded = Dictionary::DecodeFrom(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->capacity(), 10u);
+  EXPECT_EQ(decoded->size(), 3u);
+  EXPECT_EQ(decoded->Lookup("beta").value(), 1u);
+  EXPECT_EQ(decoded->Lookup("").value(), 2u);
+}
+
+TEST(Dictionary, DecodeRejectsTruncation) {
+  Dictionary dict(4);
+  ASSERT_TRUE(dict.LookupOrAdd("somewhat-long-value").ok());
+  std::string encoded;
+  dict.EncodeTo(&encoded);
+  for (size_t cut = 1; cut < encoded.size(); cut += 3) {
+    auto decoded = Dictionary::DecodeFrom(encoded.substr(0, cut));
+    EXPECT_TRUE(decoded.status().IsCorruption()) << "cut at " << cut;
+  }
+}
+
+TEST(Dictionary, DecodeRejectsCountOverCapacity) {
+  std::string encoded;
+  // capacity 1, count 2
+  encoded.push_back(1);
+  encoded.push_back(2);
+  auto decoded = Dictionary::DecodeFrom(encoded);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace avqdb

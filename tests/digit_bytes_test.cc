@@ -1,0 +1,123 @@
+#include "src/ordinal/digit_bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace avqdb {
+namespace {
+
+using mixed_radix::Digits;
+
+TEST(DigitLayout, CreateValidation) {
+  EXPECT_TRUE(DigitLayout::Create({}).status().IsInvalidArgument());
+  EXPECT_TRUE(DigitLayout::Create({0}).status().IsInvalidArgument());
+  EXPECT_TRUE(DigitLayout::Create({9}).status().IsInvalidArgument());
+  EXPECT_TRUE(DigitLayout::Create(std::vector<uint8_t>(128, 2))
+                  .status()
+                  .IsInvalidArgument());  // 256 > 255
+  EXPECT_TRUE(DigitLayout::Create({1, 2, 8}).ok());
+}
+
+TEST(DigitLayout, TotalWidth) {
+  auto layout = DigitLayout::Create({1, 2, 3}).value();
+  EXPECT_EQ(layout.num_digits(), 3u);
+  EXPECT_EQ(layout.total_width(), 6u);
+}
+
+TEST(DigitLayout, ImageIsBigEndianPerDigit) {
+  auto layout = DigitLayout::Create({2, 1}).value();
+  std::string image;
+  ASSERT_TRUE(layout.AppendImage({0x0102, 0x03}, &image).ok());
+  ASSERT_EQ(image.size(), 3u);
+  EXPECT_EQ(static_cast<uint8_t>(image[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(image[1]), 0x02);
+  EXPECT_EQ(static_cast<uint8_t>(image[2]), 0x03);
+}
+
+TEST(DigitLayout, ImageRoundTrip) {
+  auto layout = DigitLayout::Create({1, 2, 3, 8}).value();
+  Random rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    Digits digits = {rng.Uniform(1ull << 8), rng.Uniform(1ull << 16),
+                     rng.Uniform(1ull << 24), rng.Next()};
+    std::string image;
+    ASSERT_TRUE(layout.AppendImage(digits, &image).ok());
+    ASSERT_EQ(image.size(), layout.total_width());
+    Digits parsed;
+    ASSERT_TRUE(layout.ParseImage(Slice(image), &parsed).ok());
+    EXPECT_EQ(parsed, digits);
+  }
+}
+
+TEST(DigitLayout, AppendRejectsOverflowingDigit) {
+  auto layout = DigitLayout::Create({1}).value();
+  std::string image;
+  EXPECT_TRUE(layout.AppendImage({256}, &image).IsInternal());
+}
+
+TEST(DigitLayout, ParseRejectsShortInput) {
+  auto layout = DigitLayout::Create({2, 2}).value();
+  Digits parsed;
+  std::string three(3, '\0');
+  EXPECT_TRUE(layout.ParseImage(Slice(three), &parsed).IsCorruption());
+}
+
+TEST(DigitLayout, LeadingZeroCounting) {
+  auto layout = DigitLayout::Create({1, 2, 1}).value();  // 4 bytes total
+  EXPECT_EQ(layout.CountLeadingZeroBytes({0, 0, 0}), 4u);
+  EXPECT_EQ(layout.CountLeadingZeroBytes({0, 0, 5}), 3u);
+  EXPECT_EQ(layout.CountLeadingZeroBytes({0, 5, 0}), 2u);
+  EXPECT_EQ(layout.CountLeadingZeroBytes({0, 0x0500, 0}), 1u);
+  EXPECT_EQ(layout.CountLeadingZeroBytes({1, 0, 0}), 0u);
+}
+
+TEST(DigitLayout, CountMatchesImage) {
+  auto layout = DigitLayout::Create({1, 3, 2}).value();
+  Random rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Bias toward small values so leading zeros actually occur.
+    Digits digits = {rng.Uniform(4), rng.Uniform(1 << 10), rng.Uniform(50)};
+    std::string image;
+    ASSERT_TRUE(layout.AppendImage(digits, &image).ok());
+    size_t expected = 0;
+    while (expected < image.size() && image[expected] == '\0') ++expected;
+    EXPECT_EQ(layout.CountLeadingZeroBytes(digits), expected);
+  }
+}
+
+TEST(DigitLayout, SuffixImageRoundTrip) {
+  auto layout = DigitLayout::Create({1, 2, 2}).value();  // 5 bytes
+  const Digits digits = {0, 0, 777};
+  std::string image;
+  ASSERT_TRUE(layout.AppendImage(digits, &image).ok());
+  const size_t lz = layout.CountLeadingZeroBytes(digits);
+  ASSERT_EQ(lz, 3u);
+  Digits parsed;
+  ASSERT_TRUE(layout
+                  .ParseSuffixImage(lz,
+                                    Slice(image.data() + lz,
+                                          image.size() - lz),
+                                    &parsed)
+                  .ok());
+  EXPECT_EQ(parsed, digits);
+}
+
+TEST(DigitLayout, SuffixImageFullZeros) {
+  auto layout = DigitLayout::Create({1, 1}).value();
+  Digits parsed;
+  ASSERT_TRUE(layout.ParseSuffixImage(2, Slice(), &parsed).ok());
+  EXPECT_EQ(parsed, (Digits{0, 0}));
+}
+
+TEST(DigitLayout, SuffixImageRejectsBadCounts) {
+  auto layout = DigitLayout::Create({1, 1}).value();
+  Digits parsed;
+  EXPECT_TRUE(layout.ParseSuffixImage(3, Slice(), &parsed).IsCorruption());
+  std::string one(1, '\x05');
+  EXPECT_TRUE(
+      layout.ParseSuffixImage(0, Slice(one), &parsed).IsCorruption());
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,91 @@
+#include "src/schema/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace avqdb {
+namespace {
+
+TEST(IntegerRangeDomain, EncodeDecode) {
+  IntegerRangeDomain d(10, 20);
+  EXPECT_EQ(d.cardinality(), 11u);
+  EXPECT_EQ(d.Encode(Value(int64_t{10})).value(), 0u);
+  EXPECT_EQ(d.Encode(Value(int64_t{20})).value(), 10u);
+  EXPECT_EQ(d.Decode(0).value(), Value(int64_t{10}));
+  EXPECT_EQ(d.Decode(10).value(), Value(int64_t{20}));
+}
+
+TEST(IntegerRangeDomain, NegativeRange) {
+  IntegerRangeDomain d(-5, 5);
+  EXPECT_EQ(d.cardinality(), 11u);
+  EXPECT_EQ(d.Encode(Value(int64_t{-5})).value(), 0u);
+  EXPECT_EQ(d.Encode(Value(int64_t{0})).value(), 5u);
+  EXPECT_EQ(d.Decode(5).value(), Value(int64_t{0}));
+}
+
+TEST(IntegerRangeDomain, RejectsOutOfRange) {
+  IntegerRangeDomain d(0, 63);
+  EXPECT_TRUE(d.Encode(Value(int64_t{64})).status().IsOutOfRange());
+  EXPECT_TRUE(d.Encode(Value(int64_t{-1})).status().IsOutOfRange());
+  EXPECT_TRUE(d.Decode(64).status().IsOutOfRange());
+}
+
+TEST(IntegerRangeDomain, RejectsWrongKind) {
+  IntegerRangeDomain d(0, 63);
+  EXPECT_TRUE(d.Encode(Value("5")).status().IsInvalidArgument());
+  EXPECT_TRUE(d.Encode(Value()).status().IsInvalidArgument());
+}
+
+TEST(IntegerRangeDomain, SingletonDomain) {
+  IntegerRangeDomain d(7, 7);
+  EXPECT_EQ(d.cardinality(), 1u);
+  EXPECT_EQ(d.Encode(Value(int64_t{7})).value(), 0u);
+}
+
+TEST(CategoricalDomain, PositionsFollowConstructionOrder) {
+  auto d = CategoricalDomain::Create({"red", "green", "blue"}).value();
+  EXPECT_EQ(d->cardinality(), 3u);
+  EXPECT_EQ(d->Encode(Value("red")).value(), 0u);
+  EXPECT_EQ(d->Encode(Value("blue")).value(), 2u);
+  EXPECT_EQ(d->Decode(1).value(), Value("green"));
+}
+
+TEST(CategoricalDomain, RejectsUnknownValue) {
+  auto d = CategoricalDomain::Create({"red"}).value();
+  EXPECT_TRUE(d->Encode(Value("mauve")).status().IsNotFound());
+  EXPECT_TRUE(d->Encode(Value(int64_t{1})).status().IsInvalidArgument());
+  EXPECT_TRUE(d->Decode(1).status().IsOutOfRange());
+}
+
+TEST(CategoricalDomain, RejectsEmptyAndDuplicates) {
+  EXPECT_TRUE(CategoricalDomain::Create({}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      CategoricalDomain::Create({"a", "a"}).status().IsInvalidArgument());
+}
+
+TEST(StringDictionaryDomain, AssignsOnFirstUse) {
+  StringDictionaryDomain d(4);
+  EXPECT_EQ(d.cardinality(), 4u);  // fixed radix regardless of fill
+  EXPECT_EQ(d.Encode(Value("x")).value(), 0u);
+  EXPECT_EQ(d.Encode(Value("y")).value(), 1u);
+  EXPECT_EQ(d.Encode(Value("x")).value(), 0u);
+  EXPECT_EQ(d.assigned(), 2u);
+  EXPECT_EQ(d.Decode(1).value(), Value("y"));
+}
+
+TEST(StringDictionaryDomain, FullDictionaryFails) {
+  StringDictionaryDomain d(1);
+  ASSERT_TRUE(d.Encode(Value("only")).ok());
+  EXPECT_TRUE(d.Encode(Value("more")).status().IsResourceExhausted());
+}
+
+TEST(StringDictionaryDomain, DecodeUnassignedOrdinal) {
+  StringDictionaryDomain d(8);
+  ASSERT_TRUE(d.Encode(Value("a")).ok());
+  // Within capacity but not yet assigned.
+  EXPECT_TRUE(d.Decode(5).status().IsOutOfRange());
+  // Beyond capacity.
+  EXPECT_TRUE(d.Decode(8).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace avqdb

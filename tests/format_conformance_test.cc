@@ -1,0 +1,120 @@
+// Pins the on-disk byte layouts documented in docs/FORMAT.md. If any of
+// these tests fail, either the format changed (bump the version and the
+// doc) or a refactor silently broke compatibility.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/avq/block_encoder.h"
+#include "src/common/coding.h"
+#include "src/db/block_codecs.h"
+#include "src/db/table_io.h"
+#include "src/index/bptree.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+TEST(FormatConformance, AvqBlockHeader) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;  // chain deltas, RLE, checksum
+  BlockEncoder encoder(schema, options);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(encoder.TryAdd({0, 0, 0, 1, i}).value());
+  }
+  auto block = encoder.Finish().value();
+  const auto* b = reinterpret_cast<const uint8_t*>(block.data());
+  EXPECT_EQ(DecodeFixed16(b), 0x5156u);  // "VQ"
+  EXPECT_EQ(b[2], 0u);                   // chain-delta
+  EXPECT_EQ(b[3], 0x3u);                 // checksum | RLE
+  EXPECT_EQ(DecodeFixed16(b + 4), 5u);   // tuple count
+  EXPECT_EQ(DecodeFixed16(b + 6), 2u);   // median of 5 -> index 2
+  // Payload: 5 (rep) + 4 deltas of (1 count + 1 suffix) = 13 bytes.
+  EXPECT_EQ(DecodeFixed32(b + 8), 13u);
+  EXPECT_NE(DecodeFixed32(b + 12), 0u);  // masked CRC present
+  // Representative image immediately follows the 16-byte header.
+  EXPECT_EQ(b[16], 0u);
+  EXPECT_EQ(b[19], 1u);
+  EXPECT_EQ(b[20], 2u);  // a5 of the median tuple
+}
+
+TEST(FormatConformance, RawBlockHeaderAndPayload) {
+  auto schema = testing::PaperShapeSchema();
+  auto codec = MakeRawBlockCodec(schema, 128);
+  auto block =
+      codec->EncodeBlock({{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}}).value();
+  const auto* b = reinterpret_cast<const uint8_t*>(block.data());
+  EXPECT_EQ(DecodeFixed16(b), 0x5752u);  // "RW"
+  EXPECT_EQ(b[3], 0x1u);                 // checksum flag
+  EXPECT_EQ(DecodeFixed16(b + 4), 2u);   // count
+  EXPECT_EQ(DecodeFixed32(b + 8), 10u);  // payload = 2 * m
+  // Fixed-width big-endian digit images start at offset 16.
+  const uint8_t expected[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(b[16 + i], expected[i]) << i;
+  }
+}
+
+TEST(FormatConformance, BPlusTreeLeafNode) {
+  MemBlockDevice device(128);
+  Pager pager(&device);
+  auto tree = BPlusTree::Create(&pager, 8).value();
+  std::string key(8, '\0');
+  key[7] = 0x2a;
+  ASSERT_TRUE(tree->Insert(Slice(key), 0x1122334455667788ull).ok());
+  std::string raw;
+  ASSERT_TRUE(device.Read(tree->root(), &raw).ok());
+  const auto* b = reinterpret_cast<const uint8_t*>(raw.data());
+  EXPECT_EQ(DecodeFixed16(b), 0x4254u);       // "BT"
+  EXPECT_EQ(b[2], 0u);                        // leaf
+  EXPECT_EQ(DecodeFixed16(b + 4), 1u);        // one entry
+  EXPECT_EQ(DecodeFixed32(b + 8), 0xffffffffu);   // no next leaf
+  EXPECT_EQ(DecodeFixed32(b + 12), 0xffffffffu);  // no prev leaf
+  // Entry: 8-byte key then u64 value.
+  EXPECT_EQ(b[16 + 7], 0x2au);
+  EXPECT_EQ(DecodeFixed64(b + 24), 0x1122334455667788ull);
+}
+
+TEST(FormatConformance, TableImageMetadataBlock) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  auto table = Table::CreateAvq(schema, &device).value();
+  ASSERT_TRUE(table->Insert({1, 2, 3, 4, 5}).ok());
+  const std::string path = "/tmp/avqdb_format_conformance.avqt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SaveTable(*table, path).ok());
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  uint8_t head[28];
+  ASSERT_EQ(std::fread(head, 1, sizeof(head), f), sizeof(head));
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(DecodeFixed32(head), 0x54515641u);  // "AVQT"
+  EXPECT_EQ(DecodeFixed16(head + 4), 1u);       // version
+  EXPECT_EQ(head[6], 1u);                       // AVQ store
+  EXPECT_EQ(head[7], 0u);                       // chain-delta
+  EXPECT_EQ(head[8], 0u);                       // median representative
+  EXPECT_EQ(head[9], 1u);                       // RLE
+  EXPECT_EQ(head[10], 1u);                      // checksums
+  EXPECT_EQ(DecodeFixed32(head + 12), 512u);    // block size
+  EXPECT_EQ(DecodeFixed32(head + 16), 1u);      // data blocks
+  EXPECT_EQ(DecodeFixed64(head + 20), 1u);      // tuples
+}
+
+TEST(FormatConformance, ZigZagEncoding) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  for (int64_t v : {int64_t{0}, int64_t{-40}, int64_t{50},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace avqdb

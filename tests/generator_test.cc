@@ -1,0 +1,157 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/distributions.h"
+
+namespace avqdb {
+namespace {
+
+TEST(Generator, DeterministicForSeed) {
+  RelationSpec spec = PaperTestSpec(1, 500, 7);
+  auto a = GenerateRelation(spec);
+  auto b = GenerateRelation(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->tuples, b->tuples);
+  EXPECT_EQ(a->schema->radices(), b->schema->radices());
+  spec.seed = 8;
+  auto c = GenerateRelation(spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->tuples, c->tuples);
+}
+
+TEST(Generator, RespectsArityAndDomains) {
+  auto rel = GenerateRelation(PaperTestSpec(3, 1000, 5));
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema->num_attributes(), 15u);
+  EXPECT_EQ(rel->tuples.size(), 1000u);
+  for (const auto& t : rel->tuples) {
+    EXPECT_TRUE(ValidateTuple(*rel->schema, t).ok());
+  }
+}
+
+TEST(Generator, SmallSpreadKeepsDomainsNearBase) {
+  RelationSpec spec = PaperTestSpec(3, 10, 5);  // spread 0.1, base 4
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  for (uint64_t radix : rel->schema->radices()) {
+    EXPECT_GE(radix, 3u);
+    EXPECT_LE(radix, 5u);
+  }
+}
+
+TEST(Generator, LargeSpreadVariesDomains) {
+  RelationSpec spec = PaperTestSpec(4, 10, 5);  // spread 3.0
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  uint64_t lo = ~0ull, hi = 0;
+  for (uint64_t radix : rel->schema->radices()) {
+    lo = std::min(lo, radix);
+    hi = std::max(hi, radix);
+  }
+  // "Differences of more than 100% of the average domain size."
+  EXPECT_GT(hi, 2 * lo);
+}
+
+TEST(Generator, ExplicitDomainSizes) {
+  RelationSpec spec;
+  spec.explicit_domain_sizes = {4, 9, 16};
+  spec.num_attributes = 3;
+  spec.num_tuples = 100;
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema->radices(), (std::vector<uint64_t>{4, 9, 16}));
+}
+
+TEST(Generator, ExplicitSizesArityMismatchRejected) {
+  RelationSpec spec;
+  spec.explicit_domain_sizes = {4, 9};
+  spec.num_attributes = 3;
+  EXPECT_TRUE(GenerateRelation(spec).status().IsInvalidArgument());
+}
+
+TEST(Generator, UniqueLastAttribute) {
+  RelationSpec spec = PaperQueryRelationSpec(2000, 3);
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  std::set<uint64_t> keys;
+  for (const auto& t : rel->tuples) keys.insert(t.back());
+  EXPECT_EQ(keys.size(), 2000u);  // sequential unique key
+  // Tuple width is in the paper's 38-byte neighbourhood.
+  EXPECT_GE(rel->schema->tuple_width(), 28u);
+  EXPECT_LE(rel->schema->tuple_width(), 44u);
+}
+
+TEST(Generator, DedupeYieldsDistinctTuples) {
+  RelationSpec spec;
+  spec.explicit_domain_sizes = {16, 16, 16};
+  spec.num_attributes = 3;
+  spec.num_tuples = 600;
+  spec.dedupe = true;
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  std::set<OrdinalTuple> unique(rel->tuples.begin(), rel->tuples.end());
+  EXPECT_EQ(unique.size(), 600u);
+}
+
+TEST(Generator, DedupeImpossibleWhenDomainTooSmall) {
+  RelationSpec spec;
+  spec.explicit_domain_sizes = {2, 2};
+  spec.num_attributes = 2;
+  spec.num_tuples = 10;  // only 4 distinct tuples exist
+  spec.dedupe = true;
+  EXPECT_TRUE(GenerateRelation(spec).status().IsResourceExhausted());
+}
+
+TEST(Generator, ClusteredTuplesSharePrefixes) {
+  auto rel = GenerateRelation(ClusteredRelationSpec(2000, 10, 9));
+  ASSERT_TRUE(rel.ok());
+  std::set<OrdinalTuple> prefixes;
+  const size_t prefix_len = rel->schema->num_attributes() - 3;
+  for (const auto& t : rel->tuples) {
+    prefixes.insert(OrdinalTuple(t.begin(),
+                                 t.begin() + static_cast<ptrdiff_t>(prefix_len)));
+  }
+  EXPECT_LE(prefixes.size(), 10u);
+  EXPECT_GE(prefixes.size(), 2u);
+}
+
+TEST(Generator, SkewConcentratesMass) {
+  Random rng(3);
+  const uint64_t cardinality = 100;
+  size_t hot = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (SampleSkewed(rng, cardinality) < 40) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / draws, 0.6, 0.02);
+}
+
+TEST(Generator, ZipfFavorsSmallValues) {
+  Random rng(4);
+  ZipfSampler zipf(1000, 1.2);
+  size_t top10 = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.Sample(rng) < 10) ++top10;
+  }
+  // Zipf(1.2) over 1000 values puts well over a third of the mass on the
+  // first ten.
+  EXPECT_GT(static_cast<double>(top10) / draws, 0.35);
+}
+
+TEST(Generator, InvalidSpecsRejected) {
+  RelationSpec spec;
+  spec.num_attributes = 0;
+  EXPECT_TRUE(GenerateRelation(spec).status().IsInvalidArgument());
+  RelationSpec conflicting;
+  conflicting.unique_last_attribute = true;
+  conflicting.dedupe = true;
+  EXPECT_TRUE(GenerateRelation(conflicting).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,173 @@
+#include "src/db/join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/workload/generator.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+std::vector<OrdinalTuple> BruteForceJoin(
+    const std::vector<OrdinalTuple>& left, size_t left_attr,
+    const std::vector<OrdinalTuple>& right, size_t right_attr) {
+  std::vector<OrdinalTuple> out;
+  for (const auto& l : left) {
+    for (const auto& r : right) {
+      if (l[left_attr] == r[right_attr]) {
+        OrdinalTuple joined = l;
+        joined.insert(joined.end(), r.begin(), r.end());
+        out.push_back(std::move(joined));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  return out;
+}
+
+struct JoinFixture {
+  JoinFixture() : left_device(512), right_device(512) {
+    // Left: (dept, emp) pairs; right: (dept, building, floor).
+    left_schema = testing::IntSchema({8, 512});
+    right_schema = testing::IntSchema({8, 16, 8});
+    RelationSpec ls;
+    ls.explicit_domain_sizes = {8, 512};
+    ls.num_attributes = 2;
+    ls.num_tuples = 400;
+    ls.dedupe = true;
+    ls.seed = 11;
+    left_tuples = GenerateRelation(ls).value().tuples;
+    RelationSpec rs;
+    rs.explicit_domain_sizes = {8, 16, 8};
+    rs.num_attributes = 3;
+    rs.num_tuples = 120;
+    rs.dedupe = true;
+    rs.seed = 12;
+    right_tuples = GenerateRelation(rs).value().tuples;
+
+    CodecOptions options;
+    options.block_size = 512;
+    left = Table::CreateAvq(left_schema, &left_device, options).value();
+    right = Table::CreateAvq(right_schema, &right_device, options).value();
+    AVQDB_CHECK_OK(left->BulkLoad(left_tuples));
+    AVQDB_CHECK_OK(right->BulkLoad(right_tuples));
+  }
+
+  MemBlockDevice left_device, right_device;
+  SchemaPtr left_schema, right_schema;
+  std::vector<OrdinalTuple> left_tuples, right_tuples;
+  std::unique_ptr<Table> left, right;
+};
+
+TEST(Join, MergeOnClusteredAttributes) {
+  JoinFixture f;
+  JoinStats stats;
+  auto joined = ExecuteEquiJoin(*f.left, 0, *f.right, 0,
+                                JoinStrategy::kMerge, &stats);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  EXPECT_EQ(joined.value(),
+            BruteForceJoin(f.left_tuples, 0, f.right_tuples, 0));
+  EXPECT_EQ(stats.strategy, JoinStrategy::kMerge);
+  EXPECT_GT(stats.output_tuples, 0u);
+  EXPECT_GT(stats.left_blocks_read, 0u);
+}
+
+TEST(Join, HashOnArbitraryAttributes) {
+  JoinFixture f;
+  JoinStats stats;
+  // Join left.emp-ish attr 1 against right.floor attr 2 (both small
+  // overlapping ordinal spaces only where values coincide).
+  auto joined = ExecuteEquiJoin(*f.left, 0, *f.right, 2,
+                                JoinStrategy::kHash, &stats);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value(),
+            BruteForceJoin(f.left_tuples, 0, f.right_tuples, 2));
+  EXPECT_EQ(stats.strategy, JoinStrategy::kHash);
+}
+
+TEST(Join, IndexNestedLoop) {
+  JoinFixture f;
+  ASSERT_TRUE(f.right->CreateSecondaryIndex(2).ok());
+  JoinStats stats;
+  auto joined = ExecuteEquiJoin(*f.left, 0, *f.right, 2,
+                                JoinStrategy::kIndexNestedLoop, &stats);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  EXPECT_EQ(joined.value(),
+            BruteForceJoin(f.left_tuples, 0, f.right_tuples, 2));
+  EXPECT_EQ(stats.strategy, JoinStrategy::kIndexNestedLoop);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(Join, AllStrategiesAgree) {
+  JoinFixture f;
+  ASSERT_TRUE(f.right->CreateSecondaryIndex(0).ok());
+  auto merge =
+      ExecuteEquiJoin(*f.left, 0, *f.right, 0, JoinStrategy::kMerge, nullptr);
+  auto hash =
+      ExecuteEquiJoin(*f.left, 0, *f.right, 0, JoinStrategy::kHash, nullptr);
+  auto inl = ExecuteEquiJoin(*f.left, 0, *f.right, 0,
+                             JoinStrategy::kIndexNestedLoop, nullptr);
+  ASSERT_TRUE(merge.ok());
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(inl.ok());
+  EXPECT_EQ(merge.value(), hash.value());
+  EXPECT_EQ(merge.value(), inl.value());
+}
+
+TEST(Join, AutoPrefersMergeWhenLegal) {
+  JoinFixture f;
+  JoinStats stats;
+  ASSERT_TRUE(
+      ExecuteEquiJoin(*f.left, 0, *f.right, 0, JoinStrategy::kAuto, &stats)
+          .ok());
+  EXPECT_EQ(stats.strategy, JoinStrategy::kMerge);
+  ASSERT_TRUE(
+      ExecuteEquiJoin(*f.left, 1, *f.right, 2, JoinStrategy::kAuto, &stats)
+          .ok());
+  EXPECT_EQ(stats.strategy, JoinStrategy::kHash);
+}
+
+TEST(Join, ErrorCases) {
+  JoinFixture f;
+  EXPECT_TRUE(ExecuteEquiJoin(*f.left, 9, *f.right, 0, JoinStrategy::kAuto,
+                              nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteEquiJoin(*f.left, 1, *f.right, 0, JoinStrategy::kMerge,
+                              nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExecuteEquiJoin(*f.left, 0, *f.right, 2,
+                              JoinStrategy::kIndexNestedLoop, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Join, EmptyInputsYieldEmptyOutput) {
+  JoinFixture f;
+  MemBlockDevice empty_device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto empty = Table::CreateAvq(f.right_schema, &empty_device, options).value();
+  auto joined =
+      ExecuteEquiJoin(*f.left, 0, *empty, 0, JoinStrategy::kAuto, nullptr);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined.value().empty());
+}
+
+TEST(Join, SelfJoin) {
+  JoinFixture f;
+  auto joined =
+      ExecuteEquiJoin(*f.left, 0, *f.left, 0, JoinStrategy::kHash, nullptr);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value(),
+            BruteForceJoin(f.left_tuples, 0, f.left_tuples, 0));
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,103 @@
+#include "src/vq/lbg.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+TEST(Lbg, SquaredErrorMatchesEq21) {
+  EXPECT_DOUBLE_EQ(SquaredError({1, 2, 3}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredError({0, 0}, {3.0, 4.0}), 25.0);
+}
+
+TEST(Lbg, RejectsBadInput) {
+  EXPECT_TRUE(
+      TrainLbgCodebook({}, LbgOptions{}).status().IsInvalidArgument());
+  LbgOptions zero;
+  zero.codebook_size = 0;
+  EXPECT_TRUE(
+      TrainLbgCodebook({{1, 2}}, zero).status().IsInvalidArgument());
+  EXPECT_TRUE(TrainLbgCodebook({{1, 2}, {1, 2, 3}}, LbgOptions{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Lbg, SingleCodewordIsCentroid) {
+  LbgOptions options;
+  options.codebook_size = 1;
+  auto result = TrainLbgCodebook({{0, 0}, {2, 0}, {4, 6}}, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->codewords.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->codewords[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(result->codewords[0][1], 2.0);
+  EXPECT_EQ(result->iterations, 0u);  // no split levels run
+}
+
+TEST(Lbg, SeparatesObviousClusters) {
+  // Two tight clusters around (0,0) and (100,100).
+  std::vector<OrdinalTuple> training;
+  for (uint64_t i = 0; i < 20; ++i) {
+    training.push_back({i % 3, i % 2});
+    training.push_back({100 + i % 3, 100 + i % 2});
+  }
+  LbgOptions options;
+  options.codebook_size = 2;
+  auto result = TrainLbgCodebook(training, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->codewords.size(), 2u);
+  // One codeword near each cluster.
+  const double a = result->codewords[0][0];
+  const double b = result->codewords[1][0];
+  EXPECT_LT(std::min(a, b), 5.0);
+  EXPECT_GT(std::max(a, b), 95.0);
+  // Distortion far below the single-codeword case (~2500 per axis).
+  EXPECT_LT(result->distortion, 10.0);
+  EXPECT_GT(result->iterations, 0u);
+}
+
+TEST(Lbg, DistortionDecreasesWithCodebookSize) {
+  auto schema = testing::IntSchema({64, 64, 64});
+  auto tuples = testing::RandomTuples(*schema, 500, 55);
+  double previous = 1e18;
+  for (size_t k : {1u, 4u, 16u, 64u}) {
+    LbgOptions options;
+    options.codebook_size = k;
+    auto result = TrainLbgCodebook(tuples, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->distortion, previous * 1.0001) << "k=" << k;
+    previous = result->distortion;
+  }
+}
+
+TEST(Lbg, CodebookGrowsToPowerOfTwoAtLeastRequested) {
+  auto schema = testing::IntSchema({16, 16});
+  auto tuples = testing::RandomTuples(*schema, 200, 77);
+  LbgOptions options;
+  options.codebook_size = 5;  // not a power of two
+  auto result = TrainLbgCodebook(tuples, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->codewords.size(), 5u);
+  EXPECT_EQ(result->codewords.size(), 8u);  // splitting doubles: 1,2,4,8
+}
+
+TEST(Lbg, ZeroDistortionWhenCodebookCoversPoints) {
+  // Four distinct points, codebook of 4: Lloyd should land on them.
+  std::vector<OrdinalTuple> training;
+  for (int rep = 0; rep < 10; ++rep) {
+    training.push_back({0, 0});
+    training.push_back({0, 50});
+    training.push_back({50, 0});
+    training.push_back({50, 50});
+  }
+  LbgOptions options;
+  options.codebook_size = 4;
+  options.max_iterations = 200;
+  auto result = TrainLbgCodebook(training, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->distortion, 1e-6);
+}
+
+}  // namespace
+}  // namespace avqdb

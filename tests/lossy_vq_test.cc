@@ -1,0 +1,100 @@
+#include "src/vq/lossy_vq.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+LbgCodebook ManualCodebook(std::vector<std::vector<double>> words) {
+  LbgCodebook book;
+  book.codewords = std::move(words);
+  return book;
+}
+
+TEST(LossyVq, CreateValidation) {
+  auto schema = testing::IntSchema({64, 64});
+  EXPECT_TRUE(LossyVectorQuantizer::Create(schema, ManualCodebook({}))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      LossyVectorQuantizer::Create(schema, ManualCodebook({{1.0}}))
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(LossyVq, EncodePicksNearestCodeword) {
+  auto schema = testing::IntSchema({64, 64});
+  auto q = LossyVectorQuantizer::Create(
+               schema, ManualCodebook({{0.0, 0.0}, {50.0, 50.0}}))
+               .value();
+  EXPECT_EQ(q.Encode({1, 2}), 0u);
+  EXPECT_EQ(q.Encode({60, 40}), 1u);
+}
+
+TEST(LossyVq, DecodeClampsIntoDomains) {
+  auto schema = testing::IntSchema({8, 8});
+  auto q = LossyVectorQuantizer::Create(
+               schema, ManualCodebook({{-3.0, 200.0}, {2.4, 2.6}}))
+               .value();
+  EXPECT_EQ(q.Decode(0).value(), (OrdinalTuple{0, 7}));
+  EXPECT_EQ(q.Decode(1).value(), (OrdinalTuple{2, 3}));  // rounding
+  EXPECT_TRUE(q.Decode(2).status().IsOutOfRange());
+}
+
+TEST(LossyVq, BitsPerCodeword) {
+  auto schema = testing::IntSchema({64});
+  auto make = [&](size_t k) {
+    std::vector<std::vector<double>> words(k, std::vector<double>{0.0});
+    for (size_t i = 0; i < k; ++i) words[i][0] = static_cast<double>(i);
+    return LossyVectorQuantizer::Create(schema, ManualCodebook(words))
+        .value();
+  };
+  EXPECT_EQ(make(2).bits_per_codeword(), 1u);
+  EXPECT_EQ(make(3).bits_per_codeword(), 2u);
+  EXPECT_EQ(make(4).bits_per_codeword(), 2u);
+  EXPECT_EQ(make(9).bits_per_codeword(), 4u);
+}
+
+TEST(LossyVq, ConventionalVqIsLossyAvqPremise) {
+  // §2.2's motivating fact: coding a relation with a small codebook loses
+  // information.
+  auto schema = testing::IntSchema({64, 64, 64});
+  auto tuples = testing::RandomTuples(*schema, 400, 99);
+  LbgOptions options;
+  options.codebook_size = 16;
+  auto codebook = TrainLbgCodebook(tuples, options);
+  ASSERT_TRUE(codebook.ok());
+  auto q = LossyVectorQuantizer::Create(schema, codebook.value()).value();
+  LossyCodingStats stats = q.CodeRelation(tuples);
+  EXPECT_EQ(stats.tuple_count, 400u);
+  EXPECT_EQ(stats.bits_per_codeword, 4u);
+  EXPECT_GT(stats.mean_squared_error, 0.0);
+  EXPECT_LT(stats.exact_fraction, 0.5);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(LossyVq, PerfectCodebookIsExact) {
+  auto schema = testing::IntSchema({16, 16});
+  std::vector<OrdinalTuple> tuples = {{1, 2}, {10, 3}, {5, 5}};
+  auto q = LossyVectorQuantizer::Create(
+               schema,
+               ManualCodebook({{1.0, 2.0}, {10.0, 3.0}, {5.0, 5.0}}))
+               .value();
+  LossyCodingStats stats = q.CodeRelation(tuples);
+  EXPECT_DOUBLE_EQ(stats.mean_squared_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.exact_fraction, 1.0);
+}
+
+TEST(LossyVq, EmptyRelationStats) {
+  auto schema = testing::IntSchema({16});
+  auto q = LossyVectorQuantizer::Create(schema, ManualCodebook({{0.0}}))
+               .value();
+  LossyCodingStats stats = q.CodeRelation({});
+  EXPECT_EQ(stats.tuple_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_squared_error, 0.0);
+}
+
+}  // namespace
+}  // namespace avqdb

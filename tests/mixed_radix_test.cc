@@ -1,0 +1,200 @@
+// Property tests for the digit-wise φ algebra: every operation is
+// cross-checked against plain 128-bit integer arithmetic through Phi /
+// PhiInverse on randomly drawn radix systems.
+
+#include "src/ordinal/mixed_radix.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/ordinal/phi.h"
+
+namespace avqdb {
+namespace {
+
+using mixed_radix::Digits;
+
+TEST(MixedRadix, ValidateChecksArityAndRange) {
+  Digits radices = {4, 8};
+  EXPECT_TRUE(mixed_radix::Validate(radices, {3, 7}).ok());
+  EXPECT_TRUE(mixed_radix::Validate(radices, {4, 0}).IsOutOfRange());
+  EXPECT_TRUE(mixed_radix::Validate(radices, {0}).IsInvalidArgument());
+}
+
+TEST(MixedRadix, CompareBasics) {
+  EXPECT_EQ(mixed_radix::Compare({1, 2}, {1, 2}), 0);
+  EXPECT_LT(mixed_radix::Compare({0, 9}, {1, 0}), 0);
+  EXPECT_GT(mixed_radix::Compare({1, 0}, {0, 9}), 0);
+}
+
+TEST(MixedRadix, ZeroAndMax) {
+  Digits radices = {4, 8, 2};
+  EXPECT_EQ(mixed_radix::Zero(radices), (Digits{0, 0, 0}));
+  EXPECT_EQ(mixed_radix::Max(radices), (Digits{3, 7, 1}));
+  EXPECT_TRUE(mixed_radix::IsZero(mixed_radix::Zero(radices)));
+  EXPECT_FALSE(mixed_radix::IsZero(mixed_radix::Max(radices)));
+}
+
+TEST(MixedRadix, SubWithBorrow) {
+  // (1,0) - (0,1) in radices (4,8): 8 - 1 = 7 = (0,7).
+  Digits out;
+  ASSERT_TRUE(mixed_radix::Sub({4, 8}, {1, 0}, {0, 1}, &out).ok());
+  EXPECT_EQ(out, (Digits{0, 7}));
+}
+
+TEST(MixedRadix, SubUnderflowRejected) {
+  Digits out;
+  EXPECT_TRUE(
+      mixed_radix::Sub({4, 8}, {0, 1}, {1, 0}, &out).IsOutOfRange());
+}
+
+TEST(MixedRadix, AddWithCarry) {
+  Digits out;
+  ASSERT_TRUE(mixed_radix::Add({4, 8}, {0, 7}, {0, 1}, &out).ok());
+  EXPECT_EQ(out, (Digits{1, 0}));
+}
+
+TEST(MixedRadix, AddOverflowRejected) {
+  Digits out;
+  Digits radices = {4, 8};
+  EXPECT_TRUE(mixed_radix::Add(radices, mixed_radix::Max(radices), {0, 1},
+                               &out)
+                  .IsOutOfRange());
+}
+
+TEST(MixedRadix, AddSmallCarryChain) {
+  // (0, 7, 7) + 1 in radices (4, 8, 8) -> (1, 0, 0).
+  Digits out;
+  ASSERT_TRUE(mixed_radix::AddSmall({4, 8, 8}, {0, 7, 7}, 1, &out).ok());
+  EXPECT_EQ(out, (Digits{1, 0, 0}));
+}
+
+TEST(MixedRadix, IncrementWalksWholeSpace) {
+  Digits radices = {2, 3, 2};
+  Digits current = mixed_radix::Zero(radices);
+  size_t count = 1;
+  while (mixed_radix::Increment(radices, &current).ok()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u * 3u * 2u);
+  EXPECT_EQ(current, mixed_radix::Max(radices));
+}
+
+TEST(MixedRadix, AliasingAllowed) {
+  Digits a = {2, 5};
+  ASSERT_TRUE(mixed_radix::Sub({4, 8}, a, {0, 6}, &a).ok());
+  EXPECT_EQ(a, (Digits{1, 7}));
+}
+
+// ---- Randomized cross-checks against 128-bit integer arithmetic ----
+
+struct RadixCase {
+  const char* name;
+  Digits radices;
+};
+
+class MixedRadixProperty : public ::testing::TestWithParam<RadixCase> {};
+
+Digits RandomDigits(const Digits& radices, Random& rng) {
+  Digits out(radices.size());
+  for (size_t i = 0; i < radices.size(); ++i) {
+    out[i] = rng.Uniform(radices[i]);
+  }
+  return out;
+}
+
+TEST_P(MixedRadixProperty, SubMatchesIntegerArithmetic) {
+  const Digits& radices = GetParam().radices;
+  Random rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    Digits a = RandomDigits(radices, rng);
+    Digits b = RandomDigits(radices, rng);
+    if (mixed_radix::Compare(a, b) < 0) std::swap(a, b);
+    Digits diff;
+    ASSERT_TRUE(mixed_radix::Sub(radices, a, b, &diff).ok());
+    const u128 expected =
+        Phi(radices, a).value() - Phi(radices, b).value();
+    EXPECT_EQ(Phi(radices, diff).value(), expected);
+  }
+}
+
+TEST_P(MixedRadixProperty, AddInvertsSub) {
+  const Digits& radices = GetParam().radices;
+  Random rng(202);
+  for (int trial = 0; trial < 500; ++trial) {
+    Digits a = RandomDigits(radices, rng);
+    Digits b = RandomDigits(radices, rng);
+    if (mixed_radix::Compare(a, b) < 0) std::swap(a, b);
+    Digits diff, back;
+    ASSERT_TRUE(mixed_radix::Sub(radices, a, b, &diff).ok());
+    ASSERT_TRUE(mixed_radix::Add(radices, b, diff, &back).ok());
+    EXPECT_EQ(back, a);  // Theorem 2.1's losslessness, digit-wise
+  }
+}
+
+TEST_P(MixedRadixProperty, AbsDiffIsSymmetric) {
+  const Digits& radices = GetParam().radices;
+  Random rng(303);
+  for (int trial = 0; trial < 200; ++trial) {
+    Digits a = RandomDigits(radices, rng);
+    Digits b = RandomDigits(radices, rng);
+    Digits d1, d2;
+    ASSERT_TRUE(mixed_radix::AbsDiff(radices, a, b, &d1).ok());
+    ASSERT_TRUE(mixed_radix::AbsDiff(radices, b, a, &d2).ok());
+    EXPECT_EQ(d1, d2);
+  }
+}
+
+TEST_P(MixedRadixProperty, CompareMatchesPhiOrder) {
+  const Digits& radices = GetParam().radices;
+  Random rng(404);
+  for (int trial = 0; trial < 500; ++trial) {
+    Digits a = RandomDigits(radices, rng);
+    Digits b = RandomDigits(radices, rng);
+    const u128 pa = Phi(radices, a).value();
+    const u128 pb = Phi(radices, b).value();
+    const int cmp = mixed_radix::Compare(a, b);
+    if (pa < pb) {
+      EXPECT_LT(cmp, 0);
+    } else if (pa > pb) {
+      EXPECT_GT(cmp, 0);
+    } else {
+      EXPECT_EQ(cmp, 0);
+    }
+  }
+}
+
+TEST_P(MixedRadixProperty, AddSmallMatchesIntegerArithmetic) {
+  const Digits& radices = GetParam().radices;
+  Random rng(505);
+  const u128 space = SpaceSize(radices).value();
+  for (int trial = 0; trial < 300; ++trial) {
+    Digits a = RandomDigits(radices, rng);
+    const u128 pa = Phi(radices, a).value();
+    const uint64_t delta = rng.Uniform(1000);
+    Digits out;
+    Status s = mixed_radix::AddSmall(radices, a, delta, &out);
+    if (pa + delta < space) {
+      ASSERT_TRUE(s.ok());
+      EXPECT_EQ(Phi(radices, out).value(), pa + delta);
+    } else {
+      EXPECT_TRUE(s.IsOutOfRange());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadixSystems, MixedRadixProperty,
+    ::testing::Values(
+        RadixCase{"paper_shape", {8, 16, 64, 64, 64}},
+        RadixCase{"binary", {2, 2, 2, 2, 2, 2, 2, 2}},
+        RadixCase{"single_digit", {1000000}},
+        RadixCase{"mixed_widths", {3, 1000, 7, 65536, 2}},
+        RadixCase{"with_unit_radix", {5, 1, 9, 1, 4}},
+        RadixCase{"wide", {100000, 100000, 100000, 100000}}),
+    [](const ::testing::TestParamInfo<RadixCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,91 @@
+#include "src/storage/pager.h"
+
+#include <gtest/gtest.h>
+
+namespace avqdb {
+namespace {
+
+TEST(Pager, CountsOperations) {
+  MemBlockDevice device(64);
+  Pager pager(&device);
+  BlockId id = pager.Allocate().value();
+  std::string payload = "data";
+  ASSERT_TRUE(pager.Write(id, Slice(payload)).ok());
+  ASSERT_TRUE(pager.Read(id).ok());
+  ASSERT_TRUE(pager.Read(id).ok());
+  ASSERT_TRUE(pager.Free(id).ok());
+  const IoStats& stats = pager.stats();
+  EXPECT_EQ(stats.allocations, 1u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.logical_reads, 2u);
+  EXPECT_EQ(stats.physical_reads, 2u);  // no buffer pool
+  EXPECT_EQ(stats.frees, 1u);
+}
+
+TEST(Pager, SimulatedTimesUseDiskParameters) {
+  MemBlockDevice device(8192);
+  DiskParameters disk;  // paper defaults: ~32.7 ms per 8 KiB block
+  Pager pager(&device, disk);
+  BlockId id = pager.Allocate().value();
+  std::string payload = "x";
+  ASSERT_TRUE(pager.Write(id, Slice(payload)).ok());
+  ASSERT_TRUE(pager.Read(id).ok());
+  const double expected = disk.BlockTimeMs(8192);
+  EXPECT_NEAR(pager.stats().simulated_read_ms, expected, 1e-9);
+  EXPECT_NEAR(pager.stats().simulated_write_ms, expected, 1e-9);
+  EXPECT_NEAR(expected, 32.73, 0.01);  // 20 + 8 + 2 + 8192/3000
+}
+
+TEST(Pager, BufferPoolAbsorbsRereads) {
+  MemBlockDevice device(64);
+  Pager pager(&device);
+  pager.EnableBufferPool(4);
+  BlockId id = pager.Allocate().value();
+  std::string payload = "cached";
+  ASSERT_TRUE(pager.Write(id, Slice(payload)).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto block = pager.Read(id);
+    ASSERT_TRUE(block.ok());
+    EXPECT_EQ(block.value().substr(0, 6), "cached");
+  }
+  EXPECT_EQ(pager.stats().logical_reads, 5u);
+  // The write primed the cache, so no physical read at all.
+  EXPECT_EQ(pager.stats().physical_reads, 0u);
+}
+
+TEST(Pager, BufferPoolInvalidatedOnFree) {
+  MemBlockDevice device(64);
+  Pager pager(&device);
+  pager.EnableBufferPool(4);
+  BlockId id = pager.Allocate().value();
+  std::string payload = "gone";
+  ASSERT_TRUE(pager.Write(id, Slice(payload)).ok());
+  ASSERT_TRUE(pager.Free(id).ok());
+  EXPECT_TRUE(pager.Read(id).status().IsInvalidArgument());
+}
+
+TEST(Pager, StatsDeltaArithmetic) {
+  MemBlockDevice device(64);
+  Pager pager(&device);
+  BlockId id = pager.Allocate().value();
+  std::string payload = "x";
+  ASSERT_TRUE(pager.Write(id, Slice(payload)).ok());
+  const IoStats before = pager.stats();
+  ASSERT_TRUE(pager.Read(id).ok());
+  ASSERT_TRUE(pager.Read(id).ok());
+  const IoStats delta = pager.stats() - before;
+  EXPECT_EQ(delta.physical_reads, 2u);
+  EXPECT_EQ(delta.writes, 0u);
+  EXPECT_FALSE(delta.ToString().empty());
+}
+
+TEST(Pager, ResetStats) {
+  MemBlockDevice device(64);
+  Pager pager(&device);
+  ASSERT_TRUE(pager.Allocate().ok());
+  pager.ResetStats();
+  EXPECT_EQ(pager.stats().allocations, 0u);
+}
+
+}  // namespace
+}  // namespace avqdb

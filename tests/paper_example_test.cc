@@ -1,0 +1,149 @@
+// Locks the codec to the paper's own worked numbers: φ values from
+// Fig 2.2/3.3, the chain differences of Examples 3.2–3.3, and the exact
+// coded stream printed at the end of §3.4.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/avq/block_decoder.h"
+#include "src/avq/block_encoder.h"
+#include "src/common/slice.h"
+#include "src/ordinal/mixed_radix.h"
+#include "src/ordinal/phi.h"
+#include "src/schema/tuple.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+// The fourth block of Fig 2.2 table (c), as shown in Fig 3.3 table (a).
+const std::vector<OrdinalTuple> kBlockTuples = {
+    {3, 8, 32, 25, 19},   // φ = 14812755
+    {3, 8, 32, 34, 12},   // φ = 14813324
+    {3, 8, 36, 39, 35},   // φ = 14830051 (representative)
+    {3, 9, 24, 32, 0},    // φ = 15042560
+    {3, 9, 26, 27, 37},   // φ = 15050469
+};
+
+TEST(PaperExample, PhiMatchesFigure33) {
+  auto schema = testing::PaperShapeSchema();
+  const std::vector<uint64_t> expected = {14812755, 14813324, 14830051,
+                                          15042560, 15050469};
+  for (size_t i = 0; i < kBlockTuples.size(); ++i) {
+    auto phi = Phi(schema->radices(), kBlockTuples[i]);
+    ASSERT_TRUE(phi.ok()) << phi.status().ToString();
+    EXPECT_EQ(static_cast<uint64_t>(phi.value()), expected[i]) << "tuple " << i;
+  }
+}
+
+TEST(PaperExample, PhiInverseRecoversTuples) {
+  auto schema = testing::PaperShapeSchema();
+  for (const auto& tuple : kBlockTuples) {
+    auto phi = Phi(schema->radices(), tuple);
+    ASSERT_TRUE(phi.ok());
+    auto back = PhiInverse(schema->radices(), phi.value());
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value(), tuple);
+  }
+}
+
+// Example 3.2: the representative-delta of (3,08,32,34,12) is
+// (0,00,04,05,23) = 16727.
+TEST(PaperExample, RepresentativeDeltaOfExample32) {
+  auto schema = testing::PaperShapeSchema();
+  OrdinalTuple diff;
+  ASSERT_TRUE(mixed_radix::Sub(schema->radices(), kBlockTuples[2],
+                               kBlockTuples[1], &diff)
+                  .ok());
+  EXPECT_EQ(diff, (OrdinalTuple{0, 0, 4, 5, 23}));
+  auto phi = Phi(schema->radices(), diff);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(static_cast<uint64_t>(phi.value()), 16727u);
+}
+
+// Example 3.3: the chain delta of the first tuple is (0,00,00,08,57) = 569.
+TEST(PaperExample, ChainDeltaOfExample33) {
+  auto schema = testing::PaperShapeSchema();
+  OrdinalTuple diff;
+  ASSERT_TRUE(mixed_radix::Sub(schema->radices(), kBlockTuples[1],
+                               kBlockTuples[0], &diff)
+                  .ok());
+  EXPECT_EQ(diff, (OrdinalTuple{0, 0, 0, 8, 57}));
+  auto phi = Phi(schema->radices(), diff);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(static_cast<uint64_t>(phi.value()), 569u);
+}
+
+// §3.4 prints the coded stream for this block as the byte sequence
+//   3 08 36 39 35 | 3 08 57 | 2 04 05 23 | 2 51 56 29 | 2 01 59 37
+// (representative first, then per difference a leading-zero count and the
+// remaining bytes). Our payload must reproduce it exactly.
+TEST(PaperExample, CodedStreamMatchesSection34) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;  // defaults = the paper's pipeline
+  options.checksum = false;
+  BlockEncoder encoder(schema, options);
+  for (const auto& tuple : kBlockTuples) {
+    auto added = encoder.TryAdd(tuple);
+    ASSERT_TRUE(added.ok()) << added.status().ToString();
+    ASSERT_TRUE(added.value());
+  }
+  EXPECT_EQ(encoder.representative_index(), 2u);
+
+  auto block = encoder.Finish();
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+
+  const std::vector<uint8_t> expected_payload = {
+      3, 8, 36, 39, 35,      // representative
+      3, 8,  57,             // Δ(t1) = 569, 3 leading zeros
+      2, 4,  5,  23,         // Δ(t2) = 16727
+      2, 51, 56, 29,         // Δ(t4) = 212509
+      2, 1,  59, 37,         // Δ(t5) = 7909
+  };
+  ASSERT_GE(block.value().size(), kBlockHeaderSize + expected_payload.size());
+  const uint8_t* payload =
+      reinterpret_cast<const uint8_t*>(block.value().data()) +
+      kBlockHeaderSize;
+  for (size_t i = 0; i < expected_payload.size(); ++i) {
+    EXPECT_EQ(payload[i], expected_payload[i]) << "payload byte " << i;
+  }
+
+  // And the coded block decodes back to the original tuples.
+  auto decoded = DecodeBlock(*schema, Slice(block.value()));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().tuples, kBlockTuples);
+  EXPECT_EQ(decoded.value().header.rep_index, 2u);
+}
+
+// Theorem 2.1 (losslessness) on the paper block under every codec variant.
+TEST(PaperExample, AllVariantsLossless) {
+  auto schema = testing::PaperShapeSchema();
+  for (CodecVariant variant :
+       {CodecVariant::kChainDelta, CodecVariant::kRepresentativeDelta}) {
+    for (bool rle : {true, false}) {
+      for (RepresentativeChoice rep :
+           {RepresentativeChoice::kMiddle, RepresentativeChoice::kFirst}) {
+        CodecOptions options;
+        options.variant = variant;
+        options.run_length_zeros = rle;
+        options.representative = rep;
+        BlockEncoder encoder(schema, options);
+        for (const auto& tuple : kBlockTuples) {
+          ASSERT_TRUE(encoder.TryAdd(tuple).value());
+        }
+        auto block = encoder.Finish();
+        ASSERT_TRUE(block.ok());
+        auto decoded = DecodeBlock(*schema, Slice(block.value()));
+        ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+        EXPECT_EQ(decoded.value().tuples, kBlockTuples)
+            << "variant=" << static_cast<int>(variant) << " rle=" << rle
+            << " rep=" << static_cast<int>(rep);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace avqdb

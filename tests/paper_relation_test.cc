@@ -1,0 +1,86 @@
+// The canned Fig 2.2 employee relation: spot-checks against the paper's
+// printed encodings and φ values.
+
+#include "src/workload/paper_relation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/ordinal/phi.h"
+
+namespace avqdb {
+namespace {
+
+TEST(PaperRelation, FiftyRowsWithSequentialEmployeeNumbers) {
+  auto rows = PaperEmployeeRows();
+  ASSERT_EQ(rows.size(), 50u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i][4], Value(static_cast<int64_t>(i)));
+  }
+}
+
+TEST(PaperRelation, SchemaMatchesPaperDomains) {
+  auto schema = PaperEmployeeSchema();
+  EXPECT_EQ(schema->radices(), (std::vector<uint64_t>{8, 16, 64, 64, 64}));
+  EXPECT_EQ(schema->tuple_width(), 5u);
+}
+
+TEST(PaperRelation, EncodingsMatchTableB) {
+  auto tuples = PaperEmployeeTuples();
+  ASSERT_EQ(tuples.size(), 50u);
+  // Spot rows straight from Fig 2.2 table (b).
+  EXPECT_EQ(tuples[0], (OrdinalTuple{3, 9, 24, 32, 0}));
+  EXPECT_EQ(tuples[1], (OrdinalTuple{4, 12, 12, 31, 1}));
+  EXPECT_EQ(tuples[2], (OrdinalTuple{2, 6, 29, 21, 2}));
+  EXPECT_EQ(tuples[15], (OrdinalTuple{5, 10, 33, 22, 15}));
+  EXPECT_EQ(tuples[35], (OrdinalTuple{3, 8, 36, 39, 35}));
+  EXPECT_EQ(tuples[44], (OrdinalTuple{4, 4, 55, 23, 44}));
+  EXPECT_EQ(tuples[49], (OrdinalTuple{4, 7, 39, 31, 49}));
+}
+
+TEST(PaperRelation, PhiValuesMatchTableC) {
+  auto schema = PaperEmployeeSchema();
+  auto tuples = PaperEmployeeTuples();
+  // Pairs (row index in table (a), φ value printed in table (c)).
+  const std::pair<size_t, uint64_t> checks[] = {
+      {36, 10069284},  // (2,06,26,20,36)
+      {2, 10081602},   // (2,06,29,21,02)
+      {4, 11122372},   // (2,10,27,27,04)
+      {9, 13760073},   // (3,04,31,25,09)
+      {5, 13989445},   // (3,05,23,25,05)
+      {35, 14830051},  // (3,08,36,39,35)
+      {19, 14812755},  // (3,08,32,25,19)
+      {47, 22382255},  // (5,05,24,26,47)
+      {15, 23729551},  // (5,10,33,22,15)
+  };
+  for (const auto& [row, phi] : checks) {
+    auto value = Phi(schema->radices(), tuples[row]);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(static_cast<uint64_t>(value.value()), phi) << "row " << row;
+  }
+}
+
+TEST(PaperRelation, AllTuplesDistinct) {
+  auto tuples = PaperEmployeeTuples();
+  std::set<OrdinalTuple> unique(tuples.begin(), tuples.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(PaperRelation, SortedOrderMatchesTableC) {
+  // The first tuples of table (c): rows 36, 2, 4 of table (a) lead.
+  auto schema = PaperEmployeeSchema();
+  auto tuples = PaperEmployeeTuples();
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  EXPECT_EQ(tuples[0], (OrdinalTuple{2, 6, 26, 20, 36}));
+  EXPECT_EQ(tuples[1], (OrdinalTuple{2, 6, 29, 21, 2}));
+  EXPECT_EQ(tuples[2], (OrdinalTuple{2, 10, 27, 27, 4}));
+  EXPECT_EQ(tuples[49], (OrdinalTuple{5, 10, 33, 22, 15}));
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,84 @@
+#include "src/ordinal/phi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace avqdb {
+namespace {
+
+using mixed_radix::Digits;
+
+TEST(Phi, MatchesHandComputation) {
+  // Eq 2.2 on the paper's domains (8, 16, 64, 64, 64).
+  Digits radices = {8, 16, 64, 64, 64};
+  EXPECT_EQ(static_cast<uint64_t>(Phi(radices, {0, 0, 0, 0, 0}).value()), 0u);
+  EXPECT_EQ(static_cast<uint64_t>(Phi(radices, {0, 0, 0, 0, 1}).value()), 1u);
+  EXPECT_EQ(static_cast<uint64_t>(Phi(radices, {0, 0, 0, 1, 0}).value()),
+            64u);
+  EXPECT_EQ(static_cast<uint64_t>(Phi(radices, {1, 0, 0, 0, 0}).value()),
+            16u * 64 * 64 * 64);
+  EXPECT_EQ(static_cast<uint64_t>(Phi(radices, {7, 15, 63, 63, 63}).value()),
+            33554431u);  // ||R|| - 1
+}
+
+TEST(Phi, SpaceSize) {
+  EXPECT_EQ(static_cast<uint64_t>(SpaceSize({8, 16, 64, 64, 64}).value()),
+            33554432u);
+  EXPECT_EQ(static_cast<uint64_t>(SpaceSize({1}).value()), 1u);
+  EXPECT_TRUE(SpaceSize({0}).status().IsInvalidArgument());
+}
+
+TEST(Phi, SpaceSizeOverflow) {
+  // 3 radices of 2^63 -> 2^189 > 2^128.
+  Digits radices = {1ull << 63, 1ull << 63, 1ull << 63};
+  EXPECT_TRUE(SpaceSize(radices).status().IsOutOfRange());
+  EXPECT_TRUE(Phi(radices, {0, 0, 0}).status().IsOutOfRange());
+}
+
+TEST(Phi, RejectsInvalidDigits) {
+  Digits radices = {8, 16};
+  EXPECT_TRUE(Phi(radices, {8, 0}).status().IsOutOfRange());
+  EXPECT_TRUE(Phi(radices, {0}).status().IsInvalidArgument());
+}
+
+TEST(Phi, InverseRejectsOutOfSpace) {
+  Digits radices = {4, 4};
+  EXPECT_TRUE(PhiInverse(radices, 16).status().IsOutOfRange());
+  EXPECT_TRUE(PhiInverse(radices, 15).ok());
+}
+
+TEST(Phi, BijectionOverSmallSpace) {
+  Digits radices = {3, 5, 2};
+  for (uint64_t e = 0; e < 30; ++e) {
+    auto tuple = PhiInverse(radices, e);
+    ASSERT_TRUE(tuple.ok());
+    EXPECT_EQ(static_cast<uint64_t>(Phi(radices, tuple.value()).value()), e);
+  }
+}
+
+TEST(Phi, RandomizedRoundTripLargeSpace) {
+  Digits radices = {1000003, 999983, 524288, 100000};
+  Random rng(42);
+  for (int i = 0; i < 300; ++i) {
+    Digits tuple(radices.size());
+    for (size_t d = 0; d < radices.size(); ++d) {
+      tuple[d] = rng.Uniform(radices[d]);
+    }
+    auto phi = Phi(radices, tuple);
+    ASSERT_TRUE(phi.ok());
+    auto back = PhiInverse(radices, phi.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), tuple);
+  }
+}
+
+TEST(Phi, U128ToString) {
+  EXPECT_EQ(U128ToString(0), "0");
+  EXPECT_EQ(U128ToString(14830051), "14830051");
+  u128 big = static_cast<u128>(1) << 100;
+  EXPECT_EQ(U128ToString(big), "1267650600228229401496703205376");
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,108 @@
+#include "src/index/primary_index.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+struct Fixture {
+  Fixture() : device(256), pager(&device) {
+    schema = testing::PaperShapeSchema();
+    index = PrimaryIndex::Create(&pager, schema).value();
+  }
+  MemBlockDevice device;
+  Pager pager;
+  SchemaPtr schema;
+  std::unique_ptr<PrimaryIndex> index;
+};
+
+TEST(PrimaryIndex, EmptyIndex) {
+  Fixture f;
+  EXPECT_TRUE(f.index->FindBlock({0, 0, 0, 0, 0}).status().IsNotFound());
+  EXPECT_EQ(f.index->num_blocks_indexed(), 0u);
+}
+
+TEST(PrimaryIndex, FindBlockUsesFloorSemantics) {
+  Fixture f;
+  // Blocks keyed by their minimum tuples.
+  ASSERT_TRUE(f.index->Insert({1, 0, 0, 0, 0}, 10).ok());
+  ASSERT_TRUE(f.index->Insert({3, 8, 0, 0, 0}, 11).ok());
+  ASSERT_TRUE(f.index->Insert({5, 0, 0, 0, 0}, 12).ok());
+
+  // Exact minimum.
+  EXPECT_EQ(f.index->FindBlock({1, 0, 0, 0, 0}).value(), 10u);
+  // Inside the first block's range.
+  EXPECT_EQ(f.index->FindBlock({2, 15, 63, 63, 63}).value(), 10u);
+  // Inside the second.
+  EXPECT_EQ(f.index->FindBlock({4, 0, 0, 0, 0}).value(), 11u);
+  // Past everything: last block.
+  EXPECT_EQ(f.index->FindBlock({7, 15, 63, 63, 63}).value(), 12u);
+  // Before everything: clamps to the first block (insertion target).
+  EXPECT_EQ(f.index->FindBlock({0, 0, 0, 0, 0}).value(), 10u);
+}
+
+TEST(PrimaryIndex, RekeyMovesBlockBoundary) {
+  Fixture f;
+  ASSERT_TRUE(f.index->Insert({2, 0, 0, 0, 0}, 20).ok());
+  ASSERT_TRUE(f.index->Rekey({2, 0, 0, 0, 0}, {1, 0, 0, 0, 0}, 20).ok());
+  EXPECT_EQ(f.index->FindBlock({1, 5, 0, 0, 0}).value(), 20u);
+  // Rekey to the identical tuple is a no-op.
+  ASSERT_TRUE(f.index->Rekey({1, 0, 0, 0, 0}, {1, 0, 0, 0, 0}, 20).ok());
+  EXPECT_EQ(f.index->num_blocks_indexed(), 1u);
+}
+
+TEST(PrimaryIndex, DeleteRemovesBlock) {
+  Fixture f;
+  ASSERT_TRUE(f.index->Insert({1, 0, 0, 0, 0}, 10).ok());
+  ASSERT_TRUE(f.index->Delete({1, 0, 0, 0, 0}).ok());
+  EXPECT_TRUE(f.index->FindBlock({1, 0, 0, 0, 0}).status().IsNotFound());
+  EXPECT_TRUE(f.index->Delete({1, 0, 0, 0, 0}).IsNotFound());
+}
+
+TEST(PrimaryIndex, RejectsInvalidTuples) {
+  Fixture f;
+  EXPECT_TRUE(f.index->Insert({9, 0, 0, 0, 0}, 1).IsOutOfRange());
+  EXPECT_TRUE(f.index->Insert({0, 0}, 1).IsInvalidArgument());
+}
+
+TEST(PrimaryIndex, SeekBlockIteratesInPhiOrder) {
+  Fixture f;
+  ASSERT_TRUE(f.index->Insert({1, 0, 0, 0, 0}, 10).ok());
+  ASSERT_TRUE(f.index->Insert({3, 0, 0, 0, 0}, 11).ok());
+  ASSERT_TRUE(f.index->Insert({5, 0, 0, 0, 0}, 12).ok());
+  auto iter = f.index->SeekBlock({3, 2, 0, 0, 0});
+  ASSERT_TRUE(iter.ok());
+  std::vector<uint64_t> blocks;
+  while (iter.value().Valid()) {
+    blocks.push_back(iter.value().value());
+    ASSERT_TRUE(iter.value().Next().ok());
+  }
+  EXPECT_EQ(blocks, (std::vector<uint64_t>{11, 12}));
+  // Key decoding recovers the block minimum.
+  auto again = f.index->SeekBlock({1, 0, 0, 0, 0});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(f.index->DecodeKey(again.value().key()).value(),
+            (OrdinalTuple{1, 0, 0, 0, 0}));
+}
+
+TEST(PrimaryIndex, ManyBlocksStressWithMultiByteDigits) {
+  MemBlockDevice device(512);
+  Pager pager(&device);
+  auto schema = testing::IntSchema({300, 70000, 64});
+  auto index = PrimaryIndex::Create(&pager, schema).value();
+  // Digit widths 2 + 3 + 1: six-byte keys. All 500 tuples are distinct.
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(index
+                    ->Insert({i % 300, i * 17 % 70000, i % 64},
+                             static_cast<BlockId>(i))
+                    .ok())
+        << i;
+  }
+  EXPECT_EQ(index->num_blocks_indexed(), 500u);
+  EXPECT_GT(index->num_index_nodes(), 1u);
+}
+
+}  // namespace
+}  // namespace avqdb

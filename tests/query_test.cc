@@ -1,0 +1,389 @@
+#include "src/db/query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/workload/generator.h"
+#include "src/workload/paper_relation.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+std::vector<OrdinalTuple> BruteForce(const std::vector<OrdinalTuple>& tuples,
+                                     size_t attr, uint64_t lo, uint64_t hi) {
+  std::vector<OrdinalTuple> out;
+  for (const auto& t : tuples) {
+    if (t[attr] >= lo && t[attr] <= hi) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  return out;
+}
+
+struct QueryFixture {
+  explicit QueryFixture(bool avq, size_t block_size = 512)
+      : device(block_size) {
+    schema = testing::IntSchema({8, 16, 32, 64});
+    auto rel = GenerateRelation([&] {
+      RelationSpec spec;
+      spec.explicit_domain_sizes = {8, 16, 32, 64};
+      spec.num_attributes = 4;
+      spec.num_tuples = 1800;
+      spec.dedupe = true;
+      spec.seed = 4242;
+      return spec;
+    }());
+    tuples = rel.value().tuples;
+    schema = rel.value().schema;
+    if (avq) {
+      CodecOptions options;
+      options.block_size = block_size;
+      table = Table::CreateAvq(schema, &device, options).value();
+    } else {
+      table = Table::CreateHeap(schema, &device).value();
+    }
+    AVQDB_CHECK_OK(table->BulkLoad(tuples));
+  }
+  MemBlockDevice device;
+  SchemaPtr schema;
+  std::vector<OrdinalTuple> tuples;
+  std::unique_ptr<Table> table;
+};
+
+class QueryPaths : public ::testing::TestWithParam<bool> {};
+
+TEST_P(QueryPaths, ClusteredRangeOnLeadingAttribute) {
+  QueryFixture f(GetParam());
+  QueryStats stats;
+  RangeQuery query{0, 2, 5};
+  auto results = ExecuteRangeSelect(*f.table, query, &stats);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(results.value(), BruteForce(f.tuples, 0, 2, 5));
+  EXPECT_EQ(stats.path, AccessPath::kClusteredRange);
+  EXPECT_GT(stats.data_blocks_read, 0u);
+  // Clustered scans read only the covering range, not the whole table.
+  EXPECT_LT(stats.data_blocks_read, f.table->DataBlockCount());
+  EXPECT_EQ(stats.tuples_matched, results.value().size());
+}
+
+TEST_P(QueryPaths, FullScanWithoutIndex) {
+  QueryFixture f(GetParam());
+  QueryStats stats;
+  RangeQuery query{2, 10, 20};
+  auto results = ExecuteRangeSelect(*f.table, query, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value(), BruteForce(f.tuples, 2, 10, 20));
+  EXPECT_EQ(stats.path, AccessPath::kFullScan);
+  EXPECT_EQ(stats.data_blocks_read, f.table->DataBlockCount());
+  EXPECT_EQ(stats.tuples_examined, f.tuples.size());
+}
+
+TEST_P(QueryPaths, SecondaryIndexPath) {
+  QueryFixture f(GetParam());
+  ASSERT_TRUE(f.table->CreateSecondaryIndex(3).ok());
+  QueryStats stats;
+  RangeQuery query{3, 7, 7};  // narrow point range
+  auto results = ExecuteRangeSelect(*f.table, query, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value(), BruteForce(f.tuples, 3, 7, 7));
+  EXPECT_EQ(stats.path, AccessPath::kSecondaryIndex);
+  EXPECT_GT(stats.index_blocks_read, 0u);
+  EXPECT_LE(stats.data_blocks_read, f.table->DataBlockCount());
+}
+
+TEST_P(QueryPaths, EmptyAndClampedRanges) {
+  QueryFixture f(GetParam());
+  QueryStats stats;
+  // lo > hi: empty.
+  auto results = ExecuteRangeSelect(*f.table, RangeQuery{1, 9, 3}, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results.value().empty());
+  EXPECT_EQ(stats.data_blocks_read, 0u);
+  // hi beyond the domain: clamped, equivalent to full domain.
+  results = ExecuteRangeSelect(*f.table, RangeQuery{1, 0, 9999}, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value().size(), f.tuples.size());
+  // lo beyond the domain: empty.
+  results = ExecuteRangeSelect(*f.table, RangeQuery{1, 999, 9999}, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results.value().empty());
+}
+
+TEST_P(QueryPaths, InvalidAttributeRejected) {
+  QueryFixture f(GetParam());
+  EXPECT_TRUE(ExecuteRangeSelect(*f.table, RangeQuery{9, 0, 1}, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_P(QueryPaths, AllAttributesAgreeWithBruteForce) {
+  QueryFixture f(GetParam());
+  ASSERT_TRUE(f.table->CreateSecondaryIndex(1).ok());
+  for (size_t attr = 0; attr < 4; ++attr) {
+    const uint64_t radix = f.schema->radices()[attr];
+    const uint64_t lo = radix / 4;
+    const uint64_t hi = radix / 2;
+    QueryStats stats;
+    auto results =
+        ExecuteRangeSelect(*f.table, RangeQuery{attr, lo, hi}, &stats);
+    ASSERT_TRUE(results.ok());
+    EXPECT_EQ(results.value(), BruteForce(f.tuples, attr, lo, hi))
+        << "attr " << attr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, QueryPaths, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "avq" : "heap";
+                         });
+
+TEST(QueryRows, RowLevelSelection) {
+  auto schema = PaperEmployeeSchema();
+  MemBlockDevice device(8192);
+  auto table = Table::CreateHeap(schema, &device).value();
+  for (const Row& row : PaperEmployeeRows()) {
+    ASSERT_TRUE(table->InsertRow(row).ok());
+  }
+  QueryStats stats;
+  auto rows = ExecuteRangeSelectRows(*table, "years_in_company",
+                                     Value(int64_t{30}), Value(int64_t{35}),
+                                     &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  size_t expected = 0;
+  for (const Row& row : PaperEmployeeRows()) {
+    const int64_t years = row[2].AsInt();
+    if (years >= 30 && years <= 35) ++expected;
+  }
+  EXPECT_EQ(rows.value().size(), expected);
+  for (const Row& row : rows.value()) {
+    EXPECT_GE(row[2].AsInt(), 30);
+    EXPECT_LE(row[2].AsInt(), 35);
+  }
+  // Unknown attribute and un-encodable bounds fail cleanly.
+  EXPECT_TRUE(ExecuteRangeSelectRows(*table, "salary", Value(int64_t{1}),
+                                     Value(int64_t{2}), nullptr)
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ExecuteRangeSelectRows(*table, "years_in_company",
+                                     Value(int64_t{-5}), Value(int64_t{2}),
+                                     nullptr)
+                  .status()
+                  .IsOutOfRange());
+}
+
+std::vector<OrdinalTuple> BruteForceConjunctive(
+    const std::vector<OrdinalTuple>& tuples,
+    const std::vector<RangeQuery>& preds) {
+  std::vector<OrdinalTuple> out;
+  for (const auto& t : tuples) {
+    bool match = true;
+    for (const auto& p : preds) {
+      if (t[p.attribute] < p.lo || t[p.attribute] > p.hi) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  return out;
+}
+
+class ConjunctivePaths : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ConjunctivePaths, ClusteredDriverWithResidualFilters) {
+  QueryFixture f(GetParam());
+  ConjunctiveQuery query;
+  query.predicates = {{0, 2, 5}, {2, 8, 24}, {3, 10, 50}};
+  QueryStats stats;
+  auto results = ExecuteConjunctiveSelect(*f.table, query, &stats);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(results.value(),
+            BruteForceConjunctive(f.tuples, query.predicates));
+  EXPECT_EQ(stats.path, AccessPath::kClusteredRange);
+  EXPECT_EQ(stats.driver_attribute, 0u);
+  EXPECT_LT(stats.data_blocks_read, f.table->DataBlockCount());
+}
+
+TEST_P(ConjunctivePaths, PicksMostSelectiveSecondaryIndex) {
+  QueryFixture f(GetParam());
+  ASSERT_TRUE(f.table->CreateSecondaryIndex(1).ok());
+  ASSERT_TRUE(f.table->CreateSecondaryIndex(3).ok());
+  ConjunctiveQuery query;
+  // Attribute 1 covers half its domain, attribute 3 a single value:
+  // attribute 3 must drive.
+  query.predicates = {{1, 0, 7}, {3, 9, 9}};
+  QueryStats stats;
+  auto results = ExecuteConjunctiveSelect(*f.table, query, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value(),
+            BruteForceConjunctive(f.tuples, query.predicates));
+  EXPECT_EQ(stats.path, AccessPath::kSecondaryIndex);
+  EXPECT_EQ(stats.driver_attribute, 3u);
+}
+
+TEST_P(ConjunctivePaths, FullScanWithoutUsablePredicate) {
+  QueryFixture f(GetParam());
+  ConjunctiveQuery query;
+  query.predicates = {{1, 2, 9}, {2, 5, 30}};
+  QueryStats stats;
+  auto results = ExecuteConjunctiveSelect(*f.table, query, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value(),
+            BruteForceConjunctive(f.tuples, query.predicates));
+  EXPECT_EQ(stats.path, AccessPath::kFullScan);
+  EXPECT_EQ(stats.data_blocks_read, f.table->DataBlockCount());
+}
+
+TEST_P(ConjunctivePaths, RepeatedAttributesIntersect) {
+  QueryFixture f(GetParam());
+  ConjunctiveQuery query;
+  query.predicates = {{2, 5, 20}, {2, 10, 30}};  // effective [10, 20]
+  auto results = ExecuteConjunctiveSelect(*f.table, query, nullptr);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value(),
+            BruteForceConjunctive(f.tuples, {{2, 10, 20}}));
+  // Contradictory intersection: empty without touching data.
+  query.predicates = {{2, 5, 10}, {2, 20, 30}};
+  QueryStats stats;
+  results = ExecuteConjunctiveSelect(*f.table, query, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results.value().empty());
+  EXPECT_EQ(stats.data_blocks_read, 0u);
+}
+
+TEST_P(ConjunctivePaths, EmptyPredicateListScansEverything) {
+  QueryFixture f(GetParam());
+  QueryStats stats;
+  auto results = ExecuteConjunctiveSelect(*f.table, ConjunctiveQuery{}, &stats);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value().size(), f.tuples.size());
+  EXPECT_EQ(stats.path, AccessPath::kFullScan);
+}
+
+TEST_P(ConjunctivePaths, InvalidAttributeRejected) {
+  QueryFixture f(GetParam());
+  ConjunctiveQuery query;
+  query.predicates = {{17, 0, 1}};
+  EXPECT_TRUE(ExecuteConjunctiveSelect(*f.table, query, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_P(ConjunctivePaths, AggregatesMatchBruteForce) {
+  QueryFixture f(GetParam());
+  ConjunctiveQuery query;
+  query.predicates = {{1, 4, 11}};
+  QueryStats stats;
+  auto agg = ExecuteAggregate(*f.table, query, 2, &stats);
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+
+  uint64_t count = 0, min = ~0ull, max = 0, sum = 0;
+  for (const auto& t : f.tuples) {
+    if (t[1] < 4 || t[1] > 11) continue;
+    ++count;
+    min = std::min(min, t[2]);
+    max = std::max(max, t[2]);
+    sum += t[2];
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_EQ(agg->count, count);
+  EXPECT_EQ(agg->min, min);
+  EXPECT_EQ(agg->max, max);
+  EXPECT_EQ(static_cast<uint64_t>(agg->sum), sum);
+  EXPECT_EQ(stats.tuples_matched, count);
+}
+
+TEST_P(ConjunctivePaths, AggregateOverEmptySelection) {
+  QueryFixture f(GetParam());
+  ConjunctiveQuery query;
+  query.predicates = {{1, 9, 3}};  // empty range
+  auto agg = ExecuteAggregate(*f.table, query, 0, nullptr);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 0u);
+  EXPECT_TRUE(ExecuteAggregate(*f.table, query, 99, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_P(ConjunctivePaths, ProjectionMatchesBruteForce) {
+  QueryFixture f(GetParam());
+  ConjunctiveQuery query;
+  query.predicates = {{1, 2, 9}};
+  QueryStats stats;
+  auto projected =
+      ExecuteProject(*f.table, query, {3, 1}, /*distinct=*/false, &stats);
+  ASSERT_TRUE(projected.ok()) << projected.status().ToString();
+
+  std::vector<OrdinalTuple> expected;
+  for (const auto& t : f.tuples) {
+    if (t[1] >= 2 && t[1] <= 9) expected.push_back({t[3], t[1]});
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  EXPECT_EQ(projected.value(), expected);
+
+  // Distinct collapses duplicates.
+  auto distinct =
+      ExecuteProject(*f.table, query, {3, 1}, /*distinct=*/true, nullptr);
+  ASSERT_TRUE(distinct.ok());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  EXPECT_EQ(distinct.value(), expected);
+  EXPECT_LE(distinct->size(), projected->size());
+}
+
+TEST_P(ConjunctivePaths, ProjectionAllowsRepeatsAndValidates) {
+  QueryFixture f(GetParam());
+  auto repeated =
+      ExecuteProject(*f.table, ConjunctiveQuery{}, {0, 0}, true, nullptr);
+  ASSERT_TRUE(repeated.ok());
+  for (const auto& t : repeated.value()) {
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0], t[1]);
+  }
+  EXPECT_TRUE(ExecuteProject(*f.table, ConjunctiveQuery{}, {}, false, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ExecuteProject(*f.table, ConjunctiveQuery{}, {9}, false, nullptr)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST_P(ConjunctivePaths, CursorStreamsWholeTable) {
+  QueryFixture f(GetParam());
+  auto cursor = f.table->NewCursor();
+  ASSERT_TRUE(cursor.ok());
+  std::vector<OrdinalTuple> streamed;
+  for (Table::Cursor cur = std::move(cursor).value(); cur.Valid();) {
+    streamed.push_back(cur.tuple());
+    ASSERT_TRUE(cur.Next().ok());
+  }
+  EXPECT_EQ(streamed, f.table->ScanAll().value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, ConjunctivePaths, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "avq" : "heap";
+                         });
+
+TEST(QueryStatsTest, ToStringMentionsPath) {
+  QueryStats stats;
+  stats.path = AccessPath::kSecondaryIndex;
+  EXPECT_NE(stats.ToString().find("secondary-index"), std::string::npos);
+  EXPECT_EQ(AccessPathName(AccessPath::kClusteredRange), "clustered-range");
+  EXPECT_EQ(AccessPathName(AccessPath::kFullScan), "full-scan");
+}
+
+}  // namespace
+}  // namespace avqdb

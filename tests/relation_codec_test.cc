@@ -1,0 +1,137 @@
+#include "src/avq/relation_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/workload/generator.h"
+#include "src/workload/paper_relation.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+TEST(RelationCodec, EncodeDecodeRoundTrip) {
+  auto schema = testing::PaperShapeSchema();
+  RelationCodec codec(schema, CodecOptions{});
+  auto tuples = testing::RandomTuples(*schema, 5000, 11);
+  auto encoded = codec.Encode(tuples);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  EXPECT_GT(encoded->blocks.size(), 0u);
+  for (const auto& block : encoded->blocks) {
+    EXPECT_EQ(block.size(), codec.options().block_size);
+  }
+  auto decoded = codec.DecodeAll(encoded->blocks);
+  ASSERT_TRUE(decoded.ok());
+  // Decoded tuples come back φ-sorted; compare against the sorted input.
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  EXPECT_EQ(decoded.value(), tuples);
+}
+
+TEST(RelationCodec, EmptyRelation) {
+  auto schema = testing::PaperShapeSchema();
+  RelationCodec codec(schema, CodecOptions{});
+  auto encoded = codec.Encode({});
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->blocks.size(), 0u);
+  EXPECT_EQ(encoded->stats.coded_blocks, 0u);
+  auto decoded = codec.DecodeAll(encoded->blocks);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(RelationCodec, RejectsInvalidTuples) {
+  auto schema = testing::PaperShapeSchema();
+  RelationCodec codec(schema, CodecOptions{});
+  EXPECT_TRUE(
+      codec.Encode({{9, 0, 0, 0, 0}}).status().IsOutOfRange());
+}
+
+TEST(RelationCodec, StatsAccounting) {
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions options;
+  options.block_size = 1024;
+  RelationCodec codec(schema, options);
+  auto tuples = testing::RandomTuples(*schema, 3000, 21);
+  auto encoded = codec.Encode(tuples);
+  ASSERT_TRUE(encoded.ok());
+  const CompressionStats& stats = encoded->stats;
+  EXPECT_EQ(stats.tuple_count, 3000u);
+  EXPECT_EQ(stats.tuple_width, 5u);
+  EXPECT_EQ(stats.uncoded_bytes, 15000u);
+  EXPECT_EQ(stats.coded_blocks, encoded->blocks.size());
+  EXPECT_EQ(stats.uncoded_blocks, codec.UncodedBlockCount(3000));
+  // 1024-byte blocks hold (1024-16)/5 = 201 raw tuples -> 15 blocks.
+  EXPECT_EQ(stats.uncoded_blocks, 15u);
+  EXPECT_GT(stats.coded_payload_bytes, 0u);
+  EXPECT_LT(stats.coded_payload_bytes, stats.uncoded_bytes);
+  EXPECT_GT(stats.BlockReductionPercent(), 0.0);
+  EXPECT_GT(stats.CompressionRatio(), 1.0);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(RelationCodec, CompressesPaperEmployeeRelation) {
+  auto schema = PaperEmployeeSchema();
+  CodecOptions options;
+  options.block_size = 64;  // small blocks so 50 tuples span several
+  RelationCodec codec(schema, options);
+  auto encoded = codec.Encode(PaperEmployeeTuples());
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = codec.DecodeAll(encoded->blocks);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 50u);
+  // Fewer coded blocks than uncoded.
+  EXPECT_LT(encoded->stats.coded_blocks, encoded->stats.uncoded_blocks);
+}
+
+TEST(RelationCodec, EncodeRowsAppliesDomainMapping) {
+  auto schema = PaperEmployeeSchema();
+  RelationCodec codec(schema, CodecOptions{});
+  auto encoded = codec.EncodeRows(PaperEmployeeRows());
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->stats.tuple_count, 50u);
+  auto decoded = codec.DecodeAll(encoded->blocks);
+  ASSERT_TRUE(decoded.ok());
+  auto expected = PaperEmployeeTuples();
+  std::sort(expected.begin(), expected.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  EXPECT_EQ(decoded.value(), expected);
+}
+
+TEST(RelationCodec, EncodeSortedRejectsNothingButMatchesEncode) {
+  auto schema = testing::PaperShapeSchema();
+  RelationCodec codec(schema, CodecOptions{});
+  auto tuples = testing::RandomTuples(*schema, 1000, 31);
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  auto a = codec.EncodeSorted(tuples);
+  auto b = codec.Encode(tuples);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->blocks, b->blocks);
+}
+
+TEST(RelationCodec, GeneratedWorkloadsRoundTripAllTests) {
+  for (int test = 1; test <= 4; ++test) {
+    auto relation =
+        GenerateRelation(PaperTestSpec(test, 2000, /*seed=*/1000 + test));
+    ASSERT_TRUE(relation.ok());
+    RelationCodec codec(relation->schema, CodecOptions{});
+    auto encoded = codec.Encode(relation->tuples);
+    ASSERT_TRUE(encoded.ok()) << "test " << test;
+    auto decoded = codec.DecodeAll(encoded->blocks);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->size(), relation->tuples.size());
+    EXPECT_GT(encoded->stats.BlockReductionPercent(), 0.0) << "test " << test;
+  }
+}
+
+}  // namespace
+}  // namespace avqdb

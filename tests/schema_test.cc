@@ -1,0 +1,93 @@
+#include "src/schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/schema/domain.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+TEST(Schema, PaperShapeGeometry) {
+  auto schema = testing::PaperShapeSchema();
+  EXPECT_EQ(schema->num_attributes(), 5u);
+  EXPECT_EQ(schema->radices(),
+            (std::vector<uint64_t>{8, 16, 64, 64, 64}));
+  EXPECT_EQ(schema->digit_widths(),
+            (std::vector<uint8_t>{1, 1, 1, 1, 1}));
+  EXPECT_EQ(schema->tuple_width(), 5u);
+  ASSERT_TRUE(schema->space_size_fits_u128());
+  // ||R|| = 8 * 16 * 64^3 = 33,554,432.
+  EXPECT_EQ(static_cast<uint64_t>(schema->space_size_u128()), 33554432u);
+  EXPECT_NEAR(schema->space_size_log2(), 25.0, 1e-9);
+}
+
+TEST(Schema, DigitWidthsScaleWithCardinality) {
+  auto schema = testing::IntSchema({2, 256, 257, 65536, 65537, 1u << 24});
+  EXPECT_EQ(schema->digit_widths(),
+            (std::vector<uint8_t>{1, 1, 2, 2, 3, 3}));
+  EXPECT_EQ(schema->tuple_width(), 12u);
+}
+
+TEST(Schema, RejectsEmptyAttributeList) {
+  EXPECT_TRUE(Schema::Create({}).status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsDuplicateNames) {
+  std::vector<Attribute> attrs = {
+      {"a", std::make_shared<IntegerRangeDomain>(0, 1)},
+      {"a", std::make_shared<IntegerRangeDomain>(0, 1)},
+  };
+  EXPECT_TRUE(Schema::Create(std::move(attrs)).status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsMissingDomain) {
+  std::vector<Attribute> attrs = {{"a", nullptr}};
+  EXPECT_TRUE(Schema::Create(std::move(attrs)).status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsOversizedTuples) {
+  // 256 one-byte attributes exceed the 255-byte tuple-width cap.
+  std::vector<uint64_t> cards(256, 16);
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < cards.size(); ++i) {
+    attrs.push_back({"a" + std::to_string(i),
+                     std::make_shared<IntegerRangeDomain>(0, 15)});
+  }
+  EXPECT_TRUE(Schema::Create(std::move(attrs)).status().IsInvalidArgument());
+}
+
+TEST(Schema, AttributeIndexLookup) {
+  auto schema = testing::PaperShapeSchema();
+  EXPECT_EQ(schema->AttributeIndex("a0").value(), 0u);
+  EXPECT_EQ(schema->AttributeIndex("a4").value(), 4u);
+  EXPECT_TRUE(schema->AttributeIndex("missing").status().IsNotFound());
+}
+
+TEST(Schema, SpaceSizeOverflowDetected) {
+  // 20 attributes of cardinality 2^63: |R| = 2^1260 >> 2^128.
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 20; ++i) {
+    attrs.push_back(
+        {"a" + std::to_string(i),
+         std::make_shared<IntegerRangeDomain>(
+             0, std::numeric_limits<int64_t>::max() - 1)});
+  }
+  auto schema = Schema::Create(std::move(attrs));
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(schema.value()->space_size_fits_u128());
+  EXPECT_NEAR(schema.value()->space_size_log2(), 20 * 63.0, 0.1);
+}
+
+TEST(Schema, ToStringMentionsAttributes) {
+  auto schema = testing::IntSchema({8, 16});
+  const std::string s = schema->ToString();
+  EXPECT_NE(s.find("a0"), std::string::npos);
+  EXPECT_NE(s.find("a1"), std::string::npos);
+  EXPECT_NE(s.find("m=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,135 @@
+#include "src/index/secondary_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/random.h"
+
+namespace avqdb {
+namespace {
+
+struct Fixture {
+  explicit Fixture(size_t block_size = 128)
+      : device(block_size), pager(&device) {
+    index = SecondaryIndex::Create(&pager, 3).value();
+  }
+  MemBlockDevice device;
+  Pager pager;
+  std::unique_ptr<SecondaryIndex> index;
+};
+
+TEST(SecondaryIndex, EmptyLookup) {
+  Fixture f;
+  EXPECT_TRUE(f.index->Lookup(5).value().empty());
+  EXPECT_TRUE(f.index->LookupRange(0, 100).value().empty());
+  EXPECT_EQ(f.index->attribute_index(), 3u);
+}
+
+TEST(SecondaryIndex, AddAndLookup) {
+  Fixture f;
+  ASSERT_TRUE(f.index->Add(5, 100).ok());
+  ASSERT_TRUE(f.index->Add(5, 101).ok());
+  ASSERT_TRUE(f.index->Add(6, 100).ok());
+  auto blocks = f.index->Lookup(5).value();
+  std::sort(blocks.begin(), blocks.end());
+  EXPECT_EQ(blocks, (std::vector<BlockId>{100, 101}));
+  EXPECT_EQ(f.index->Lookup(6).value(), (std::vector<BlockId>{100}));
+  EXPECT_EQ(f.index->num_values(), 2u);
+}
+
+TEST(SecondaryIndex, AddIsIdempotent) {
+  Fixture f;
+  ASSERT_TRUE(f.index->Add(5, 100).ok());
+  ASSERT_TRUE(f.index->Add(5, 100).ok());
+  EXPECT_EQ(f.index->Lookup(5).value().size(), 1u);
+}
+
+TEST(SecondaryIndex, RemoveShrinksBucket) {
+  Fixture f;
+  ASSERT_TRUE(f.index->Add(5, 100).ok());
+  ASSERT_TRUE(f.index->Add(5, 101).ok());
+  ASSERT_TRUE(f.index->Remove(5, 100).ok());
+  EXPECT_EQ(f.index->Lookup(5).value(), (std::vector<BlockId>{101}));
+  // Removing the last posting deletes the value entirely.
+  ASSERT_TRUE(f.index->Remove(5, 101).ok());
+  EXPECT_TRUE(f.index->Lookup(5).value().empty());
+  EXPECT_EQ(f.index->num_values(), 0u);
+  // Removing an absent pair is a no-op.
+  ASSERT_TRUE(f.index->Remove(5, 99).ok());
+  ASSERT_TRUE(f.index->Remove(77, 1).ok());
+}
+
+TEST(SecondaryIndex, BucketChainsAcrossPages) {
+  // 128-byte pages hold (128-12)/4 = 29 block ids; add 100 to force a
+  // multi-page chain.
+  Fixture f;
+  for (BlockId b = 0; b < 100; ++b) {
+    ASSERT_TRUE(f.index->Add(7, b).ok());
+  }
+  auto blocks = f.index->Lookup(7).value();
+  ASSERT_EQ(blocks.size(), 100u);
+  std::sort(blocks.begin(), blocks.end());
+  for (BlockId b = 0; b < 100; ++b) EXPECT_EQ(blocks[b], b);
+  EXPECT_GT(f.index->num_index_nodes(), 3u);
+
+  // Drain the chain again.
+  for (BlockId b = 0; b < 100; ++b) {
+    ASSERT_TRUE(f.index->Remove(7, b).ok());
+  }
+  EXPECT_TRUE(f.index->Lookup(7).value().empty());
+}
+
+TEST(SecondaryIndex, LookupRangeUnionsAndDedupes) {
+  Fixture f;
+  ASSERT_TRUE(f.index->Add(1, 100).ok());
+  ASSERT_TRUE(f.index->Add(2, 100).ok());  // same block under two values
+  ASSERT_TRUE(f.index->Add(2, 101).ok());
+  ASSERT_TRUE(f.index->Add(5, 102).ok());
+  ASSERT_TRUE(f.index->Add(9, 103).ok());
+
+  EXPECT_EQ(f.index->LookupRange(1, 5).value(),
+            (std::vector<BlockId>{100, 101, 102}));
+  EXPECT_EQ(f.index->LookupRange(0, 0).value().size(), 0u);
+  EXPECT_EQ(f.index->LookupRange(9, 9).value(),
+            (std::vector<BlockId>{103}));
+  EXPECT_EQ(f.index->LookupRange(0, 1000).value().size(), 4u);
+  // Inverted range is empty, not an error.
+  EXPECT_TRUE(f.index->LookupRange(5, 1).value().empty());
+}
+
+TEST(SecondaryIndex, RandomizedMirror) {
+  Fixture f;
+  Random rng(31);
+  // mirror[value] = set of blocks
+  std::map<uint64_t, std::set<BlockId>> mirror;
+  for (int op = 0; op < 2000; ++op) {
+    const uint64_t value = rng.Uniform(20);
+    const BlockId block = static_cast<BlockId>(rng.Uniform(50));
+    if (rng.Bernoulli(0.6)) {
+      ASSERT_TRUE(f.index->Add(value, block).ok());
+      mirror[value].insert(block);
+    } else {
+      ASSERT_TRUE(f.index->Remove(value, block).ok());
+      auto it = mirror.find(value);
+      if (it != mirror.end()) {
+        it->second.erase(block);
+        if (it->second.empty()) mirror.erase(it);
+      }
+    }
+  }
+  for (uint64_t value = 0; value < 20; ++value) {
+    auto blocks = f.index->Lookup(value).value();
+    std::sort(blocks.begin(), blocks.end());
+    std::vector<BlockId> expected;
+    if (auto it = mirror.find(value); it != mirror.end()) {
+      expected.assign(it->second.begin(), it->second.end());
+    }
+    EXPECT_EQ(blocks, expected) << "value " << value;
+  }
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,69 @@
+#include "src/common/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace avqdb {
+namespace {
+
+TEST(Slice, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Slice, ViewsString) {
+  std::string owner = "abcdef";
+  Slice s(owner);
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s[0], 'a');
+  EXPECT_EQ(s.ToString(), "abcdef");
+  EXPECT_EQ(s.ToStringView(), "abcdef");
+}
+
+TEST(Slice, RemovePrefix) {
+  std::string owner = "abcdef";
+  Slice s(owner);
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+  s.RemovePrefix(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Slice, Subslice) {
+  std::string owner = "abcdef";
+  Slice s(owner);
+  EXPECT_EQ(s.Subslice(1, 3).ToString(), "bcd");
+  EXPECT_EQ(s.Subslice(0, 0).size(), 0u);
+}
+
+TEST(Slice, CompareIsLexicographic) {
+  std::string a = "abc", b = "abd", c = "ab", d = "abc";
+  EXPECT_LT(Slice(a).Compare(Slice(b)), 0);
+  EXPECT_GT(Slice(b).Compare(Slice(a)), 0);
+  EXPECT_GT(Slice(a).Compare(Slice(c)), 0);  // prefix sorts first
+  EXPECT_EQ(Slice(a).Compare(Slice(d)), 0);
+  EXPECT_TRUE(Slice(a) == Slice(d));
+  EXPECT_TRUE(Slice(a) != Slice(b));
+  EXPECT_TRUE(Slice(a) < Slice(b));
+}
+
+TEST(Slice, StartsWith) {
+  std::string owner = "abcdef";
+  std::string ab = "ab", abd = "abd", empty;
+  Slice s(owner);
+  EXPECT_TRUE(s.StartsWith(Slice(ab)));
+  EXPECT_TRUE(s.StartsWith(Slice(empty)));
+  EXPECT_FALSE(s.StartsWith(Slice(abd)));
+  EXPECT_FALSE(Slice(ab).StartsWith(s));
+}
+
+TEST(Slice, BinaryContentWithNulBytes) {
+  const uint8_t bytes[] = {0x00, 0x01, 0x00, 0xff};
+  Slice s(bytes, sizeof(bytes));
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[2], 0u);
+  EXPECT_EQ(s.ToString().size(), 4u);
+}
+
+}  // namespace
+}  // namespace avqdb

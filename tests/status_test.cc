@@ -1,0 +1,103 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+
+namespace avqdb {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  Status s = Status::Corruption("bad checksum");
+  EXPECT_EQ(s.ToString(), "Corruption: bad checksum");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    AVQDB_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(Status, ReturnIfErrorPassesThroughOk) {
+  auto ok = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    AVQDB_RETURN_IF_ERROR(ok());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_TRUE(wrapper().IsAlreadyExists());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto produce = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("no");
+    return 5;
+  };
+  auto consume = [&](bool fail) -> Result<int> {
+    AVQDB_ASSIGN_OR_RETURN(int v, produce(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(consume(false).value(), 10);
+  EXPECT_TRUE(consume(true).status().IsOutOfRange());
+}
+
+TEST(Result, StructuredValueAccess) {
+  struct Pair {
+    int a;
+    int b;
+  };
+  Result<Pair> r(Pair{1, 2});
+  EXPECT_EQ(r->a, 1);
+  EXPECT_EQ(r->b, 2);
+}
+
+}  // namespace
+}  // namespace avqdb

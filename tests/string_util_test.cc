@@ -1,0 +1,44 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace avqdb {
+namespace {
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(StringFormat("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+  EXPECT_EQ(StringFormat("%s", ""), "");
+}
+
+TEST(StringUtil, HumanBytes) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.0 KiB");
+  EXPECT_EQ(HumanBytes(8192), "8.0 KiB");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KiB");
+  EXPECT_EQ(HumanBytes(uint64_t{5} * 1024 * 1024), "5.0 MiB");
+  EXPECT_EQ(HumanBytes(uint64_t{3} * 1024 * 1024 * 1024), "3.0 GiB");
+}
+
+TEST(StringUtil, ThousandsSeparators) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSeparators(100000), "100,000");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(StringUtil, HexDump) {
+  const uint8_t bytes[] = {0x0a, 0x1f, 0x00, 0xff};
+  EXPECT_EQ(HexDump(bytes, 4), "0a 1f 00 ff");
+  EXPECT_EQ(HexDump(bytes, 0), "");
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,168 @@
+#include "src/db/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/db/query.h"
+#include "src/workload/paper_relation.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+class TableIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string("/tmp/avqdb_table_io_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(TableIoTest, SaveLoadRoundTripAvq) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  auto tuples = testing::RandomTuples(*schema, 2000, 77);
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  ASSERT_TRUE(table->BulkLoad(tuples).ok());
+
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  auto loaded = LoadTable(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->table->num_tuples(), tuples.size());
+  EXPECT_EQ(loaded->table->DataBlockCount(), table->DataBlockCount());
+  EXPECT_EQ(loaded->table->ScanAll().value(), tuples);
+  EXPECT_TRUE(loaded->table->codec().is_avq());
+}
+
+TEST_F(TableIoTest, SaveLoadRoundTripHeap) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  auto table = Table::CreateHeap(schema, &device).value();
+  auto tuples = testing::RandomTuples(*schema, 500, 7);
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  ASSERT_TRUE(table->BulkLoad(tuples).ok());
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  auto loaded = LoadTable(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->table->codec().is_avq());
+  EXPECT_EQ(loaded->table->ScanAll().value(), tuples);
+}
+
+TEST_F(TableIoTest, LoadedTableIsFullyOperational) {
+  auto schema = PaperEmployeeSchema();
+  // The metadata block stores the categorical value lists, so it needs
+  // more room than the 5-byte tuples do.
+  MemBlockDevice device(1024);
+  CodecOptions options;
+  options.block_size = 1024;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  for (const Row& row : PaperEmployeeRows()) {
+    ASSERT_TRUE(table->InsertRow(row).ok());
+  }
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+
+  auto loaded = LoadTable(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Table& reopened = *loaded->table;
+  // Queries (including categorical decoding) work on the loaded table.
+  QueryStats stats;
+  auto rows = ExecuteRangeSelectRows(reopened, "department",
+                                     Value("management"),
+                                     Value("management"), &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+  // Mutations after load work too (they write into the file device).
+  ASSERT_TRUE(reopened.InsertRow({Value("personnel"), Value("director"),
+                                  Value(int64_t{1}), Value(int64_t{2}),
+                                  Value(int64_t{60})})
+                  .ok());
+  EXPECT_EQ(reopened.num_tuples(), 51u);
+  ASSERT_TRUE(reopened
+                  .DeleteRow({Value("personnel"), Value("director"),
+                              Value(int64_t{1}), Value(int64_t{2}),
+                              Value(int64_t{60})})
+                  .ok());
+  EXPECT_EQ(reopened.num_tuples(), 50u);
+}
+
+TEST_F(TableIoTest, EmptyTableRoundTrip) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  auto loaded = LoadTable(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->table->num_tuples(), 0u);
+  ASSERT_TRUE(loaded->table->Insert({1, 2, 3, 4, 5}).ok());
+}
+
+TEST_F(TableIoTest, LoadRejectsMissingAndGarbageFiles) {
+  EXPECT_TRUE(LoadTable(path_ + ".missing").status().IsIOError());
+  {
+    FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a table image........", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(LoadTable(path_).status().IsCorruption());
+}
+
+TEST_F(TableIoTest, LoadDetectsMetadataCorruption) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  ASSERT_TRUE(table->Insert({1, 2, 3, 4, 5}).ok());
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  // Flip a byte inside the schema region of block 0.
+  {
+    FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 34, SEEK_SET);
+    std::fputc(0x5A, f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(LoadTable(path_).status().IsCorruption());
+}
+
+TEST_F(TableIoTest, LoadDetectsDataBlockCorruption) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(table->Insert({i % 8, i % 16, i % 64, i % 64, i % 64}).ok());
+  }
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  {
+    FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 512 + 30, SEEK_SET);  // inside the first data block
+    std::fputc(0xEE, f);
+    std::fclose(f);
+  }
+  // Attach decodes every block, so the corruption surfaces at load time.
+  EXPECT_TRUE(LoadTable(path_).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace avqdb

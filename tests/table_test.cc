@@ -1,0 +1,351 @@
+#include "src/db/table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/workload/paper_relation.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+std::vector<OrdinalTuple> UniqueSorted(std::vector<OrdinalTuple> tuples) {
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return tuples;
+}
+
+struct TableCase {
+  const char* name;
+  bool avq;
+  size_t block_size;
+};
+
+class TableParam : public ::testing::TestWithParam<TableCase> {
+ protected:
+  std::unique_ptr<Table> MakeTable(SchemaPtr schema) {
+    device_ = std::make_unique<MemBlockDevice>(GetParam().block_size);
+    if (GetParam().avq) {
+      CodecOptions options;
+      options.block_size = GetParam().block_size;
+      return Table::CreateAvq(schema, device_.get(), options).value();
+    }
+    return Table::CreateHeap(schema, device_.get()).value();
+  }
+  std::unique_ptr<MemBlockDevice> device_;
+};
+
+TEST_P(TableParam, BulkLoadAndScan) {
+  auto schema = testing::PaperShapeSchema();
+  auto table = MakeTable(schema);
+  auto tuples =
+      UniqueSorted(testing::RandomTuples(*schema, 3000, 42));
+  ASSERT_TRUE(table->BulkLoad(tuples).ok());
+  EXPECT_EQ(table->num_tuples(), tuples.size());
+  EXPECT_GT(table->DataBlockCount(), 1u);
+  auto scanned = table->ScanAll();
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned.value(), tuples);
+}
+
+TEST_P(TableParam, BulkLoadRejectsDuplicatesAndNonEmpty) {
+  auto schema = testing::PaperShapeSchema();
+  auto table = MakeTable(schema);
+  EXPECT_TRUE(table->BulkLoad({{1, 1, 1, 1, 1}, {1, 1, 1, 1, 1}})
+                  .IsInvalidArgument());
+  ASSERT_TRUE(table->BulkLoad({{1, 1, 1, 1, 1}}).ok());
+  EXPECT_TRUE(table->BulkLoad({{2, 2, 2, 2, 2}}).IsInvalidArgument());
+}
+
+TEST_P(TableParam, ContainsAndPointOps) {
+  auto schema = testing::PaperShapeSchema();
+  auto table = MakeTable(schema);
+  ASSERT_TRUE(table->BulkLoad({{1, 2, 3, 4, 5}, {3, 4, 5, 6, 7}}).ok());
+  EXPECT_TRUE(table->Contains({1, 2, 3, 4, 5}).value());
+  EXPECT_FALSE(table->Contains({1, 2, 3, 4, 6}).value());
+  EXPECT_FALSE(table->Contains({0, 0, 0, 0, 0}).value());
+  EXPECT_FALSE(table->Contains({7, 15, 63, 63, 63}).value());
+}
+
+TEST_P(TableParam, InsertIntoEmptyTable) {
+  auto schema = testing::PaperShapeSchema();
+  auto table = MakeTable(schema);
+  ASSERT_TRUE(table->Insert({2, 2, 2, 2, 2}).ok());
+  EXPECT_EQ(table->num_tuples(), 1u);
+  EXPECT_EQ(table->DataBlockCount(), 1u);
+  EXPECT_TRUE(table->Contains({2, 2, 2, 2, 2}).value());
+  EXPECT_TRUE(table->Insert({2, 2, 2, 2, 2}).IsAlreadyExists());
+}
+
+TEST_P(TableParam, InsertsWithSplitsPreserveContents) {
+  auto schema = testing::PaperShapeSchema();
+  auto table = MakeTable(schema);
+  auto tuples = UniqueSorted(testing::RandomTuples(*schema, 2500, 7));
+  for (const auto& t : tuples) {
+    ASSERT_TRUE(table->Insert(t).ok()) << TupleToString(t);
+  }
+  EXPECT_EQ(table->num_tuples(), tuples.size());
+  EXPECT_GT(table->DataBlockCount(), 2u);
+  auto scanned = table->ScanAll();
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned.value(), tuples);
+}
+
+TEST_P(TableParam, DeleteShrinksAndFreesBlocks) {
+  auto schema = testing::PaperShapeSchema();
+  auto table = MakeTable(schema);
+  auto tuples = UniqueSorted(testing::RandomTuples(*schema, 1500, 8));
+  ASSERT_TRUE(table->BulkLoad(tuples).ok());
+  // Delete every other tuple, then the rest.
+  for (size_t i = 0; i < tuples.size(); i += 2) {
+    ASSERT_TRUE(table->Delete(tuples[i]).ok());
+  }
+  EXPECT_EQ(table->num_tuples(), tuples.size() - (tuples.size() + 1) / 2);
+  for (size_t i = 1; i < tuples.size(); i += 2) {
+    ASSERT_TRUE(table->Delete(tuples[i]).ok());
+  }
+  EXPECT_EQ(table->num_tuples(), 0u);
+  EXPECT_EQ(table->DataBlockCount(), 0u);
+  EXPECT_TRUE(table->Delete(tuples[0]).IsNotFound());
+  auto scanned = table->ScanAll();
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_TRUE(scanned.value().empty());
+}
+
+TEST_P(TableParam, RandomizedMirrorOps) {
+  auto schema = testing::IntSchema({6, 6, 6, 6});
+  auto table = MakeTable(schema);
+  Random rng(99);
+  std::set<OrdinalTuple> mirror;
+  for (int op = 0; op < 3000; ++op) {
+    OrdinalTuple t = {rng.Uniform(6), rng.Uniform(6), rng.Uniform(6),
+                      rng.Uniform(6)};
+    if (rng.Bernoulli(0.65)) {
+      Status s = table->Insert(t);
+      if (mirror.contains(t)) {
+        EXPECT_TRUE(s.IsAlreadyExists()) << s.ToString();
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        mirror.insert(t);
+      }
+    } else {
+      Status s = table->Delete(t);
+      if (mirror.contains(t)) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        mirror.erase(t);
+      } else {
+        EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(table->num_tuples(), mirror.size());
+  auto scanned = table->ScanAll();
+  ASSERT_TRUE(scanned.ok());
+  std::vector<OrdinalTuple> expected(mirror.begin(), mirror.end());
+  std::sort(expected.begin(), expected.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  EXPECT_EQ(scanned.value(), expected);
+}
+
+TEST_P(TableParam, BulkLoadFillFactor) {
+  auto schema = testing::PaperShapeSchema();
+  auto tuples = UniqueSorted(testing::RandomTuples(*schema, 2000, 21));
+  auto full = MakeTable(schema);
+  ASSERT_TRUE(full->BulkLoad(tuples, 1.0).ok());
+  auto roomy = MakeTable(schema);
+  ASSERT_TRUE(roomy->BulkLoad(tuples, 0.5).ok());
+  // Half-full packing needs roughly twice the blocks...
+  EXPECT_GT(roomy->DataBlockCount(), full->DataBlockCount() * 3 / 2);
+  // ...but the contents are identical.
+  EXPECT_EQ(roomy->ScanAll().value(), tuples);
+  // And invalid factors are rejected.
+  auto fresh = MakeTable(schema);
+  EXPECT_TRUE(fresh->BulkLoad(tuples, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(fresh->BulkLoad(tuples, 1.5).IsInvalidArgument());
+}
+
+TEST_P(TableParam, InsertBuiltTableStaysCompact) {
+  // Regression test for split fragmentation: a table built by random
+  // single-tuple inserts must not use more than ~2.5x the blocks of a
+  // bulk-loaded one (balanced splits keep blocks at least half full).
+  auto schema = testing::PaperShapeSchema();
+  auto table = MakeTable(schema);
+  auto tuples = UniqueSorted(testing::RandomTuples(*schema, 4000, 12));
+  for (const auto& t : tuples) {
+    ASSERT_TRUE(table->Insert(t).ok());
+  }
+  auto device2 = std::make_unique<MemBlockDevice>(GetParam().block_size);
+  std::unique_ptr<Table> packed;
+  if (GetParam().avq) {
+    CodecOptions options;
+    options.block_size = GetParam().block_size;
+    packed = Table::CreateAvq(schema, device2.get(), options).value();
+  } else {
+    packed = Table::CreateHeap(schema, device2.get()).value();
+  }
+  ASSERT_TRUE(packed->BulkLoad(tuples).ok());
+  EXPECT_LE(table->DataBlockCount(),
+            packed->DataBlockCount() * 5 / 2 + 1)
+      << "insert-built: " << table->DataBlockCount()
+      << ", bulk-loaded: " << packed->DataBlockCount();
+}
+
+TEST_P(TableParam, UpdateMovesTuples) {
+  auto schema = testing::PaperShapeSchema();
+  auto table = MakeTable(schema);
+  ASSERT_TRUE(table->BulkLoad({{1, 1, 1, 1, 1}, {2, 2, 2, 2, 2}}).ok());
+
+  // Move a tuple to a far-away φ position.
+  ASSERT_TRUE(table->Update({1, 1, 1, 1, 1}, {7, 15, 63, 63, 63}).ok());
+  EXPECT_FALSE(table->Contains({1, 1, 1, 1, 1}).value());
+  EXPECT_TRUE(table->Contains({7, 15, 63, 63, 63}).value());
+  EXPECT_EQ(table->num_tuples(), 2u);
+
+  // Updating a missing tuple fails; nothing changes.
+  EXPECT_TRUE(table->Update({3, 3, 3, 3, 3}, {4, 4, 4, 4, 4}).IsNotFound());
+  // Updating onto an existing tuple fails and keeps the source.
+  EXPECT_TRUE(
+      table->Update({2, 2, 2, 2, 2}, {7, 15, 63, 63, 63}).IsAlreadyExists());
+  EXPECT_TRUE(table->Contains({2, 2, 2, 2, 2}).value());
+  // Identity update on a present tuple is a no-op success.
+  EXPECT_TRUE(table->Update({2, 2, 2, 2, 2}, {2, 2, 2, 2, 2}).ok());
+  EXPECT_EQ(table->num_tuples(), 2u);
+}
+
+TEST_P(TableParam, RowApiRoundTrip) {
+  auto schema = PaperEmployeeSchema();
+  auto table = MakeTable(schema);
+  for (const Row& row : PaperEmployeeRows()) {
+    ASSERT_TRUE(table->InsertRow(row).ok()) << RowToString(row);
+  }
+  EXPECT_EQ(table->num_tuples(), 50u);
+  ASSERT_TRUE(table->DeleteRow(PaperEmployeeRows()[0]).ok());
+  EXPECT_EQ(table->num_tuples(), 49u);
+  EXPECT_TRUE(table->DeleteRow(PaperEmployeeRows()[0]).IsNotFound());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stores, TableParam,
+    ::testing::Values(TableCase{"avq_256", true, 256},
+                      TableCase{"avq_1024", true, 1024},
+                      TableCase{"heap_256", false, 256},
+                      TableCase{"heap_1024", false, 1024}),
+    [](const ::testing::TestParamInfo<TableCase>& info) {
+      return info.param.name;
+    });
+
+TEST(TableSecondary, MaintainedAcrossInsertsAndDeletes) {
+  auto schema = testing::IntSchema({6, 6, 6, 6});
+  MemBlockDevice device(256);
+  CodecOptions options;
+  options.block_size = 256;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  ASSERT_TRUE(table->CreateSecondaryIndex(2).ok());
+  EXPECT_TRUE(table->HasSecondaryIndex(2));
+  EXPECT_FALSE(table->HasSecondaryIndex(1));
+  EXPECT_TRUE(table->CreateSecondaryIndex(2).IsAlreadyExists());
+  EXPECT_TRUE(table->CreateSecondaryIndex(9).IsInvalidArgument());
+
+  Random rng(5);
+  std::set<OrdinalTuple> mirror;
+  for (int op = 0; op < 2500; ++op) {
+    OrdinalTuple t = {rng.Uniform(6), rng.Uniform(6), rng.Uniform(6),
+                      rng.Uniform(6)};
+    if (rng.Bernoulli(0.7)) {
+      if (!mirror.contains(t)) {
+        ASSERT_TRUE(table->Insert(t).ok());
+        mirror.insert(t);
+      }
+    } else if (mirror.contains(t)) {
+      ASSERT_TRUE(table->Delete(t).ok());
+      mirror.erase(t);
+    }
+  }
+
+  // Every posting must be accurate: for each value v of attribute 2, the
+  // union of postings' blocks must contain exactly the mirror tuples.
+  const SecondaryIndex* index = table->GetSecondaryIndex(2);
+  ASSERT_NE(index, nullptr);
+  for (uint64_t v = 0; v < 6; ++v) {
+    auto blocks = index->Lookup(v).value();
+    std::set<OrdinalTuple> found;
+    for (BlockId b : blocks) {
+      auto content = table->ReadDataBlock(b);
+      ASSERT_TRUE(content.ok());
+      for (const auto& t : content.value()) {
+        if (t[2] == v) found.insert(t);
+      }
+    }
+    std::set<OrdinalTuple> expected;
+    for (const auto& t : mirror) {
+      if (t[2] == v) expected.insert(t);
+    }
+    EXPECT_EQ(found, expected) << "value " << v;
+  }
+}
+
+TEST(TableSecondary, BuildFromExistingContents) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  auto tuples = UniqueSorted(testing::RandomTuples(*schema, 800, 3));
+  ASSERT_TRUE(table->BulkLoad(tuples).ok());
+  ASSERT_TRUE(table->CreateSecondaryIndex(4).ok());
+  const SecondaryIndex* index = table->GetSecondaryIndex(4);
+  // Spot check: postings for each value cover all matching tuples.
+  for (uint64_t v = 0; v < 64; v += 13) {
+    auto blocks = index->Lookup(v).value();
+    size_t found = 0;
+    for (BlockId b : blocks) {
+      auto content = table->ReadDataBlock(b);
+      ASSERT_TRUE(content.ok());
+      for (const auto& t : content.value()) {
+        if (t[4] == v) ++found;
+      }
+    }
+    size_t expected = 0;
+    for (const auto& t : tuples) {
+      if (t[4] == v) ++expected;
+    }
+    EXPECT_EQ(found, expected) << "value " << v;
+  }
+}
+
+TEST(Table, CreateRejectsBlockSizeMismatch) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 1024;  // != device block size
+  auto codec = MakeAvqBlockCodec(schema, options);
+  EXPECT_TRUE(Table::Create(schema, &device, std::move(codec))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Table, HeapAndAvqStoreSameLogicalContent) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device_a(512), device_b(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto avq = Table::CreateAvq(schema, &device_a, options).value();
+  auto heap = Table::CreateHeap(schema, &device_b).value();
+  auto tuples = UniqueSorted(testing::RandomTuples(*schema, 1200, 17));
+  ASSERT_TRUE(avq->BulkLoad(tuples).ok());
+  ASSERT_TRUE(heap->BulkLoad(tuples).ok());
+  EXPECT_EQ(avq->ScanAll().value(), heap->ScanAll().value());
+  // Compression: the AVQ store uses fewer data blocks.
+  EXPECT_LT(avq->DataBlockCount(), heap->DataBlockCount());
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,58 @@
+// Shared helpers for the avqdb test suites.
+
+#ifndef AVQDB_TESTS_TEST_UTIL_H_
+#define AVQDB_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/schema/domain.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb::testing {
+
+// Schema with pure integer domains of the given cardinalities
+// (attribute names a0, a1, ...).
+inline SchemaPtr IntSchema(const std::vector<uint64_t>& cardinalities) {
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < cardinalities.size(); ++i) {
+    attrs.push_back(Attribute{
+        "a" + std::to_string(i),
+        std::make_shared<IntegerRangeDomain>(
+            0, static_cast<int64_t>(cardinalities[i]) - 1)});
+  }
+  return Schema::Create(std::move(attrs)).value();
+}
+
+// The numeric shape of the paper's Figure 2.2 employee relation:
+// domains of size 8, 16, 64, 64, 64 (m = 5 bytes).
+inline SchemaPtr PaperShapeSchema() {
+  return IntSchema({8, 16, 64, 64, 64});
+}
+
+// Uniform random tuple for `schema`.
+inline OrdinalTuple RandomTuple(const Schema& schema, Random& rng) {
+  OrdinalTuple tuple(schema.num_attributes());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    tuple[i] = rng.Uniform(schema.radices()[i]);
+  }
+  return tuple;
+}
+
+inline std::vector<OrdinalTuple> RandomTuples(const Schema& schema,
+                                              size_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<OrdinalTuple> tuples;
+  tuples.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    tuples.push_back(RandomTuple(schema, rng));
+  }
+  return tuples;
+}
+
+}  // namespace avqdb::testing
+
+#endif  // AVQDB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,74 @@
+#include "src/schema/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/paper_relation.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+TEST(Tuple, EncodeDecodeRow) {
+  auto schema = PaperEmployeeSchema();
+  Row row = {Value("production"), Value("part-time"), Value(int64_t{24}),
+             Value(int64_t{32}), Value(int64_t{0})};
+  auto tuple = EncodeRow(*schema, row);
+  ASSERT_TRUE(tuple.ok()) << tuple.status().ToString();
+  // Fig 2.2 table (b): (3, 09, 24, 32, 00).
+  EXPECT_EQ(tuple.value(), (OrdinalTuple{3, 9, 24, 32, 0}));
+  auto back = DecodeTuple(*schema, tuple.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), row);
+}
+
+TEST(Tuple, EncodeRowArityMismatch) {
+  auto schema = testing::IntSchema({4, 4});
+  EXPECT_TRUE(EncodeRow(*schema, {Value(int64_t{1})})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Tuple, EncodeRowPropagatesDomainErrorsWithAttributeName) {
+  auto schema = PaperEmployeeSchema();
+  Row row = {Value("production"), Value("astronaut"), Value(int64_t{24}),
+             Value(int64_t{32}), Value(int64_t{0})};
+  auto tuple = EncodeRow(*schema, row);
+  EXPECT_TRUE(tuple.status().IsNotFound());
+  EXPECT_NE(tuple.status().message().find("job_title"), std::string::npos);
+}
+
+TEST(Tuple, ValidateTuple) {
+  auto schema = testing::IntSchema({4, 8});
+  EXPECT_TRUE(ValidateTuple(*schema, {3, 7}).ok());
+  EXPECT_TRUE(ValidateTuple(*schema, {4, 0}).IsOutOfRange());
+  EXPECT_TRUE(ValidateTuple(*schema, {0}).IsInvalidArgument());
+  EXPECT_TRUE(ValidateTuple(*schema, {0, 0, 0}).IsInvalidArgument());
+}
+
+TEST(Tuple, CompareIsPhiOrder) {
+  EXPECT_LT(CompareTuples({0, 5}, {1, 0}), 0);
+  EXPECT_GT(CompareTuples({1, 0}, {0, 5}), 0);
+  EXPECT_EQ(CompareTuples({2, 3}, {2, 3}), 0);
+  EXPECT_LT(CompareTuples({2, 3}, {2, 4}), 0);
+}
+
+TEST(Tuple, ToString) {
+  EXPECT_EQ(TupleToString({3, 8, 36}), "(3, 8, 36)");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+TEST(Tuple, AllPaperRowsRoundTrip) {
+  auto schema = PaperEmployeeSchema();
+  auto rows = PaperEmployeeRows();
+  auto tuples = PaperEmployeeTuples();
+  ASSERT_EQ(rows.size(), 50u);
+  ASSERT_EQ(tuples.size(), 50u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto back = DecodeTuple(*schema, tuples[i]);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), rows[i]) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace avqdb

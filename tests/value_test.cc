@@ -1,0 +1,51 @@
+#include "src/schema/value.h"
+
+#include <gtest/gtest.h>
+
+namespace avqdb {
+namespace {
+
+TEST(Value, Kinds) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(std::string("abc")).is_string());
+}
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value(int64_t{-7}).AsInt(), -7);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "\"x\"");
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(Value, OrderingWithinKind) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(Value, OrderingAcrossKinds) {
+  EXPECT_LT(Value(), Value(int64_t{0}));       // null < int
+  EXPECT_LT(Value(int64_t{999}), Value(""));  // int < string
+}
+
+TEST(Value, RowToString) {
+  Row row = {Value("marketing"), Value(int64_t{12}), Value()};
+  EXPECT_EQ(RowToString(row), "(\"marketing\", 12, NULL)");
+  EXPECT_EQ(RowToString({}), "()");
+}
+
+}  // namespace
+}  // namespace avqdb

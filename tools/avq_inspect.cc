@@ -1,0 +1,165 @@
+// avq_inspect: examine a saved table image.
+//
+//   avq_inspect <table.avqt> [--dump N] [--select attr lo hi]
+//
+// Prints the schema, codec configuration, per-block occupancy statistics
+// and the effective compression; optionally dumps the first N rows or
+// runs a range selection (bounds given as integers or strings, matching
+// the attribute's domain).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/avq/block_decoder.h"
+#include "src/common/string_util.h"
+#include "src/db/query.h"
+#include "src/db/table_io.h"
+
+using namespace avqdb;
+
+namespace {
+
+Value ParseBound(const Schema& schema, size_t attr, const char* text) {
+  if (schema.attribute(attr).domain->kind() == DomainKind::kIntegerRange) {
+    return Value(static_cast<int64_t>(std::strtoll(text, nullptr, 10)));
+  }
+  return Value(text);
+}
+
+int Inspect(const char* path, int dump, const char* select_attr,
+            const char* lo_text, const char* hi_text) {
+  auto loaded = LoadTable(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Table& table = *loaded->table;
+  const Schema& schema = *table.schema();
+
+  std::printf("table image: %s\n", path);
+  std::printf("store: %s, block size %zu\n", table.codec().name(),
+              table.codec().block_size());
+  const CodecOptions options = table.codec().options();
+  if (table.codec().is_avq()) {
+    std::printf(
+        "codec: %s deltas, %s representative, RLE %s, checksums %s\n",
+        options.variant == CodecVariant::kChainDelta ? "chain"
+                                                     : "representative",
+        options.representative == RepresentativeChoice::kMiddle ? "median"
+                                                                : "first",
+        options.run_length_zeros ? "on" : "off",
+        options.checksum ? "on" : "off");
+  }
+  std::printf("%s", schema.ToString().c_str());
+  std::printf("tuples: %s in %llu data blocks\n",
+              WithThousandsSeparators(table.num_tuples()).c_str(),
+              static_cast<unsigned long long>(table.DataBlockCount()));
+
+  // Occupancy histogram over data blocks.
+  size_t min_tuples = ~size_t{0}, max_tuples = 0;
+  uint64_t payload_bytes = 0;
+  auto iter = table.primary_index().Begin();
+  if (iter.ok()) {
+    while (iter.value().Valid()) {
+      const BlockId id = static_cast<BlockId>(iter.value().value());
+      auto raw = table.data_pager().Read(id);
+      if (!raw.ok()) break;
+      auto tuples = table.codec().DecodeBlock(Slice(raw.value()));
+      if (!tuples.ok()) {
+        std::fprintf(stderr, "block %u: %s\n", id,
+                     tuples.status().ToString().c_str());
+        return 1;
+      }
+      min_tuples = std::min(min_tuples, tuples.value().size());
+      max_tuples = std::max(max_tuples, tuples.value().size());
+      if (table.codec().is_avq()) {
+        auto header = BlockHeader::DecodeFrom(Slice(raw.value()));
+        if (header.ok()) payload_bytes += header.value().payload_size;
+      }
+      if (!iter.value().Next().ok()) break;
+    }
+  }
+  if (table.DataBlockCount() > 0) {
+    std::printf("tuples per block: min %zu, max %zu, mean %.1f\n",
+                min_tuples, max_tuples,
+                static_cast<double>(table.num_tuples()) /
+                    static_cast<double>(table.DataBlockCount()));
+    const uint64_t raw_bytes = table.num_tuples() * schema.tuple_width();
+    if (payload_bytes > 0) {
+      std::printf("payload: %s coded vs %s raw (%.1f%% saved)\n",
+                  HumanBytes(payload_bytes).c_str(),
+                  HumanBytes(raw_bytes).c_str(),
+                  100.0 * (1.0 - static_cast<double>(payload_bytes) /
+                                     static_cast<double>(raw_bytes)));
+    }
+  }
+
+  if (dump > 0) {
+    std::printf("\nfirst %d rows:\n", dump);
+    auto cursor = table.NewCursor();
+    if (!cursor.ok()) return 1;
+    int shown = 0;
+    for (Table::Cursor cur = std::move(cursor).value();
+         cur.Valid() && shown < dump; ++shown) {
+      auto row = DecodeTuple(schema, cur.tuple());
+      if (!row.ok()) return 1;
+      std::printf("  %s\n", RowToString(row.value()).c_str());
+      if (!cur.Next().ok()) break;
+    }
+  }
+
+  if (select_attr != nullptr) {
+    auto attr = schema.AttributeIndex(select_attr);
+    if (!attr.ok()) {
+      std::fprintf(stderr, "%s\n", attr.status().ToString().c_str());
+      return 1;
+    }
+    QueryStats stats;
+    auto rows = ExecuteRangeSelectRows(
+        table, select_attr, ParseBound(schema, attr.value(), lo_text),
+        ParseBound(schema, attr.value(), hi_text), &stats);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nselect %s in [%s, %s]: %zu rows (%s)\n", select_attr,
+                lo_text, hi_text, rows->size(), stats.ToString().c_str());
+    for (size_t i = 0; i < rows->size() && i < 10; ++i) {
+      std::printf("  %s\n", RowToString(rows.value()[i]).c_str());
+    }
+    if (rows->size() > 10) std::printf("  ... (%zu more)\n", rows->size() - 10);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <table.avqt> [--dump N] [--select attr lo hi]\n",
+                 argv[0]);
+    return 2;
+  }
+  int dump = 0;
+  const char* select_attr = nullptr;
+  const char* lo = nullptr;
+  const char* hi = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+      dump = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--select") == 0 && i + 3 < argc) {
+      select_attr = argv[++i];
+      lo = argv[++i];
+      hi = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return Inspect(argv[1], dump, select_attr, lo, hi);
+}
