@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attribute_order.dir/bench_attribute_order.cc.o"
+  "CMakeFiles/bench_attribute_order.dir/bench_attribute_order.cc.o.d"
+  "bench_attribute_order"
+  "bench_attribute_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attribute_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

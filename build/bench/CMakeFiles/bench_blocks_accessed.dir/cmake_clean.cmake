@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocks_accessed.dir/bench_blocks_accessed.cc.o"
+  "CMakeFiles/bench_blocks_accessed.dir/bench_blocks_accessed.cc.o.d"
+  "bench_blocks_accessed"
+  "bench_blocks_accessed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocks_accessed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

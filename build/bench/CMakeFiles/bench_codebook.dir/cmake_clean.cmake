@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codebook.dir/bench_codebook.cc.o"
+  "CMakeFiles/bench_codebook.dir/bench_codebook.cc.o.d"
+  "bench_codebook"
+  "bench_codebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codec_time.dir/bench_codec_time.cc.o"
+  "CMakeFiles/bench_codec_time.dir/bench_codec_time.cc.o.d"
+  "bench_codec_time"
+  "bench_codec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_survey.dir/compression_survey.cpp.o"
+  "CMakeFiles/compression_survey.dir/compression_survey.cpp.o.d"
+  "compression_survey"
+  "compression_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_query.dir/range_query.cpp.o"
+  "CMakeFiles/range_query.dir/range_query.cpp.o.d"
+  "range_query"
+  "range_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avq/attribute_order.cc" "src/CMakeFiles/avqdb.dir/avq/attribute_order.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/avq/attribute_order.cc.o.d"
+  "/root/repo/src/avq/block_decoder.cc" "src/CMakeFiles/avqdb.dir/avq/block_decoder.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/avq/block_decoder.cc.o.d"
+  "/root/repo/src/avq/block_encoder.cc" "src/CMakeFiles/avqdb.dir/avq/block_encoder.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/avq/block_encoder.cc.o.d"
+  "/root/repo/src/avq/relation_codec.cc" "src/CMakeFiles/avqdb.dir/avq/relation_codec.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/avq/relation_codec.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/avqdb.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/avqdb.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/avqdb.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/avqdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/avqdb.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/common/string_util.cc.o.d"
+  "/root/repo/src/db/block_codecs.cc" "src/CMakeFiles/avqdb.dir/db/block_codecs.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/db/block_codecs.cc.o.d"
+  "/root/repo/src/db/cost_model.cc" "src/CMakeFiles/avqdb.dir/db/cost_model.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/db/cost_model.cc.o.d"
+  "/root/repo/src/db/csv_import.cc" "src/CMakeFiles/avqdb.dir/db/csv_import.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/db/csv_import.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/avqdb.dir/db/database.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/db/database.cc.o.d"
+  "/root/repo/src/db/join.cc" "src/CMakeFiles/avqdb.dir/db/join.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/db/join.cc.o.d"
+  "/root/repo/src/db/query.cc" "src/CMakeFiles/avqdb.dir/db/query.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/db/query.cc.o.d"
+  "/root/repo/src/db/statistics.cc" "src/CMakeFiles/avqdb.dir/db/statistics.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/db/statistics.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/CMakeFiles/avqdb.dir/db/table.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/db/table.cc.o.d"
+  "/root/repo/src/db/table_io.cc" "src/CMakeFiles/avqdb.dir/db/table_io.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/db/table_io.cc.o.d"
+  "/root/repo/src/index/bptree.cc" "src/CMakeFiles/avqdb.dir/index/bptree.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/index/bptree.cc.o.d"
+  "/root/repo/src/index/primary_index.cc" "src/CMakeFiles/avqdb.dir/index/primary_index.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/index/primary_index.cc.o.d"
+  "/root/repo/src/index/secondary_index.cc" "src/CMakeFiles/avqdb.dir/index/secondary_index.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/index/secondary_index.cc.o.d"
+  "/root/repo/src/ordinal/digit_bytes.cc" "src/CMakeFiles/avqdb.dir/ordinal/digit_bytes.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/ordinal/digit_bytes.cc.o.d"
+  "/root/repo/src/ordinal/mixed_radix.cc" "src/CMakeFiles/avqdb.dir/ordinal/mixed_radix.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/ordinal/mixed_radix.cc.o.d"
+  "/root/repo/src/ordinal/phi.cc" "src/CMakeFiles/avqdb.dir/ordinal/phi.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/ordinal/phi.cc.o.d"
+  "/root/repo/src/schema/dictionary.cc" "src/CMakeFiles/avqdb.dir/schema/dictionary.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/schema/dictionary.cc.o.d"
+  "/root/repo/src/schema/domain.cc" "src/CMakeFiles/avqdb.dir/schema/domain.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/schema/domain.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/avqdb.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/schema/schema.cc.o.d"
+  "/root/repo/src/schema/schema_io.cc" "src/CMakeFiles/avqdb.dir/schema/schema_io.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/schema/schema_io.cc.o.d"
+  "/root/repo/src/schema/tuple.cc" "src/CMakeFiles/avqdb.dir/schema/tuple.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/schema/tuple.cc.o.d"
+  "/root/repo/src/schema/value.cc" "src/CMakeFiles/avqdb.dir/schema/value.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/schema/value.cc.o.d"
+  "/root/repo/src/storage/block_device.cc" "src/CMakeFiles/avqdb.dir/storage/block_device.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/storage/block_device.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/avqdb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_model.cc" "src/CMakeFiles/avqdb.dir/storage/disk_model.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/storage/disk_model.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/avqdb.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/storage/pager.cc.o.d"
+  "/root/repo/src/vq/lbg.cc" "src/CMakeFiles/avqdb.dir/vq/lbg.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/vq/lbg.cc.o.d"
+  "/root/repo/src/vq/lossy_vq.cc" "src/CMakeFiles/avqdb.dir/vq/lossy_vq.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/vq/lossy_vq.cc.o.d"
+  "/root/repo/src/workload/distributions.cc" "src/CMakeFiles/avqdb.dir/workload/distributions.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/workload/distributions.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/avqdb.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/paper_relation.cc" "src/CMakeFiles/avqdb.dir/workload/paper_relation.cc.o" "gcc" "src/CMakeFiles/avqdb.dir/workload/paper_relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_order_test.dir/attribute_order_test.cc.o"
+  "CMakeFiles/attribute_order_test.dir/attribute_order_test.cc.o.d"
+  "attribute_order_test"
+  "attribute_order_test.pdb"
+  "attribute_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

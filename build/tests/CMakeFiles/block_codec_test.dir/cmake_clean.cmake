@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_codec_test.dir/block_codec_test.cc.o"
+  "CMakeFiles/block_codec_test.dir/block_codec_test.cc.o.d"
+  "block_codec_test"
+  "block_codec_test.pdb"
+  "block_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_codecs_test.dir/block_codecs_test.cc.o"
+  "CMakeFiles/block_codecs_test.dir/block_codecs_test.cc.o.d"
+  "block_codecs_test"
+  "block_codecs_test.pdb"
+  "block_codecs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_codecs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digit_bytes_test.dir/digit_bytes_test.cc.o"
+  "CMakeFiles/digit_bytes_test.dir/digit_bytes_test.cc.o.d"
+  "digit_bytes_test"
+  "digit_bytes_test.pdb"
+  "digit_bytes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_bytes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_conformance_test.dir/format_conformance_test.cc.o"
+  "CMakeFiles/format_conformance_test.dir/format_conformance_test.cc.o.d"
+  "format_conformance_test"
+  "format_conformance_test.pdb"
+  "format_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

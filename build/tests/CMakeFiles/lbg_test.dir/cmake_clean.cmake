@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbg_test.dir/lbg_test.cc.o"
+  "CMakeFiles/lbg_test.dir/lbg_test.cc.o.d"
+  "lbg_test"
+  "lbg_test.pdb"
+  "lbg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

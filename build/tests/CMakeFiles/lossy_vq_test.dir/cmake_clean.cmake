@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_vq_test.dir/lossy_vq_test.cc.o"
+  "CMakeFiles/lossy_vq_test.dir/lossy_vq_test.cc.o.d"
+  "lossy_vq_test"
+  "lossy_vq_test.pdb"
+  "lossy_vq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_vq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_radix_test.dir/mixed_radix_test.cc.o"
+  "CMakeFiles/mixed_radix_test.dir/mixed_radix_test.cc.o.d"
+  "mixed_radix_test"
+  "mixed_radix_test.pdb"
+  "mixed_radix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_radix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

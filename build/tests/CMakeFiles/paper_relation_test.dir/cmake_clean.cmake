@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_relation_test.dir/paper_relation_test.cc.o"
+  "CMakeFiles/paper_relation_test.dir/paper_relation_test.cc.o.d"
+  "paper_relation_test"
+  "paper_relation_test.pdb"
+  "paper_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

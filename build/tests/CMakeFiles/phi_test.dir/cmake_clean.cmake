@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phi_test.dir/phi_test.cc.o"
+  "CMakeFiles/phi_test.dir/phi_test.cc.o.d"
+  "phi_test"
+  "phi_test.pdb"
+  "phi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primary_index_test.dir/primary_index_test.cc.o"
+  "CMakeFiles/primary_index_test.dir/primary_index_test.cc.o.d"
+  "primary_index_test"
+  "primary_index_test.pdb"
+  "primary_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primary_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_codec_test.dir/relation_codec_test.cc.o"
+  "CMakeFiles/relation_codec_test.dir/relation_codec_test.cc.o.d"
+  "relation_codec_test"
+  "relation_codec_test.pdb"
+  "relation_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

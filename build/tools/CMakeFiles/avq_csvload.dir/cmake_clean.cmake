@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avq_csvload.dir/avq_csvload.cc.o"
+  "CMakeFiles/avq_csvload.dir/avq_csvload.cc.o.d"
+  "avq_csvload"
+  "avq_csvload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avq_csvload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for avq_csvload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avq_inspect.dir/avq_inspect.cc.o"
+  "CMakeFiles/avq_inspect.dir/avq_inspect.cc.o.d"
+  "avq_inspect"
+  "avq_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avq_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
