@@ -16,6 +16,7 @@
 #include "src/avq/block_decoder.h"
 #include "src/avq/relation_codec.h"
 #include "src/common/slice.h"
+#include "src/common/thread_pool.h"
 #include "src/db/block_codecs.h"
 #include "src/storage/disk_model.h"
 #include "src/workload/generator.h"
@@ -84,6 +85,46 @@ void BM_BlockDecoding(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockDecoding)->Unit(benchmark::kMillisecond);
 
+void BM_BlockCodingParallel(benchmark::State& state) {
+  const Workload& w = GetWorkload();
+  CodecOptions options;
+  options.parallelism = static_cast<size_t>(state.range(0));
+  RelationCodec codec(w.schema, options);
+  for (auto _ : state) {
+    auto encoded = codec.EncodeSorted(w.sorted);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.avq_blocks.size()));
+  state.counters["parallelism"] = static_cast<double>(
+      ResolveParallelism(options.parallelism));
+}
+BENCHMARK(BM_BlockCodingParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)  // 0 = hardware parallelism
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BlockDecodingParallel(benchmark::State& state) {
+  const Workload& w = GetWorkload();
+  CodecOptions options;
+  options.parallelism = static_cast<size_t>(state.range(0));
+  RelationCodec codec(w.schema, options);
+  for (auto _ : state) {
+    auto decoded = codec.DecodeAll(w.avq_blocks);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.avq_blocks.size()));
+}
+BENCHMARK(BM_BlockDecodingParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RawExtraction(benchmark::State& state) {
   const Workload& w = GetWorkload();
   auto raw_codec = MakeRawBlockCodec(w.schema, 8192);
@@ -150,6 +191,94 @@ void PrintPaperTable() {
                          static_cast<double>(w.raw_blocks.size())));
 }
 
+// Parallel encode/decode sweep over the paper relation. Prints a summary
+// table, asserts the parallel output is byte-identical to the serial
+// blocks, and writes the machine-readable BENCH_codec_parallel.json the
+// CI acceptance check consumes.
+void RunParallelSweep() {
+  const Workload& w = GetWorkload();
+  const size_t hw = ThreadPool::HardwareParallelism();
+  const int reps = 3;
+
+  struct Row {
+    size_t knob;       // CodecOptions::parallelism as set
+    size_t effective;  // resolved shard count
+    double encode_ms;
+    double decode_ms;
+  };
+  std::vector<Row> rows;
+  for (size_t knob : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    CodecOptions options;
+    options.parallelism = knob;
+    RelationCodec codec(w.schema, options);
+    auto encoded = codec.EncodeSorted(w.sorted);
+    AVQDB_CHECK(encoded.ok(), "parallel encode failed");
+    AVQDB_CHECK(encoded->blocks == w.avq_blocks,
+                "parallel blocks differ from serial at parallelism=%zu",
+                knob);
+    Row row;
+    row.knob = knob;
+    row.effective = ResolveParallelism(knob);
+    row.encode_ms = TimeMs([&] { (void)codec.EncodeSorted(w.sorted); }, reps);
+    row.decode_ms =
+        TimeMs([&] { (void)codec.DecodeAll(w.avq_blocks); }, reps);
+    rows.push_back(row);
+  }
+  const double serial_encode = rows.front().encode_ms;
+  const double serial_decode = rows.front().decode_ms;
+
+  PrintHeader(
+      "Parallel block encode/decode pipeline -- whole-relation wall "
+      "clock\n(byte-identical to serial output at every setting)");
+  std::printf("%-14s %12s %12s %12s %12s\n", "parallelism", "encode (ms)",
+              "speedup", "decode (ms)", "speedup");
+  PrintRule();
+  for (const Row& row : rows) {
+    char label[32];
+    if (row.knob == 0) {
+      std::snprintf(label, sizeof(label), "hw (%zu)", row.effective);
+    } else {
+      std::snprintf(label, sizeof(label), "%zu", row.knob);
+    }
+    std::printf("%-14s %12.2f %11.2fx %12.2f %11.2fx\n", label,
+                row.encode_ms, serial_encode / row.encode_ms,
+                row.decode_ms, serial_decode / row.decode_ms);
+  }
+  std::printf("\nhost hardware_concurrency: %zu\n", hw);
+
+  FILE* json = std::fopen("BENCH_codec_parallel.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_codec_parallel.json\n");
+    return;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"relation\": {\"tuples\": %zu, \"blocks\": %zu, "
+               "\"block_size\": 8192},\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"byte_identical_to_serial\": true,\n"
+               "  \"note\": \"%s\",\n"
+               "  \"runs\": [\n",
+               kTuples, w.avq_blocks.size(), hw,
+               hw < 2 ? "single-core host: shard fan-out cannot exceed 1x; "
+                        "speedup figures need a multi-core machine"
+                      : "speedups bounded by hardware_concurrency");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"parallelism\": %zu, \"effective_shards\": %zu, "
+        "\"encode_ms\": %.3f, \"encode_speedup_vs_serial\": %.3f, "
+        "\"decode_ms\": %.3f, \"decode_speedup_vs_serial\": %.3f}%s\n",
+        row.knob, row.effective, row.encode_ms,
+        serial_encode / row.encode_ms, row.decode_ms,
+        serial_decode / row.decode_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_codec_parallel.json\n");
+}
+
 }  // namespace
 }  // namespace avqdb::bench
 
@@ -158,5 +287,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   avqdb::bench::PrintPaperTable();
+  avqdb::bench::RunParallelSweep();
   return 0;
 }

@@ -77,10 +77,12 @@ size_t BlockEncoder::DiffCost(const OrdinalTuple& diff) const {
   return 1 + (m - layout_.CountLeadingZeroBytes(diff));
 }
 
-size_t BlockEncoder::ComputePayloadSize(
-    const DigitLayout& layout, const mixed_radix::Digits& radices,
-    const CodecOptions& options, const std::vector<OrdinalTuple>& tuples) {
-  if (tuples.empty()) return 0;
+size_t BlockEncoder::ComputePayloadSize(const DigitLayout& layout,
+                                        const mixed_radix::Digits& radices,
+                                        const CodecOptions& options,
+                                        const OrdinalTuple* tuples,
+                                        size_t count) {
+  if (count == 0) return 0;
   const size_t m = layout.total_width();
   auto diff_cost = [&](const OrdinalTuple& diff) {
     return options.run_length_zeros
@@ -92,17 +94,16 @@ size_t BlockEncoder::ComputePayloadSize(
   if (options.variant == CodecVariant::kChainDelta) {
     // Costs are the adjacent differences, independent of the
     // representative's position.
-    for (size_t i = 1; i < tuples.size(); ++i) {
+    for (size_t i = 1; i < count; ++i) {
       AVQDB_CHECK_OK(
           mixed_radix::Sub(radices, tuples[i], tuples[i - 1], &diff));
       size += diff_cost(diff);
     }
   } else {
     const size_t rep =
-        options.representative == RepresentativeChoice::kFirst
-            ? 0
-            : tuples.size() / 2;
-    for (size_t i = 0; i < tuples.size(); ++i) {
+        options.representative == RepresentativeChoice::kFirst ? 0
+                                                               : count / 2;
+    for (size_t i = 0; i < count; ++i) {
       if (i == rep) continue;
       AVQDB_CHECK_OK(
           mixed_radix::AbsDiff(radices, tuples[i], tuples[rep], &diff));
@@ -158,71 +159,96 @@ Result<bool> BlockEncoder::TryAdd(const OrdinalTuple& tuple) {
   return true;
 }
 
-Result<std::string> BlockEncoder::Finish() {
-  if (tuples_.empty()) {
-    return Status::InvalidArgument("Finish() on empty block");
+Result<std::string> BlockEncoder::EncodeSpan(const Schema& schema,
+                                             const DigitLayout& layout,
+                                             const CodecOptions& options,
+                                             const OrdinalTuple* tuples,
+                                             size_t count) {
+  if (count == 0) {
+    return Status::InvalidArgument("cannot encode an empty block");
   }
-  const size_t rep = representative_index();
-  const auto& radices = schema_->radices();
-  const size_t m = layout_.total_width();
+  if (count > 0xffff) {
+    return Status::InvalidArgument("block tuple count exceeds 16 bits");
+  }
+  const size_t rep =
+      options.representative == RepresentativeChoice::kFirst ? 0 : count / 2;
+  const auto& radices = schema.radices();
+  const size_t m = layout.total_width();
 
   std::string payload;
-  payload.reserve(payload_size_);
-  AVQDB_RETURN_IF_ERROR(layout_.AppendImage(tuples_[rep], &payload));
+  payload.reserve(options.block_size - kBlockHeaderSize);
+  AVQDB_RETURN_IF_ERROR(layout.AppendImage(tuples[rep], &payload));
 
   OrdinalTuple diff;
   auto append_diff = [&](const OrdinalTuple& d) -> Status {
-    if (options_.run_length_zeros) {
-      const size_t lz = layout_.CountLeadingZeroBytes(d);
+    if (options.run_length_zeros) {
+      const size_t lz = layout.CountLeadingZeroBytes(d);
       payload.push_back(static_cast<char>(lz));
       std::string image;
-      AVQDB_RETURN_IF_ERROR(layout_.AppendImage(d, &image));
+      AVQDB_RETURN_IF_ERROR(layout.AppendImage(d, &image));
       payload.append(image, lz, m - lz);
     } else {
-      AVQDB_RETURN_IF_ERROR(layout_.AppendImage(d, &payload));
+      AVQDB_RETURN_IF_ERROR(layout.AppendImage(d, &payload));
     }
     return Status::OK();
   };
 
-  for (size_t i = 0; i < tuples_.size(); ++i) {
+  for (size_t i = 0; i < count; ++i) {
     if (i == rep) continue;
-    if (options_.variant == CodecVariant::kChainDelta) {
+    if (options.variant == CodecVariant::kChainDelta) {
       // Before the representative: difference to the successor
       // (Example 3.3); after it: difference to the predecessor.
       if (i < rep) {
         AVQDB_RETURN_IF_ERROR(
-            mixed_radix::Sub(radices, tuples_[i + 1], tuples_[i], &diff));
+            mixed_radix::Sub(radices, tuples[i + 1], tuples[i], &diff));
       } else {
         AVQDB_RETURN_IF_ERROR(
-            mixed_radix::Sub(radices, tuples_[i], tuples_[i - 1], &diff));
+            mixed_radix::Sub(radices, tuples[i], tuples[i - 1], &diff));
       }
     } else {
       AVQDB_RETURN_IF_ERROR(
-          mixed_radix::AbsDiff(radices, tuples_[i], tuples_[rep], &diff));
+          mixed_radix::AbsDiff(radices, tuples[i], tuples[rep], &diff));
     }
     AVQDB_RETURN_IF_ERROR(append_diff(diff));
   }
 
-  AVQDB_CHECK(payload.size() == payload_size_,
-              "payload accounting drift: built %zu, tracked %zu",
-              payload.size(), payload_size_);
+  if (kBlockHeaderSize + payload.size() > options.block_size) {
+    return Status::Internal(StringFormat(
+        "%zu-tuple range does not fit its block: %zu payload bytes",
+        count, payload.size()));
+  }
 
   BlockHeader header;
-  header.variant = options_.variant;
+  header.variant = options.variant;
   header.flags = 0;
-  if (options_.checksum) header.flags |= kBlockFlagChecksum;
-  if (options_.run_length_zeros) header.flags |= kBlockFlagRunLength;
-  header.tuple_count = static_cast<uint16_t>(tuples_.size());
+  if (options.checksum) header.flags |= kBlockFlagChecksum;
+  if (options.run_length_zeros) header.flags |= kBlockFlagRunLength;
+  header.tuple_count = static_cast<uint16_t>(count);
   header.rep_index = static_cast<uint16_t>(rep);
   header.payload_size = static_cast<uint32_t>(payload.size());
-  header.crc = options_.checksum
+  header.crc = options.checksum
                    ? crc32c::Mask(crc32c::Value(Slice(payload)))
                    : 0;
 
-  std::string block(options_.block_size, '\0');
+  std::string block(options.block_size, '\0');
   header.EncodeTo(reinterpret_cast<uint8_t*>(block.data()));
   block.replace(kBlockHeaderSize, payload.size(), payload);
+  return block;
+}
 
+Result<std::string> BlockEncoder::Finish() {
+  if (tuples_.empty()) {
+    return Status::InvalidArgument("Finish() on empty block");
+  }
+  AVQDB_ASSIGN_OR_RETURN(
+      std::string block,
+      EncodeSpan(*schema_, layout_, options_, tuples_.data(),
+                 tuples_.size()));
+  const uint32_t built =
+      DecodeFixed32(reinterpret_cast<const uint8_t*>(block.data()) + 8);
+  AVQDB_CHECK(built == payload_size_,
+              "payload accounting drift: built %u, tracked %zu", built,
+              payload_size_);
   Reset();
   return block;
 }

@@ -57,13 +57,33 @@ class BlockEncoder {
 
   void Reset();
 
-  // Exact coded payload size (without header) for `tuples`, which must be
-  // φ-sorted. Shared with the encoder's incremental accounting; exposed
-  // for tests and for the table-maintenance path that re-codes a block.
+  // Exact coded payload size (without header) for the φ-sorted range
+  // [tuples, tuples + count). Shared with the encoder's incremental
+  // accounting; exposed for tests, for the table-maintenance path that
+  // re-codes a block, and for the parallel partition pass.
   static size_t ComputePayloadSize(const DigitLayout& layout,
                                    const mixed_radix::Digits& radices,
                                    const CodecOptions& options,
-                                   const std::vector<OrdinalTuple>& tuples);
+                                   const OrdinalTuple* tuples, size_t count);
+  static size_t ComputePayloadSize(const DigitLayout& layout,
+                                   const mixed_radix::Digits& radices,
+                                   const CodecOptions& options,
+                                   const std::vector<OrdinalTuple>& tuples) {
+    return ComputePayloadSize(layout, radices, options, tuples.data(),
+                              tuples.size());
+  }
+
+  // One-shot coding of the non-empty φ-sorted range
+  // [tuples, tuples + count), which the caller guarantees fits in one
+  // block (as established by RelationCodec's partition pass or a prior
+  // Fits/FillCount probe). Stateless and thread-safe: concurrent calls
+  // sharing `layout` and `schema` are safe, and the bytes produced are
+  // identical to an incremental TryAdd/Finish run over the same range.
+  static Result<std::string> EncodeSpan(const Schema& schema,
+                                        const DigitLayout& layout,
+                                        const CodecOptions& options,
+                                        const OrdinalTuple* tuples,
+                                        size_t count);
 
  private:
   // Coded size of one difference under the options (count byte + suffix,

@@ -43,6 +43,13 @@ struct CodecOptions {
   bool checksum = true;
   // Bytes per disk block; the paper evaluates 8192.
   size_t block_size = 8192;
+  // Worker count for whole-relation encode/decode: 1 = serial (the
+  // default), 0 = one shard per hardware thread, k = k shards. Block
+  // coding is local to one block (§3.3), so the parallel path's output
+  // is byte-identical to the serial path's for every setting — see
+  // docs/FORMAT.md "Parallel encoding". Runtime-only: never persisted,
+  // never part of the block format.
+  size_t parallelism = 1;
 
   // Checks that a block can hold its header plus at least one tuple of
   // `tuple_width` bytes plus one worst-case coded difference.

@@ -1,14 +1,47 @@
 #include "src/avq/relation_codec.h"
 
 #include <algorithm>
+#include <mutex>
 #include <utility>
 
 #include "src/avq/block_decoder.h"
 #include "src/avq/block_encoder.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
+#include "src/ordinal/mixed_radix.h"
 
 namespace avqdb {
+namespace {
+
+// Deterministic error funnel for parallel shards: keeps the Status of the
+// lowest failing item index, so parallel error reporting matches the
+// order a serial scan would surface it in.
+class FirstError {
+ public:
+  void Record(size_t index, Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index < index_) {
+      index_ = index;
+      status_ = std::move(status);
+    }
+  }
+
+  // Only meaningful after every shard has completed.
+  bool ok() const { return index_ == SIZE_MAX; }
+  const Status& status() const { return status_; }
+
+ private:
+  std::mutex mu_;
+  size_t index_ = SIZE_MAX;
+  Status status_ = Status::OK();
+};
+
+bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
+  return CompareTuples(a, b) < 0;
+}
+
+}  // namespace
 
 double CompressionStats::BlockReductionPercent() const {
   if (uncoded_blocks == 0) return 0.0;
@@ -40,7 +73,9 @@ std::string CompressionStats::ToString() const {
 }
 
 RelationCodec::RelationCodec(SchemaPtr schema, const CodecOptions& options)
-    : schema_(std::move(schema)), options_(options) {
+    : schema_(std::move(schema)),
+      options_(options),
+      layout_(DigitLayout::Create(schema_->digit_widths()).value()) {
   AVQDB_CHECK_OK(options_.Validate(schema_->tuple_width()));
 }
 
@@ -53,20 +88,148 @@ size_t RelationCodec::UncodedBlockCount(size_t tuple_count) const {
   return (tuple_count + per_block - 1) / per_block;
 }
 
+Status RelationCodec::ValidateAll(const std::vector<OrdinalTuple>& tuples,
+                                  size_t shards, bool check_order) const {
+  auto check = [&](size_t i) -> Status {
+    AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, tuples[i]));
+    if (check_order && i > 0 &&
+        CompareTuples(tuples[i - 1], tuples[i]) > 0) {
+      return Status::InvalidArgument(StringFormat(
+          "tuple %s out of φ order (previous was %s)",
+          TupleToString(tuples[i]).c_str(),
+          TupleToString(tuples[i - 1]).c_str()));
+    }
+    return Status::OK();
+  };
+  if (shards <= 1) {
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      AVQDB_RETURN_IF_ERROR(check(i));
+    }
+    return Status::OK();
+  }
+  FirstError first;
+  ParallelForRanges(SharedThreadPool(), tuples.size(), shards,
+                    [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        Status s = check(i);
+                        if (!s.ok()) {
+                          first.Record(i, std::move(s));
+                          return;
+                        }
+                      }
+                    });
+  return first.ok() ? Status::OK() : first.status();
+}
+
 Result<EncodedRelation> RelationCodec::Encode(
     std::vector<OrdinalTuple> tuples) const {
-  for (const auto& t : tuples) {
-    AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, t));
+  const size_t shards = ResolveParallelism(options_.parallelism);
+  AVQDB_RETURN_IF_ERROR(ValidateAll(tuples, shards, /*check_order=*/false));
+  if (shards <= 1) {
+    std::sort(tuples.begin(), tuples.end(), TupleLess);
+  } else {
+    // Chunked sort + pairwise merge: unstable, but OrdinalTuples that
+    // compare equal are identical, so the sorted sequence — and therefore
+    // every coded byte — matches the serial sort's.
+    ParallelSort(SharedThreadPool(), tuples, shards, TupleLess);
   }
-  std::sort(tuples.begin(), tuples.end(),
-            [](const OrdinalTuple& a, const OrdinalTuple& b) {
-              return CompareTuples(a, b) < 0;
-            });
   return EncodeSorted(tuples);
+}
+
+std::vector<BlockRange> RelationCodec::PartitionSorted(
+    const std::vector<OrdinalTuple>& tuples) const {
+  std::vector<BlockRange> ranges;
+  if (tuples.empty()) return ranges;
+  const size_t capacity = options_.block_size - kBlockHeaderSize;
+  const size_t m = layout_.total_width();
+  const auto& radices = schema_->radices();
+  const bool chain = options_.variant == CodecVariant::kChainDelta;
+
+  // Replays BlockEncoder::TryAdd's accept/reject sequence exactly: a
+  // block closes when the candidate payload would exceed capacity or the
+  // 16-bit tuple count would overflow, and the rejected tuple opens the
+  // next block at full representative width.
+  size_t begin = 0;
+  size_t payload = m;
+  OrdinalTuple diff;
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    const size_t count = i - begin;
+    size_t candidate = 0;
+    bool fits = count < 0xffff;
+    if (fits) {
+      if (chain) {
+        AVQDB_CHECK_OK(
+            mixed_radix::Sub(radices, tuples[i], tuples[i - 1], &diff));
+        const size_t cost =
+            options_.run_length_zeros
+                ? 1 + (m - layout_.CountLeadingZeroBytes(diff))
+                : m;
+        candidate = payload + cost;
+      } else {
+        // The representative moves as the block grows, so recompute the
+        // exact candidate size — the same O(count) pass TryAdd performs.
+        candidate = BlockEncoder::ComputePayloadSize(
+            layout_, radices, options_, tuples.data() + begin, count + 1);
+      }
+      fits = candidate <= capacity;
+    }
+    if (fits) {
+      payload = candidate;
+    } else {
+      ranges.push_back(BlockRange{begin, i, payload});
+      begin = i;
+      payload = m;
+    }
+  }
+  ranges.push_back(BlockRange{begin, tuples.size(), payload});
+  return ranges;
+}
+
+Result<EncodedRelation> RelationCodec::EncodeSortedParallel(
+    const std::vector<OrdinalTuple>& tuples, size_t shards) const {
+  AVQDB_RETURN_IF_ERROR(ValidateAll(tuples, shards, /*check_order=*/true));
+
+  EncodedRelation out;
+  out.stats.tuple_count = tuples.size();
+  out.stats.tuple_width = schema_->tuple_width();
+  out.stats.block_size = options_.block_size;
+  out.stats.uncoded_blocks = UncodedBlockCount(tuples.size());
+  out.stats.uncoded_bytes =
+      static_cast<uint64_t>(tuples.size()) * schema_->tuple_width();
+  if (tuples.empty()) return out;
+
+  // Pass 1 (serial): fix the block boundaries with width arithmetic only.
+  const std::vector<BlockRange> ranges = PartitionSorted(tuples);
+
+  // Pass 2 (parallel): code each range into its pre-sized output slot.
+  out.blocks.resize(ranges.size());
+  FirstError first;
+  ParallelFor(SharedThreadPool(), ranges.size(), shards, [&](size_t b) {
+    const BlockRange& range = ranges[b];
+    auto block =
+        BlockEncoder::EncodeSpan(*schema_, layout_, options_,
+                                 tuples.data() + range.begin,
+                                 range.end - range.begin);
+    if (block.ok()) {
+      out.blocks[b] = std::move(block).value();
+    } else {
+      first.Record(b, block.status());
+    }
+  });
+  if (!first.ok()) return first.status();
+
+  for (const BlockRange& range : ranges) {
+    out.stats.coded_payload_bytes += kBlockHeaderSize + range.payload_size;
+  }
+  out.stats.coded_blocks = out.blocks.size();
+  return out;
 }
 
 Result<EncodedRelation> RelationCodec::EncodeSorted(
     const std::vector<OrdinalTuple>& tuples) const {
+  const size_t shards = ResolveParallelism(options_.parallelism);
+  if (shards > 1) return EncodeSortedParallel(tuples, shards);
+
   EncodedRelation out;
   out.stats.tuple_count = tuples.size();
   out.stats.tuple_width = schema_->tuple_width();
@@ -111,11 +274,37 @@ Result<EncodedRelation> RelationCodec::EncodeRows(
 
 Result<std::vector<OrdinalTuple>> RelationCodec::DecodeAll(
     const std::vector<std::string>& blocks) const {
+  const size_t shards = ResolveParallelism(options_.parallelism);
+  if (shards <= 1 || blocks.size() <= 1) {
+    std::vector<OrdinalTuple> tuples;
+    for (const auto& block : blocks) {
+      AVQDB_ASSIGN_OR_RETURN(DecodedBlock decoded,
+                             DecodeBlock(*schema_, Slice(block)));
+      for (auto& t : decoded.tuples) tuples.push_back(std::move(t));
+    }
+    return tuples;
+  }
+
+  // Blocks decode independently (§3.3), each verifying its own CRC; the
+  // per-block results land in order-preserving slots.
+  std::vector<std::vector<OrdinalTuple>> decoded(blocks.size());
+  FirstError first;
+  ParallelFor(SharedThreadPool(), blocks.size(), shards, [&](size_t b) {
+    auto result = DecodeBlock(*schema_, Slice(blocks[b]));
+    if (result.ok()) {
+      decoded[b] = std::move(result.value().tuples);
+    } else {
+      first.Record(b, result.status());
+    }
+  });
+  if (!first.ok()) return first.status();
+
+  size_t total = 0;
+  for (const auto& block_tuples : decoded) total += block_tuples.size();
   std::vector<OrdinalTuple> tuples;
-  for (const auto& block : blocks) {
-    AVQDB_ASSIGN_OR_RETURN(DecodedBlock decoded,
-                           DecodeBlock(*schema_, Slice(block)));
-    for (auto& t : decoded.tuples) tuples.push_back(std::move(t));
+  tuples.reserve(total);
+  for (auto& block_tuples : decoded) {
+    for (auto& t : block_tuples) tuples.push_back(std::move(t));
   }
   return tuples;
 }

@@ -17,6 +17,7 @@
 #include "src/avq/codec_options.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/ordinal/digit_bytes.h"
 #include "src/schema/schema.h"
 #include "src/schema/tuple.h"
 #include "src/schema/value.h"
@@ -51,6 +52,14 @@ struct EncodedRelation {
   CompressionStats stats;
 };
 
+// One block's worth of φ-sorted tuples: indexes [begin, end) into the
+// sorted tuple vector, plus the exact coded payload size of that range.
+struct BlockRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t payload_size = 0;
+};
+
 class RelationCodec {
  public:
   // Schema must outlive the codec. Aborts on invalid options.
@@ -60,6 +69,12 @@ class RelationCodec {
 
   // Sorts `tuples` by φ and codes them into blocks. Tuples are validated;
   // duplicates are kept (bag semantics).
+  //
+  // With options.parallelism != 1, sorting, block coding and decoding
+  // run as data-parallel shards on the shared thread pool. A serial
+  // partition pass fixes the block boundaries first, so the blocks are
+  // byte-identical to the serial path's for every parallelism setting
+  // (proven by tests/codec_determinism_test.cc).
   Result<EncodedRelation> Encode(std::vector<OrdinalTuple> tuples) const;
 
   // As Encode, but requires tuples already in φ order (saves the sort for
@@ -80,9 +95,26 @@ class RelationCodec {
   // Fixed-width tuples per uncoded block.
   size_t UncodedTuplesPerBlock() const;
 
+  // Pass 1 of the parallel encode: the serial greedy partition. Walks the
+  // φ-sorted tuples once, replaying BlockEncoder::TryAdd's exact size
+  // accounting (width arithmetic only — no payload bytes are built), and
+  // returns the per-block ranges the serial encoder would produce.
+  // Exposed for tests; tuples must be validated and φ-sorted.
+  std::vector<BlockRange> PartitionSorted(
+      const std::vector<OrdinalTuple>& tuples) const;
+
  private:
+  // Validates every tuple and (when `check_order` is set) the φ order,
+  // fanning out over `shards` when > 1. Reports the lowest-index error.
+  Status ValidateAll(const std::vector<OrdinalTuple>& tuples, size_t shards,
+                     bool check_order) const;
+
+  Result<EncodedRelation> EncodeSortedParallel(
+      const std::vector<OrdinalTuple>& tuples, size_t shards) const;
+
   SchemaPtr schema_;
   CodecOptions options_;
+  DigitLayout layout_;
 };
 
 }  // namespace avqdb

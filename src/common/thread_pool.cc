@@ -1,0 +1,92 @@
+#include "src/common/thread_pool.h"
+
+#include <exception>
+
+namespace avqdb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = HardwareParallelism();
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+size_t ThreadPool::HardwareParallelism() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: queued work completes before
+      // the destructor joins.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+ThreadPool& SharedThreadPool() {
+  static ThreadPool* pool = new ThreadPool(ThreadPool::HardwareParallelism());
+  return *pool;
+}
+
+void ParallelForRanges(ThreadPool& pool, size_t n, size_t shards,
+                       const std::function<void(size_t, size_t)>& fn) {
+  shards = std::min(shards, std::max<size_t>(n, 1));
+  if (shards <= 1) {
+    if (n > 0) fn(0, n);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = n * s / shards;
+    const size_t end = n * (s + 1) / shards;
+    if (begin == end) continue;
+    futures.push_back(pool.Submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  // Collect in shard order so the lowest-index failure propagates first.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(ThreadPool& pool, size_t n, size_t shards,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForRanges(pool, n, shards, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace avqdb

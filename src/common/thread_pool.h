@@ -1,0 +1,140 @@
+// ThreadPool: a fixed-size pool of worker threads behind a FIFO task
+// queue, plus the parallel-loop helpers the codec's data-parallel paths
+// are built on.
+//
+// Design constraints (why not work stealing): block coding/decoding is
+// local to one block (§3.3), so the hot paths are flat fan-outs over
+// contiguous ranges — a shared FIFO queue with chunked ParallelFor shards
+// gives full utilization without per-task stealing machinery, and keeps
+// the execution order deterministic enough to reason about under TSan.
+//
+// Semantics:
+//   * Submit returns a std::future; task exceptions propagate through it.
+//   * Tasks run in FIFO submission order (per worker pick-up).
+//   * The destructor completes every queued task before joining.
+//   * The pool is reusable across batches; ParallelFor and ParallelSort
+//     block the calling thread until their shards finish and must not be
+//     called from inside a pool task (the caller would wait on workers
+//     that may be behind it in the queue).
+
+#ifndef AVQDB_COMMON_THREAD_POOL_H_
+#define AVQDB_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace avqdb {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers; 0 means HardwareParallelism().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  // Completes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Schedules `fn` and returns a future for its result. If `fn` throws,
+  // the exception is captured and rethrown by future::get().
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using R = std::invoke_result_t<Fn&>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareParallelism();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Process-wide shared pool with HardwareParallelism() workers, created on
+// first use and kept alive for the process lifetime. Callers control
+// their effective parallelism by the number of shards they fan out, not
+// by pool sizing.
+ThreadPool& SharedThreadPool();
+
+// Maps a CodecOptions-style parallelism knob to a worker count:
+// 0 = hardware parallelism, anything else verbatim.
+inline size_t ResolveParallelism(size_t knob) {
+  return knob == 0 ? ThreadPool::HardwareParallelism() : knob;
+}
+
+// Splits [0, n) into at most `shards` contiguous ranges and runs
+// fn(begin, end) for each on the pool, blocking until all finish. The
+// exception of the lowest-index failing shard is rethrown.
+void ParallelForRanges(ThreadPool& pool, size_t n, size_t shards,
+                       const std::function<void(size_t, size_t)>& fn);
+
+// As ParallelForRanges, but invokes fn(i) per index.
+void ParallelFor(ThreadPool& pool, size_t n, size_t shards,
+                 const std::function<void(size_t)>& fn);
+
+// Sorts `items` with `comp`: chunked std::sort over at most `shards`
+// slices on the pool, then pairwise std::inplace_merge rounds. Not
+// stable across equal elements — callers that need byte-identical output
+// must have equality imply interchangeability (true for OrdinalTuples,
+// where CompareTuples == 0 means identical digit vectors).
+template <typename T, typename Comp>
+void ParallelSort(ThreadPool& pool, std::vector<T>& items, size_t shards,
+                  Comp comp) {
+  const size_t n = items.size();
+  shards = std::min(shards, std::max<size_t>(n, 1));
+  if (shards <= 1 || n < 2) {
+    std::sort(items.begin(), items.end(), comp);
+    return;
+  }
+  // Shard boundaries: shards+1 fenceposts over [0, n).
+  std::vector<size_t> bounds(shards + 1);
+  for (size_t s = 0; s <= shards; ++s) bounds[s] = n * s / shards;
+  ParallelForRanges(pool, n, shards, [&](size_t begin, size_t end) {
+    std::sort(items.begin() + static_cast<ptrdiff_t>(begin),
+              items.begin() + static_cast<ptrdiff_t>(end), comp);
+  });
+  // log2(shards) merge rounds; each round merges disjoint chunk pairs.
+  for (size_t width = 1; width < shards; width *= 2) {
+    std::vector<std::future<void>> merges;
+    for (size_t s = 0; s + width <= shards; s += 2 * width) {
+      const size_t begin = bounds[s];
+      const size_t mid = bounds[s + width];
+      const size_t end = bounds[std::min(s + 2 * width, shards)];
+      if (mid == end) continue;
+      merges.push_back(pool.Submit([&items, begin, mid, end, comp] {
+        std::inplace_merge(items.begin() + static_cast<ptrdiff_t>(begin),
+                           items.begin() + static_cast<ptrdiff_t>(mid),
+                           items.begin() + static_cast<ptrdiff_t>(end),
+                           comp);
+      }));
+    }
+    for (auto& m : merges) m.get();
+  }
+}
+
+}  // namespace avqdb
+
+#endif  // AVQDB_COMMON_THREAD_POOL_H_

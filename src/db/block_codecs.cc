@@ -84,10 +84,12 @@ constexpr uint8_t kRawFlagChecksum = 0x1;
 
 class RawBlockCodec final : public TupleBlockCodec {
  public:
-  RawBlockCodec(SchemaPtr schema, size_t block_size, bool checksum)
+  RawBlockCodec(SchemaPtr schema, size_t block_size, bool checksum,
+                size_t parallelism)
       : schema_(std::move(schema)),
         block_size_(block_size),
         checksum_(checksum),
+        parallelism_(parallelism),
         layout_(DigitLayout::Create(schema_->digit_widths()).value()) {
     AVQDB_CHECK(Capacity() >= 1,
                 "block size %zu holds no %zu-byte tuples", block_size,
@@ -101,6 +103,7 @@ class RawBlockCodec final : public TupleBlockCodec {
     CodecOptions options;
     options.block_size = block_size_;
     options.checksum = checksum_;
+    options.parallelism = parallelism_;
     return options;
   }
 
@@ -185,6 +188,7 @@ class RawBlockCodec final : public TupleBlockCodec {
   SchemaPtr schema_;
   size_t block_size_;
   bool checksum_;
+  size_t parallelism_;
   DigitLayout layout_;
 };
 
@@ -197,9 +201,10 @@ std::unique_ptr<TupleBlockCodec> MakeAvqBlockCodec(
 
 std::unique_ptr<TupleBlockCodec> MakeRawBlockCodec(SchemaPtr schema,
                                                    size_t block_size,
-                                                   bool checksum) {
+                                                   bool checksum,
+                                                   size_t parallelism) {
   return std::make_unique<RawBlockCodec>(std::move(schema), block_size,
-                                         checksum);
+                                         checksum, parallelism);
 }
 
 }  // namespace avqdb

@@ -60,10 +60,12 @@ class TupleBlockCodec {
 std::unique_ptr<TupleBlockCodec> MakeAvqBlockCodec(SchemaPtr schema,
                                                    const CodecOptions& options);
 
-// Uncoded fixed-width blocks of `block_size` bytes.
+// Uncoded fixed-width blocks of `block_size` bytes. `parallelism` feeds
+// the table-level bulk paths (CodecOptions::parallelism semantics).
 std::unique_ptr<TupleBlockCodec> MakeRawBlockCodec(SchemaPtr schema,
                                                    size_t block_size,
-                                                   bool checksum = true);
+                                                   bool checksum = true,
+                                                   size_t parallelism = 1);
 
 }  // namespace avqdb
 

@@ -1,13 +1,22 @@
 #include "src/db/table.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 #include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 
 namespace avqdb {
+namespace {
+
+bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
+  return CompareTuples(a, b) < 0;
+}
+
+}  // namespace
 
 Table::Table(SchemaPtr schema, BlockDevice* device,
              BlockDevice* index_device,
@@ -84,10 +93,12 @@ Status Table::BulkLoad(std::vector<OrdinalTuple> tuples,
   for (const auto& t : tuples) {
     AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, t));
   }
-  std::sort(tuples.begin(), tuples.end(),
-            [](const OrdinalTuple& a, const OrdinalTuple& b) {
-              return CompareTuples(a, b) < 0;
-            });
+  const size_t shards = ResolveParallelism(codec_->options().parallelism);
+  if (shards > 1) {
+    ParallelSort(SharedThreadPool(), tuples, shards, TupleLess);
+  } else {
+    std::sort(tuples.begin(), tuples.end(), TupleLess);
+  }
   for (size_t i = 1; i < tuples.size(); ++i) {
     if (CompareTuples(tuples[i - 1], tuples[i]) == 0) {
       return Status::InvalidArgument(
@@ -95,6 +106,10 @@ Status Table::BulkLoad(std::vector<OrdinalTuple> tuples,
                        TupleToString(tuples[i]).c_str()));
     }
   }
+  // Greedy per-block chunking is serial (it fixes the block boundaries);
+  // encoding the chunks is data-parallel; pager writes and index inserts
+  // stay serial — the pager is single-threaded by design.
+  std::vector<std::pair<size_t, size_t>> chunks;  // [begin, end) per block
   size_t start = 0;
   while (start < tuples.size()) {
     size_t count = codec_->FillCount(tuples, start);
@@ -104,13 +119,43 @@ Status Table::BulkLoad(std::vector<OrdinalTuple> tuples,
           fill_factor * static_cast<double>(count));
       count = trimmed > 0 ? trimmed : 1;
     }
-    std::vector<OrdinalTuple> chunk(
-        tuples.begin() + static_cast<ptrdiff_t>(start),
-        tuples.begin() + static_cast<ptrdiff_t>(start + count));
-    AVQDB_ASSIGN_OR_RETURN(BlockId id, data_pager_->Allocate());
-    AVQDB_RETURN_IF_ERROR(WriteDataBlock(id, chunk));
-    AVQDB_RETURN_IF_ERROR(primary_->Insert(chunk.front(), id));
+    chunks.emplace_back(start, start + count);
     start += count;
+  }
+  std::vector<std::string> images(chunks.size());
+  if (shards > 1) {
+    std::mutex mu;
+    size_t first_error = SIZE_MAX;
+    Status error = Status::OK();
+    ParallelFor(SharedThreadPool(), chunks.size(), shards, [&](size_t c) {
+      std::vector<OrdinalTuple> chunk(
+          tuples.begin() + static_cast<ptrdiff_t>(chunks[c].first),
+          tuples.begin() + static_cast<ptrdiff_t>(chunks[c].second));
+      auto image = codec_->EncodeBlock(chunk);
+      if (image.ok()) {
+        images[c] = std::move(image).value();
+      } else {
+        std::lock_guard<std::mutex> lock(mu);
+        if (c < first_error) {
+          first_error = c;
+          error = image.status();
+        }
+      }
+    });
+    if (first_error != SIZE_MAX) return error;
+  } else {
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      std::vector<OrdinalTuple> chunk(
+          tuples.begin() + static_cast<ptrdiff_t>(chunks[c].first),
+          tuples.begin() + static_cast<ptrdiff_t>(chunks[c].second));
+      AVQDB_ASSIGN_OR_RETURN(images[c], codec_->EncodeBlock(chunk));
+    }
+  }
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    AVQDB_ASSIGN_OR_RETURN(BlockId id, data_pager_->Allocate());
+    AVQDB_RETURN_IF_ERROR(data_pager_->Write(id, Slice(images[c])));
+    AVQDB_RETURN_IF_ERROR(
+        primary_->Insert(tuples[chunks[c].first], id));
   }
   num_tuples_ = tuples.size();
   return Status::OK();
@@ -120,12 +165,42 @@ Status Table::AttachDataBlocks(const std::vector<BlockId>& blocks) {
   if (num_tuples_ != 0) {
     return Status::InvalidArgument("AttachDataBlocks requires an empty table");
   }
+  // I/O through the pager is serial; decoding (and CRC verification) of
+  // the read blocks fans out when the codec's parallelism knob says so.
+  const size_t shards = ResolveParallelism(codec_->options().parallelism);
+  std::vector<std::vector<OrdinalTuple>> decoded(blocks.size());
+  if (shards > 1 && blocks.size() > 1) {
+    std::vector<std::string> raw(blocks.size());
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      AVQDB_ASSIGN_OR_RETURN(raw[b], data_pager_->Read(blocks[b]));
+    }
+    std::mutex mu;
+    size_t first_error = SIZE_MAX;
+    Status error = Status::OK();
+    ParallelFor(SharedThreadPool(), blocks.size(), shards, [&](size_t b) {
+      auto tuples = codec_->DecodeBlock(Slice(raw[b]));
+      if (tuples.ok()) {
+        decoded[b] = std::move(tuples).value();
+      } else {
+        std::lock_guard<std::mutex> lock(mu);
+        if (b < first_error) {
+          first_error = b;
+          error = tuples.status();
+        }
+      }
+    });
+    if (first_error != SIZE_MAX) return error;
+  } else {
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      AVQDB_ASSIGN_OR_RETURN(decoded[b], ReadDataBlock(blocks[b]));
+    }
+  }
   uint64_t total = 0;
   const OrdinalTuple* previous_max = nullptr;
   OrdinalTuple last_max;
-  for (BlockId id : blocks) {
-    AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
-                           ReadDataBlock(id));
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const BlockId id = blocks[b];
+    std::vector<OrdinalTuple>& tuples = decoded[b];
     if (tuples.empty()) {
       return Status::Corruption(StringFormat("data block %u is empty", id));
     }

@@ -136,7 +136,7 @@ Status SaveTable(const Table& table, const std::string& path) {
   return Status::OK();
 }
 
-Result<LoadedTable> LoadTable(const std::string& path) {
+Result<LoadedTable> LoadTable(const std::string& path, size_t parallelism) {
   LoadedTable loaded;
   // Peek at the fixed metadata prefix to learn the block size before
   // opening the file as a block device.
@@ -172,10 +172,14 @@ Result<LoadedTable> LoadTable(const std::string& path) {
   }
 
   loaded.index_device = std::make_unique<MemBlockDevice>(block_size);
+  // The parallelism knob is runtime-only (never persisted): apply the
+  // caller's choice to the codec driving the open-time scan and all
+  // subsequent coding on this table.
+  meta.options.parallelism = parallelism;
   std::unique_ptr<TupleBlockCodec> codec =
       meta.avq ? MakeAvqBlockCodec(meta.schema, meta.options)
                : MakeRawBlockCodec(meta.schema, meta.options.block_size,
-                                   meta.options.checksum);
+                                   meta.options.checksum, parallelism);
   AVQDB_ASSIGN_OR_RETURN(
       loaded.table,
       Table::Create(meta.schema, loaded.data_device.get(), std::move(codec),

@@ -37,8 +37,12 @@ struct LoadedTable {
 // Serializes `table` (schema + data blocks) into `path`, overwriting it.
 Status SaveTable(const Table& table, const std::string& path);
 
-// Opens a table image written by SaveTable.
-Result<LoadedTable> LoadTable(const std::string& path);
+// Opens a table image written by SaveTable. `parallelism` is the runtime
+// CodecOptions::parallelism knob for the open-time block validation scan
+// and all later codec work on the loaded table (0 = hardware threads,
+// 1 = serial); it is not stored in the file.
+Result<LoadedTable> LoadTable(const std::string& path,
+                              size_t parallelism = 1);
 
 }  // namespace avqdb
 

@@ -1,0 +1,208 @@
+// Determinism of the parallel encode/decode pipeline: for every codec
+// option combination and every parallelism setting, the encoded blocks
+// must be byte-for-byte identical to the serial path's, the stats must
+// match, and DecodeAll must return the same tuples. This is the contract
+// docs/FORMAT.md "Parallel encoding" promises.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/avq/relation_codec.h"
+#include "src/common/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+using ::avqdb::testing::IntSchema;
+using ::avqdb::testing::PaperShapeSchema;
+using ::avqdb::testing::RandomTuples;
+
+struct OptionCombo {
+  CodecVariant variant;
+  RepresentativeChoice representative;
+  bool run_length_zeros;
+};
+
+std::vector<OptionCombo> AllCombos() {
+  std::vector<OptionCombo> combos;
+  for (CodecVariant variant :
+       {CodecVariant::kChainDelta, CodecVariant::kRepresentativeDelta}) {
+    for (RepresentativeChoice rep :
+         {RepresentativeChoice::kMiddle, RepresentativeChoice::kFirst}) {
+      for (bool rle : {true, false}) {
+        combos.push_back({variant, rep, rle});
+      }
+    }
+  }
+  return combos;
+}
+
+std::string ComboName(const OptionCombo& combo) {
+  std::string name =
+      combo.variant == CodecVariant::kChainDelta ? "chain" : "rep";
+  name += combo.representative == RepresentativeChoice::kMiddle ? "/middle"
+                                                                : "/first";
+  name += combo.run_length_zeros ? "/rle" : "/norle";
+  return name;
+}
+
+CodecOptions MakeOptions(const OptionCombo& combo, size_t parallelism,
+                         size_t block_size) {
+  CodecOptions options;
+  options.variant = combo.variant;
+  options.representative = combo.representative;
+  options.run_length_zeros = combo.run_length_zeros;
+  options.block_size = block_size;
+  options.parallelism = parallelism;
+  return options;
+}
+
+void ExpectStatsEqual(const CompressionStats& serial,
+                      const CompressionStats& parallel) {
+  EXPECT_EQ(serial.tuple_count, parallel.tuple_count);
+  EXPECT_EQ(serial.tuple_width, parallel.tuple_width);
+  EXPECT_EQ(serial.block_size, parallel.block_size);
+  EXPECT_EQ(serial.uncoded_blocks, parallel.uncoded_blocks);
+  EXPECT_EQ(serial.uncoded_bytes, parallel.uncoded_bytes);
+  EXPECT_EQ(serial.coded_blocks, parallel.coded_blocks);
+  EXPECT_EQ(serial.coded_payload_bytes, parallel.coded_payload_bytes);
+}
+
+// The parallelism settings to pit against the serial baseline: an even
+// shard count, a prime one that never divides the input evenly, and the
+// hardware default.
+const size_t kParallelSettings[] = {2, 7, 0};
+
+class DeterminismTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DeterminismTest, AllOptionCombosMatchSerial) {
+  const size_t n = GetParam();
+  // 512-byte blocks so even small relations span several blocks and the
+  // 10k relation spans hundreds.
+  const size_t block_size = 512;
+  SchemaPtr schema = PaperShapeSchema();
+  std::vector<OrdinalTuple> tuples = RandomTuples(*schema, n, 1000 + n);
+
+  for (const OptionCombo& combo : AllCombos()) {
+    SCOPED_TRACE(ComboName(combo));
+    RelationCodec serial(schema, MakeOptions(combo, 1, block_size));
+    auto serial_encoded = serial.Encode(tuples);
+    ASSERT_TRUE(serial_encoded.ok()) << serial_encoded.status().ToString();
+    auto serial_decoded = serial.DecodeAll(serial_encoded->blocks);
+    ASSERT_TRUE(serial_decoded.ok()) << serial_decoded.status().ToString();
+
+    for (size_t parallelism : kParallelSettings) {
+      SCOPED_TRACE("parallelism=" + std::to_string(parallelism));
+      RelationCodec parallel(schema,
+                             MakeOptions(combo, parallelism, block_size));
+      auto encoded = parallel.Encode(tuples);
+      ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+      // The headline guarantee: byte-identical blocks.
+      EXPECT_EQ(encoded->blocks, serial_encoded->blocks);
+      ExpectStatsEqual(serial_encoded->stats, encoded->stats);
+
+      auto decoded = parallel.DecodeAll(serial_encoded->blocks);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(*decoded, *serial_decoded);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DeterminismTest,
+                         ::testing::Values(0, 1, 2, 10000),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(DeterminismTest, EncodeSortedMatchesSerialOnPresortedInput) {
+  SchemaPtr schema = IntSchema({16, 256, 256, 4096});
+  std::vector<OrdinalTuple> tuples = RandomTuples(*schema, 5000, 77);
+  std::sort(tuples.begin(), tuples.end(), [](const OrdinalTuple& a,
+                                             const OrdinalTuple& b) {
+    return CompareTuples(a, b) < 0;
+  });
+
+  CodecOptions serial_options;
+  serial_options.block_size = 1024;
+  RelationCodec serial(schema, serial_options);
+  auto baseline = serial.EncodeSorted(tuples);
+  ASSERT_TRUE(baseline.ok());
+
+  for (size_t parallelism : kParallelSettings) {
+    CodecOptions options = serial_options;
+    options.parallelism = parallelism;
+    RelationCodec codec(schema, options);
+    auto encoded = codec.EncodeSorted(tuples);
+    ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+    EXPECT_EQ(encoded->blocks, baseline->blocks)
+        << "parallelism=" << parallelism;
+    ExpectStatsEqual(baseline->stats, encoded->stats);
+  }
+}
+
+TEST(DeterminismTest, PartitionMatchesSerialBlockBoundaries) {
+  // The serial partition pass must predict exactly the block boundaries
+  // (and payload sizes) the incremental serial encoder produces.
+  SchemaPtr schema = PaperShapeSchema();
+  std::vector<OrdinalTuple> tuples = RandomTuples(*schema, 4000, 9);
+  std::sort(tuples.begin(), tuples.end(), [](const OrdinalTuple& a,
+                                             const OrdinalTuple& b) {
+    return CompareTuples(a, b) < 0;
+  });
+  for (const OptionCombo& combo : AllCombos()) {
+    SCOPED_TRACE(ComboName(combo));
+    RelationCodec codec(schema, MakeOptions(combo, 1, 512));
+    auto encoded = codec.EncodeSorted(tuples);
+    ASSERT_TRUE(encoded.ok());
+    std::vector<BlockRange> ranges = codec.PartitionSorted(tuples);
+    ASSERT_EQ(ranges.size(), encoded->blocks.size());
+    size_t covered = 0;
+    for (const BlockRange& range : ranges) {
+      EXPECT_EQ(range.begin, covered);
+      EXPECT_GT(range.end, range.begin);
+      covered = range.end;
+    }
+    EXPECT_EQ(covered, tuples.size());
+  }
+}
+
+TEST(DeterminismTest, RepeatedParallelEncodesAreIdentical) {
+  // Parallel scheduling varies run to run; the output must not.
+  SchemaPtr schema = PaperShapeSchema();
+  std::vector<OrdinalTuple> tuples = RandomTuples(*schema, 3000, 5);
+  CodecOptions options;
+  options.block_size = 512;
+  options.parallelism = 0;
+  RelationCodec codec(schema, options);
+  auto first = codec.Encode(tuples);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto again = codec.Encode(tuples);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->blocks, first->blocks) << "run " << i;
+  }
+}
+
+TEST(DeterminismTest, ParallelismLargerThanRelation) {
+  // More shards than tuples (and than blocks) must degrade gracefully.
+  SchemaPtr schema = PaperShapeSchema();
+  std::vector<OrdinalTuple> tuples = RandomTuples(*schema, 3, 11);
+  CodecOptions serial_options;
+  RelationCodec serial(schema, serial_options);
+  auto baseline = serial.Encode(tuples);
+  ASSERT_TRUE(baseline.ok());
+
+  CodecOptions options;
+  options.parallelism = 64;
+  RelationCodec codec(schema, options);
+  auto encoded = codec.Encode(tuples);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->blocks, baseline->blocks);
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,202 @@
+// Property tests for the whole-relation codec: seeded randomized
+// round-trips over random schemas, random bags (duplicates included),
+// and random codec options — including the parallelism knob — checking
+//   decode(encode(T)) == sort_phi(T)
+// and that CompressionStats' byte accounting matches the bytes actually
+// present in the block images.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/avq/block_format.h"
+#include "src/avq/relation_codec.h"
+#include "src/common/coding.h"
+#include "src/common/random.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+using ::avqdb::testing::IntSchema;
+using ::avqdb::testing::RandomTuple;
+
+// Cardinality palette: degenerate single-value domains, the paper's
+// small categorical sizes, byte-boundary-straddling sizes, and a
+// 2^32-scale domain (4-byte digits).
+const uint64_t kCardinalities[] = {
+    1, 2, 7, 8, 255, 256, 257, 4096, 65536, 1u << 20, (1ull << 32)};
+
+SchemaPtr RandomSchema(Random& rng) {
+  const size_t num_attrs = 1 + rng.Uniform(8);
+  std::vector<uint64_t> cards;
+  for (size_t i = 0; i < num_attrs; ++i) {
+    cards.push_back(
+        kCardinalities[rng.Uniform(std::size(kCardinalities))]);
+  }
+  return IntSchema(cards);
+}
+
+CodecOptions RandomOptions(Random& rng) {
+  CodecOptions options;
+  options.variant = rng.Bernoulli(0.5) ? CodecVariant::kChainDelta
+                                       : CodecVariant::kRepresentativeDelta;
+  options.representative = rng.Bernoulli(0.5)
+                               ? RepresentativeChoice::kMiddle
+                               : RepresentativeChoice::kFirst;
+  options.run_length_zeros = rng.Bernoulli(0.5);
+  const size_t block_sizes[] = {512, 1024, 4096};
+  options.block_size = block_sizes[rng.Uniform(3)];
+  const size_t parallelisms[] = {1, 2, 3, 0};
+  options.parallelism = parallelisms[rng.Uniform(4)];
+  return options;
+}
+
+// A random bag: mostly fresh uniform tuples, but with a duplicate-heavy
+// tail that repeats earlier picks (tests bag semantics and zero deltas).
+std::vector<OrdinalTuple> RandomBag(const Schema& schema, size_t count,
+                                    Random& rng) {
+  std::vector<OrdinalTuple> tuples;
+  tuples.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!tuples.empty() && rng.Bernoulli(0.25)) {
+      tuples.push_back(tuples[rng.Uniform(tuples.size())]);
+    } else {
+      tuples.push_back(RandomTuple(schema, rng));
+    }
+  }
+  return tuples;
+}
+
+std::vector<OrdinalTuple> SortedByPhi(std::vector<OrdinalTuple> tuples) {
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  return tuples;
+}
+
+void CheckByteAccounting(const RelationCodec& codec, const Schema& schema,
+                         const EncodedRelation& encoded, size_t n) {
+  const CompressionStats& stats = encoded.stats;
+  EXPECT_EQ(stats.tuple_count, n);
+  EXPECT_EQ(stats.tuple_width, schema.tuple_width());
+  EXPECT_EQ(stats.block_size, codec.options().block_size);
+  EXPECT_EQ(stats.coded_blocks, encoded.blocks.size());
+  EXPECT_EQ(stats.uncoded_bytes,
+            static_cast<uint64_t>(n) * schema.tuple_width());
+  EXPECT_EQ(stats.uncoded_blocks, codec.UncodedBlockCount(n));
+  // coded_payload_bytes must equal the header-declared payload sizes in
+  // the actual block images, plus one header per block.
+  uint64_t from_blocks = 0;
+  for (const std::string& block : encoded.blocks) {
+    ASSERT_EQ(block.size(), codec.options().block_size);
+    from_blocks += kBlockHeaderSize +
+                   DecodeFixed32(
+                       reinterpret_cast<const uint8_t*>(block.data()) + 8);
+  }
+  EXPECT_EQ(stats.coded_payload_bytes, from_blocks);
+}
+
+TEST(RelationCodecPropertyTest, RandomRoundTrips) {
+  Random rng(20260807);
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    SchemaPtr schema = RandomSchema(rng);
+    CodecOptions options = RandomOptions(rng);
+    if (!options.Validate(schema->tuple_width()).ok()) {
+      options.block_size = 4096;  // wide schema + tiny block: widen
+    }
+    const size_t n = rng.Uniform(2000);
+    std::vector<OrdinalTuple> bag = RandomBag(*schema, n, rng);
+    SCOPED_TRACE("iteration=" + std::to_string(iteration) +
+                 " attrs=" + std::to_string(schema->num_attributes()) +
+                 " n=" + std::to_string(n) +
+                 " block_size=" + std::to_string(options.block_size) +
+                 " parallelism=" + std::to_string(options.parallelism));
+
+    RelationCodec codec(schema, options);
+    auto encoded = codec.Encode(bag);
+    ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+    CheckByteAccounting(codec, *schema, *encoded, n);
+
+    auto decoded = codec.DecodeAll(encoded->blocks);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, SortedByPhi(bag));
+  }
+}
+
+TEST(RelationCodecPropertyTest, SingleValueDomainsOnly) {
+  // |A_i| = 1 for every attribute: the relation holds one distinct tuple,
+  // every difference is zero, and φ is constant.
+  SchemaPtr schema = IntSchema({1, 1, 1});
+  CodecOptions options;
+  options.block_size = 512;
+  options.parallelism = 3;
+  RelationCodec codec(schema, options);
+  std::vector<OrdinalTuple> bag(500, OrdinalTuple{0, 0, 0});
+  auto encoded = codec.Encode(bag);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  CheckByteAccounting(codec, *schema, *encoded, bag.size());
+  auto decoded = codec.DecodeAll(encoded->blocks);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bag);
+}
+
+TEST(RelationCodecPropertyTest, HugeDomainSparseRelation) {
+  // 2^32-scale domains: tuples are far apart, so deltas stay wide and
+  // blocks stay nearly full-width; the round trip must still be exact.
+  Random rng(99);
+  SchemaPtr schema = IntSchema({(1ull << 32), (1ull << 32)});
+  CodecOptions options;
+  options.parallelism = 2;
+  RelationCodec codec(schema, options);
+  std::vector<OrdinalTuple> bag;
+  for (int i = 0; i < 3000; ++i) bag.push_back(RandomTuple(*schema, rng));
+  auto encoded = codec.Encode(bag);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  CheckByteAccounting(codec, *schema, *encoded, bag.size());
+  auto decoded = codec.DecodeAll(encoded->blocks);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, SortedByPhi(bag));
+}
+
+TEST(RelationCodecPropertyTest, OutOfDomainTupleRejectedAtSameIndex) {
+  // Validation errors must be deterministic across parallelism: the
+  // lowest offending index is the one reported.
+  SchemaPtr schema = IntSchema({8, 8});
+  std::vector<OrdinalTuple> bag(100, OrdinalTuple{1, 2});
+  bag[37] = OrdinalTuple{9, 0};  // out of domain
+  bag[80] = OrdinalTuple{9, 9};  // also bad, higher index
+  std::string serial_message;
+  for (size_t parallelism : {size_t{1}, size_t{2}, size_t{7}, size_t{0}}) {
+    CodecOptions options;
+    options.parallelism = parallelism;
+    RelationCodec codec(schema, options);
+    auto encoded = codec.Encode(bag);
+    ASSERT_FALSE(encoded.ok()) << "parallelism=" << parallelism;
+    if (parallelism == 1) {
+      serial_message = encoded.status().ToString();
+    } else {
+      EXPECT_EQ(encoded.status().ToString(), serial_message)
+          << "parallelism=" << parallelism;
+    }
+  }
+}
+
+TEST(RelationCodecPropertyTest, EncodeSortedRejectsUnsortedInParallel) {
+  SchemaPtr schema = IntSchema({64, 64});
+  std::vector<OrdinalTuple> bag = {{5, 0}, {1, 0}, {3, 0}};
+  for (size_t parallelism : {size_t{1}, size_t{2}, size_t{0}}) {
+    CodecOptions options;
+    options.parallelism = parallelism;
+    RelationCodec codec(schema, options);
+    auto encoded = codec.EncodeSorted(bag);
+    EXPECT_FALSE(encoded.ok()) << "parallelism=" << parallelism;
+  }
+}
+
+}  // namespace
+}  // namespace avqdb

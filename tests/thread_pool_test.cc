@@ -1,0 +1,199 @@
+// ThreadPool and parallel-loop helper tests: submission/drain ordering,
+// exception propagation, reuse across batches, destruction with queued
+// work, and the ParallelFor / ParallelSort contracts the codec's
+// parallel paths rely on.
+
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace avqdb {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareParallelism) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareParallelism());
+  EXPECT_GE(ThreadPool::HardwareParallelism(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  // With one worker the FIFO queue fixes the execution order exactly.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> f =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 10; ++batch) {
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i) {
+      futures.push_back(pool.Submit([&sum] { sum.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(sum.load(), 20);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorCompletesQueuedWork) {
+  // Queue far more tasks than workers, some slow, and destroy the pool
+  // without waiting on any future: every task must still run.
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.Submit([&completed, i] {
+        if (i % 10 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        completed.fetch_add(1);
+      }));
+    }
+    // Pool destroyed here with most of the queue still pending.
+  }
+  EXPECT_EQ(completed.load(), 100);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolTest, ManyConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &sum] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.Submit([&sum] { sum.fetch_add(1); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(sum.load(), 200);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {0u, 1u, 2u, 7u, 100u, 1000u}) {
+    for (size_t shards : {1u, 2u, 3u, 8u, 64u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      ParallelFor(pool, n, shards,
+                  [&hits](size_t i) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " shards=" << shards
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, RangesAreContiguousAndDisjoint) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  std::atomic<size_t> calls{0};
+  ParallelForRanges(pool, n, 7, [&](size_t begin, size_t end) {
+    EXPECT_LT(begin, end);
+    calls.fetch_add(1);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_LE(calls.load(), 7u);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, LowestIndexExceptionWins) {
+  ThreadPool pool(4);
+  // Shards covering [0, 100): make indices 30 and 80 throw different
+  // types; the lower shard's exception must be the one rethrown.
+  try {
+    ParallelFor(pool, 100, 10, [](size_t i) {
+      if (i == 30) throw std::runtime_error("low");
+      if (i == 80) throw std::logic_error("high");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "low");
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  bool ran = false;
+  ParallelFor(pool, 0, 4, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelSortTest, MatchesStdSort) {
+  ThreadPool pool(4);
+  Random rng(20260807);
+  for (size_t n : {0u, 1u, 2u, 3u, 10u, 1000u, 4097u}) {
+    for (size_t shards : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      std::vector<uint64_t> items(n);
+      for (auto& v : items) v = rng.Uniform(1u << 20);  // many duplicates
+      std::vector<uint64_t> expected = items;
+      std::sort(expected.begin(), expected.end());
+      ParallelSort(pool, items, shards, std::less<uint64_t>());
+      EXPECT_EQ(items, expected) << "n=" << n << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ParallelSortTest, ShardsLargerThanInput) {
+  ThreadPool pool(2);
+  std::vector<int> items = {5, 3, 1};
+  ParallelSort(pool, items, 64, std::less<int>());
+  EXPECT_EQ(items, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(ResolveParallelismTest, ZeroMapsToHardware) {
+  EXPECT_EQ(ResolveParallelism(0), ThreadPool::HardwareParallelism());
+  EXPECT_EQ(ResolveParallelism(1), 1u);
+  EXPECT_EQ(ResolveParallelism(5), 5u);
+}
+
+TEST(SharedThreadPoolTest, IsASingleton) {
+  ThreadPool& a = SharedThreadPool();
+  ThreadPool& b = SharedThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_threads(), ThreadPool::HardwareParallelism());
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under the sanitizers that guard the
+# parallel codec pipeline:
+#   * ThreadSanitizer on the concurrency-sensitive tests (thread pool,
+#     relation codec, determinism, corruption, table);
+#   * AddressSanitizer + UBSan on the full suite.
+#
+# Usage: tools/run_sanitized_tests.sh [tsan|asan|all]   (default: all)
+#
+# Build trees land in build-tsan/ and build-asan/ next to build/ so the
+# regular tree is untouched.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_tsan() {
+  echo "== ThreadSanitizer (codec + pool tests) =="
+  cmake -B build-tsan -S . -DAVQDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "${jobs}" --target \
+    thread_pool_test relation_codec_test codec_determinism_test \
+    relation_codec_property_test corruption_test table_test
+  ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
+    -R 'ThreadPool|ParallelFor|ParallelSort|SharedThreadPool|Resolve|RelationCodec|Determinism|Corruption|Table'
+}
+
+run_asan() {
+  echo "== AddressSanitizer + UBSan (full suite) =="
+  cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j "${jobs}"
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+}
+
+case "${mode}" in
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  all)
+    run_tsan
+    run_asan
+    ;;
+  *)
+    echo "usage: $0 [tsan|asan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "sanitized test runs passed"
