@@ -1,0 +1,218 @@
+#include "src/avq/block_cursor.h"
+
+#include <utility>
+
+#include "src/common/crc32c.h"
+#include "src/common/string_util.h"
+#include "src/ordinal/mixed_radix.h"
+
+namespace avqdb {
+namespace {
+
+// Arithmetic failures while replaying a chain mean the stored differences
+// are inconsistent: surface them as corruption, like DecodeBlock does.
+Status AsCorruption(const Status& s, const char* what) {
+  if (s.ok()) return s;
+  return Status::Corruption(StringFormat(
+      "%s while decoding block: %s", what, s.message().c_str()));
+}
+
+}  // namespace
+
+BlockCursor::BlockCursor(SchemaPtr schema, DigitLayout layout,
+                         std::string block)
+    : schema_(std::move(schema)),
+      layout_(std::move(layout)),
+      block_(std::move(block)) {}
+
+Result<std::unique_ptr<BlockCursor>> BlockCursor::Open(SchemaPtr schema,
+                                                       std::string block) {
+  AVQDB_ASSIGN_OR_RETURN(DigitLayout layout,
+                         DigitLayout::Create(schema->digit_widths()));
+  auto cursor = std::unique_ptr<BlockCursor>(
+      new BlockCursor(std::move(schema), std::move(layout),
+                      std::move(block)));
+  AVQDB_RETURN_IF_ERROR(cursor->Init());
+  return cursor;
+}
+
+Status BlockCursor::Init() {
+  AVQDB_ASSIGN_OR_RETURN(header_, BlockHeader::DecodeFrom(Slice(block_)));
+  payload_end_ = kBlockHeaderSize + header_.payload_size;
+  Slice payload =
+      Slice(block_).Subslice(kBlockHeaderSize, header_.payload_size);
+  if (header_.has_checksum()) {
+    const uint32_t expected = crc32c::Unmask(header_.crc);
+    const uint32_t actual = crc32c::Value(payload);
+    if (expected != actual) {
+      return Status::Corruption(StringFormat(
+          "block checksum mismatch: stored 0x%08x, computed 0x%08x",
+          expected, actual));
+    }
+  }
+  AVQDB_RETURN_IF_ERROR(layout_.ParseImage(payload, &rep_tuple_));
+  AVQDB_RETURN_IF_ERROR(
+      AsCorruption(mixed_radix::Validate(schema_->radices(), rep_tuple_),
+                   "invalid representative"));
+  diffs_offset_ = kBlockHeaderSize + layout_.total_width();
+  stream_offset_ = diffs_offset_;
+  decoded_ = 1;
+  return Status::OK();
+}
+
+Slice BlockCursor::Stream() const {
+  return Slice(block_).Subslice(stream_offset_,
+                                payload_end_ - stream_offset_);
+}
+
+Status BlockCursor::DecodePrefix() {
+  const size_t rep = header_.rep_index;
+  const auto& radices = schema_->radices();
+  std::vector<OrdinalTuple> diffs(rep);
+  Slice stream = Stream();
+  for (size_t i = 0; i < rep; ++i) {
+    AVQDB_RETURN_IF_ERROR(ReadCodedDifference(
+        layout_, header_.has_run_length(), &stream, &diffs[i]));
+  }
+  stream_offset_ = payload_end_ - stream.size();
+  prefix_.assign(rep, OrdinalTuple());
+  if (header_.variant == CodecVariant::kChainDelta) {
+    // Backward chain: t_i = t_{i+1} − d_i, rolled back from the
+    // representative.
+    for (size_t i = rep; i-- > 0;) {
+      const OrdinalTuple& next = (i + 1 == rep) ? rep_tuple_ : prefix_[i + 1];
+      AVQDB_RETURN_IF_ERROR(
+          AsCorruption(mixed_radix::Sub(radices, next, diffs[i], &prefix_[i]),
+                       "chain-delta underflow"));
+    }
+  } else {
+    for (size_t i = 0; i < rep; ++i) {
+      AVQDB_RETURN_IF_ERROR(AsCorruption(
+          mixed_radix::Sub(radices, rep_tuple_, diffs[i], &prefix_[i]),
+          "representative-delta underflow"));
+    }
+  }
+  for (size_t i = 0; i < rep; ++i) {
+    const OrdinalTuple& next = (i + 1 == rep) ? rep_tuple_ : prefix_[i + 1];
+    if (CompareTuples(prefix_[i], next) > 0) {
+      return Status::Corruption("decoded block is not φ-sorted");
+    }
+  }
+  decoded_ += rep;
+  prefix_decoded_ = true;
+  return Status::OK();
+}
+
+Status BlockCursor::SkipPrefix() {
+  Slice stream = Stream();
+  for (size_t i = 0; i < header_.rep_index; ++i) {
+    AVQDB_RETURN_IF_ERROR(
+        SkipCodedDifference(layout_, header_.has_run_length(), &stream));
+  }
+  stream_offset_ = payload_end_ - stream.size();
+  return Status::OK();
+}
+
+Status BlockCursor::SeekToFirst() {
+  if (positioned_) {
+    return Status::InvalidArgument("cursor already positioned");
+  }
+  positioned_ = true;
+  AVQDB_RETURN_IF_ERROR(DecodePrefix());
+  position_ = 0;
+  current_ = prefix_.empty() ? rep_tuple_ : prefix_[0];
+  valid_ = true;
+  return Status::OK();
+}
+
+Status BlockCursor::Seek(const OrdinalTuple& key) {
+  if (positioned_) {
+    return Status::InvalidArgument("cursor already positioned");
+  }
+  if (key.size() != schema_->num_attributes()) {
+    return Status::InvalidArgument("seek key arity mismatch");
+  }
+  positioned_ = true;
+  const size_t rep = header_.rep_index;
+  if (CompareTuples(key, rep_tuple_) <= 0) {
+    // The target sits in [0, rep]; the backward chain must be rolled back
+    // from the representative regardless, then binary search finds it.
+    AVQDB_RETURN_IF_ERROR(DecodePrefix());
+    const size_t idx = LowerBoundInBlock(prefix_, key);
+    valid_ = true;
+    if (idx < prefix_.size()) {
+      position_ = idx;
+      current_ = prefix_[idx];
+    } else {
+      position_ = rep;
+      current_ = rep_tuple_;
+    }
+    return Status::OK();
+  }
+  // Above the representative: the whole backward half is skipped at byte
+  // level, then the forward chain walks until the target is reached (or
+  // the block ends) — this is the early-exit half of the paper's local
+  // decodability.
+  AVQDB_RETURN_IF_ERROR(SkipPrefix());
+  position_ = rep;
+  current_ = rep_tuple_;
+  valid_ = true;
+  while (valid_ && CompareTuples(current_, key) < 0) {
+    AVQDB_RETURN_IF_ERROR(Next());
+  }
+  return Status::OK();
+}
+
+Status BlockCursor::StepForward() {
+  OrdinalTuple diff;
+  Slice stream = Stream();
+  AVQDB_RETURN_IF_ERROR(ReadCodedDifference(
+      layout_, header_.has_run_length(), &stream, &diff));
+  stream_offset_ = payload_end_ - stream.size();
+  const auto& radices = schema_->radices();
+  OrdinalTuple next;
+  if (header_.variant == CodecVariant::kChainDelta) {
+    AVQDB_RETURN_IF_ERROR(AsCorruption(
+        mixed_radix::Add(radices, current_, diff, &next),
+        "chain-delta overflow"));
+  } else {
+    AVQDB_RETURN_IF_ERROR(AsCorruption(
+        mixed_radix::Add(radices, rep_tuple_, diff, &next),
+        "representative-delta overflow"));
+  }
+  if (CompareTuples(current_, next) > 0) {
+    return Status::Corruption("decoded block is not φ-sorted");
+  }
+  current_ = std::move(next);
+  ++decoded_;
+  return Status::OK();
+}
+
+Status BlockCursor::Next() {
+  if (!valid_) return Status::OK();
+  const size_t rep = header_.rep_index;
+  const size_t count = header_.tuple_count;
+  ++position_;
+  if (position_ < rep) {
+    current_ = prefix_[position_];
+    return Status::OK();
+  }
+  if (position_ == rep) {
+    current_ = rep_tuple_;
+    return Status::OK();
+  }
+  if (position_ < count) {
+    return StepForward();
+  }
+  valid_ = false;
+  // A walk that consumed the whole stream inherits DecodeBlock's
+  // trailing-bytes check; early exits never get here.
+  if (stream_offset_ != payload_end_) {
+    return Status::Corruption(StringFormat(
+        "%zu trailing bytes after difference stream",
+        payload_end_ - stream_offset_));
+  }
+  return Status::OK();
+}
+
+}  // namespace avqdb

@@ -1,0 +1,122 @@
+// BlockCursor: a streaming, early-exit decoder over one AVQ block image.
+//
+// DecodeBlock (block_decoder.h) always reconstructs every tuple of a
+// block. That is wasted CPU for point lookups and bounded range scans:
+// the difference stream is stored in φ order, so once the current tuple
+// exceeds a query's upper bound no later tuple can match and the rest of
+// the stream need never be touched. BlockCursor replays the same
+// bidirectional delta chains incrementally from the representative:
+//
+//   * tuples before the representative come from the backward chain,
+//     which must be rolled back from the representative anyway, so a
+//     Seek at or below the representative decodes exactly the prefix
+//     [0, rep_index];
+//   * a Seek above the representative *skips* the prefix differences at
+//     byte level (no digit arithmetic at all) and walks the forward
+//     chain from the representative, stopping as soon as the target is
+//     reached;
+//   * Next() decodes exactly one more tuple; abandoning the cursor early
+//     leaves the tail of the stream undecoded.
+//
+// tuples_decoded() reports how many tuple reconstructions actually
+// happened (the representative's raw parse included), which is how
+// QueryStats separates decode CPU from block I/O. The cursor reads the
+// identical on-disk format as DecodeBlock — see docs/FORMAT.md — and a
+// full walk yields the identical tuple sequence (enforced by the
+// incremental φ-order check; a walk that consumes the whole stream also
+// performs DecodeBlock's trailing-bytes check).
+//
+// Usage (one Seek* call, then forward iteration):
+//   AVQDB_ASSIGN_OR_RETURN(auto cursor, BlockCursor::Open(schema, image));
+//   AVQDB_RETURN_IF_ERROR(cursor->Seek(key));
+//   for (; cursor->Valid(); ...cursor->Next()...) use(cursor->tuple());
+
+#ifndef AVQDB_AVQ_BLOCK_CURSOR_H_
+#define AVQDB_AVQ_BLOCK_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/avq/block_decoder.h"
+#include "src/avq/block_format.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/ordinal/digit_bytes.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+class BlockCursor {
+ public:
+  // Takes ownership of the raw block image. Parses and sanity-checks the
+  // header, verifies the payload checksum, and decodes the representative;
+  // the cursor starts unpositioned (Valid() == false) until a Seek* call.
+  static Result<std::unique_ptr<BlockCursor>> Open(SchemaPtr schema,
+                                                   std::string block);
+
+  BlockCursor(const BlockCursor&) = delete;
+  BlockCursor& operator=(const BlockCursor&) = delete;
+
+  // Positions at the first tuple in φ order (decodes the whole backward
+  // chain, which ends at position 0).
+  Status SeekToFirst();
+
+  // Positions at the first tuple >= `key` in φ order; past-the-end keys
+  // leave the cursor invalid. Keys above the representative skip the
+  // backward half without decoding it. At most one Seek*/positioning call
+  // per cursor (they are cheap to re-Open).
+  Status Seek(const OrdinalTuple& key);
+
+  bool Valid() const { return valid_; }
+  const OrdinalTuple& tuple() const { return current_; }
+  // Index of the current tuple in φ order.
+  size_t position() const { return position_; }
+
+  // Advances in φ order; clears Valid() past the last tuple. Reaching the
+  // end verifies the stream was fully consumed (trailing-byte check).
+  Status Next();
+
+  size_t tuple_count() const { return header_.tuple_count; }
+  const BlockHeader& header() const { return header_; }
+
+  // Tuple reconstructions performed so far (representative included).
+  uint64_t tuples_decoded() const { return decoded_; }
+
+ private:
+  BlockCursor(SchemaPtr schema, DigitLayout layout, std::string block);
+
+  Status Init();  // header + checksum + representative
+  // Decodes the backward half into prefix_ (positions [0, rep)).
+  Status DecodePrefix();
+  // Byte-skips the backward half's differences (no arithmetic).
+  Status SkipPrefix();
+  // Decodes the next forward-chain tuple into current_.
+  Status StepForward();
+  // Remaining payload as a slice starting at stream_offset_.
+  Slice Stream() const;
+
+  SchemaPtr schema_;
+  DigitLayout layout_;
+  std::string block_;
+  BlockHeader header_;
+  size_t payload_end_ = 0;    // byte offset one past the payload
+  size_t diffs_offset_ = 0;   // first difference (after the representative)
+  size_t stream_offset_ = 0;  // next unread forward-chain byte
+
+  OrdinalTuple rep_tuple_;
+  std::vector<OrdinalTuple> prefix_;  // positions [0, rep) once decoded
+  bool prefix_decoded_ = false;
+  bool positioned_ = false;
+
+  OrdinalTuple current_;
+  size_t position_ = 0;
+  bool valid_ = false;
+  uint64_t decoded_ = 0;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_AVQ_BLOCK_CURSOR_H_

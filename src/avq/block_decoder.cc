@@ -8,11 +8,9 @@
 #include "src/ordinal/mixed_radix.h"
 
 namespace avqdb {
-namespace {
 
-// Reads the next coded difference from *stream.
-Status ReadDiff(const DigitLayout& layout, bool run_length, Slice* stream,
-                OrdinalTuple* diff) {
+Status ReadCodedDifference(const DigitLayout& layout, bool run_length,
+                           Slice* stream, OrdinalTuple* diff) {
   const size_t m = layout.total_width();
   if (run_length) {
     if (stream->empty()) {
@@ -32,6 +30,34 @@ Status ReadDiff(const DigitLayout& layout, bool run_length, Slice* stream,
   }
   return Status::OK();
 }
+
+Status SkipCodedDifference(const DigitLayout& layout, bool run_length,
+                           Slice* stream) {
+  const size_t m = layout.total_width();
+  if (run_length) {
+    if (stream->empty()) {
+      return Status::Corruption("difference stream truncated at count byte");
+    }
+    const size_t lz = (*stream)[0];
+    stream->RemovePrefix(1);
+    if (lz > m) {
+      return Status::Corruption(StringFormat(
+          "leading-zero count %zu exceeds tuple width %zu", lz, m));
+    }
+    if (stream->size() < m - lz) {
+      return Status::Corruption("difference stream truncated mid-suffix");
+    }
+    stream->RemovePrefix(m - lz);
+  } else {
+    if (stream->size() < m) {
+      return Status::Corruption("difference stream truncated mid-image");
+    }
+    stream->RemovePrefix(m);
+  }
+  return Status::OK();
+}
+
+namespace {
 
 // Wraps arithmetic failures (which indicate inconsistent coded data) as
 // corruption.
@@ -77,8 +103,8 @@ Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block) {
   std::vector<OrdinalTuple> diffs(count);
   for (size_t i = 0; i < count; ++i) {
     if (i == rep) continue;
-    AVQDB_RETURN_IF_ERROR(
-        ReadDiff(layout, header.has_run_length(), &stream, &diffs[i]));
+    AVQDB_RETURN_IF_ERROR(ReadCodedDifference(layout, header.has_run_length(),
+                                              &stream, &diffs[i]));
   }
   if (!stream.empty()) {
     return Status::Corruption(StringFormat(

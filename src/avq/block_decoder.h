@@ -17,6 +17,7 @@
 #include "src/common/result.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
+#include "src/ordinal/digit_bytes.h"
 #include "src/schema/schema.h"
 #include "src/schema/tuple.h"
 
@@ -35,6 +36,16 @@ Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block);
 // in φ order (== tuples.size() when all are smaller).
 size_t LowerBoundInBlock(const std::vector<OrdinalTuple>& tuples,
                          const OrdinalTuple& key);
+
+// Stream-level primitives shared by DecodeBlock and BlockCursor: consume
+// the next coded difference from *stream (count byte + suffix under RLE,
+// a full m-byte image otherwise), either parsing it into *diff or
+// skipping its bytes without any digit arithmetic. Corruption on a
+// truncated or malformed stream.
+Status ReadCodedDifference(const DigitLayout& layout, bool run_length,
+                           Slice* stream, OrdinalTuple* diff);
+Status SkipCodedDifference(const DigitLayout& layout, bool run_length,
+                           Slice* stream);
 
 }  // namespace avqdb
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/avq/block_cursor.h"
 #include "src/avq/block_decoder.h"
 #include "src/avq/block_encoder.h"
 #include "src/common/coding.h"
@@ -13,6 +14,25 @@
 
 namespace avqdb {
 namespace {
+
+// Thin adapter: the real streaming logic lives in avq/block_cursor.{h,cc}.
+class AvqTupleBlockCursor final : public TupleBlockCursor {
+ public:
+  explicit AvqTupleBlockCursor(std::unique_ptr<BlockCursor> impl)
+      : impl_(std::move(impl)) {}
+
+  Status SeekToFirst() override { return impl_->SeekToFirst(); }
+  Status Seek(const OrdinalTuple& key) override { return impl_->Seek(key); }
+  bool Valid() const override { return impl_->Valid(); }
+  const OrdinalTuple& tuple() const override { return impl_->tuple(); }
+  size_t position() const override { return impl_->position(); }
+  Status Next() override { return impl_->Next(); }
+  size_t tuple_count() const override { return impl_->tuple_count(); }
+  uint64_t tuples_decoded() const override { return impl_->tuples_decoded(); }
+
+ private:
+  std::unique_ptr<BlockCursor> impl_;
+};
 
 class AvqBlockCodec final : public TupleBlockCodec {
  public:
@@ -51,6 +71,14 @@ class AvqBlockCodec final : public TupleBlockCodec {
     return std::move(decoded.tuples);
   }
 
+  Result<std::unique_ptr<TupleBlockCursor>> NewCursor(
+      std::string block) const override {
+    AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<BlockCursor> impl,
+                           BlockCursor::Open(schema_, std::move(block)));
+    return std::unique_ptr<TupleBlockCursor>(
+        std::make_unique<AvqTupleBlockCursor>(std::move(impl)));
+  }
+
   bool Fits(const std::vector<OrdinalTuple>& tuples) const override {
     if (tuples.empty() || tuples.size() > 0xfffe) return false;
     const size_t payload = BlockEncoder::ComputePayloadSize(
@@ -81,6 +109,95 @@ class AvqBlockCodec final : public TupleBlockCodec {
 constexpr uint16_t kRawMagic = 0x5752;  // "RW"
 constexpr size_t kRawHeaderSize = 16;
 constexpr uint8_t kRawFlagChecksum = 0x1;
+
+// Streaming view of a raw block: fixed-width images make every position
+// directly addressable, so Seek is a binary search that decodes only the
+// O(log n) probed tuples.
+class RawTupleBlockCursor final : public TupleBlockCursor {
+ public:
+  RawTupleBlockCursor(SchemaPtr schema, DigitLayout layout,
+                      std::string block, size_t count)
+      : schema_(std::move(schema)),
+        layout_(std::move(layout)),
+        block_(std::move(block)),
+        count_(count) {}
+
+  Status SeekToFirst() override {
+    AVQDB_RETURN_IF_ERROR(CheckUnpositioned());
+    position_ = 0;
+    return LoadCurrent();
+  }
+
+  Status Seek(const OrdinalTuple& key) override {
+    AVQDB_RETURN_IF_ERROR(CheckUnpositioned());
+    if (key.size() != schema_->num_attributes()) {
+      return Status::InvalidArgument("seek key arity mismatch");
+    }
+    size_t lo = 0, hi = count_;
+    OrdinalTuple probe;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      AVQDB_RETURN_IF_ERROR(ParseAt(mid, &probe));
+      if (CompareTuples(probe, key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    position_ = lo;
+    return LoadCurrent();
+  }
+
+  bool Valid() const override { return valid_; }
+  const OrdinalTuple& tuple() const override { return current_; }
+  size_t position() const override { return position_; }
+
+  Status Next() override {
+    if (!valid_) return Status::OK();
+    ++position_;
+    return LoadCurrent();
+  }
+
+  size_t tuple_count() const override { return count_; }
+  uint64_t tuples_decoded() const override { return decoded_; }
+
+ private:
+  Status CheckUnpositioned() {
+    if (positioned_) {
+      return Status::InvalidArgument("cursor already positioned");
+    }
+    positioned_ = true;
+    return Status::OK();
+  }
+
+  Status ParseAt(size_t index, OrdinalTuple* out) {
+    const size_t m = layout_.total_width();
+    AVQDB_RETURN_IF_ERROR(layout_.ParseImage(
+        Slice(block_).Subslice(kRawHeaderSize + index * m, m), out));
+    AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, *out));
+    ++decoded_;
+    return Status::OK();
+  }
+
+  Status LoadCurrent() {
+    if (position_ >= count_) {
+      valid_ = false;
+      return Status::OK();
+    }
+    valid_ = true;
+    return ParseAt(position_, &current_);
+  }
+
+  SchemaPtr schema_;
+  DigitLayout layout_;
+  std::string block_;
+  size_t count_;
+  OrdinalTuple current_;
+  size_t position_ = 0;
+  bool valid_ = false;
+  bool positioned_ = false;
+  uint64_t decoded_ = 0;
+};
 
 class RawBlockCodec final : public TupleBlockCodec {
  public:
@@ -171,6 +288,36 @@ class RawBlockCodec final : public TupleBlockCodec {
       AVQDB_RETURN_IF_ERROR(ValidateTuple(*schema_, tuples[i]));
     }
     return tuples;
+  }
+
+  Result<std::unique_ptr<TupleBlockCursor>> NewCursor(
+      std::string block) const override {
+    // Same header/checksum validation as DecodeBlock; only tuple parsing
+    // is deferred to iteration.
+    if (block.size() < kRawHeaderSize) {
+      return Status::Corruption("raw block shorter than header");
+    }
+    const uint8_t* header = reinterpret_cast<const uint8_t*>(block.data());
+    if (DecodeFixed16(header) != kRawMagic) {
+      return Status::Corruption("bad raw block magic");
+    }
+    const uint8_t flags = header[3];
+    const size_t count = DecodeFixed16(header + 4);
+    const size_t payload_size = DecodeFixed32(header + 8);
+    const uint32_t crc = DecodeFixed32(header + 12);
+    if (payload_size != count * layout_.total_width() ||
+        kRawHeaderSize + payload_size > block.size()) {
+      return Status::Corruption("raw block payload size inconsistent");
+    }
+    if (flags & kRawFlagChecksum) {
+      Slice payload = Slice(block).Subslice(kRawHeaderSize, payload_size);
+      if (crc32c::Unmask(crc) != crc32c::Value(payload)) {
+        return Status::Corruption("raw block checksum mismatch");
+      }
+    }
+    return std::unique_ptr<TupleBlockCursor>(
+        std::make_unique<RawTupleBlockCursor>(schema_, layout_,
+                                              std::move(block), count));
   }
 
   bool Fits(const std::vector<OrdinalTuple>& tuples) const override {

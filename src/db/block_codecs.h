@@ -25,6 +25,29 @@
 
 namespace avqdb {
 
+// Streaming view over one block image: tuples come out one at a time in
+// φ order, decoding only what iteration touches. Seek positions at the
+// first tuple >= key; abandoning the cursor early leaves the rest of the
+// block undecoded (for the AVQ codec this is a genuine partial decode —
+// see avq/block_cursor.h; the raw codec decodes O(log n) probe tuples on
+// Seek). At most one Seek*/positioning call per cursor.
+class TupleBlockCursor {
+ public:
+  virtual ~TupleBlockCursor() = default;
+
+  virtual Status SeekToFirst() = 0;
+  virtual Status Seek(const OrdinalTuple& key) = 0;
+  virtual bool Valid() const = 0;
+  virtual const OrdinalTuple& tuple() const = 0;
+  // Index of the current tuple in φ order within the block.
+  virtual size_t position() const = 0;
+  virtual Status Next() = 0;
+
+  virtual size_t tuple_count() const = 0;
+  // Tuple reconstructions performed so far (<= tuple_count() + O(log n)).
+  virtual uint64_t tuples_decoded() const = 0;
+};
+
 class TupleBlockCodec {
  public:
   virtual ~TupleBlockCodec() = default;
@@ -46,6 +69,12 @@ class TupleBlockCodec {
   // Inverse of EncodeBlock.
   virtual Result<std::vector<OrdinalTuple>> DecodeBlock(
       Slice block) const = 0;
+
+  // Streaming partial decode of one block image (which the cursor takes
+  // ownership of). Validates the header/checksum eagerly; tuple
+  // reconstruction happens lazily during iteration.
+  virtual Result<std::unique_ptr<TupleBlockCursor>> NewCursor(
+      std::string block) const = 0;
 
   // Exact test: would `tuples` fit in one block?
   virtual bool Fits(const std::vector<OrdinalTuple>& tuples) const = 0;

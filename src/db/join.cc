@@ -164,10 +164,13 @@ Status IndexNestedLoopJoin(const Table& left, size_t left_attr,
       AVQDB_ASSIGN_OR_RETURN(std::vector<BlockId> blocks,
                              index->Lookup(key));
       for (BlockId id : blocks) {
-        AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
-                               right.ReadDataBlock(id));
-        for (auto& t : tuples) {
-          if (t[right_attr] == key) cached_matches.push_back(std::move(t));
+        // Probes revisit the same hot right-side blocks; going through
+        // the decoded-block cache (when one is attached) skips both the
+        // I/O and the repeated decode.
+        AVQDB_ASSIGN_OR_RETURN(DecodedBlockCache::TuplesPtr tuples,
+                               right.ReadDecodedBlock(id));
+        for (const auto& t : *tuples) {
+          if (t[right_attr] == key) cached_matches.push_back(t);
         }
       }
       cached_key = key;

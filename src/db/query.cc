@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
 
+#include "src/avq/block_decoder.h"
 #include "src/common/string_util.h"
 
 namespace avqdb {
@@ -23,13 +25,18 @@ std::string_view AccessPathName(AccessPath path) {
 std::string QueryStats::ToString() const {
   return StringFormat(
       "%.*s: %llu data blocks, %llu index blocks, %llu/%llu tuples matched, "
+      "%llu decoded (cache %llu hit / %llu miss, raw pool %llu hit), "
       "%.1f ms simulated I/O",
       static_cast<int>(AccessPathName(path).size()),
       AccessPathName(path).data(),
       static_cast<unsigned long long>(data_blocks_read),
       static_cast<unsigned long long>(index_blocks_read),
       static_cast<unsigned long long>(tuples_matched),
-      static_cast<unsigned long long>(tuples_examined), simulated_io_ms);
+      static_cast<unsigned long long>(tuples_examined),
+      static_cast<unsigned long long>(tuples_decoded),
+      static_cast<unsigned long long>(decoded_cache_hits),
+      static_cast<unsigned long long>(decoded_cache_misses),
+      static_cast<unsigned long long>(raw_cache_hits), simulated_io_ms);
 }
 
 namespace {
@@ -38,104 +45,68 @@ bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
   return CompareTuples(a, b) < 0;
 }
 
-// Appends the tuples of `block` that satisfy the predicate.
-void FilterInto(const std::vector<OrdinalTuple>& block, size_t attr,
-                uint64_t lo, uint64_t hi, QueryStats* stats,
-                std::vector<OrdinalTuple>* out) {
-  for (const auto& tuple : block) {
-    ++stats->tuples_examined;
-    if (tuple[attr] >= lo && tuple[attr] <= hi) {
-      out->push_back(tuple);
+// Streams the tuples of data block `id` through `visit`, cheapest source
+// first:
+//   * a decoded-block cache hit serves the materialized vector (no I/O,
+//     no decode);
+//   * otherwise a TupleBlockCursor partially decodes the block — `seek`
+//     (nullable) positions at the first tuple >= it, `stop` (nullable)
+//     abandons the walk once a tuple exceeds it, leaving the tail of the
+//     block undecoded.
+// A miss whose walk happened to cover the whole block back-fills the
+// cache, so repeated scans converge to all-hits; bounded walks (point
+// lookups, range edges) stay partial and are not cached.
+Status FilterDataBlock(const Table& table, BlockId id,
+                       const OrdinalTuple* seek, const OrdinalTuple* stop,
+                       QueryStats* stats,
+                       const std::function<void(const OrdinalTuple&)>& visit) {
+  DecodedBlockCache* cache = table.decoded_block_cache();
+  if (cache != nullptr) {
+    if (DecodedBlockCache::TuplesPtr cached = cache->Get(&table, id)) {
+      ++stats->decoded_cache_hits;
+      const std::vector<OrdinalTuple>& block = *cached;
+      const size_t begin =
+          seek != nullptr ? LowerBoundInBlock(block, *seek) : 0;
+      for (size_t i = begin; i < block.size(); ++i) {
+        if (stop != nullptr && CompareTuples(block[i], *stop) > 0) break;
+        visit(block[i]);
+      }
+      return Status::OK();
     }
   }
+  ++stats->decoded_cache_misses;
+  AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<TupleBlockCursor> cursor,
+                         table.NewBlockCursor(id));
+  if (seek != nullptr) {
+    AVQDB_RETURN_IF_ERROR(cursor->Seek(*seek));
+  } else {
+    AVQDB_RETURN_IF_ERROR(cursor->SeekToFirst());
+  }
+  // Only a walk that starts at position 0 and reaches the natural end has
+  // seen every tuple, making it eligible to populate the cache.
+  std::vector<OrdinalTuple> walked;
+  bool collect = cache != nullptr && cursor->Valid() &&
+                 cursor->position() == 0;
+  while (cursor->Valid()) {
+    const OrdinalTuple& tuple = cursor->tuple();
+    if (stop != nullptr && CompareTuples(tuple, *stop) > 0) {
+      collect = false;  // early exit: the tail was never decoded
+      break;
+    }
+    if (collect) walked.push_back(tuple);
+    visit(tuple);
+    AVQDB_RETURN_IF_ERROR(cursor->Next());
+  }
+  stats->tuples_decoded += cursor->tuples_decoded();
+  if (collect) {
+    cache->Put(&table, id,
+               std::make_shared<const std::vector<OrdinalTuple>>(
+                   std::move(walked)));
+  }
+  return Status::OK();
 }
 
 }  // namespace
-
-Result<std::vector<OrdinalTuple>> ExecuteRangeSelect(const Table& table,
-                                                     const RangeQuery& query,
-                                                     QueryStats* stats) {
-  QueryStats local;
-  if (stats == nullptr) stats = &local;
-  *stats = QueryStats{};
-
-  const Schema& schema = *table.schema();
-  if (query.attribute >= schema.num_attributes()) {
-    return Status::InvalidArgument(
-        StringFormat("attribute %zu out of range", query.attribute));
-  }
-  const uint64_t radix = schema.radices()[query.attribute];
-  const uint64_t lo = query.lo;
-  const uint64_t hi = query.hi >= radix ? radix - 1 : query.hi;
-
-  const IoStats data_before = table.data_pager().stats();
-  const IoStats index_before = table.index_pager().stats();
-  std::vector<OrdinalTuple> results;
-
-  if (lo <= hi && lo < radix) {
-    stats->driver_attribute = query.attribute;
-  }
-  if (lo > hi || lo >= radix) {
-    // Empty range; fall through to stats accounting.
-    stats->path = AccessPath::kFullScan;
-  } else if (query.attribute == 0) {
-    // Clustered: matching tuples are contiguous in φ order.
-    stats->path = AccessPath::kClusteredRange;
-    OrdinalTuple start(schema.num_attributes(), 0);
-    start[0] = lo;
-    OrdinalTuple end(schema.num_attributes());
-    for (size_t i = 0; i < end.size(); ++i) {
-      end[i] = schema.radices()[i] - 1;
-    }
-    end[0] = hi;
-    if (table.num_tuples() > 0) {
-      AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
-                             table.primary_index().SeekBlock(start));
-      while (iter.Valid()) {
-        AVQDB_ASSIGN_OR_RETURN(OrdinalTuple block_min,
-                               table.primary_index().DecodeKey(iter.key()));
-        if (CompareTuples(block_min, end) > 0) break;
-        AVQDB_ASSIGN_OR_RETURN(
-            std::vector<OrdinalTuple> block,
-            table.ReadDataBlock(static_cast<BlockId>(iter.value())));
-        FilterInto(block, query.attribute, lo, hi, stats, &results);
-        AVQDB_RETURN_IF_ERROR(iter.Next());
-      }
-    }
-  } else if (const SecondaryIndex* index =
-                 table.GetSecondaryIndex(query.attribute)) {
-    stats->path = AccessPath::kSecondaryIndex;
-    AVQDB_ASSIGN_OR_RETURN(std::vector<BlockId> blocks,
-                           index->LookupRange(lo, hi));
-    for (BlockId id : blocks) {
-      AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> block,
-                             table.ReadDataBlock(id));
-      FilterInto(block, query.attribute, lo, hi, stats, &results);
-    }
-    // Bucket order is by block id; restore φ order.
-    std::sort(results.begin(), results.end(), TupleLess);
-  } else {
-    stats->path = AccessPath::kFullScan;
-    AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
-                           table.primary_index().Begin());
-    while (iter.Valid()) {
-      AVQDB_ASSIGN_OR_RETURN(
-          std::vector<OrdinalTuple> block,
-          table.ReadDataBlock(static_cast<BlockId>(iter.value())));
-      FilterInto(block, query.attribute, lo, hi, stats, &results);
-      AVQDB_RETURN_IF_ERROR(iter.Next());
-    }
-  }
-
-  const IoStats data_delta = table.data_pager().stats() - data_before;
-  const IoStats index_delta = table.index_pager().stats() - index_before;
-  stats->data_blocks_read = data_delta.physical_reads;
-  stats->index_blocks_read = index_delta.physical_reads;
-  stats->simulated_io_ms =
-      data_delta.simulated_read_ms + index_delta.simulated_read_ms;
-  stats->tuples_matched = results.size();
-  return results;
-}
 
 namespace {
 
@@ -195,13 +166,11 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
   const IoStats data_before = table.data_pager().stats();
   const IoStats index_before = table.index_pager().stats();
 
-  auto filter_block = [&](const std::vector<OrdinalTuple>& block) {
-    for (const auto& tuple : block) {
-      ++stats->tuples_examined;
-      if (MatchesAll(tuple, preds)) {
-        ++stats->tuples_matched;
-        on_match(tuple);
-      }
+  auto visit = [&](const OrdinalTuple& tuple) {
+    ++stats->tuples_examined;
+    if (MatchesAll(tuple, preds)) {
+      ++stats->tuples_matched;
+      on_match(tuple);
     }
   };
 
@@ -221,14 +190,18 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
     if (table.num_tuples() > 0) {
       AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
                              table.primary_index().SeekBlock(start));
+      // The first block may begin before `start`; later blocks cannot
+      // (their minima exceed it), so only the first needs a Seek. Every
+      // block may overrun `end`, which stops the walk early.
+      bool first = true;
       while (iter.Valid()) {
         AVQDB_ASSIGN_OR_RETURN(OrdinalTuple block_min,
                                table.primary_index().DecodeKey(iter.key()));
         if (CompareTuples(block_min, end) > 0) break;
-        AVQDB_ASSIGN_OR_RETURN(
-            std::vector<OrdinalTuple> block,
-            table.ReadDataBlock(static_cast<BlockId>(iter.value())));
-        filter_block(block);
+        AVQDB_RETURN_IF_ERROR(FilterDataBlock(
+            table, static_cast<BlockId>(iter.value()),
+            first ? &start : nullptr, &end, stats, visit));
+        first = false;
         AVQDB_RETURN_IF_ERROR(iter.Next());
       }
     }
@@ -261,20 +234,21 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
       const auto [lo, hi] = preds.at(best_attr);
       AVQDB_ASSIGN_OR_RETURN(std::vector<BlockId> blocks,
                              best_index->LookupRange(lo, hi));
+      // Matches on a non-clustered attribute are scattered through the
+      // block, so no seek/stop bound applies: every candidate block is
+      // walked in full (and therefore populates the cache).
       for (BlockId id : blocks) {
-        AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> block,
-                               table.ReadDataBlock(id));
-        filter_block(block);
+        AVQDB_RETURN_IF_ERROR(FilterDataBlock(
+            table, id, /*seek=*/nullptr, /*stop=*/nullptr, stats, visit));
       }
     } else {
       stats->path = AccessPath::kFullScan;
       AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
                              table.primary_index().Begin());
       while (iter.Valid()) {
-        AVQDB_ASSIGN_OR_RETURN(
-            std::vector<OrdinalTuple> block,
-            table.ReadDataBlock(static_cast<BlockId>(iter.value())));
-        filter_block(block);
+        AVQDB_RETURN_IF_ERROR(FilterDataBlock(
+            table, static_cast<BlockId>(iter.value()),
+            /*seek=*/nullptr, /*stop=*/nullptr, stats, visit));
         AVQDB_RETURN_IF_ERROR(iter.Next());
       }
     }
@@ -284,6 +258,9 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
   const IoStats index_delta = table.index_pager().stats() - index_before;
   stats->data_blocks_read = data_delta.physical_reads;
   stats->index_blocks_read = index_delta.physical_reads;
+  // Logical reads the raw buffer pool absorbed (decoded-cache hits never
+  // reach the pager, so they are not double counted here).
+  stats->raw_cache_hits = data_delta.logical_reads - data_delta.physical_reads;
   stats->simulated_io_ms =
       data_delta.simulated_read_ms + index_delta.simulated_read_ms;
   return Status::OK();
@@ -302,6 +279,25 @@ Result<std::vector<OrdinalTuple>> ExecuteConjunctiveSelect(
   if (stats->path == AccessPath::kSecondaryIndex) {
     // Bucket order is by block id; restore φ order.
     std::sort(results.begin(), results.end(), TupleLess);
+  }
+  return results;
+}
+
+Result<std::vector<OrdinalTuple>> ExecuteRangeSelect(const Table& table,
+                                                     const RangeQuery& query,
+                                                     QueryStats* stats) {
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  ConjunctiveQuery conjunctive;
+  conjunctive.predicates.push_back(query);
+  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> results,
+                         ExecuteConjunctiveSelect(table, conjunctive, stats));
+  // Historical single-predicate semantics: the queried attribute counts
+  // as the driver whenever its range is satisfiable, even on a full scan.
+  const Schema& schema = *table.schema();
+  const uint64_t radix = schema.radices()[query.attribute];
+  if (query.lo <= query.hi && query.lo < radix) {
+    stats->driver_attribute = query.attribute;
   }
   return results;
 }

@@ -61,6 +61,18 @@ struct QueryStats {
   uint64_t index_blocks_read = 0;  // behind I of Eq 5.7
   uint64_t tuples_examined = 0;
   uint64_t tuples_matched = 0;
+  // Read-path cache accounting. A data block is served from exactly one
+  // level: the decoded-block cache (decoded_cache_hits — no I/O, no
+  // decode), the raw buffer pool (raw_cache_hits — no physical I/O, full
+  // or partial decode), or the device. decoded_cache_misses counts every
+  // block that had to be decoded on this query (with no cache attached,
+  // that is every data block touched).
+  uint64_t decoded_cache_hits = 0;
+  uint64_t decoded_cache_misses = 0;
+  uint64_t raw_cache_hits = 0;
+  // Tuple reconstructions the cursor actually performed; early-exit scans
+  // keep this below the summed cardinality of the touched blocks.
+  uint64_t tuples_decoded = 0;
   double simulated_io_ms = 0.0;  // DiskParameters-priced physical reads
 
   std::string ToString() const;

@@ -76,9 +76,42 @@ Result<std::vector<OrdinalTuple>> Table::ReadDataBlock(BlockId id) const {
   return codec_->DecodeBlock(Slice(raw));
 }
 
+Table::~Table() {
+  if (decoded_cache_ != nullptr) decoded_cache_->InvalidateOwner(this);
+}
+
+void Table::SetDecodedBlockCache(DecodedBlockCache* cache) {
+  if (decoded_cache_ != nullptr) decoded_cache_->InvalidateOwner(this);
+  decoded_cache_ = cache;
+  if (decoded_cache_ != nullptr) decoded_cache_->InvalidateOwner(this);
+}
+
+Result<DecodedBlockCache::TuplesPtr> Table::ReadDecodedBlock(
+    BlockId id, bool* cache_hit) const {
+  if (decoded_cache_ != nullptr) {
+    if (DecodedBlockCache::TuplesPtr cached = decoded_cache_->Get(this, id)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      return cached;
+    }
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples, ReadDataBlock(id));
+  auto ptr =
+      std::make_shared<const std::vector<OrdinalTuple>>(std::move(tuples));
+  if (decoded_cache_ != nullptr) decoded_cache_->Put(this, id, ptr);
+  return DecodedBlockCache::TuplesPtr(std::move(ptr));
+}
+
+Result<std::unique_ptr<TupleBlockCursor>> Table::NewBlockCursor(
+    BlockId id) const {
+  AVQDB_ASSIGN_OR_RETURN(std::string raw, data_pager_->Read(id));
+  return codec_->NewCursor(std::move(raw));
+}
+
 Status Table::WriteDataBlock(BlockId id,
                              const std::vector<OrdinalTuple>& tuples) {
   AVQDB_ASSIGN_OR_RETURN(std::string block, codec_->EncodeBlock(tuples));
+  if (decoded_cache_ != nullptr) decoded_cache_->Invalidate(this, id);
   return data_pager_->Write(id, Slice(block));
 }
 
@@ -223,6 +256,7 @@ Status Table::ReplaceBlockContent(BlockId id, const OrdinalTuple& old_min,
                                   const OrdinalTuple* removed) {
   if (tuples.empty()) {
     // The block vanished entirely; it held exactly the removed tuple.
+    if (decoded_cache_ != nullptr) decoded_cache_->Invalidate(this, id);
     AVQDB_RETURN_IF_ERROR(data_pager_->Free(id));
     AVQDB_RETURN_IF_ERROR(primary_->Delete(old_min));
     if (removed != nullptr) {
@@ -319,8 +353,9 @@ Status Table::Insert(const OrdinalTuple& tuple) {
     return Status::OK();
   }
   const BlockId id = target.value();
-  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
-                         ReadDataBlock(id));
+  AVQDB_ASSIGN_OR_RETURN(DecodedBlockCache::TuplesPtr block,
+                         ReadDecodedBlock(id));
+  std::vector<OrdinalTuple> tuples = *block;  // mutable working copy
   AVQDB_CHECK(!tuples.empty(), "indexed data block %u is empty", id);
   const OrdinalTuple old_min = tuples.front();
   auto it = std::lower_bound(tuples.begin(), tuples.end(), tuple,
@@ -358,8 +393,9 @@ Status Table::Delete(const OrdinalTuple& tuple) {
     return target.status();
   }
   const BlockId id = target.value();
-  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
-                         ReadDataBlock(id));
+  AVQDB_ASSIGN_OR_RETURN(DecodedBlockCache::TuplesPtr block,
+                         ReadDecodedBlock(id));
+  std::vector<OrdinalTuple> tuples = *block;  // mutable working copy
   const OrdinalTuple old_min = tuples.front();
   auto it = std::lower_bound(tuples.begin(), tuples.end(), tuple,
                              [](const OrdinalTuple& a, const OrdinalTuple& b) {
@@ -382,9 +418,9 @@ Result<bool> Table::Contains(const OrdinalTuple& tuple) const {
     if (target.status().IsNotFound()) return false;
     return target.status();
   }
-  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
-                         ReadDataBlock(target.value()));
-  return std::binary_search(tuples.begin(), tuples.end(), tuple,
+  AVQDB_ASSIGN_OR_RETURN(DecodedBlockCache::TuplesPtr tuples,
+                         ReadDecodedBlock(target.value()));
+  return std::binary_search(tuples->begin(), tuples->end(), tuple,
                             [](const OrdinalTuple& a, const OrdinalTuple& b) {
                               return CompareTuples(a, b) < 0;
                             });
@@ -442,10 +478,10 @@ Status Table::CreateSecondaryIndex(size_t attr) {
   AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter, primary_->Begin());
   while (iter.Valid()) {
     const BlockId id = static_cast<BlockId>(iter.value());
-    AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
-                           ReadDataBlock(id));
+    AVQDB_ASSIGN_OR_RETURN(DecodedBlockCache::TuplesPtr tuples,
+                           ReadDecodedBlock(id));
     std::set<uint64_t> values;
-    for (const auto& t : tuples) values.insert(t[attr]);
+    for (const auto& t : *tuples) values.insert(t[attr]);
     for (uint64_t v : values) {
       AVQDB_RETURN_IF_ERROR(index->Add(v, id));
     }
@@ -460,9 +496,9 @@ Result<std::vector<OrdinalTuple>> Table::ScanAll() const {
   AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter, primary_->Begin());
   while (iter.Valid()) {
     AVQDB_ASSIGN_OR_RETURN(
-        std::vector<OrdinalTuple> tuples,
-        ReadDataBlock(static_cast<BlockId>(iter.value())));
-    for (auto& t : tuples) out.push_back(std::move(t));
+        DecodedBlockCache::TuplesPtr tuples,
+        ReadDecodedBlock(static_cast<BlockId>(iter.value())));
+    out.insert(out.end(), tuples->begin(), tuples->end());
     AVQDB_RETURN_IF_ERROR(iter.Next());
   }
   return out;
@@ -472,9 +508,9 @@ Status Table::Cursor::LoadCurrentBlock() {
   while (block_iter_.Valid()) {
     AVQDB_ASSIGN_OR_RETURN(
         block_,
-        table_->ReadDataBlock(static_cast<BlockId>(block_iter_.value())));
+        table_->ReadDecodedBlock(static_cast<BlockId>(block_iter_.value())));
     pos_ = 0;
-    if (!block_.empty()) {
+    if (!block_->empty()) {
       valid_ = true;
       return Status::OK();
     }
@@ -487,7 +523,7 @@ Status Table::Cursor::LoadCurrentBlock() {
 Status Table::Cursor::Next() {
   if (!valid_) return Status::OK();
   ++pos_;
-  if (pos_ < block_.size()) return Status::OK();
+  if (pos_ < block_->size()) return Status::OK();
   AVQDB_RETURN_IF_ERROR(block_iter_.Next());
   return LoadCurrentBlock();
 }

@@ -29,6 +29,7 @@
 #include "src/schema/tuple.h"
 #include "src/schema/value.h"
 #include "src/storage/block_device.h"
+#include "src/storage/decoded_block_cache.h"
 #include "src/storage/pager.h"
 
 namespace avqdb {
@@ -57,6 +58,11 @@ class Table {
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
+
+  // Drops this table's entries from the attached decoded-block cache (the
+  // cache may outlive the table, and a later table could reuse the
+  // address).
+  ~Table();
 
   // --- loading and maintenance (set semantics: tuples are unique) ---
 
@@ -109,7 +115,7 @@ class Table {
   class Cursor {
    public:
     bool Valid() const { return valid_; }
-    const OrdinalTuple& tuple() const { return block_[pos_]; }
+    const OrdinalTuple& tuple() const { return (*block_)[pos_]; }
     // Advances; clears Valid() past the end.
     Status Next();
 
@@ -117,7 +123,7 @@ class Table {
     friend class Table;
     const Table* table_ = nullptr;
     BPlusTree::Iterator block_iter_;
-    std::vector<OrdinalTuple> block_;
+    DecodedBlockCache::TuplesPtr block_;
     size_t pos_ = 0;
     bool valid_ = false;
 
@@ -154,6 +160,26 @@ class Table {
   // Reads + decodes one data block (counted as data I/O).
   Result<std::vector<OrdinalTuple>> ReadDataBlock(BlockId id) const;
 
+  // --- decoded-block cache (read-path fast lane) ---
+
+  // Attaches an externally owned cache of decoded blocks (nullptr
+  // detaches). The cache must outlive the table or be detached first;
+  // this table's existing entries (if re-attaching) are dropped.
+  void SetDecodedBlockCache(DecodedBlockCache* cache);
+  DecodedBlockCache* decoded_block_cache() const { return decoded_cache_; }
+
+  // Like ReadDataBlock, but consults the decoded-block cache first and
+  // populates it on miss. `cache_hit` (optional) reports which happened
+  // (always false when no cache is attached).
+  Result<DecodedBlockCache::TuplesPtr> ReadDecodedBlock(
+      BlockId id, bool* cache_hit = nullptr) const;
+
+  // Streaming partial decode of one data block (counted as data I/O like
+  // ReadDataBlock, but tuple reconstruction is lazy — see
+  // avq/block_cursor.h). Does not consult or populate the cache; callers
+  // on the query path do that themselves (db/query.cc).
+  Result<std::unique_ptr<TupleBlockCursor>> NewBlockCursor(BlockId id) const;
+
  private:
   Table(SchemaPtr schema, BlockDevice* device, BlockDevice* index_device,
         std::unique_ptr<TupleBlockCodec> codec, DiskParameters disk);
@@ -177,6 +203,7 @@ class Table {
   mutable std::unique_ptr<Pager> index_pager_;
   std::unique_ptr<PrimaryIndex> primary_;
   std::map<size_t, std::unique_ptr<SecondaryIndex>> secondary_;
+  DecodedBlockCache* decoded_cache_ = nullptr;  // not owned
   TableStatistics statistics_;
   uint64_t num_tuples_ = 0;
 };

@@ -4,19 +4,21 @@
 
 namespace avqdb {
 
-const std::string* BufferPool::Get(BlockId id) {
+std::optional<std::string> BufferPool::Get(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     ++misses_;
-    return nullptr;
+    return std::nullopt;
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return &it->second->data;
+  return it->second->data;
 }
 
 void BufferPool::Put(BlockId id, std::string block) {
   if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it != entries_.end()) {
     it->second->data = std::move(block);
@@ -32,6 +34,7 @@ void BufferPool::Put(BlockId id, std::string block) {
 }
 
 void BufferPool::Erase(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return;
   lru_.erase(it->second);
@@ -39,8 +42,24 @@ void BufferPool::Erase(BlockId id) {
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   entries_.clear();
+}
+
+size_t BufferPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
 }
 
 }  // namespace avqdb

@@ -1,14 +1,19 @@
-// BufferPool: a fixed-capacity LRU cache of block images.
+// BufferPool: a fixed-capacity, thread-safe LRU cache of block images.
 //
 // Sits between the Pager and the BlockDevice so repeated index-node reads
 // during a query cost one physical I/O, as they would with a real buffer
-// manager. Single-threaded, like the rest of the engine.
+// manager. All operations lock one internal mutex, so concurrent readers
+// (the parallel codec pipeline, the decoded-block cache tests) can share
+// a pool; Get returns the image by value because a reference into the LRU
+// list could be evicted by another thread the moment the lock drops.
 
 #ifndef AVQDB_STORAGE_BUFFER_POOL_H_
 #define AVQDB_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -22,8 +27,12 @@ class BufferPool {
   // Capacity of zero disables caching entirely.
   explicit BufferPool(size_t capacity_blocks) : capacity_(capacity_blocks) {}
 
-  // Returns the cached image or nullptr; refreshes LRU position on hit.
-  const std::string* Get(BlockId id);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a copy of the cached image, or nullopt; refreshes the LRU
+  // position on hit.
+  std::optional<std::string> Get(BlockId id);
 
   // Inserts/overwrites an entry, evicting the least recently used block
   // when over capacity.
@@ -33,9 +42,9 @@ class BufferPool {
   void Erase(BlockId id);
   void Clear();
 
-  size_t size() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
 
  private:
   struct Entry {
@@ -43,8 +52,9 @@ class BufferPool {
     std::string data;
   };
 
-  size_t capacity_;
-  // Most recently used at the front.
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  // Most recently used at the front. Guarded by mu_, as are the counters.
   std::list<Entry> lru_;
   std::unordered_map<BlockId, std::list<Entry>::iterator> entries_;
   uint64_t hits_ = 0;

@@ -1,0 +1,148 @@
+#include "src/storage/decoded_block_cache.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string DecodedBlockCache::Stats::ToString() const {
+  return StringFormat(
+      "decoded cache: %llu hits, %llu misses, %llu insertions, "
+      "%llu evictions, %llu invalidations, %llu entries, %llu bytes",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(insertions),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(invalidations),
+      static_cast<unsigned long long>(entries),
+      static_cast<unsigned long long>(bytes_used));
+}
+
+DecodedBlockCache::DecodedBlockCache(uint64_t byte_budget, size_t num_shards)
+    : byte_budget_(byte_budget) {
+  const size_t shards = RoundUpPowerOfTwo(num_shards == 0 ? 1 : num_shards);
+  shard_mask_ = shards - 1;
+  shard_budget_ = byte_budget_ / shards;
+  shards_ = std::vector<Shard>(shards);
+}
+
+uint64_t DecodedBlockCache::EstimateBytes(
+    const std::vector<OrdinalTuple>& tuples) {
+  const uint64_t arity = tuples.empty() ? 0 : tuples.front().size();
+  return sizeof(std::vector<OrdinalTuple>) +
+         static_cast<uint64_t>(tuples.size()) *
+             (sizeof(OrdinalTuple) + arity * sizeof(uint64_t)) +
+         64;  // map node + LRU node bookkeeping
+}
+
+DecodedBlockCache::TuplesPtr DecodedBlockCache::Get(const void* owner,
+                                                    BlockId id) {
+  const Key key{owner, id};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->tuples;
+}
+
+void DecodedBlockCache::Put(const void* owner, BlockId id, TuplesPtr tuples) {
+  if (byte_budget_ == 0 || tuples == nullptr) return;
+  const Key key{owner, id};
+  const uint64_t bytes = EstimateBytes(*tuples);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    shard.bytes -= it->second->bytes;
+    it->second->tuples = std::move(tuples);
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(tuples), bytes});
+    shard.entries[key] = shard.lru.begin();
+    shard.bytes += bytes;
+    ++shard.stats.insertions;
+  }
+  EvictOverBudget(shard);
+}
+
+void DecodedBlockCache::EvictOverBudget(Shard& shard) {
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.entries.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+void DecodedBlockCache::Invalidate(const void* owner, BlockId id) {
+  const Key key{owner, id};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  shard.bytes -= it->second->bytes;
+  shard.lru.erase(it->second);
+  shard.entries.erase(it);
+  ++shard.stats.invalidations;
+}
+
+void DecodedBlockCache::InvalidateOwner(const void* owner) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.owner == owner) {
+        shard.bytes -= it->bytes;
+        shard.entries.erase(it->key);
+        it = shard.lru.erase(it);
+        ++shard.stats.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void DecodedBlockCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats.invalidations += shard.entries.size();
+    shard.lru.clear();
+    shard.entries.clear();
+    shard.bytes = 0;
+  }
+}
+
+DecodedBlockCache::Stats DecodedBlockCache::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.insertions += shard.stats.insertions;
+    total.evictions += shard.stats.evictions;
+    total.invalidations += shard.stats.invalidations;
+    total.bytes_used += shard.bytes;
+    total.entries += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace avqdb

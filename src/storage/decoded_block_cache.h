@@ -1,0 +1,130 @@
+// DecodedBlockCache: a sharded, thread-safe LRU cache of *decoded* data
+// blocks — the tuple vectors that DecodeBlock materializes.
+//
+// The BufferPool below it caches raw block images, so a repeated read
+// skips the physical I/O but still pays the full decode CPU (t2 of
+// Eq 5.7). This cache sits one level up: entries are keyed by
+// (owning table, block id) and hold the already-reconstructed
+// std::vector<OrdinalTuple>, so a hit costs neither I/O nor decode.
+// Capacity is a byte budget over the estimated in-memory footprint of
+// the cached vectors, split evenly across shards; each shard is an
+// independently locked LRU list, so concurrent readers on different
+// blocks rarely contend.
+//
+// Values are shared_ptr<const vector>: an evicted or invalidated entry
+// stays alive for readers that already hold it, which makes Get safe to
+// use without holding any cache lock. Tables invalidate on every block
+// write/free (and wholesale on destruction), so entries never go stale.
+
+#ifndef AVQDB_STORAGE_DECODED_BLOCK_CACHE_H_
+#define AVQDB_STORAGE_DECODED_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/schema/tuple.h"
+#include "src/storage/block_device.h"
+
+namespace avqdb {
+
+class DecodedBlockCache {
+ public:
+  using TuplesPtr = std::shared_ptr<const std::vector<OrdinalTuple>>;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    uint64_t bytes_used = 0;
+    uint64_t entries = 0;
+
+    std::string ToString() const;
+  };
+
+  // `byte_budget` caps the summed EstimateBytes of resident entries
+  // (0 disables caching; UINT64_MAX is effectively unbounded). The shard
+  // count is rounded up to a power of two.
+  explicit DecodedBlockCache(uint64_t byte_budget, size_t num_shards = 8);
+
+  DecodedBlockCache(const DecodedBlockCache&) = delete;
+  DecodedBlockCache& operator=(const DecodedBlockCache&) = delete;
+
+  // Returns the cached tuples or nullptr; refreshes LRU position on hit.
+  TuplesPtr Get(const void* owner, BlockId id);
+
+  // Inserts/overwrites an entry, evicting LRU entries of the shard while
+  // it is over its byte budget. No-op when the budget is zero.
+  void Put(const void* owner, BlockId id, TuplesPtr tuples);
+
+  // Drops one block (stale after a write/free) or every block of one
+  // owner (table close/destruction).
+  void Invalidate(const void* owner, BlockId id);
+  void InvalidateOwner(const void* owner);
+  void Clear();
+
+  // Aggregated over all shards (each shard locked in turn, so the sum is
+  // only instantaneously consistent — fine for accounting).
+  Stats stats() const;
+
+  uint64_t byte_budget() const { return byte_budget_; }
+
+  // Approximate resident footprint of a decoded block: vector + per-tuple
+  // digit storage + bookkeeping. The exact heap layout is allocator
+  // dependent; the estimate only needs to be monotone in block size.
+  static uint64_t EstimateBytes(const std::vector<OrdinalTuple>& tuples);
+
+ private:
+  struct Key {
+    const void* owner;
+    BlockId id;
+    bool operator==(const Key& other) const {
+      return owner == other.owner && id == other.id;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // Splitmix-style finalizer over the xor-folded pair.
+      uint64_t x = reinterpret_cast<uintptr_t>(key.owner) ^
+                   (static_cast<uint64_t>(key.id) * 0x9e3779b97f4a7c15ull);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      return static_cast<size_t>(x);
+    }
+  };
+  struct Entry {
+    Key key;
+    TuplesPtr tuples;
+    uint64_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // Most recently used at the front.
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> entries;
+    uint64_t bytes = 0;
+    Stats stats;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[KeyHash{}(key) & shard_mask_];
+  }
+  // Caller holds shard.mu.
+  void EvictOverBudget(Shard& shard);
+
+  uint64_t byte_budget_;
+  uint64_t shard_budget_;
+  size_t shard_mask_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_STORAGE_DECODED_BLOCK_CACHE_H_

@@ -38,8 +38,8 @@ void Pager::EnableBufferPool(size_t capacity_blocks) {
 Result<std::string> Pager::Read(BlockId id) {
   ++stats_.logical_reads;
   if (pool_ != nullptr) {
-    if (const std::string* cached = pool_->Get(id)) {
-      return *cached;
+    if (std::optional<std::string> cached = pool_->Get(id)) {
+      return *std::move(cached);
     }
   }
   std::string block;

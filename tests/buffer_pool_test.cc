@@ -1,5 +1,10 @@
 #include "src/storage/buffer_pool.h"
 
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace avqdb {
@@ -7,11 +12,11 @@ namespace {
 
 TEST(BufferPool, MissThenHit) {
   BufferPool pool(2);
-  EXPECT_EQ(pool.Get(1), nullptr);
+  EXPECT_EQ(pool.Get(1), std::nullopt);
   EXPECT_EQ(pool.misses(), 1u);
   pool.Put(1, "one");
-  const std::string* hit = pool.Get(1);
-  ASSERT_NE(hit, nullptr);
+  std::optional<std::string> hit = pool.Get(1);
+  ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, "one");
   EXPECT_EQ(pool.hits(), 1u);
 }
@@ -20,11 +25,11 @@ TEST(BufferPool, EvictsLeastRecentlyUsed) {
   BufferPool pool(2);
   pool.Put(1, "one");
   pool.Put(2, "two");
-  ASSERT_NE(pool.Get(1), nullptr);  // 1 becomes most recent
-  pool.Put(3, "three");             // evicts 2
-  EXPECT_EQ(pool.Get(2), nullptr);
-  EXPECT_NE(pool.Get(1), nullptr);
-  EXPECT_NE(pool.Get(3), nullptr);
+  ASSERT_TRUE(pool.Get(1).has_value());  // 1 becomes most recent
+  pool.Put(3, "three");                  // evicts 2
+  EXPECT_EQ(pool.Get(2), std::nullopt);
+  EXPECT_TRUE(pool.Get(1).has_value());
+  EXPECT_TRUE(pool.Get(3).has_value());
   EXPECT_EQ(pool.size(), 2u);
 }
 
@@ -34,9 +39,9 @@ TEST(BufferPool, PutOverwritesAndRefreshes) {
   pool.Put(2, "two");
   pool.Put(1, "uno");  // overwrite refreshes recency
   pool.Put(3, "three");
-  EXPECT_EQ(pool.Get(2), nullptr);  // 2 was LRU
-  const std::string* v = pool.Get(1);
-  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(pool.Get(2), std::nullopt);  // 2 was LRU
+  std::optional<std::string> v = pool.Get(1);
+  ASSERT_TRUE(v.has_value());
   EXPECT_EQ(*v, "uno");
 }
 
@@ -45,19 +50,62 @@ TEST(BufferPool, EraseAndClear) {
   pool.Put(1, "a");
   pool.Put(2, "b");
   pool.Erase(1);
-  EXPECT_EQ(pool.Get(1), nullptr);
-  EXPECT_NE(pool.Get(2), nullptr);
+  EXPECT_EQ(pool.Get(1), std::nullopt);
+  EXPECT_TRUE(pool.Get(2).has_value());
   pool.Erase(99);  // absent: no-op
   pool.Clear();
   EXPECT_EQ(pool.size(), 0u);
-  EXPECT_EQ(pool.Get(2), nullptr);
+  EXPECT_EQ(pool.Get(2), std::nullopt);
 }
 
 TEST(BufferPool, ZeroCapacityCachesNothing) {
   BufferPool pool(0);
   pool.Put(1, "one");
-  EXPECT_EQ(pool.Get(1), nullptr);
+  EXPECT_EQ(pool.Get(1), std::nullopt);
   EXPECT_EQ(pool.size(), 0u);
+}
+
+// Hammers one small pool from several threads; run under TSan
+// (tools/run_sanitized_tests.sh) this proves the locking, and under any
+// build every returned value must match what some thread Put for that id.
+TEST(BufferPool, ConcurrentMixedOperations) {
+  BufferPool pool(8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  constexpr BlockId kBlocks = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const BlockId id = static_cast<BlockId>((t * 7 + i) % kBlocks);
+        switch (i % 4) {
+          case 0:
+          case 1: {
+            std::optional<std::string> got = pool.Get(id);
+            if (got.has_value()) {
+              // Every writer stores "block-<id>"; torn values would differ.
+              EXPECT_EQ(*got, "block-" + std::to_string(id));
+            }
+            break;
+          }
+          case 2:
+            pool.Put(id, "block-" + std::to_string(id));
+            break;
+          default:
+            if (i % 32 == 3) {
+              pool.Erase(id);
+            } else {
+              pool.Put(id, "block-" + std::to_string(id));
+            }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(pool.size(), 8u);
+  EXPECT_EQ(pool.hits() + pool.misses(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread / 2);
 }
 
 }  // namespace

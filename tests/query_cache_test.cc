@@ -1,0 +1,268 @@
+// Query-path read caching: the cursor-driven scan must be result- and
+// block-count-identical to the historical full-decode scan; a warm
+// DecodedBlockCache must change only the counters, never the answer;
+// mutations must invalidate; and clustered point lookups must decode
+// strictly fewer tuples than the touched blocks hold.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/db/join.h"
+#include "src/db/query.h"
+#include "src/db/table.h"
+#include "src/storage/decoded_block_cache.h"
+#include "src/workload/generator.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+struct CacheFixture {
+  explicit CacheFixture(bool avq, size_t block_size = 512)
+      : device(block_size) {
+    auto rel = GenerateRelation([&] {
+      RelationSpec spec;
+      spec.explicit_domain_sizes = {8, 16, 32, 64};
+      spec.num_attributes = 4;
+      spec.num_tuples = 1800;
+      spec.dedupe = true;
+      spec.seed = 4242;
+      return spec;
+    }());
+    tuples = rel.value().tuples;
+    schema = rel.value().schema;
+    if (avq) {
+      CodecOptions options;
+      options.block_size = block_size;
+      table = Table::CreateAvq(schema, &device, options).value();
+    } else {
+      table = Table::CreateHeap(schema, &device).value();
+    }
+    AVQDB_CHECK_OK(table->BulkLoad(tuples));
+  }
+
+  MemBlockDevice device;
+  SchemaPtr schema;
+  std::vector<OrdinalTuple> tuples;
+  std::unique_ptr<Table> table;
+};
+
+// Decodes every block in full via ReadDataBlock and filters — the
+// reference the streaming path must reproduce exactly.
+std::vector<OrdinalTuple> FullDecodeReference(const Table& table,
+                                              size_t attr, uint64_t lo,
+                                              uint64_t hi) {
+  std::vector<OrdinalTuple> all = table.ScanAll().value();
+  std::vector<OrdinalTuple> out;
+  for (const OrdinalTuple& t : all) {
+    if (t[attr] >= lo && t[attr] <= hi) out.push_back(t);
+  }
+  return out;
+}
+
+class QueryCache : public ::testing::TestWithParam<bool> {};
+
+// The determinism matrix: every access path, with and without a cache,
+// must return the same tuples and the same block counts as the
+// full-decode reference.
+TEST_P(QueryCache, CursorPathMatchesFullDecodeOnEveryPath) {
+  // The cache must outlive the table (declared first): ~Table drops its
+  // entries via InvalidateOwner.
+  DecodedBlockCache cache(UINT64_MAX);
+  CacheFixture f(GetParam());
+  ASSERT_TRUE(f.table->CreateSecondaryIndex(3).ok());
+  const RangeQuery queries[] = {
+      {0, 2, 5},    // clustered range
+      {0, 3, 3},    // clustered point
+      {3, 7, 7},    // secondary index
+      {2, 10, 20},  // full scan
+      {1, 30, 5},   // empty range
+  };
+  // Pass 0: no cache. Pass 1: cold unbounded cache. Pass 2: warm cache.
+  std::vector<QueryStats> baseline(std::size(queries));
+  for (int pass = 0; pass < 3; ++pass) {
+    if (pass == 1) f.table->SetDecodedBlockCache(&cache);
+    for (size_t q = 0; q < std::size(queries); ++q) {
+      const RangeQuery& query = queries[q];
+      QueryStats stats;
+      auto results = ExecuteRangeSelect(*f.table, query, &stats);
+      ASSERT_TRUE(results.ok()) << results.status().ToString();
+      EXPECT_EQ(results.value(),
+                FullDecodeReference(*f.table, query.attribute, query.lo,
+                                    query.hi))
+          << "pass " << pass << " query " << q;
+      if (pass == 0) {
+        baseline[q] = stats;
+        // Without a cache every touched block is one decode (miss).
+        EXPECT_EQ(stats.decoded_cache_hits, 0u);
+      } else {
+        EXPECT_EQ(stats.path, baseline[q].path);
+        EXPECT_EQ(stats.tuples_matched, baseline[q].tuples_matched);
+        // Blocks served from the decoded cache skip the pager, so hits +
+        // misses must cover the same set of blocks the baseline decoded.
+        EXPECT_EQ(stats.decoded_cache_hits + stats.decoded_cache_misses,
+                  baseline[q].decoded_cache_misses)
+            << "pass " << pass << " query " << q;
+      }
+      if (pass == 2 && baseline[q].decoded_cache_misses > 0) {
+        // Everything the first cached pass walked in full is resident.
+        EXPECT_GT(stats.decoded_cache_hits, 0u) << "query " << q;
+      }
+    }
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST_P(QueryCache, ConjunctiveAndAggregateAgreeWithWarmCache) {
+  DecodedBlockCache cache(UINT64_MAX);  // must outlive the table
+  CacheFixture f(GetParam());
+  ConjunctiveQuery query;
+  query.predicates = {{0, 1, 6}, {2, 4, 25}};
+
+  QueryStats cold_stats;
+  auto cold = ExecuteConjunctiveSelect(*f.table, query, &cold_stats);
+  ASSERT_TRUE(cold.ok());
+  auto cold_agg = ExecuteAggregate(*f.table, query, 1, nullptr);
+  ASSERT_TRUE(cold_agg.ok());
+
+  f.table->SetDecodedBlockCache(&cache);
+  (void)ExecuteConjunctiveSelect(*f.table, query, nullptr);  // fill
+  QueryStats warm_stats;
+  auto warm = ExecuteConjunctiveSelect(*f.table, query, &warm_stats);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value(), cold.value());
+  EXPECT_EQ(warm_stats.tuples_matched, cold_stats.tuples_matched);
+  auto warm_agg = ExecuteAggregate(*f.table, query, 1, nullptr);
+  ASSERT_TRUE(warm_agg.ok());
+  EXPECT_EQ(warm_agg.value().count, cold_agg.value().count);
+  EXPECT_EQ(warm_agg.value().min, cold_agg.value().min);
+  EXPECT_EQ(warm_agg.value().max, cold_agg.value().max);
+  EXPECT_EQ(static_cast<uint64_t>(warm_agg.value().sum),
+            static_cast<uint64_t>(cold_agg.value().sum));
+}
+
+// Writes must invalidate: a query after Insert/Delete sees the new
+// contents even though the old block was resident in the cache.
+TEST_P(QueryCache, MutationsInvalidateCachedBlocks) {
+  DecodedBlockCache cache(UINT64_MAX);  // must outlive the table
+  CacheFixture f(GetParam());
+  f.table->SetDecodedBlockCache(&cache);
+  const RangeQuery query{0, 0, 7};  // whole domain: every tuple
+  auto before = ExecuteRangeSelect(*f.table, query, nullptr);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.value().size(), f.tuples.size());
+
+  // Pick a tuple not in the table (dedupe left domain slack).
+  OrdinalTuple fresh;
+  auto sorted = before.value();
+  for (uint64_t a3 = 0; a3 < 64 && fresh.empty(); ++a3) {
+    OrdinalTuple candidate{3, 7, 11, a3};
+    if (!std::binary_search(sorted.begin(), sorted.end(), candidate,
+                            [](const OrdinalTuple& x, const OrdinalTuple& y) {
+                              return CompareTuples(x, y) < 0;
+                            })) {
+      fresh = candidate;
+    }
+  }
+  ASSERT_FALSE(fresh.empty());
+  ASSERT_TRUE(f.table->Insert(fresh).ok());
+  auto after_insert = ExecuteRangeSelect(*f.table, query, nullptr);
+  ASSERT_TRUE(after_insert.ok());
+  EXPECT_EQ(after_insert.value().size(), f.tuples.size() + 1);
+  EXPECT_TRUE(std::binary_search(
+      after_insert.value().begin(), after_insert.value().end(), fresh,
+      [](const OrdinalTuple& x, const OrdinalTuple& y) {
+        return CompareTuples(x, y) < 0;
+      }));
+
+  ASSERT_TRUE(f.table->Delete(fresh).ok());
+  auto after_delete = ExecuteRangeSelect(*f.table, query, nullptr);
+  ASSERT_TRUE(after_delete.ok());
+  EXPECT_EQ(after_delete.value(), before.value());
+}
+
+// The cache must not leak across tables: entries are keyed by owner and
+// dropped when the table goes away.
+TEST_P(QueryCache, TableDestructionDropsItsEntries) {
+  DecodedBlockCache cache(UINT64_MAX);
+  {
+    CacheFixture f(GetParam());
+    f.table->SetDecodedBlockCache(&cache);
+    (void)ExecuteRangeSelect(*f.table, {0, 0, 7}, nullptr);
+    EXPECT_GT(cache.stats().entries, 0u);
+  }
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// Early exit: a clustered point lookup decodes strictly fewer tuples
+// than the cardinality of the blocks it touches.
+TEST(QueryCacheAvq, PointLookupDecodesPartialBlocks) {
+  CacheFixture f(/*avq=*/true);
+  QueryStats stats;
+  auto results = ExecuteRangeSelect(*f.table, {0, 3, 3}, &stats);
+  ASSERT_TRUE(results.ok());
+  ASSERT_GT(results.value().size(), 0u);
+  // Replicate the clustered walk to find exactly the blocks the query
+  // decoded: from the covering block of `start` through the last block
+  // whose minimum is <= `end`.
+  uint64_t touched_cardinality = 0;
+  {
+    const OrdinalTuple start{3, 0, 0, 0};
+    const OrdinalTuple end{3, 15, 31, 63};
+    std::vector<std::pair<OrdinalTuple, uint64_t>> blocks;  // (min, count)
+    auto iter = f.table->primary_index().Begin().value();
+    while (iter.Valid()) {
+      auto block =
+          f.table->ReadDataBlock(static_cast<BlockId>(iter.value()));
+      ASSERT_TRUE(block.ok());
+      ASSERT_FALSE(block.value().empty());
+      blocks.emplace_back(block.value().front(), block.value().size());
+      ASSERT_TRUE(iter.Next().ok());
+    }
+    size_t cover = 0;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      if (CompareTuples(blocks[b].first, start) <= 0) cover = b;
+    }
+    for (size_t b = cover; b < blocks.size(); ++b) {
+      if (CompareTuples(blocks[b].first, end) > 0) break;
+      touched_cardinality += blocks[b].second;
+    }
+  }
+  ASSERT_GT(touched_cardinality, 0u);
+  EXPECT_GT(stats.tuples_decoded, 0u);
+  EXPECT_LT(stats.tuples_decoded, touched_cardinality);
+  EXPECT_EQ(stats.tuples_matched, results.value().size());
+}
+
+// Joins share the decoded cache through Table::Cursor / ReadDecodedBlock.
+TEST_P(QueryCache, JoinResultsUnchangedByWarmCache) {
+  DecodedBlockCache cache(UINT64_MAX);  // must outlive both tables
+  CacheFixture left(GetParam());
+  CacheFixture right(GetParam());
+  ASSERT_TRUE(right.table->CreateSecondaryIndex(1).ok());
+  auto cold = ExecuteEquiJoin(*left.table, 1, *right.table, 1,
+                              JoinStrategy::kIndexNestedLoop, nullptr);
+  ASSERT_TRUE(cold.ok());
+  left.table->SetDecodedBlockCache(&cache);
+  right.table->SetDecodedBlockCache(&cache);
+  auto warm1 = ExecuteEquiJoin(*left.table, 1, *right.table, 1,
+                               JoinStrategy::kIndexNestedLoop, nullptr);
+  ASSERT_TRUE(warm1.ok());
+  auto warm2 = ExecuteEquiJoin(*left.table, 1, *right.table, 1,
+                               JoinStrategy::kIndexNestedLoop, nullptr);
+  ASSERT_TRUE(warm2.ok());
+  EXPECT_EQ(warm1.value(), cold.value());
+  EXPECT_EQ(warm2.value(), cold.value());
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, QueryCache, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "avq" : "heap";
+                         });
+
+}  // namespace
+}  // namespace avqdb

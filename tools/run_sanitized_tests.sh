@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds and runs the test suite under the sanitizers that guard the
-# parallel codec pipeline:
+# parallel codec pipeline and the read-path caches:
 #   * ThreadSanitizer on the concurrency-sensitive tests (thread pool,
-#     relation codec, determinism, corruption, table);
+#     relation codec, determinism, corruption, table, buffer pool,
+#     decoded-block cache);
 #   * AddressSanitizer + UBSan on the full suite.
 #
 # Usage: tools/run_sanitized_tests.sh [tsan|asan|all]   (default: all)
@@ -17,14 +18,15 @@ mode="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 run_tsan() {
-  echo "== ThreadSanitizer (codec + pool tests) =="
+  echo "== ThreadSanitizer (codec + pool + cache tests) =="
   cmake -B build-tsan -S . -DAVQDB_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j "${jobs}" --target \
     thread_pool_test relation_codec_test codec_determinism_test \
-    relation_codec_property_test corruption_test table_test
+    relation_codec_property_test corruption_test table_test \
+    buffer_pool_test decoded_block_cache_test
   ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-    -R 'ThreadPool|ParallelFor|ParallelSort|SharedThreadPool|Resolve|RelationCodec|Determinism|Corruption|Table'
+    -R 'ThreadPool|ParallelFor|ParallelSort|SharedThreadPool|Resolve|RelationCodec|Determinism|Corruption|Table|BufferPool|DecodedBlockCache'
 }
 
 run_asan() {
