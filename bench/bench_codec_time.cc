@@ -16,6 +16,7 @@
 #include "src/avq/block_decoder.h"
 #include "src/avq/relation_codec.h"
 #include "src/common/slice.h"
+#include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
 #include "src/db/block_codecs.h"
 #include "src/storage/disk_model.h"
@@ -246,27 +247,20 @@ void RunParallelSweep() {
   }
   std::printf("\nhost hardware_concurrency: %zu\n", hw);
 
-  FILE* json = std::fopen("BENCH_codec_parallel.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_codec_parallel.json\n");
-    return;
-  }
-  std::fprintf(json,
-               "{\n"
-               "  \"relation\": {\"tuples\": %zu, \"blocks\": %zu, "
-               "\"block_size\": 8192},\n"
-               "  \"hardware_concurrency\": %zu,\n"
-               "  \"byte_identical_to_serial\": true,\n"
-               "  \"note\": \"%s\",\n"
-               "  \"runs\": [\n",
-               kTuples, w.avq_blocks.size(), hw,
-               hw < 2 ? "single-core host: shard fan-out cannot exceed 1x; "
-                        "speedup figures need a multi-core machine"
-                      : "speedups bounded by hardware_concurrency");
+  const std::string bench = StringFormat(
+      "{\"name\": \"codec_parallel\", "
+      "\"relation\": {\"tuples\": %zu, \"blocks\": %zu, \"block_size\": 8192}, "
+      "\"hardware_concurrency\": %zu, "
+      "\"byte_identical_to_serial\": true, "
+      "\"note\": \"%s\"}",
+      kTuples, w.avq_blocks.size(), hw,
+      hw < 2 ? "single-core host: shard fan-out cannot exceed 1x; "
+               "speedup figures need a multi-core machine"
+             : "speedups bounded by hardware_concurrency");
+  std::string results = "[\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    std::fprintf(
-        json,
+    results += StringFormat(
         "    {\"parallelism\": %zu, \"effective_shards\": %zu, "
         "\"encode_ms\": %.3f, \"encode_speedup_vs_serial\": %.3f, "
         "\"decode_ms\": %.3f, \"decode_speedup_vs_serial\": %.3f}%s\n",
@@ -274,9 +268,8 @@ void RunParallelSweep() {
         serial_encode / row.encode_ms, row.decode_ms,
         serial_decode / row.decode_ms, i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
-  std::printf("wrote BENCH_codec_parallel.json\n");
+  results += "  ]";
+  WriteBenchJson("BENCH_codec_parallel.json", bench, results);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/string_util.h"
 #include "src/common/thread_pool.h"
 #include "src/db/query.h"
 #include "src/db/table.h"
@@ -167,28 +168,20 @@ int main() {
       full_decode_equiv,
       100.0 * static_cast<double>(point_tuples_decoded) / full_decode_equiv);
 
-  FILE* json = std::fopen("BENCH_query_cache.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_query_cache.json\n");
-    return 1;
-  }
-  std::fprintf(json,
-               "{\n"
-               "  \"relation\": {\"tuples\": %zu, \"data_blocks\": %llu, "
-               "\"block_size\": 8192},\n"
-               "  \"workload\": {\"queries_per_round\": %zu, \"rounds\": %d, "
-               "\"warmup_rounds\": 1},\n"
-               "  \"hardware_concurrency\": %zu,\n"
-               "  \"decoded_block_bytes_estimate\": %llu,\n"
-               "  \"runs\": [\n",
-               sorted.size(),
-               static_cast<unsigned long long>(table->DataBlockCount()),
-               mix.size(), kRounds, hw,
-               static_cast<unsigned long long>(block_bytes));
+  const std::string bench = StringFormat(
+      "{\"name\": \"query_cache\", "
+      "\"relation\": {\"tuples\": %zu, \"data_blocks\": %llu, "
+      "\"block_size\": 8192}, "
+      "\"workload\": {\"queries_per_round\": %zu, \"rounds\": %d, "
+      "\"warmup_rounds\": 1}, "
+      "\"hardware_concurrency\": %zu, "
+      "\"decoded_block_bytes_estimate\": %llu}",
+      sorted.size(), static_cast<unsigned long long>(table->DataBlockCount()),
+      mix.size(), kRounds, hw, static_cast<unsigned long long>(block_bytes));
+  std::string results = "{\n  \"runs\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& row = rows[i];
-    std::fprintf(
-        json,
+    results += StringFormat(
         "    {\"capacity_blocks\": \"%s\", \"byte_budget\": %llu, "
         "\"decode_calls\": %llu, \"decode_calls_avoided\": %llu, "
         "\"decode_reduction_vs_uncached\": %.2f, \"evictions\": %llu, "
@@ -201,17 +194,15 @@ int main() {
         static_cast<unsigned long long>(row.evictions), row.wall_ms,
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(
-      json,
+  results += StringFormat(
       "  ],\n"
       "  \"point_lookup\": {\"queries\": %llu, \"blocks_touched\": %llu, "
       "\"tuples_decoded\": %llu, \"full_decode_equivalent\": %.0f}\n"
-      "}\n",
+      "  }",
       static_cast<unsigned long long>(radix0),
       static_cast<unsigned long long>(point_blocks),
       static_cast<unsigned long long>(point_tuples_decoded),
       full_decode_equiv);
-  std::fclose(json);
-  std::printf("wrote BENCH_query_cache.json\n");
+  if (!WriteBenchJson("BENCH_query_cache.json", bench, results)) return 1;
   return 0;
 }

@@ -7,9 +7,11 @@
 // paper's three machines (their printed CPU constants) and for the host.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/avq/block_decoder.h"
+#include "src/common/string_util.h"
 #include "src/avq/relation_codec.h"
 #include "src/db/block_codecs.h"
 #include "src/db/cost_model.h"
@@ -229,5 +231,22 @@ int main() {
       "5000/120)\n");
 
   PrintReadPathCacheSection(100000);
+
+  const std::string bench = StringFormat(
+      "{\"name\": \"response_time\", \"tuples\": 100000, "
+      "\"block_size\": 8192, \"t1_ms\": 30.0}");
+  const std::string results = StringFormat(
+      "{\"n_uncoded\": %.2f, \"n_avq\": %.2f, "
+      "\"data_blocks_uncoded\": %llu, \"data_blocks_avq\": %llu, "
+      "\"index_blocks_uncoded\": %llu, \"index_blocks_avq\": %llu, "
+      "\"host_code_ms_per_block\": %.4f, \"host_t2_ms_per_block\": %.4f, "
+      "\"host_t3_ms_per_block\": %.4f}",
+      m.n_heap, m.n_avq,
+      static_cast<unsigned long long>(m.data_blocks_heap),
+      static_cast<unsigned long long>(m.data_blocks_avq),
+      static_cast<unsigned long long>(m.index_blocks_heap),
+      static_cast<unsigned long long>(m.index_blocks_avq),
+      m.code_host_ms, m.t2_host_ms, m.t3_host_ms);
+  if (!WriteBenchJson("BENCH_response_time.json", bench, results)) return 1;
   return 0;
 }

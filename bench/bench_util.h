@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/schema/tuple.h"
 #include "src/workload/generator.h"
 
@@ -55,6 +56,36 @@ inline void PrintHeader(const char* title) {
 
 inline void PrintRule() {
   std::printf("------------------------------------------------------------\n");
+}
+
+// Writes `path` as the schema-versioned machine-readable bench envelope
+//
+//   {"schema_version": 1, "bench": ..., "metrics": ..., "results": ...}
+//
+// where `bench_json` describes the run configuration (a JSON object),
+// `results_json` holds the measurements (any JSON value), and "metrics"
+// is a full snapshot of the process-wide registry so every BENCH_*.json
+// carries the runtime telemetry of the run that produced it.
+inline bool WriteBenchJson(const char* path, const std::string& bench_json,
+                           const std::string& results_json) {
+  FILE* json = std::fopen(path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::string metrics = obs::MetricsRegistry::Global().Snapshot().ToJson();
+  while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+  std::fprintf(json,
+               "{\n"
+               "\"schema_version\": 1,\n"
+               "\"bench\": %s,\n"
+               "\"metrics\": %s,\n"
+               "\"results\": %s\n"
+               "}\n",
+               bench_json.c_str(), metrics.c_str(), results_json.c_str());
+  std::fclose(json);
+  std::printf("wrote %s\n", path);
+  return true;
 }
 
 }  // namespace avqdb::bench

@@ -4,6 +4,8 @@
 
 #include "src/common/crc32c.h"
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 #include "src/ordinal/mixed_radix.h"
 
 namespace avqdb {
@@ -17,6 +19,26 @@ Status AsCorruption(const Status& s, const char* what) {
       "%s while decoding block: %s", what, s.message().c_str()));
 }
 
+struct CursorMetrics {
+  obs::Counter* opens;
+  obs::Counter* seeks;
+  obs::Counter* prefix_skips;
+  obs::Counter* tuples_decoded;
+  obs::Counter* tuples_skipped;
+
+  static const CursorMetrics& Get() {
+    static const CursorMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return CursorMetrics{registry.GetCounter(obs::kCursorOpens),
+                           registry.GetCounter(obs::kCursorSeeks),
+                           registry.GetCounter(obs::kCursorPrefixSkips),
+                           registry.GetCounter(obs::kCursorTuplesDecoded),
+                           registry.GetCounter(obs::kCursorTuplesSkipped)};
+    }();
+    return metrics;
+  }
+};
+
 }  // namespace
 
 BlockCursor::BlockCursor(SchemaPtr schema, DigitLayout layout,
@@ -24,6 +46,15 @@ BlockCursor::BlockCursor(SchemaPtr schema, DigitLayout layout,
     : schema_(std::move(schema)),
       layout_(std::move(layout)),
       block_(std::move(block)) {}
+
+BlockCursor::~BlockCursor() {
+  // Batched flush: the per-tuple hot path only bumps decoded_; the
+  // early-exit savings (tuples never reconstructed) are reported here.
+  const CursorMetrics& metrics = CursorMetrics::Get();
+  metrics.tuples_decoded->Add(decoded_);
+  const uint64_t count = header_.tuple_count;
+  if (count > decoded_) metrics.tuples_skipped->Add(count - decoded_);
+}
 
 Result<std::unique_ptr<BlockCursor>> BlockCursor::Open(SchemaPtr schema,
                                                        std::string block) {
@@ -57,6 +88,7 @@ Status BlockCursor::Init() {
   diffs_offset_ = kBlockHeaderSize + layout_.total_width();
   stream_offset_ = diffs_offset_;
   decoded_ = 1;
+  CursorMetrics::Get().opens->Increment();
   return Status::OK();
 }
 
@@ -110,6 +142,7 @@ Status BlockCursor::SkipPrefix() {
         SkipCodedDifference(layout_, header_.has_run_length(), &stream));
   }
   stream_offset_ = payload_end_ - stream.size();
+  CursorMetrics::Get().prefix_skips->Increment();
   return Status::OK();
 }
 
@@ -118,6 +151,7 @@ Status BlockCursor::SeekToFirst() {
     return Status::InvalidArgument("cursor already positioned");
   }
   positioned_ = true;
+  CursorMetrics::Get().seeks->Increment();
   AVQDB_RETURN_IF_ERROR(DecodePrefix());
   position_ = 0;
   current_ = prefix_.empty() ? rep_tuple_ : prefix_[0];
@@ -133,6 +167,7 @@ Status BlockCursor::Seek(const OrdinalTuple& key) {
     return Status::InvalidArgument("seek key arity mismatch");
   }
   positioned_ = true;
+  CursorMetrics::Get().seeks->Increment();
   const size_t rep = header_.rep_index;
   if (CompareTuples(key, rep_tuple_) <= 0) {
     // The target sits in [0, rep]; the backward chain must be rolled back

@@ -60,6 +60,10 @@ class BlockCursor {
   BlockCursor(const BlockCursor&) = delete;
   BlockCursor& operator=(const BlockCursor&) = delete;
 
+  // Flushes the cursor's batched decode counters to the metrics registry
+  // (one update per cursor lifetime, not per tuple).
+  ~BlockCursor();
+
   // Positions at the first tuple in φ order (decodes the whole backward
   // chain, which ends at position 0).
   Status SeekToFirst();

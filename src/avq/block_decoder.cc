@@ -4,6 +4,8 @@
 
 #include "src/common/crc32c.h"
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 #include "src/ordinal/digit_bytes.h"
 #include "src/ordinal/mixed_radix.h"
 
@@ -153,6 +155,14 @@ Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block) {
       return Status::Corruption("decoded block is not φ-sorted");
     }
   }
+
+  // One batched update per fully decoded block.
+  static obs::Counter* const decode_blocks =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeBlocks);
+  static obs::Counter* const decode_tuples =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeTuples);
+  decode_blocks->Increment();
+  decode_tuples->Add(count);
   return out;
 }
 

@@ -5,9 +5,37 @@
 #include "src/common/crc32c.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 #include "src/ordinal/mixed_radix.h"
 
 namespace avqdb {
+namespace {
+
+// Updated once per encoded block (batched locally first) so the per-tuple
+// hot loop stays free of atomics.
+struct EncodeMetrics {
+  obs::Counter* blocks;
+  obs::Counter* tuples;
+  obs::Counter* payload_bytes;
+  obs::Counter* zero_bytes_elided;
+  obs::Histogram* block_payload_bytes;
+
+  static const EncodeMetrics& Get() {
+    static const EncodeMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return EncodeMetrics{
+          registry.GetCounter(obs::kEncodeBlocks),
+          registry.GetCounter(obs::kEncodeTuples),
+          registry.GetCounter(obs::kEncodePayloadBytes),
+          registry.GetCounter(obs::kEncodeZeroBytesElided),
+          registry.GetHistogram(obs::kEncodeBlockPayloadBytes)};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Status CodecOptions::Validate(size_t tuple_width) const {
   if (block_size < kBlockHeaderSize + 2 * tuple_width + 1) {
@@ -180,9 +208,11 @@ Result<std::string> BlockEncoder::EncodeSpan(const Schema& schema,
   AVQDB_RETURN_IF_ERROR(layout.AppendImage(tuples[rep], &payload));
 
   OrdinalTuple diff;
+  uint64_t zero_bytes_elided = 0;
   auto append_diff = [&](const OrdinalTuple& d) -> Status {
     if (options.run_length_zeros) {
       const size_t lz = layout.CountLeadingZeroBytes(d);
+      zero_bytes_elided += lz;
       payload.push_back(static_cast<char>(lz));
       std::string image;
       AVQDB_RETURN_IF_ERROR(layout.AppendImage(d, &image));
@@ -233,6 +263,13 @@ Result<std::string> BlockEncoder::EncodeSpan(const Schema& schema,
   std::string block(options.block_size, '\0');
   header.EncodeTo(reinterpret_cast<uint8_t*>(block.data()));
   block.replace(kBlockHeaderSize, payload.size(), payload);
+
+  const EncodeMetrics& metrics = EncodeMetrics::Get();
+  metrics.blocks->Increment();
+  metrics.tuples->Add(count);
+  metrics.payload_bytes->Add(payload.size());
+  metrics.zero_bytes_elided->Add(zero_bytes_elided);
+  metrics.block_payload_bytes->Record(payload.size());
   return block;
 }
 

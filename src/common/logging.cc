@@ -1,13 +1,47 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <chrono>
 
 namespace avqdb {
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+// AVQDB_LOG_LEVEL accepts a level name (debug|info|warn|error, any case)
+// or its numeric value (0-3); anything else keeps the kInfo default.
+int InitialLogLevel() {
+  const char* env = std::getenv("AVQDB_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  char lowered[8] = {0};
+  for (size_t i = 0; i < sizeof(lowered) - 1 && env[i] != '\0'; ++i) {
+    lowered[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(env[i])));
+  }
+  if (std::strcmp(lowered, "debug") == 0 || std::strcmp(lowered, "0") == 0) {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  if (std::strcmp(lowered, "info") == 0 || std::strcmp(lowered, "1") == 0) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::strcmp(lowered, "warn") == 0 ||
+      std::strcmp(lowered, "warning") == 0 ||
+      std::strcmp(lowered, "2") == 0) {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (std::strcmp(lowered, "error") == 0 || std::strcmp(lowered, "3") == 0) {
+    return static_cast<int>(LogLevel::kError);
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -21,6 +55,29 @@ const char* LevelTag(LogLevel level) {
       return "ERROR";
   }
   return "?";
+}
+
+// Small sequential per-thread ids (T1, T2, ...) — stable within a run and
+// far more readable than pthread handles.
+int ThreadId() {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// "HH:MM:SS.mmm" wall-clock timestamp into buf.
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000;
+  std::tm tm_buf;
+  localtime_r(&seconds, &tm_buf);
+  std::snprintf(buf, size, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
 }
 
 }  // namespace
@@ -39,7 +96,10 @@ void LogV(LogLevel level, const char* file, int line, const char* fmt,
       g_log_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), file, line);
+  char timestamp[16];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  std::fprintf(stderr, "[%s %s T%d %s:%d] ", timestamp, LevelTag(level),
+               ThreadId(), file, line);
   std::vfprintf(stderr, fmt, ap);
   std::fputc('\n', stderr);
 }

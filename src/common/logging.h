@@ -14,7 +14,10 @@ namespace avqdb {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global minimum level; messages below it are dropped. Defaults to kInfo.
+// Global minimum level; messages below it are dropped. Defaults to kInfo,
+// overridable at startup with the AVQDB_LOG_LEVEL environment variable
+// (debug|info|warn|error or 0-3). Each line is prefixed with a wall-clock
+// timestamp and a small sequential thread id.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

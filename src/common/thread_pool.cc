@@ -1,8 +1,34 @@
 #include "src/common/thread_pool.h"
 
+#include <chrono>
 #include <exception>
 
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+
 namespace avqdb {
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* tasks_submitted;
+  obs::Counter* tasks_completed;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_us;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PoolMetrics{
+          registry.GetCounter(obs::kThreadPoolTasksSubmitted),
+          registry.GetCounter(obs::kThreadPoolTasksCompleted),
+          registry.GetGauge(obs::kThreadPoolQueueDepth),
+          registry.GetHistogram(obs::kThreadPoolTaskMicros)};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = HardwareParallelism();
@@ -27,14 +53,18 @@ size_t ThreadPool::HardwareParallelism() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  metrics.tasks_submitted->Increment();
+  metrics.queue_depth->Add(1);
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
     std::function<void()> task;
     {
@@ -46,7 +76,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    metrics.queue_depth->Subtract(1);
+    const auto start = std::chrono::steady_clock::now();
     task();  // packaged_task captures exceptions into its future
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    metrics.task_us->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    metrics.tasks_completed->Increment();
   }
 }
 

@@ -1,10 +1,14 @@
 #include "src/db/join.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 #include <utility>
 
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace avqdb {
 
@@ -33,6 +37,43 @@ std::string JoinStats::ToString() const {
 }
 
 namespace {
+
+// Per-strategy counts and latency, updated once per executed join.
+struct JoinMetrics {
+  obs::Counter* count;
+  obs::Counter* merge;
+  obs::Counter* hash;
+  obs::Counter* index_nested_loop;
+  obs::Histogram* latency_us;
+  obs::Counter* output_tuples;
+
+  static const JoinMetrics& Get() {
+    static const JoinMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return JoinMetrics{registry.GetCounter(obs::kJoinCount),
+                         registry.GetCounter(obs::kJoinMerge),
+                         registry.GetCounter(obs::kJoinHash),
+                         registry.GetCounter(obs::kJoinIndexNestedLoop),
+                         registry.GetHistogram(obs::kJoinLatencyMicros),
+                         registry.GetCounter(obs::kJoinOutputTuples)};
+    }();
+    return metrics;
+  }
+
+  obs::Counter* ForStrategy(JoinStrategy strategy) const {
+    switch (strategy) {
+      case JoinStrategy::kMerge:
+        return merge;
+      case JoinStrategy::kHash:
+        return hash;
+      case JoinStrategy::kIndexNestedLoop:
+        return index_nested_loop;
+      case JoinStrategy::kAuto:
+        break;
+    }
+    return nullptr;
+  }
+};
 
 OrdinalTuple Concatenate(const OrdinalTuple& a, const OrdinalTuple& b) {
   OrdinalTuple out;
@@ -207,24 +248,43 @@ Result<std::vector<OrdinalTuple>> ExecuteEquiJoin(
 
   const IoStats left_before = left.data_pager().stats();
   const IoStats right_before = right.data_pager().stats();
+  const auto started = std::chrono::steady_clock::now();
   std::vector<OrdinalTuple> out;
-  switch (chosen) {
-    case JoinStrategy::kMerge:
-      AVQDB_RETURN_IF_ERROR(
-          MergeJoin(left, left_attr, right, right_attr, &out));
-      break;
-    case JoinStrategy::kHash:
-      AVQDB_RETURN_IF_ERROR(
-          HashJoin(left, left_attr, right, right_attr, &out));
-      break;
-    case JoinStrategy::kIndexNestedLoop:
-      AVQDB_RETURN_IF_ERROR(
-          IndexNestedLoopJoin(left, left_attr, right, right_attr, &out));
-      break;
-    case JoinStrategy::kAuto:
-      return Status::Internal("unresolved join strategy");
+  {
+    obs::TraceSpanScope join_span(
+        chosen == JoinStrategy::kMerge  ? "join:merge"
+        : chosen == JoinStrategy::kHash ? "join:hash"
+                                        : "join:index-nested-loop");
+    switch (chosen) {
+      case JoinStrategy::kMerge:
+        AVQDB_RETURN_IF_ERROR(
+            MergeJoin(left, left_attr, right, right_attr, &out));
+        break;
+      case JoinStrategy::kHash:
+        AVQDB_RETURN_IF_ERROR(
+            HashJoin(left, left_attr, right, right_attr, &out));
+        break;
+      case JoinStrategy::kIndexNestedLoop:
+        AVQDB_RETURN_IF_ERROR(
+            IndexNestedLoopJoin(left, left_attr, right, right_attr, &out));
+        break;
+      case JoinStrategy::kAuto:
+        return Status::Internal("unresolved join strategy");
+    }
+    join_span.AddAttr("output_tuples", out.size());
   }
   std::sort(out.begin(), out.end(), TupleLess);
+
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  const JoinMetrics& metrics = JoinMetrics::Get();
+  metrics.count->Increment();
+  if (obs::Counter* strategy_counter = metrics.ForStrategy(chosen)) {
+    strategy_counter->Increment();
+  }
+  metrics.latency_us->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count()));
+  metrics.output_tuples->Add(out.size());
 
   if (stats != nullptr) {
     stats->strategy = chosen;

@@ -1,12 +1,16 @@
 #include "src/db/query.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "src/avq/block_decoder.h"
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 
 namespace avqdb {
 
@@ -41,6 +45,42 @@ std::string QueryStats::ToString() const {
 
 namespace {
 
+// Per-access-path counts and latency, updated once per executed query.
+struct QueryMetrics {
+  obs::Counter* count;
+  obs::Counter* path[3];  // indexed by AccessPath
+  obs::Histogram* latency_us;
+  obs::Counter* tuples_examined;
+  obs::Counter* tuples_matched;
+
+  static const QueryMetrics& Get() {
+    static const QueryMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return QueryMetrics{
+          registry.GetCounter(obs::kQueryCount),
+          {registry.GetCounter(obs::kQueryClusteredRange),
+           registry.GetCounter(obs::kQuerySecondaryIndex),
+           registry.GetCounter(obs::kQueryFullScan)},
+          registry.GetHistogram(obs::kQueryLatencyMicros),
+          registry.GetCounter(obs::kQueryTuplesExamined),
+          registry.GetCounter(obs::kQueryTuplesMatched)};
+    }();
+    return metrics;
+  }
+};
+
+obs::Counter* EarlyExitCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kQueryEarlyExits);
+  return counter;
+}
+
+obs::Counter* CacheFillCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kQueryCacheFills);
+  return counter;
+}
+
 bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
   return CompareTuples(a, b) < 0;
 }
@@ -64,17 +104,27 @@ Status FilterDataBlock(const Table& table, BlockId id,
   if (cache != nullptr) {
     if (DecodedBlockCache::TuplesPtr cached = cache->Get(&table, id)) {
       ++stats->decoded_cache_hits;
+      obs::TraceSpanScope span("block:cache_hit");
+      span.AddAttr("block", id);
       const std::vector<OrdinalTuple>& block = *cached;
       const size_t begin =
           seek != nullptr ? LowerBoundInBlock(block, *seek) : 0;
+      size_t visited = 0;
       for (size_t i = begin; i < block.size(); ++i) {
-        if (stop != nullptr && CompareTuples(block[i], *stop) > 0) break;
+        if (stop != nullptr && CompareTuples(block[i], *stop) > 0) {
+          EarlyExitCounter()->Increment();
+          break;
+        }
         visit(block[i]);
+        ++visited;
       }
+      span.AddAttr("tuples", visited);
       return Status::OK();
     }
   }
   ++stats->decoded_cache_misses;
+  obs::TraceSpanScope span("block:decode");
+  span.AddAttr("block", id);
   AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<TupleBlockCursor> cursor,
                          table.NewBlockCursor(id));
   if (seek != nullptr) {
@@ -91,6 +141,7 @@ Status FilterDataBlock(const Table& table, BlockId id,
     const OrdinalTuple& tuple = cursor->tuple();
     if (stop != nullptr && CompareTuples(tuple, *stop) > 0) {
       collect = false;  // early exit: the tail was never decoded
+      EarlyExitCounter()->Increment();
       break;
     }
     if (collect) walked.push_back(tuple);
@@ -98,7 +149,11 @@ Status FilterDataBlock(const Table& table, BlockId id,
     AVQDB_RETURN_IF_ERROR(cursor->Next());
   }
   stats->tuples_decoded += cursor->tuples_decoded();
+  span.AddAttr("tuples_decoded", cursor->tuples_decoded());
   if (collect) {
+    obs::TraceSpanScope fill("cache_fill");
+    fill.AddAttr("tuples", walked.size());
+    CacheFillCounter()->Increment();
     cache->Put(&table, id,
                std::make_shared<const std::vector<OrdinalTuple>>(
                    std::move(walked)));
@@ -157,11 +212,32 @@ namespace {
 Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
                     QueryStats* stats,
                     const std::function<void(const OrdinalTuple&)>& on_match) {
+  const bool collect_trace = stats->collect_trace;
   *stats = QueryStats{};
+  stats->collect_trace = collect_trace;
+
+  // Own a fresh trace only when none is active: a query nested under an
+  // already-tracing caller (a join leg, say) contributes its spans to the
+  // enclosing trace instead.
+  std::shared_ptr<obs::QueryTrace> trace;
+  std::optional<obs::TraceActivation> activation;
+  if (collect_trace && !obs::TracingActive()) {
+    trace = std::make_shared<obs::QueryTrace>();
+    activation.emplace(trace.get());
+    stats->trace = trace;
+  }
+  obs::TraceSpanScope select_span("select");
+  const auto started = std::chrono::steady_clock::now();
+
   const Schema& schema = *table.schema();
   std::map<size_t, std::pair<uint64_t, uint64_t>> preds;
-  AVQDB_ASSIGN_OR_RETURN(bool satisfiable,
-                         NormalizePredicates(schema, query, &preds));
+  bool satisfiable = false;
+  {
+    obs::TraceSpanScope plan_span("plan");
+    plan_span.AddAttr("predicates", query.predicates.size());
+    AVQDB_ASSIGN_OR_RETURN(satisfiable,
+                           NormalizePredicates(schema, query, &preds));
+  }
 
   const IoStats data_before = table.data_pager().stats();
   const IoStats index_before = table.index_pager().stats();
@@ -181,6 +257,7 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
     // tuple range: drive a clustered scan, filter the rest.
     stats->path = AccessPath::kClusteredRange;
     stats->driver_attribute = 0;
+    obs::TraceSpanScope scan_span("scan:clustered-range");
     const auto [lo, hi] = preds.at(0);
     OrdinalTuple start(schema.num_attributes(), 0);
     start[0] = lo;
@@ -231,9 +308,15 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
     if (best_index != nullptr) {
       stats->path = AccessPath::kSecondaryIndex;
       stats->driver_attribute = best_attr;
-      const auto [lo, hi] = preds.at(best_attr);
-      AVQDB_ASSIGN_OR_RETURN(std::vector<BlockId> blocks,
-                             best_index->LookupRange(lo, hi));
+      obs::TraceSpanScope scan_span("scan:secondary-index");
+      scan_span.AddAttr("attribute", best_attr);
+      std::vector<BlockId> blocks;
+      {
+        obs::TraceSpanScope lookup_span("index_lookup");
+        const auto [lo, hi] = preds.at(best_attr);
+        AVQDB_ASSIGN_OR_RETURN(blocks, best_index->LookupRange(lo, hi));
+        lookup_span.AddAttr("candidate_blocks", blocks.size());
+      }
       // Matches on a non-clustered attribute are scattered through the
       // block, so no seek/stop bound applies: every candidate block is
       // walked in full (and therefore populates the cache).
@@ -243,6 +326,7 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
       }
     } else {
       stats->path = AccessPath::kFullScan;
+      obs::TraceSpanScope scan_span("scan:full-scan");
       AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
                              table.primary_index().Begin());
       while (iter.Valid()) {
@@ -263,6 +347,16 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
   stats->raw_cache_hits = data_delta.logical_reads - data_delta.physical_reads;
   stats->simulated_io_ms =
       data_delta.simulated_read_ms + index_delta.simulated_read_ms;
+
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.count->Increment();
+  metrics.path[static_cast<int>(stats->path)]->Increment();
+  metrics.latency_us->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count()));
+  metrics.tuples_examined->Add(stats->tuples_examined);
+  metrics.tuples_matched->Add(stats->tuples_matched);
   return Status::OK();
 }
 

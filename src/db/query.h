@@ -18,6 +18,7 @@
 #define AVQDB_DB_QUERY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/db/table.h"
+#include "src/obs/trace.h"
 #include "src/schema/value.h"
 
 namespace avqdb {
@@ -74,6 +76,14 @@ struct QueryStats {
   // keep this below the summed cardinality of the touched blocks.
   uint64_t tuples_decoded = 0;
   double simulated_io_ms = 0.0;  // DiskParameters-priced physical reads
+
+  // Tracing (EXPLAIN ANALYZE): set collect_trace before executing and
+  // `trace` comes back holding the recorded span tree (plan → scan →
+  // per-block fetch/decode/cache-fill); print it with trace->ToString().
+  // Left null when collection is off or an enclosing trace (e.g. a join's)
+  // is already active on this thread — the spans then nest into that one.
+  bool collect_trace = false;
+  std::shared_ptr<obs::QueryTrace> trace;
 
   std::string ToString() const;
 };

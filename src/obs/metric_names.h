@@ -1,0 +1,102 @@
+// Canonical names of every metric the library registers.
+//
+// Naming convention (enforced by docs and tools/check_metrics_doc.sh):
+// lowercase dot-separated "<layer>.<component>.<what>", units suffixed
+// when not obvious (_bytes, _us, _ms). Every name listed here MUST be
+// documented in docs/OBSERVABILITY.md — the lint greps the quoted string
+// literals out of this header and fails on undocumented ones. Register
+// new metrics by adding the constant here first.
+
+#ifndef AVQDB_OBS_METRIC_NAMES_H_
+#define AVQDB_OBS_METRIC_NAMES_H_
+
+namespace avqdb::obs {
+
+// --- storage: block device (physical byte movement) ---
+inline constexpr char kDeviceReads[] = "storage.device.reads";
+inline constexpr char kDeviceWrites[] = "storage.device.writes";
+inline constexpr char kDeviceBytesRead[] = "storage.device.bytes_read";
+inline constexpr char kDeviceBytesWritten[] = "storage.device.bytes_written";
+
+// --- storage: pager (counted, priced access path) ---
+inline constexpr char kPagerLogicalReads[] = "storage.pager.logical_reads";
+inline constexpr char kPagerPhysicalReads[] = "storage.pager.physical_reads";
+inline constexpr char kPagerWrites[] = "storage.pager.writes";
+inline constexpr char kPagerAllocations[] = "storage.pager.allocations";
+inline constexpr char kPagerFrees[] = "storage.pager.frees";
+inline constexpr char kPagerBytesRead[] = "storage.pager.bytes_read";
+inline constexpr char kPagerBytesWritten[] = "storage.pager.bytes_written";
+
+// --- storage: raw buffer pool (block images) ---
+inline constexpr char kBufferPoolHits[] = "storage.buffer_pool.hits";
+inline constexpr char kBufferPoolMisses[] = "storage.buffer_pool.misses";
+inline constexpr char kBufferPoolInsertions[] =
+    "storage.buffer_pool.insertions";
+inline constexpr char kBufferPoolEvictions[] = "storage.buffer_pool.evictions";
+
+// --- storage: decoded-block cache (tuple vectors) ---
+inline constexpr char kDecodedCacheHits[] = "storage.decoded_cache.hits";
+inline constexpr char kDecodedCacheMisses[] = "storage.decoded_cache.misses";
+inline constexpr char kDecodedCacheInsertions[] =
+    "storage.decoded_cache.insertions";
+inline constexpr char kDecodedCacheEvictions[] =
+    "storage.decoded_cache.evictions";
+inline constexpr char kDecodedCacheInvalidations[] =
+    "storage.decoded_cache.invalidations";
+inline constexpr char kDecodedCacheResidentBytes[] =
+    "storage.decoded_cache.resident_bytes";
+inline constexpr char kDecodedCacheEntries[] = "storage.decoded_cache.entries";
+
+// --- avq codec ---
+inline constexpr char kEncodeBlocks[] = "avq.encode.blocks";
+inline constexpr char kEncodeTuples[] = "avq.encode.tuples";
+inline constexpr char kEncodePayloadBytes[] = "avq.encode.payload_bytes";
+inline constexpr char kEncodeZeroBytesElided[] =
+    "avq.encode.zero_bytes_elided";
+inline constexpr char kEncodeBlockPayloadBytes[] =
+    "avq.encode.block_payload_bytes";
+inline constexpr char kDecodeBlocks[] = "avq.decode.blocks";
+inline constexpr char kDecodeTuples[] = "avq.decode.tuples";
+
+// --- avq streaming cursor ---
+inline constexpr char kCursorOpens[] = "avq.cursor.opens";
+inline constexpr char kCursorSeeks[] = "avq.cursor.seeks";
+inline constexpr char kCursorPrefixSkips[] = "avq.cursor.prefix_skips";
+inline constexpr char kCursorTuplesDecoded[] = "avq.cursor.tuples_decoded";
+inline constexpr char kCursorTuplesSkipped[] = "avq.cursor.tuples_skipped";
+
+// --- thread pool ---
+inline constexpr char kThreadPoolTasksSubmitted[] =
+    "common.thread_pool.tasks_submitted";
+inline constexpr char kThreadPoolTasksCompleted[] =
+    "common.thread_pool.tasks_completed";
+inline constexpr char kThreadPoolQueueDepth[] =
+    "common.thread_pool.queue_depth";
+inline constexpr char kThreadPoolTaskMicros[] =
+    "common.thread_pool.task_us";
+
+// --- query execution ---
+inline constexpr char kQueryCount[] = "db.query.count";
+inline constexpr char kQueryClusteredRange[] =
+    "db.query.path.clustered_range";
+inline constexpr char kQuerySecondaryIndex[] =
+    "db.query.path.secondary_index";
+inline constexpr char kQueryFullScan[] = "db.query.path.full_scan";
+inline constexpr char kQueryLatencyMicros[] = "db.query.latency_us";
+inline constexpr char kQueryTuplesExamined[] = "db.query.tuples_examined";
+inline constexpr char kQueryTuplesMatched[] = "db.query.tuples_matched";
+inline constexpr char kQueryEarlyExits[] = "db.query.early_exits";
+inline constexpr char kQueryCacheFills[] = "db.query.cache_fills";
+
+// --- joins ---
+inline constexpr char kJoinCount[] = "db.join.count";
+inline constexpr char kJoinMerge[] = "db.join.strategy.merge";
+inline constexpr char kJoinHash[] = "db.join.strategy.hash";
+inline constexpr char kJoinIndexNestedLoop[] =
+    "db.join.strategy.index_nested_loop";
+inline constexpr char kJoinLatencyMicros[] = "db.join.latency_us";
+inline constexpr char kJoinOutputTuples[] = "db.join.output_tuples";
+
+}  // namespace avqdb::obs
+
+#endif  // AVQDB_OBS_METRIC_NAMES_H_

@@ -1,0 +1,180 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace avqdb::obs {
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  auto kind = kinds_.find(name);
+  AVQDB_CHECK(kind == kinds_.end(),
+              "metric '%.*s' already registered with a different kind",
+              static_cast<int>(name.size()), name.data());
+  kinds_.emplace(std::string(name), Kind::kCounter);
+  return counters_.emplace(std::string(name), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  auto kind = kinds_.find(name);
+  AVQDB_CHECK(kind == kinds_.end(),
+              "metric '%.*s' already registered with a different kind",
+              static_cast<int>(name.size()), name.data());
+  kinds_.emplace(std::string(name), Kind::kGauge);
+  return gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+      .first->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  auto kind = kinds_.find(name);
+  AVQDB_CHECK(kind == kinds_.end(),
+              "metric '%.*s' already registered with a different kind",
+              static_cast<int>(name.size()), name.data());
+  kinds_.emplace(std::string(name), Kind::kHistogram);
+  return histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+      .first->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = name;
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t n = histogram->bucket(i);
+      if (n > 0) {
+        sample.buckets.emplace_back(Histogram::BucketUpperBound(i), n);
+      }
+    }
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->count_.store(0, std::memory_order_relaxed);
+    histogram->sum_.store(0, std::memory_order_relaxed);
+    for (auto& bucket : histogram->buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string MetricsSnapshot::ToText() const {
+  size_t width = 0;
+  for (const auto& c : counters) width = std::max(width, c.name.size());
+  for (const auto& g : gauges) width = std::max(width, g.name.size());
+  for (const auto& h : histograms) width = std::max(width, h.name.size());
+
+  std::string out;
+  for (const auto& c : counters) {
+    out += StringFormat("%-*s %llu\n", static_cast<int>(width),
+                        c.name.c_str(),
+                        static_cast<unsigned long long>(c.value));
+  }
+  for (const auto& g : gauges) {
+    out += StringFormat("%-*s %lld\n", static_cast<int>(width),
+                        g.name.c_str(), static_cast<long long>(g.value));
+  }
+  for (const auto& h : histograms) {
+    const double mean =
+        h.count > 0 ? static_cast<double>(h.sum) / static_cast<double>(h.count)
+                    : 0.0;
+    out += StringFormat("%-*s count %llu, sum %llu, mean %.1f\n",
+                        static_cast<int>(width), h.name.c_str(),
+                        static_cast<unsigned long long>(h.count),
+                        static_cast<unsigned long long>(h.sum), mean);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += StringFormat("%s\n    \"%s\": %llu", i > 0 ? "," : "",
+                        counters[i].name.c_str(),
+                        static_cast<unsigned long long>(counters[i].value));
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += StringFormat("%s\n    \"%s\": %lld", i > 0 ? "," : "",
+                        gauges[i].name.c_str(),
+                        static_cast<long long>(gauges[i].value));
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out += StringFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"buckets\": [",
+        i > 0 ? "," : "", h.name.c_str(),
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum));
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      out += StringFormat("%s{\"le\": %llu, \"count\": %llu}",
+                          b > 0 ? ", " : "",
+                          static_cast<unsigned long long>(h.buckets[b].first),
+                          static_cast<unsigned long long>(h.buckets[b].second));
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace avqdb::obs

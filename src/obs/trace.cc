@@ -1,0 +1,99 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace avqdb::obs {
+namespace {
+
+// The calling thread's active trace and the span new children attach to.
+thread_local QueryTrace* g_trace = nullptr;
+thread_local size_t g_parent = QueryTrace::kNoParent;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendSpanTree(const QueryTrace& trace, size_t index, int depth,
+                    std::string* out) {
+  const QueryTrace::Span& span = trace.spans()[index];
+  std::string label(static_cast<size_t>(depth) * 2, ' ');
+  label += span.name;
+  *out += StringFormat("%-40s %9.3f ms", label.c_str(),
+                       static_cast<double>(span.duration_ns) / 1e6);
+  for (const auto& [key, value] : span.attrs) {
+    *out += StringFormat("  %s=%llu", key.c_str(),
+                         static_cast<unsigned long long>(value));
+  }
+  *out += "\n";
+  for (size_t i = index + 1; i < trace.spans().size(); ++i) {
+    if (trace.spans()[i].parent == index) {
+      AppendSpanTree(trace, i, depth + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string QueryTrace::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent == kNoParent) AppendSpanTree(*this, i, 0, &out);
+  }
+  if (dropped_ > 0) {
+    out += StringFormat("(%llu spans dropped past the %zu-span cap)\n",
+                        static_cast<unsigned long long>(dropped_), kMaxSpans);
+  }
+  return out;
+}
+
+TraceActivation::TraceActivation(QueryTrace* trace) {
+  AVQDB_CHECK(g_trace == nullptr, "trace activations do not nest");
+  AVQDB_CHECK(trace != nullptr, "cannot activate a null trace");
+  g_trace = trace;
+  g_parent = QueryTrace::kNoParent;
+}
+
+TraceActivation::~TraceActivation() {
+  g_trace = nullptr;
+  g_parent = QueryTrace::kNoParent;
+}
+
+TraceSpanScope::TraceSpanScope(std::string_view name) {
+  QueryTrace* trace = g_trace;
+  if (trace == nullptr) return;
+  if (trace->spans_.size() >= QueryTrace::kMaxSpans) {
+    ++trace->dropped_;
+    return;
+  }
+  start_ns_ = NowNs();
+  if (trace->spans_.empty()) trace->origin_ns_ = start_ns_;
+  QueryTrace::Span span;
+  span.name = std::string(name);
+  span.parent = g_parent;
+  span.start_ns = start_ns_ - trace->origin_ns_;
+  span_ = trace->spans_.size();
+  trace->spans_.push_back(std::move(span));
+  saved_parent_ = g_parent;
+  g_parent = span_;
+}
+
+TraceSpanScope::~TraceSpanScope() {
+  if (span_ == kNotRecording) return;
+  g_trace->spans_[span_].duration_ns = NowNs() - start_ns_;
+  g_parent = saved_parent_;
+}
+
+void TraceSpanScope::AddAttr(std::string_view key, uint64_t value) {
+  if (span_ == kNotRecording) return;
+  g_trace->spans_[span_].attrs.emplace_back(std::string(key), value);
+}
+
+bool TracingActive() { return g_trace != nullptr; }
+
+}  // namespace avqdb::obs

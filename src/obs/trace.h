@@ -1,0 +1,117 @@
+// Per-query trace spans: a scoped-timer facility that records one tree of
+// timed spans (plan → index descent → block fetch → cursor decode → cache
+// fill) per query into a QueryTrace, rendered EXPLAIN ANALYZE-style.
+//
+// Activation is explicit and thread-local: a TraceActivation makes a
+// QueryTrace the current sink for the calling thread; while none is
+// active, TraceSpanScope construction is a single thread_local load and
+// branch, so instrumented code pays (almost) nothing when tracing is off.
+// A trace belongs to one thread — the query execution path is
+// single-threaded — and must not be shared across threads while active.
+//
+// Spans are capped (kMaxSpans) so a full scan over thousands of blocks
+// cannot balloon a trace; spans beyond the cap are counted as dropped and
+// their children attach to the nearest recorded ancestor.
+//
+// Usage:
+//   obs::QueryTrace trace;
+//   {
+//     obs::TraceActivation activation(&trace);
+//     obs::TraceSpanScope root("select");
+//     ...
+//     {
+//       obs::TraceSpanScope span("block_fetch");
+//       span.AddAttr("block", id);
+//       ...
+//     }
+//   }
+//   std::puts(trace.ToString().c_str());
+
+#ifndef AVQDB_OBS_TRACE_H_
+#define AVQDB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace avqdb::obs {
+
+class QueryTrace {
+ public:
+  static constexpr size_t kMaxSpans = 512;
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  struct Span {
+    std::string name;
+    size_t parent = kNoParent;
+    uint64_t start_ns = 0;     // relative to the first span's start
+    uint64_t duration_ns = 0;  // 0 while the span is still open
+    std::vector<std::pair<std::string, uint64_t>> attrs;
+  };
+
+  // Spans in creation (pre-)order; children follow their parent.
+  const std::vector<Span>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+  // Spans not recorded because the kMaxSpans cap was reached.
+  uint64_t dropped_spans() const { return dropped_; }
+
+  // EXPLAIN ANALYZE-style tree, e.g.:
+  //   select                                  1.234 ms
+  //     plan                                  0.010 ms  predicates=1
+  //     scan:clustered-range                  1.200 ms
+  //       block_fetch                         0.300 ms  block=12 source=cursor
+  std::string ToString() const;
+
+ private:
+  friend class TraceActivation;
+  friend class TraceSpanScope;
+
+  std::vector<Span> spans_;
+  uint64_t dropped_ = 0;
+  uint64_t origin_ns_ = 0;  // absolute time of the first span's start
+};
+
+// Makes `trace` the calling thread's active sink for its lifetime.
+// Activations do not nest (programmer error, aborts); `trace` must
+// outlive the activation.
+class TraceActivation {
+ public:
+  explicit TraceActivation(QueryTrace* trace);
+  ~TraceActivation();
+
+  TraceActivation(const TraceActivation&) = delete;
+  TraceActivation& operator=(const TraceActivation&) = delete;
+};
+
+// RAII span: records itself into the thread's active trace (no-op when
+// none). The destructor stamps the duration.
+class TraceSpanScope {
+ public:
+  explicit TraceSpanScope(std::string_view name);
+  ~TraceSpanScope();
+
+  TraceSpanScope(const TraceSpanScope&) = delete;
+  TraceSpanScope& operator=(const TraceSpanScope&) = delete;
+
+  // True when this span is being recorded (a trace is active and the span
+  // cap was not hit). Callers can skip attr formatting otherwise.
+  bool recording() const { return span_ != kNotRecording; }
+
+  // Attaches a named value to the span (no-op when not recording).
+  void AddAttr(std::string_view key, uint64_t value);
+
+ private:
+  static constexpr size_t kNotRecording = static_cast<size_t>(-1);
+
+  size_t span_ = kNotRecording;   // index into the trace's span vector
+  size_t saved_parent_ = kNotRecording;
+  uint64_t start_ns_ = 0;
+};
+
+// True when a trace is active on this thread — lets instrumented code
+// skip work (e.g. computing attr values) that only feeds spans.
+bool TracingActive();
+
+}  // namespace avqdb::obs
+
+#endif  // AVQDB_OBS_TRACE_H_

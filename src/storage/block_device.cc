@@ -8,8 +8,32 @@
 #include <cstring>
 
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 
 namespace avqdb {
+namespace {
+
+// Successful whole-block transfers, shared by both device kinds.
+void RecordDeviceRead(size_t bytes) {
+  static obs::Counter* const reads =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDeviceReads);
+  static obs::Counter* const bytes_read =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDeviceBytesRead);
+  reads->Increment();
+  bytes_read->Add(bytes);
+}
+
+void RecordDeviceWrite(size_t bytes) {
+  static obs::Counter* const writes =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDeviceWrites);
+  static obs::Counter* const bytes_written =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDeviceBytesWritten);
+  writes->Increment();
+  bytes_written->Add(bytes);
+}
+
+}  // namespace
 
 MemBlockDevice::MemBlockDevice(size_t block_size) : block_size_(block_size) {}
 
@@ -49,6 +73,7 @@ Status MemBlockDevice::Free(BlockId id) {
 Status MemBlockDevice::Read(BlockId id, std::string* out) const {
   AVQDB_RETURN_IF_ERROR(CheckLive(id));
   *out = blocks_[id];
+  RecordDeviceRead(block_size_);
   return Status::OK();
 }
 
@@ -62,6 +87,7 @@ Status MemBlockDevice::Write(BlockId id, Slice data) {
   std::string& block = blocks_[id];
   block.assign(reinterpret_cast<const char*>(data.data()), data.size());
   block.resize(block_size_, '\0');
+  RecordDeviceWrite(block_size_);
   return Status::OK();
 }
 
@@ -165,6 +191,7 @@ Status FileBlockDevice::Read(BlockId id, std::string* out) const {
     return Status::IOError(StringFormat("pread block %u: %s", id,
                                         std::strerror(errno)));
   }
+  RecordDeviceRead(block_size_);
   return Status::OK();
 }
 
@@ -187,6 +214,7 @@ Status FileBlockDevice::Write(BlockId id, Slice data) {
     return Status::IOError(StringFormat("pwrite block %u: %s", id,
                                         std::strerror(errno)));
   }
+  RecordDeviceWrite(block_size_);
   return Status::OK();
 }
 

@@ -2,16 +2,42 @@
 
 #include <utility>
 
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+
 namespace avqdb {
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* insertions;
+  obs::Counter* evictions;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PoolMetrics{registry.GetCounter(obs::kBufferPoolHits),
+                         registry.GetCounter(obs::kBufferPoolMisses),
+                         registry.GetCounter(obs::kBufferPoolInsertions),
+                         registry.GetCounter(obs::kBufferPoolEvictions)};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::optional<std::string> BufferPool::Get(BlockId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     ++misses_;
+    PoolMetrics::Get().misses->Increment();
     return std::nullopt;
   }
   ++hits_;
+  PoolMetrics::Get().hits->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->data;
 }
@@ -27,9 +53,11 @@ void BufferPool::Put(BlockId id, std::string block) {
   }
   lru_.push_front(Entry{id, std::move(block)});
   entries_[id] = lru_.begin();
+  PoolMetrics::Get().insertions->Increment();
   while (entries_.size() > capacity_) {
     entries_.erase(lru_.back().id);
     lru_.pop_back();
+    PoolMetrics::Get().evictions->Increment();
   }
 }
 

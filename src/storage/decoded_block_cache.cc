@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 
 namespace avqdb {
 namespace {
@@ -12,6 +14,33 @@ size_t RoundUpPowerOfTwo(size_t n) {
   while (p < n) p <<= 1;
   return p;
 }
+
+// Process-wide totals (summed over every cache instance) behind the
+// per-instance Stats view. Resident bytes/entries are gauges: they move
+// down again on eviction and invalidation.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* insertions;
+  obs::Counter* evictions;
+  obs::Counter* invalidations;
+  obs::Gauge* resident_bytes;
+  obs::Gauge* entries;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return CacheMetrics{registry.GetCounter(obs::kDecodedCacheHits),
+                          registry.GetCounter(obs::kDecodedCacheMisses),
+                          registry.GetCounter(obs::kDecodedCacheInsertions),
+                          registry.GetCounter(obs::kDecodedCacheEvictions),
+                          registry.GetCounter(obs::kDecodedCacheInvalidations),
+                          registry.GetGauge(obs::kDecodedCacheResidentBytes),
+                          registry.GetGauge(obs::kDecodedCacheEntries)};
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -53,9 +82,11 @@ DecodedBlockCache::TuplesPtr DecodedBlockCache::Get(const void* owner,
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     ++shard.stats.misses;
+    CacheMetrics::Get().misses->Increment();
     return nullptr;
   }
   ++shard.stats.hits;
+  CacheMetrics::Get().hits->Increment();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->tuples;
 }
@@ -64,11 +95,14 @@ void DecodedBlockCache::Put(const void* owner, BlockId id, TuplesPtr tuples) {
   if (byte_budget_ == 0 || tuples == nullptr) return;
   const Key key{owner, id};
   const uint64_t bytes = EstimateBytes(*tuples);
+  const CacheMetrics& metrics = CacheMetrics::Get();
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     shard.bytes -= it->second->bytes;
+    metrics.resident_bytes->Add(static_cast<int64_t>(bytes) -
+                                static_cast<int64_t>(it->second->bytes));
     it->second->tuples = std::move(tuples);
     it->second->bytes = bytes;
     shard.bytes += bytes;
@@ -78,17 +112,24 @@ void DecodedBlockCache::Put(const void* owner, BlockId id, TuplesPtr tuples) {
     shard.entries[key] = shard.lru.begin();
     shard.bytes += bytes;
     ++shard.stats.insertions;
+    metrics.insertions->Increment();
+    metrics.resident_bytes->Add(static_cast<int64_t>(bytes));
+    metrics.entries->Add(1);
   }
   EvictOverBudget(shard);
 }
 
 void DecodedBlockCache::EvictOverBudget(Shard& shard) {
+  const CacheMetrics& metrics = CacheMetrics::Get();
   while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
+    metrics.resident_bytes->Subtract(static_cast<int64_t>(victim.bytes));
+    metrics.entries->Subtract(1);
     shard.entries.erase(victim.key);
     shard.lru.pop_back();
     ++shard.stats.evictions;
+    metrics.evictions->Increment();
   }
 }
 
@@ -98,21 +139,29 @@ void DecodedBlockCache::Invalidate(const void* owner, BlockId id) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return;
+  const CacheMetrics& metrics = CacheMetrics::Get();
   shard.bytes -= it->second->bytes;
+  metrics.resident_bytes->Subtract(static_cast<int64_t>(it->second->bytes));
+  metrics.entries->Subtract(1);
   shard.lru.erase(it->second);
   shard.entries.erase(it);
   ++shard.stats.invalidations;
+  metrics.invalidations->Increment();
 }
 
 void DecodedBlockCache::InvalidateOwner(const void* owner) {
+  const CacheMetrics& metrics = CacheMetrics::Get();
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->key.owner == owner) {
         shard.bytes -= it->bytes;
+        metrics.resident_bytes->Subtract(static_cast<int64_t>(it->bytes));
+        metrics.entries->Subtract(1);
         shard.entries.erase(it->key);
         it = shard.lru.erase(it);
         ++shard.stats.invalidations;
+        metrics.invalidations->Increment();
       } else {
         ++it;
       }
@@ -121,9 +170,13 @@ void DecodedBlockCache::InvalidateOwner(const void* owner) {
 }
 
 void DecodedBlockCache::Clear() {
+  const CacheMetrics& metrics = CacheMetrics::Get();
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.stats.invalidations += shard.entries.size();
+    metrics.invalidations->Add(shard.entries.size());
+    metrics.resident_bytes->Subtract(static_cast<int64_t>(shard.bytes));
+    metrics.entries->Subtract(static_cast<int64_t>(shard.entries.size()));
     shard.lru.clear();
     shard.entries.clear();
     shard.bytes = 0;
@@ -131,9 +184,18 @@ void DecodedBlockCache::Clear() {
 }
 
 DecodedBlockCache::Stats DecodedBlockCache::stats() const {
+  // Single atomic snapshot: every shard lock is held simultaneously (in
+  // index order) before any field is read, so the returned totals are a
+  // consistent cut even under concurrent mutation — hits + misses always
+  // equals the number of completed Get calls, and bytes_used/entries
+  // match an actual instantaneous cache state.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    locks.emplace_back(shard.mu);
+  }
   Stats total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
     total.insertions += shard.stats.insertions;

@@ -69,8 +69,9 @@ class DecodedBlockCache {
   void InvalidateOwner(const void* owner);
   void Clear();
 
-  // Aggregated over all shards (each shard locked in turn, so the sum is
-  // only instantaneously consistent — fine for accounting).
+  // Aggregated over all shards. Every shard lock is held simultaneously
+  // while the fields are read, so the returned struct is a single
+  // consistent snapshot even under concurrent mutation.
   Stats stats() const;
 
   uint64_t byte_budget() const { return byte_budget_; }

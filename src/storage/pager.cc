@@ -1,8 +1,39 @@
 #include "src/storage/pager.h"
 
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 
 namespace avqdb {
+namespace {
+
+// Process-wide totals behind the per-instance IoStats views. Handles are
+// resolved once and shared by every pager.
+struct PagerMetrics {
+  obs::Counter* logical_reads;
+  obs::Counter* physical_reads;
+  obs::Counter* writes;
+  obs::Counter* allocations;
+  obs::Counter* frees;
+  obs::Counter* bytes_read;
+  obs::Counter* bytes_written;
+
+  static const PagerMetrics& Get() {
+    static const PagerMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PagerMetrics{registry.GetCounter(obs::kPagerLogicalReads),
+                          registry.GetCounter(obs::kPagerPhysicalReads),
+                          registry.GetCounter(obs::kPagerWrites),
+                          registry.GetCounter(obs::kPagerAllocations),
+                          registry.GetCounter(obs::kPagerFrees),
+                          registry.GetCounter(obs::kPagerBytesRead),
+                          registry.GetCounter(obs::kPagerBytesWritten)};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 IoStats& IoStats::operator-=(const IoStats& other) {
   logical_reads -= other.logical_reads;
@@ -36,7 +67,9 @@ void Pager::EnableBufferPool(size_t capacity_blocks) {
 }
 
 Result<std::string> Pager::Read(BlockId id) {
+  const PagerMetrics& metrics = PagerMetrics::Get();
   ++stats_.logical_reads;
+  metrics.logical_reads->Increment();
   if (pool_ != nullptr) {
     if (std::optional<std::string> cached = pool_->Get(id)) {
       return *std::move(cached);
@@ -46,6 +79,8 @@ Result<std::string> Pager::Read(BlockId id) {
   AVQDB_RETURN_IF_ERROR(device_->Read(id, &block));
   ++stats_.physical_reads;
   stats_.simulated_read_ms += disk_.BlockTimeMs(device_->block_size());
+  metrics.physical_reads->Increment();
+  metrics.bytes_read->Add(device_->block_size());
   if (pool_ != nullptr) pool_->Put(id, block);
   return block;
 }
@@ -54,6 +89,9 @@ Status Pager::Write(BlockId id, Slice data) {
   AVQDB_RETURN_IF_ERROR(device_->Write(id, data));
   ++stats_.writes;
   stats_.simulated_write_ms += disk_.BlockTimeMs(device_->block_size());
+  const PagerMetrics& metrics = PagerMetrics::Get();
+  metrics.writes->Increment();
+  metrics.bytes_written->Add(device_->block_size());
   if (pool_ != nullptr) {
     std::string padded(reinterpret_cast<const char*>(data.data()),
                        data.size());
@@ -66,12 +104,14 @@ Status Pager::Write(BlockId id, Slice data) {
 Result<BlockId> Pager::Allocate() {
   AVQDB_ASSIGN_OR_RETURN(BlockId id, device_->Allocate());
   ++stats_.allocations;
+  PagerMetrics::Get().allocations->Increment();
   return id;
 }
 
 Status Pager::Free(BlockId id) {
   AVQDB_RETURN_IF_ERROR(device_->Free(id));
   ++stats_.frees;
+  PagerMetrics::Get().frees->Increment();
   if (pool_ != nullptr) pool_->Erase(id);
   return Status::OK();
 }

@@ -1,0 +1,228 @@
+// MetricsRegistry semantics: instrument arithmetic, power-of-two bucket
+// boundaries, handle stability, snapshot ordering, the pinned JSON export
+// schema, and a multi-threaded hammer proving updates are race-free (run
+// under AVQDB_SANITIZE=thread via tools/run_sanitized_tests.sh).
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metric_names.h"
+
+namespace avqdb::obs {
+namespace {
+
+TEST(Counter, AddAndIncrement) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment();
+  counter->Add(41);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(Gauge, MovesBothWays) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  gauge->Add(10);
+  gauge->Subtract(25);
+  EXPECT_EQ(gauge->value(), -15);
+  gauge->Set(7);
+  EXPECT_EQ(gauge->value(), 7);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 holds exactly 0; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), 64u);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), ~uint64_t{0});
+
+  // Every value lands in the bucket whose bound brackets it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull, 1ull << 40}) {
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(i - 1)) << v;
+    }
+  }
+}
+
+TEST(Histogram, RecordAccumulates) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.hist");
+  histogram->Record(0);
+  histogram->Record(1);
+  histogram->Record(5);
+  histogram->Record(5);
+  EXPECT_EQ(histogram->count(), 4u);
+  EXPECT_EQ(histogram->sum(), 11u);
+  EXPECT_EQ(histogram->bucket(0), 1u);
+  EXPECT_EQ(histogram->bucket(1), 1u);
+  EXPECT_EQ(histogram->bucket(3), 2u);  // [4, 7]
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndDeduplicated) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("dup.name");
+  // Registering many more instruments must not move the first handle.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler." + std::to_string(i));
+  }
+  Counter* b = registry.GetCounter("dup.name");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+}
+
+TEST(MetricsRegistry, InstancesAreIndependent) {
+  MetricsRegistry first;
+  MetricsRegistry second;
+  first.GetCounter("x")->Add(5);
+  EXPECT_EQ(second.GetCounter("x")->value(), 0u);
+}
+
+TEST(MetricsRegistry, ResetZeroesKeepingHandles) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* histogram = registry.GetHistogram("h");
+  counter->Add(3);
+  gauge->Set(-4);
+  histogram->Record(100);
+  registry.Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(), 0u);
+  EXPECT_EQ(histogram->sum(), 0u);
+  counter->Increment();  // handle still live
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotSortsByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last")->Add(1);
+  registry.GetCounter("a.first")->Add(2);
+  registry.GetCounter("m.middle")->Add(3);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[1].name, "m.middle");
+  EXPECT_EQ(snap.counters[2].name, "z.last");
+}
+
+TEST(MetricsRegistry, GlobalRegistersLibraryMetrics) {
+  // The library's cached handles resolve against Global(); asking for a
+  // known name must hand back the same instrument.
+  Counter* a = MetricsRegistry::Global().GetCounter(kDeviceReads);
+  Counter* b = MetricsRegistry::Global().GetCounter(kDeviceReads);
+  EXPECT_EQ(a, b);
+}
+
+// The JSON schema is a compatibility surface: bench JSON embeds it and
+// external tooling parses it. Any change here is a schema version bump.
+TEST(MetricsSnapshot, ToJsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.b.c")->Add(3);
+  registry.GetGauge("g.x")->Set(-2);
+  Histogram* histogram = registry.GetHistogram("h.lat");
+  histogram->Record(0);
+  histogram->Record(1);
+  histogram->Record(5);
+
+  const std::string expected =
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"counters\": {\n"
+      "    \"a.b.c\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"g.x\": -2\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"h.lat\": {\"count\": 3, \"sum\": 6, \"buckets\": "
+      "[{\"le\": 0, \"count\": 1}, {\"le\": 1, \"count\": 1}, "
+      "{\"le\": 7, \"count\": 1}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(registry.Snapshot().ToJson(), expected);
+}
+
+TEST(MetricsSnapshot, ToJsonEmptyRegistry) {
+  MetricsRegistry registry;
+  const std::string expected =
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"counters\": {},\n"
+      "  \"gauges\": {},\n"
+      "  \"histograms\": {}\n"
+      "}\n";
+  EXPECT_EQ(registry.Snapshot().ToJson(), expected);
+}
+
+TEST(MetricsSnapshot, ToTextSmoke) {
+  MetricsRegistry registry;
+  registry.GetCounter("some.counter")->Add(12);
+  registry.GetHistogram("some.hist")->Record(10);
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("some.counter"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
+  EXPECT_NE(text.find("count 1, sum 10"), std::string::npos);
+}
+
+// Concurrency hammer: concurrent registration and updates across threads
+// must produce exact totals and no data races (the TSan target of the obs
+// suite).
+TEST(MetricsRegistry, ConcurrentHammer) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 20000;
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Every thread resolves its own handles, racing the registrations.
+      Counter* counter = registry.GetCounter("hammer.counter");
+      Gauge* gauge = registry.GetGauge("hammer.gauge");
+      Histogram* histogram = registry.GetHistogram("hammer.hist");
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Increment();
+        gauge->Add(1);
+        gauge->Subtract(1);
+        histogram->Record(static_cast<uint64_t>(i % 1024));
+        if (i % 1000 == 0) {
+          // Snapshots race the writers by design; they must be safe.
+          registry.Snapshot();
+        }
+        if (i % 4096 == 0) {
+          registry.GetCounter("hammer.extra." + std::to_string(t));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.GetCounter("hammer.counter")->value(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(registry.GetGauge("hammer.gauge")->value(), 0);
+  EXPECT_EQ(registry.GetHistogram("hammer.hist")->count(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+}  // namespace
+}  // namespace avqdb::obs

@@ -1,0 +1,205 @@
+// Query-trace spans: activation scoping, parent/child structure, attrs,
+// the span cap, the EXPLAIN ANALYZE-style printer, and end-to-end trace
+// collection through ExecuteRangeSelect on every access path.
+
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/query.h"
+#include "src/db/table.h"
+#include "src/storage/block_device.h"
+#include "src/workload/generator.h"
+
+namespace avqdb {
+namespace {
+
+TEST(Trace, InactiveSpansAreNoOps) {
+  EXPECT_FALSE(obs::TracingActive());
+  obs::TraceSpanScope span("ignored");
+  EXPECT_FALSE(span.recording());
+  span.AddAttr("key", 1);  // must not crash
+  EXPECT_FALSE(obs::TracingActive());
+}
+
+TEST(Trace, RecordsNestedSpansWithAttrs) {
+  obs::QueryTrace trace;
+  {
+    obs::TraceActivation activation(&trace);
+    EXPECT_TRUE(obs::TracingActive());
+    obs::TraceSpanScope root("root");
+    EXPECT_TRUE(root.recording());
+    {
+      obs::TraceSpanScope child("child");
+      child.AddAttr("block", 12);
+      obs::TraceSpanScope grandchild("grandchild");
+    }
+    obs::TraceSpanScope sibling("sibling");
+  }
+  EXPECT_FALSE(obs::TracingActive());
+
+  ASSERT_EQ(trace.spans().size(), 4u);
+  EXPECT_EQ(trace.spans()[0].name, "root");
+  EXPECT_EQ(trace.spans()[0].parent, obs::QueryTrace::kNoParent);
+  EXPECT_EQ(trace.spans()[1].name, "child");
+  EXPECT_EQ(trace.spans()[1].parent, 0u);
+  EXPECT_EQ(trace.spans()[2].name, "grandchild");
+  EXPECT_EQ(trace.spans()[2].parent, 1u);
+  // The sibling attaches to root again: the child's scope restored the
+  // parent on destruction.
+  EXPECT_EQ(trace.spans()[3].name, "sibling");
+  EXPECT_EQ(trace.spans()[3].parent, 0u);
+
+  ASSERT_EQ(trace.spans()[1].attrs.size(), 1u);
+  EXPECT_EQ(trace.spans()[1].attrs[0].first, "block");
+  EXPECT_EQ(trace.spans()[1].attrs[0].second, 12u);
+  EXPECT_EQ(trace.dropped_spans(), 0u);
+}
+
+TEST(Trace, ReusableAfterActivationEnds) {
+  obs::QueryTrace first;
+  {
+    obs::TraceActivation activation(&first);
+    obs::TraceSpanScope span("a");
+  }
+  obs::QueryTrace second;
+  {
+    obs::TraceActivation activation(&second);
+    obs::TraceSpanScope span("b");
+  }
+  ASSERT_EQ(first.spans().size(), 1u);
+  ASSERT_EQ(second.spans().size(), 1u);
+  EXPECT_EQ(second.spans()[0].name, "b");
+}
+
+TEST(Trace, CapsSpansAndCountsDropped) {
+  obs::QueryTrace trace;
+  {
+    obs::TraceActivation activation(&trace);
+    obs::TraceSpanScope root("root");
+    for (size_t i = 0; i < obs::QueryTrace::kMaxSpans + 4; ++i) {
+      obs::TraceSpanScope span("leaf");
+      if (i >= obs::QueryTrace::kMaxSpans - 1) {
+        EXPECT_FALSE(span.recording());
+      }
+    }
+  }
+  EXPECT_EQ(trace.spans().size(), obs::QueryTrace::kMaxSpans);
+  EXPECT_EQ(trace.dropped_spans(), 5u);
+  EXPECT_NE(trace.ToString().find("spans dropped"), std::string::npos);
+}
+
+TEST(Trace, ToStringRendersTree) {
+  obs::QueryTrace trace;
+  {
+    obs::TraceActivation activation(&trace);
+    obs::TraceSpanScope root("select");
+    obs::TraceSpanScope child("scan:full-scan");
+    child.AddAttr("blocks", 3);
+  }
+  const std::string text = trace.ToString();
+  EXPECT_NE(text.find("select"), std::string::npos);
+  EXPECT_NE(text.find("  scan:full-scan"), std::string::npos);  // indented
+  EXPECT_NE(text.find("blocks=3"), std::string::npos);
+  EXPECT_NE(text.find("ms"), std::string::npos);
+}
+
+// --- end-to-end: collect_trace through the query path ---
+
+struct TraceFixture {
+  TraceFixture() : device(512) {
+    auto rel = GenerateRelation([] {
+      RelationSpec spec;
+      spec.explicit_domain_sizes = {8, 16, 32};
+      spec.num_attributes = 3;
+      spec.num_tuples = 600;
+      spec.dedupe = true;
+      spec.seed = 99;
+      return spec;
+    }());
+    schema = rel.value().schema;
+    CodecOptions options;
+    options.block_size = 512;
+    table = Table::CreateAvq(schema, &device, options).value();
+    AVQDB_CHECK_OK(table->BulkLoad(rel.value().tuples));
+  }
+
+  MemBlockDevice device;
+  SchemaPtr schema;
+  std::unique_ptr<Table> table;
+};
+
+std::vector<std::string> SpanNames(const obs::QueryTrace& trace) {
+  std::vector<std::string> names;
+  names.reserve(trace.spans().size());
+  for (const auto& span : trace.spans()) names.push_back(span.name);
+  return names;
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& want) {
+  for (const auto& name : names) {
+    if (name == want) return true;
+  }
+  return false;
+}
+
+TEST(QueryTraceIntegration, TraceCollectedOnEveryAccessPath) {
+  TraceFixture f;
+  ASSERT_TRUE(f.table->CreateSecondaryIndex(2).ok());
+
+  struct Case {
+    RangeQuery query;
+    const char* scan_span;
+  };
+  const Case cases[] = {
+      {{0, 2, 5}, "scan:clustered-range"},
+      {{2, 7, 9}, "scan:secondary-index"},
+      {{1, 3, 12}, "scan:full-scan"},
+  };
+  for (const Case& c : cases) {
+    QueryStats stats;
+    stats.collect_trace = true;
+    auto result = ExecuteRangeSelect(*f.table, c.query, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_NE(stats.trace, nullptr) << c.scan_span;
+    const std::vector<std::string> names = SpanNames(*stats.trace);
+    EXPECT_EQ(names[0], "select") << c.scan_span;
+    EXPECT_TRUE(Contains(names, "plan")) << c.scan_span;
+    EXPECT_TRUE(Contains(names, c.scan_span));
+    // Data was touched one way or the other.
+    EXPECT_TRUE(Contains(names, "block:decode") ||
+                Contains(names, "block:cache_hit"))
+        << c.scan_span;
+    EXPECT_FALSE(stats.trace->ToString().empty());
+  }
+}
+
+TEST(QueryTraceIntegration, TraceOffLeavesStatsNull) {
+  TraceFixture f;
+  QueryStats stats;
+  auto result = ExecuteRangeSelect(*f.table, RangeQuery{0, 1, 4}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.trace, nullptr);
+  EXPECT_FALSE(stats.collect_trace);
+}
+
+TEST(QueryTraceIntegration, ResultsIdenticalWithAndWithoutTrace) {
+  TraceFixture f;
+  QueryStats plain;
+  auto expected = ExecuteRangeSelect(*f.table, RangeQuery{0, 0, 6}, &plain);
+  ASSERT_TRUE(expected.ok());
+  QueryStats traced;
+  traced.collect_trace = true;
+  auto actual = ExecuteRangeSelect(*f.table, RangeQuery{0, 0, 6}, &traced);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(expected.value(), actual.value());
+  EXPECT_EQ(plain.tuples_matched, traced.tuples_matched);
+  EXPECT_EQ(plain.path, traced.path);
+}
+
+}  // namespace
+}  // namespace avqdb

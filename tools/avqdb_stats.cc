@@ -1,0 +1,134 @@
+// avqdb_stats: runtime-telemetry dump over a saved table image.
+//
+//   avqdb_stats <table.avqt> [--select attr lo hi] [--scan] [--trace]
+//               [--json]
+//
+// Loads the table, optionally exercises the query path (--select runs a
+// range selection, --scan a full scan), then dumps every metric the
+// process accumulated — counters, gauges and histograms from the pager,
+// buffer pool, decoded-block cache, codec, thread pool and query layers.
+// --trace additionally records and prints the query's span tree, EXPLAIN
+// ANALYZE-style. --json emits the machine-readable snapshot (the same
+// schema bench_util.h embeds in BENCH_*.json) instead of the text table.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/string_util.h"
+#include "src/db/query.h"
+#include "src/db/table_io.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+using namespace avqdb;
+
+namespace {
+
+Value ParseBound(const Schema& schema, size_t attr, const char* text) {
+  if (schema.attribute(attr).domain->kind() == DomainKind::kIntegerRange) {
+    return Value(static_cast<int64_t>(std::strtoll(text, nullptr, 10)));
+  }
+  return Value(text);
+}
+
+int Run(const char* path, const char* select_attr, const char* lo_text,
+        const char* hi_text, bool scan, bool trace, bool json) {
+  auto loaded = LoadTable(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Table& table = *loaded->table;
+  const Schema& schema = *table.schema();
+
+  QueryStats stats;
+  stats.collect_trace = trace;
+  bool ran_query = false;
+
+  if (select_attr != nullptr) {
+    auto attr = schema.AttributeIndex(select_attr);
+    if (!attr.ok()) {
+      std::fprintf(stderr, "%s\n", attr.status().ToString().c_str());
+      return 1;
+    }
+    auto rows = ExecuteRangeSelectRows(
+        table, select_attr, ParseBound(schema, attr.value(), lo_text),
+        ParseBound(schema, attr.value(), hi_text), &stats);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    ran_query = true;
+    if (!json) {
+      std::printf("select %s in [%s, %s]: %zu rows\n  %s\n", select_attr,
+                  lo_text, hi_text, rows->size(), stats.ToString().c_str());
+    }
+  } else if (scan || trace) {
+    auto tuples = ExecuteConjunctiveSelect(table, ConjunctiveQuery{}, &stats);
+    if (!tuples.ok()) {
+      std::fprintf(stderr, "scan failed: %s\n",
+                   tuples.status().ToString().c_str());
+      return 1;
+    }
+    ran_query = true;
+    if (!json) {
+      std::printf("full scan: %zu tuples\n  %s\n", tuples->size(),
+                  stats.ToString().c_str());
+    }
+  }
+
+  if (trace && ran_query && !json) {
+    if (stats.trace != nullptr) {
+      std::printf("\nquery trace:\n%s", stats.trace->ToString().c_str());
+    } else {
+      std::printf("\n(no trace recorded)\n");
+    }
+  }
+
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  if (json) {
+    std::printf("%s\n", snapshot.ToJson().c_str());
+  } else {
+    std::printf("\nmetrics:\n%s", snapshot.ToText().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <table.avqt> [--select attr lo hi] [--scan] "
+                 "[--trace] [--json]\n",
+                 argv[0]);
+    return 2;
+  }
+  const char* select_attr = nullptr;
+  const char* lo = nullptr;
+  const char* hi = nullptr;
+  bool scan = false;
+  bool trace = false;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--select") == 0 && i + 3 < argc) {
+      select_attr = argv[++i];
+      lo = argv[++i];
+      hi = argv[++i];
+    } else if (std::strcmp(argv[i], "--scan") == 0) {
+      scan = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return Run(argv[1], select_attr, lo, hi, scan, trace, json);
+}

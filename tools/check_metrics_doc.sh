@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fails if any metric name registered in src/obs/metric_names.h is missing
+# from docs/OBSERVABILITY.md. Run from anywhere; wired into ctest as
+# check_metrics_doc (label: obs).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+NAMES_HEADER="$ROOT/src/obs/metric_names.h"
+DOC="$ROOT/docs/OBSERVABILITY.md"
+
+if [[ ! -f "$NAMES_HEADER" ]]; then
+  echo "missing $NAMES_HEADER" >&2
+  exit 1
+fi
+if [[ ! -f "$DOC" ]]; then
+  echo "missing $DOC — document registered metrics there" >&2
+  exit 1
+fi
+
+# Metric names are the quoted dot-separated literals in the header.
+names=$(grep -o '"[a-z0-9_]\+\(\.[a-z0-9_]\+\)\+"' "$NAMES_HEADER" |
+  tr -d '"' | sort -u)
+
+if [[ -z "$names" ]]; then
+  echo "no metric names found in $NAMES_HEADER (lint pattern broken?)" >&2
+  exit 1
+fi
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -qF "$name" "$DOC"; then
+    echo "undocumented metric: $name (add it to docs/OBSERVABILITY.md)" >&2
+    missing=1
+  fi
+done <<< "$names"
+
+if [[ "$missing" -ne 0 ]]; then
+  exit 1
+fi
+echo "all $(wc -l <<< "$names" | tr -d ' ') metric names documented"

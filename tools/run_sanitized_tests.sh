@@ -3,7 +3,7 @@
 # parallel codec pipeline and the read-path caches:
 #   * ThreadSanitizer on the concurrency-sensitive tests (thread pool,
 #     relation codec, determinism, corruption, table, buffer pool,
-#     decoded-block cache);
+#     decoded-block cache, metrics registry);
 #   * AddressSanitizer + UBSan on the full suite.
 #
 # Usage: tools/run_sanitized_tests.sh [tsan|asan|all]   (default: all)
@@ -24,9 +24,9 @@ run_tsan() {
   cmake --build build-tsan -j "${jobs}" --target \
     thread_pool_test relation_codec_test codec_determinism_test \
     relation_codec_property_test corruption_test table_test \
-    buffer_pool_test decoded_block_cache_test
+    buffer_pool_test decoded_block_cache_test metrics_test
   ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-    -R 'ThreadPool|ParallelFor|ParallelSort|SharedThreadPool|Resolve|RelationCodec|Determinism|Corruption|Table|BufferPool|DecodedBlockCache'
+    -R 'ThreadPool|ParallelFor|ParallelSort|SharedThreadPool|Resolve|RelationCodec|Determinism|Corruption|Table|BufferPool|DecodedBlockCache|MetricsRegistry|Histogram'
 }
 
 run_asan() {
