@@ -76,6 +76,9 @@ Status BlockCursor::Init() {
     const uint32_t expected = crc32c::Unmask(header_.crc);
     const uint32_t actual = crc32c::Value(payload);
     if (expected != actual) {
+      static obs::Counter* const crc_failures =
+          obs::MetricsRegistry::Global().GetCounter(obs::kCrcFailures);
+      crc_failures->Increment();
       return Status::Corruption(StringFormat(
           "block checksum mismatch: stored 0x%08x, computed 0x%08x",
           expected, actual));

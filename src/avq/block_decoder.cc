@@ -70,6 +70,12 @@ Status AsCorruption(const Status& s, const char* what) {
                    s.message().c_str()));
 }
 
+void RecordCrcFailure() {
+  static obs::Counter* const crc_failures =
+      obs::MetricsRegistry::Global().GetCounter(obs::kCrcFailures);
+  crc_failures->Increment();
+}
+
 }  // namespace
 
 Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block) {
@@ -79,6 +85,7 @@ Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block) {
     const uint32_t expected = crc32c::Unmask(header.crc);
     const uint32_t actual = crc32c::Value(payload);
     if (expected != actual) {
+      RecordCrcFailure();
       return Status::Corruption(StringFormat(
           "block checksum mismatch: stored 0x%08x, computed 0x%08x",
           expected, actual));

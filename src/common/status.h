@@ -25,6 +25,10 @@ enum class StatusCode : int {
   kResourceExhausted = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  // Transient I/O failure: the operation may succeed if retried (the
+  // pager's read path does, with bounded backoff). Contrast kIOError,
+  // which is permanent.
+  kUnavailable = 10,
 };
 
 // Returns the canonical name of a code, e.g. "Corruption".
@@ -71,6 +75,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +96,7 @@ class Status {
   }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -9,11 +9,19 @@
 #include "src/common/crc32c.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 #include "src/ordinal/digit_bytes.h"
 #include "src/ordinal/mixed_radix.h"
 
 namespace avqdb {
 namespace {
+
+void RecordRawCrcFailure() {
+  static obs::Counter* const crc_failures =
+      obs::MetricsRegistry::Global().GetCounter(obs::kCrcFailures);
+  crc_failures->Increment();
+}
 
 // Thin adapter: the real streaming logic lives in avq/block_cursor.{h,cc}.
 class AvqTupleBlockCursor final : public TupleBlockCursor {
@@ -278,6 +286,7 @@ class RawBlockCodec final : public TupleBlockCodec {
     if (flags & kRawFlagChecksum) {
       const uint32_t actual = crc32c::Value(payload);
       if (crc32c::Unmask(crc) != actual) {
+        RecordRawCrcFailure();
         return Status::Corruption("raw block checksum mismatch");
       }
     }
@@ -312,6 +321,7 @@ class RawBlockCodec final : public TupleBlockCodec {
     if (flags & kRawFlagChecksum) {
       Slice payload = Slice(block).Subslice(kRawHeaderSize, payload_size);
       if (crc32c::Unmask(crc) != crc32c::Value(payload)) {
+        RecordRawCrcFailure();
         return Status::Corruption("raw block checksum mismatch");
       }
     }

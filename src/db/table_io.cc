@@ -1,31 +1,68 @@
 #include "src/db/table_io.h"
 
 #include <fcntl.h>
+#include <libgen.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <set>
 #include <utility>
 
 #include "src/common/coding.h"
 #include "src/common/crc32c.h"
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 #include "src/schema/schema_io.h"
 
 namespace avqdb {
 namespace {
 
 constexpr uint32_t kTableMagic = 0x54515641;  // "AVQT"
-constexpr uint16_t kTableVersion = 1;
+constexpr uint16_t kTableVersionLegacy = 1;
+constexpr uint16_t kTableVersion = 2;
+// v2 reserves two versioned metadata slots; data blocks start after them.
+constexpr BlockId kMetaSlotA = 0;
+constexpr BlockId kMetaSlotB = 1;
+constexpr BlockId kFirstDataBlock = 2;
+
+void RecordMetadataCrcFailure() {
+  static obs::Counter* const crc_failures =
+      obs::MetricsRegistry::Global().GetCounter(obs::kCrcFailures);
+  crc_failures->Increment();
+}
 
 struct Metadata {
+  uint16_t version = kTableVersion;
   bool avq = true;
   CodecOptions options;
-  uint32_t num_data_blocks = 0;
   uint64_t num_tuples = 0;
+  uint64_t commit_seq = 0;  // v2 only; 0 in v1 images
   SchemaPtr schema;
+  // Physical block ids holding the data blocks, in φ order. For v1 images
+  // the list is implicit (1..num_data_blocks) and filled in at decode.
+  std::vector<BlockId> block_list;
 };
 
+// v2 layout (all integers little-endian):
+//   [0]   Fixed32  magic
+//   [4]   Fixed16  version (2)
+//   [6]   byte     avq store flag
+//   [7]   byte     codec variant
+//   [8]   byte     representative choice
+//   [9]   byte     run-length flag
+//   [10]  byte     checksum flag
+//   [11]  byte     pad
+//   [12]  Fixed32  block size
+//   [16]  Fixed32  number of data blocks
+//   [20]  Fixed64  number of tuples
+//   [28]  Fixed64  commit sequence            (v2 only)
+//   [36]  length-prefixed serialized schema
+//   ...   Varint32 physical data-block ids    (v2 only)
+//   tail  Fixed32  masked CRC32C of everything above
 std::string EncodeMetadata(const Metadata& meta) {
   std::string out;
   PutFixed32(&out, kTableMagic);
@@ -37,11 +74,15 @@ std::string EncodeMetadata(const Metadata& meta) {
   out.push_back(meta.options.checksum ? '\1' : '\0');
   out.push_back('\0');  // pad
   PutFixed32(&out, static_cast<uint32_t>(meta.options.block_size));
-  PutFixed32(&out, meta.num_data_blocks);
+  PutFixed32(&out, static_cast<uint32_t>(meta.block_list.size()));
   PutFixed64(&out, meta.num_tuples);
+  PutFixed64(&out, meta.commit_seq);
   std::string schema_bytes;
   EncodeSchema(*meta.schema, &schema_bytes);
   PutLengthPrefixed(&out, Slice(schema_bytes));
+  for (BlockId id : meta.block_list) {
+    PutVarint32(&out, id);
+  }
   PutFixed32(&out, crc32c::Mask(crc32c::Value(Slice(out))));
   return out;
 }
@@ -54,12 +95,12 @@ Result<Metadata> DecodeMetadata(const std::string& block) {
   if (DecodeFixed32(input.data()) != kTableMagic) {
     return Status::Corruption("bad table file magic");
   }
-  const uint16_t version = DecodeFixed16(input.data() + 4);
-  if (version != kTableVersion) {
-    return Status::Corruption(
-        StringFormat("unsupported table file version %u", version));
-  }
   Metadata meta;
+  meta.version = DecodeFixed16(input.data() + 4);
+  if (meta.version != kTableVersionLegacy && meta.version != kTableVersion) {
+    return Status::Corruption(
+        StringFormat("unsupported table file version %u", meta.version));
+  }
   meta.avq = input[6] != 0;
   const uint8_t variant = input[7];
   if (variant > static_cast<uint8_t>(CodecVariant::kRepresentativeDelta)) {
@@ -74,12 +115,35 @@ Result<Metadata> DecodeMetadata(const std::string& block) {
   meta.options.run_length_zeros = input[9] != 0;
   meta.options.checksum = input[10] != 0;
   meta.options.block_size = DecodeFixed32(input.data() + 12);
-  meta.num_data_blocks = DecodeFixed32(input.data() + 16);
+  const uint32_t num_data_blocks = DecodeFixed32(input.data() + 16);
   meta.num_tuples = DecodeFixed64(input.data() + 20);
-  input.RemovePrefix(28);
+  if (meta.version >= kTableVersion) {
+    if (input.size() < 36) {
+      return Status::Corruption("table metadata truncated");
+    }
+    meta.commit_seq = DecodeFixed64(input.data() + 28);
+    input.RemovePrefix(36);
+  } else {
+    input.RemovePrefix(28);
+  }
   Slice schema_bytes;
   if (!GetLengthPrefixed(&input, &schema_bytes)) {
     return Status::Corruption("table schema truncated");
+  }
+  meta.block_list.reserve(num_data_blocks);
+  if (meta.version >= kTableVersion) {
+    for (uint32_t i = 0; i < num_data_blocks; ++i) {
+      uint32_t id = 0;
+      if (!GetVarint32(&input, &id)) {
+        return Status::Corruption("table block list truncated");
+      }
+      meta.block_list.push_back(static_cast<BlockId>(id));
+    }
+  } else {
+    // v1: data blocks are implicitly 1..k behind the single meta block.
+    for (uint32_t i = 0; i < num_data_blocks; ++i) {
+      meta.block_list.push_back(static_cast<BlockId>(i + 1));
+    }
   }
   if (input.size() < 4) {
     return Status::Corruption("table metadata checksum missing");
@@ -89,7 +153,21 @@ Result<Metadata> DecodeMetadata(const std::string& block) {
   const uint32_t actual = crc32c::Value(
       Slice(reinterpret_cast<const uint8_t*>(block.data()), covered));
   if (stored != actual) {
+    RecordMetadataCrcFailure();
     return Status::Corruption("table metadata checksum mismatch");
+  }
+  if (meta.version >= kTableVersion) {
+    std::set<BlockId> seen;
+    for (BlockId id : meta.block_list) {
+      if (id < kFirstDataBlock) {
+        return Status::Corruption(StringFormat(
+            "data block list names reserved metadata slot %u", id));
+      }
+      if (!seen.insert(id).second) {
+        return Status::Corruption(
+            StringFormat("data block %u listed twice", id));
+      }
+    }
   }
   Slice schema_input = schema_bytes;
   AVQDB_ASSIGN_OR_RETURN(meta.schema, DecodeSchema(&schema_input));
@@ -99,28 +177,306 @@ Result<Metadata> DecodeMetadata(const std::string& block) {
   return meta;
 }
 
-}  // namespace
-
-Status SaveTable(const Table& table, const std::string& path) {
+Metadata MetadataFor(const Table& table) {
   Metadata meta;
   meta.avq = table.codec().is_avq();
   meta.options = table.codec().options();
-  meta.num_data_blocks = static_cast<uint32_t>(table.DataBlockCount());
   meta.num_tuples = table.num_tuples();
   meta.schema = table.schema();
-  const std::string metadata = EncodeMetadata(meta);
-  const size_t block_size = table.codec().block_size();
+  return meta;
+}
+
+Result<std::string> EncodeMetadataChecked(const Metadata& meta,
+                                          size_t block_size) {
+  std::string metadata = EncodeMetadata(meta);
   if (metadata.size() > block_size) {
     return Status::ResourceExhausted(StringFormat(
         "table metadata (%zu bytes) exceeds one %zu-byte block "
-        "(dictionary too large)",
+        "(dictionary or block list too large)",
         metadata.size(), block_size));
   }
+  return metadata;
+}
 
-  AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<FileBlockDevice> file,
-                         FileBlockDevice::Create(path, block_size));
-  AVQDB_ASSIGN_OR_RETURN(BlockId meta_block, file->Allocate());
-  AVQDB_RETURN_IF_ERROR(file->Write(meta_block, Slice(metadata)));
+// fsync the directory holding `path` so a just-renamed file's directory
+// entry survives a crash.
+Status SyncParentDirectory(const std::string& path) {
+  std::string copy = path;
+  const char* dir = ::dirname(copy.data());
+  const int fd = ::open(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(
+        StringFormat("open(%s): %s", dir, std::strerror(errno)));
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(
+        StringFormat("fsync(%s): %s", dir, std::strerror(err)));
+  }
+  ::close(fd);
+  static obs::Counter* const fsyncs =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDeviceFsyncs);
+  fsyncs->Increment();
+  return Status::OK();
+}
+
+std::unique_ptr<TupleBlockCodec> MakeLoadedCodec(const Metadata& meta,
+                                                 size_t parallelism) {
+  // The parallelism knob is runtime-only (never persisted): apply the
+  // caller's choice to the codec driving the open-time scan and all
+  // subsequent coding on this table.
+  CodecOptions options = meta.options;
+  options.parallelism = parallelism;
+  return meta.avq ? MakeAvqBlockCodec(meta.schema, options)
+                  : MakeRawBlockCodec(meta.schema, options.block_size,
+                                      options.checksum, parallelism);
+}
+
+struct SalvageMetrics {
+  obs::Counter* runs;
+  obs::Counter* blocks_quarantined;
+  obs::Counter* tuples_recovered;
+
+  static const SalvageMetrics& Get() {
+    static const SalvageMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return SalvageMetrics{
+          registry.GetCounter(obs::kSalvageRuns),
+          registry.GetCounter(obs::kSalvageBlocksQuarantined),
+          registry.GetCounter(obs::kSalvageTuplesRecovered)};
+    }();
+    return metrics;
+  }
+};
+
+// Scrubs every listed block: decodes it, checks φ order against the
+// previous survivor, and quarantines failures (with lost-range bounds
+// from the neighboring survivors). Returns the surviving block ids.
+std::vector<BlockId> SalvageBlocks(const BlockDevice& device,
+                                   const TupleBlockCodec& codec,
+                                   const std::vector<BlockId>& blocks,
+                                   RepairReport* report) {
+  struct Scanned {
+    BlockId id = kInvalidBlockId;
+    bool ok = false;
+    std::string error;
+    OrdinalTuple first, last;
+  };
+  std::vector<Scanned> scanned(blocks.size());
+  const OrdinalTuple* previous_max = nullptr;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    Scanned& s = scanned[b];
+    s.id = blocks[b];
+    std::string raw;
+    if (Status read = device.Read(blocks[b], &raw); !read.ok()) {
+      s.error = read.ToString();
+      continue;
+    }
+    auto decoded = codec.DecodeBlock(Slice(raw));
+    if (!decoded.ok()) {
+      s.error = decoded.status().ToString();
+      continue;
+    }
+    if (decoded->empty()) {
+      s.error = "decoded block is empty";
+      continue;
+    }
+    if (previous_max != nullptr &&
+        CompareTuples(*previous_max, decoded->front()) >= 0) {
+      s.error = "block violates φ order against preceding survivor";
+      continue;
+    }
+    s.ok = true;
+    s.first = decoded->front();
+    s.last = decoded->back();
+    previous_max = &scanned[b].last;
+  }
+
+  std::vector<BlockId> survivors;
+  survivors.reserve(blocks.size());
+  for (size_t b = 0; b < scanned.size(); ++b) {
+    if (scanned[b].ok) {
+      survivors.push_back(scanned[b].id);
+      continue;
+    }
+    QuarantinedBlock q;
+    q.physical = scanned[b].id;
+    q.error = scanned[b].error;
+    q.lost_after = "-inf";
+    for (size_t p = b; p-- > 0;) {
+      if (scanned[p].ok) {
+        q.lost_after = TupleToString(scanned[p].last);
+        break;
+      }
+    }
+    q.lost_before = "+inf";
+    for (size_t n = b + 1; n < scanned.size(); ++n) {
+      if (scanned[n].ok) {
+        q.lost_before = TupleToString(scanned[n].first);
+        break;
+      }
+    }
+    if (report != nullptr) report->quarantined.push_back(std::move(q));
+  }
+  return survivors;
+}
+
+// Builds the Table over `data_device` from `meta`, attaching either all
+// listed blocks (strict) or the salvage survivors (repair).
+Status BuildTable(const Metadata& meta, BlockDevice* data_device,
+                  const LoadOptions& options, LoadedTable* loaded) {
+  loaded->index_device =
+      std::make_unique<MemBlockDevice>(meta.options.block_size);
+  std::unique_ptr<TupleBlockCodec> codec =
+      MakeLoadedCodec(meta, options.parallelism);
+  std::vector<BlockId> attach = meta.block_list;
+  if (options.repair) {
+    attach =
+        SalvageBlocks(*data_device, *codec, meta.block_list, options.report);
+  }
+  AVQDB_ASSIGN_OR_RETURN(
+      loaded->table,
+      Table::Create(meta.schema, data_device, std::move(codec),
+                    DiskParameters{}, loaded->index_device.get()));
+  AVQDB_RETURN_IF_ERROR(loaded->table->AttachDataBlocks(attach));
+  if (options.repair) {
+    const SalvageMetrics& metrics = SalvageMetrics::Get();
+    metrics.runs->Increment();
+    metrics.tuples_recovered->Add(loaded->table->num_tuples());
+    if (options.report != nullptr) {
+      RepairReport& report = *options.report;
+      report.version = meta.version;
+      report.commit_seq = meta.commit_seq;
+      report.blocks_scanned = static_cast<uint32_t>(meta.block_list.size());
+      report.tuples_expected = meta.num_tuples;
+      report.tuples_recovered = loaded->table->num_tuples();
+      metrics.blocks_quarantined->Add(report.quarantined.size());
+    } else {
+      metrics.blocks_quarantined->Add(meta.block_list.size() -
+                                      attach.size());
+    }
+  } else if (loaded->table->num_tuples() != meta.num_tuples) {
+    return Status::Corruption(StringFormat(
+        "tuple count mismatch: metadata %llu, blocks hold %llu",
+        static_cast<unsigned long long>(meta.num_tuples),
+        static_cast<unsigned long long>(loaded->table->num_tuples())));
+  }
+  loaded->version = meta.version;
+  loaded->commit_seq = meta.commit_seq;
+  return Status::OK();
+}
+
+// Reads both v2 metadata slots from `device`, returning the valid one
+// with the highest commit sequence. `active_slot` reports where it lives;
+// `fallback` (optional) reports that the other slot held a torn write
+// (invalid but not pristine zeros) — i.e. a crashed commit was discarded.
+Result<Metadata> PickMetadataSlot(const BlockDevice& device,
+                                  BlockId* active_slot, bool* fallback) {
+  Result<Metadata> slots[2] = {Status::Corruption("slot not read"),
+                               Status::Corruption("slot not read")};
+  bool pristine[2] = {false, false};
+  for (BlockId slot = 0; slot < 2; ++slot) {
+    std::string block;
+    if (Status read = device.Read(slot, &block); !read.ok()) {
+      slots[slot] = read;
+      continue;
+    }
+    pristine[slot] =
+        block.find_first_not_of('\0') == std::string::npos;
+    slots[slot] = DecodeMetadata(block);
+  }
+  int best = -1;
+  for (int slot = 0; slot < 2; ++slot) {
+    if (!slots[slot].ok()) continue;
+    if (slots[slot].value().version != kTableVersion) {
+      // A v1 block in a slot position means this is not a v2 image.
+      return Status::Corruption(
+          "metadata slot holds a non-v2 image (use the file loader)");
+    }
+    if (best < 0 ||
+        slots[slot].value().commit_seq > slots[best].value().commit_seq) {
+      best = slot;
+    }
+  }
+  if (best < 0) {
+    return Status::Corruption(StringFormat(
+        "both metadata slots are unreadable: slot 0: %s; slot 1: %s",
+        slots[0].status().ToString().c_str(),
+        slots[1].status().ToString().c_str()));
+  }
+  *active_slot = static_cast<BlockId>(best);
+  if (fallback != nullptr) {
+    const int other = 1 - best;
+    *fallback = !slots[other].ok() && !pristine[other];
+  }
+  return std::move(slots[best]);
+}
+
+struct CommitMetrics {
+  obs::Counter* commits;
+  obs::Histogram* latency;
+
+  static const CommitMetrics& Get() {
+    static const CommitMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return CommitMetrics{registry.GetCounter(obs::kCommitCount),
+                           registry.GetHistogram(obs::kCommitLatencyMicros)};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::string RepairReport::ToString() const {
+  std::string out = StringFormat(
+      "format v%u, commit seq %llu%s: scanned %u blocks, quarantined %zu, "
+      "recovered %llu of %llu tuples",
+      version, static_cast<unsigned long long>(commit_seq),
+      metadata_slot_fallback ? " (fell back past a torn metadata slot)" : "",
+      blocks_scanned, quarantined.size(),
+      static_cast<unsigned long long>(tuples_recovered),
+      static_cast<unsigned long long>(tuples_expected));
+  for (const QuarantinedBlock& q : quarantined) {
+    out += StringFormat("\n  block %u: %s; lost tuples in %s .. %s",
+                        q.physical, q.error.c_str(), q.lost_after.c_str(),
+                        q.lost_before.c_str());
+  }
+  return out;
+}
+
+Status SaveTableToDevice(const Table& table, BlockDevice* device) {
+  const size_t block_size = table.codec().block_size();
+  if (device->block_size() != block_size) {
+    return Status::InvalidArgument(StringFormat(
+        "device block size %zu does not match table block size %zu",
+        device->block_size(), block_size));
+  }
+  if (device->allocated_blocks() != 0) {
+    return Status::InvalidArgument(
+        "SaveTableToDevice requires an empty device");
+  }
+
+  Metadata meta = MetadataFor(table);
+  meta.commit_seq = 1;
+  const uint32_t num_blocks = static_cast<uint32_t>(table.DataBlockCount());
+  meta.block_list.reserve(num_blocks);
+  for (uint32_t i = 0; i < num_blocks; ++i) {
+    meta.block_list.push_back(kFirstDataBlock + i);
+  }
+  AVQDB_ASSIGN_OR_RETURN(std::string metadata,
+                         EncodeMetadataChecked(meta, block_size));
+
+  AVQDB_ASSIGN_OR_RETURN(BlockId slot_a, device->Allocate());
+  AVQDB_ASSIGN_OR_RETURN(BlockId slot_b, device->Allocate());
+  if (slot_a != kMetaSlotA || slot_b != kMetaSlotB) {
+    return Status::InvalidArgument(
+        "device did not allocate the metadata slots first");
+  }
+  AVQDB_RETURN_IF_ERROR(device->Write(slot_a, Slice(metadata)));
+  // Slot B stays zeroed: an all-zero slot fails the magic check, so the
+  // loader treats it as empty until the first in-place commit fills it.
 
   // Copy data blocks verbatim, in φ order.
   AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
@@ -129,15 +485,69 @@ Status SaveTable(const Table& table, const std::string& path) {
     AVQDB_ASSIGN_OR_RETURN(
         std::string raw,
         table.data_pager().Read(static_cast<BlockId>(iter.value())));
-    AVQDB_ASSIGN_OR_RETURN(BlockId out_block, file->Allocate());
-    AVQDB_RETURN_IF_ERROR(file->Write(out_block, Slice(raw)));
+    AVQDB_ASSIGN_OR_RETURN(BlockId out_block, device->Allocate());
+    AVQDB_RETURN_IF_ERROR(device->Write(out_block, Slice(raw)));
     AVQDB_RETURN_IF_ERROR(iter.Next());
   }
   return Status::OK();
 }
 
-Result<LoadedTable> LoadTable(const std::string& path, size_t parallelism) {
+Status SaveTable(const Table& table, const std::string& path,
+                 const SaveOptions& options) {
+  const size_t block_size = table.codec().block_size();
+  if (!options.atomic) {
+    AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<FileBlockDevice> file,
+                           FileBlockDevice::Create(path, block_size));
+    AVQDB_RETURN_IF_ERROR(SaveTableToDevice(table, file.get()));
+    if (options.sync) AVQDB_RETURN_IF_ERROR(file->Sync());
+    return Status::OK();
+  }
+  // Crash-atomic replace: build the image beside the target, sync it,
+  // then rename over and sync the directory. A crash anywhere leaves
+  // either the old image or the new one, never a hybrid.
+  const std::string tmp = path + ".tmp";
+  Status built = [&]() -> Status {
+    AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<FileBlockDevice> file,
+                           FileBlockDevice::Create(tmp, block_size));
+    AVQDB_RETURN_IF_ERROR(SaveTableToDevice(table, file.get()));
+    if (options.sync) AVQDB_RETURN_IF_ERROR(file->Sync());
+    return Status::OK();  // the device closes its fd here
+  }();
+  if (!built.ok()) {
+    ::unlink(tmp.c_str());
+    return built;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IOError(StringFormat("rename(%s, %s): %s", tmp.c_str(),
+                                        path.c_str(), std::strerror(err)));
+  }
+  if (options.sync) AVQDB_RETURN_IF_ERROR(SyncParentDirectory(path));
+  return Status::OK();
+}
+
+Result<LoadedTable> OpenTableOnDevice(BlockDevice* device,
+                                      const LoadOptions& options) {
   LoadedTable loaded;
+  bool fallback = false;
+  AVQDB_ASSIGN_OR_RETURN(
+      Metadata meta,
+      PickMetadataSlot(*device, &loaded.active_slot, &fallback));
+  if (options.report != nullptr) {
+    options.report->metadata_slot_fallback = fallback;
+  }
+  loaded.base = device;
+  loaded.staged_device = std::make_unique<StagedBlockDevice>(
+      device, std::set<BlockId>{kMetaSlotA, kMetaSlotB},
+      std::set<BlockId>(meta.block_list.begin(), meta.block_list.end()));
+  AVQDB_RETURN_IF_ERROR(
+      BuildTable(meta, loaded.staged_device.get(), options, &loaded));
+  return loaded;
+}
+
+Result<LoadedTable> LoadTable(const std::string& path,
+                              const LoadOptions& options) {
   // Peek at the fixed metadata prefix to learn the block size before
   // opening the file as a block device.
   uint8_t head[16];
@@ -161,43 +571,115 @@ Result<LoadedTable> LoadTable(const std::string& path, size_t parallelism) {
     return Status::Corruption("implausible block size in table file");
   }
 
-  AVQDB_ASSIGN_OR_RETURN(loaded.data_device,
+  LoadedTable loaded;
+  AVQDB_ASSIGN_OR_RETURN(loaded.file_device,
                          FileBlockDevice::Open(path, block_size));
-  std::string metadata_block;
-  AVQDB_RETURN_IF_ERROR(loaded.data_device->Read(0, &metadata_block));
-  AVQDB_ASSIGN_OR_RETURN(Metadata meta, DecodeMetadata(metadata_block));
-  if (loaded.data_device->allocated_blocks() <
-      1 + static_cast<size_t>(meta.num_data_blocks)) {
-    return Status::Corruption("table file shorter than its block count");
+  FileBlockDevice* file = loaded.file_device.get();
+  const size_t total_blocks = file->allocated_blocks();
+
+  // The version in the head bytes decides the image layout. It is
+  // CRC-checked as part of whichever metadata slot ends up being used
+  // (for v2, a torn slot 0 falls back to slot 1, whose own version field
+  // governs).
+  const uint16_t head_version = DecodeFixed16(head + 4);
+  if (head_version == kTableVersionLegacy) {
+    // Legacy single-slot image: mutations write the file in place (the
+    // pre-v2 behavior); Commit() upgrades via atomic rewrite.
+    std::string metadata_block;
+    AVQDB_RETURN_IF_ERROR(file->Read(0, &metadata_block));
+    AVQDB_ASSIGN_OR_RETURN(Metadata meta, DecodeMetadata(metadata_block));
+    if (total_blocks < 1 + meta.block_list.size()) {
+      return Status::Corruption("table file shorter than its block count");
+    }
+    loaded.path = path;
+    AVQDB_RETURN_IF_ERROR(BuildTable(meta, file, options, &loaded));
+    return loaded;
   }
 
-  loaded.index_device = std::make_unique<MemBlockDevice>(block_size);
-  // The parallelism knob is runtime-only (never persisted): apply the
-  // caller's choice to the codec driving the open-time scan and all
-  // subsequent coding on this table.
-  meta.options.parallelism = parallelism;
-  std::unique_ptr<TupleBlockCodec> codec =
-      meta.avq ? MakeAvqBlockCodec(meta.schema, meta.options)
-               : MakeRawBlockCodec(meta.schema, meta.options.block_size,
-                                   meta.options.checksum, parallelism);
+  bool fallback = false;
   AVQDB_ASSIGN_OR_RETURN(
-      loaded.table,
-      Table::Create(meta.schema, loaded.data_device.get(), std::move(codec),
-                    DiskParameters{}, loaded.index_device.get()));
-
-  std::vector<BlockId> data_blocks;
-  data_blocks.reserve(meta.num_data_blocks);
-  for (uint32_t i = 0; i < meta.num_data_blocks; ++i) {
-    data_blocks.push_back(static_cast<BlockId>(i + 1));
+      Metadata meta,
+      PickMetadataSlot(*file, &loaded.active_slot, &fallback));
+  if (options.report != nullptr) {
+    options.report->metadata_slot_fallback = fallback;
   }
-  AVQDB_RETURN_IF_ERROR(loaded.table->AttachDataBlocks(data_blocks));
-  if (loaded.table->num_tuples() != meta.num_tuples) {
-    return Status::Corruption(StringFormat(
-        "tuple count mismatch: metadata %llu, blocks hold %llu",
-        static_cast<unsigned long long>(meta.num_tuples),
-        static_cast<unsigned long long>(loaded.table->num_tuples())));
+  std::set<BlockId> durable(meta.block_list.begin(), meta.block_list.end());
+  for (BlockId id : durable) {
+    if (id >= total_blocks) {
+      return Status::Corruption(StringFormat(
+          "data block %u lies beyond the file's %zu blocks", id,
+          total_blocks));
+    }
   }
+  // Reclaim crashed-commit leftovers: physical blocks no durable metadata
+  // references. They go back to the file's free pool (zeroed on reuse).
+  for (size_t id = kFirstDataBlock; id < total_blocks; ++id) {
+    if (durable.count(static_cast<BlockId>(id)) > 0) continue;
+    AVQDB_RETURN_IF_ERROR(file->Free(static_cast<BlockId>(id)));
+  }
+  loaded.base = file;
+  loaded.staged_device = std::make_unique<StagedBlockDevice>(
+      file, std::set<BlockId>{kMetaSlotA, kMetaSlotB}, std::move(durable));
+  AVQDB_RETURN_IF_ERROR(
+      BuildTable(meta, loaded.staged_device.get(), options, &loaded));
   return loaded;
+}
+
+Result<LoadedTable> LoadTable(const std::string& path, size_t parallelism) {
+  LoadOptions options;
+  options.parallelism = parallelism;
+  return LoadTable(path, options);
+}
+
+Status LoadedTable::Commit() {
+  if (table == nullptr) {
+    return Status::InvalidArgument("no table loaded");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Status committed = [&]() -> Status {
+    if (staged_device == nullptr) {
+      // Legacy v1 image: upgrade with an atomic full rewrite. The open
+      // file device keeps the old inode; further durability continues to
+      // flow through Commit() calls, each rewriting from memory.
+      if (path.empty()) {
+        return Status::InvalidArgument(
+            "legacy table was not loaded from a file");
+      }
+      return SaveTable(*table, path);
+    }
+    // Gather the current physical block list in φ order.
+    std::vector<BlockId> physical;
+    physical.reserve(table->DataBlockCount());
+    AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator iter,
+                           table->primary_index().Begin());
+    while (iter.Valid()) {
+      physical.push_back(
+          staged_device->Physical(static_cast<BlockId>(iter.value())));
+      AVQDB_RETURN_IF_ERROR(iter.Next());
+    }
+    Metadata meta = MetadataFor(*table);
+    meta.commit_seq = commit_seq + 1;
+    meta.block_list = std::move(physical);
+    AVQDB_ASSIGN_OR_RETURN(
+        std::string metadata,
+        EncodeMetadataChecked(meta, table->codec().block_size()));
+    const BlockId slot = active_slot == kMetaSlotA ? kMetaSlotB : kMetaSlotA;
+    AVQDB_RETURN_IF_ERROR(
+        staged_device->Commit(slot, Slice(metadata), meta.block_list));
+    active_slot = slot;
+    commit_seq = meta.commit_seq;
+    version = kTableVersion;
+    return Status::OK();
+  }();
+  if (committed.ok()) {
+    const CommitMetrics& metrics = CommitMetrics::Get();
+    metrics.commits->Increment();
+    metrics.latency->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  return committed;
 }
 
 }  // namespace avqdb

@@ -1,48 +1,140 @@
-// Single-file table persistence.
+// Single-file table persistence with crash-atomic commits.
 //
-// SaveTable writes a self-describing image:
-//   block 0           metadata: magic, version, store kind, codec options,
-//                     data-block count, serialized schema
-//   blocks 1..k       the table's data blocks, copied verbatim in φ order
+// Format v2 image (written by SaveTable):
+//   block 0           metadata slot A: magic, version, store kind, codec
+//                     options, commit sequence, serialized schema, and the
+//                     physical ids of the data blocks in φ order
+//   block 1           metadata slot B (zeroed at save time)
+//   blocks 2..        data blocks
 //
 // LoadTable opens the file read-mostly: data blocks are served straight
-// from the file, while the primary index is rebuilt into a private
-// in-memory device (an open-time scan — the tradeoff of not persisting
-// index pages is documented in DESIGN.md). Mutations after load write
-// back to the file device.
+// from the file, the primary index is rebuilt into a private in-memory
+// device (an open-time scan — the tradeoff of not persisting index pages
+// is documented in DESIGN.md), and all mutations run through a
+// StagedBlockDevice overlay, so the durable image is untouched until
+// LoadedTable::Commit() publishes the new state through the two-slot
+// metadata protocol. A crash at any point leaves either the old or the
+// new image; the loader picks whichever valid slot has the highest commit
+// sequence (falling back to the other when the newest write is torn).
+//
+// Legacy v1 images (single metadata block, data from block 1) still load;
+// their in-session mutations write in place like before, and Commit()
+// upgrades them with a full atomic rewrite in the v2 format.
 //
 // The metadata must fit in one block; schemas whose dictionaries exceed
-// that return ResourceExhausted at save time.
+// that return ResourceExhausted at save (or commit) time.
 
 #ifndef AVQDB_DB_TABLE_IO_H_
 #define AVQDB_DB_TABLE_IO_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/db/table.h"
 #include "src/storage/block_device.h"
+#include "src/storage/staged_block_device.h"
 
 namespace avqdb {
 
-// A loaded table together with the devices that back it.
-struct LoadedTable {
-  std::unique_ptr<FileBlockDevice> data_device;
-  std::unique_ptr<MemBlockDevice> index_device;
-  std::unique_ptr<Table> table;
+// One data block set aside by a repair-mode load.
+struct QuarantinedBlock {
+  BlockId physical = kInvalidBlockId;  // physical id in the image
+  std::string error;                   // why the block was rejected
+  // φ-order bounds on the lost tuples: everything in this block lay
+  // strictly between the preceding survivor's last tuple and the
+  // following survivor's first tuple ("-inf" / "+inf" at the ends).
+  std::string lost_after;
+  std::string lost_before;
 };
 
-// Serializes `table` (schema + data blocks) into `path`, overwriting it.
-Status SaveTable(const Table& table, const std::string& path);
+// Outcome of a repair-mode load (see LoadOptions::repair).
+struct RepairReport {
+  uint16_t version = 0;       // image format version
+  uint64_t commit_seq = 0;    // sequence of the metadata slot used
+  // True when the higher-sequence metadata slot was unreadable (torn
+  // commit) and the load fell back to the older slot.
+  bool metadata_slot_fallback = false;
+  uint32_t blocks_scanned = 0;
+  std::vector<QuarantinedBlock> quarantined;
+  uint64_t tuples_expected = 0;   // per the metadata
+  uint64_t tuples_recovered = 0;  // held by the surviving blocks
 
-// Opens a table image written by SaveTable. `parallelism` is the runtime
-// CodecOptions::parallelism knob for the open-time block validation scan
-// and all later codec work on the loaded table (0 = hardware threads,
-// 1 = serial); it is not stored in the file.
+  std::string ToString() const;
+};
+
+struct LoadOptions {
+  // Runtime CodecOptions::parallelism knob for the open-time block
+  // validation scan and all later codec work on the loaded table
+  // (0 = hardware threads, 1 = serial); never persisted.
+  size_t parallelism = 1;
+  // Salvage mode: instead of failing on the first corrupt data block,
+  // quarantine every block that does not decode (or violates φ order),
+  // attach the survivors, and describe the damage in `report`. The first
+  // Commit() on the repaired table durably drops the quarantined blocks.
+  bool repair = false;
+  RepairReport* report = nullptr;  // optional, filled when repair is set
+};
+
+struct SaveOptions {
+  // Write to a temp file, sync, then rename over `path` (and sync the
+  // directory), so a crashed save leaves the previous image intact.
+  // When false the target is created/truncated in place — the historical
+  // behavior, kept for benchmarking the atomicity overhead.
+  bool atomic = true;
+  // Issue the durability barriers (fdatasync + directory fsync). Turning
+  // this off leaves writes in the page cache.
+  bool sync = true;
+};
+
+// A loaded table together with the devices that back it, and the handle
+// that makes mutations durable.
+struct LoadedTable {
+  std::unique_ptr<FileBlockDevice> file_device;  // null for device opens
+  // Crash-atomicity overlay; null for legacy v1 images (which mutate the
+  // file in place).
+  std::unique_ptr<StagedBlockDevice> staged_device;
+  std::unique_ptr<MemBlockDevice> index_device;
+  std::unique_ptr<Table> table;
+
+  // Publishes every mutation since load (or the previous Commit) as the
+  // new durable image. v2: two-barrier metadata-slot flip — a crash
+  // during Commit leaves the previous image. v1: atomic full rewrite of
+  // the file in the v2 format. Without a Commit, mutations on a v2 table
+  // are discarded at close.
+  Status Commit();
+
+  // --- commit plumbing (set by the load path; read-only to callers) ---
+  uint16_t version = 0;      // format version of the opened image
+  uint64_t commit_seq = 0;   // of the metadata slot currently durable
+  BlockId active_slot = 0;   // slot holding that metadata (v2)
+  std::string path;          // v1 only: rewrite target for Commit()
+  BlockDevice* base = nullptr;  // device under staged_device (not owned)
+};
+
+// Serializes `table` (schema + data blocks) into `path` in the v2 format.
+Status SaveTable(const Table& table, const std::string& path,
+                 const SaveOptions& options = SaveOptions{});
+
+// Writes the v2 image onto an empty block device whose block size matches
+// the table's codec (blocks 0/1 become the metadata slots). The
+// device-parameterized twin of SaveTable, for tests and tools that stage
+// images in memory.
+Status SaveTableToDevice(const Table& table, BlockDevice* device);
+
+// Opens a table image written by SaveTable.
+Result<LoadedTable> LoadTable(const std::string& path,
+                              const LoadOptions& options);
 Result<LoadedTable> LoadTable(const std::string& path,
                               size_t parallelism = 1);
+
+// Opens a v2 image living on `device` (not owned; must outlive the
+// result). Crashed-commit leftovers are not reclaimed on this path — only
+// file opens scan for them.
+Result<LoadedTable> OpenTableOnDevice(BlockDevice* device,
+                                      const LoadOptions& options = {});
 
 }  // namespace avqdb
 

@@ -17,6 +17,10 @@ inline constexpr char kDeviceReads[] = "storage.device.reads";
 inline constexpr char kDeviceWrites[] = "storage.device.writes";
 inline constexpr char kDeviceBytesRead[] = "storage.device.bytes_read";
 inline constexpr char kDeviceBytesWritten[] = "storage.device.bytes_written";
+inline constexpr char kDeviceFsyncs[] = "storage.device.fsyncs";
+
+// --- storage: integrity (checksum verification across every decoder) ---
+inline constexpr char kCrcFailures[] = "storage.integrity.crc_failures";
 
 // --- storage: pager (counted, priced access path) ---
 inline constexpr char kPagerLogicalReads[] = "storage.pager.logical_reads";
@@ -26,6 +30,7 @@ inline constexpr char kPagerAllocations[] = "storage.pager.allocations";
 inline constexpr char kPagerFrees[] = "storage.pager.frees";
 inline constexpr char kPagerBytesRead[] = "storage.pager.bytes_read";
 inline constexpr char kPagerBytesWritten[] = "storage.pager.bytes_written";
+inline constexpr char kPagerReadRetries[] = "storage.pager.read_retries";
 
 // --- storage: raw buffer pool (block images) ---
 inline constexpr char kBufferPoolHits[] = "storage.buffer_pool.hits";
@@ -87,6 +92,17 @@ inline constexpr char kQueryTuplesExamined[] = "db.query.tuples_examined";
 inline constexpr char kQueryTuplesMatched[] = "db.query.tuples_matched";
 inline constexpr char kQueryEarlyExits[] = "db.query.early_exits";
 inline constexpr char kQueryCacheFills[] = "db.query.cache_fills";
+
+// --- durability: atomic save / staged commit (db/table_io.cc) ---
+inline constexpr char kCommitCount[] = "db.commit.count";
+inline constexpr char kCommitLatencyMicros[] = "db.commit.latency_us";
+
+// --- durability: salvage / repair loads (db/table_io.cc) ---
+inline constexpr char kSalvageRuns[] = "db.salvage.runs";
+inline constexpr char kSalvageBlocksQuarantined[] =
+    "db.salvage.blocks_quarantined";
+inline constexpr char kSalvageTuplesRecovered[] =
+    "db.salvage.tuples_recovered";
 
 // --- joins ---
 inline constexpr char kJoinCount[] = "db.join.count";

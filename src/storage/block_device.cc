@@ -33,6 +33,59 @@ void RecordDeviceWrite(size_t bytes) {
   bytes_written->Add(bytes);
 }
 
+void RecordDeviceFsync() {
+  static obs::Counter* const fsyncs =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDeviceFsyncs);
+  fsyncs->Increment();
+}
+
+// Whole-buffer pread: loops over partial transfers and EINTR so callers
+// see either success or a precise IOError (short read vs errno).
+Status PReadFull(int fd, void* buf, size_t count, off_t offset,
+                 const char* what) {
+  uint8_t* out = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < count) {
+    const ssize_t n =
+        ::pread(fd, out + done, count - done, offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StringFormat("%s: pread: %s", what, std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError(StringFormat(
+          "%s: short read, got %zu of %zu bytes at offset %lld", what, done,
+          count, static_cast<long long>(offset)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Whole-buffer pwrite with the same partial-transfer/EINTR handling.
+Status PWriteFull(int fd, const void* buf, size_t count, off_t offset,
+                  const char* what) {
+  const uint8_t* in = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < count) {
+    const ssize_t n = ::pwrite(fd, in + done, count - done,
+                               offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StringFormat("%s: pwrite: %s", what, std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError(StringFormat(
+          "%s: short write, wrote %zu of %zu bytes at offset %lld", what,
+          done, count, static_cast<long long>(offset)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 MemBlockDevice::MemBlockDevice(size_t block_size) : block_size_(block_size) {}
@@ -148,10 +201,25 @@ FileBlockDevice::~FileBlockDevice() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Status FileBlockDevice::CheckLive(BlockId id) const {
+  if (id >= num_blocks_ || (id < freed_.size() && freed_[id])) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is not allocated", id));
+  }
+  return Status::OK();
+}
+
 Result<BlockId> FileBlockDevice::Allocate() {
+  std::string zeros(block_size_, '\0');
   if (!free_list_.empty()) {
     const BlockId id = free_list_.back();
+    // Recycled blocks come back zeroed, matching MemBlockDevice, so no
+    // stale image of a previous tenant can leak through a fresh id.
+    AVQDB_RETURN_IF_ERROR(
+        PWriteFull(fd_, zeros.data(), zeros.size(),
+                   static_cast<off_t>(id) * block_size_, "recycle block"));
     free_list_.pop_back();
+    freed_[id] = false;
     return id;
   }
   if (num_blocks_ >= kInvalidBlockId) {
@@ -159,47 +227,34 @@ Result<BlockId> FileBlockDevice::Allocate() {
   }
   const BlockId id = static_cast<BlockId>(num_blocks_);
   // Extend the file with a zero block so Read of a fresh block succeeds.
-  std::string zeros(block_size_, '\0');
-  const off_t offset = static_cast<off_t>(id) * block_size_;
-  if (::pwrite(fd_, zeros.data(), zeros.size(), offset) !=
-      static_cast<ssize_t>(zeros.size())) {
-    return Status::IOError(
-        StringFormat("pwrite extend: %s", std::strerror(errno)));
-  }
+  AVQDB_RETURN_IF_ERROR(
+      PWriteFull(fd_, zeros.data(), zeros.size(),
+                 static_cast<off_t>(id) * block_size_, "extend file"));
   ++num_blocks_;
   return id;
 }
 
 Status FileBlockDevice::Free(BlockId id) {
-  if (id >= num_blocks_) {
-    return Status::InvalidArgument(
-        StringFormat("block %u is not allocated", id));
-  }
+  AVQDB_RETURN_IF_ERROR(CheckLive(id));
+  if (freed_.size() < num_blocks_) freed_.resize(num_blocks_, false);
+  freed_[id] = true;
   free_list_.push_back(id);
   return Status::OK();
 }
 
 Status FileBlockDevice::Read(BlockId id, std::string* out) const {
-  if (id >= num_blocks_) {
-    return Status::InvalidArgument(
-        StringFormat("block %u is not allocated", id));
-  }
+  AVQDB_RETURN_IF_ERROR(CheckLive(id));
   out->resize(block_size_);
-  const off_t offset = static_cast<off_t>(id) * block_size_;
-  const ssize_t n = ::pread(fd_, out->data(), block_size_, offset);
-  if (n != static_cast<ssize_t>(block_size_)) {
-    return Status::IOError(StringFormat("pread block %u: %s", id,
-                                        std::strerror(errno)));
-  }
+  AVQDB_RETURN_IF_ERROR(
+      PReadFull(fd_, out->data(), block_size_,
+                static_cast<off_t>(id) * block_size_,
+                StringFormat("read block %u", id).c_str()));
   RecordDeviceRead(block_size_);
   return Status::OK();
 }
 
 Status FileBlockDevice::Write(BlockId id, Slice data) {
-  if (id >= num_blocks_) {
-    return Status::InvalidArgument(
-        StringFormat("block %u is not allocated", id));
-  }
+  AVQDB_RETURN_IF_ERROR(CheckLive(id));
   if (data.size() > block_size_) {
     return Status::InvalidArgument(
         StringFormat("write of %zu bytes exceeds block size %zu",
@@ -208,13 +263,20 @@ Status FileBlockDevice::Write(BlockId id, Slice data) {
   std::string padded(reinterpret_cast<const char*>(data.data()),
                      data.size());
   padded.resize(block_size_, '\0');
-  const off_t offset = static_cast<off_t>(id) * block_size_;
-  if (::pwrite(fd_, padded.data(), padded.size(), offset) !=
-      static_cast<ssize_t>(padded.size())) {
-    return Status::IOError(StringFormat("pwrite block %u: %s", id,
-                                        std::strerror(errno)));
-  }
+  AVQDB_RETURN_IF_ERROR(
+      PWriteFull(fd_, padded.data(), padded.size(),
+                 static_cast<off_t>(id) * block_size_,
+                 StringFormat("write block %u", id).c_str()));
   RecordDeviceWrite(block_size_);
+  return Status::OK();
+}
+
+Status FileBlockDevice::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(
+        StringFormat("fdatasync: %s", std::strerror(errno)));
+  }
+  RecordDeviceFsync();
   return Status::OK();
 }
 

@@ -42,6 +42,12 @@ class BlockDevice {
   // zero-padded) to an allocated block.
   virtual Status Write(BlockId id, Slice data) = 0;
 
+  // Durability barrier: when Sync returns OK, every Write (and Allocate)
+  // that completed before the call survives a crash. Volatile devices
+  // (MemBlockDevice) treat this as a no-op; FileBlockDevice issues
+  // fdatasync. The commit protocol in db/table_io.cc is built on this.
+  virtual Status Sync() { return Status::OK(); }
+
   // Currently allocated block count (excludes freed blocks).
   virtual size_t allocated_blocks() const = 0;
 };
@@ -73,6 +79,10 @@ class MemBlockDevice final : public BlockDevice {
 // POSIX-file-backed device; block i lives at offset i * block_size.
 // The free list is kept in memory (rebuilt as empty on reopen — reopening
 // an existing file exposes all previously written blocks as allocated).
+// Read/Write reject freed ids exactly like MemBlockDevice, recycled
+// blocks are handed back zeroed, and all transfers loop over partial
+// pread/pwrite results so short transfers surface as IOError with the
+// byte counts and errno rather than as silent truncation.
 class FileBlockDevice final : public BlockDevice {
  public:
   // Creates or truncates `path`.
@@ -90,16 +100,20 @@ class FileBlockDevice final : public BlockDevice {
   Status Free(BlockId id) override;
   Status Read(BlockId id, std::string* out) const override;
   Status Write(BlockId id, Slice data) override;
+  Status Sync() override;  // fdatasync on the backing file
   size_t allocated_blocks() const override;
 
  private:
   FileBlockDevice(int fd, size_t block_size, size_t num_blocks)
       : fd_(fd), block_size_(block_size), num_blocks_(num_blocks) {}
 
+  Status CheckLive(BlockId id) const;
+
   int fd_;
   size_t block_size_;
   size_t num_blocks_;
   std::vector<BlockId> free_list_;
+  std::vector<bool> freed_;  // ids handed back via Free, not yet recycled
 };
 
 }  // namespace avqdb

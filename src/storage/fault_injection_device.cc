@@ -1,0 +1,189 @@
+#include "src/storage/fault_injection_device.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+Status FaultInjectionBlockDevice::CheckFault(uint64_t op_index,
+                                             uint64_t fault_at,
+                                             bool transient, bool sticky,
+                                             const char* what) const {
+  const bool fires =
+      fault_at != 0 && (sticky ? op_index >= fault_at : op_index == fault_at);
+  if (!fires) return Status::OK();
+  if (transient) {
+    return Status::Unavailable(
+        StringFormat("injected transient %s fault at op %llu", what,
+                     static_cast<unsigned long long>(op_index)));
+  }
+  return Status::IOError(
+      StringFormat("injected %s fault at op %llu", what,
+                   static_cast<unsigned long long>(op_index)));
+}
+
+Result<BlockId> FaultInjectionBlockDevice::Allocate() {
+  if (crashed_) return Status::IOError("device crashed");
+  return base_->Allocate();
+}
+
+Status FaultInjectionBlockDevice::Free(BlockId id) {
+  if (crashed_) return Status::IOError("device crashed");
+  unsynced_.erase(id);
+  return base_->Free(id);
+}
+
+Status FaultInjectionBlockDevice::Read(BlockId id, std::string* out) const {
+  if (crashed_) return Status::IOError("device crashed");
+  const uint64_t op = ++reads_;
+  AVQDB_RETURN_IF_ERROR(CheckFault(op, fail_read_at_, read_fault_transient_,
+                                   read_fault_sticky_, "read"));
+  if (auto it = unsynced_.find(id); it != unsynced_.end()) {
+    *out = it->second;
+  } else {
+    AVQDB_RETURN_IF_ERROR(base_->Read(id, out));
+  }
+  if (flip_read_at_ != 0 && op == flip_read_at_ &&
+      flip_offset_ < out->size()) {
+    (*out)[flip_offset_] = static_cast<char>(
+        static_cast<uint8_t>((*out)[flip_offset_]) ^
+        static_cast<uint8_t>(1u << flip_bit_));
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionBlockDevice::Write(BlockId id, Slice data) {
+  if (crashed_) return Status::IOError("device crashed");
+  const uint64_t op = ++writes_;
+  AVQDB_RETURN_IF_ERROR(CheckFault(op, fail_write_at_,
+                                   write_fault_transient_,
+                                   write_fault_sticky_, "write"));
+  if (data.size() > block_size()) {
+    return Status::InvalidArgument(
+        StringFormat("write of %zu bytes exceeds block size %zu",
+                     data.size(), block_size()));
+  }
+  // Fetch the current image: validates that `id` is allocated (matching
+  // the base device's contract) and gives torn writes their substrate.
+  std::string current;
+  if (auto it = unsynced_.find(id); it != unsynced_.end()) {
+    current = it->second;
+  } else {
+    AVQDB_RETURN_IF_ERROR(base_->Read(id, &current));
+  }
+  std::string padded(reinterpret_cast<const char*>(data.data()),
+                     data.size());
+  padded.resize(block_size(), '\0');
+  if (tear_write_at_ != 0 && op == tear_write_at_) {
+    // Torn write: the first tear_keep_bytes_ land, the tail keeps the old
+    // content, and the operation reports failure.
+    const size_t keep = tear_keep_bytes_ < padded.size() ? tear_keep_bytes_
+                                                         : padded.size();
+    current.resize(block_size(), '\0');
+    padded.replace(keep, padded.size() - keep, current, keep,
+                   current.size() - keep);
+    unsynced_[id] = std::move(padded);
+    return Status::IOError(
+        StringFormat("injected torn write at op %llu (%zu bytes kept)",
+                     static_cast<unsigned long long>(op), keep));
+  }
+  unsynced_[id] = std::move(padded);
+  return Status::OK();
+}
+
+Status FaultInjectionBlockDevice::Sync() {
+  if (crashed_) return Status::IOError("device crashed");
+  const uint64_t op = ++syncs_;
+  if (sync_crash_at_ != 0 && op == sync_crash_at_) {
+    // Power loss mid-flush: a block-id-order prefix of the buffer lands,
+    // the next block may land torn, the rest evaporates.
+    uint64_t flushed = 0;
+    for (const auto& [id, image] : unsynced_) {
+      if (flushed < sync_crash_after_blocks_) {
+        (void)base_->Write(id, Slice(image));
+        ++flushed;
+        continue;
+      }
+      if (sync_crash_torn_bytes_ > 0) {
+        std::string current;
+        if (base_->Read(id, &current).ok()) {
+          current.resize(block_size(), '\0');
+          std::string torn = image;
+          const size_t keep =
+              sync_crash_torn_bytes_ < torn.size() ? sync_crash_torn_bytes_
+                                                   : torn.size();
+          torn.replace(keep, torn.size() - keep, current, keep,
+                       current.size() - keep);
+          (void)base_->Write(id, Slice(torn));
+        }
+      }
+      break;
+    }
+    unsynced_.clear();
+    crashed_ = true;
+    return Status::IOError(
+        StringFormat("injected crash during sync %llu",
+                     static_cast<unsigned long long>(op)));
+  }
+  for (const auto& [id, image] : unsynced_) {
+    AVQDB_RETURN_IF_ERROR(base_->Write(id, Slice(image)));
+  }
+  unsynced_.clear();
+  return base_->Sync();
+}
+
+size_t FaultInjectionBlockDevice::allocated_blocks() const {
+  return base_->allocated_blocks();
+}
+
+void FaultInjectionBlockDevice::FailReadAt(uint64_t n, bool transient,
+                                           bool sticky) {
+  fail_read_at_ = n == 0 ? 0 : reads_ + n;
+  read_fault_transient_ = transient;
+  read_fault_sticky_ = sticky;
+}
+
+void FaultInjectionBlockDevice::FailWriteAt(uint64_t n, bool transient,
+                                            bool sticky) {
+  fail_write_at_ = n == 0 ? 0 : writes_ + n;
+  write_fault_transient_ = transient;
+  write_fault_sticky_ = sticky;
+}
+
+void FaultInjectionBlockDevice::TearWriteAt(uint64_t n, size_t keep_bytes) {
+  tear_write_at_ = n == 0 ? 0 : writes_ + n;
+  tear_keep_bytes_ = keep_bytes;
+}
+
+void FaultInjectionBlockDevice::FlipReadBitAt(uint64_t n, size_t offset,
+                                              unsigned bit) {
+  flip_read_at_ = n == 0 ? 0 : reads_ + n;
+  flip_offset_ = offset;
+  flip_bit_ = bit & 7u;
+}
+
+void FaultInjectionBlockDevice::CrashDuringSync(uint64_t nth,
+                                                uint64_t after_blocks,
+                                                size_t torn_bytes) {
+  sync_crash_at_ = nth == 0 ? 0 : syncs_ + nth;
+  sync_crash_after_blocks_ = after_blocks;
+  sync_crash_torn_bytes_ = torn_bytes;
+}
+
+void FaultInjectionBlockDevice::ClearFaults() {
+  fail_read_at_ = 0;
+  fail_write_at_ = 0;
+  tear_write_at_ = 0;
+  flip_read_at_ = 0;
+  sync_crash_at_ = 0;
+}
+
+void FaultInjectionBlockDevice::Crash() {
+  unsynced_.clear();
+  crashed_ = true;
+}
+
+void FaultInjectionBlockDevice::Recover() { crashed_ = false; }
+
+}  // namespace avqdb

@@ -1,0 +1,127 @@
+// FaultInjectionBlockDevice: a programmable failure wrapper over any
+// BlockDevice, for durability and recovery testing.
+//
+// The wrapper buffers writes until Sync(), the way an OS page cache does:
+// Crash() discards everything not yet covered by a Sync() barrier
+// (LevelDB's unsynced-data-loss simulation), after which the underlying
+// device holds exactly the last-synced image. On top of that it injects
+// scheduled faults — the Nth read or write fails with a transient
+// (Unavailable) or permanent (IOError) status, a write is torn after a
+// byte prefix, a read comes back with one bit flipped — so every layer
+// above (pager retries, commit protocol, salvage) can be driven through
+// its failure paths deterministically.
+//
+// Not thread-safe; fault schedules are per-instance test state.
+
+#ifndef AVQDB_STORAGE_FAULT_INJECTION_DEVICE_H_
+#define AVQDB_STORAGE_FAULT_INJECTION_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+
+namespace avqdb {
+
+class FaultInjectionBlockDevice final : public BlockDevice {
+ public:
+  // `base` is not owned and must outlive the wrapper; after Crash() the
+  // base holds the last-synced image, so tests typically reopen it
+  // directly to simulate a post-power-loss restart.
+  explicit FaultInjectionBlockDevice(BlockDevice* base) : base_(base) {}
+
+  // --- BlockDevice ---
+  size_t block_size() const override { return base_->block_size(); }
+  Result<BlockId> Allocate() override;
+  Status Free(BlockId id) override;
+  Status Read(BlockId id, std::string* out) const override;
+  Status Write(BlockId id, Slice data) override;
+  Status Sync() override;  // flushes buffered writes to base, then base sync
+  size_t allocated_blocks() const override;
+
+  // --- fault schedule ---
+  // Counts are 1-based over the operations issued *after* the call.
+  // `sticky` keeps the device failing on every later operation of that
+  // kind (a dead disk); otherwise the fault fires once.
+
+  // The nth read/write fails. `transient` selects Unavailable (retryable)
+  // vs IOError (permanent).
+  void FailReadAt(uint64_t n, bool transient = false, bool sticky = false);
+  void FailWriteAt(uint64_t n, bool transient = false, bool sticky = false);
+
+  // The nth write persists only its first `keep_bytes` bytes (the rest of
+  // the block keeps its previous content) and reports IOError — a torn
+  // write straddling a sector boundary.
+  void TearWriteAt(uint64_t n, size_t keep_bytes);
+
+  // The nth read returns its data with bit `bit` of byte `offset`
+  // flipped, and reports success — silent media corruption. The stored
+  // block is not modified.
+  void FlipReadBitAt(uint64_t n, size_t offset, unsigned bit);
+
+  // Power loss in the middle of the nth Sync() issued after this call:
+  // the sync flushes `after_blocks` buffered blocks (in block-id order),
+  // then persists only the first `torn_bytes` of the next buffered block
+  // (the rest of that block keeps its previous content), drops everything
+  // else, and enters the crashed state reporting IOError. This is how a
+  // torn metadata slot or a half-flushed commit reaches the base image.
+  void CrashDuringSync(uint64_t nth, uint64_t after_blocks,
+                       size_t torn_bytes = 0);
+
+  // Clears every scheduled fault (crash state is separate).
+  void ClearFaults();
+
+  // --- crash simulation ---
+  // Drops every write not covered by a Sync() and puts the device into a
+  // crashed state where all operations fail with IOError until Recover().
+  // The base device is left holding exactly the last-synced image.
+  void Crash();
+  void Recover();
+  bool crashed() const { return crashed_; }
+
+  // Operation counters since construction (for calibrating schedules:
+  // run once cleanly, observe writes(), then replay failing write #k).
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  Status CheckFault(uint64_t op_index, uint64_t fault_at, bool transient,
+                    bool sticky, const char* what) const;
+
+  BlockDevice* base_;
+
+  // Unsynced write buffer: block id -> pending image. Reads consult this
+  // first; Sync() flushes it into the base device.
+  std::map<BlockId, std::string> unsynced_;
+
+  bool crashed_ = false;
+
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+
+  // 0 = disabled; otherwise absolute op index that triggers the fault.
+  uint64_t fail_read_at_ = 0;
+  bool read_fault_transient_ = false;
+  bool read_fault_sticky_ = false;
+  uint64_t fail_write_at_ = 0;
+  bool write_fault_transient_ = false;
+  bool write_fault_sticky_ = false;
+  uint64_t tear_write_at_ = 0;
+  size_t tear_keep_bytes_ = 0;
+  uint64_t flip_read_at_ = 0;
+  size_t flip_offset_ = 0;
+  unsigned flip_bit_ = 0;
+  uint64_t sync_crash_at_ = 0;
+  uint64_t sync_crash_after_blocks_ = 0;
+  size_t sync_crash_torn_bytes_ = 0;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_STORAGE_FAULT_INJECTION_DEVICE_H_

@@ -1,5 +1,8 @@
 #include "src/storage/pager.h"
 
+#include <chrono>
+#include <thread>
+
 #include "src/common/string_util.h"
 #include "src/obs/metric_names.h"
 #include "src/obs/metrics.h"
@@ -17,6 +20,7 @@ struct PagerMetrics {
   obs::Counter* frees;
   obs::Counter* bytes_read;
   obs::Counter* bytes_written;
+  obs::Counter* read_retries;
 
   static const PagerMetrics& Get() {
     static const PagerMetrics metrics = [] {
@@ -27,7 +31,8 @@ struct PagerMetrics {
                           registry.GetCounter(obs::kPagerAllocations),
                           registry.GetCounter(obs::kPagerFrees),
                           registry.GetCounter(obs::kPagerBytesRead),
-                          registry.GetCounter(obs::kPagerBytesWritten)};
+                          registry.GetCounter(obs::kPagerBytesWritten),
+                          registry.GetCounter(obs::kPagerReadRetries)};
     }();
     return metrics;
   }
@@ -41,6 +46,7 @@ IoStats& IoStats::operator-=(const IoStats& other) {
   writes -= other.writes;
   allocations -= other.allocations;
   frees -= other.frees;
+  read_retries -= other.read_retries;
   simulated_read_ms -= other.simulated_read_ms;
   simulated_write_ms -= other.simulated_write_ms;
   return *this;
@@ -48,10 +54,11 @@ IoStats& IoStats::operator-=(const IoStats& other) {
 
 std::string IoStats::ToString() const {
   return StringFormat(
-      "reads %llu (physical %llu), writes %llu, alloc %llu, free %llu, "
-      "sim read %.1f ms, sim write %.1f ms",
+      "reads %llu (physical %llu, retries %llu), writes %llu, alloc %llu, "
+      "free %llu, sim read %.1f ms, sim write %.1f ms",
       static_cast<unsigned long long>(logical_reads),
       static_cast<unsigned long long>(physical_reads),
+      static_cast<unsigned long long>(read_retries),
       static_cast<unsigned long long>(writes),
       static_cast<unsigned long long>(allocations),
       static_cast<unsigned long long>(frees), simulated_read_ms,
@@ -66,6 +73,19 @@ void Pager::EnableBufferPool(size_t capacity_blocks) {
                               : nullptr;
 }
 
+Status Pager::ReadWithRetry(BlockId id, std::string* block) {
+  Status status = device_->Read(id, block);
+  for (int attempt = 1;
+       status.IsUnavailable() && attempt < retry_.max_attempts; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<int64_t>(retry_.backoff_us) << (attempt - 1)));
+    ++stats_.read_retries;
+    PagerMetrics::Get().read_retries->Increment();
+    status = device_->Read(id, block);
+  }
+  return status;
+}
+
 Result<std::string> Pager::Read(BlockId id) {
   const PagerMetrics& metrics = PagerMetrics::Get();
   ++stats_.logical_reads;
@@ -76,7 +96,7 @@ Result<std::string> Pager::Read(BlockId id) {
     }
   }
   std::string block;
-  AVQDB_RETURN_IF_ERROR(device_->Read(id, &block));
+  AVQDB_RETURN_IF_ERROR(ReadWithRetry(id, &block));
   ++stats_.physical_reads;
   stats_.simulated_read_ms += disk_.BlockTimeMs(device_->block_size());
   metrics.physical_reads->Increment();

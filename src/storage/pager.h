@@ -27,11 +27,21 @@ struct IoStats {
   uint64_t writes = 0;
   uint64_t allocations = 0;
   uint64_t frees = 0;
+  uint64_t read_retries = 0;
   double simulated_read_ms = 0.0;
   double simulated_write_ms = 0.0;
 
   IoStats& operator-=(const IoStats& other);
   std::string ToString() const;
+};
+
+// Bounded retry-with-backoff for transient (Status::Unavailable) read
+// failures from the device — flaky media, injected faults. Attempt k
+// sleeps backoff_us << (k-1) before retrying; permanent errors (IOError,
+// Corruption, ...) are never retried.
+struct RetryPolicy {
+  int max_attempts = 3;    // total tries, >= 1
+  int backoff_us = 100;    // first retry delay; doubles per attempt
 };
 
 inline IoStats operator-(IoStats a, const IoStats& b) { return a -= b; }
@@ -53,6 +63,10 @@ class Pager {
   Result<BlockId> Allocate();
   Status Free(BlockId id);
 
+  // Replaces the transient-read retry policy (see RetryPolicy).
+  void SetRetryPolicy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats{}; }
 
@@ -61,10 +75,13 @@ class Pager {
   const DiskParameters& disk() const { return disk_; }
 
  private:
+  Status ReadWithRetry(BlockId id, std::string* block);
+
   BlockDevice* device_;
   DiskParameters disk_;
   std::unique_ptr<BufferPool> pool_;
   IoStats stats_;
+  RetryPolicy retry_;
 };
 
 }  // namespace avqdb

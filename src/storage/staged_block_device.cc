@@ -1,0 +1,138 @@
+#include "src/storage/staged_block_device.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace avqdb {
+
+StagedBlockDevice::StagedBlockDevice(BlockDevice* base,
+                                     std::set<BlockId> pinned,
+                                     std::set<BlockId> durable_data)
+    : base_(base),
+      pinned_(std::move(pinned)),
+      durable_data_(std::move(durable_data)) {}
+
+BlockId StagedBlockDevice::Physical(BlockId logical) const {
+  auto it = redirect_.find(logical);
+  return it == redirect_.end() ? logical : it->second;
+}
+
+Result<BlockId> StagedBlockDevice::Allocate() {
+  AVQDB_ASSIGN_OR_RETURN(BlockId id, base_->Allocate());
+  // The base may recycle a physical id that a dead logical id once used
+  // (freed at the last commit); the fresh allocation supersedes that.
+  freed_.erase(id);
+  return id;
+}
+
+Status StagedBlockDevice::Free(BlockId id) {
+  if (pinned_.count(id) > 0) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is a reserved metadata slot", id));
+  }
+  if (freed_.count(id) > 0) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is not allocated", id));
+  }
+  auto it = redirect_.find(id);
+  if (it != redirect_.end()) {
+    // The redirect target is this-generation scratch; recycle it through
+    // the shadow pool (its number may coincide with a live logical id, so
+    // the base allocator must not see it). The durable identity block
+    // stays until commit drops it from the list.
+    shadow_free_.push_back(it->second);
+    redirect_.erase(it);
+    freed_.insert(id);
+    return Status::OK();
+  }
+  if (durable_data_.count(id) > 0) {
+    // Deferred: the durable image still references the base block.
+    freed_.insert(id);
+    return Status::OK();
+  }
+  return base_->Free(id);
+}
+
+Status StagedBlockDevice::Read(BlockId id, std::string* out) const {
+  if (freed_.count(id) > 0) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is not allocated", id));
+  }
+  return base_->Read(Physical(id), out);
+}
+
+Status StagedBlockDevice::Write(BlockId id, Slice data) {
+  if (pinned_.count(id) > 0) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is a reserved metadata slot", id));
+  }
+  if (freed_.count(id) > 0) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is not allocated", id));
+  }
+  const BlockId physical = Physical(id);
+  if (durable_data_.count(physical) == 0) {
+    // This-generation scratch (or an already-redirected target): writing
+    // in place cannot damage the durable image.
+    return base_->Write(physical, data);
+  }
+  AVQDB_ASSIGN_OR_RETURN(BlockId fresh, AllocateRedirectTarget());
+  const Status written = base_->Write(fresh, data);
+  if (!written.ok()) {
+    shadow_free_.push_back(fresh);
+    return written;
+  }
+  redirect_[id] = fresh;
+  return Status::OK();
+}
+
+Result<BlockId> StagedBlockDevice::AllocateRedirectTarget() {
+  if (!shadow_free_.empty()) {
+    const BlockId id = shadow_free_.back();
+    shadow_free_.pop_back();
+    return id;
+  }
+  return base_->Allocate();
+}
+
+size_t StagedBlockDevice::allocated_blocks() const {
+  return base_->allocated_blocks();
+}
+
+Status StagedBlockDevice::Commit(BlockId meta_slot, Slice metadata,
+                                 const std::vector<BlockId>& new_durable_data) {
+  if (pinned_.count(meta_slot) == 0) {
+    return Status::InvalidArgument(
+        StringFormat("block %u is not a metadata slot", meta_slot));
+  }
+  std::set<BlockId> new_durable(new_durable_data.begin(),
+                                new_durable_data.end());
+  for (BlockId id : new_durable) {
+    if (pinned_.count(id) > 0) {
+      return Status::InvalidArgument(StringFormat(
+          "metadata slot %u cannot appear in the data block list", id));
+    }
+  }
+  // Barrier 1: every redirected/new data block reaches stable storage
+  // before any metadata names it.
+  AVQDB_RETURN_IF_ERROR(base_->Sync());
+  AVQDB_RETURN_IF_ERROR(base_->Write(meta_slot, metadata));
+  // Barrier 2: the new metadata is durable; this is the commit point.
+  AVQDB_RETURN_IF_ERROR(base_->Sync());
+
+  // Reclaim the previous generation's orphans — durable blocks the new
+  // metadata no longer references (replaced or logically freed). They go
+  // to the shadow pool, not the base free list: an orphan's number may
+  // still be in use as a *logical* id (redirected elsewhere), so only
+  // physical-only roles may recycle it.
+  for (BlockId id : durable_data_) {
+    if (new_durable.count(id) > 0) continue;
+    shadow_free_.push_back(id);
+    freed_.erase(id);
+  }
+  durable_data_ = std::move(new_durable);
+  return Status::OK();
+}
+
+}  // namespace avqdb

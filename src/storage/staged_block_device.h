@@ -1,0 +1,106 @@
+// StagedBlockDevice: a copy-on-redirect overlay that makes in-place table
+// mutations crash-atomic.
+//
+// The table layer overwrites block ids in place (a split rewrites the left
+// half into its old id). Doing that directly on the durable image would
+// destroy the pre-commit state the moment the write lands. Instead this
+// overlay tracks which physical blocks the durable metadata references;
+// a write aimed at one of those is transparently redirected to a freshly
+// allocated physical block (which no durable state references, so writing
+// it immediately is safe), and a logical→physical map remembers the move.
+// Blocks outside the durable set are written in place — a crash discards
+// them anyway, because no durable metadata names them.
+//
+// Commit() then makes the new image durable with the classic two-barrier
+// protocol:
+//   1. Sync()            — all redirected/new data blocks are on disk
+//   2. write meta slot   — the *inactive* versioned metadata block, whose
+//                          block list names the current physical ids
+//   3. Sync()            — the new metadata is on disk
+// A crash any time before the second barrier completes leaves the old
+// metadata slot — and the old physical blocks, which were never
+// overwritten — fully intact; the loader picks whichever valid slot has
+// the highest commit sequence. After a successful commit the previous
+// generation's orphaned physical blocks are returned to the base device's
+// free pool. Redirects persist across commits (the live table keeps its
+// logical ids); a now-durable redirect target simply gets redirected
+// again on its next write.
+//
+// Not thread-safe; the Table above serializes mutations.
+
+#ifndef AVQDB_STORAGE_STAGED_BLOCK_DEVICE_H_
+#define AVQDB_STORAGE_STAGED_BLOCK_DEVICE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+
+namespace avqdb {
+
+class StagedBlockDevice final : public BlockDevice {
+ public:
+  // `base` is not owned and must outlive the overlay. `pinned` names the
+  // versioned metadata slots: never redirected, never freed, written only
+  // through Commit(). `durable_data` is the set of physical data blocks
+  // the on-disk metadata currently references; writes to those are
+  // redirected, writes to anything else go straight through.
+  StagedBlockDevice(BlockDevice* base, std::set<BlockId> pinned,
+                    std::set<BlockId> durable_data);
+
+  // --- BlockDevice (logical ids) ---
+  size_t block_size() const override { return base_->block_size(); }
+  Result<BlockId> Allocate() override;
+  Status Free(BlockId id) override;
+  Status Read(BlockId id, std::string* out) const override;
+  Status Write(BlockId id, Slice data) override;
+  Status Sync() override { return base_->Sync(); }
+  size_t allocated_blocks() const override;
+
+  // Physical location a logical id currently resolves to (identity when
+  // the block was never redirected). The commit path uses this to build
+  // the metadata block list.
+  BlockId Physical(BlockId logical) const;
+
+  // Two-barrier commit. `metadata` is written to physical block
+  // `meta_slot` (one of the pinned slots); `new_durable_data` names the
+  // physical blocks the new metadata references. On success the previous
+  // generation's orphans are freed and the durable set becomes
+  // `new_durable_data`. On failure nothing is reclaimed: the overlay (and
+  // the durable old image) remain usable, and the caller may retry.
+  Status Commit(BlockId meta_slot, Slice metadata,
+                const std::vector<BlockId>& new_durable_data);
+
+  // Test hooks.
+  size_t redirect_count() const { return redirect_.size(); }
+  size_t shadow_free_count() const { return shadow_free_.size(); }
+  bool IsDurable(BlockId physical) const {
+    return durable_data_.count(physical) > 0;
+  }
+
+ private:
+  Result<BlockId> AllocateRedirectTarget();
+
+  BlockDevice* base_;
+  std::set<BlockId> pinned_;        // metadata slots (never data)
+  std::set<BlockId> durable_data_;  // physical ids the on-disk meta lists
+  std::map<BlockId, BlockId> redirect_;  // logical -> physical (absent = id)
+  // Logical ids freed while their identity physical block was durable: the
+  // base block must survive until the next commit un-references it, so the
+  // Free is deferred and these ids just become invalid to the caller.
+  std::set<BlockId> freed_;
+  // Physical blocks orphaned by a commit. They stay allocated in the base
+  // (a redirected logical id may still equal an orphan's number, so the
+  // base allocator must never hand the number out as a fresh *logical*
+  // id) and are recycled here as redirect targets, which are physical-only.
+  std::vector<BlockId> shadow_free_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_STORAGE_STAGED_BLOCK_DEVICE_H_

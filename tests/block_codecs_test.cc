@@ -57,6 +57,37 @@ TEST(RawBlockCodec, EmptyBlockRejected) {
   EXPECT_FALSE(codec->Fits({}));
 }
 
+TEST(CodecDefaults, ChecksumsAreOnByDefaultEverywhere) {
+  // Durability audit: every block-write site inherits CodecOptions, so
+  // the default must be checksummed. Legacy images written with
+  // checksum=false must still decode (the flag is per block).
+  auto schema = testing::PaperShapeSchema();
+  CodecOptions defaults;
+  EXPECT_TRUE(defaults.checksum);
+
+  defaults.block_size = 256;
+  auto avq = MakeAvqBlockCodec(schema, defaults);
+  auto block = avq->EncodeBlock({{1, 2, 3, 4, 5}}).value();
+  EXPECT_EQ(static_cast<uint8_t>(block[3]) & 0x1, 0x1)
+      << "AVQ blocks must carry the checksum flag by default";
+  auto raw = MakeRawBlockCodec(schema, 256);
+  auto raw_block = raw->EncodeBlock({{1, 2, 3, 4, 5}}).value();
+  EXPECT_EQ(static_cast<uint8_t>(raw_block[3]) & 0x1, 0x1)
+      << "raw blocks must carry the checksum flag by default";
+
+  // A block written without checksums is still readable by a
+  // default-options codec.
+  CodecOptions legacy = defaults;
+  legacy.checksum = false;
+  auto legacy_block =
+      MakeAvqBlockCodec(schema, legacy)->EncodeBlock({{1, 2, 3, 4, 5}});
+  ASSERT_TRUE(legacy_block.ok());
+  auto decoded = avq->DecodeBlock(Slice(legacy_block.value()));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(),
+            (std::vector<OrdinalTuple>{{1, 2, 3, 4, 5}}));
+}
+
 TEST(AvqBlockCodec, FitsAgreesWithEncode) {
   auto schema = testing::PaperShapeSchema();
   CodecOptions options;

@@ -8,6 +8,9 @@
 namespace avqdb {
 namespace {
 
+// Slice over a string literal (Slice has no const char* constructor).
+inline Slice Str(std::string_view s) { return Slice(s); }
+
 TEST(MemBlockDevice, AllocateReadWrite) {
   MemBlockDevice device(64);
   EXPECT_EQ(device.block_size(), 64u);
@@ -129,6 +132,62 @@ TEST_F(FileBlockDeviceTest, FreeListRecyclesIds) {
   BlockId a = device.value()->Allocate().value();
   ASSERT_TRUE(device.value()->Free(a).ok());
   EXPECT_EQ(device.value()->Allocate().value(), a);
+}
+
+TEST_F(FileBlockDeviceTest, FreedIdsRejectedUntilReallocated) {
+  // Matches MemBlockDevice: I/O on a freed block is InvalidArgument, not
+  // a silent read of stale file bytes.
+  auto device = FileBlockDevice::Create(path_, 32).value();
+  BlockId a = device->Allocate().value();
+  BlockId b = device->Allocate().value();
+  ASSERT_TRUE(device->Write(b, Str("keep")).ok());
+  ASSERT_TRUE(device->Free(a).ok());
+  std::string out;
+  EXPECT_TRUE(device->Read(a, &out).IsInvalidArgument());
+  EXPECT_TRUE(device->Write(a, Str("x")).IsInvalidArgument());
+  EXPECT_TRUE(device->Free(a).IsInvalidArgument());  // double free
+  // Unaffected neighbor still works.
+  EXPECT_TRUE(device->Read(b, &out).ok());
+  // Reallocation makes the id live again.
+  EXPECT_EQ(device->Allocate().value(), a);
+  EXPECT_TRUE(device->Write(a, Str("y")).ok());
+}
+
+TEST_F(FileBlockDeviceTest, RecycledBlocksComeBackZeroed) {
+  auto device = FileBlockDevice::Create(path_, 32).value();
+  BlockId a = device->Allocate().value();
+  ASSERT_TRUE(device->Write(a, Str("sensitive")).ok());
+  ASSERT_TRUE(device->Free(a).ok());
+  ASSERT_EQ(device->Allocate().value(), a);
+  std::string out;
+  ASSERT_TRUE(device->Read(a, &out).ok());
+  EXPECT_EQ(out, std::string(32, '\0'));
+}
+
+TEST_F(FileBlockDeviceTest, OutOfRangeIdsRejected) {
+  auto device = FileBlockDevice::Create(path_, 32).value();
+  std::string out;
+  EXPECT_TRUE(device->Read(5, &out).IsInvalidArgument());
+  EXPECT_TRUE(device->Write(5, Str("x")).IsInvalidArgument());
+  EXPECT_TRUE(device->Free(5).IsInvalidArgument());
+}
+
+TEST_F(FileBlockDeviceTest, SyncFlushesAndSucceeds) {
+  auto device = FileBlockDevice::Create(path_, 32).value();
+  BlockId a = device->Allocate().value();
+  ASSERT_TRUE(device->Write(a, Str("durable")).ok());
+  EXPECT_TRUE(device->Sync().ok());
+  // Reopen sees the synced content.
+  device.reset();
+  auto reopened = FileBlockDevice::Open(path_, 32).value();
+  std::string out;
+  ASSERT_TRUE(reopened->Read(a, &out).ok());
+  EXPECT_EQ(out.substr(0, 7), "durable");
+}
+
+TEST(MemBlockDeviceSync, SyncIsANoOpThatSucceeds) {
+  MemBlockDevice device(32);
+  EXPECT_TRUE(device.Sync().ok());
 }
 
 }  // namespace

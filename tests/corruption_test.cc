@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "src/avq/block_format.h"
@@ -12,6 +13,7 @@
 #include "src/common/random.h"
 #include "src/db/query.h"
 #include "src/db/table.h"
+#include "src/storage/fault_injection_device.h"
 #include "tests/test_util.h"
 
 namespace avqdb {
@@ -120,6 +122,70 @@ TEST(Corruption, RandomSingleByteFlipsNeverYieldWrongData) {
     // Restore for the next trial.
     ASSERT_TRUE(f.device.Write(victim, Slice(original)).ok());
   }
+}
+
+TEST(Corruption, TornWriteSurfacesAsCorruptionOnRead) {
+  // A torn block write (injected through the fault device) must be caught
+  // by the block CRC on the next read, not returned as data.
+  Fixture f;
+  const BlockId victim = f.FirstDataBlock();
+  std::string original;
+  ASSERT_TRUE(f.device.Read(victim, &original).ok());
+
+  FaultInjectionBlockDevice fault(&f.device);
+  fault.TearWriteAt(1, /*keep_bytes=*/40);  // mid-payload tear
+  EXPECT_TRUE(fault.Write(victim, Slice(original)).IsIOError());
+  std::string torn;
+  ASSERT_TRUE(fault.Read(victim, &torn).ok());
+  // Rewriting the same content torn at byte 40 leaves the image
+  // unchanged, so force a visible tear: rotate the original first.
+  std::string rotated = original;
+  std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+  fault.TearWriteAt(1, /*keep_bytes=*/40);
+  EXPECT_TRUE(fault.Write(victim, Slice(rotated)).IsIOError());
+
+  // Scanning through the torn image must report Corruption.
+  Pager pager(&fault);
+  auto read = pager.Read(victim);
+  ASSERT_TRUE(read.ok());
+  auto decoded = f.table->codec().DecodeBlock(Slice(read.value()));
+  EXPECT_TRUE(decoded.status().IsCorruption())
+      << decoded.status().ToString();
+}
+
+TEST(Corruption, InjectedBitFlipSurfacesAsCorruptionThroughScan) {
+  // Silent media corruption: one read comes back with a single bit
+  // flipped. The per-block CRC must turn that into Status::Corruption.
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice base(512);
+  FaultInjectionBlockDevice fault(&base);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &fault, options).value();
+  auto tuples = testing::RandomTuples(*schema, 200, 7);
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  AVQDB_CHECK_OK(table->BulkLoad(tuples));
+
+  // Every read that returns flipped payload data must either fail the
+  // scan with Corruption or (for flips in padding) leave it intact.
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    fault.FlipReadBitAt(1, kBlockHeaderSize + 3, bit);
+    auto scan = table->ScanAll();
+    if (scan.ok()) {
+      EXPECT_EQ(scan.value(), tuples) << "bit " << bit;
+    } else {
+      EXPECT_TRUE(scan.status().IsCorruption())
+          << "bit " << bit << ": " << scan.status().ToString();
+    }
+  }
+  // With no fault scheduled the table reads back clean — the flip never
+  // touched the stored block.
+  fault.ClearFaults();
+  EXPECT_EQ(table->ScanAll().value(), tuples);
 }
 
 // ---- Parallel DecodeAll under corruption ----

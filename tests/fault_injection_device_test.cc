@@ -1,0 +1,181 @@
+// FaultInjectionBlockDevice unit tests: scheduled read/write faults,
+// torn writes, bit flips, the Sync()/Crash() unsynced-loss model, and the
+// pager's bounded retry on transient errors.
+
+#include "src/storage/fault_injection_device.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "src/storage/block_device.h"
+#include "src/storage/pager.h"
+
+namespace avqdb {
+namespace {
+
+// Slice over a string literal (Slice has no const char* constructor).
+inline Slice Str(std::string_view s) { return Slice(s); }
+
+class FaultDeviceTest : public ::testing::Test {
+ protected:
+  FaultDeviceTest() : base_(64), fault_(&base_) {}
+
+  BlockId AllocateWritten(const std::string& content) {
+    BlockId id = fault_.Allocate().value();
+    AVQDB_CHECK_OK(fault_.Write(id, Slice(content)));
+    return id;
+  }
+
+  std::string ReadAll(const BlockDevice& device, BlockId id) {
+    std::string out;
+    AVQDB_CHECK_OK(device.Read(id, &out));
+    return out;
+  }
+
+  MemBlockDevice base_;
+  FaultInjectionBlockDevice fault_;
+};
+
+TEST_F(FaultDeviceTest, PassThroughReadWrite) {
+  const BlockId id = AllocateWritten("hello");
+  std::string out;
+  ASSERT_TRUE(fault_.Read(id, &out).ok());
+  EXPECT_EQ(out.substr(0, 5), "hello");
+  EXPECT_EQ(fault_.reads(), 1u);
+  EXPECT_EQ(fault_.writes(), 1u);
+}
+
+TEST_F(FaultDeviceTest, WritesAreInvisibleToBaseUntilSync) {
+  const BlockId id = AllocateWritten("buffered");
+  // The base still holds the allocation-time zeros.
+  EXPECT_EQ(ReadAll(base_, id), std::string(64, '\0'));
+  // But reads through the wrapper see the buffered content.
+  EXPECT_EQ(ReadAll(fault_, id).substr(0, 8), "buffered");
+  ASSERT_TRUE(fault_.Sync().ok());
+  EXPECT_EQ(ReadAll(base_, id).substr(0, 8), "buffered");
+}
+
+TEST_F(FaultDeviceTest, CrashDropsUnsyncedWrites) {
+  const BlockId id = AllocateWritten("first");
+  ASSERT_TRUE(fault_.Sync().ok());
+  ASSERT_TRUE(fault_.Write(id, Str("second")).ok());
+  fault_.Crash();
+  // All operations fail while crashed.
+  std::string out;
+  EXPECT_TRUE(fault_.Read(id, &out).IsIOError());
+  EXPECT_TRUE(fault_.Write(id, Str("x")).IsIOError());
+  EXPECT_TRUE(fault_.Sync().IsIOError());
+  // The base holds exactly the last-synced image.
+  EXPECT_EQ(ReadAll(base_, id).substr(0, 5), "first");
+  fault_.Recover();
+  EXPECT_EQ(ReadAll(fault_, id).substr(0, 5), "first");
+}
+
+TEST_F(FaultDeviceTest, FailReadAtPermanentAndTransient) {
+  const BlockId id = AllocateWritten("data");
+  fault_.FailReadAt(2);
+  std::string out;
+  EXPECT_TRUE(fault_.Read(id, &out).ok());
+  EXPECT_TRUE(fault_.Read(id, &out).IsIOError());
+  EXPECT_TRUE(fault_.Read(id, &out).ok());  // one-shot
+
+  fault_.FailReadAt(1, /*transient=*/true);
+  EXPECT_TRUE(fault_.Read(id, &out).IsUnavailable());
+  EXPECT_TRUE(fault_.Read(id, &out).ok());
+}
+
+TEST_F(FaultDeviceTest, StickyFaultKeepsFailing) {
+  const BlockId id = AllocateWritten("data");
+  fault_.FailReadAt(1, /*transient=*/false, /*sticky=*/true);
+  std::string out;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(fault_.Read(id, &out).IsIOError()) << i;
+  }
+  fault_.ClearFaults();
+  EXPECT_TRUE(fault_.Read(id, &out).ok());
+}
+
+TEST_F(FaultDeviceTest, FailWriteAt) {
+  const BlockId id = AllocateWritten("keep");
+  fault_.FailWriteAt(1);
+  EXPECT_TRUE(fault_.Write(id, Str("lost")).IsIOError());
+  EXPECT_EQ(ReadAll(fault_, id).substr(0, 4), "keep");
+  EXPECT_TRUE(fault_.Write(id, Str("next")).ok());
+}
+
+TEST_F(FaultDeviceTest, TornWritePersistsPrefixOnly) {
+  const BlockId id = AllocateWritten("AAAAAAAA");
+  ASSERT_TRUE(fault_.Sync().ok());
+  fault_.TearWriteAt(1, /*keep_bytes=*/3);
+  EXPECT_TRUE(fault_.Write(id, Str("BBBBBBBB")).IsIOError());
+  // First 3 bytes of the new write, tail of the old content.
+  EXPECT_EQ(ReadAll(fault_, id).substr(0, 8), "BBBAAAAA");
+}
+
+TEST_F(FaultDeviceTest, BitFlipCorruptsOneReadSilently) {
+  const BlockId id = AllocateWritten("flip");
+  fault_.FlipReadBitAt(1, /*offset=*/0, /*bit=*/1);
+  std::string out;
+  ASSERT_TRUE(fault_.Read(id, &out).ok());
+  EXPECT_EQ(out[0], 'f' ^ 0x2);
+  // The stored block is intact; the next read is clean.
+  ASSERT_TRUE(fault_.Read(id, &out).ok());
+  EXPECT_EQ(out[0], 'f');
+}
+
+TEST_F(FaultDeviceTest, CrashDuringSyncFlushesPrefixAndTearsNext) {
+  const BlockId a = AllocateWritten("aaaa");
+  const BlockId b = AllocateWritten("bbbb");
+  const BlockId c = AllocateWritten("cccc");
+  ASSERT_TRUE(fault_.Sync().ok());
+  ASSERT_TRUE(fault_.Write(a, Str("AAAA")).ok());
+  ASSERT_TRUE(fault_.Write(b, Str("BBBB")).ok());
+  ASSERT_TRUE(fault_.Write(c, Str("CCCC")).ok());
+  fault_.CrashDuringSync(/*nth=*/1, /*after_blocks=*/1, /*torn_bytes=*/2);
+  EXPECT_TRUE(fault_.Sync().IsIOError());
+  EXPECT_TRUE(fault_.crashed());
+  // Buffered blocks flush in id order: a lands whole, b lands torn, c is
+  // lost entirely.
+  EXPECT_EQ(ReadAll(base_, a).substr(0, 4), "AAAA");
+  EXPECT_EQ(ReadAll(base_, b).substr(0, 4), "BBbb");
+  EXPECT_EQ(ReadAll(base_, c).substr(0, 4), "cccc");
+}
+
+TEST_F(FaultDeviceTest, WriteValidatesAgainstBaseContract) {
+  EXPECT_TRUE(fault_.Write(99, Str("x")).IsInvalidArgument());
+  const BlockId id = fault_.Allocate().value();
+  EXPECT_TRUE(fault_.Write(id, Slice(std::string(65, 'x')))
+                  .IsInvalidArgument());
+}
+
+TEST_F(FaultDeviceTest, PagerRetriesTransientReads) {
+  const BlockId id = AllocateWritten("retry me");
+  ASSERT_TRUE(fault_.Sync().ok());
+  Pager pager(&fault_);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_us = 1;
+  pager.SetRetryPolicy(policy);
+
+  fault_.FailReadAt(1, /*transient=*/true);
+  auto read = pager.Read(id);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().substr(0, 8), "retry me");
+  EXPECT_EQ(pager.stats().read_retries, 1u);
+
+  // A sticky transient fault exhausts the retry budget.
+  fault_.FailReadAt(1, /*transient=*/true, /*sticky=*/true);
+  EXPECT_TRUE(pager.Read(id).status().IsUnavailable());
+  EXPECT_EQ(pager.stats().read_retries, 3u);
+
+  // Permanent errors are not retried.
+  fault_.ClearFaults();
+  fault_.FailReadAt(1, /*transient=*/false);
+  EXPECT_TRUE(pager.Read(id).status().IsIOError());
+  EXPECT_EQ(pager.stats().read_retries, 3u);
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -87,13 +87,14 @@ TEST(FormatConformance, TableImageMetadataBlock) {
 
   FILE* f = std::fopen(path.c_str(), "rb");
   ASSERT_NE(f, nullptr);
-  uint8_t head[28];
-  ASSERT_EQ(std::fread(head, 1, sizeof(head), f), sizeof(head));
+  uint8_t image[512 * 3];
+  ASSERT_EQ(std::fread(image, 1, sizeof(image), f), sizeof(image));
   std::fclose(f);
   std::remove(path.c_str());
 
+  const uint8_t* head = image;  // metadata slot A = block 0
   EXPECT_EQ(DecodeFixed32(head), 0x54515641u);  // "AVQT"
-  EXPECT_EQ(DecodeFixed16(head + 4), 1u);       // version
+  EXPECT_EQ(DecodeFixed16(head + 4), 2u);       // version
   EXPECT_EQ(head[6], 1u);                       // AVQ store
   EXPECT_EQ(head[7], 0u);                       // chain-delta
   EXPECT_EQ(head[8], 0u);                       // median representative
@@ -102,6 +103,15 @@ TEST(FormatConformance, TableImageMetadataBlock) {
   EXPECT_EQ(DecodeFixed32(head + 12), 512u);    // block size
   EXPECT_EQ(DecodeFixed32(head + 16), 1u);      // data blocks
   EXPECT_EQ(DecodeFixed64(head + 20), 1u);      // tuples
+  EXPECT_EQ(DecodeFixed64(head + 28), 1u);      // commit sequence
+
+  // Metadata slot B (block 1) is zeroed at save time — it fails the magic
+  // check, so the loader knows no in-place commit has happened yet.
+  for (size_t i = 512; i < 1024; ++i) {
+    ASSERT_EQ(image[i], 0u) << "slot B byte " << i;
+  }
+  // The first data block (physical id 2) starts with the AVQ block magic.
+  EXPECT_EQ(DecodeFixed16(image + 1024), 0x5156u);  // "VQ"
 }
 
 TEST(FormatConformance, ZigZagEncoding) {

@@ -86,7 +86,8 @@ TEST_F(TableIoTest, LoadedTableIsFullyOperational) {
                                      Value("management"), &stats);
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
   EXPECT_EQ(rows->size(), 3u);
-  // Mutations after load work too (they write into the file device).
+  // Mutations after load work too (staged in the overlay device until
+  // Commit() publishes them).
   ASSERT_TRUE(reopened.InsertRow({Value("personnel"), Value("director"),
                                   Value(int64_t{1}), Value(int64_t{2}),
                                   Value(int64_t{60})})
@@ -111,6 +112,118 @@ TEST_F(TableIoTest, EmptyTableRoundTrip) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->table->num_tuples(), 0u);
   ASSERT_TRUE(loaded->table->Insert({1, 2, 3, 4, 5}).ok());
+}
+
+TEST_F(TableIoTest, CommitMakesMutationsDurable) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(table->Insert({i % 8, i % 16, i % 64, i % 64, i}).ok());
+  }
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+
+  {
+    auto loaded = LoadTable(path_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_TRUE(loaded->table->Insert({7, 15, 63, 63, 61}).ok());
+    ASSERT_TRUE(loaded->table->Delete({0, 0, 0, 0, 0}).ok());
+    ASSERT_TRUE(loaded->Commit().ok());
+    EXPECT_EQ(loaded->commit_seq, 2u);
+  }
+  auto reopened = LoadTable(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->table->num_tuples(), 40u);
+  EXPECT_TRUE(reopened->table->Contains({7, 15, 63, 63, 61}).value());
+  EXPECT_FALSE(reopened->table->Contains({0, 0, 0, 0, 0}).value());
+}
+
+TEST_F(TableIoTest, UncommittedMutationsAreDiscardedAtClose) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(table->Insert({i % 8, i % 16, i % 64, i % 64, i}).ok());
+  }
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+
+  {
+    auto loaded = LoadTable(path_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_TRUE(loaded->table->Insert({7, 15, 63, 63, 61}).ok());
+    // No Commit: the overlay's redirected blocks are never published.
+  }
+  auto reopened = LoadTable(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->table->num_tuples(), 40u);
+  EXPECT_FALSE(reopened->table->Contains({7, 15, 63, 63, 61}).value());
+}
+
+TEST_F(TableIoTest, RepeatedCommitsAlternateSlots) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(table->Insert({i % 8, i % 16, i % 64, i % 64, i}).ok());
+  }
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+
+  auto loaded = LoadTable(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->active_slot, 0u);
+  for (uint64_t round = 0; round < 4; ++round) {
+    ASSERT_TRUE(
+        loaded->table->Insert({7, 15, 63, 62, 50 + round}).ok());
+    ASSERT_TRUE(loaded->Commit().ok()) << "round " << round;
+    EXPECT_EQ(loaded->active_slot, (round + 1) % 2);
+    EXPECT_EQ(loaded->commit_seq, round + 2);
+  }
+  auto reopened = LoadTable(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->table->num_tuples(), 44u);
+  EXPECT_EQ(reopened->commit_seq, 5u);
+  EXPECT_EQ(reopened->table->ScanAll().value(),
+            loaded->table->ScanAll().value());
+}
+
+TEST_F(TableIoTest, LoadedTableReportsVersionAndSeq) {
+  // (The legacy v1 load + Commit upgrade path is exercised with a
+  // hand-written v1 image in table_salvage_test.cc.)
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  ASSERT_TRUE(table->Insert({1, 2, 3, 4, 5}).ok());
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  auto loaded = LoadTable(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->version, 2u);
+  EXPECT_EQ(loaded->commit_seq, 1u);
+}
+
+TEST_F(TableIoTest, NonAtomicSaveMatchesAtomicImage) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice device(512);
+  CodecOptions options;
+  options.block_size = 512;
+  auto table = Table::CreateAvq(schema, &device, options).value();
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(table->Insert({i % 8, i % 16, i % 64, i % 64, i}).ok());
+  }
+  SaveOptions plain;
+  plain.atomic = false;
+  plain.sync = false;
+  ASSERT_TRUE(SaveTable(*table, path_, plain).ok());
+  auto loaded = LoadTable(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->table->ScanAll().value(), table->ScanAll().value());
 }
 
 TEST_F(TableIoTest, LoadRejectsMissingAndGarbageFiles) {
@@ -156,7 +269,8 @@ TEST_F(TableIoTest, LoadDetectsDataBlockCorruption) {
   {
     FILE* f = std::fopen(path_.c_str(), "rb+");
     ASSERT_NE(f, nullptr);
-    std::fseek(f, 512 + 30, SEEK_SET);  // inside the first data block
+    // Data blocks start at block 2; blocks 0/1 are the metadata slots.
+    std::fseek(f, 2 * 512 + 30, SEEK_SET);  // inside the first data block
     std::fputc(0xEE, f);
     std::fclose(f);
   }

@@ -1,0 +1,271 @@
+// Salvage (repair-mode load) and metadata-slot recovery tests: corrupt
+// data blocks are quarantined with accurate φ-range loss bounds, torn
+// commits fall back to the older metadata slot, and legacy v1 images load
+// and upgrade to v2 through Commit().
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/coding.h"
+#include "src/common/crc32c.h"
+#include "src/db/block_codecs.h"
+#include "src/db/table.h"
+#include "src/db/table_io.h"
+#include "src/schema/schema_io.h"
+#include "src/storage/block_device.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+constexpr size_t kBlockSize = 512;
+
+class TableSalvageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = testing::PaperShapeSchema();
+    path_ = ::testing::TempDir() + "avqdb_salvage_test.avqt";
+    std::remove(path_.c_str());
+
+    MemBlockDevice device(kBlockSize);
+    auto table = Table::CreateAvq(schema_, &device).value();
+    auto tuples = testing::RandomTuples(*schema_, 400, 0x5a17a9eULL);
+    std::set<OrdinalTuple> unique(tuples.begin(), tuples.end());
+    baseline_.assign(unique.begin(), unique.end());
+    ASSERT_TRUE(table->BulkLoad(baseline_).ok());
+    ASSERT_TRUE(SaveTable(*table, path_).ok());
+    // The saved image is [slot A][slot B][data blocks...].
+    FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    num_data_blocks_ = static_cast<size_t>(std::ftell(f)) / kBlockSize - 2;
+    std::fclose(f);
+    ASSERT_GE(num_data_blocks_, 4u) << "test needs a multi-block table";
+    codec_options_ = table->codec().options();
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Reads one raw block of the saved image.
+  std::string ReadFileBlock(BlockId block) {
+    FILE* f = std::fopen(path_.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string out(kBlockSize, '\0');
+    EXPECT_EQ(std::fseek(f, static_cast<long>(block * kBlockSize), SEEK_SET),
+              0);
+    EXPECT_EQ(std::fread(out.data(), 1, kBlockSize, f), kBlockSize);
+    std::fclose(f);
+    return out;
+  }
+
+  void FlipFileByte(BlockId block, size_t offset) {
+    FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const long pos = static_cast<long>(block * kBlockSize + offset);
+    ASSERT_EQ(std::fseek(f, pos, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, pos, SEEK_SET), 0);
+    ASSERT_NE(std::fputc(c ^ 0x40, f), EOF);
+    std::fclose(f);
+  }
+
+  // Tuples held by one data block of the freshly saved image (physical
+  // ids 2..k+1 in φ order).
+  std::vector<OrdinalTuple> DecodeFileBlock(BlockId block) {
+    auto codec = MakeAvqBlockCodec(schema_, codec_options_);
+    return codec->DecodeBlock(Slice(ReadFileBlock(block))).value();
+  }
+
+  SchemaPtr schema_;
+  std::string path_;
+  std::vector<OrdinalTuple> baseline_;
+  size_t num_data_blocks_ = 0;
+  CodecOptions codec_options_;
+};
+
+TEST_F(TableSalvageTest, RepairQuarantinesCorruptBlockWithAccurateBounds) {
+  // Victim: a middle data block. Record its contents and its φ-order
+  // neighbors before corrupting it.
+  const BlockId victim = 4;
+  const auto lost = DecodeFileBlock(victim);
+  const auto before = DecodeFileBlock(victim - 1);
+  const auto after = DecodeFileBlock(victim + 1);
+  FlipFileByte(victim, 24);  // inside the payload; breaks the block CRC
+
+  // A strict load refuses the image.
+  EXPECT_TRUE(LoadTable(path_, LoadOptions{}).status().IsCorruption());
+
+  // A repair load quarantines exactly the victim and keeps the rest.
+  RepairReport report;
+  LoadOptions options;
+  options.repair = true;
+  options.report = &report;
+  auto loaded = LoadTable(path_, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(report.version, 2u);
+  EXPECT_EQ(report.blocks_scanned, num_data_blocks_);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].physical, victim);
+  EXPECT_FALSE(report.quarantined[0].error.empty());
+  EXPECT_EQ(report.tuples_expected, baseline_.size());
+  EXPECT_EQ(report.tuples_recovered, baseline_.size() - lost.size());
+  // Loss bounds: the preceding survivor's last tuple and the following
+  // survivor's first tuple.
+  EXPECT_EQ(report.quarantined[0].lost_after,
+            TupleToString(before.back()));
+  EXPECT_EQ(report.quarantined[0].lost_before,
+            TupleToString(after.front()));
+  EXPECT_NE(report.ToString().find("quarantined"), std::string::npos);
+
+  // The salvaged table holds exactly the survivors, in φ order.
+  std::set<OrdinalTuple> expected(baseline_.begin(), baseline_.end());
+  for (const auto& t : lost) expected.erase(t);
+  auto scanned = loaded.value().table->ScanAll().value();
+  EXPECT_EQ(std::set<OrdinalTuple>(scanned.begin(), scanned.end()), expected);
+}
+
+TEST_F(TableSalvageTest, CommitAfterRepairDropsQuarantineDurably) {
+  const BlockId victim = 3;
+  const auto lost = DecodeFileBlock(victim);
+  FlipFileByte(victim, 30);
+
+  RepairReport report;
+  LoadOptions options;
+  options.repair = true;
+  options.report = &report;
+  {
+    auto loaded = LoadTable(path_, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_EQ(report.quarantined.size(), 1u);
+    ASSERT_TRUE(loaded.value().Commit().ok());
+  }
+
+  // After the repair commit the image is strictly loadable again, minus
+  // the quarantined tuples.
+  auto reopened = LoadTable(path_, LoadOptions{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().table->num_tuples(),
+            baseline_.size() - lost.size());
+}
+
+TEST_F(TableSalvageTest, QuarantineAtTheEdgesReportsInfiniteBounds) {
+  FlipFileByte(2, 24);  // first data block
+  FlipFileByte(static_cast<BlockId>(num_data_blocks_) + 1, 24);  // last
+
+  RepairReport report;
+  LoadOptions options;
+  options.repair = true;
+  options.report = &report;
+  auto loaded = LoadTable(path_, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(report.quarantined.size(), 2u);
+  EXPECT_EQ(report.quarantined.front().lost_after, "-inf");
+  EXPECT_EQ(report.quarantined.back().lost_before, "+inf");
+}
+
+TEST_F(TableSalvageTest, TornCommitFallsBackToOlderMetadataSlot) {
+  // Commit once so slot B holds sequence 2.
+  OrdinalTuple extra{7, 15, 63, 63, 59};
+  {
+    auto loaded = LoadTable(path_, LoadOptions{}).value();
+    if (loaded.table->Contains(extra).value()) {
+      ASSERT_TRUE(loaded.table->Delete(extra).ok());
+    } else {
+      ASSERT_TRUE(loaded.table->Insert(extra).ok());
+    }
+    ASSERT_TRUE(loaded.Commit().ok());
+    EXPECT_EQ(loaded.commit_seq, 2u);
+    EXPECT_EQ(loaded.active_slot, 1u);
+  }
+  // Tear the newer slot: a normal load must fall back to sequence 1 —
+  // the pristine baseline image.
+  FlipFileByte(1, 40);
+  auto loaded = LoadTable(path_, LoadOptions{});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().commit_seq, 1u);
+  EXPECT_EQ(loaded.value().active_slot, 0u);
+  EXPECT_EQ(loaded.value().table->num_tuples(), baseline_.size());
+
+  // A repair load surfaces the fallback in its report.
+  RepairReport report;
+  LoadOptions repair;
+  repair.repair = true;
+  repair.report = &report;
+  ASSERT_TRUE(LoadTable(path_, repair).ok());
+  EXPECT_TRUE(report.metadata_slot_fallback);
+  EXPECT_EQ(report.commit_seq, 1u);
+}
+
+TEST_F(TableSalvageTest, BothMetadataSlotsCorruptIsFatal) {
+  FlipFileByte(0, 40);
+  auto loaded = LoadTable(path_, LoadOptions{});
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+  // Repair mode cannot help without any readable metadata.
+  LoadOptions repair;
+  repair.repair = true;
+  EXPECT_TRUE(LoadTable(path_, repair).status().IsCorruption());
+}
+
+TEST_F(TableSalvageTest, LegacyV1ImageLoadsAndCommitUpgradesToV2) {
+  // Hand-write a v1 image: single metadata block 0, data from block 1.
+  CodecOptions options;
+  options.block_size = kBlockSize;
+  auto codec = MakeAvqBlockCodec(schema_, options);
+  std::vector<OrdinalTuple> tuples = {
+      {0, 1, 2, 3, 4}, {1, 2, 3, 4, 5}, {2, 3, 4, 5, 6}};
+  std::string data_block = codec->EncodeBlock(tuples).value();
+
+  std::string meta;
+  PutFixed32(&meta, 0x54515641u);  // "AVQT"
+  PutFixed16(&meta, 1u);           // version 1
+  meta.push_back('\1');            // AVQ store
+  meta.push_back(static_cast<char>(options.variant));
+  meta.push_back(static_cast<char>(options.representative));
+  meta.push_back(options.run_length_zeros ? '\1' : '\0');
+  meta.push_back(options.checksum ? '\1' : '\0');
+  meta.push_back('\0');  // pad
+  PutFixed32(&meta, static_cast<uint32_t>(kBlockSize));
+  PutFixed32(&meta, 1u);  // one data block (implicitly id 1)
+  PutFixed64(&meta, tuples.size());
+  std::string schema_bytes;
+  EncodeSchema(*schema_, &schema_bytes);
+  PutLengthPrefixed(&meta, Slice(schema_bytes));
+  PutFixed32(&meta, crc32c::Mask(crc32c::Value(Slice(meta))));
+  ASSERT_LE(meta.size(), kBlockSize);
+  meta.resize(kBlockSize, '\0');
+
+  const std::string v1_path = ::testing::TempDir() + "avqdb_salvage_v1.avqt";
+  std::remove(v1_path.c_str());
+  FILE* f = std::fopen(v1_path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(meta.data(), 1, meta.size(), f), meta.size());
+  ASSERT_EQ(std::fwrite(data_block.data(), 1, data_block.size(), f),
+            data_block.size());
+  std::fclose(f);
+
+  {
+    auto loaded = LoadTable(v1_path, LoadOptions{});
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().version, 1u);
+    EXPECT_EQ(loaded.value().staged_device, nullptr);  // in-place legacy
+    EXPECT_EQ(loaded.value().table->num_tuples(), tuples.size());
+    // Commit() upgrades the file to the v2 two-slot format atomically.
+    ASSERT_TRUE(loaded.value().Commit().ok());
+  }
+  auto upgraded = LoadTable(v1_path, LoadOptions{});
+  ASSERT_TRUE(upgraded.ok()) << upgraded.status().ToString();
+  EXPECT_EQ(upgraded.value().version, 2u);
+  EXPECT_NE(upgraded.value().staged_device, nullptr);
+  EXPECT_EQ(upgraded.value().table->ScanAll().value(), tuples);
+  std::remove(v1_path.c_str());
+}
+
+}  // namespace
+}  // namespace avqdb

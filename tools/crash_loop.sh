@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repeated randomized crash-loop runs with rotating seeds.
+#
+# Each run executes the CrashLoop property test (1200 randomized crash
+# points per run: scheduled write faults, torn metadata writes, and
+# power loss mid-Sync) under a fresh AVQDB_CRASH_SEED, so N runs cover
+# N * 1200 distinct crash schedules.
+#
+# Usage: tools/crash_loop.sh [N] [build-dir]   (default: 5 runs, build/)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+runs="${1:-5}"
+build_dir="${2:-build}"
+binary="${build_dir}/tests/crash_loop_test"
+
+if [[ ! -x "${binary}" ]]; then
+  echo "crash_loop_test not built; run: cmake --build ${build_dir} --target crash_loop_test" >&2
+  exit 2
+fi
+
+base_seed="${AVQDB_CRASH_SEED:-$(date +%s)}"
+for ((i = 0; i < runs; ++i)); do
+  seed=$((base_seed + i * 7919))
+  echo "== crash loop run $((i + 1))/${runs} (AVQDB_CRASH_SEED=${seed}) =="
+  AVQDB_CRASH_SEED="${seed}" "${binary}" --gtest_brief=1
+done
+
+echo "crash loop passed: $((runs * 1200)) randomized crash points"

@@ -4,9 +4,11 @@
 #   * ThreadSanitizer on the concurrency-sensitive tests (thread pool,
 #     relation codec, determinism, corruption, table, buffer pool,
 #     decoded-block cache, metrics registry);
-#   * AddressSanitizer + UBSan on the full suite.
+#   * AddressSanitizer + UBSan on the full suite;
+#   * both sanitizers on the fault-injection/durability tests (ctest
+#     label "fault": crash loop, salvage, staged commit, torn writes).
 #
-# Usage: tools/run_sanitized_tests.sh [tsan|asan|all]   (default: all)
+# Usage: tools/run_sanitized_tests.sh [tsan|asan|fault|all]   (default: all)
 #
 # Build trees land in build-tsan/ and build-asan/ next to build/ so the
 # regular tree is untouched.
@@ -29,6 +31,22 @@ run_tsan() {
     -R 'ThreadPool|ParallelFor|ParallelSort|SharedThreadPool|Resolve|RelationCodec|Determinism|Corruption|Table|BufferPool|DecodedBlockCache|MetricsRegistry|Histogram'
 }
 
+run_fault() {
+  echo "== Sanitized fault-injection / durability tests (label: fault) =="
+  cmake -B build-tsan -S . -DAVQDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "${jobs}" --target \
+    fault_injection_device_test staged_block_device_test corruption_test \
+    table_salvage_test crash_loop_test table_io_test
+  ctest --test-dir build-tsan --output-on-failure -j "${jobs}" -L fault
+  cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j "${jobs}" --target \
+    fault_injection_device_test staged_block_device_test corruption_test \
+    table_salvage_test crash_loop_test table_io_test
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L fault
+}
+
 run_asan() {
   echo "== AddressSanitizer + UBSan (full suite) =="
   cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
@@ -40,12 +58,14 @@ run_asan() {
 case "${mode}" in
   tsan) run_tsan ;;
   asan) run_asan ;;
+  fault) run_fault ;;
   all)
     run_tsan
+    run_fault
     run_asan
     ;;
   *)
-    echo "usage: $0 [tsan|asan|all]" >&2
+    echo "usage: $0 [tsan|asan|fault|all]" >&2
     exit 2
     ;;
 esac
