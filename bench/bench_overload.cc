@@ -1,0 +1,222 @@
+// Overload behavior of the governed query path — what admission control
+// buys when the offered load exceeds the executor's concurrency.
+//
+// A fixed client pool hammers Database::Select at 1×, 4× and 16× the
+// configured max concurrency, with and without the admission controller.
+// Without it every client's query runs immediately and they all contend;
+// with it at most max_concurrency queries run while a bounded queue
+// absorbs bursts and the overflow is shed with ResourceExhausted. Each
+// row reports completed-query throughput, p50/p95 latency of completed
+// queries, and the shed rate; every completed query is checked against
+// the single-threaded reference result, so the table also certifies that
+// overload never corrupts answers. Writes BENCH_overload.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/db/database.h"
+#include "src/db/exec_context.h"
+#include "src/db/query.h"
+#include "src/workload/generator.h"
+
+namespace avqdb::bench {
+namespace {
+
+constexpr size_t kTuples = 30000;
+constexpr size_t kMaxConcurrency = 2;
+constexpr size_t kQueueDepth = 4;
+constexpr int kQueriesPerClient = 6;
+constexpr int kDeadlineMs = 10000;  // generous: shedding, not expiry
+
+struct Row {
+  bool admission = false;
+  size_t oversub = 0;  // clients = oversub * kMaxConcurrency
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t failed_deadline = 0;
+  double wall_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+
+  double throughput_qps() const {
+    return wall_ms > 0 ? 1000.0 * static_cast<double>(completed) / wall_ms
+                       : 0.0;
+  }
+  double shed_rate() const {
+    return issued > 0
+               ? static_cast<double>(shed) / static_cast<double>(issued)
+               : 0.0;
+  }
+};
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(index, sorted_ms.size() - 1)];
+}
+
+Row RunLoad(Database& db, const ConjunctiveQuery& query,
+            const std::vector<OrdinalTuple>& expected, bool admission,
+            size_t oversub) {
+  Row row;
+  row.admission = admission;
+  row.oversub = oversub;
+  const size_t clients = oversub * kMaxConcurrency;
+
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  std::atomic<uint64_t> issued{0}, completed{0}, shed{0}, failed_deadline{0};
+  std::atomic<bool> wrong_results{false};
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        ExecContext ctx;
+        ctx.SetDeadlineAfter(std::chrono::milliseconds(kDeadlineMs));
+        issued.fetch_add(1);
+        const auto start = std::chrono::steady_clock::now();
+        auto result = db.Select("orders", query, &ctx);
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (result.ok()) {
+          completed.fetch_add(1);
+          if (*result != expected) wrong_results.store(true);
+          std::lock_guard<std::mutex> lock(mu);
+          latencies_ms.push_back(ms);
+        } else if (result.status().IsResourceExhausted()) {
+          shed.fetch_add(1);
+        } else if (result.status().IsDeadlineExceeded()) {
+          failed_deadline.fetch_add(1);
+        } else {
+          AVQDB_CHECK(false, "unexpected status: %s",
+                      result.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  row.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  AVQDB_CHECK(!wrong_results.load(),
+              "overload changed the answer of a completed query");
+
+  row.issued = issued.load();
+  row.completed = completed.load();
+  row.shed = shed.load();
+  row.failed_deadline = failed_deadline.load();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  row.p50_ms = Percentile(latencies_ms, 0.50);
+  row.p95_ms = Percentile(latencies_ms, 0.95);
+  return row;
+}
+
+int Main() {
+  PrintHeader(
+      "Overload: Database::Select under 1x/4x/16x oversubscription,\n"
+      "with and without admission control");
+
+  // The paper-shaped relation, scaled up so one full query costs real
+  // decode work (a conjunctive range over a non-clustered attribute:
+  // full scan, ~1/4 selectivity).
+  RelationSpec spec;
+  spec.num_attributes = 5;
+  spec.explicit_domain_sizes = {8, 16, 64, 64, 64};
+  spec.num_tuples = kTuples;
+  spec.seed = 42;
+  GeneratedRelation rel = MustGenerate(spec);
+  ConjunctiveQuery query;
+  {
+    const uint64_t radix = rel.schema->radices()[2];
+    query.predicates.push_back(
+        RangeQuery{.attribute = 2, .lo = 0, .hi = radix / 4});
+  }
+
+  std::vector<Row> rows;
+  for (const bool admission : {false, true}) {
+    Database db;
+    auto* table =
+        db.CreateTable("orders", rel.schema, TableKind::kAvq).value();
+    AVQDB_CHECK_OK(table->BulkLoad(SortedUnique(rel.tuples)));
+    if (admission) {
+      db.EnableAdmissionControl({.max_concurrency = kMaxConcurrency,
+                                 .max_queue_depth = kQueueDepth});
+    }
+    auto expected = db.Select("orders", query);
+    AVQDB_CHECK(expected.ok(), "reference query failed: %s",
+                expected.status().ToString().c_str());
+
+    for (const size_t oversub : {1u, 4u, 16u}) {
+      rows.push_back(RunLoad(db, query, *expected, admission, oversub));
+    }
+  }
+
+  PrintRule();
+  std::printf("%-10s %7s %7s %9s %6s %10s %9s %9s %9s\n", "admission",
+              "oversub", "issued", "completed", "shed", "shed_rate",
+              "qps", "p50_ms", "p95_ms");
+  PrintRule();
+  for (const Row& row : rows) {
+    std::printf("%-10s %6zux %7llu %9llu %6llu %9.1f%% %9.1f %9.2f %9.2f\n",
+                row.admission ? "on" : "off", row.oversub,
+                static_cast<unsigned long long>(row.issued),
+                static_cast<unsigned long long>(row.completed),
+                static_cast<unsigned long long>(row.shed),
+                100.0 * row.shed_rate(), row.throughput_qps(), row.p50_ms,
+                row.p95_ms);
+  }
+  PrintRule();
+  std::printf(
+      "every completed query returned the reference result; shed\n"
+      "queries failed fast with ResourceExhausted instead of queueing\n"
+      "unboundedly behind %zu slots\n",
+      kMaxConcurrency);
+
+  std::string results = "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    results += StringFormat(
+        "  {\"admission\": %s, \"oversubscription\": %zu, "
+        "\"clients\": %zu, \"issued\": %llu, \"completed\": %llu, "
+        "\"shed\": %llu, \"deadline_exceeded\": %llu, "
+        "\"shed_rate\": %.4f, \"throughput_qps\": %.2f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f}%s\n",
+        row.admission ? "true" : "false", row.oversub,
+        row.oversub * kMaxConcurrency,
+        static_cast<unsigned long long>(row.issued),
+        static_cast<unsigned long long>(row.completed),
+        static_cast<unsigned long long>(row.shed),
+        static_cast<unsigned long long>(row.failed_deadline),
+        row.shed_rate(), row.throughput_qps(), row.p50_ms, row.p95_ms,
+        i + 1 < rows.size() ? "," : "");
+  }
+  results += "]";
+  const std::string bench = StringFormat(
+      "{\"name\": \"overload\", \"tuples\": %zu, "
+      "\"max_concurrency\": %zu, \"queue_depth\": %zu, "
+      "\"queries_per_client\": %d, \"deadline_ms\": %d}",
+      kTuples, kMaxConcurrency, kQueueDepth, kQueriesPerClient,
+      kDeadlineMs);
+  if (!WriteBenchJson("BENCH_overload.json", bench, results)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace avqdb::bench
+
+int main() { return avqdb::bench::Main(); }

@@ -4,12 +4,28 @@
 
 #include "src/common/crc32c.h"
 #include "src/common/string_util.h"
+// Layering note: the cursor only consumes the thread-local
+// ExecContext::Current() checkpoint (installed by the query layer), not
+// the rest of the db layer.
+#include "src/db/exec_context.h"
 #include "src/obs/metric_names.h"
 #include "src/obs/metrics.h"
 #include "src/ordinal/mixed_radix.h"
 
 namespace avqdb {
 namespace {
+
+// Cooperative checkpoint for long replays: consults the governing
+// ExecContext (if any) every `kGovernanceStride` tuples, so cancelling a
+// query also stops a pathological single-block walk promptly without
+// putting a clock read on the per-tuple hot path.
+constexpr size_t kGovernanceStride = 512;
+
+Status CheckGovernance(size_t step) {
+  if (step % kGovernanceStride != 0) return Status::OK();
+  const ExecContext* ctx = ExecContext::Current();
+  return ctx != nullptr ? ctx->Check() : Status::OK();
+}
 
 // Arithmetic failures while replaying a chain mean the stored differences
 // are inconsistent: surface them as corruption, like DecodeBlock does.
@@ -84,6 +100,7 @@ Status BlockCursor::Init() {
           expected, actual));
     }
   }
+  AVQDB_RETURN_IF_ERROR(ValidateBlockCapacity(layout_, header_));
   AVQDB_RETURN_IF_ERROR(layout_.ParseImage(payload, &rep_tuple_));
   AVQDB_RETURN_IF_ERROR(
       AsCorruption(mixed_radix::Validate(schema_->radices(), rep_tuple_),
@@ -106,6 +123,7 @@ Status BlockCursor::DecodePrefix() {
   std::vector<OrdinalTuple> diffs(rep);
   Slice stream = Stream();
   for (size_t i = 0; i < rep; ++i) {
+    AVQDB_RETURN_IF_ERROR(CheckGovernance(i));
     AVQDB_RETURN_IF_ERROR(ReadCodedDifference(
         layout_, header_.has_run_length(), &stream, &diffs[i]));
   }
@@ -195,7 +213,9 @@ Status BlockCursor::Seek(const OrdinalTuple& key) {
   position_ = rep;
   current_ = rep_tuple_;
   valid_ = true;
+  size_t walked = 0;
   while (valid_ && CompareTuples(current_, key) < 0) {
+    AVQDB_RETURN_IF_ERROR(CheckGovernance(++walked));
     AVQDB_RETURN_IF_ERROR(Next());
   }
   return Status::OK();

@@ -11,6 +11,26 @@
 
 namespace avqdb {
 
+Status ValidateBlockCapacity(const DigitLayout& layout,
+                             const BlockHeader& header) {
+  const size_t m = layout.total_width();
+  if (header.payload_size < m) {
+    return Status::Corruption(StringFormat(
+        "payload of %u bytes cannot hold a %zu-byte representative",
+        header.payload_size, m));
+  }
+  const size_t min_bytes_per_diff = header.has_run_length() ? 1 : m;
+  const size_t max_tuples =
+      1 + (header.payload_size - m) / min_bytes_per_diff;
+  if (header.tuple_count > max_tuples) {
+    return Status::Corruption(StringFormat(
+        "tuple count %u exceeds the %zu differences the %u-byte payload "
+        "can hold",
+        header.tuple_count, max_tuples - 1, header.payload_size));
+  }
+  return Status::OK();
+}
+
 Status ReadCodedDifference(const DigitLayout& layout, bool run_length,
                            Slice* stream, OrdinalTuple* diff) {
   const size_t m = layout.total_width();
@@ -94,6 +114,7 @@ Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block) {
 
   AVQDB_ASSIGN_OR_RETURN(DigitLayout layout,
                          DigitLayout::Create(schema.digit_widths()));
+  AVQDB_RETURN_IF_ERROR(ValidateBlockCapacity(layout, header));
   const auto& radices = schema.radices();
   const size_t m = layout.total_width();
   const size_t count = header.tuple_count;

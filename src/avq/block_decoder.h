@@ -37,6 +37,17 @@ Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block);
 size_t LowerBoundInBlock(const std::vector<OrdinalTuple>& tuples,
                          const OrdinalTuple& key);
 
+// Upfront resource validation shared by DecodeBlock and BlockCursor:
+// checks the header's claims against what the payload can physically
+// hold, BEFORE any tuple storage is allocated. The payload must contain
+// the representative's full m-byte image, and each of the remaining
+// tuple_count-1 differences costs at least one byte under RLE (its count
+// byte) or exactly m bytes without it — so a hostile tuple_count (or a
+// corrupt length field) is rejected as Status::Corruption instead of
+// driving an oversized allocation.
+Status ValidateBlockCapacity(const DigitLayout& layout,
+                             const BlockHeader& header);
+
 // Stream-level primitives shared by DecodeBlock and BlockCursor: consume
 // the next coded difference from *stream (count byte + suffix under RLE,
 // a full m-byte image otherwise), either parsing it into *diff or

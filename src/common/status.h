@@ -29,6 +29,11 @@ enum class StatusCode : int {
   // pager's read path does, with bounded backoff). Contrast kIOError,
   // which is permanent.
   kUnavailable = 10,
+  // Resource-governance outcomes (see db/exec_context.h). The operation
+  // was abandoned cooperatively, not because of bad data: the caller may
+  // retry with a fresh deadline / without cancelling.
+  kDeadlineExceeded = 11,
+  kCancelled = 12,
 };
 
 // Returns the canonical name of a code, e.g. "Corruption".
@@ -78,6 +83,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -97,6 +108,10 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;

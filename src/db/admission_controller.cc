@@ -1,0 +1,126 @@
+#include "src/db/admission_controller.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+
+namespace avqdb {
+namespace {
+
+struct AdmissionMetrics {
+  obs::Counter* admitted;
+  obs::Counter* queued;
+  obs::Counter* shed;
+  obs::Histogram* queue_wait_us;
+  obs::Gauge* in_flight;
+
+  static const AdmissionMetrics& Get() {
+    static const AdmissionMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return AdmissionMetrics{
+          registry.GetCounter(obs::kAdmissionAdmitted),
+          registry.GetCounter(obs::kAdmissionQueued),
+          registry.GetCounter(obs::kAdmissionShed),
+          registry.GetHistogram(obs::kAdmissionQueueWaitMicros),
+          registry.GetGauge(obs::kAdmissionInFlight)};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_{std::max<size_t>(options.max_concurrency, 1),
+               options.max_queue_depth} {}
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    if (controller_ != nullptr) controller_->Release();
+    controller_ = other.controller_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionController::Ticket::~Ticket() {
+  if (controller_ != nullptr) controller_->Release();
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const ExecContext* ctx) {
+  const AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  if (ctx != nullptr) {
+    // An already-dead request is not load: report its own failure rather
+    // than counting a shed.
+    AVQDB_RETURN_IF_ERROR(ctx->Check());
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (in_flight_ < options_.max_concurrency) {
+    ++in_flight_;
+    metrics.admitted->Increment();
+    metrics.in_flight->Set(in_flight_);
+    return Ticket(this);
+  }
+  if (waiting_ >= options_.max_queue_depth) {
+    metrics.shed->Increment();
+    return Status::ResourceExhausted("admission queue full");
+  }
+  ++waiting_;
+  metrics.queued->Increment();
+  const auto enqueue_time = ExecContext::Clock::now();
+  // Waiters poll the cancellation flag at a coarse interval (Cancel()
+  // has no handle on this cv); deadline timeouts are exact.
+  constexpr auto kCancelPollInterval = std::chrono::milliseconds(10);
+  while (in_flight_ >= options_.max_concurrency) {
+    auto wake_at = ExecContext::Clock::now() + kCancelPollInterval;
+    if (ctx != nullptr && ctx->has_deadline()) {
+      wake_at = std::min(wake_at, ctx->deadline());
+    }
+    cv_.wait_until(lock, wake_at);
+    if (ctx != nullptr && ctx->cancelled()) {
+      --waiting_;
+      return Status::Cancelled("cancelled while queued for admission");
+    }
+    if (ctx != nullptr && ctx->DeadlinePassed() &&
+        in_flight_ >= options_.max_concurrency) {
+      --waiting_;
+      metrics.shed->Increment();
+      return Status::ResourceExhausted(
+          "admission queue wait exceeded the request deadline");
+    }
+  }
+  --waiting_;
+  ++in_flight_;
+  metrics.admitted->Increment();
+  metrics.in_flight->Set(in_flight_);
+  metrics.queue_wait_us->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          ExecContext::Clock::now() - enqueue_time)
+          .count()));
+  return Ticket(this);
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    AdmissionMetrics::Get().in_flight->Set(in_flight_);
+  }
+  cv_.notify_one();
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t AdmissionController::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,88 @@
+// AdmissionController: semaphore-style concurrency limiter with a bounded
+// wait queue and deadline-based load shedding, guarding a Database's
+// query path under overload.
+//
+// Admit() either grants a slot immediately, queues the caller (bounded),
+// or sheds it:
+//   * queue full                      -> Status::ResourceExhausted
+//   * queue wait reaches the deadline -> Status::ResourceExhausted
+//   * deadline already expired        -> Status::DeadlineExceeded
+//   * cancelled while waiting         -> Status::Cancelled
+// An admitted caller holds an RAII Ticket; releasing it wakes one waiter.
+// Everything is observable: db.admission.{admitted,queued,shed,
+// queue_wait_us,in_flight}.
+
+#ifndef AVQDB_DB_ADMISSION_CONTROLLER_H_
+#define AVQDB_DB_ADMISSION_CONTROLLER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/db/exec_context.h"
+
+namespace avqdb {
+
+struct AdmissionOptions {
+  // Queries running concurrently before new arrivals queue. >= 1.
+  size_t max_concurrency = 4;
+  // Arrivals waiting for a slot before further ones are shed outright.
+  // 0 disables queueing: over-concurrency arrivals are shed immediately.
+  size_t max_queue_depth = 16;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Releases its slot (and wakes one waiter) on destruction. A
+  // default-constructed Ticket holds nothing, so ungoverned paths can
+  // carry one for free.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept;
+    ~Ticket();
+
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool holds_slot() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  // Blocks until a slot is granted or the request is shed (see the file
+  // comment for the status taxonomy). `ctx` may be null (ungoverned
+  // callers queue indefinitely, but still respect the queue bound).
+  Result<Ticket> Admit(const ExecContext* ctx);
+
+  size_t max_concurrency() const { return options_.max_concurrency; }
+  size_t in_flight() const;
+  size_t waiting() const;
+
+ private:
+  void Release();
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_flight_ = 0;
+  size_t waiting_ = 0;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_ADMISSION_CONTROLLER_H_

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
 
 namespace avqdb {
 
@@ -44,6 +46,35 @@ Status Database::DropTable(const std::string& name) {
         StringFormat("no table named \"%s\"", name.c_str()));
   }
   return Status::OK();
+}
+
+void Database::EnableAdmissionControl(AdmissionOptions options) {
+  admission_ = std::make_unique<AdmissionController>(options);
+}
+
+Result<std::vector<OrdinalTuple>> Database::Select(
+    const std::string& table_name, const ConjunctiveQuery& query,
+    const ExecContext* ctx, QueryStats* stats) {
+  AVQDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+
+  // Admission first: a shed query must not consume budget or touch data.
+  AdmissionController::Ticket ticket;
+  if (admission_ != nullptr) {
+    AVQDB_ASSIGN_OR_RETURN(ticket, admission_->Admit(ctx));
+  }
+
+  // Per-query budget, child of the database-wide one. The governed copy
+  // shares the caller's deadline and cancellation token.
+  MemoryBudget query_budget(query_memory_limit_, &memory_budget_);
+  ExecContext governed = ctx != nullptr ? *ctx : ExecContext();
+  governed.set_memory_budget(&query_budget);
+
+  Result<std::vector<OrdinalTuple>> result =
+      ExecuteConjunctiveSelect(*table, query, stats, &governed);
+  static obs::Histogram* peak_bytes =
+      obs::MetricsRegistry::Global().GetHistogram(obs::kExecQueryPeakBytes);
+  peak_bytes->Record(query_budget.peak());
+  return result;
 }
 
 std::vector<std::string> Database::TableNames() const {

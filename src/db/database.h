@@ -15,6 +15,9 @@
 #include "src/avq/codec_options.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/db/admission_controller.h"
+#include "src/db/exec_context.h"
+#include "src/db/query.h"
 #include "src/db/table.h"
 #include "src/schema/schema.h"
 
@@ -44,6 +47,38 @@ class Database {
   std::vector<std::string> TableNames() const;
   size_t block_size() const { return block_size_; }
 
+  // --- resource governance (see db/exec_context.h) ---
+
+  // Caps the total bytes governed queries may hold materialized at once
+  // across the database (MemoryBudget::kUnlimited by default). Applies to
+  // queries executed through Select(); direct Execute* calls are governed
+  // only by whatever context the caller passes.
+  void SetMemoryLimit(uint64_t bytes) { memory_budget_.set_limit(bytes); }
+  // Caps each individual Select() query (a child of the database budget).
+  void SetQueryMemoryLimit(uint64_t bytes) { query_memory_limit_ = bytes; }
+  MemoryBudget& memory_budget() { return memory_budget_; }
+
+  // Installs an AdmissionController gating Select(). Queries beyond
+  // `options.max_concurrency` wait (bounded by `options.max_queue_depth`
+  // and the request's own deadline); overflow is shed with
+  // ResourceExhausted. Call with default options to enable, never
+  // mid-flight with governed queries outstanding.
+  void EnableAdmissionControl(AdmissionOptions options = AdmissionOptions{});
+  AdmissionController* admission_controller() {
+    return admission_.get();
+  }
+
+  // Governed query entry point: passes admission control (when enabled),
+  // attaches a per-query memory budget (child of the database budget) to
+  // `ctx`, and runs the conjunctive selection. The caller's deadline /
+  // cancellation token on `ctx` are honored end to end; any budget
+  // already set on `ctx` is overridden for the duration of the call.
+  // Records the query's peak materialized bytes (db.exec.query_peak_bytes).
+  Result<std::vector<OrdinalTuple>> Select(const std::string& table_name,
+                                           const ConjunctiveQuery& query,
+                                           const ExecContext* ctx = nullptr,
+                                           QueryStats* stats = nullptr);
+
  private:
   struct Entry {
     std::unique_ptr<MemBlockDevice> device;
@@ -52,6 +87,9 @@ class Database {
 
   size_t block_size_;
   std::map<std::string, Entry> tables_;
+  MemoryBudget memory_budget_;  // parent of every Select() query budget
+  uint64_t query_memory_limit_ = MemoryBudget::kUnlimited;
+  std::unique_ptr<AdmissionController> admission_;
 };
 
 }  // namespace avqdb

@@ -1,0 +1,123 @@
+#include "src/db/exec_context.h"
+
+#include <algorithm>
+
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+
+namespace avqdb {
+namespace {
+
+thread_local const ExecContext* tls_exec_context = nullptr;
+
+obs::Counter* BudgetDenialCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kExecBudgetDenials);
+  return counter;
+}
+
+struct GovernanceMetrics {
+  obs::Counter* cancelled;
+  obs::Counter* deadline_exceeded;
+
+  static const GovernanceMetrics& Get() {
+    static const GovernanceMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return GovernanceMetrics{
+          registry.GetCounter(obs::kQueryCancelled),
+          registry.GetCounter(obs::kQueryDeadlineExceeded)};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+MemoryBudget::MemoryBudget(uint64_t limit_bytes, MemoryBudget* parent)
+    : limit_(limit_bytes), parent_(parent) {}
+
+MemoryBudget::~MemoryBudget() {
+  const uint64_t leaked = used_.load(std::memory_order_relaxed);
+  if (leaked > 0 && parent_ != nullptr) parent_->Release(leaked);
+}
+
+bool MemoryBudget::TryCharge(uint64_t bytes) {
+  uint64_t used = used_.load(std::memory_order_relaxed);
+  do {
+    const uint64_t limit = limit_.load(std::memory_order_relaxed);
+    if (bytes > limit || used > limit - bytes) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      BudgetDenialCounter()->Increment();
+      return false;
+    }
+  } while (!used_.compare_exchange_weak(used, used + bytes,
+                                        std::memory_order_relaxed));
+  if (parent_ != nullptr && !parent_->TryCharge(bytes)) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (used + bytes > peak &&
+         !peak_.compare_exchange_weak(peak, used + bytes,
+                                      std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+bool MemoryBudget::CouldCharge(uint64_t bytes) const {
+  const uint64_t limit = limit_.load(std::memory_order_relaxed);
+  const uint64_t used = used_.load(std::memory_order_relaxed);
+  if (bytes > limit || used > limit - bytes) return false;
+  return parent_ == nullptr || parent_->CouldCharge(bytes);
+}
+
+BudgetLease::~BudgetLease() { ReleaseAll(); }
+
+bool BudgetLease::Charge(uint64_t bytes) {
+  charged_ += bytes;
+  if (budget_ == nullptr || charged_ <= reserved_) return true;
+  const uint64_t slab = std::max(charged_ - reserved_, kSlabBytes);
+  if (!budget_->TryCharge(slab)) {
+    charged_ -= bytes;
+    return false;
+  }
+  reserved_ += slab;
+  return true;
+}
+
+void BudgetLease::ReleaseAll() {
+  if (budget_ != nullptr && reserved_ > 0) budget_->Release(reserved_);
+  charged_ = 0;
+  reserved_ = 0;
+}
+
+Status ExecContext::Check() const {
+  if (token_->cancelled()) {
+    GovernanceMetrics::Get().cancelled->Increment();
+    return Status::Cancelled("query cancelled");
+  }
+  if (DeadlinePassed()) {
+    GovernanceMetrics::Get().deadline_exceeded->Increment();
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+const ExecContext* ExecContext::Current() { return tls_exec_context; }
+
+ExecContextScope::ExecContextScope(const ExecContext* ctx)
+    : previous_(tls_exec_context) {
+  // A null install keeps the enclosing context visible: an ungoverned
+  // sub-operation inside a governed one stays governed.
+  if (ctx != nullptr) tls_exec_context = ctx;
+}
+
+ExecContextScope::~ExecContextScope() { tls_exec_context = previous_; }
+
+}  // namespace avqdb

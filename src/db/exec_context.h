@@ -1,0 +1,207 @@
+// ExecContext: per-request resource governance for the query path.
+//
+// Every query entry point (query.h, join.h, Database::Select) accepts an
+// optional ExecContext bundling three orthogonal controls:
+//   * a monotonic deadline — checked at block granularity; an expired
+//     deadline surfaces as Status::DeadlineExceeded before the next block
+//     is fetched or decoded;
+//   * a cooperative cancellation token — an atomic flag another thread
+//     may set at any time; the running query notices it at the next block
+//     boundary and unwinds with Status::Cancelled (no partial results);
+//   * a MemoryBudget — a hierarchical byte accountant (per-query child of
+//     a per-database parent) charged by join hash tables, materialized
+//     result vectors, and decoded-block cache admission. Over-budget
+//     joins degrade to the block-nested-loop strategy; over-budget cache
+//     fills skip admission; over-budget result materialization fails with
+//     Status::ResourceExhausted.
+//
+// A null ExecContext* everywhere means "ungoverned": no deadline, never
+// cancelled, unlimited memory — the historical behavior.
+//
+// Deep layers that cannot take a parameter (the pager's retry loop, the
+// streaming BlockCursor's replay) observe the context through a
+// thread-local installed by ExecContextScope for the duration of a query,
+// mirroring how obs::TraceActivation scopes tracing.
+
+#ifndef AVQDB_DB_EXEC_CONTEXT_H_
+#define AVQDB_DB_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+// Hierarchical byte accountant. Thread-safe. A child charges its parent
+// for every byte it accepts, so sibling queries compete for the database
+// allowance while each also respects its own cap. Destruction releases
+// anything still charged (from the parent too), making leaks structural
+// rather than disciplinary.
+class MemoryBudget {
+ public:
+  static constexpr uint64_t kUnlimited = UINT64_MAX;
+
+  explicit MemoryBudget(uint64_t limit_bytes = kUnlimited,
+                        MemoryBudget* parent = nullptr);
+  ~MemoryBudget();
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  // Accepts the charge (self and, transitively, every ancestor) or
+  // changes nothing and returns false. A denial anywhere in the chain
+  // counts one denial on this budget.
+  bool TryCharge(uint64_t bytes);
+  void Release(uint64_t bytes);
+
+  // Would TryCharge(bytes) succeed right now? Advisory (racy under
+  // concurrency) — used to *skip* optional work like cache fills, never
+  // to justify an uncharged allocation.
+  bool CouldCharge(uint64_t bytes) const;
+
+  void set_limit(uint64_t bytes) { limit_.store(bytes, std::memory_order_relaxed); }
+  uint64_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t denials() const { return denials_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> limit_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> denials_{0};
+  MemoryBudget* parent_;
+};
+
+// RAII accumulator over a MemoryBudget: Charge() as the consumer grows,
+// everything still held is released on destruction. Charges the budget in
+// coarse slabs so per-tuple accounting costs one branch, not an atomic
+// RMW. A null budget accepts everything (ungoverned).
+class BudgetLease {
+ public:
+  explicit BudgetLease(MemoryBudget* budget) : budget_(budget) {}
+  ~BudgetLease();
+
+  BudgetLease(const BudgetLease&) = delete;
+  BudgetLease& operator=(const BudgetLease&) = delete;
+
+  // False when the budget denies the slab covering this charge; nothing
+  // already accepted is rolled back (the caller unwinds or degrades).
+  bool Charge(uint64_t bytes);
+  // Returns every slab to the budget now (e.g. a hash table that was
+  // dropped in favor of a leaner strategy).
+  void ReleaseAll();
+
+  uint64_t charged() const { return charged_; }
+
+ private:
+  static constexpr uint64_t kSlabBytes = 64 * 1024;
+
+  MemoryBudget* budget_;
+  uint64_t charged_ = 0;    // consumed by Charge() calls
+  uint64_t reserved_ = 0;   // slabs actually taken from the budget
+};
+
+// Rough resident footprint of a materialized tuple, for budget charges.
+inline uint64_t EstimateTupleBytes(const OrdinalTuple& tuple) {
+  return sizeof(OrdinalTuple) + tuple.capacity() * sizeof(uint64_t);
+}
+
+// Shared cancellation flag. Cancel() may be called from any thread, any
+// number of times; queries observe it at block boundaries.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+class ExecContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Ungoverned: no deadline, never cancelled, unlimited memory.
+  ExecContext() : token_(std::make_shared<CancellationToken>()) {}
+
+  // Copies share the cancellation token (cancelling one cancels all) and
+  // the (unowned) memory budget.
+  ExecContext(const ExecContext&) = default;
+  ExecContext& operator=(const ExecContext&) = default;
+
+  // --- deadline ---
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void SetDeadlineAfter(std::chrono::nanoseconds budget) {
+    set_deadline(Clock::now() + budget);
+  }
+  void ClearDeadline() { has_deadline_ = false; }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+  bool DeadlinePassed() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  // --- cancellation ---
+  void Cancel() const { token_->Cancel(); }
+  bool cancelled() const { return token_->cancelled(); }
+  // Hand this to the thread that may cancel; it stays valid after the
+  // context (and the query) are gone.
+  std::shared_ptr<CancellationToken> cancellation_token() const {
+    return token_;
+  }
+
+  // --- memory ---
+  // The budget is not owned and must outlive every operation run under
+  // this context.
+  void set_memory_budget(MemoryBudget* budget) { budget_ = budget; }
+  MemoryBudget* memory_budget() const { return budget_; }
+
+  // The per-block checkpoint: OK, or the governance status to unwind
+  // with. Cancellation wins over the deadline when both apply. Bumps the
+  // db.query.cancelled / db.query.deadline_exceeded counter on failure
+  // (callers do not double count: a failed Check unwinds the query).
+  Status Check() const;
+
+  // --- thread-local visibility for parameterless layers ---
+  // Innermost context installed on this thread via ExecContextScope, or
+  // null. Consulted by the pager's retry loop and BlockCursor's replay.
+  static const ExecContext* Current();
+
+ private:
+  friend class ExecContextScope;
+
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::shared_ptr<CancellationToken> token_;
+  MemoryBudget* budget_ = nullptr;
+};
+
+// Installs `ctx` as ExecContext::Current() for this thread; restores the
+// previous one on destruction. Scopes nest (a governed query inside a
+// governed salvage sees the inner context). Null installs are no-ops that
+// still restore correctly.
+class ExecContextScope {
+ public:
+  explicit ExecContextScope(const ExecContext* ctx);
+  ~ExecContextScope();
+
+  ExecContextScope(const ExecContextScope&) = delete;
+  ExecContextScope& operator=(const ExecContextScope&) = delete;
+
+ private:
+  const ExecContext* previous_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_EXEC_CONTEXT_H_

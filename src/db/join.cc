@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 
@@ -22,15 +23,18 @@ std::string_view JoinStrategyName(JoinStrategy strategy) {
       return "hash";
     case JoinStrategy::kIndexNestedLoop:
       return "index-nested-loop";
+    case JoinStrategy::kBlockNestedLoop:
+      return "block-nested-loop";
   }
   return "?";
 }
 
 std::string JoinStats::ToString() const {
   return StringFormat(
-      "%.*s join: %llu + %llu data blocks, %llu output tuples",
+      "%.*s join%s: %llu + %llu data blocks, %llu output tuples",
       static_cast<int>(JoinStrategyName(strategy).size()),
       JoinStrategyName(strategy).data(),
+      degraded ? " (degraded from hash)" : "",
       static_cast<unsigned long long>(left_blocks_read),
       static_cast<unsigned long long>(right_blocks_read),
       static_cast<unsigned long long>(output_tuples));
@@ -44,6 +48,8 @@ struct JoinMetrics {
   obs::Counter* merge;
   obs::Counter* hash;
   obs::Counter* index_nested_loop;
+  obs::Counter* block_nested_loop;
+  obs::Counter* budget_degradations;
   obs::Histogram* latency_us;
   obs::Counter* output_tuples;
 
@@ -54,6 +60,8 @@ struct JoinMetrics {
                          registry.GetCounter(obs::kJoinMerge),
                          registry.GetCounter(obs::kJoinHash),
                          registry.GetCounter(obs::kJoinIndexNestedLoop),
+                         registry.GetCounter(obs::kJoinBlockNestedLoop),
+                         registry.GetCounter(obs::kJoinBudgetDegradations),
                          registry.GetHistogram(obs::kJoinLatencyMicros),
                          registry.GetCounter(obs::kJoinOutputTuples)};
     }();
@@ -68,6 +76,8 @@ struct JoinMetrics {
         return hash;
       case JoinStrategy::kIndexNestedLoop:
         return index_nested_loop;
+      case JoinStrategy::kBlockNestedLoop:
+        return block_nested_loop;
       case JoinStrategy::kAuto:
         break;
     }
@@ -87,11 +97,23 @@ bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
   return CompareTuples(a, b) < 0;
 }
 
+// Receives every output tuple; returns non-OK to abort the join (budget
+// exhausted materializing the result).
+using EmitFn = std::function<Status(OrdinalTuple)>;
+
+// Block-boundary governance checkpoint for cursor-driven loops.
+Status CheckAtBlockStart(const Table::Cursor& cursor,
+                         const ExecContext* ctx) {
+  if (ctx != nullptr && cursor.AtBlockStart()) return ctx->Check();
+  return Status::OK();
+}
+
 // Streams one cursor, grouping consecutive tuples with equal values of
 // `attr`. Only correct when the table is clustered by `attr` (attr == 0).
 class GroupReader {
  public:
-  GroupReader(const Table& table, size_t attr) : table_(table), attr_(attr) {}
+  GroupReader(const Table& table, size_t attr, const ExecContext* ctx)
+      : table_(table), attr_(attr), ctx_(ctx) {}
 
   Status Init() {
     AVQDB_ASSIGN_OR_RETURN(cursor_, table_.NewCursor());
@@ -111,6 +133,7 @@ class GroupReader {
     }
     key_ = cursor_.tuple()[attr_];
     while (cursor_.Valid() && cursor_.tuple()[attr_] == key_) {
+      AVQDB_RETURN_IF_ERROR(CheckAtBlockStart(cursor_, ctx_));
       group_.push_back(cursor_.tuple());
       AVQDB_RETURN_IF_ERROR(cursor_.Next());
     }
@@ -121,6 +144,7 @@ class GroupReader {
  private:
   const Table& table_;
   size_t attr_;
+  const ExecContext* ctx_;
   Table::Cursor cursor_;
   std::vector<OrdinalTuple> group_;
   uint64_t key_ = 0;
@@ -128,9 +152,10 @@ class GroupReader {
 };
 
 Status MergeJoin(const Table& left, size_t left_attr, const Table& right,
-                 size_t right_attr, std::vector<OrdinalTuple>* out) {
-  GroupReader lhs(left, left_attr);
-  GroupReader rhs(right, right_attr);
+                 size_t right_attr, const ExecContext* ctx,
+                 const EmitFn& emit) {
+  GroupReader lhs(left, left_attr, ctx);
+  GroupReader rhs(right, right_attr, ctx);
   AVQDB_RETURN_IF_ERROR(lhs.Init());
   AVQDB_RETURN_IF_ERROR(rhs.Init());
   while (lhs.Valid() && rhs.Valid()) {
@@ -141,7 +166,7 @@ Status MergeJoin(const Table& left, size_t left_attr, const Table& right,
     } else {
       for (const auto& l : lhs.group()) {
         for (const auto& r : rhs.group()) {
-          out->push_back(Concatenate(l, r));
+          AVQDB_RETURN_IF_ERROR(emit(Concatenate(l, r)));
         }
       }
       AVQDB_RETURN_IF_ERROR(lhs.Advance());
@@ -151,8 +176,14 @@ Status MergeJoin(const Table& left, size_t left_attr, const Table& right,
   return Status::OK();
 }
 
+// Attempts the hash join. When the ExecContext's budget denies the build
+// side, sets *build_denied and returns OK without emitting anything — the
+// caller degrades to the block-nested-loop strategy. (Emitting only
+// starts once the build is fully resident, so nothing partial leaks.)
 Status HashJoin(const Table& left, size_t left_attr, const Table& right,
-                size_t right_attr, std::vector<OrdinalTuple>* out) {
+                size_t right_attr, const ExecContext* ctx,
+                bool* build_denied, const EmitFn& emit) {
+  *build_denied = false;
   // Build over the smaller relation.
   const bool build_left = left.num_tuples() <= right.num_tuples();
   const Table& build = build_left ? left : right;
@@ -160,21 +191,32 @@ Status HashJoin(const Table& left, size_t left_attr, const Table& right,
   const size_t build_attr = build_left ? left_attr : right_attr;
   const size_t probe_attr = build_left ? right_attr : left_attr;
 
+  // The build side is the join's dominant allocation: charge every bucket
+  // entry (tuple payload + map node overhead) against the budget.
+  BudgetLease build_lease(ctx != nullptr ? ctx->memory_budget() : nullptr);
+  constexpr uint64_t kBucketOverhead = 4 * sizeof(void*);
   std::unordered_map<uint64_t, std::vector<OrdinalTuple>> hash;
   AVQDB_ASSIGN_OR_RETURN(Table::Cursor build_cursor, build.NewCursor());
   while (build_cursor.Valid()) {
+    AVQDB_RETURN_IF_ERROR(CheckAtBlockStart(build_cursor, ctx));
+    if (!build_lease.Charge(EstimateTupleBytes(build_cursor.tuple()) +
+                            kBucketOverhead)) {
+      *build_denied = true;
+      return Status::OK();
+    }
     hash[build_cursor.tuple()[build_attr]].push_back(build_cursor.tuple());
     AVQDB_RETURN_IF_ERROR(build_cursor.Next());
   }
   AVQDB_ASSIGN_OR_RETURN(Table::Cursor probe_cursor, probe.NewCursor());
   while (probe_cursor.Valid()) {
+    AVQDB_RETURN_IF_ERROR(CheckAtBlockStart(probe_cursor, ctx));
     auto it = hash.find(probe_cursor.tuple()[probe_attr]);
     if (it != hash.end()) {
       for (const auto& match : it->second) {
         // Output order is always left ⧺ right.
-        out->push_back(build_left
-                           ? Concatenate(match, probe_cursor.tuple())
-                           : Concatenate(probe_cursor.tuple(), match));
+        AVQDB_RETURN_IF_ERROR(
+            emit(build_left ? Concatenate(match, probe_cursor.tuple())
+                            : Concatenate(probe_cursor.tuple(), match)));
       }
     }
     AVQDB_RETURN_IF_ERROR(probe_cursor.Next());
@@ -182,9 +224,44 @@ Status HashJoin(const Table& left, size_t left_attr, const Table& right,
   return Status::OK();
 }
 
+// Memory-bounded fallback: hash one left block at a time (at most one
+// decoded block resident) and stream the whole right table against it.
+// Costs a right-side rescan per left block; never exceeds the budget the
+// hash join was denied under.
+Status BlockNestedLoopJoin(const Table& left, size_t left_attr,
+                           const Table& right, size_t right_attr,
+                           const ExecContext* ctx, const EmitFn& emit) {
+  if (left.num_tuples() == 0 || right.num_tuples() == 0) {
+    return Status::OK();
+  }
+  AVQDB_ASSIGN_OR_RETURN(BPlusTree::Iterator block_iter,
+                         left.primary_index().Begin());
+  while (block_iter.Valid()) {
+    if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
+    AVQDB_ASSIGN_OR_RETURN(
+        DecodedBlockCache::TuplesPtr block,
+        left.ReadDecodedBlock(static_cast<BlockId>(block_iter.value())));
+    std::unordered_map<uint64_t, std::vector<const OrdinalTuple*>> bucket;
+    for (const OrdinalTuple& t : *block) bucket[t[left_attr]].push_back(&t);
+    AVQDB_ASSIGN_OR_RETURN(Table::Cursor probe, right.NewCursor());
+    while (probe.Valid()) {
+      AVQDB_RETURN_IF_ERROR(CheckAtBlockStart(probe, ctx));
+      auto it = bucket.find(probe.tuple()[right_attr]);
+      if (it != bucket.end()) {
+        for (const OrdinalTuple* l : it->second) {
+          AVQDB_RETURN_IF_ERROR(emit(Concatenate(*l, probe.tuple())));
+        }
+      }
+      AVQDB_RETURN_IF_ERROR(probe.Next());
+    }
+    AVQDB_RETURN_IF_ERROR(block_iter.Next());
+  }
+  return Status::OK();
+}
+
 Status IndexNestedLoopJoin(const Table& left, size_t left_attr,
                            const Table& right, size_t right_attr,
-                           std::vector<OrdinalTuple>* out) {
+                           const ExecContext* ctx, const EmitFn& emit) {
   const SecondaryIndex* index = right.GetSecondaryIndex(right_attr);
   if (index == nullptr) {
     return Status::InvalidArgument(
@@ -199,12 +276,14 @@ Status IndexNestedLoopJoin(const Table& left, size_t left_attr,
   bool cache_valid = false;
   std::vector<OrdinalTuple> cached_matches;
   while (cursor.Valid()) {
+    AVQDB_RETURN_IF_ERROR(CheckAtBlockStart(cursor, ctx));
     const uint64_t key = cursor.tuple()[left_attr];
     if (!cache_valid || key != cached_key) {
       cached_matches.clear();
       AVQDB_ASSIGN_OR_RETURN(std::vector<BlockId> blocks,
                              index->Lookup(key));
       for (BlockId id : blocks) {
+        if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
         // Probes revisit the same hot right-side blocks; going through
         // the decoded-block cache (when one is attached) skips both the
         // I/O and the repeated decode.
@@ -218,7 +297,7 @@ Status IndexNestedLoopJoin(const Table& left, size_t left_attr,
       cache_valid = true;
     }
     for (const auto& match : cached_matches) {
-      out->push_back(Concatenate(cursor.tuple(), match));
+      AVQDB_RETURN_IF_ERROR(emit(Concatenate(cursor.tuple(), match)));
     }
     AVQDB_RETURN_IF_ERROR(cursor.Next());
   }
@@ -229,11 +308,14 @@ Status IndexNestedLoopJoin(const Table& left, size_t left_attr,
 
 Result<std::vector<OrdinalTuple>> ExecuteEquiJoin(
     const Table& left, size_t left_attr, const Table& right,
-    size_t right_attr, JoinStrategy strategy, JoinStats* stats) {
+    size_t right_attr, JoinStrategy strategy, JoinStats* stats,
+    const ExecContext* ctx) {
   if (left_attr >= left.schema()->num_attributes() ||
       right_attr >= right.schema()->num_attributes()) {
     return Status::InvalidArgument("join attribute out of range");
   }
+  ExecContextScope exec_scope(ctx);
+  if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
   JoinStrategy chosen = strategy;
   if (chosen == JoinStrategy::kAuto) {
     chosen = (left_attr == 0 && right_attr == 0) ? JoinStrategy::kMerge
@@ -250,23 +332,51 @@ Result<std::vector<OrdinalTuple>> ExecuteEquiJoin(
   const IoStats right_before = right.data_pager().stats();
   const auto started = std::chrono::steady_clock::now();
   std::vector<OrdinalTuple> out;
+  // The output vector is irreducible: no strategy shrinks it, so a budget
+  // denial here fails the join rather than degrading it.
+  BudgetLease out_lease(ctx != nullptr ? ctx->memory_budget() : nullptr);
+  auto emit = [&](OrdinalTuple tuple) -> Status {
+    if (!out_lease.Charge(EstimateTupleBytes(tuple))) {
+      return Status::ResourceExhausted(
+          "query memory budget exhausted materializing join output");
+    }
+    out.push_back(std::move(tuple));
+    return Status::OK();
+  };
+  bool degraded = false;
   {
     obs::TraceSpanScope join_span(
         chosen == JoinStrategy::kMerge  ? "join:merge"
         : chosen == JoinStrategy::kHash ? "join:hash"
-                                        : "join:index-nested-loop");
+        : chosen == JoinStrategy::kIndexNestedLoop
+            ? "join:index-nested-loop"
+            : "join:block-nested-loop");
     switch (chosen) {
       case JoinStrategy::kMerge:
         AVQDB_RETURN_IF_ERROR(
-            MergeJoin(left, left_attr, right, right_attr, &out));
+            MergeJoin(left, left_attr, right, right_attr, ctx, emit));
         break;
-      case JoinStrategy::kHash:
-        AVQDB_RETURN_IF_ERROR(
-            HashJoin(left, left_attr, right, right_attr, &out));
+      case JoinStrategy::kHash: {
+        bool build_denied = false;
+        AVQDB_RETURN_IF_ERROR(HashJoin(left, left_attr, right, right_attr,
+                                       ctx, &build_denied, emit));
+        if (build_denied) {
+          degraded = true;
+          chosen = JoinStrategy::kBlockNestedLoop;
+          JoinMetrics::Get().budget_degradations->Increment();
+          obs::TraceSpanScope degrade_span("join:degrade-to-block-nl");
+          AVQDB_RETURN_IF_ERROR(BlockNestedLoopJoin(
+              left, left_attr, right, right_attr, ctx, emit));
+        }
         break;
+      }
       case JoinStrategy::kIndexNestedLoop:
-        AVQDB_RETURN_IF_ERROR(
-            IndexNestedLoopJoin(left, left_attr, right, right_attr, &out));
+        AVQDB_RETURN_IF_ERROR(IndexNestedLoopJoin(left, left_attr, right,
+                                                  right_attr, ctx, emit));
+        break;
+      case JoinStrategy::kBlockNestedLoop:
+        AVQDB_RETURN_IF_ERROR(BlockNestedLoopJoin(left, left_attr, right,
+                                                  right_attr, ctx, emit));
         break;
       case JoinStrategy::kAuto:
         return Status::Internal("unresolved join strategy");
@@ -288,6 +398,7 @@ Result<std::vector<OrdinalTuple>> ExecuteEquiJoin(
 
   if (stats != nullptr) {
     stats->strategy = chosen;
+    stats->degraded = degraded;
     stats->left_blocks_read =
         (left.data_pager().stats() - left_before).physical_reads;
     stats->right_blocks_read =

@@ -2,7 +2,7 @@
 // database operation" of §4, demonstrating that joins run directly over
 // AVQ-compressed storage (blocks decode locally as the join streams).
 //
-// Three physical strategies:
+// Four physical strategies:
 //   * merge     — both join attributes are their tables' most significant
 //                 attribute, so both relations stream in join-key order
 //                 through cursors: one pass, no build side;
@@ -10,7 +10,14 @@
 //                 probe with the other (the general case);
 //   * index-nl  — index nested loops: probe a secondary index on the
 //                 right attribute per distinct left key (wins when the
-//                 left side is small and selective).
+//                 left side is small and selective);
+//   * block-nl  — block nested loops: hash one left block at a time and
+//                 stream the right table against it. Memory is bounded by
+//                 a single decoded block, at the cost of rescanning the
+//                 right side per left block — the graceful-degradation
+//                 target when an ExecContext's MemoryBudget denies the
+//                 hash join's build side (JoinStats::degraded records the
+//                 downgrade).
 // kAuto picks merge when legal, otherwise hash.
 //
 // Output tuples are the concatenation left ⧺ right, sorted for
@@ -25,6 +32,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/db/exec_context.h"
 #include "src/db/table.h"
 
 namespace avqdb {
@@ -34,12 +42,16 @@ enum class JoinStrategy : int {
   kMerge = 1,
   kHash = 2,
   kIndexNestedLoop = 3,
+  kBlockNestedLoop = 4,
 };
 
 std::string_view JoinStrategyName(JoinStrategy strategy);
 
 struct JoinStats {
   JoinStrategy strategy = JoinStrategy::kAuto;  // the one actually used
+  // True when a hash join was requested (or auto-chosen) but its build
+  // side blew the memory budget and execution fell back to kBlockNestedLoop.
+  bool degraded = false;
   uint64_t left_blocks_read = 0;
   uint64_t right_blocks_read = 0;
   uint64_t output_tuples = 0;
@@ -52,10 +64,16 @@ struct JoinStats {
 // logical domain for meaningful results). InvalidArgument for bad
 // attributes, a kMerge request when either attribute is not the leading
 // one, or kIndexNestedLoop without a secondary index on the right.
+//
+// `ctx` (nullable) governs execution: deadline/cancellation are observed
+// at block boundaries, the hash build and the output vector are charged
+// to its MemoryBudget, and a denied hash build degrades to
+// kBlockNestedLoop instead of failing (a denied output vector is
+// irreducible and fails with ResourceExhausted).
 Result<std::vector<OrdinalTuple>> ExecuteEquiJoin(
     const Table& left, size_t left_attr, const Table& right,
     size_t right_attr, JoinStrategy strategy = JoinStrategy::kAuto,
-    JoinStats* stats = nullptr);
+    JoinStats* stats = nullptr, const ExecContext* ctx = nullptr);
 
 }  // namespace avqdb
 

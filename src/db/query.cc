@@ -96,10 +96,15 @@ bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
 // A miss whose walk happened to cover the whole block back-fills the
 // cache, so repeated scans converge to all-hits; bounded walks (point
 // lookups, range edges) stay partial and are not cached.
-Status FilterDataBlock(const Table& table, BlockId id,
-                       const OrdinalTuple* seek, const OrdinalTuple* stop,
-                       QueryStats* stats,
-                       const std::function<void(const OrdinalTuple&)>& visit) {
+//
+// This is the query path's block-granularity governance checkpoint: the
+// ExecContext (nullable) is consulted before anything is fetched or
+// decoded, so an expired deadline or a cancellation stops the scan here.
+Status FilterDataBlock(
+    const Table& table, BlockId id, const OrdinalTuple* seek,
+    const OrdinalTuple* stop, QueryStats* stats, const ExecContext* ctx,
+    const std::function<Status(const OrdinalTuple&)>& visit) {
+  if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
   DecodedBlockCache* cache = table.decoded_block_cache();
   if (cache != nullptr) {
     if (DecodedBlockCache::TuplesPtr cached = cache->Get(&table, id)) {
@@ -115,7 +120,7 @@ Status FilterDataBlock(const Table& table, BlockId id,
           EarlyExitCounter()->Increment();
           break;
         }
-        visit(block[i]);
+        AVQDB_RETURN_IF_ERROR(visit(block[i]));
         ++visited;
       }
       span.AddAttr("tuples", visited);
@@ -145,12 +150,20 @@ Status FilterDataBlock(const Table& table, BlockId id,
       break;
     }
     if (collect) walked.push_back(tuple);
-    visit(tuple);
+    AVQDB_RETURN_IF_ERROR(visit(tuple));
     AVQDB_RETURN_IF_ERROR(cursor->Next());
   }
   stats->tuples_decoded += cursor->tuples_decoded();
   span.AddAttr("tuples_decoded", cursor->tuples_decoded());
   if (collect) {
+    // Budget-gated admission: an over-budget query skips the fill (the
+    // scan already has its answer) instead of evicting entries hot
+    // queries rely on.
+    MemoryBudget* budget = ctx != nullptr ? ctx->memory_budget() : nullptr;
+    if (budget != nullptr &&
+        !budget->CouldCharge(DecodedBlockCache::EstimateBytes(walked))) {
+      return Status::OK();
+    }
     obs::TraceSpanScope fill("cache_fill");
     fill.AddAttr("tuples", walked.size());
     CacheFillCounter()->Increment();
@@ -208,13 +221,19 @@ namespace {
 // Shared access-path driver for conjunctive queries: normalizes the
 // predicates, picks clustered-range / best-secondary-index / full-scan,
 // and invokes `on_match` for every qualifying tuple (in block order, which
-// is φ order except on the secondary-index path). Fills *stats.
-Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
-                    QueryStats* stats,
-                    const std::function<void(const OrdinalTuple&)>& on_match) {
+// is φ order except on the secondary-index path). Fills *stats. The
+// (nullable) ExecContext is checked before every block and installed as
+// the thread's current context so the pager's retries and the cursor's
+// replay observe it too.
+Status ScanMatching(
+    const Table& table, const ConjunctiveQuery& query, QueryStats* stats,
+    const ExecContext* ctx,
+    const std::function<Status(const OrdinalTuple&)>& on_match) {
   const bool collect_trace = stats->collect_trace;
   *stats = QueryStats{};
   stats->collect_trace = collect_trace;
+  ExecContextScope exec_scope(ctx);
+  if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
 
   // Own a fresh trace only when none is active: a query nested under an
   // already-tracing caller (a join leg, say) contributes its spans to the
@@ -242,12 +261,13 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
   const IoStats data_before = table.data_pager().stats();
   const IoStats index_before = table.index_pager().stats();
 
-  auto visit = [&](const OrdinalTuple& tuple) {
+  auto visit = [&](const OrdinalTuple& tuple) -> Status {
     ++stats->tuples_examined;
     if (MatchesAll(tuple, preds)) {
       ++stats->tuples_matched;
-      on_match(tuple);
+      return on_match(tuple);
     }
+    return Status::OK();
   };
 
   if (!satisfiable) {
@@ -277,7 +297,7 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
         if (CompareTuples(block_min, end) > 0) break;
         AVQDB_RETURN_IF_ERROR(FilterDataBlock(
             table, static_cast<BlockId>(iter.value()),
-            first ? &start : nullptr, &end, stats, visit));
+            first ? &start : nullptr, &end, stats, ctx, visit));
         first = false;
         AVQDB_RETURN_IF_ERROR(iter.Next());
       }
@@ -322,7 +342,8 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
       // walked in full (and therefore populates the cache).
       for (BlockId id : blocks) {
         AVQDB_RETURN_IF_ERROR(FilterDataBlock(
-            table, id, /*seek=*/nullptr, /*stop=*/nullptr, stats, visit));
+            table, id, /*seek=*/nullptr, /*stop=*/nullptr, stats, ctx,
+            visit));
       }
     } else {
       stats->path = AccessPath::kFullScan;
@@ -332,7 +353,7 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
       while (iter.Valid()) {
         AVQDB_RETURN_IF_ERROR(FilterDataBlock(
             table, static_cast<BlockId>(iter.value()),
-            /*seek=*/nullptr, /*stop=*/nullptr, stats, visit));
+            /*seek=*/nullptr, /*stop=*/nullptr, stats, ctx, visit));
         AVQDB_RETURN_IF_ERROR(iter.Next());
       }
     }
@@ -363,13 +384,23 @@ Status ScanMatching(const Table& table, const ConjunctiveQuery& query,
 }  // namespace
 
 Result<std::vector<OrdinalTuple>> ExecuteConjunctiveSelect(
-    const Table& table, const ConjunctiveQuery& query, QueryStats* stats) {
+    const Table& table, const ConjunctiveQuery& query, QueryStats* stats,
+    const ExecContext* ctx) {
   QueryStats local;
   if (stats == nullptr) stats = &local;
   std::vector<OrdinalTuple> results;
+  // Materialized results are the query's dominant allocation: charge them
+  // against the context's budget as they accumulate.
+  BudgetLease lease(ctx != nullptr ? ctx->memory_budget() : nullptr);
   AVQDB_RETURN_IF_ERROR(ScanMatching(
-      table, query, stats,
-      [&](const OrdinalTuple& tuple) { results.push_back(tuple); }));
+      table, query, stats, ctx, [&](const OrdinalTuple& tuple) -> Status {
+        if (!lease.Charge(EstimateTupleBytes(tuple))) {
+          return Status::ResourceExhausted(
+              "query memory budget exhausted materializing results");
+        }
+        results.push_back(tuple);
+        return Status::OK();
+      }));
   if (stats->path == AccessPath::kSecondaryIndex) {
     // Bucket order is by block id; restore φ order.
     std::sort(results.begin(), results.end(), TupleLess);
@@ -377,15 +408,16 @@ Result<std::vector<OrdinalTuple>> ExecuteConjunctiveSelect(
   return results;
 }
 
-Result<std::vector<OrdinalTuple>> ExecuteRangeSelect(const Table& table,
-                                                     const RangeQuery& query,
-                                                     QueryStats* stats) {
+Result<std::vector<OrdinalTuple>> ExecuteRangeSelect(
+    const Table& table, const RangeQuery& query, QueryStats* stats,
+    const ExecContext* ctx) {
   QueryStats local;
   if (stats == nullptr) stats = &local;
   ConjunctiveQuery conjunctive;
   conjunctive.predicates.push_back(query);
-  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> results,
-                         ExecuteConjunctiveSelect(table, conjunctive, stats));
+  AVQDB_ASSIGN_OR_RETURN(
+      std::vector<OrdinalTuple> results,
+      ExecuteConjunctiveSelect(table, conjunctive, stats, ctx));
   // Historical single-predicate semantics: the queried attribute counts
   // as the driver whenever its range is satisfiable, even on a full scan.
   const Schema& schema = *table.schema();
@@ -399,7 +431,8 @@ Result<std::vector<OrdinalTuple>> ExecuteRangeSelect(const Table& table,
 Result<AggregateResult> ExecuteAggregate(const Table& table,
                                          const ConjunctiveQuery& query,
                                          size_t aggregate_attribute,
-                                         QueryStats* stats) {
+                                         QueryStats* stats,
+                                         const ExecContext* ctx) {
   if (aggregate_attribute >= table.schema()->num_attributes()) {
     return Status::InvalidArgument(
         StringFormat("attribute %zu out of range", aggregate_attribute));
@@ -407,8 +440,8 @@ Result<AggregateResult> ExecuteAggregate(const Table& table,
   QueryStats local;
   if (stats == nullptr) stats = &local;
   AggregateResult result;
-  AVQDB_RETURN_IF_ERROR(
-      ScanMatching(table, query, stats, [&](const OrdinalTuple& tuple) {
+  AVQDB_RETURN_IF_ERROR(ScanMatching(
+      table, query, stats, ctx, [&](const OrdinalTuple& tuple) -> Status {
         const uint64_t v = tuple[aggregate_attribute];
         if (result.count == 0) {
           result.min = v;
@@ -419,6 +452,7 @@ Result<AggregateResult> ExecuteAggregate(const Table& table,
         }
         result.sum += v;
         ++result.count;
+        return Status::OK();
       }));
   return result;
 }
@@ -426,7 +460,7 @@ Result<AggregateResult> ExecuteAggregate(const Table& table,
 Result<std::vector<OrdinalTuple>> ExecuteProject(
     const Table& table, const ConjunctiveQuery& query,
     const std::vector<size_t>& attributes, bool distinct,
-    QueryStats* stats) {
+    QueryStats* stats, const ExecContext* ctx) {
   const size_t arity = table.schema()->num_attributes();
   if (attributes.empty()) {
     return Status::InvalidArgument("projection needs at least one attribute");
@@ -440,13 +474,19 @@ Result<std::vector<OrdinalTuple>> ExecuteProject(
   QueryStats local;
   if (stats == nullptr) stats = &local;
   std::vector<OrdinalTuple> projected;
-  AVQDB_RETURN_IF_ERROR(
-      ScanMatching(table, query, stats, [&](const OrdinalTuple& tuple) {
+  BudgetLease lease(ctx != nullptr ? ctx->memory_budget() : nullptr);
+  AVQDB_RETURN_IF_ERROR(ScanMatching(
+      table, query, stats, ctx, [&](const OrdinalTuple& tuple) -> Status {
         OrdinalTuple row(attributes.size());
         for (size_t i = 0; i < attributes.size(); ++i) {
           row[i] = tuple[attributes[i]];
         }
+        if (!lease.Charge(EstimateTupleBytes(row))) {
+          return Status::ResourceExhausted(
+              "query memory budget exhausted materializing projection");
+        }
         projected.push_back(std::move(row));
+        return Status::OK();
       }));
   std::sort(projected.begin(), projected.end(), TupleLess);
   if (distinct) {
@@ -456,11 +496,9 @@ Result<std::vector<OrdinalTuple>> ExecuteProject(
   return projected;
 }
 
-Result<std::vector<Row>> ExecuteRangeSelectRows(const Table& table,
-                                                std::string_view attribute,
-                                                const Value& lo,
-                                                const Value& hi,
-                                                QueryStats* stats) {
+Result<std::vector<Row>> ExecuteRangeSelectRows(
+    const Table& table, std::string_view attribute, const Value& lo,
+    const Value& hi, QueryStats* stats, const ExecContext* ctx) {
   const Schema& schema = *table.schema();
   AVQDB_ASSIGN_OR_RETURN(size_t attr, schema.AttributeIndex(attribute));
   const Domain& domain = *schema.attribute(attr).domain;
@@ -471,7 +509,7 @@ Result<std::vector<Row>> ExecuteRangeSelectRows(const Table& table,
   query.lo = lo_ord;
   query.hi = hi_ord;
   AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> tuples,
-                         ExecuteRangeSelect(table, query, stats));
+                         ExecuteRangeSelect(table, query, stats, ctx));
   std::vector<Row> rows;
   rows.reserve(tuples.size());
   for (const auto& tuple : tuples) {

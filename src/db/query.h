@@ -25,6 +25,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/db/exec_context.h"
 #include "src/db/table.h"
 #include "src/obs/trace.h"
 #include "src/schema/value.h"
@@ -88,15 +89,23 @@ struct QueryStats {
   std::string ToString() const;
 };
 
+// Every entry point takes an optional ExecContext (see db/exec_context.h)
+// governing the execution: deadline and cancellation are checked at block
+// granularity (DeadlineExceeded / Cancelled before the next block is
+// fetched or decoded), and materialized results are charged against the
+// context's MemoryBudget (ResourceExhausted when it denies). A null
+// context executes ungoverned.
+
 // Executes the selection; results arrive in φ order. `stats` is optional.
-Result<std::vector<OrdinalTuple>> ExecuteRangeSelect(const Table& table,
-                                                     const RangeQuery& query,
-                                                     QueryStats* stats);
+Result<std::vector<OrdinalTuple>> ExecuteRangeSelect(
+    const Table& table, const RangeQuery& query, QueryStats* stats,
+    const ExecContext* ctx = nullptr);
 
 // Executes a conjunctive selection; results in φ order. An empty
 // predicate list selects everything (a full scan).
 Result<std::vector<OrdinalTuple>> ExecuteConjunctiveSelect(
-    const Table& table, const ConjunctiveQuery& query, QueryStats* stats);
+    const Table& table, const ConjunctiveQuery& query, QueryStats* stats,
+    const ExecContext* ctx = nullptr);
 
 // One-pass aggregates over a conjunctive selection: computed while
 // streaming the chosen access path, without materializing result tuples.
@@ -113,7 +122,8 @@ struct AggregateResult {
 Result<AggregateResult> ExecuteAggregate(const Table& table,
                                          const ConjunctiveQuery& query,
                                          size_t aggregate_attribute,
-                                         QueryStats* stats);
+                                         QueryStats* stats,
+                                         const ExecContext* ctx = nullptr);
 
 // Projection π over a conjunctive selection: keeps `attributes` (in the
 // given order, repeats allowed). With `distinct`, duplicate projected
@@ -122,14 +132,12 @@ Result<AggregateResult> ExecuteAggregate(const Table& table,
 Result<std::vector<OrdinalTuple>> ExecuteProject(
     const Table& table, const ConjunctiveQuery& query,
     const std::vector<size_t>& attributes, bool distinct,
-    QueryStats* stats);
+    QueryStats* stats, const ExecContext* ctx = nullptr);
 
 // Row-typed convenience: bounds as attribute Values, results as Rows.
-Result<std::vector<Row>> ExecuteRangeSelectRows(const Table& table,
-                                                std::string_view attribute,
-                                                const Value& lo,
-                                                const Value& hi,
-                                                QueryStats* stats);
+Result<std::vector<Row>> ExecuteRangeSelectRows(
+    const Table& table, std::string_view attribute, const Value& lo,
+    const Value& hi, QueryStats* stats, const ExecContext* ctx = nullptr);
 
 }  // namespace avqdb
 

@@ -116,6 +116,10 @@ class Table {
    public:
     bool Valid() const { return valid_; }
     const OrdinalTuple& tuple() const { return (*block_)[pos_]; }
+    // True when positioned on the first tuple of a data block — the
+    // natural place for callers to run per-block work (governance
+    // checkpoints, progress accounting).
+    bool AtBlockStart() const { return valid_ && pos_ == 0; }
     // Advances; clears Valid() past the end.
     Status Next();
 

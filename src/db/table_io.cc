@@ -253,10 +253,13 @@ struct SalvageMetrics {
 // Scrubs every listed block: decodes it, checks φ order against the
 // previous survivor, and quarantines failures (with lost-range bounds
 // from the neighboring survivors). Returns the surviving block ids.
-std::vector<BlockId> SalvageBlocks(const BlockDevice& device,
-                                   const TupleBlockCodec& codec,
-                                   const std::vector<BlockId>& blocks,
-                                   RepairReport* report) {
+// `ctx` (nullable) bounds the scrub: DeadlineExceeded / Cancelled between
+// blocks abandons the salvage with no partial result.
+Result<std::vector<BlockId>> SalvageBlocks(const BlockDevice& device,
+                                           const TupleBlockCodec& codec,
+                                           const std::vector<BlockId>& blocks,
+                                           RepairReport* report,
+                                           const ExecContext* ctx) {
   struct Scanned {
     BlockId id = kInvalidBlockId;
     bool ok = false;
@@ -266,6 +269,7 @@ std::vector<BlockId> SalvageBlocks(const BlockDevice& device,
   std::vector<Scanned> scanned(blocks.size());
   const OrdinalTuple* previous_max = nullptr;
   for (size_t b = 0; b < blocks.size(); ++b) {
+    if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
     Scanned& s = scanned[b];
     s.id = blocks[b];
     std::string raw;
@@ -330,10 +334,15 @@ Status BuildTable(const Metadata& meta, BlockDevice* data_device,
       std::make_unique<MemBlockDevice>(meta.options.block_size);
   std::unique_ptr<TupleBlockCodec> codec =
       MakeLoadedCodec(meta, options.parallelism);
+  // Installs options.ctx for the whole build, so the open-time validation
+  // scan inside AttachDataBlocks (BlockCursor replay, pager retries) is
+  // governed too, not just the salvage loop.
+  ExecContextScope exec_scope(options.ctx);
   std::vector<BlockId> attach = meta.block_list;
   if (options.repair) {
-    attach =
-        SalvageBlocks(*data_device, *codec, meta.block_list, options.report);
+    AVQDB_ASSIGN_OR_RETURN(
+        attach, SalvageBlocks(*data_device, *codec, meta.block_list,
+                              options.report, options.ctx));
   }
   AVQDB_ASSIGN_OR_RETURN(
       loaded->table,

@@ -33,6 +33,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/db/exec_context.h"
 #include "src/db/table.h"
 #include "src/storage/block_device.h"
 #include "src/storage/staged_block_device.h"
@@ -76,6 +77,11 @@ struct LoadOptions {
   // Commit() on the repaired table durably drops the quarantined blocks.
   bool repair = false;
   RepairReport* report = nullptr;  // optional, filled when repair is set
+  // Optional execution context (not owned) governing the open: the
+  // salvage scrub and the open-time validation scan observe its deadline
+  // and cancellation token at block granularity, so a repair of a large
+  // damaged image can be bounded or aborted. Null opens ungoverned.
+  const ExecContext* ctx = nullptr;
 };
 
 struct SaveOptions {

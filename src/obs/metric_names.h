@@ -93,6 +93,21 @@ inline constexpr char kQueryTuplesMatched[] = "db.query.tuples_matched";
 inline constexpr char kQueryEarlyExits[] = "db.query.early_exits";
 inline constexpr char kQueryCacheFills[] = "db.query.cache_fills";
 
+// --- query-path resource governance (db/exec_context.cc, db/query.cc) ---
+inline constexpr char kQueryCancelled[] = "db.query.cancelled";
+inline constexpr char kQueryDeadlineExceeded[] =
+    "db.query.deadline_exceeded";
+inline constexpr char kExecBudgetDenials[] = "db.exec.budget_denials";
+inline constexpr char kExecQueryPeakBytes[] = "db.exec.query_peak_bytes";
+
+// --- admission control (db/admission_controller.cc) ---
+inline constexpr char kAdmissionAdmitted[] = "db.admission.admitted";
+inline constexpr char kAdmissionQueued[] = "db.admission.queued";
+inline constexpr char kAdmissionShed[] = "db.admission.shed";
+inline constexpr char kAdmissionQueueWaitMicros[] =
+    "db.admission.queue_wait_us";
+inline constexpr char kAdmissionInFlight[] = "db.admission.in_flight";
+
 // --- durability: atomic save / staged commit (db/table_io.cc) ---
 inline constexpr char kCommitCount[] = "db.commit.count";
 inline constexpr char kCommitLatencyMicros[] = "db.commit.latency_us";
@@ -110,8 +125,16 @@ inline constexpr char kJoinMerge[] = "db.join.strategy.merge";
 inline constexpr char kJoinHash[] = "db.join.strategy.hash";
 inline constexpr char kJoinIndexNestedLoop[] =
     "db.join.strategy.index_nested_loop";
+inline constexpr char kJoinBlockNestedLoop[] =
+    "db.join.strategy.block_nested_loop";
+inline constexpr char kJoinBudgetDegradations[] =
+    "db.join.budget_degradations";
 inline constexpr char kJoinLatencyMicros[] = "db.join.latency_us";
 inline constexpr char kJoinOutputTuples[] = "db.join.output_tuples";
+
+// --- pager retry governance (storage/pager.cc) ---
+inline constexpr char kPagerRetryDeadlineStops[] =
+    "storage.pager.retry_deadline_stops";
 
 }  // namespace avqdb::obs
 

@@ -1,9 +1,14 @@
 #include "src/storage/pager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "src/common/string_util.h"
+// Layering note: only for the thread-local ExecContext::Current()
+// checkpoint the query layer installs — retries must not outlive the
+// request that issued the read.
+#include "src/db/exec_context.h"
 #include "src/obs/metric_names.h"
 #include "src/obs/metrics.h"
 
@@ -75,10 +80,31 @@ void Pager::EnableBufferPool(size_t capacity_blocks) {
 
 Status Pager::ReadWithRetry(BlockId id, std::string* block) {
   Status status = device_->Read(id, block);
+  const ExecContext* ctx = ExecContext::Current();
   for (int attempt = 1;
        status.IsUnavailable() && attempt < retry_.max_attempts; ++attempt) {
-    std::this_thread::sleep_for(std::chrono::microseconds(
-        static_cast<int64_t>(retry_.backoff_us) << (attempt - 1)));
+    int64_t backoff_us = static_cast<int64_t>(retry_.backoff_us)
+                         << (attempt - 1);
+    if (ctx != nullptr) {
+      // A governed read never retries (or sleeps) past its request's
+      // deadline or cancellation: the transient error stops being worth
+      // chasing the moment the query can no longer use the block.
+      if (Status governed = ctx->Check(); !governed.ok()) {
+        static obs::Counter* const deadline_stops =
+            obs::MetricsRegistry::Global().GetCounter(
+                obs::kPagerRetryDeadlineStops);
+        deadline_stops->Increment();
+        return governed;
+      }
+      if (ctx->has_deadline()) {
+        const int64_t remaining_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                ctx->deadline() - ExecContext::Clock::now())
+                .count();
+        backoff_us = std::min(backoff_us, std::max<int64_t>(remaining_us, 0));
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
     ++stats_.read_retries;
     PagerMetrics::Get().read_retries->Increment();
     status = device_->Read(id, block);

@@ -1,0 +1,158 @@
+// AdmissionController coverage: immediate grants, queueing and wakeup on
+// release, bounded-queue shedding, deadline-based shedding, cancellation
+// while queued, and the pre-expired-deadline taxonomy.
+
+#include "src/db/admission_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/db/exec_context.h"
+
+namespace avqdb {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(AdmissionTest, GrantsUpToMaxConcurrency) {
+  AdmissionController controller({.max_concurrency = 2});
+  auto first = controller.Admit(nullptr);
+  auto second = controller.Admit(nullptr);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->holds_slot());
+  EXPECT_EQ(controller.in_flight(), 2u);
+}
+
+TEST(AdmissionTest, ReleaseWakesAQueuedWaiter) {
+  AdmissionController controller(
+      {.max_concurrency = 1, .max_queue_depth = 4});
+  auto held = controller.Admit(nullptr);
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto ticket = controller.Admit(nullptr);
+    ASSERT_TRUE(ticket.ok());
+    admitted.store(true);
+  });
+  // Give the waiter time to queue, then free the slot.
+  while (controller.waiting() == 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_FALSE(admitted.load());
+  *held = AdmissionController::Ticket();  // release
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+TEST(AdmissionTest, FullQueueShedsImmediately) {
+  AdmissionController controller(
+      {.max_concurrency = 1, .max_queue_depth = 0});
+  auto held = controller.Admit(nullptr);
+  ASSERT_TRUE(held.ok());
+  auto shed = controller.Admit(nullptr);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted())
+      << shed.status().ToString();
+}
+
+TEST(AdmissionTest, DeadlineExpiresWhileQueuedSheds) {
+  AdmissionController controller(
+      {.max_concurrency = 1, .max_queue_depth = 4});
+  auto held = controller.Admit(nullptr);
+  ASSERT_TRUE(held.ok());
+
+  ExecContext ctx;
+  ctx.SetDeadlineAfter(milliseconds(30));
+  auto shed = controller.Admit(&ctx);  // blocks ~30ms, then sheds
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted())
+      << shed.status().ToString();
+  EXPECT_EQ(controller.waiting(), 0u);
+}
+
+TEST(AdmissionTest, PreExpiredDeadlineIsTheRequestsOwnFailure) {
+  AdmissionController controller({.max_concurrency = 1});
+  ExecContext ctx;
+  ctx.set_deadline(ExecContext::Clock::now() - milliseconds(1));
+  auto result = controller.Admit(&ctx);
+  ASSERT_FALSE(result.ok());
+  // Not shed: the request was dead on arrival, not a victim of load.
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+}
+
+TEST(AdmissionTest, CancelledWhileQueuedReturnsCancelled) {
+  AdmissionController controller(
+      {.max_concurrency = 1, .max_queue_depth = 4});
+  auto held = controller.Admit(nullptr);
+  ASSERT_TRUE(held.ok());
+
+  ExecContext ctx;
+  std::thread canceller([&controller, token = ctx.cancellation_token()] {
+    while (controller.waiting() == 0) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    token->Cancel();
+  });
+  auto result = controller.Admit(&ctx);
+  canceller.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+}
+
+TEST(AdmissionTest, TicketReleaseOnDestructionFreesTheSlot) {
+  AdmissionController controller({.max_concurrency = 1});
+  {
+    auto ticket = controller.Admit(nullptr);
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_EQ(controller.in_flight(), 1u);
+  }
+  EXPECT_EQ(controller.in_flight(), 0u);
+  auto again = controller.Admit(nullptr);
+  EXPECT_TRUE(again.ok());
+}
+
+TEST(AdmissionTest, MoveTransfersTheSlot) {
+  AdmissionController controller({.max_concurrency = 1});
+  auto ticket = controller.Admit(nullptr);
+  ASSERT_TRUE(ticket.ok());
+  AdmissionController::Ticket moved = std::move(*ticket);
+  EXPECT_TRUE(moved.holds_slot());
+  EXPECT_FALSE(ticket->holds_slot());
+  EXPECT_EQ(controller.in_flight(), 1u);
+}
+
+TEST(AdmissionTest, ManyThreadsAllEventuallyAdmitted) {
+  AdmissionController controller(
+      {.max_concurrency = 2, .max_queue_depth = 64});
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> peak_in_flight{0};
+  std::atomic<size_t> running{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([&] {
+      auto ticket = controller.Admit(nullptr);
+      ASSERT_TRUE(ticket.ok());
+      const size_t now = running.fetch_add(1) + 1;
+      size_t peak = peak_in_flight.load();
+      while (now > peak && !peak_in_flight.compare_exchange_weak(peak, now)) {
+      }
+      std::this_thread::sleep_for(milliseconds(1));
+      running.fetch_sub(1);
+      completed.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completed.load(), 16u);
+  EXPECT_LE(peak_in_flight.load(), 2u);
+  EXPECT_EQ(controller.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace avqdb

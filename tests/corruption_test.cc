@@ -307,5 +307,107 @@ TEST(Corruption, ParallelRandomFlipsNeverYieldWrongTuples) {
   }
 }
 
+// ---- Hostile headers (adversarial, not accidental, corruption) ----
+//
+// A block whose header lies about its own shape must be rejected by the
+// structural capacity check *before* the decoder sizes any allocation or
+// walk from the attacker-controlled counts — even with checksums off, and
+// on both the materializing and the streaming decode paths.
+
+struct HostileFixture {
+  HostileFixture() : device(512) {
+    schema = testing::PaperShapeSchema();
+    CodecOptions options;
+    options.block_size = 512;
+    options.checksum = false;  // the CRC must not be load-bearing
+    table = Table::CreateAvq(schema, &device, options).value();
+    auto tuples = testing::RandomTuples(*schema, 120, 77);
+    std::sort(tuples.begin(), tuples.end(),
+              [](const OrdinalTuple& a, const OrdinalTuple& b) {
+                return CompareTuples(a, b) < 0;
+              });
+    tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+    loaded = tuples;
+    AVQDB_CHECK_OK(table->BulkLoad(tuples));
+    victim =
+        static_cast<BlockId>(table->primary_index().Begin().value().value());
+  }
+
+  // Overwrites the little-endian u16 at `offset` of the victim's header.
+  void SmashU16(size_t offset, uint16_t value) {
+    AVQDB_CHECK_OK(device.CorruptByte(victim, offset,
+                                      static_cast<uint8_t>(value & 0xff)));
+    AVQDB_CHECK_OK(
+        device.CorruptByte(victim, offset + 1,
+                           static_cast<uint8_t>((value >> 8) & 0xff)));
+  }
+  void SmashU32(size_t offset, uint32_t value) {
+    for (size_t b = 0; b < 4; ++b) {
+      AVQDB_CHECK_OK(device.CorruptByte(
+          victim, offset + b, static_cast<uint8_t>((value >> (8 * b)))));
+    }
+  }
+
+  MemBlockDevice device;
+  SchemaPtr schema;
+  std::unique_ptr<Table> table;
+  std::vector<OrdinalTuple> loaded;
+  BlockId victim = kInvalidBlockId;
+};
+
+TEST(HostileBlock, InflatedTupleCountRejectedBeforeAllocation) {
+  HostileFixture f;
+  // Claim the maximum tuple count a u16 can carry; the ~500-byte payload
+  // cannot possibly hold 65534 differences even at one byte each.
+  f.SmashU16(4, 0xffff);
+  auto scan = f.table->ScanAll();
+  ASSERT_TRUE(scan.status().IsCorruption()) << scan.status().ToString();
+
+  // The streaming (cursor) path runs the same capacity check.
+  auto contains = f.table->Contains(f.loaded.front());
+  EXPECT_TRUE(contains.status().IsCorruption())
+      << contains.status().ToString();
+}
+
+TEST(HostileBlock, PayloadTooSmallForRepresentativeRejected) {
+  HostileFixture f;
+  // A payload of 2 bytes cannot hold one m-byte representative image.
+  f.SmashU32(8, 2);
+  f.SmashU16(4, 1);  // even with a single claimed tuple
+  auto scan = f.table->ScanAll();
+  EXPECT_TRUE(scan.status().IsCorruption()) << scan.status().ToString();
+}
+
+TEST(HostileBlock, TupleCountJustOverCapacityRejected) {
+  HostileFixture f;
+  // Read the genuine header to compute the exact RLE capacity bound,
+  // then claim one tuple more than the payload can hold.
+  std::string raw;
+  ASSERT_TRUE(f.device.Read(f.victim, &raw).ok());
+  auto header = BlockHeader::DecodeFrom(Slice(raw)).value();
+  const size_t m = 5;  // PaperShapeSchema: five one-byte digits
+  const uint64_t capacity = 1 + (header.payload_size - m);  // 1-byte diffs
+  ASSERT_LT(capacity + 1, 0xffffu);
+  f.SmashU16(4, static_cast<uint16_t>(capacity + 1));
+  auto scan = f.table->ScanAll();
+  EXPECT_TRUE(scan.status().IsCorruption()) << scan.status().ToString();
+}
+
+TEST(HostileBlock, PayloadSizeBeyondBlockRejected) {
+  HostileFixture f;
+  // payload_size pointing past the physical block must not drive an
+  // out-of-bounds walk.
+  f.SmashU32(8, 0x7fffffffu);
+  auto scan = f.table->ScanAll();
+  EXPECT_TRUE(scan.status().IsCorruption()) << scan.status().ToString();
+}
+
+TEST(HostileBlock, RepIndexBeyondTupleCountRejected) {
+  HostileFixture f;
+  f.SmashU16(6, 0xfff0);  // representative position outside the block
+  auto scan = f.table->ScanAll();
+  EXPECT_TRUE(scan.status().IsCorruption()) << scan.status().ToString();
+}
+
 }  // namespace
 }  // namespace avqdb

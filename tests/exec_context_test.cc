@@ -1,0 +1,211 @@
+// ExecContext unit coverage: deadline/cancellation semantics of Check(),
+// hierarchical MemoryBudget accounting (charges, rollback on parent
+// denial, runtime limit changes, destructor leak release), BudgetLease
+// slab batching, and ExecContextScope nesting.
+
+#include "src/db/exec_context.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace avqdb {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(ExecContextTest, DefaultContextIsUngoverned) {
+  ExecContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_EQ(ctx.memory_budget(), nullptr);
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(ExecContextTest, ExpiredDeadlineFailsCheck) {
+  ExecContext ctx;
+  ctx.set_deadline(ExecContext::Clock::now() - milliseconds(1));
+  Status status = ctx.Check();
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  ctx.ClearDeadline();
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(ExecContextTest, FutureDeadlinePassesCheck) {
+  ExecContext ctx;
+  ctx.SetDeadlineAfter(std::chrono::hours(1));
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_FALSE(ctx.DeadlinePassed());
+}
+
+TEST(ExecContextTest, CancellationFailsCheckAndWinsOverDeadline) {
+  ExecContext ctx;
+  ctx.set_deadline(ExecContext::Clock::now() - milliseconds(1));
+  ctx.Cancel();
+  Status status = ctx.Check();
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+}
+
+TEST(ExecContextTest, CopiesShareTheCancellationToken) {
+  ExecContext original;
+  ExecContext copy = original;
+  original.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_TRUE(copy.Check().IsCancelled());
+}
+
+TEST(ExecContextTest, TokenOutlivesTheContext) {
+  std::shared_ptr<CancellationToken> token;
+  {
+    ExecContext ctx;
+    token = ctx.cancellation_token();
+  }
+  token->Cancel();  // must not crash; the token is independently owned
+  EXPECT_TRUE(token->cancelled());
+}
+
+TEST(ExecContextTest, CancelFromAnotherThreadIsObserved) {
+  ExecContext ctx;
+  std::thread canceller([token = ctx.cancellation_token()] {
+    token->Cancel();
+  });
+  canceller.join();
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+}
+
+TEST(MemoryBudgetTest, ChargesAndReleases) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.TryCharge(600));
+  EXPECT_EQ(budget.used(), 600u);
+  EXPECT_FALSE(budget.TryCharge(500));
+  EXPECT_EQ(budget.used(), 600u);  // denied charge changed nothing
+  EXPECT_EQ(budget.denials(), 1u);
+  EXPECT_TRUE(budget.TryCharge(400));
+  EXPECT_EQ(budget.used(), 1000u);
+  budget.Release(1000);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.peak(), 1000u);
+}
+
+TEST(MemoryBudgetTest, UnlimitedByDefault) {
+  MemoryBudget budget;
+  EXPECT_TRUE(budget.TryCharge(UINT64_MAX / 2));
+  EXPECT_TRUE(budget.CouldCharge(UINT64_MAX / 2));
+}
+
+TEST(MemoryBudgetTest, ChildChargesParentTransitively) {
+  MemoryBudget parent(1000);
+  MemoryBudget child(1000, &parent);
+  EXPECT_TRUE(child.TryCharge(700));
+  EXPECT_EQ(parent.used(), 700u);
+
+  // A sibling competes for the parent allowance.
+  MemoryBudget sibling(1000, &parent);
+  EXPECT_FALSE(sibling.TryCharge(400));
+  EXPECT_EQ(sibling.used(), 0u);  // rolled back after the parent denied
+  EXPECT_EQ(sibling.denials(), 1u);
+  EXPECT_TRUE(sibling.TryCharge(300));
+  EXPECT_EQ(parent.used(), 1000u);
+}
+
+TEST(MemoryBudgetTest, DestructorReleasesLeaksFromParent) {
+  MemoryBudget parent(1000);
+  {
+    MemoryBudget child(1000, &parent);
+    EXPECT_TRUE(child.TryCharge(800));
+    // Child dies still holding 800 bytes.
+  }
+  EXPECT_EQ(parent.used(), 0u);
+  EXPECT_TRUE(parent.TryCharge(1000));
+}
+
+TEST(MemoryBudgetTest, LoweringTheLimitBelowUsageDeniesWithoutUnderflow) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.TryCharge(900));
+  budget.set_limit(100);  // now used > limit
+  EXPECT_FALSE(budget.TryCharge(1));
+  EXPECT_FALSE(budget.CouldCharge(1));
+  budget.Release(850);
+  EXPECT_TRUE(budget.TryCharge(1));
+}
+
+TEST(MemoryBudgetTest, CouldChargeIsAdvisoryAndChangesNothing) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.CouldCharge(100));
+  EXPECT_FALSE(budget.CouldCharge(101));
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.denials(), 0u);  // advisory probes are not denials
+}
+
+TEST(BudgetLeaseTest, NullBudgetAcceptsEverything) {
+  BudgetLease lease(nullptr);
+  EXPECT_TRUE(lease.Charge(UINT64_MAX / 2));
+  EXPECT_TRUE(lease.Charge(UINT64_MAX / 2));
+}
+
+TEST(BudgetLeaseTest, SlabBatchingChargesCoarselyAndReleasesOnDestruction) {
+  MemoryBudget budget(1 << 20);
+  {
+    BudgetLease lease(&budget);
+    EXPECT_TRUE(lease.Charge(10));
+    // One slab covers many small charges: the budget sees slab
+    // granularity, the lease tracks the exact bytes.
+    EXPECT_GE(budget.used(), 10u);
+    const uint64_t after_first = budget.used();
+    EXPECT_TRUE(lease.Charge(10));
+    EXPECT_EQ(budget.used(), after_first);
+    EXPECT_EQ(lease.charged(), 20u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(BudgetLeaseTest, DenialLeavesAcceptedChargesInPlace) {
+  MemoryBudget budget(100);  // smaller than one slab
+  BudgetLease lease(&budget);
+  EXPECT_FALSE(lease.Charge(10));  // the covering slab exceeds the limit
+  EXPECT_EQ(lease.charged(), 0u);
+  EXPECT_GE(budget.denials(), 1u);
+}
+
+TEST(BudgetLeaseTest, ReleaseAllReturnsTheSlabs) {
+  MemoryBudget budget(1 << 20);
+  BudgetLease lease(&budget);
+  EXPECT_TRUE(lease.Charge(1000));
+  EXPECT_GT(budget.used(), 0u);
+  lease.ReleaseAll();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(lease.charged(), 0u);
+  EXPECT_TRUE(lease.Charge(1000));  // the lease is reusable
+}
+
+TEST(ExecContextScopeTest, InstallsAndRestores) {
+  EXPECT_EQ(ExecContext::Current(), nullptr);
+  ExecContext outer;
+  {
+    ExecContextScope outer_scope(&outer);
+    EXPECT_EQ(ExecContext::Current(), &outer);
+    ExecContext inner;
+    {
+      ExecContextScope inner_scope(&inner);
+      EXPECT_EQ(ExecContext::Current(), &inner);
+    }
+    EXPECT_EQ(ExecContext::Current(), &outer);
+  }
+  EXPECT_EQ(ExecContext::Current(), nullptr);
+}
+
+TEST(ExecContextScopeTest, NullInstallKeepsTheEnclosingContext) {
+  ExecContext outer;
+  ExecContextScope outer_scope(&outer);
+  {
+    // A nested ungoverned call (ctx == nullptr) must not mask the
+    // governed caller above it.
+    ExecContextScope null_scope(nullptr);
+    EXPECT_EQ(ExecContext::Current(), &outer);
+  }
+  EXPECT_EQ(ExecContext::Current(), &outer);
+}
+
+}  // namespace
+}  // namespace avqdb

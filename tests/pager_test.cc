@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/db/exec_context.h"
+#include "src/storage/fault_injection_device.h"
+
 namespace avqdb {
 namespace {
 
@@ -85,6 +91,127 @@ TEST(Pager, ResetStats) {
   ASSERT_TRUE(pager.Allocate().ok());
   pager.ResetStats();
   EXPECT_EQ(pager.stats().allocations, 0u);
+}
+
+// ---- retry policy ----
+
+// Primes one readable block behind a fault-injection wrapper.
+BlockId PrimeBlock(FaultInjectionBlockDevice* fault) {
+  BlockId id = fault->Allocate().value();
+  std::string payload = "retryable";
+  AVQDB_CHECK_OK(fault->Write(id, Slice(payload)));
+  return id;
+}
+
+TEST(PagerRetry, TransientFailureRetriedUntilSuccess) {
+  MemBlockDevice base(64);
+  FaultInjectionBlockDevice fault(&base);
+  Pager pager(&fault);
+  pager.SetRetryPolicy({.max_attempts = 3, .backoff_us = 1});
+  BlockId id = PrimeBlock(&fault);
+  fault.FailReadAt(1, /*transient=*/true);  // first read attempt fails
+  auto read = pager.Read(id);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->substr(0, 9), "retryable");
+  EXPECT_EQ(pager.stats().read_retries, 1u);
+}
+
+TEST(PagerRetry, MaxAttemptsBoundsTheRetries) {
+  MemBlockDevice base(64);
+  FaultInjectionBlockDevice fault(&base);
+  Pager pager(&fault);
+  pager.SetRetryPolicy({.max_attempts = 2, .backoff_us = 1});
+  BlockId id = PrimeBlock(&fault);
+  // Sticky transient fault: every read attempt fails.
+  fault.FailReadAt(1, /*transient=*/true, /*sticky=*/true);
+  auto read = pager.Read(id);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsUnavailable()) << read.status().ToString();
+  EXPECT_EQ(pager.stats().read_retries, 1u);  // 2 attempts = 1 retry
+}
+
+TEST(PagerRetry, SingleAttemptPolicyNeverRetries) {
+  MemBlockDevice base(64);
+  FaultInjectionBlockDevice fault(&base);
+  Pager pager(&fault);
+  pager.SetRetryPolicy({.max_attempts = 1, .backoff_us = 1});
+  BlockId id = PrimeBlock(&fault);
+  fault.FailReadAt(1, /*transient=*/true);
+  EXPECT_TRUE(pager.Read(id).status().IsUnavailable());
+  EXPECT_EQ(pager.stats().read_retries, 0u);
+}
+
+TEST(PagerRetry, PermanentErrorsAreNotRetried) {
+  MemBlockDevice base(64);
+  FaultInjectionBlockDevice fault(&base);
+  Pager pager(&fault);
+  pager.SetRetryPolicy({.max_attempts = 5, .backoff_us = 1});
+  BlockId id = PrimeBlock(&fault);
+  fault.FailReadAt(1, /*transient=*/false);  // hard IOError
+  EXPECT_TRUE(pager.Read(id).status().IsIOError());
+  EXPECT_EQ(pager.stats().read_retries, 0u);
+}
+
+TEST(PagerRetry, ExpiredDeadlineStopsTheRetryLoop) {
+  MemBlockDevice base(64);
+  FaultInjectionBlockDevice fault(&base);
+  Pager pager(&fault);
+  // Generous budget: without the deadline this would retry for a while.
+  pager.SetRetryPolicy({.max_attempts = 10, .backoff_us = 50'000});
+  BlockId id = PrimeBlock(&fault);
+  fault.FailReadAt(1, /*transient=*/true, /*sticky=*/true);
+
+  ExecContext ctx;
+  ctx.set_deadline(ExecContext::Clock::now() - std::chrono::milliseconds(1));
+  ExecContextScope scope(&ctx);
+  const auto started = std::chrono::steady_clock::now();
+  auto read = pager.Read(id);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsDeadlineExceeded())
+      << read.status().ToString();
+  // The loop bailed at the governance check instead of sleeping through
+  // nine 50 ms backoffs.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(200));
+}
+
+TEST(PagerRetry, CancellationStopsTheRetryLoop) {
+  MemBlockDevice base(64);
+  FaultInjectionBlockDevice fault(&base);
+  Pager pager(&fault);
+  pager.SetRetryPolicy({.max_attempts = 10, .backoff_us = 50'000});
+  BlockId id = PrimeBlock(&fault);
+  fault.FailReadAt(1, /*transient=*/true, /*sticky=*/true);
+
+  ExecContext ctx;
+  ctx.Cancel();
+  ExecContextScope scope(&ctx);
+  auto read = pager.Read(id);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsCancelled()) << read.status().ToString();
+}
+
+TEST(PagerRetry, NearDeadlineCapsTheBackoffSleep) {
+  MemBlockDevice base(64);
+  FaultInjectionBlockDevice fault(&base);
+  Pager pager(&fault);
+  // One retry whose configured backoff (300 ms) exceeds the remaining
+  // deadline budget (~30 ms): the sleep must be clamped to the deadline,
+  // after which the loop stops with DeadlineExceeded.
+  pager.SetRetryPolicy({.max_attempts = 10, .backoff_us = 300'000});
+  BlockId id = PrimeBlock(&fault);
+  fault.FailReadAt(1, /*transient=*/true, /*sticky=*/true);
+
+  ExecContext ctx;
+  ctx.SetDeadlineAfter(std::chrono::milliseconds(30));
+  ExecContextScope scope(&ctx);
+  const auto started = std::chrono::steady_clock::now();
+  auto read = pager.Read(id);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsDeadlineExceeded())
+      << read.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::milliseconds(250));
 }
 
 }  // namespace

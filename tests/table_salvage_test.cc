@@ -29,7 +29,11 @@ class TableSalvageTest : public ::testing::Test {
  protected:
   void SetUp() override {
     schema_ = testing::PaperShapeSchema();
-    path_ = ::testing::TempDir() + "avqdb_salvage_test.avqt";
+    // Unique per test case: ctest runs each case as its own process, so a
+    // shared filename races when the suite runs with -j.
+    path_ = ::testing::TempDir() + "avqdb_salvage_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".avqt";
     std::remove(path_.c_str());
 
     MemBlockDevice device(kBlockSize);

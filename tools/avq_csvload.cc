@@ -1,21 +1,42 @@
 // avq_csvload: import a CSV file into a compressed single-file table.
 //
 //   avq_csvload <input.csv> <output.avqt> [block_size] [parallelism]
+//   avq_csvload --query <table.avqt> [--select attr lo hi]
+//               [--deadline-ms N] [--max-concurrency N]
 //
-// Infers the schema (integer columns get range domains, everything else
-// categorical), deduplicates rows (tables are sets), bulk-loads an
-// AVQ-compressed table, reports the compression against the uncoded
-// layout, and saves the table image. `parallelism` shards the bulk-load
-// sort and block coding (default 0 = one shard per hardware thread,
-// 1 = serial); the output file is byte-identical either way.
+// Import mode infers the schema (integer columns get range domains,
+// everything else categorical), deduplicates rows (tables are sets),
+// bulk-loads an AVQ-compressed table, reports the compression against
+// the uncoded layout, and saves the table image. `parallelism` shards
+// the bulk-load sort and block coding (default 0 = one shard per
+// hardware thread, 1 = serial); the output file is byte-identical
+// either way.
+//
+// Query mode loads a saved image and runs one governed query against it
+// (a range selection with --select, a full scan otherwise):
+//   --deadline-ms N       bound the query with an ExecContext deadline;
+//                         an overrun stops at the next block boundary
+//   --max-concurrency N   gate execution through an AdmissionController
+//                         with N slots (the same limiter Database::Select
+//                         uses); an already-expired deadline is rejected
+//                         before any I/O
+// Exit status: 0 on success, 1 on errors, 3 when the query was stopped
+// by governance (deadline, cancellation, shedding, or memory budget).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <set>
+#include <string>
 
 #include "src/avq/attribute_order.h"
 #include "src/common/string_util.h"
+#include "src/db/admission_controller.h"
 #include "src/db/csv_import.h"
+#include "src/db/exec_context.h"
+#include "src/db/query.h"
 #include "src/db/table.h"
 #include "src/db/table_io.h"
 
@@ -97,15 +118,146 @@ int Run(const char* csv_path, const char* out_path, size_t block_size,
   return 0;
 }
 
+Value ParseBound(const Schema& schema, size_t attr, const char* text) {
+  if (schema.attribute(attr).domain->kind() == DomainKind::kIntegerRange) {
+    return Value(static_cast<int64_t>(std::strtoll(text, nullptr, 10)));
+  }
+  return Value(text);
+}
+
+int RunQuery(const char* path, const char* select_attr, const char* lo_text,
+             const char* hi_text, long deadline_ms, long max_concurrency) {
+  auto loaded = LoadTable(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Table& table = *loaded->table;
+
+  ExecContext ctx;
+  if (deadline_ms >= 0) {
+    ctx.SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
+  }
+
+  // The CLI drives the same limiter Database::Select sits behind; with a
+  // single query the interesting interaction is admission-time shedding
+  // of an already-expired deadline.
+  std::unique_ptr<AdmissionController> admission;
+  AdmissionController::Ticket ticket;
+  if (max_concurrency > 0) {
+    admission = std::make_unique<AdmissionController>(AdmissionOptions{
+        .max_concurrency = static_cast<size_t>(max_concurrency),
+        .max_queue_depth = static_cast<size_t>(max_concurrency)});
+    auto admitted = admission->Admit(&ctx);
+    if (!admitted.ok()) {
+      std::fprintf(stderr, "query not admitted: %s\n",
+                   admitted.status().ToString().c_str());
+      return 3;
+    }
+    ticket = std::move(admitted.value());
+  }
+
+  QueryStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  Status failed;
+  size_t rows = 0;
+  if (select_attr != nullptr) {
+    const Schema& schema = *table.schema();
+    auto attr = schema.AttributeIndex(select_attr);
+    if (!attr.ok()) {
+      std::fprintf(stderr, "%s\n", attr.status().ToString().c_str());
+      return 1;
+    }
+    auto result = ExecuteRangeSelectRows(
+        table, select_attr, ParseBound(schema, attr.value(), lo_text),
+        ParseBound(schema, attr.value(), hi_text), &stats, &ctx);
+    if (!result.ok()) {
+      failed = result.status();
+    } else {
+      rows = result->size();
+    }
+  } else {
+    auto result =
+        ExecuteConjunctiveSelect(table, ConjunctiveQuery{}, &stats, &ctx);
+    if (!result.ok()) {
+      failed = result.status();
+    } else {
+      rows = result->size();
+    }
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (!failed.ok()) {
+    std::fprintf(stderr, "query failed after %.2f ms: %s\n", ms,
+                 failed.ToString().c_str());
+    return (failed.IsDeadlineExceeded() || failed.IsCancelled() ||
+            failed.IsResourceExhausted())
+               ? 3
+               : 1;
+  }
+  if (select_attr != nullptr) {
+    std::printf("select %s in [%s, %s]: %zu rows in %.2f ms\n  %s\n",
+                select_attr, lo_text, hi_text, rows, ms,
+                stats.ToString().c_str());
+  } else {
+    std::printf("full scan: %zu rows in %.2f ms\n  %s\n", rows, ms,
+                stats.ToString().c_str());
+  }
+  return 0;
+}
+
+int QueryUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --query <table.avqt> [--select attr lo hi]\n"
+               "          [--deadline-ms N] [--max-concurrency N]\n",
+               argv0);
+  return 2;
+}
+
+int QueryMain(int argc, char** argv) {
+  if (argc < 3) return QueryUsage(argv[0]);
+  const char* path = argv[2];
+  const char* select_attr = nullptr;
+  const char* lo = nullptr;
+  const char* hi = nullptr;
+  long deadline_ms = -1;
+  long max_concurrency = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--select") == 0 && i + 3 < argc) {
+      select_attr = argv[++i];
+      lo = argv[++i];
+      hi = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::strtol(argv[++i], nullptr, 10);
+      if (deadline_ms < 0) return QueryUsage(argv[0]);
+    } else if (std::strcmp(argv[i], "--max-concurrency") == 0 &&
+               i + 1 < argc) {
+      max_concurrency = std::strtol(argv[++i], nullptr, 10);
+      if (max_concurrency < 1) return QueryUsage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return QueryUsage(argv[0]);
+    }
+  }
+  return RunQuery(path, select_attr, lo, hi, deadline_ms, max_concurrency);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--query") == 0) {
+    return QueryMain(argc, argv);
+  }
   if (argc < 3 || argc > 5) {
     std::fprintf(
         stderr,
         "usage: %s <input.csv> <output.avqt> [block_size] [parallelism]\n"
+        "       %s --query <table.avqt> [--select attr lo hi]\n"
+        "          [--deadline-ms N] [--max-concurrency N]\n"
         "  parallelism: 0 = all hardware threads (default), 1 = serial\n",
-        argv[0]);
+        argv[0], argv[0]);
     return 2;
   }
   const size_t block_size =

@@ -6,8 +6,16 @@
 //   avqdb_repair <table.avqt> --out <p>  salvage into a fresh image at <p>,
 //                                        leaving the original untouched
 //
+// Governance flags (either mode):
+//   --deadline-ms N       bound the scrub/salvage with an ExecContext
+//                         deadline; an overrun stops at the next block
+//                         boundary and leaves the original image untouched
+//   --max-concurrency N   cap the worker threads used by the open-time
+//                         validation scan (default 1 = serial)
+//
 // Exit status: 0 when the image is clean (or was repaired successfully),
-// 1 when damage was found in scrub mode, 2 on usage or I/O errors.
+// 1 when damage was found in scrub mode, 2 on usage or I/O errors,
+// 3 when the run was stopped by its deadline.
 //
 // The scrub pass CRC-verifies both metadata slots and every data block
 // and prints a RepairReport: blocks scanned, blocks quarantined with the
@@ -15,10 +23,13 @@
 // --repair the quarantine is made durable through the normal two-slot
 // commit, so a later crash still leaves a consistent image.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "src/db/exec_context.h"
 #include "src/db/table_io.h"
 
 using namespace avqdb;
@@ -27,17 +38,34 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <table.avqt> [--repair | --out <path>]\n", argv0);
+               "usage: %s <table.avqt> [--repair | --out <path>]\n"
+               "          [--deadline-ms N] [--max-concurrency N]\n",
+               argv0);
   return 2;
 }
 
-int Run(const std::string& path, bool repair, const std::string& out_path) {
+int Run(const std::string& path, bool repair, const std::string& out_path,
+        long deadline_ms, long max_concurrency) {
   RepairReport report;
+  ExecContext ctx;
   LoadOptions options;
   options.repair = true;
   options.report = &report;
+  if (deadline_ms >= 0) {
+    ctx.SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
+    options.ctx = &ctx;
+  }
+  if (max_concurrency > 0) {
+    options.parallelism = static_cast<size_t>(max_concurrency);
+  }
   auto loaded = LoadTable(path, options);
   if (!loaded.ok()) {
+    if (loaded.status().IsDeadlineExceeded() ||
+        loaded.status().IsCancelled()) {
+      std::fprintf(stderr, "scrub stopped by governance: %s\n",
+                   loaded.status().ToString().c_str());
+      return 3;
+    }
     std::fprintf(stderr, "unrecoverable image: %s\n",
                  loaded.status().ToString().c_str());
     return 2;
@@ -90,15 +118,24 @@ int main(int argc, char** argv) {
   std::string path = argv[1];
   bool repair = false;
   std::string out_path;
+  long deadline_ms = -1;
+  long max_concurrency = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repair") == 0) {
       repair = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::strtol(argv[++i], nullptr, 10);
+      if (deadline_ms < 0) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--max-concurrency") == 0 &&
+               i + 1 < argc) {
+      max_concurrency = std::strtol(argv[++i], nullptr, 10);
+      if (max_concurrency < 1) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
   }
   if (repair && !out_path.empty()) return Usage(argv[0]);
-  return Run(path, repair, out_path);
+  return Run(path, repair, out_path, deadline_ms, max_concurrency);
 }

@@ -6,9 +6,13 @@
 #     decoded-block cache, metrics registry);
 #   * AddressSanitizer + UBSan on the full suite;
 #   * both sanitizers on the fault-injection/durability tests (ctest
-#     label "fault": crash loop, salvage, staged commit, torn writes).
+#     label "fault": crash loop, salvage, staged commit, torn writes);
+#   * both sanitizers on the query-governance tests (ctest label
+#     "resilience": deadlines, cancellation hammer, memory budgets,
+#     admission control).
 #
-# Usage: tools/run_sanitized_tests.sh [tsan|asan|fault|all]   (default: all)
+# Usage: tools/run_sanitized_tests.sh [tsan|asan|fault|resilience|all]
+# (default: all)
 #
 # Build trees land in build-tsan/ and build-asan/ next to build/ so the
 # regular tree is untouched.
@@ -47,6 +51,20 @@ run_fault() {
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L fault
 }
 
+run_resilience() {
+  echo "== Sanitized resilience tests (label: resilience) =="
+  cmake -B build-tsan -S . -DAVQDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "${jobs}" --target \
+    exec_context_test admission_test resilience_test
+  ctest --test-dir build-tsan --output-on-failure -j "${jobs}" -L resilience
+  cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j "${jobs}" --target \
+    exec_context_test admission_test resilience_test
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L resilience
+}
+
 run_asan() {
   echo "== AddressSanitizer + UBSan (full suite) =="
   cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
@@ -59,13 +77,15 @@ case "${mode}" in
   tsan) run_tsan ;;
   asan) run_asan ;;
   fault) run_fault ;;
+  resilience) run_resilience ;;
   all)
     run_tsan
     run_fault
+    run_resilience
     run_asan
     ;;
   *)
-    echo "usage: $0 [tsan|asan|fault|all]" >&2
+    echo "usage: $0 [tsan|asan|fault|resilience|all]" >&2
     exit 2
     ;;
 esac
