@@ -1,0 +1,253 @@
+// Serving-layer throughput and tail latency over real sockets — what
+// the wire adds on top of the governed executor bench_overload measures.
+//
+// A grid of connections × pipelining depth drives one loopback server
+// (admission-controlled, multi-worker) with a mixed workload of cheap
+// clustered point lookups and full-scan range queries. Each row reports
+// completed-request throughput, p50/p95 request latency (send to final
+// response frame, so queue time behind pipelined predecessors counts)
+// and the shed rate once the offered concurrency exceeds the admission
+// slots. Every completed response is compared against the direct
+// Database::Select answer, so the table also certifies the wire path
+// returns byte-identical results under load. Writes BENCH_server.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/db/database.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/workload/generator.h"
+
+namespace avqdb::bench {
+namespace {
+
+constexpr size_t kTuples = 30000;
+constexpr size_t kMaxConcurrency = 2;
+constexpr size_t kQueueDepth = 2;
+constexpr size_t kWorkers = 8;
+constexpr int kBatchesPerConnection = 8;
+
+struct Row {
+  size_t connections = 0;
+  size_t depth = 0;
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  double wall_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+
+  double throughput_qps() const {
+    return wall_ms > 0 ? 1000.0 * static_cast<double>(completed) / wall_ms
+                       : 0.0;
+  }
+  double shed_rate() const {
+    return issued > 0
+               ? static_cast<double>(shed) / static_cast<double>(issued)
+               : 0.0;
+  }
+};
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(index, sorted_ms.size() - 1)];
+}
+
+struct Workload {
+  std::vector<server::QueryRequest> requests;
+  std::vector<std::vector<OrdinalTuple>> expected;
+};
+
+Row RunGrid(uint16_t port, const Workload& workload, size_t connections,
+            size_t depth) {
+  Row row;
+  row.connections = connections;
+  row.depth = depth;
+
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  std::atomic<uint64_t> issued{0}, completed{0}, shed{0};
+  std::atomic<bool> wrong_results{false};
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (size_t c = 0; c < connections; ++c) {
+    pool.emplace_back([&, c] {
+      auto client = server::Client::Connect("127.0.0.1", port);
+      AVQDB_CHECK(client.ok(), "connect: %s",
+                  client.status().ToString().c_str());
+      uint64_t next_id = 1;
+      for (int batch = 0; batch < kBatchesPerConnection; ++batch) {
+        // One pipelined batch: `depth` sends, then `depth` reads.
+        std::vector<size_t> picks;
+        std::vector<std::chrono::steady_clock::time_point> sent_at;
+        for (size_t d = 0; d < depth; ++d) {
+          const size_t pick =
+              (c + static_cast<size_t>(batch) + d) % workload.requests.size();
+          sent_at.push_back(std::chrono::steady_clock::now());
+          AVQDB_CHECK_OK(
+              (*client)->SendQuery(next_id++, workload.requests[pick]));
+          issued.fetch_add(1);
+          picks.push_back(pick);
+        }
+        for (size_t d = 0; d < depth; ++d) {
+          auto response = (*client)->ReadResponse();
+          AVQDB_CHECK(response.ok(), "read: %s",
+                      response.status().ToString().c_str());
+          const double ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - sent_at[d])
+                  .count();
+          if (response->status.ok()) {
+            completed.fetch_add(1);
+            if (response->tuples != workload.expected[picks[d]]) {
+              wrong_results.store(true);
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            latencies_ms.push_back(ms);
+          } else if (response->status.IsResourceExhausted()) {
+            shed.fetch_add(1);
+          } else {
+            AVQDB_CHECK(false, "unexpected status: %s",
+                        response->status.ToString().c_str());
+          }
+        }
+      }
+      Status goodbye = (*client)->SendGoodbye();
+      (void)goodbye;
+    });
+  }
+  for (auto& t : pool) t.join();
+  row.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  AVQDB_CHECK(!wrong_results.load(),
+              "wire result diverged from direct Select under load");
+
+  row.issued = issued.load();
+  row.completed = completed.load();
+  row.shed = shed.load();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  row.p50_ms = Percentile(latencies_ms, 0.50);
+  row.p95_ms = Percentile(latencies_ms, 0.95);
+  return row;
+}
+
+int Main() {
+  PrintHeader(
+      "Serving layer: connections x pipelining depth over loopback TCP,\n"
+      "admission-controlled executor behind the wire");
+
+  RelationSpec spec;
+  spec.num_attributes = 5;
+  spec.explicit_domain_sizes = {8, 16, 64, 64, 64};
+  spec.num_tuples = kTuples;
+  spec.seed = 42;
+  GeneratedRelation rel = MustGenerate(spec);
+
+  Database db;
+  auto* table =
+      db.CreateTable("orders", rel.schema, TableKind::kAvq).value();
+  AVQDB_CHECK_OK(table->BulkLoad(SortedUnique(rel.tuples)));
+  db.EnableAdmissionControl({.max_concurrency = kMaxConcurrency,
+                             .max_queue_depth = kQueueDepth});
+
+  // The workload: a cheap clustered point lookup and a full-scan range
+  // (~1/4 selectivity), alternated per request slot.
+  Workload workload;
+  {
+    server::QueryRequest point;
+    point.table = "orders";
+    point.query.predicates.push_back(
+        RangeQuery{.attribute = 0, .lo = 2, .hi = 2});
+    server::QueryRequest scan;
+    scan.table = "orders";
+    const uint64_t radix = rel.schema->radices()[2];
+    scan.query.predicates.push_back(
+        RangeQuery{.attribute = 2, .lo = 0, .hi = radix / 4});
+    for (const auto& request : {point, scan}) {
+      auto expected = db.Select(request.table, request.query);
+      AVQDB_CHECK(expected.ok(), "reference query failed: %s",
+                  expected.status().ToString().c_str());
+      workload.requests.push_back(request);
+      workload.expected.push_back(std::move(*expected));
+    }
+  }
+
+  server::ServerOptions options;
+  options.num_workers = kWorkers;
+  server::Server srv(&db, options);
+  AVQDB_CHECK_OK(srv.Start());
+
+  std::vector<Row> rows;
+  for (const size_t connections : {1u, 4u, 8u}) {
+    for (const size_t depth : {1u, 4u}) {
+      rows.push_back(RunGrid(srv.port(), workload, connections, depth));
+    }
+  }
+  srv.Shutdown();
+
+  PrintRule();
+  std::printf("%5s %6s %7s %9s %6s %10s %9s %9s %9s\n", "conns", "depth",
+              "issued", "completed", "shed", "shed_rate", "qps", "p50_ms",
+              "p95_ms");
+  PrintRule();
+  for (const Row& row : rows) {
+    std::printf("%5zu %6zu %7llu %9llu %6llu %9.1f%% %9.1f %9.2f %9.2f\n",
+                row.connections, row.depth,
+                static_cast<unsigned long long>(row.issued),
+                static_cast<unsigned long long>(row.completed),
+                static_cast<unsigned long long>(row.shed),
+                100.0 * row.shed_rate(), row.throughput_qps(), row.p50_ms,
+                row.p95_ms);
+  }
+  PrintRule();
+  std::printf(
+      "every completed wire response matched the direct Select result;\n"
+      "overflow beyond %zu admission slots (+%zu queued) shed as typed\n"
+      "ResourceExhausted ERROR frames instead of queueing unboundedly\n",
+      kMaxConcurrency, kQueueDepth);
+
+  std::string results = "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    results += StringFormat(
+        "  {\"connections\": %zu, \"pipeline_depth\": %zu, "
+        "\"issued\": %llu, \"completed\": %llu, \"shed\": %llu, "
+        "\"shed_rate\": %.4f, \"throughput_qps\": %.2f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f}%s\n",
+        row.connections, row.depth,
+        static_cast<unsigned long long>(row.issued),
+        static_cast<unsigned long long>(row.completed),
+        static_cast<unsigned long long>(row.shed), row.shed_rate(),
+        row.throughput_qps(), row.p50_ms, row.p95_ms,
+        i + 1 < rows.size() ? "," : "");
+  }
+  results += "]";
+  const std::string bench = StringFormat(
+      "{\"name\": \"server\", \"tuples\": %zu, \"workers\": %zu, "
+      "\"max_concurrency\": %zu, \"queue_depth\": %zu, "
+      "\"batches_per_connection\": %d, "
+      "\"workload\": \"alternating clustered point / quarter-range scan\"}",
+      kTuples, kWorkers, kMaxConcurrency, kQueueDepth,
+      kBatchesPerConnection);
+  if (!WriteBenchJson("BENCH_server.json", bench, results)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace avqdb::bench
+
+int main() { return avqdb::bench::Main(); }

@@ -1,5 +1,6 @@
 #include "src/db/database.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/string_util.h"
@@ -54,7 +55,8 @@ void Database::EnableAdmissionControl(AdmissionOptions options) {
 
 Result<std::vector<OrdinalTuple>> Database::Select(
     const std::string& table_name, const ConjunctiveQuery& query,
-    const ExecContext* ctx, QueryStats* stats) {
+    const ExecContext* ctx, QueryStats* stats,
+    uint64_t memory_limit_bytes) {
   AVQDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
 
   // Admission first: a shed query must not consume budget or touch data.
@@ -65,7 +67,8 @@ Result<std::vector<OrdinalTuple>> Database::Select(
 
   // Per-query budget, child of the database-wide one. The governed copy
   // shares the caller's deadline and cancellation token.
-  MemoryBudget query_budget(query_memory_limit_, &memory_budget_);
+  MemoryBudget query_budget(
+      std::min(query_memory_limit_, memory_limit_bytes), &memory_budget_);
   ExecContext governed = ctx != nullptr ? *ctx : ExecContext();
   governed.set_memory_budget(&query_budget);
 

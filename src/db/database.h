@@ -73,11 +73,14 @@ class Database {
   // `ctx`, and runs the conjunctive selection. The caller's deadline /
   // cancellation token on `ctx` are honored end to end; any budget
   // already set on `ctx` is overridden for the duration of the call.
+  // `memory_limit_bytes` tightens this one query's budget below the
+  // database's per-query default (the effective cap is the smaller of
+  // the two) — the serving layer maps the wire max-memory field here.
   // Records the query's peak materialized bytes (db.exec.query_peak_bytes).
-  Result<std::vector<OrdinalTuple>> Select(const std::string& table_name,
-                                           const ConjunctiveQuery& query,
-                                           const ExecContext* ctx = nullptr,
-                                           QueryStats* stats = nullptr);
+  Result<std::vector<OrdinalTuple>> Select(
+      const std::string& table_name, const ConjunctiveQuery& query,
+      const ExecContext* ctx = nullptr, QueryStats* stats = nullptr,
+      uint64_t memory_limit_bytes = MemoryBudget::kUnlimited);
 
  private:
   struct Entry {

@@ -136,6 +136,24 @@ inline constexpr char kJoinOutputTuples[] = "db.join.output_tuples";
 inline constexpr char kPagerRetryDeadlineStops[] =
     "storage.pager.retry_deadline_stops";
 
+// --- network serving layer (server/server.cc) ---
+inline constexpr char kServerConnectionsAccepted[] =
+    "server.connections.accepted";
+inline constexpr char kServerConnectionsActive[] =
+    "server.connections.active";
+inline constexpr char kServerRequestsReceived[] =
+    "server.requests.received";
+inline constexpr char kServerRequestsOk[] = "server.requests.ok";
+inline constexpr char kServerRequestsErrors[] = "server.requests.errors";
+inline constexpr char kServerRequestsShed[] = "server.requests.shed";
+inline constexpr char kServerDisconnectCancels[] =
+    "server.requests.disconnect_cancels";
+inline constexpr char kServerProtocolErrors[] = "server.protocol.errors";
+inline constexpr char kServerBytesReceived[] = "server.net.bytes_received";
+inline constexpr char kServerBytesSent[] = "server.net.bytes_sent";
+inline constexpr char kServerRequestLatencyMicros[] =
+    "server.requests.latency_us";
+
 }  // namespace avqdb::obs
 
 #endif  // AVQDB_OBS_METRIC_NAMES_H_

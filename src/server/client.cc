@@ -1,0 +1,119 @@
+#include "src/server/client.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/server/socket_util.h"
+
+namespace avqdb::server {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                ClientOptions options) {
+  AVQDB_ASSIGN_OR_RETURN(int fd, ConnectTo(host, port));
+  std::unique_ptr<Client> client(new Client(fd, options));
+  const std::string hello =
+      EncodeFrame(Opcode::kHello, 0, Slice(EncodeHelloPayload()));
+  AVQDB_RETURN_IF_ERROR(SendAll(fd, hello.data(), hello.size()));
+  AVQDB_ASSIGN_OR_RETURN(
+      Frame frame, ReadFrame(fd, options.max_frame_bytes,
+                             options.io_timeout_ms, nullptr));
+  if (frame.opcode == Opcode::kError) {
+    Status server_error = Status::OK();
+    AVQDB_RETURN_IF_ERROR(
+        ParseErrorPayload(Slice(frame.payload), &server_error));
+    return server_error;
+  }
+  if (frame.opcode != Opcode::kWelcome) {
+    return Status::InvalidArgument(StringFormat(
+        "expected WELCOME, got opcode %u",
+        static_cast<unsigned>(frame.opcode)));
+  }
+  uint32_t version = 0;
+  AVQDB_RETURN_IF_ERROR(ParseWelcomePayload(Slice(frame.payload), &version,
+                                            &client->banner_));
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StringFormat("server speaks protocol version %u, client %u",
+                     version, kProtocolVersion));
+  }
+  return client;
+}
+
+Client::~Client() { CloseFd(fd_); }
+
+Status Client::SendQuery(uint64_t request_id, const QueryRequest& request) {
+  const std::string frame = EncodeFrame(
+      Opcode::kQuery, request_id, Slice(EncodeQueryPayload(request)));
+  return SendAll(fd_, frame.data(), frame.size());
+}
+
+Result<Client::QueryResponse> Client::ReadResponse() {
+  QueryResponse response;
+  bool first = true;
+  while (true) {
+    AVQDB_ASSIGN_OR_RETURN(
+        Frame frame, ReadFrame(fd_, options_.max_frame_bytes,
+                               options_.io_timeout_ms, nullptr));
+    if (first) {
+      response.request_id = frame.request_id;
+      first = false;
+    } else if (frame.request_id != response.request_id) {
+      return Status::InvalidArgument(StringFormat(
+          "interleaved response: id %llu inside response %llu",
+          static_cast<unsigned long long>(frame.request_id),
+          static_cast<unsigned long long>(response.request_id)));
+    }
+    switch (frame.opcode) {
+      case Opcode::kResultChunk:
+        AVQDB_RETURN_IF_ERROR(
+            ParseResultChunkPayload(Slice(frame.payload),
+                                    &response.tuples));
+        ++response.chunks;
+        break;
+      case Opcode::kResultEnd: {
+        uint64_t total = 0;
+        AVQDB_RETURN_IF_ERROR(
+            ParseResultEndPayload(Slice(frame.payload), &total));
+        if (total != response.tuples.size()) {
+          return Status::Corruption(StringFormat(
+              "RESULT_END total %llu != %zu streamed tuples",
+              static_cast<unsigned long long>(total),
+              response.tuples.size()));
+        }
+        return response;
+      }
+      case Opcode::kError:
+        AVQDB_RETURN_IF_ERROR(
+            ParseErrorPayload(Slice(frame.payload), &response.status));
+        response.tuples.clear();
+        return response;
+      default:
+        return Status::InvalidArgument(StringFormat(
+            "unexpected opcode %u in response stream",
+            static_cast<unsigned>(frame.opcode)));
+    }
+  }
+}
+
+Result<std::vector<OrdinalTuple>> Client::Query(
+    const QueryRequest& request) {
+  const uint64_t id = next_request_id_++;
+  AVQDB_RETURN_IF_ERROR(SendQuery(id, request));
+  AVQDB_ASSIGN_OR_RETURN(QueryResponse response, ReadResponse());
+  if (response.request_id != id) {
+    return Status::InvalidArgument(StringFormat(
+        "response id %llu for request %llu",
+        static_cast<unsigned long long>(response.request_id),
+        static_cast<unsigned long long>(id)));
+  }
+  if (!response.status.ok()) return response.status;
+  return std::move(response.tuples);
+}
+
+Status Client::SendGoodbye() {
+  const std::string frame = EncodeFrame(Opcode::kGoodbye, 0, Slice());
+  return SendAll(fd_, frame.data(), frame.size());
+}
+
+}  // namespace avqdb::server

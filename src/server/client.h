@@ -1,0 +1,92 @@
+// Client: blocking avqdb protocol client with explicit pipelining.
+//
+// Connect() performs the HELLO/WELCOME handshake. After that, either
+// call Query() for the one-shot send-and-wait path, or pipeline with
+// SendQuery() × N followed by ReadResponse() × N — the server answers a
+// session's requests strictly in send order, so responses come back in
+// the order the queries went out (each echoing its request id).
+//
+// The client is single-threaded by contract: callers serialize access
+// themselves (the tools and tests use one client per thread).
+
+#ifndef AVQDB_SERVER_CLIENT_H_
+#define AVQDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/server/protocol.h"
+
+namespace avqdb::server {
+
+struct ClientOptions {
+  // Bound on any single frame read; DeadlineExceeded past it. Covers
+  // lost-server hangs, not query time — size it above the largest
+  // per-request deadline in play. < 0 waits forever.
+  int io_timeout_ms = 30000;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  // Connects and handshakes.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      ClientOptions options = ClientOptions{});
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- pipelined interface ---
+
+  // Writes one QUERY frame. Request ids are caller-chosen; distinct ids
+  // per in-flight request keep responses attributable.
+  Status SendQuery(uint64_t request_id, const QueryRequest& request);
+
+  struct QueryResponse {
+    uint64_t request_id = 0;
+    // OK with `tuples` filled, or the server's error (reconstructed
+    // through the stable wire-code mapping, message preserved).
+    Status status;
+    std::vector<OrdinalTuple> tuples;
+    uint64_t chunks = 0;
+  };
+
+  // Reads frames until one response completes (RESULT_END or ERROR).
+  // Non-OK only for transport/protocol failures; server-side query
+  // errors arrive as an OK Result whose response.status is non-OK.
+  Result<QueryResponse> ReadResponse();
+
+  // --- one-shot convenience ---
+
+  // SendQuery + ReadResponse with an internally generated id; flattens
+  // a server-side error into the returned status.
+  Result<std::vector<OrdinalTuple>> Query(const QueryRequest& request);
+
+  // Announces a graceful close (in-flight requests still finish
+  // server-side). The connection is unusable afterwards.
+  Status SendGoodbye();
+
+  // The server banner from WELCOME.
+  const std::string& banner() const { return banner_; }
+
+  int fd() const { return fd_; }
+
+ private:
+  Client(int fd, ClientOptions options) : fd_(fd), options_(options) {}
+
+  int fd_;
+  ClientOptions options_;
+  std::string banner_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace avqdb::server
+
+#endif  // AVQDB_SERVER_CLIENT_H_

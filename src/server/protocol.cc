@@ -1,0 +1,233 @@
+#include "src/server/protocol.h"
+
+#include <limits>
+
+#include "src/common/coding.h"
+#include "src/common/logging.h"
+#include "src/server/wire_status.h"
+
+namespace avqdb::server {
+
+namespace {
+
+// Parse-time sanity bounds. Frames are length-limited before payload
+// parsing, so these only guard against small frames that *claim* huge
+// counts and would otherwise drive large reserve() calls.
+constexpr uint64_t kMaxTableNameBytes = 4096;
+constexpr uint64_t kMaxPredicates = 4096;
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated ") + what +
+                                 " payload");
+}
+
+}  // namespace
+
+bool IsKnownOpcode(uint8_t opcode) {
+  return opcode >= static_cast<uint8_t>(Opcode::kHello) &&
+         opcode <= static_cast<uint8_t>(Opcode::kGoodbye);
+}
+
+FrameHeader DecodeFrameHeader(const uint8_t* src) {
+  FrameHeader header;
+  header.payload_length = DecodeFixed32(src);
+  header.opcode = src[4];
+  header.request_id = DecodeFixed64(src + 5);
+  return header;
+}
+
+void AppendFrame(std::string* dst, Opcode opcode, uint64_t request_id,
+                 const Slice& payload) {
+  AVQDB_CHECK(payload.size() <= std::numeric_limits<uint32_t>::max(),
+              "frame payload too large: %zu", payload.size());
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  dst->push_back(static_cast<char>(opcode));
+  PutFixed64(dst, request_id);
+  if (!payload.empty()) {
+    dst->append(reinterpret_cast<const char*>(payload.data()),
+                payload.size());
+  }
+}
+
+std::string EncodeFrame(Opcode opcode, uint64_t request_id,
+                        const Slice& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(&frame, opcode, request_id, payload);
+  return frame;
+}
+
+// --- HELLO / WELCOME ---
+
+std::string EncodeHelloPayload(uint32_t version) {
+  std::string payload;
+  PutFixed32(&payload, kHelloMagic);
+  PutFixed32(&payload, version);
+  return payload;
+}
+
+Status ParseHelloPayload(Slice payload, uint32_t* version) {
+  if (payload.size() < 8) return Truncated("HELLO");
+  if (DecodeFixed32(payload.data()) != kHelloMagic) {
+    return Status::InvalidArgument("bad HELLO magic");
+  }
+  *version = DecodeFixed32(payload.data() + 4);
+  return Status::OK();
+}
+
+std::string EncodeWelcomePayload(uint32_t version,
+                                 const std::string& banner) {
+  std::string payload;
+  PutFixed32(&payload, version);
+  PutLengthPrefixed(&payload, Slice(banner));
+  return payload;
+}
+
+Status ParseWelcomePayload(Slice payload, uint32_t* version,
+                           std::string* banner) {
+  if (payload.size() < 4) return Truncated("WELCOME");
+  *version = DecodeFixed32(payload.data());
+  payload.RemovePrefix(4);
+  Slice banner_slice;
+  if (!GetLengthPrefixed(&payload, &banner_slice)) {
+    return Truncated("WELCOME");
+  }
+  *banner = banner_slice.ToString();
+  return Status::OK();
+}
+
+// --- QUERY ---
+
+std::string EncodeQueryPayload(const QueryRequest& request) {
+  std::string payload;
+  PutLengthPrefixed(&payload, Slice(request.table));
+  PutFixed32(&payload, request.deadline_ms);
+  PutFixed64(&payload, request.max_memory_bytes);
+  PutVarint32(&payload,
+              static_cast<uint32_t>(request.query.predicates.size()));
+  for (const RangeQuery& predicate : request.query.predicates) {
+    PutVarint64(&payload, predicate.attribute);
+    PutVarint64(&payload, predicate.lo);
+    PutVarint64(&payload, predicate.hi);
+  }
+  return payload;
+}
+
+Status ParseQueryPayload(Slice payload, QueryRequest* request) {
+  Slice table;
+  if (!GetLengthPrefixed(&payload, &table)) return Truncated("QUERY");
+  if (table.size() > kMaxTableNameBytes) {
+    return Status::InvalidArgument("QUERY table name too long");
+  }
+  request->table = table.ToString();
+  if (payload.size() < 12) return Truncated("QUERY");
+  request->deadline_ms = DecodeFixed32(payload.data());
+  request->max_memory_bytes = DecodeFixed64(payload.data() + 4);
+  payload.RemovePrefix(12);
+  uint32_t num_predicates = 0;
+  if (!GetVarint32(&payload, &num_predicates)) return Truncated("QUERY");
+  if (num_predicates > kMaxPredicates) {
+    return Status::InvalidArgument("QUERY predicate count too large");
+  }
+  request->query.predicates.clear();
+  request->query.predicates.reserve(num_predicates);
+  for (uint32_t i = 0; i < num_predicates; ++i) {
+    uint64_t attribute = 0, lo = 0, hi = 0;
+    if (!GetVarint64(&payload, &attribute) ||
+        !GetVarint64(&payload, &lo) || !GetVarint64(&payload, &hi)) {
+      return Truncated("QUERY");
+    }
+    request->query.predicates.push_back(RangeQuery{
+        .attribute = static_cast<size_t>(attribute), .lo = lo, .hi = hi});
+  }
+  if (!payload.empty()) {
+    return Status::InvalidArgument("trailing bytes after QUERY payload");
+  }
+  return Status::OK();
+}
+
+// --- RESULT_CHUNK / RESULT_END ---
+
+std::string EncodeResultChunkPayload(const std::vector<OrdinalTuple>& tuples,
+                                     size_t begin, size_t end) {
+  AVQDB_CHECK(begin <= end && end <= tuples.size(),
+              "bad chunk range [%zu, %zu) of %zu", begin, end,
+              tuples.size());
+  std::string payload;
+  const size_t arity = begin < end ? tuples[begin].size() : 0;
+  PutVarint32(&payload, static_cast<uint32_t>(arity));
+  PutVarint32(&payload, static_cast<uint32_t>(end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    AVQDB_CHECK(tuples[i].size() == arity, "ragged result tuple arity");
+    for (uint64_t digit : tuples[i]) PutVarint64(&payload, digit);
+  }
+  return payload;
+}
+
+Status ParseResultChunkPayload(Slice payload,
+                               std::vector<OrdinalTuple>* out) {
+  uint32_t arity = 0, count = 0;
+  if (!GetVarint32(&payload, &arity) || !GetVarint32(&payload, &count)) {
+    return Truncated("RESULT_CHUNK");
+  }
+  // Each digit is at least one byte: a cheap structural bound before any
+  // reserve sized from wire-controlled counts.
+  if (static_cast<uint64_t>(arity) * count > payload.size()) {
+    return Status::InvalidArgument("RESULT_CHUNK counts exceed payload");
+  }
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    OrdinalTuple tuple(arity);
+    for (uint32_t a = 0; a < arity; ++a) {
+      if (!GetVarint64(&payload, &tuple[a])) {
+        return Truncated("RESULT_CHUNK");
+      }
+    }
+    out->push_back(std::move(tuple));
+  }
+  if (!payload.empty()) {
+    return Status::InvalidArgument(
+        "trailing bytes after RESULT_CHUNK payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeResultEndPayload(uint64_t total_tuples) {
+  std::string payload;
+  PutVarint64(&payload, total_tuples);
+  return payload;
+}
+
+Status ParseResultEndPayload(Slice payload, uint64_t* total_tuples) {
+  if (!GetVarint64(&payload, total_tuples)) return Truncated("RESULT_END");
+  if (!payload.empty()) {
+    return Status::InvalidArgument(
+        "trailing bytes after RESULT_END payload");
+  }
+  return Status::OK();
+}
+
+// --- ERROR ---
+
+std::string EncodeErrorPayload(const Status& status) {
+  AVQDB_CHECK(!status.ok(), "ERROR frame from an OK status");
+  std::string payload;
+  PutFixed32(&payload, WireCodeForStatus(status.code()));
+  PutLengthPrefixed(&payload, Slice(status.message()));
+  return payload;
+}
+
+Status ParseErrorPayload(Slice payload, Status* error) {
+  if (payload.size() < 4) return Truncated("ERROR");
+  const uint32_t wire_code = DecodeFixed32(payload.data());
+  payload.RemovePrefix(4);
+  Slice message;
+  if (!GetLengthPrefixed(&payload, &message)) return Truncated("ERROR");
+  if (wire_code == 0) {
+    return Status::InvalidArgument("ERROR frame carrying the OK code");
+  }
+  *error = MakeWireStatus(wire_code, message.ToString());
+  return Status::OK();
+}
+
+}  // namespace avqdb::server

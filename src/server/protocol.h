@@ -1,0 +1,140 @@
+// The avqdb wire protocol: length-prefixed binary frames over TCP.
+//
+// Every message is one frame (docs/PROTOCOL.md is the normative layout):
+//
+//   offset  size  field
+//   0       4     payload length (little-endian uint32, bytes after the
+//                 13-byte header; bounded by the peer's max_frame_bytes)
+//   4       1     opcode (Opcode below)
+//   5       8     request id (little-endian uint64; client-chosen for
+//                 requests, echoed verbatim on every response frame)
+//   13      N     opcode-specific payload
+//
+// Conversation: the client opens with HELLO (magic + version) and the
+// server answers WELCOME or ERROR+close. After that the client may
+// pipeline any number of QUERY frames with distinct request ids; the
+// server executes each session's requests in arrival order and answers
+// each with zero or more RESULT_CHUNK frames followed by RESULT_END, or
+// a single ERROR frame. GOODBYE announces a graceful close: in-flight
+// requests finish and their responses flush before the server closes.
+// An EOF *without* GOODBYE is an abrupt disconnect: the server cancels
+// the session's unfinished requests (the wire's CancellationToken).
+//
+// Integer fields use the library's standard encodings (common/coding.h):
+// fixed-width little-endian where a size is structural, LEB128 varints
+// for counts and tuple digits.
+
+#ifndef AVQDB_SERVER_PROTOCOL_H_
+#define AVQDB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/db/query.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb::server {
+
+// Version negotiated in HELLO/WELCOME. Bump on incompatible change.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// First payload field of HELLO ("AVQP" read as a little-endian uint32);
+// rejects non-avqdb peers before any allocation is sized from the wire.
+inline constexpr uint32_t kHelloMagic = 0x50515641u;
+
+inline constexpr size_t kFrameHeaderBytes = 13;
+
+// Hard ceiling a frame length field may carry, server- and client-side
+// (ServerOptions/Client::Options may configure lower). A length above
+// the peer's limit is a protocol error, answered before any allocation.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class Opcode : uint8_t {
+  kHello = 1,        // client -> server: magic + version
+  kWelcome = 2,      // server -> client: version + banner
+  kQuery = 3,        // client -> server: table + governance + predicates
+  kResultChunk = 4,  // server -> client: a batch of result tuples
+  kResultEnd = 5,    // server -> client: end of stream + total count
+  kError = 6,        // server -> client: wire status code + message
+  kGoodbye = 7,      // client -> server: graceful close
+};
+
+bool IsKnownOpcode(uint8_t opcode);
+
+struct FrameHeader {
+  uint32_t payload_length = 0;
+  uint8_t opcode = 0;
+  uint64_t request_id = 0;
+};
+
+// `src` must hold kFrameHeaderBytes.
+FrameHeader DecodeFrameHeader(const uint8_t* src);
+
+// A parsed frame (payload owned).
+struct Frame {
+  Opcode opcode = Opcode::kError;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+// Appends header + payload to `dst`.
+void AppendFrame(std::string* dst, Opcode opcode, uint64_t request_id,
+                 const Slice& payload);
+std::string EncodeFrame(Opcode opcode, uint64_t request_id,
+                        const Slice& payload);
+
+// --- HELLO / WELCOME ---
+
+std::string EncodeHelloPayload(uint32_t version = kProtocolVersion);
+// InvalidArgument on bad magic / truncation; the (possibly unsupported)
+// version is still returned so the server can name it in the error.
+Status ParseHelloPayload(Slice payload, uint32_t* version);
+
+std::string EncodeWelcomePayload(uint32_t version,
+                                 const std::string& banner);
+Status ParseWelcomePayload(Slice payload, uint32_t* version,
+                           std::string* banner);
+
+// --- QUERY ---
+
+// The wire image of one Database::Select call.
+struct QueryRequest {
+  std::string table;
+  // 0 = no deadline. The server starts the clock when it parses the
+  // frame, so queue time behind pipelined predecessors counts.
+  uint32_t deadline_ms = 0;
+  // 0 = no per-request cap (the database's own limits still apply).
+  uint64_t max_memory_bytes = 0;
+  ConjunctiveQuery query;
+};
+
+std::string EncodeQueryPayload(const QueryRequest& request);
+Status ParseQueryPayload(Slice payload, QueryRequest* request);
+
+// --- RESULT_CHUNK / RESULT_END ---
+
+// Encodes tuples[begin, end) (all of arity `arity`) as one chunk.
+std::string EncodeResultChunkPayload(const std::vector<OrdinalTuple>& tuples,
+                                     size_t begin, size_t end);
+// Appends the chunk's tuples to *out.
+Status ParseResultChunkPayload(Slice payload,
+                               std::vector<OrdinalTuple>* out);
+
+std::string EncodeResultEndPayload(uint64_t total_tuples);
+Status ParseResultEndPayload(Slice payload, uint64_t* total_tuples);
+
+// --- ERROR ---
+
+// `status` must be non-OK (an OK ERROR frame is a programmer error).
+std::string EncodeErrorPayload(const Status& status);
+// Reconstructs the carried Status into *error (see wire_status.h for
+// the code mapping); returns non-OK only when the payload itself is
+// malformed.
+Status ParseErrorPayload(Slice payload, Status* error);
+
+}  // namespace avqdb::server
+
+#endif  // AVQDB_SERVER_PROTOCOL_H_

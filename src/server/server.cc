@@ -1,0 +1,490 @@
+#include "src/server/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+#include "src/server/socket_util.h"
+
+namespace avqdb::server {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter* connections_accepted;
+  obs::Gauge* connections_active;
+  obs::Counter* requests_received;
+  obs::Counter* requests_ok;
+  obs::Counter* requests_errors;
+  obs::Counter* requests_shed;
+  obs::Counter* disconnect_cancels;
+  obs::Counter* protocol_errors;
+  obs::Counter* bytes_received;
+  obs::Counter* bytes_sent;
+  obs::Histogram* request_latency_us;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return ServerMetrics{
+          registry.GetCounter(obs::kServerConnectionsAccepted),
+          registry.GetGauge(obs::kServerConnectionsActive),
+          registry.GetCounter(obs::kServerRequestsReceived),
+          registry.GetCounter(obs::kServerRequestsOk),
+          registry.GetCounter(obs::kServerRequestsErrors),
+          registry.GetCounter(obs::kServerRequestsShed),
+          registry.GetCounter(obs::kServerDisconnectCancels),
+          registry.GetCounter(obs::kServerProtocolErrors),
+          registry.GetCounter(obs::kServerBytesReceived),
+          registry.GetCounter(obs::kServerBytesSent),
+          registry.GetHistogram(obs::kServerRequestLatencyMicros),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+// One connection: a reader thread feeding a per-session strand of query
+// executions on the server's worker pool. Lifetime is shared between
+// the server's session list, the reader thread and any queued strand
+// task (all hold shared_ptrs).
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  Session(Server* server, int fd, uint64_t session_id)
+      : server_(server), fd_(fd), session_id_(session_id) {
+    ServerMetrics::Get().connections_active->Add(1);
+  }
+
+  ~Session() { CloseFd(fd_); }
+
+  void Start() {
+    auto self = shared_from_this();
+    reader_ = std::thread([self] { self->ReaderLoop(); });
+  }
+
+  // Graceful drain: stop reading (the kernel delivers EOF to the reader
+  // thread); queued and in-flight requests still finish and flush.
+  void BeginDrain() { ::shutdown(fd_, SHUT_RD); }
+
+  // Hard stop: cancel unfinished requests, tear the socket down, tell
+  // the reader to exit.
+  void Abort() {
+    abort_.store(true, std::memory_order_relaxed);
+    OnPeerGone(/*graceful=*/false);
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  bool Finished() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reader_done_ && pending_ == 0 && !strand_running_;
+  }
+
+  void Join() {
+    if (reader_.joinable()) reader_.join();
+  }
+
+ private:
+  struct PendingRequest {
+    uint64_t id = 0;
+    QueryRequest wire;
+    ExecContext ctx;  // deadline set at parse time; token cancellable
+    ExecContext::Clock::time_point arrival;
+  };
+
+  void ReaderLoop() {
+    auto& metrics = ServerMetrics::Get();
+    while (!abort_.load(std::memory_order_relaxed)) {
+      Result<Frame> frame =
+          ReadFrame(fd_, server_->options().max_frame_bytes,
+                    /*timeout_ms=*/-1, &abort_);
+      if (!frame.ok()) {
+        const Status& status = frame.status();
+        if (status.IsNotFound()) {
+          // Clean EOF at a frame boundary. Graceful only after GOODBYE
+          // or when the server itself half-closed us for drain.
+          OnPeerGone(goodbye_received_ || server_->draining());
+        } else if (status.IsCancelled()) {
+          // Abort() already cancelled everything.
+        } else {
+          // Truncated/oversized frame or socket error: answer when the
+          // failure is structural (the peer may still be reading), then
+          // drop the connection.
+          metrics.protocol_errors->Increment();
+          if (status.IsInvalidArgument()) SendError(0, status);
+          OnPeerGone(/*graceful=*/false);
+        }
+        break;
+      }
+      metrics.bytes_received->Add(kFrameHeaderBytes +
+                                  frame->payload.size());
+      if (!HandleFrame(std::move(*frame))) {
+        OnPeerGone(goodbye_received_ || server_->draining());
+        break;
+      }
+    }
+    metrics.connections_active->Subtract(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    reader_done_ = true;
+  }
+
+  // False stops the reader (protocol error or GOODBYE).
+  bool HandleFrame(Frame frame) {
+    auto& metrics = ServerMetrics::Get();
+    if (!IsKnownOpcode(static_cast<uint8_t>(frame.opcode))) {
+      metrics.protocol_errors->Increment();
+      SendError(frame.request_id,
+                Status::InvalidArgument(StringFormat(
+                    "unknown opcode %u",
+                    static_cast<unsigned>(frame.opcode))));
+      return false;
+    }
+    if (!hello_done_) {
+      if (frame.opcode != Opcode::kHello) {
+        metrics.protocol_errors->Increment();
+        SendError(frame.request_id,
+                  Status::InvalidArgument("expected HELLO"));
+        return false;
+      }
+      return HandleHello(frame);
+    }
+    switch (frame.opcode) {
+      case Opcode::kQuery:
+        return HandleQuery(frame);
+      case Opcode::kGoodbye:
+        goodbye_received_ = true;
+        return false;
+      case Opcode::kHello:
+      default:
+        // Server-to-client opcodes (or a second HELLO) from a client
+        // are protocol errors.
+        metrics.protocol_errors->Increment();
+        SendError(frame.request_id,
+                  Status::InvalidArgument(StringFormat(
+                      "unexpected opcode %u from client",
+                      static_cast<unsigned>(frame.opcode))));
+        return false;
+    }
+  }
+
+  bool HandleHello(const Frame& frame) {
+    auto& metrics = ServerMetrics::Get();
+    uint32_t version = 0;
+    Status status = ParseHelloPayload(Slice(frame.payload), &version);
+    if (status.ok() && version != kProtocolVersion) {
+      status = Status::InvalidArgument(
+          StringFormat("unsupported protocol version %u (server speaks %u)",
+                       version, kProtocolVersion));
+    }
+    if (!status.ok()) {
+      metrics.protocol_errors->Increment();
+      SendError(frame.request_id, status);
+      return false;
+    }
+    hello_done_ = true;
+    SendFrame(Opcode::kWelcome, frame.request_id,
+              EncodeWelcomePayload(kProtocolVersion,
+                                   server_->options().banner));
+    return true;
+  }
+
+  bool HandleQuery(const Frame& frame) {
+    auto& metrics = ServerMetrics::Get();
+    metrics.requests_received->Increment();
+    PendingRequest request;
+    request.id = frame.request_id;
+    Status status = ParseQueryPayload(Slice(frame.payload), &request.wire);
+    if (!status.ok()) {
+      metrics.protocol_errors->Increment();
+      metrics.requests_errors->Increment();
+      SendError(frame.request_id, status);
+      return false;
+    }
+    request.arrival = ExecContext::Clock::now();
+    if (request.wire.deadline_ms > 0) {
+      request.ctx.set_deadline(
+          request.arrival +
+          std::chrono::milliseconds(request.wire.deadline_ms));
+    }
+    bool schedule = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(request));
+      ++pending_;
+      if (!strand_running_) {
+        strand_running_ = true;
+        schedule = true;
+      }
+    }
+    if (schedule) {
+      auto self = shared_from_this();
+      server_->workers_->Submit([self] { self->StrandLoop(); });
+    }
+    return true;
+  }
+
+  // Runs this session's requests in arrival order until the queue is
+  // empty; at most one StrandLoop per session is on the pool at a time.
+  void StrandLoop() {
+    while (true) {
+      PendingRequest request;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.empty()) {
+          strand_running_ = false;
+          return;
+        }
+        request = std::move(queue_.front());
+        queue_.pop_front();
+        current_ = request.ctx;  // shares the cancellation token
+      }
+      Execute(request);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        current_.reset();
+        --pending_;
+      }
+    }
+  }
+
+  void Execute(const PendingRequest& request) {
+    auto& metrics = ServerMetrics::Get();
+    const uint64_t memory_limit =
+        request.wire.max_memory_bytes == 0 ? MemoryBudget::kUnlimited
+                                           : request.wire.max_memory_bytes;
+    Result<std::vector<OrdinalTuple>> result =
+        server_->db()->Select(request.wire.table, request.wire.query,
+                              &request.ctx, /*stats=*/nullptr,
+                              memory_limit);
+    const auto elapsed = ExecContext::Clock::now() - request.arrival;
+    metrics.request_latency_us->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    if (!result.ok()) {
+      metrics.requests_errors->Increment();
+      if (result.status().IsResourceExhausted()) {
+        metrics.requests_shed->Increment();
+      }
+      SendError(request.id, result.status());
+      return;
+    }
+    metrics.requests_ok->Increment();
+    StreamResult(request.id, *result);
+  }
+
+  void StreamResult(uint64_t request_id,
+                    const std::vector<OrdinalTuple>& tuples) {
+    const size_t chunk = std::max<size_t>(server_->options().chunk_tuples, 1);
+    for (size_t begin = 0; begin < tuples.size(); begin += chunk) {
+      const size_t end = std::min(tuples.size(), begin + chunk);
+      if (!SendFrame(Opcode::kResultChunk, request_id,
+                     EncodeResultChunkPayload(tuples, begin, end))
+               .ok()) {
+        return;  // peer gone; reader will notice and cancel the rest
+      }
+    }
+    SendFrame(Opcode::kResultEnd, request_id,
+              EncodeResultEndPayload(tuples.size()));
+  }
+
+  void SendError(uint64_t request_id, const Status& status) {
+    SendFrame(Opcode::kError, request_id, EncodeErrorPayload(status));
+  }
+
+  Status SendFrame(Opcode opcode, uint64_t request_id,
+                   const std::string& payload) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (!write_ok_.load(std::memory_order_relaxed)) {
+      return Status::IOError("session write side is closed");
+    }
+    std::string frame = EncodeFrame(opcode, request_id, Slice(payload));
+    Status status = SendAll(fd_, frame.data(), frame.size());
+    if (status.ok()) {
+      ServerMetrics::Get().bytes_sent->Add(frame.size());
+    } else {
+      write_ok_.store(false, std::memory_order_relaxed);
+    }
+    return status;
+  }
+
+  // The peer is gone (EOF, error, or server-side abort). A graceful
+  // departure (GOODBYE / server drain) lets unfinished requests run to
+  // completion; an abrupt one cancels them — the wire contract that
+  // disconnect frees the executor.
+  void OnPeerGone(bool graceful) {
+    if (graceful) return;
+    write_ok_.store(false, std::memory_order_relaxed);
+    size_t cancelled = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (disconnect_handled_) return;
+      disconnect_handled_ = true;
+      if (current_.has_value()) {
+        current_->Cancel();
+        ++cancelled;
+      }
+      for (PendingRequest& queued : queue_) {
+        queued.ctx.Cancel();
+        ++cancelled;
+      }
+    }
+    if (cancelled > 0) {
+      ServerMetrics::Get().disconnect_cancels->Add(cancelled);
+    }
+  }
+
+  Server* const server_;
+  const int fd_;
+  [[maybe_unused]] const uint64_t session_id_;
+
+  std::thread reader_;
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> write_ok_{true};
+  std::mutex write_mu_;
+
+  mutable std::mutex mu_;
+  std::deque<PendingRequest> queue_;
+  std::optional<ExecContext> current_;  // ctx of the executing request
+  size_t pending_ = 0;                  // queued + executing
+  bool strand_running_ = false;
+  bool reader_done_ = false;
+  bool disconnect_handled_ = false;
+
+  // Reader-thread-only state.
+  bool hello_done_ = false;
+  bool goodbye_received_ = false;
+};
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Server::~Server() { Shutdown(std::chrono::milliseconds(0)); }
+
+Status Server::Start() {
+  AVQDB_CHECK(!started_, "Server::Start() called twice");
+  AVQDB_ASSIGN_OR_RETURN(listen_fd_,
+                         ListenOn(options_.bind_address, options_.port));
+  Result<uint16_t> port = BoundPort(listen_fd_);
+  if (!port.ok()) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = *port;
+  workers_ = std::make_unique<ThreadPool>(
+      ResolveParallelism(options_.num_workers));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  auto& metrics = ServerMetrics::Get();
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    // Reap on every wakeup (not just on new connections) so finished
+    // sessions are released promptly on an otherwise idle server.
+    ReapFinishedSessions();
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetNoDelay(fd);
+    if (draining_.load(std::memory_order_relaxed)) {
+      CloseFd(fd);
+      continue;
+    }
+    metrics.connections_accepted->Increment();
+    std::shared_ptr<Session> session;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      session = std::make_shared<Session>(this, fd, next_session_id_++);
+      sessions_.push_back(session);
+    }
+    session->Start();
+    ReapFinishedSessions();
+  }
+}
+
+void Server::ReapFinishedSessions() {
+  std::vector<std::shared_ptr<Session>> finished;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.begin();
+    while (it != sessions_.end()) {
+      if ((*it)->Finished()) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& session : finished) session->Join();
+}
+
+size_t Server::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+void Server::Shutdown(std::chrono::milliseconds drain_timeout) {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // 1. Stop accepting.
+  draining_.store(true, std::memory_order_relaxed);
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Half-close every session: no further requests, but in-flight
+  //    work keeps running and responses keep flowing out.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions = sessions_;
+  }
+  for (auto& session : sessions) session->BeginDrain();
+
+  // 3. Wait for the drain, bounded.
+  const auto deadline =
+      std::chrono::steady_clock::now() + drain_timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all_finished = true;
+    for (auto& session : sessions) {
+      if (!session->Finished()) {
+        all_finished = false;
+        break;
+      }
+    }
+    if (all_finished) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // 4. Cancel and tear down whatever outlived the drain window.
+  for (auto& session : sessions) {
+    if (!session->Finished()) session->Abort();
+  }
+
+  // 5. Readers exit (EOF or abort flag), then the pool drains the
+  //    remaining strands (cancelled, so they unwind at the next block).
+  for (auto& session : sessions) session->Join();
+  workers_.reset();
+
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.clear();
+}
+
+}  // namespace avqdb::server

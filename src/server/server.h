@@ -1,0 +1,123 @@
+// Server: the TCP front end over Database::Select.
+//
+// One accept thread hands each connection to a Session, whose dedicated
+// reader thread parses frames and enqueues QUERY requests; execution
+// runs on a shared worker ThreadPool, one strand per session (a
+// session's requests execute strictly in arrival order, so pipelined
+// responses come back in request order; different sessions run in
+// parallel up to the pool width).
+//
+// Governance is wired end to end: the per-request deadline-ms and
+// max-memory fields become the ExecContext handed to Database::Select,
+// so admission control, memory budgets and deadline checks all apply to
+// wire traffic exactly as to library callers — and an abrupt client
+// disconnect (EOF without GOODBYE) trips the CancellationToken of every
+// unfinished request on that session, unwinding in-flight work at the
+// next block boundary.
+//
+// Shutdown(drain_timeout) is the graceful SIGTERM path: stop accepting,
+// stop reading from every session, let in-flight requests finish and
+// their responses flush within the timeout, cancel whatever remains,
+// then join everything. All activity reports into the metrics registry
+// under server.* (docs/OBSERVABILITY.md).
+
+#ifndef AVQDB_SERVER_SERVER_H_
+#define AVQDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/db/database.h"
+#include "src/server/protocol.h"
+
+namespace avqdb::server {
+
+class Session;
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  // 0 binds an ephemeral port; read it back with port() after Start().
+  uint16_t port = 0;
+  // Worker threads executing queries (0 = hardware parallelism). This
+  // caps *execution* parallelism; admission control on the Database
+  // additionally bounds concurrent Selects and sheds overload.
+  size_t num_workers = 0;
+  // Frames whose length field exceeds this are answered with ERROR and
+  // the connection is closed, before any allocation.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Tuples per RESULT_CHUNK frame.
+  size_t chunk_tuples = 512;
+  std::string banner = "avqdb";
+};
+
+class Server {
+ public:
+  // `db` is not owned and must outlive the server.
+  explicit Server(Database* db, ServerOptions options = ServerOptions{});
+  ~Server();  // Shutdown(0ms) if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and spawns the accept thread. Fails without side
+  // effects (the server may not be restarted after Shutdown).
+  Status Start();
+
+  // The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  // Graceful drain: stop accepting, half-close every session's read
+  // side (no new requests), wait up to `drain_timeout` for in-flight
+  // requests to finish and flush, then cancel and close whatever is
+  // left. Idempotent; safe to call from a signal-watching thread.
+  void Shutdown(std::chrono::milliseconds drain_timeout =
+                    std::chrono::milliseconds(5000));
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  // Sessions accepted and not yet reaped (live connections plus
+  // finished ones awaiting cleanup).
+  size_t active_sessions() const;
+
+  Database* db() const { return db_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  friend class Session;
+
+  void AcceptLoop();
+  // Joins and erases sessions whose reader exited and whose strand
+  // drained. Called from the accept loop and from Shutdown.
+  void ReapFinishedSessions();
+
+  Database* const db_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread accept_thread_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+};
+
+}  // namespace avqdb::server
+
+#endif  // AVQDB_SERVER_SERVER_H_

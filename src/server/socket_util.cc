@@ -1,0 +1,185 @@
+#include "src/server/socket_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace avqdb::server {
+
+namespace {
+
+// Poll slice between abort-flag checks.
+constexpr int kPollSliceMs = 50;
+
+Status Errno(const char* what) {
+  return Status::IOError(
+      StringFormat("%s: %s", what, std::strerror(errno)));
+}
+
+Status ParseAddress(const std::string& address, uint16_t port,
+                    sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StringFormat("not an IPv4 address: \"%s\"", address.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> ListenOn(const std::string& address, uint16_t port,
+                     int backlog) {
+  sockaddr_in addr;
+  AVQDB_RETURN_IF_ERROR(ParseAddress(address, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = Errno("bind");
+    CloseFd(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = Errno("listen");
+    CloseFd(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<uint16_t> BoundPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<int> ConnectTo(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  AVQDB_RETURN_IF_ERROR(ParseAddress(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status status = Errno("connect");
+    CloseFd(fd);
+    return status;
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+Status SendAll(int fd, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvExact(int fd, void* data, size_t n, int timeout_ms,
+                         const std::atomic<bool>* abort) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      timeout_ms >= 0
+          ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+          : Clock::time_point::max();
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    if (abort != nullptr && abort->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("socket read aborted");
+    }
+    int slice = kPollSliceMs;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0) return Status::DeadlineExceeded("socket read timeout");
+      slice = static_cast<int>(
+          std::min<long long>(left, kPollSliceMs));
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, slice);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready == 0) continue;  // slice elapsed; re-check abort/deadline
+    const ssize_t got = ::recv(fd, p + done, n - done, 0);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Errno("recv");
+    }
+    if (got == 0) return done;  // EOF
+    done += static_cast<size_t>(got);
+  }
+  return done;
+}
+
+Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes, int timeout_ms,
+                        const std::atomic<bool>* abort) {
+  uint8_t header[kFrameHeaderBytes];
+  AVQDB_ASSIGN_OR_RETURN(
+      size_t got, RecvExact(fd, header, sizeof(header), timeout_ms, abort));
+  if (got == 0) return Status::NotFound("peer closed the connection");
+  if (got < sizeof(header)) {
+    return Status::InvalidArgument("truncated frame header");
+  }
+  const FrameHeader parsed = DecodeFrameHeader(header);
+  if (parsed.payload_length > max_frame_bytes) {
+    return Status::InvalidArgument(
+        StringFormat("frame payload of %u bytes exceeds the %u-byte limit",
+                     parsed.payload_length, max_frame_bytes));
+  }
+  Frame frame;
+  frame.opcode = static_cast<Opcode>(parsed.opcode);
+  frame.request_id = parsed.request_id;
+  frame.payload.resize(parsed.payload_length);
+  if (parsed.payload_length > 0) {
+    AVQDB_ASSIGN_OR_RETURN(
+        got, RecvExact(fd, frame.payload.data(), frame.payload.size(),
+                       timeout_ms, abort));
+    if (got < frame.payload.size()) {
+      return Status::InvalidArgument("truncated frame payload");
+    }
+  }
+  return frame;
+}
+
+}  // namespace avqdb::server

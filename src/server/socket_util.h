@@ -1,0 +1,68 @@
+// Thin POSIX TCP helpers shared by the server, the client library and
+// the raw-socket test harness (tests/server_test_util.h).
+//
+// Everything here is blocking-with-poll: reads poll in short slices so
+// callers can bound them with a timeout and/or an abort flag (the
+// server's reader threads use the flag to exit promptly on shutdown).
+// Writes use MSG_NOSIGNAL so a peer that closed its read side surfaces
+// as an IOError, never as SIGPIPE.
+
+#ifndef AVQDB_SERVER_SOCKET_UTIL_H_
+#define AVQDB_SERVER_SOCKET_UTIL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/server/protocol.h"
+
+namespace avqdb::server {
+
+// Creates a listening TCP socket bound to address:port (port 0 picks an
+// ephemeral port) and returns its fd.
+Result<int> ListenOn(const std::string& address, uint16_t port,
+                     int backlog = 64);
+
+// The port a bound socket actually listens on (resolves port 0).
+Result<uint16_t> BoundPort(int fd);
+
+// Connects to host:port; returns the connected fd (TCP_NODELAY set).
+Result<int> ConnectTo(const std::string& host, uint16_t port);
+
+// Disables Nagle. Applied to both ends of every protocol connection:
+// request/response frames are small and latency-bound, and coalescing
+// a RESULT_END behind a delayed ACK costs tens of milliseconds.
+void SetNoDelay(int fd);
+
+void CloseFd(int fd);
+
+// Writes all n bytes. IOError on any failure (including a peer that
+// went away: EPIPE/ECONNRESET — delivered as a status, not a signal).
+Status SendAll(int fd, const void* data, size_t n);
+
+// Reads exactly n bytes. Returns the number of bytes actually read:
+// n on success, 0 on clean EOF before the first byte, and anything in
+// between when the peer closed mid-object. Non-OK only for socket
+// errors (IOError), timeout (DeadlineExceeded, timeout_ms >= 0), or a
+// tripped abort flag (Cancelled). `abort` may be null.
+Result<size_t> RecvExact(int fd, void* data, size_t n, int timeout_ms,
+                         const std::atomic<bool>* abort);
+
+// Reads one whole frame (header + payload), enforcing the length bound
+// *before* sizing any buffer from the wire. Status taxonomy:
+//   * NotFound          — clean EOF at a frame boundary (peer closed);
+//   * InvalidArgument   — truncated header/payload, or payload length
+//                         beyond max_frame_bytes (message says which);
+//   * DeadlineExceeded  — timeout_ms elapsed (timeout_ms < 0 = none);
+//   * Cancelled         — *abort became true;
+//   * IOError           — socket failure.
+// The opcode byte is NOT validated here — the caller decides how to
+// answer unknown opcodes.
+Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes, int timeout_ms,
+                        const std::atomic<bool>* abort);
+
+}  // namespace avqdb::server
+
+#endif  // AVQDB_SERVER_SOCKET_UTIL_H_

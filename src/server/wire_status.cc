@@ -1,0 +1,63 @@
+#include "src/server/wire_status.h"
+
+#include <utility>
+
+namespace avqdb::server {
+
+// The stable numbers happen to equal today's enum values — that is a
+// coincidence of history, not a rule. The switch (not a cast) is the
+// contract: changing the enum breaks compilation here instead of
+// silently renumbering the wire.
+uint32_t WireCodeForStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:                return 0;
+    case StatusCode::kInvalidArgument:   return 1;
+    case StatusCode::kNotFound:          return 2;
+    case StatusCode::kAlreadyExists:     return 3;
+    case StatusCode::kOutOfRange:        return 4;
+    case StatusCode::kCorruption:        return 5;
+    case StatusCode::kIOError:           return 6;
+    case StatusCode::kResourceExhausted: return 7;
+    case StatusCode::kUnimplemented:     return 8;
+    case StatusCode::kInternal:          return 9;
+    case StatusCode::kUnavailable:       return 10;
+    case StatusCode::kDeadlineExceeded:  return 11;
+    case StatusCode::kCancelled:         return 12;
+  }
+  return 9;  // unreachable with a well-formed enum; defensively kInternal
+}
+
+StatusCode StatusCodeForWire(uint32_t wire_code, bool* known) {
+  if (known != nullptr) *known = true;
+  switch (wire_code) {
+    case 0:  return StatusCode::kOk;
+    case 1:  return StatusCode::kInvalidArgument;
+    case 2:  return StatusCode::kNotFound;
+    case 3:  return StatusCode::kAlreadyExists;
+    case 4:  return StatusCode::kOutOfRange;
+    case 5:  return StatusCode::kCorruption;
+    case 6:  return StatusCode::kIOError;
+    case 7:  return StatusCode::kResourceExhausted;
+    case 8:  return StatusCode::kUnimplemented;
+    case 9:  return StatusCode::kInternal;
+    case 10: return StatusCode::kUnavailable;
+    case 11: return StatusCode::kDeadlineExceeded;
+    case 12: return StatusCode::kCancelled;
+    default:
+      if (known != nullptr) *known = false;
+      return StatusCode::kInternal;
+  }
+}
+
+Status MakeWireStatus(uint32_t wire_code, std::string message) {
+  bool known = true;
+  StatusCode code = StatusCodeForWire(wire_code, &known);
+  if (code == StatusCode::kOk) return Status::OK();
+  if (!known) {
+    message = "unknown wire error code " + std::to_string(wire_code) +
+              ": " + message;
+  }
+  return Status(code, std::move(message));
+}
+
+}  // namespace avqdb::server

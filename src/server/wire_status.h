@@ -1,0 +1,40 @@
+// Stable numeric wire codes for StatusCode.
+//
+// ERROR frames carry a numeric error code that remote clients — possibly
+// built from a different revision — switch on. The in-memory StatusCode
+// enum is free to grow or be reordered; the wire code is not. This table
+// pins one stable number per StatusCode, independent of the enum's
+// underlying values, so re-ordering the enum cannot silently change what
+// clients see (tests/server_protocol_test.cc pins every pair).
+//
+// Rules for extending:
+//   * never reuse or renumber an existing wire code;
+//   * new StatusCodes get the next free number and a line in the pinning
+//     test and docs/PROTOCOL.md;
+//   * decoding an unknown wire code degrades to kInternal (the client is
+//     older than the server) rather than failing the frame.
+
+#ifndef AVQDB_SERVER_WIRE_STATUS_H_
+#define AVQDB_SERVER_WIRE_STATUS_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace avqdb::server {
+
+// StatusCode -> stable wire code. Total: every enumerator maps.
+uint32_t WireCodeForStatus(StatusCode code);
+
+// Wire code -> StatusCode. Unknown codes return kInternal and set
+// *known = false (when non-null).
+StatusCode StatusCodeForWire(uint32_t wire_code, bool* known = nullptr);
+
+// Round-trips a Status through its wire representation (code + message).
+// Message content is preserved verbatim; the code survives exactly for
+// every current StatusCode (pinned by test).
+Status MakeWireStatus(uint32_t wire_code, std::string message);
+
+}  // namespace avqdb::server
+
+#endif  // AVQDB_SERVER_WIRE_STATUS_H_

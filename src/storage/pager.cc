@@ -105,7 +105,10 @@ Status Pager::ReadWithRetry(BlockId id, std::string* block) {
       }
     }
     std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-    ++stats_.read_retries;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.read_retries;
+    }
     PagerMetrics::Get().read_retries->Increment();
     status = device_->Read(id, block);
   }
@@ -114,7 +117,10 @@ Status Pager::ReadWithRetry(BlockId id, std::string* block) {
 
 Result<std::string> Pager::Read(BlockId id) {
   const PagerMetrics& metrics = PagerMetrics::Get();
-  ++stats_.logical_reads;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.logical_reads;
+  }
   metrics.logical_reads->Increment();
   if (pool_ != nullptr) {
     if (std::optional<std::string> cached = pool_->Get(id)) {
@@ -123,8 +129,11 @@ Result<std::string> Pager::Read(BlockId id) {
   }
   std::string block;
   AVQDB_RETURN_IF_ERROR(ReadWithRetry(id, &block));
-  ++stats_.physical_reads;
-  stats_.simulated_read_ms += disk_.BlockTimeMs(device_->block_size());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.physical_reads;
+    stats_.simulated_read_ms += disk_.BlockTimeMs(device_->block_size());
+  }
   metrics.physical_reads->Increment();
   metrics.bytes_read->Add(device_->block_size());
   if (pool_ != nullptr) pool_->Put(id, block);
@@ -133,8 +142,11 @@ Result<std::string> Pager::Read(BlockId id) {
 
 Status Pager::Write(BlockId id, Slice data) {
   AVQDB_RETURN_IF_ERROR(device_->Write(id, data));
-  ++stats_.writes;
-  stats_.simulated_write_ms += disk_.BlockTimeMs(device_->block_size());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.writes;
+    stats_.simulated_write_ms += disk_.BlockTimeMs(device_->block_size());
+  }
   const PagerMetrics& metrics = PagerMetrics::Get();
   metrics.writes->Increment();
   metrics.bytes_written->Add(device_->block_size());
@@ -149,14 +161,20 @@ Status Pager::Write(BlockId id, Slice data) {
 
 Result<BlockId> Pager::Allocate() {
   AVQDB_ASSIGN_OR_RETURN(BlockId id, device_->Allocate());
-  ++stats_.allocations;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.allocations;
+  }
   PagerMetrics::Get().allocations->Increment();
   return id;
 }
 
 Status Pager::Free(BlockId id) {
   AVQDB_RETURN_IF_ERROR(device_->Free(id));
-  ++stats_.frees;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frees;
+  }
   PagerMetrics::Get().frees->Increment();
   if (pool_ != nullptr) pool_->Erase(id);
   return Status::OK();

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/common/result.h"
@@ -67,11 +68,19 @@ class Pager {
   void SetRetryPolicy(RetryPolicy policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
-
-  // Snapshot helper for scoped measurements:
+  // Returns a consistent snapshot. Concurrent queries on the same table
+  // (the serving layer) hit one pager from many threads, so the counters
+  // live behind a mutex and escape only by value:
   //   IoStats before = pager.stats(); ...; IoStats delta = pager.stats() - before;
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = IoStats{};
+  }
+
   const DiskParameters& disk() const { return disk_; }
 
  private:
@@ -80,6 +89,7 @@ class Pager {
   BlockDevice* device_;
   DiskParameters disk_;
   std::unique_ptr<BufferPool> pool_;
+  mutable std::mutex stats_mu_;
   IoStats stats_;
   RetryPolicy retry_;
 };

@@ -1,0 +1,347 @@
+// Wire-protocol conformance: golden frame bytes, payload round-trips,
+// the stable wire-code table, and malformed-frame behavior against a
+// live server (the answer to any garbage is a well-formed ERROR frame
+// or a closed connection — never a crash or a hang).
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/coding.h"
+#include "src/server/protocol.h"
+#include "src/server/wire_status.h"
+#include "tests/server_test_util.h"
+
+namespace avqdb::server {
+namespace {
+
+using testing::RangeOn;
+using testing::RawConn;
+using testing::ServerFixture;
+
+std::string Bytes(std::initializer_list<uint8_t> bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+// --- golden frames: the byte layout is the contract -------------------
+
+TEST(ProtocolGolden, HelloFrameBytes) {
+  const std::string frame =
+      EncodeFrame(Opcode::kHello, 0, Slice(EncodeHelloPayload()));
+  // 4B LE payload length (8) | opcode 1 | 8B LE request id 0 |
+  // 4B LE magic "AVQP" | 4B LE version 1.
+  EXPECT_EQ(frame, Bytes({0x08, 0x00, 0x00, 0x00,                    //
+                          0x01,                                      //
+                          0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  //
+                          0x00,                                      //
+                          'A', 'V', 'Q', 'P',                        //
+                          0x01, 0x00, 0x00, 0x00}));
+}
+
+TEST(ProtocolGolden, FrameHeaderRoundTrip) {
+  const std::string frame =
+      EncodeFrame(Opcode::kQuery, 0x1122334455667788ull,
+                  Slice(std::string("abc")));
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 3);
+  const FrameHeader header =
+      DecodeFrameHeader(reinterpret_cast<const uint8_t*>(frame.data()));
+  EXPECT_EQ(header.payload_length, 3u);
+  EXPECT_EQ(header.opcode, static_cast<uint8_t>(Opcode::kQuery));
+  EXPECT_EQ(header.request_id, 0x1122334455667788ull);
+  EXPECT_EQ(frame.substr(kFrameHeaderBytes), "abc");
+}
+
+TEST(ProtocolGolden, ErrorFrameBytes) {
+  const std::string payload =
+      EncodeErrorPayload(Status::NotFound("no such table"));
+  // 4B LE wire code (kNotFound = 2) | varint length | message.
+  ASSERT_GE(payload.size(), 5u);
+  EXPECT_EQ(payload.substr(0, 4), Bytes({0x02, 0x00, 0x00, 0x00}));
+  EXPECT_EQ(payload.substr(4),
+            Bytes({13}) + std::string("no such table"));
+}
+
+// --- payload round-trips ---------------------------------------------
+
+TEST(ProtocolPayloads, HelloRejectsBadMagicAndTruncation) {
+  uint32_t version = 0;
+  EXPECT_TRUE(ParseHelloPayload(Slice(EncodeHelloPayload(7)), &version).ok());
+  EXPECT_EQ(version, 7u);
+
+  std::string bad = EncodeHelloPayload();
+  bad[0] ^= 0xFF;
+  EXPECT_EQ(ParseHelloPayload(Slice(bad), &version).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseHelloPayload(Slice(std::string("AVQ")), &version).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolPayloads, WelcomeRoundTrip) {
+  uint32_t version = 0;
+  std::string banner;
+  ASSERT_TRUE(ParseWelcomePayload(
+                  Slice(EncodeWelcomePayload(3, "avqdb test")), &version,
+                  &banner)
+                  .ok());
+  EXPECT_EQ(version, 3u);
+  EXPECT_EQ(banner, "avqdb test");
+}
+
+TEST(ProtocolPayloads, QueryRoundTrip) {
+  QueryRequest request;
+  request.table = "orders";
+  request.deadline_ms = 1500;
+  request.max_memory_bytes = 64ull << 20;
+  request.query.predicates.push_back({0, 2, 5});
+  request.query.predicates.push_back({3, 0, 1u << 30});
+
+  QueryRequest decoded;
+  ASSERT_TRUE(
+      ParseQueryPayload(Slice(EncodeQueryPayload(request)), &decoded).ok());
+  EXPECT_EQ(decoded.table, "orders");
+  EXPECT_EQ(decoded.deadline_ms, 1500u);
+  EXPECT_EQ(decoded.max_memory_bytes, 64ull << 20);
+  ASSERT_EQ(decoded.query.predicates.size(), 2u);
+  EXPECT_EQ(decoded.query.predicates[1].attribute, 3u);
+  EXPECT_EQ(decoded.query.predicates[1].hi, 1u << 30);
+}
+
+TEST(ProtocolPayloads, QueryRejectsTrailingBytes) {
+  QueryRequest request;
+  request.table = "t";
+  std::string payload = EncodeQueryPayload(request) + "x";
+  QueryRequest decoded;
+  EXPECT_EQ(ParseQueryPayload(Slice(payload), &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolPayloads, ResultChunkRoundTrip) {
+  std::vector<OrdinalTuple> tuples = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const std::string payload = EncodeResultChunkPayload(tuples, 1, 3);
+  std::vector<OrdinalTuple> decoded;
+  ASSERT_TRUE(ParseResultChunkPayload(Slice(payload), &decoded).ok());
+  EXPECT_EQ(decoded,
+            std::vector<OrdinalTuple>({{4, 5, 6}, {7, 8, 9}}));
+}
+
+TEST(ProtocolPayloads, ResultChunkRejectsOverclaimedCount) {
+  // A count larger than the payload could possibly hold must be caught
+  // structurally, before any allocation sized from it.
+  std::string payload;
+  PutVarint32(&payload, 3);     // arity
+  PutVarint32(&payload, 1000);  // claimed tuples
+  PutVarint64(&payload, 1);
+  std::vector<OrdinalTuple> decoded;
+  EXPECT_EQ(ParseResultChunkPayload(Slice(payload), &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolPayloads, ErrorRoundTripAndOkRejected) {
+  Status carried = Status::OK();
+  ASSERT_TRUE(ParseErrorPayload(
+                  Slice(EncodeErrorPayload(
+                      Status::ResourceExhausted("queue full"))),
+                  &carried)
+                  .ok());
+  EXPECT_EQ(carried.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(carried.ToString().find("queue full"), std::string::npos);
+
+  // Wire code 0 (OK) inside an ERROR frame is malformed.
+  std::string ok_payload;
+  PutFixed32(&ok_payload, 0);
+  PutVarint32(&ok_payload, 0);
+  EXPECT_EQ(ParseErrorPayload(Slice(ok_payload), &carried).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- the stable wire-code table --------------------------------------
+
+// Every pair is pinned to a literal number: reordering StatusCode (or
+// renumbering the enum) must not change the wire. Extending StatusCode
+// requires a new line here, in wire_status.cc, and in docs/PROTOCOL.md.
+TEST(WireStatus, PinnedCodes) {
+  const struct {
+    StatusCode code;
+    uint32_t wire;
+  } kPins[] = {
+      {StatusCode::kOk, 0},
+      {StatusCode::kInvalidArgument, 1},
+      {StatusCode::kNotFound, 2},
+      {StatusCode::kAlreadyExists, 3},
+      {StatusCode::kOutOfRange, 4},
+      {StatusCode::kCorruption, 5},
+      {StatusCode::kIOError, 6},
+      {StatusCode::kResourceExhausted, 7},
+      {StatusCode::kUnimplemented, 8},
+      {StatusCode::kInternal, 9},
+      {StatusCode::kUnavailable, 10},
+      {StatusCode::kDeadlineExceeded, 11},
+      {StatusCode::kCancelled, 12},
+  };
+  for (const auto& pin : kPins) {
+    EXPECT_EQ(WireCodeForStatus(pin.code), pin.wire)
+        << "StatusCode " << static_cast<int>(pin.code);
+    bool known = false;
+    EXPECT_EQ(StatusCodeForWire(pin.wire, &known), pin.code)
+        << "wire code " << pin.wire;
+    EXPECT_TRUE(known);
+  }
+}
+
+TEST(WireStatus, UnknownWireCodeDegradesToInternal) {
+  bool known = true;
+  EXPECT_EQ(StatusCodeForWire(9999, &known), StatusCode::kInternal);
+  EXPECT_FALSE(known);
+  const Status status = MakeWireStatus(9999, "future error kind");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.ToString().find("future error kind"),
+            std::string::npos);
+}
+
+// --- malformed frames against a live server --------------------------
+
+class ProtocolFuzzTest : public ::testing::Test {
+ protected:
+  ServerFixture fixture_{[] {
+    testing::FixtureOptions options;
+    options.num_tuples = 2000;
+    return options;
+  }()};
+
+  // The liveness probe: after abuse, a fresh well-behaved client must
+  // still get correct answers.
+  void ExpectServerStillServes() {
+    auto client = fixture_.Connect();
+    ASSERT_NE(client, nullptr);
+    QueryRequest request;
+    request.table = "orders";
+    request.query = RangeOn(0, 0, 2);
+    auto tuples = client->Query(request);
+    ASSERT_TRUE(tuples.ok()) << tuples.status().ToString();
+    EXPECT_EQ(*tuples, fixture_.DirectSelect(RangeOn(0, 0, 2)));
+  }
+};
+
+TEST_F(ProtocolFuzzTest, BadMagicHelloGetsErrorThenClose) {
+  RawConn conn = RawConn::Connect(fixture_.port());
+  std::string payload = EncodeHelloPayload();
+  payload[2] ^= 0x40;
+  conn.SendFrame(Opcode::kHello, 0, payload);
+  EXPECT_EQ(conn.ReadErrorFor(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(conn.ServerClosed());
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolFuzzTest, UnsupportedVersionGetsErrorThenClose) {
+  RawConn conn = RawConn::Connect(fixture_.port());
+  conn.SendFrame(Opcode::kHello, 0, EncodeHelloPayload(99));
+  EXPECT_EQ(conn.ReadErrorFor(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(conn.ServerClosed());
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolFuzzTest, QueryBeforeHelloIsAProtocolError) {
+  RawConn conn = RawConn::Connect(fixture_.port());
+  QueryRequest request;
+  request.table = "orders";
+  conn.SendFrame(Opcode::kQuery, 1, EncodeQueryPayload(request));
+  EXPECT_EQ(conn.ReadErrorFor(1).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(conn.ServerClosed());
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolFuzzTest, GarbageOpcodeGetsErrorOrClose) {
+  RawConn conn = RawConn::Connect(fixture_.port());
+  conn.Handshake();
+  conn.SendFrame(static_cast<Opcode>(0xEE), 5, "junk");
+  Result<Frame> frame = conn.ReadOneFrame();
+  if (frame.ok()) {
+    EXPECT_EQ(frame->opcode, Opcode::kError);
+    EXPECT_TRUE(conn.ServerClosed());
+  } else {
+    EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+  }
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolFuzzTest, OversizedLengthFieldIsRejectedBeforeAllocation) {
+  testing::FixtureOptions options;
+  options.num_tuples = 100;
+  options.server.max_frame_bytes = 4096;
+  ServerFixture small(options);
+
+  RawConn conn = RawConn::Connect(small.port());
+  // A header whose length field (1 GiB) exceeds the server's cap. No
+  // payload follows; the server must reject on the header alone.
+  std::string header;
+  PutFixed32(&header, 1u << 30);
+  header.push_back(static_cast<char>(Opcode::kHello));
+  PutFixed64(&header, 0);
+  conn.SendBytes(header);
+  Result<Frame> frame = conn.ReadOneFrame();
+  if (frame.ok()) {
+    EXPECT_EQ(frame->opcode, Opcode::kError);
+  }
+  EXPECT_TRUE(conn.ServerClosed());
+}
+
+TEST_F(ProtocolFuzzTest, TruncatedHeaderThenCloseDoesNotWedgeServer) {
+  for (size_t len = 1; len < kFrameHeaderBytes; ++len) {
+    RawConn conn = RawConn::Connect(fixture_.port());
+    conn.SendBytes(std::string(len, '\x07'));
+    conn.Close();
+  }
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolFuzzTest, TruncatedPayloadThenCloseDoesNotWedgeServer) {
+  RawConn conn = RawConn::Connect(fixture_.port());
+  // Header promises 100 payload bytes; only 3 arrive before EOF.
+  std::string header;
+  PutFixed32(&header, 100);
+  header.push_back(static_cast<char>(Opcode::kHello));
+  PutFixed64(&header, 0);
+  conn.SendBytes(header + "abc");
+  conn.Close();
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolFuzzTest, MalformedQueryPayloadGetsTypedError) {
+  RawConn conn = RawConn::Connect(fixture_.port());
+  conn.Handshake();
+  conn.SendFrame(Opcode::kQuery, 9, "\x01garbage-not-a-query");
+  EXPECT_EQ(conn.ReadErrorFor(9).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(conn.ServerClosed());
+  ExpectServerStillServes();
+}
+
+TEST_F(ProtocolFuzzTest, RandomGarbageNeverCrashesOrHangs) {
+  const uint64_t before =
+      testing::CounterValue(obs::kServerProtocolErrors);
+  std::mt19937_64 rng(20260809);
+  for (int round = 0; round < 32; ++round) {
+    RawConn conn = RawConn::Connect(fixture_.port());
+    ASSERT_TRUE(conn.valid());
+    // Half the rounds handshake first so garbage also lands on an
+    // established session.
+    if (round % 2 == 1) conn.Handshake();
+    std::string junk(1 + rng() % 96, '\0');
+    for (char& c : junk) c = static_cast<char>(rng());
+    if (round % 4 == 0) {
+      // Make the length field plausible so the server waits for a
+      // payload that never fully arrives, then hits EOF.
+      uint32_t claimed = static_cast<uint32_t>(rng() % 256);
+      junk.replace(0, 4, std::string(4, '\0'));
+      EncodeFixed32(reinterpret_cast<uint8_t*>(&junk[0]), claimed);
+    }
+    conn.SendBytes(junk);
+    conn.Close();
+  }
+  // The server survives and the abuse is visible in telemetry.
+  ExpectServerStillServes();
+  EXPECT_GT(testing::CounterValue(obs::kServerProtocolErrors), before);
+}
+
+}  // namespace
+}  // namespace avqdb::server

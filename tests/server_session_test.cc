@@ -1,0 +1,274 @@
+// Session semantics over a live loopback server: pipelined responses
+// arrive in order and byte-identical to direct Database::Select; a
+// mid-query disconnect observably cancels execution; governance
+// outcomes (admission shed, deadline, per-request memory cap) surface
+// as typed ERROR frames the client reconstructs exactly.
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/db/admission_controller.h"
+#include "tests/server_test_util.h"
+
+namespace avqdb::server {
+namespace {
+
+using testing::CounterValue;
+using testing::RangeOn;
+using testing::RawConn;
+using testing::ServerFixture;
+
+// Polls until `predicate` holds or `timeout` elapses.
+template <typename Predicate>
+bool EventuallyTrue(Predicate predicate,
+                    std::chrono::milliseconds timeout =
+                        std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return predicate();
+}
+
+TEST(ServerSession, SingleQueryMatchesDirectSelectExactly) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  QueryRequest request;
+  request.table = "orders";
+  request.query = RangeOn(2, 10, 40);
+  auto wire = client->Query(request);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  // Byte-identical: same tuples, same φ order.
+  EXPECT_EQ(*wire, fixture.DirectSelect(request.query));
+}
+
+TEST(ServerSession, FullScanStreamsEveryTupleInMultipleChunks) {
+  testing::FixtureOptions options;
+  options.server.chunk_tuples = 100;
+  ServerFixture fixture(options);
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  QueryRequest request;
+  request.table = "orders";  // no predicates: scan everything
+  ASSERT_TRUE(client->SendQuery(7, request).ok());
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->request_id, 7u);
+  ASSERT_TRUE(response->status.ok());
+  EXPECT_EQ(response->tuples, fixture.tuples());
+  // 100-tuple chunks over the whole table forces real streaming.
+  EXPECT_GT(response->chunks, 1u);
+}
+
+TEST(ServerSession, PipelinedResponsesArriveInSendOrder) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  const std::vector<ConjunctiveQuery> queries = {
+      RangeOn(0, 0, 3),  RangeOn(1, 2, 9),   RangeOn(2, 0, 63),
+      RangeOn(3, 5, 30), RangeOn(4, 10, 20), ConjunctiveQuery{},
+  };
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryRequest request;
+    request.table = "orders";
+    request.query = queries[i];
+    ASSERT_TRUE(client->SendQuery(100 + i, request).ok());
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    // Strict send order, each response byte-identical to the direct
+    // execution of its query.
+    EXPECT_EQ(response->request_id, 100 + i);
+    ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+    EXPECT_EQ(response->tuples, fixture.DirectSelect(queries[i]));
+  }
+}
+
+TEST(ServerSession, UnknownTableIsATypedNotFoundError) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  QueryRequest request;
+  request.table = "no_such_table";
+  auto result = client->Query(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // The session survives a query error: the next query still works.
+  request.table = "orders";
+  request.query = RangeOn(0, 0, 1);
+  auto ok = client->Query(request);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, fixture.DirectSelect(request.query));
+}
+
+TEST(ServerSession, QueuedDeadlineExpiresBehindPipelinedPredecessor) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  // Requests A1..A3: full scans that take real time. Request B: 1 ms
+  // deadline, clocked from frame parse — it spends far longer than that
+  // queued behind the scans on the session strand, so its expiry is
+  // deterministic regardless of machine speed.
+  QueryRequest scan;
+  scan.table = "orders";
+  ASSERT_TRUE(client->SendQuery(1, scan).ok());
+  ASSERT_TRUE(client->SendQuery(11, scan).ok());
+  ASSERT_TRUE(client->SendQuery(12, scan).ok());
+  QueryRequest strict;
+  strict.table = "orders";
+  strict.deadline_ms = 1;
+  ASSERT_TRUE(client->SendQuery(2, strict).ok());
+
+  for (uint64_t expected : {1u, 11u, 12u}) {
+    auto first = client->ReadResponse();
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_EQ(first->request_id, expected);
+    EXPECT_TRUE(first->status.ok());
+  }
+
+  auto second = client->ReadResponse();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->request_id, 2u);
+  EXPECT_EQ(second->status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServerSession, PerRequestMemoryCapIsEnforced) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  QueryRequest request;
+  request.table = "orders";
+  request.max_memory_bytes = 64;  // far below any full-scan result
+  auto result = client->Query(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+
+  // Without the cap the same query succeeds on the same session.
+  request.max_memory_bytes = 0;
+  auto ok = client->Query(request);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->size(), fixture.tuples().size());
+}
+
+TEST(ServerSession, AbruptDisconnectCancelsOutstandingRequests) {
+  ServerFixture fixture;
+  const uint64_t cancels_before =
+      CounterValue(obs::kServerDisconnectCancels);
+  const uint64_t query_cancelled_before =
+      CounterValue(obs::kQueryCancelled);
+
+  // Pipeline several full scans, then drop the socket without GOODBYE.
+  // The reader sees EOF while the strand still has work outstanding and
+  // must cancel it (the executor observes via ExecContext::Check, which
+  // records db.query.cancelled).
+  RawConn conn = RawConn::Connect(fixture.port());
+  ASSERT_TRUE(conn.valid());
+  conn.Handshake();
+  QueryRequest scan;
+  scan.table = "orders";
+  const std::string query_payload = EncodeQueryPayload(scan);
+  for (uint64_t id = 1; id <= 4; ++id) {
+    conn.SendFrame(Opcode::kQuery, id, query_payload);
+  }
+  conn.Close();
+
+  EXPECT_TRUE(EventuallyTrue([&] {
+    return CounterValue(obs::kServerDisconnectCancels) > cancels_before;
+  })) << "disconnect did not cancel any outstanding request";
+  // The cancellation is visible to the execution layer itself, not just
+  // the serving layer's bookkeeping.
+  EXPECT_TRUE(EventuallyTrue([&] {
+    return CounterValue(obs::kQueryCancelled) > query_cancelled_before;
+  })) << "no governed query observed the cancellation";
+}
+
+TEST(ServerSession, GoodbyeIsAGracefulCloseWithoutCancellation) {
+  ServerFixture fixture;
+  const uint64_t cancels_before =
+      CounterValue(obs::kServerDisconnectCancels);
+
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+  QueryRequest request;
+  request.table = "orders";
+  request.query = RangeOn(0, 0, 3);
+  ASSERT_TRUE(client->Query(request).ok());
+  ASSERT_TRUE(client->SendGoodbye().ok());
+  client.reset();  // EOF after GOODBYE
+
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return fixture.server().active_sessions() == 0; }));
+  EXPECT_EQ(CounterValue(obs::kServerDisconnectCancels), cancels_before);
+}
+
+TEST(ServerSession, AdmissionShedSurfacesAsTypedErrorFrame) {
+  testing::FixtureOptions options;
+  options.num_tuples = 2000;
+  options.max_concurrency = 1;
+  options.max_queue_depth = 0;  // overflow sheds immediately
+  ServerFixture fixture(options);
+  const uint64_t shed_before = CounterValue(obs::kServerRequestsShed);
+
+  // Hold the only admission slot from the test itself — the wire query
+  // below then sheds deterministically, no timing involved.
+  auto ticket = fixture.db().admission_controller()->Admit(nullptr);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+  QueryRequest request;
+  request.table = "orders";
+  request.query = RangeOn(0, 0, 2);
+  auto shed = client->Query(request);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(CounterValue(obs::kServerRequestsShed), shed_before + 1);
+
+  // Releasing the slot lets the same session's next query through.
+  { AdmissionController::Ticket released = std::move(*ticket); }
+  auto ok = client->Query(request);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, fixture.DirectSelect(request.query));
+}
+
+TEST(ServerSession, ShutdownDrainsInFlightResponsesBeforeClosing) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  // Pipeline a few scans, then shut the server down while they are in
+  // flight. Graceful drain means every pipelined response still arrives
+  // complete and correct.
+  QueryRequest scan;
+  scan.table = "orders";
+  for (uint64_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(client->SendQuery(id, scan).ok());
+  }
+  std::thread shutdown([&] { fixture.server().Shutdown(); });
+  for (uint64_t id = 1; id <= 3; ++id) {
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->request_id, id);
+    ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+    EXPECT_EQ(response->tuples.size(), fixture.tuples().size());
+  }
+  shutdown.join();
+  // New connections are refused after drain began.
+  auto refused = Client::Connect("127.0.0.1", fixture.port(),
+                                 ClientOptions{.io_timeout_ms = 2000});
+  EXPECT_FALSE(refused.ok());
+}
+
+}  // namespace
+}  // namespace avqdb::server

@@ -1,0 +1,151 @@
+// Multi-client soak: several client threads hammer one server with
+// pipelined mixed queries and randomized abrupt disconnects, then the
+// accounting must reconcile — every request received was answered OK or
+// with an error, the server still serves, and a clean shutdown drains.
+// Runtime is bounded by construction (fixed thread × connection ×
+// depth grid over a small table), so the test stays CI- and
+// sanitizer-sized.
+
+#include <chrono>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/server_test_util.h"
+
+namespace avqdb::server {
+namespace {
+
+using testing::CounterValue;
+using testing::RangeOn;
+using testing::ServerFixture;
+
+struct CannedQuery {
+  QueryRequest request;
+  std::vector<OrdinalTuple> expected;
+};
+
+TEST(ServerSoak, ConcurrentPipelinedClientsWithRandomDisconnects) {
+  testing::FixtureOptions options;
+  options.num_tuples = 5000;
+  options.server.num_workers = 2;
+  options.server.chunk_tuples = 256;
+  ServerFixture fixture(options);
+
+  // Ground truth computed up front, single-threaded; worker threads
+  // only compare.
+  std::vector<CannedQuery> canned;
+  const std::vector<ConjunctiveQuery> shapes = {
+      RangeOn(0, 1, 1),   // point on the clustered prefix
+      RangeOn(0, 2, 5),   // clustered range
+      RangeOn(2, 10, 40),  // mid-attribute range (scan)
+      RangeOn(4, 0, 15),   // trailing-attribute range (scan)
+      ConjunctiveQuery{},  // full scan
+      [] {                 // conjunction
+        ConjunctiveQuery q = RangeOn(1, 2, 12);
+        q.predicates.push_back({3, 0, 40});
+        return q;
+      }(),
+  };
+  for (const ConjunctiveQuery& shape : shapes) {
+    CannedQuery canned_query;
+    canned_query.request.table = "orders";
+    canned_query.request.query = shape;
+    canned_query.expected = fixture.DirectSelect(shape);
+    canned.push_back(std::move(canned_query));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kConnectionsPerThread = 6;
+  constexpr int kMaxDepth = 4;
+
+  const uint64_t received_before =
+      CounterValue(obs::kServerRequestsReceived);
+
+  std::vector<std::thread> clients;
+  std::vector<int> verified_per_thread(kThreads, 0);
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937_64 rng(0x50AC + t);
+      for (int c = 0; c < kConnectionsPerThread; ++c) {
+        auto client = Client::Connect("127.0.0.1", fixture.port());
+        if (!client.ok()) {
+          failures[t] = "connect: " + client.status().ToString();
+          return;
+        }
+        const int depth = 1 + static_cast<int>(rng() % kMaxDepth);
+        std::vector<size_t> sent;
+        for (int d = 0; d < depth; ++d) {
+          const size_t pick = rng() % canned.size();
+          Status status = (*client)->SendQuery(
+              static_cast<uint64_t>(d + 1), canned[pick].request);
+          if (!status.ok()) {
+            failures[t] = "send: " + status.ToString();
+            return;
+          }
+          sent.push_back(pick);
+        }
+        // A quarter of connections vanish abruptly mid-pipeline; the
+        // rest read and verify everything, then say GOODBYE.
+        if (rng() % 4 == 0) {
+          continue;  // ~Client closes the socket with requests in flight
+        }
+        for (size_t d = 0; d < sent.size(); ++d) {
+          auto response = (*client)->ReadResponse();
+          if (!response.ok()) {
+            failures[t] = "read: " + response.status().ToString();
+            return;
+          }
+          if (response->request_id != d + 1 || !response->status.ok() ||
+              response->tuples != canned[sent[d]].expected) {
+            failures[t] = "response mismatch on request " +
+                          std::to_string(d + 1);
+            return;
+          }
+          ++verified_per_thread[t];
+        }
+        Status goodbye = (*client)->SendGoodbye();
+        (void)goodbye;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+    EXPECT_GT(verified_per_thread[t], 0) << "thread " << t;
+  }
+
+  // Accounting reconciles once the strands drain: every request that
+  // arrived was answered, successfully or with an error (cancelled
+  // requests surface as errors server-side).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  uint64_t received = 0, answered = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    received = CounterValue(obs::kServerRequestsReceived);
+    answered = CounterValue(obs::kServerRequestsOk) +
+               CounterValue(obs::kServerRequestsErrors);
+    if (answered >= received && fixture.server().active_sessions() == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(answered, received);
+  EXPECT_GT(received, received_before);
+
+  // The survivor check: a fresh client gets exact answers after the
+  // storm, and shutdown drains cleanly.
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+  auto result = client->Query(canned[2].request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, canned[2].expected);
+  fixture.server().Shutdown();
+  EXPECT_EQ(fixture.server().active_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace avqdb::server

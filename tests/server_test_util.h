@@ -1,0 +1,214 @@
+// In-process test harness for the serving layer.
+//
+// ServerFixture boots a real Server on an ephemeral loopback port over a
+// Database holding one synthetic paper-shaped table, and keeps the
+// sorted ground-truth tuples so tests can compare wire results against
+// direct Database::Select output byte for byte.
+//
+// RawConn is the adversarial counterpart to server::Client: a bare
+// socket that sends exactly the bytes a test specifies — truncated
+// headers, oversized lengths, garbage opcodes — and observes whether
+// the server answers with a well-formed ERROR frame or closes, without
+// any client-side framing logic papering over server behavior.
+
+#ifndef AVQDB_TESTS_SERVER_TEST_UTIL_H_
+#define AVQDB_TESTS_SERVER_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/db/database.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+#include "src/schema/tuple.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+#include "src/server/socket_util.h"
+#include "src/workload/generator.h"
+
+namespace avqdb::server::testing {
+
+// Current value of a process-global counter (tests diff before/after).
+inline uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+// Generates the fixture relation: 5 attributes, paper-shaped domains,
+// sorted + deduplicated into bulk-load (φ) order.
+inline std::vector<OrdinalTuple> MakeFixtureTuples(size_t num_tuples,
+                                                   uint64_t seed,
+                                                   SchemaPtr* schema) {
+  RelationSpec spec;
+  spec.num_attributes = 5;
+  spec.explicit_domain_sizes = {8, 16, 64, 64, 64};
+  spec.num_tuples = num_tuples;
+  spec.seed = seed;
+  auto rel = GenerateRelation(spec);
+  EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+  std::vector<OrdinalTuple> tuples = rel->tuples;
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  *schema = rel->schema;
+  return tuples;
+}
+
+struct FixtureOptions {
+  size_t num_tuples = 20000;
+  uint64_t seed = 42;
+  ServerOptions server;
+  // When > 0, admission control is enabled with this concurrency.
+  size_t max_concurrency = 0;
+  size_t max_queue_depth = 0;
+};
+
+// A live server over one synthetic table named "orders".
+class ServerFixture {
+ public:
+  explicit ServerFixture(FixtureOptions options = FixtureOptions{})
+      : options_(options) {
+    SchemaPtr schema;
+    tuples_ = MakeFixtureTuples(options.num_tuples, options.seed, &schema);
+    auto table = db_.CreateTable("orders", schema, TableKind::kAvq);
+    EXPECT_TRUE(table.ok()) << table.status().ToString();
+    Status loaded = (*table)->BulkLoad(tuples_);
+    EXPECT_TRUE(loaded.ok()) << loaded.ToString();
+    if (options.max_concurrency > 0) {
+      db_.EnableAdmissionControl(
+          {.max_concurrency = options.max_concurrency,
+           .max_queue_depth = options.max_queue_depth});
+    }
+    server_ = std::make_unique<Server>(&db_, options.server);
+    Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  ~ServerFixture() {
+    if (server_) server_->Shutdown();
+  }
+
+  Database& db() { return db_; }
+  Server& server() { return *server_; }
+  uint16_t port() const { return server_->port(); }
+  const std::vector<OrdinalTuple>& tuples() const { return tuples_; }
+
+  // Ground truth for a wire query: the same Select the server runs,
+  // ungoverned.
+  std::vector<OrdinalTuple> DirectSelect(const ConjunctiveQuery& query) {
+    auto result = db_.Select("orders", query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : std::vector<OrdinalTuple>{};
+  }
+
+  // A handshaken protocol client.
+  std::unique_ptr<Client> Connect(ClientOptions options = ClientOptions{}) {
+    auto client = Client::Connect("127.0.0.1", port(), options);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(*client) : nullptr;
+  }
+
+ private:
+  FixtureOptions options_;
+  Database db_;
+  std::vector<OrdinalTuple> tuples_;
+  std::unique_ptr<Server> server_;
+};
+
+// Raw-socket peer: sends byte-exact data, reads whole frames, and can
+// assert the server closed the connection.
+class RawConn {
+ public:
+  static RawConn Connect(uint16_t port) {
+    auto fd = ConnectTo("127.0.0.1", port);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return RawConn(fd.ok() ? *fd : -1);
+  }
+
+  explicit RawConn(int fd) : fd_(fd) {}
+  ~RawConn() { Close(); }
+
+  RawConn(RawConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  RawConn& operator=(RawConn&& other) noexcept {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    return *this;
+  }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  // Sends exactly these bytes (no framing added).
+  void SendBytes(const std::string& bytes) {
+    Status status = SendAll(fd_, bytes.data(), bytes.size());
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+
+  // Sends a well-formed frame.
+  void SendFrame(Opcode opcode, uint64_t request_id,
+                 const std::string& payload) {
+    SendBytes(EncodeFrame(opcode, request_id, Slice(payload)));
+  }
+
+  // Performs the HELLO/WELCOME handshake; fails the test on rejection.
+  void Handshake(uint32_t version = kProtocolVersion) {
+    SendFrame(Opcode::kHello, 0, EncodeHelloPayload(version));
+    Result<Frame> welcome = ReadOneFrame();
+    ASSERT_TRUE(welcome.ok()) << welcome.status().ToString();
+    ASSERT_EQ(welcome->opcode, Opcode::kWelcome);
+  }
+
+  // Reads one whole frame (test-sized timeout).
+  Result<Frame> ReadOneFrame(int timeout_ms = 10000) {
+    return ReadFrame(fd_, kDefaultMaxFrameBytes, timeout_ms, nullptr);
+  }
+
+  // True when the server has closed its end: the next frame read
+  // reports clean EOF (NotFound) before `timeout_ms` elapses.
+  bool ServerClosed(int timeout_ms = 10000) {
+    Result<Frame> frame = ReadOneFrame(timeout_ms);
+    return !frame.ok() && frame.status().code() == StatusCode::kNotFound;
+  }
+
+  // Reads frames until ERROR arrives for `request_id`; returns the
+  // reconstructed status. Fails the test on anything unexpected.
+  Status ReadErrorFor(uint64_t request_id) {
+    Result<Frame> frame = ReadOneFrame();
+    EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+    if (!frame.ok()) return frame.status();
+    EXPECT_EQ(frame->opcode, Opcode::kError);
+    EXPECT_EQ(frame->request_id, request_id);
+    Status carried = Status::OK();
+    Status parsed = ParseErrorPayload(Slice(frame->payload), &carried);
+    EXPECT_TRUE(parsed.ok()) << parsed.ToString();
+    return carried;
+  }
+
+  void Close() {
+    if (fd_ >= 0) CloseFd(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// A simple point + range conjunctive query over the fixture table.
+inline ConjunctiveQuery RangeOn(size_t attribute, uint64_t lo, uint64_t hi) {
+  ConjunctiveQuery query;
+  query.predicates.push_back({attribute, lo, hi});
+  return query;
+}
+
+}  // namespace avqdb::server::testing
+
+#endif  // AVQDB_TESTS_SERVER_TEST_UTIL_H_

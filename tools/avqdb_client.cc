@@ -1,0 +1,236 @@
+// avqdb_client: command-line client for avqdb_server.
+//
+//   avqdb_client [--host H] [--port P] [--timeout-ms N]
+//                [--deadline-ms N] [--max-memory BYTES]
+//                [--max-rows N] [--exec "CMD; CMD; ..."]
+//
+// Without --exec the tool runs an interactive prompt; with it the
+// semicolon-separated commands run in order and the process exits
+// non-zero if any command fails (scripted mode for CI and demos).
+//
+// Commands:
+//   select TABLE [ATTR:LO:HI ...]   conjunctive range select; no
+//                                   predicates = scan everything
+//   count TABLE [ATTR:LO:HI ...]    same query, print only the count
+//   deadline MS                     set per-request deadline (0 = off)
+//   memory BYTES                    set per-request memory cap (0 = off)
+//   help / quit
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/server/client.h"
+
+namespace {
+
+struct Settings {
+  uint32_t deadline_ms = 0;
+  uint64_t max_memory_bytes = 0;
+  size_t max_rows = 20;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--timeout-ms N]\n"
+               "          [--deadline-ms N] [--max-memory BYTES]\n"
+               "          [--max-rows N] [--exec \"CMD; CMD; ...\"]\n",
+               argv0);
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  select TABLE [ATTR:LO:HI ...]  range select (ordinals, "
+      "inclusive)\n"
+      "  count  TABLE [ATTR:LO:HI ...]  same query, count only\n"
+      "  deadline MS                    per-request deadline (0 = off)\n"
+      "  memory BYTES                   per-request memory cap (0 = off)\n"
+      "  help | quit\n");
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+// Parses "ATTR:LO:HI" into a RangeQuery.
+bool ParsePredicate(const std::string& token, avqdb::RangeQuery* out) {
+  const size_t c1 = token.find(':');
+  if (c1 == std::string::npos) return false;
+  const size_t c2 = token.find(':', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  char* end = nullptr;
+  out->attribute =
+      static_cast<size_t>(std::strtoull(token.c_str(), &end, 10));
+  if (end != token.c_str() + c1) return false;
+  out->lo = std::strtoull(token.c_str() + c1 + 1, &end, 10);
+  if (end != token.c_str() + c2) return false;
+  out->hi = std::strtoull(token.c_str() + c2 + 1, &end, 10);
+  return *end == '\0';
+}
+
+// Executes one command line. Returns false only on a hard failure
+// (unusable connection or a failed command in scripted mode matters to
+// the caller); *quit is set by the quit command.
+bool RunCommand(avqdb::server::Client& client, Settings& settings,
+                const std::string& line, bool* quit) {
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return true;
+  const std::string& cmd = tokens[0];
+
+  if (cmd == "quit" || cmd == "exit") {
+    *quit = true;
+    return true;
+  }
+  if (cmd == "help") {
+    PrintHelp();
+    return true;
+  }
+  if (cmd == "deadline" && tokens.size() == 2) {
+    settings.deadline_ms =
+        static_cast<uint32_t>(std::strtoull(tokens[1].c_str(), nullptr, 10));
+    std::printf("deadline = %u ms\n", settings.deadline_ms);
+    return true;
+  }
+  if (cmd == "memory" && tokens.size() == 2) {
+    settings.max_memory_bytes =
+        std::strtoull(tokens[1].c_str(), nullptr, 10);
+    std::printf("memory cap = %llu bytes\n",
+                static_cast<unsigned long long>(settings.max_memory_bytes));
+    return true;
+  }
+  if (cmd == "select" || cmd == "count") {
+    if (tokens.size() < 2) {
+      std::fprintf(stderr, "error: %s needs a table name\n", cmd.c_str());
+      return false;
+    }
+    avqdb::server::QueryRequest request;
+    request.table = tokens[1];
+    request.deadline_ms = settings.deadline_ms;
+    request.max_memory_bytes = settings.max_memory_bytes;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      avqdb::RangeQuery predicate;
+      if (!ParsePredicate(tokens[i], &predicate)) {
+        std::fprintf(stderr, "error: bad predicate '%s' (want ATTR:LO:HI)\n",
+                     tokens[i].c_str());
+        return false;
+      }
+      request.query.predicates.push_back(predicate);
+    }
+    auto tuples = client.Query(request);
+    if (!tuples.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   tuples.status().ToString().c_str());
+      return false;
+    }
+    if (cmd == "select") {
+      const size_t shown =
+          tuples->size() < settings.max_rows ? tuples->size()
+                                             : settings.max_rows;
+      for (size_t i = 0; i < shown; ++i) {
+        std::string row;
+        for (size_t j = 0; j < (*tuples)[i].size(); ++j) {
+          if (j) row += ' ';
+          row += std::to_string((*tuples)[i][j]);
+        }
+        std::printf("%s\n", row.c_str());
+      }
+      if (shown < tuples->size()) {
+        std::printf("... (%zu more)\n", tuples->size() - shown);
+      }
+    }
+    std::printf("%zu tuple(s)\n", tuples->size());
+    return true;
+  }
+  std::fprintf(stderr, "error: unknown command '%s' (try help)\n",
+               cmd.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string exec_script;
+  bool have_exec = false;
+  Settings settings;
+  avqdb::server::ClientOptions client_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--timeout-ms") {
+      client_options.io_timeout_ms = std::atoi(next());
+    } else if (arg == "--deadline-ms") {
+      settings.deadline_ms = static_cast<uint32_t>(std::atoll(next()));
+    } else if (arg == "--max-memory") {
+      settings.max_memory_bytes =
+          static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--max-rows") {
+      settings.max_rows = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--exec") {
+      exec_script = next();
+      have_exec = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "error: --port is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto client = avqdb::server::Client::Connect(host, port, client_options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "connected to %s:%u (%s)\n", host.c_str(), port,
+               (*client)->banner().c_str());
+
+  bool ok = true;
+  bool quit = false;
+  if (have_exec) {
+    std::istringstream script(exec_script);
+    std::string command;
+    while (std::getline(script, command, ';')) {
+      if (Tokenize(command).empty()) continue;
+      std::fprintf(stderr, ">%s\n", command.c_str());
+      if (!RunCommand(**client, settings, command, &quit)) ok = false;
+      if (quit) break;
+    }
+  } else {
+    std::string line;
+    while (!quit) {
+      std::fputs("avqdb> ", stderr);
+      std::fflush(stderr);
+      if (!std::getline(std::cin, line)) break;
+      RunCommand(**client, settings, line, &quit);
+    }
+  }
+  avqdb::Status goodbye = (*client)->SendGoodbye();
+  (void)goodbye;
+  return ok ? 0 : 1;
+}

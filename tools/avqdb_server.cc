@@ -1,0 +1,243 @@
+// avqdb_server: serve a database over the avqdb wire protocol.
+//
+//   avqdb_server [--port P] [--workers N]
+//                [--table NAME=PATH.avqt ...]      load saved images
+//                [--synthetic NAME=TUPLES[:SEED]]  generate a table
+//                [--max-concurrency N] [--queue-depth N]
+//                [--memory-limit BYTES] [--query-memory-limit BYTES]
+//
+// With no --table/--synthetic, serves a synthetic paper-shaped
+// "orders" table of 30000 tuples so the client tool works out of the
+// box. SIGTERM/SIGINT drain gracefully: stop accepting, finish (or
+// cancel after 5 s) in-flight queries, then print a final metrics
+// snapshot to stdout.
+
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/db/database.h"
+#include "src/db/table_io.h"
+#include "src/obs/metrics.h"
+#include "src/server/server.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port P] [--workers N] [--table NAME=PATH ...]\n"
+      "          [--synthetic NAME=TUPLES[:SEED] ...]\n"
+      "          [--max-concurrency N] [--queue-depth N]\n"
+      "          [--memory-limit BYTES] [--query-memory-limit BYTES]\n",
+      argv0);
+}
+
+bool SplitKeyValue(const std::string& arg, std::string* key,
+                   std::string* value) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *key = arg.substr(0, eq);
+  *value = arg.substr(eq + 1);
+  return true;
+}
+
+// Bulk-loads a synthetic paper-shaped relation into `db` as `name`.
+bool AddSyntheticTable(avqdb::Database& db, const std::string& name,
+                       size_t tuples, uint64_t seed) {
+  avqdb::RelationSpec spec;
+  spec.num_attributes = 5;
+  spec.explicit_domain_sizes = {8, 16, 64, 64, 64};
+  spec.num_tuples = tuples;
+  spec.seed = seed;
+  auto rel = avqdb::GenerateRelation(spec);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "generate %s: %s\n", name.c_str(),
+                 rel.status().ToString().c_str());
+    return false;
+  }
+  auto sorted = rel->tuples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const avqdb::OrdinalTuple& a, const avqdb::OrdinalTuple& b) {
+              return avqdb::CompareTuples(a, b) < 0;
+            });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  auto table =
+      db.CreateTable(name, rel->schema, avqdb::TableKind::kAvq);
+  if (!table.ok()) {
+    std::fprintf(stderr, "create %s: %s\n", name.c_str(),
+                 table.status().ToString().c_str());
+    return false;
+  }
+  avqdb::Status status = (*table)->BulkLoad(sorted);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load %s: %s\n", name.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  std::printf("table %-12s %zu tuples (synthetic, seed %llu)\n",
+              name.c_str(), sorted.size(),
+              static_cast<unsigned long long>(seed));
+  return true;
+}
+
+// Copies a saved table image into an in-database table (the Database
+// owns its tables' storage; the served copy is read-only).
+bool AddSavedTable(avqdb::Database& db, const std::string& name,
+                   const std::string& path) {
+  auto loaded = avqdb::LoadTable(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return false;
+  }
+  auto tuples = loaded->table->ScanAll();
+  if (!tuples.ok()) {
+    std::fprintf(stderr, "decode %s: %s\n", path.c_str(),
+                 tuples.status().ToString().c_str());
+    return false;
+  }
+  auto table = db.CreateTable(name, loaded->table->schema(),
+                              avqdb::TableKind::kAvq);
+  if (!table.ok()) {
+    std::fprintf(stderr, "create %s: %s\n", name.c_str(),
+                 table.status().ToString().c_str());
+    return false;
+  }
+  avqdb::Status status = (*table)->BulkLoad(*tuples);
+  if (!status.ok()) {
+    std::fprintf(stderr, "import %s: %s\n", name.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  std::printf("table %-12s %zu tuples (from %s)\n", name.c_str(),
+              tuples->size(), path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  avqdb::server::ServerOptions options;
+  size_t max_concurrency = 0;  // 0 = admission control off
+  size_t queue_depth = 16;
+  uint64_t memory_limit = 0;
+  uint64_t query_memory_limit = 0;
+  struct TableArg {
+    bool synthetic;
+    std::string name;
+    std::string value;
+  };
+  std::vector<TableArg> table_args;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      options.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--workers") {
+      options.num_workers = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--table" || arg == "--synthetic") {
+      std::string name, value;
+      if (!SplitKeyValue(next(), &name, &value)) {
+        Usage(argv[0]);
+        return 2;
+      }
+      table_args.push_back({arg == "--synthetic", name, value});
+    } else if (arg == "--max-concurrency") {
+      max_concurrency = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--queue-depth") {
+      queue_depth = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--memory-limit") {
+      memory_limit = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--query-memory-limit") {
+      query_memory_limit = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  avqdb::Database db;
+  if (table_args.empty()) {
+    table_args.push_back({true, "orders", "30000:42"});
+  }
+  for (const TableArg& t : table_args) {
+    if (t.synthetic) {
+      size_t tuples = 30000;
+      uint64_t seed = 42;
+      const size_t colon = t.value.find(':');
+      tuples = static_cast<size_t>(std::atoll(t.value.c_str()));
+      if (colon != std::string::npos) {
+        seed = static_cast<uint64_t>(
+            std::atoll(t.value.c_str() + colon + 1));
+      }
+      if (!AddSyntheticTable(db, t.name, tuples, seed)) return 1;
+    } else {
+      if (!AddSavedTable(db, t.name, t.value)) return 1;
+    }
+  }
+  if (memory_limit > 0) db.SetMemoryLimit(memory_limit);
+  if (query_memory_limit > 0) db.SetQueryMemoryLimit(query_memory_limit);
+  if (max_concurrency > 0) {
+    db.EnableAdmissionControl({.max_concurrency = max_concurrency,
+                               .max_queue_depth = queue_depth});
+    std::printf("admission control: %zu slots, queue depth %zu\n",
+                max_concurrency, queue_depth);
+  }
+
+  avqdb::server::Server server(&db, options);
+  avqdb::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("avqdb_server listening on %s:%u (workers: %zu)\n",
+              server.options().bind_address.c_str(), server.port(),
+              avqdb::ResolveParallelism(server.options().num_workers));
+  std::fflush(stdout);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("draining: finishing in-flight queries...\n");
+  std::fflush(stdout);
+  server.Shutdown(std::chrono::milliseconds(5000));
+
+  // Flush the final telemetry so an orchestrated shutdown captures the
+  // run's totals.
+  std::printf("%s",
+              avqdb::obs::MetricsRegistry::Global()
+                  .Snapshot()
+                  .ToText()
+                  .c_str());
+  std::printf("bye\n");
+  return 0;
+}

@@ -9,9 +9,12 @@
 #     label "fault": crash loop, salvage, staged commit, torn writes);
 #   * both sanitizers on the query-governance tests (ctest label
 #     "resilience": deadlines, cancellation hammer, memory budgets,
-#     admission control).
+#     admission control);
+#   * both sanitizers on the network serving tests (ctest label
+#     "server": protocol round-trips, malformed-frame fuzz, pipelined
+#     sessions, disconnect cancellation, multi-client soak).
 #
-# Usage: tools/run_sanitized_tests.sh [tsan|asan|fault|resilience|all]
+# Usage: tools/run_sanitized_tests.sh [tsan|asan|fault|resilience|server|all]
 # (default: all)
 #
 # Build trees land in build-tsan/ and build-asan/ next to build/ so the
@@ -65,6 +68,20 @@ run_resilience() {
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L resilience
 }
 
+run_server() {
+  echo "== Sanitized serving-layer tests (label: server) =="
+  cmake -B build-tsan -S . -DAVQDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "${jobs}" --target \
+    server_protocol_test server_session_test server_soak_test
+  ctest --test-dir build-tsan --output-on-failure -j "${jobs}" -L server
+  cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j "${jobs}" --target \
+    server_protocol_test server_session_test server_soak_test
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L server
+}
+
 run_asan() {
   echo "== AddressSanitizer + UBSan (full suite) =="
   cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
@@ -78,14 +95,16 @@ case "${mode}" in
   asan) run_asan ;;
   fault) run_fault ;;
   resilience) run_resilience ;;
+  server) run_server ;;
   all)
     run_tsan
     run_fault
     run_resilience
+    run_server
     run_asan
     ;;
   *)
-    echo "usage: $0 [tsan|asan|fault|resilience|all]" >&2
+    echo "usage: $0 [tsan|asan|fault|resilience|server|all]" >&2
     exit 2
     ;;
 esac
