@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/avq/block_decoder.h"
+#include "src/avq/decode_kernel.h"
 #include "src/avq/relation_codec.h"
 #include "src/common/slice.h"
 #include "src/common/string_util.h"
@@ -247,16 +248,35 @@ void RunParallelSweep() {
   }
   std::printf("\nhost hardware_concurrency: %zu\n", hw);
 
+  // Single-thread decode throughput on the dispatched kernel: the
+  // per-core baseline the shard fan-out multiplies. Kernel-level gains
+  // (see BENCH_decode_kernel.json) move this number; parallelism moves
+  // the sweep rows above.
+  const double single_thread_decode_ms = serial_decode;
+  const double single_thread_tuples_per_sec =
+      static_cast<double>(w.sorted.size()) /
+      (single_thread_decode_ms / 1000.0);
+  std::printf("single-thread decode (%s kernel): %.0f tuples/s\n",
+              SelectedDecodeKernel().name(), single_thread_tuples_per_sec);
+
   const std::string bench = StringFormat(
       "{\"name\": \"codec_parallel\", "
       "\"relation\": {\"tuples\": %zu, \"blocks\": %zu, \"block_size\": 8192}, "
       "\"hardware_concurrency\": %zu, "
       "\"byte_identical_to_serial\": true, "
+      "\"single_thread_decode\": {\"kernel\": \"%s\", "
+      "\"decode_ms\": %.3f, \"tuples_per_sec\": %.0f}, "
       "\"note\": \"%s\"}",
-      kTuples, w.avq_blocks.size(), hw,
-      hw < 2 ? "single-core host: shard fan-out cannot exceed 1x; "
-               "speedup figures need a multi-core machine"
-             : "speedups bounded by hardware_concurrency");
+      kTuples, w.avq_blocks.size(), hw, SelectedDecodeKernel().name(),
+      single_thread_decode_ms, single_thread_tuples_per_sec,
+      hw < 2 ? "single-core host: shard fan-out cannot exceed 1x (speedup "
+               "figures need a multi-core machine); per-core kernel "
+               "throughput is the single_thread_decode section, measured "
+               "per kernel in BENCH_decode_kernel.json"
+             : "parallel rows measure shard fan-out (bounded by "
+               "hardware_concurrency); per-core kernel throughput is the "
+               "single_thread_decode section, measured per kernel in "
+               "BENCH_decode_kernel.json");
   std::string results = "[\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

@@ -1,0 +1,264 @@
+// Per-kernel block decode throughput: tuples/s and coded bytes/s for
+// every compiled-in decode kernel (scalar baseline, then the SIMD
+// kernels the host can run), swept over block sizes {4096, 8192, 32768}
+// and schema widths from the paper's 5-byte shape to a 64-byte
+// eight-attribute tuple of 8-byte digits. Also reports the arena's
+// allocation behavior: after the warm-up decode, the hot loop must not
+// allocate (allocs_per_block == 0).
+//
+// Writes BENCH_decode_kernel.json in the bench_util.h envelope; the
+// speedup_vs_scalar column is the acceptance number for the kernel layer
+// (>= 2x on at least one SIMD kernel).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/avq/block_decoder.h"
+#include "src/avq/decode_kernel.h"
+#include "src/avq/relation_codec.h"
+#include "src/common/random.h"
+#include "src/common/slice.h"
+#include "src/common/string_util.h"
+#include "src/ordinal/phi.h"
+#include "src/schema/domain.h"
+#include "src/schema/schema.h"
+
+namespace avqdb::bench {
+namespace {
+
+SchemaPtr MakeIntSchema(const std::vector<uint64_t>& cardinalities) {
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < cardinalities.size(); ++i) {
+    attrs.push_back(Attribute{
+        "a" + std::to_string(i),
+        std::make_shared<IntegerRangeDomain>(
+            0, static_cast<int64_t>(cardinalities[i]) - 1)});
+  }
+  return Schema::Create(std::move(attrs)).value();
+}
+
+struct SchemaCase {
+  const char* name;
+  SchemaPtr schema;
+};
+
+std::vector<SchemaCase> SchemaCases() {
+  std::vector<SchemaCase> cases;
+  // The paper's Fig 2.2 shape: five attributes, one byte each (m = 5).
+  cases.push_back({"paper_m5", MakeIntSchema({8, 16, 64, 64, 64})});
+  // Mid-width: eight two-byte attributes (m = 16).
+  cases.push_back(
+      {"mid_m16", MakeIntSchema(std::vector<uint64_t>(8, 65536))});
+  // Wide: eight eight-byte attributes (m = 64) — the widen-bound case.
+  cases.push_back(
+      {"wide_m64", MakeIntSchema(std::vector<uint64_t>(8, 1ull << 62))});
+  return cases;
+}
+
+// Uniform content: tuples drawn uniformly over the whole space, then
+// φ-sorted. Deltas stay wide, so RLE and zero-skip barely help — the
+// decode-kernel worst case.
+std::vector<OrdinalTuple> UniformTuples(const Schema& schema, size_t count,
+                                        uint64_t seed) {
+  Random rng(seed);
+  std::vector<OrdinalTuple> tuples;
+  tuples.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    OrdinalTuple t(schema.num_attributes());
+    for (size_t d = 0; d < t.size(); ++d) {
+      t[d] = rng.Uniform(schema.radices()[d]);
+    }
+    tuples.push_back(std::move(t));
+  }
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  return tuples;
+}
+
+// Clustered content: consecutive φ ranks with small random strides — the
+// auto-increment-key shape AVQ is designed around (§3.2): neighboring
+// deltas have long leading-zero runs for RLE to elide and zero-skip
+// replay to exploit.
+std::vector<OrdinalTuple> ClusteredTuples(const Schema& schema, size_t count,
+                                          uint64_t seed) {
+  Random rng(seed);
+  const auto& radices = schema.radices();
+  // Keep the walk inside the space with room to spare; cap the stride so
+  // deltas stay narrow even in huge spaces (spaces beyond 128 bits are
+  // unrankable but certainly roomy enough for the cap).
+  uint64_t stride_cap = 4096;
+  if (auto space = SpaceSize(radices); space.ok()) {
+    u128 cap = space.value() / (count * 4);
+    if (cap < 1) cap = 1;
+    if (cap < stride_cap) stride_cap = static_cast<uint64_t>(cap);
+  }
+  std::vector<OrdinalTuple> tuples;
+  tuples.reserve(count);
+  OrdinalTuple t(radices.size(), 0);
+  for (size_t i = 0; i < count; ++i) {
+    tuples.push_back(t);
+    // Mixed-radix add of the stride at the least-significant digit; the
+    // stride cap keeps the walk inside |R|, so the carry always dies.
+    uint64_t add = 1 + rng.Uniform(stride_cap);
+    for (size_t idx = radices.size(); add != 0 && idx-- > 0;) {
+      const uint64_t cur = t[idx] + add % radices[idx];
+      const uint64_t carry = add / radices[idx] + (cur >= radices[idx]);
+      t[idx] = cur >= radices[idx] ? cur - radices[idx] : cur;
+      add = carry;
+    }
+  }
+  return tuples;
+}
+
+struct Row {
+  std::string schema;
+  std::string content;
+  size_t m = 0;
+  size_t block_size = 0;
+  std::string kernel;
+  size_t blocks = 0;
+  size_t tuples = 0;
+  double decode_ms = 0;
+  double tuples_per_sec = 0;
+  double bytes_per_sec = 0;
+  double speedup_vs_scalar = 0;
+  uint64_t hot_grow_events = 0;  // arena allocations during the timed loop
+};
+
+constexpr size_t kTuplesPerRelation = 60000;
+
+void RunConfig(const SchemaCase& sc, const char* content, size_t block_size,
+               std::vector<Row>* rows) {
+  CodecOptions options;
+  options.block_size = block_size;
+  RelationCodec codec(sc.schema, options);
+  const std::vector<OrdinalTuple> tuples =
+      std::string_view(content) == "clustered"
+          ? ClusteredTuples(*sc.schema, kTuplesPerRelation, 42)
+          : UniformTuples(*sc.schema, kTuplesPerRelation, 42);
+  auto encoded = codec.EncodeSorted(tuples);
+  AVQDB_CHECK(encoded.ok(), "encode failed: %s",
+              encoded.status().ToString().c_str());
+  const std::vector<std::string>& blocks = encoded->blocks;
+  uint64_t coded_bytes = 0;
+  for (const auto& b : blocks) coded_bytes += b.size();
+
+  double scalar_ms = 0;
+  for (const DecodeKernel* kernel : AllDecodeKernels()) {
+    if (!kernel->Available()) continue;
+    DecodeArena arena;
+    BlockHeader header;
+    // Warm-up: size the arena and fault the pages once.
+    for (const auto& b : blocks) {
+      AVQDB_CHECK_OK(
+          DecodeBlockToArena(*sc.schema, Slice(b), *kernel, &arena, &header));
+    }
+    const uint64_t grows_before = arena.stats().grow_events;
+    const int reps = block_size >= 32768 ? 8 : 5;
+    const double ms = TimeMs(
+        [&] {
+          for (const auto& b : blocks) {
+            AVQDB_CHECK_OK(DecodeBlockToArena(*sc.schema, Slice(b), *kernel,
+                                              &arena, &header));
+          }
+        },
+        reps);
+    Row row;
+    row.schema = sc.name;
+    row.content = content;
+    row.m = sc.schema->tuple_width();
+    row.block_size = block_size;
+    row.kernel = kernel->name();
+    row.blocks = blocks.size();
+    row.tuples = tuples.size();
+    row.decode_ms = ms;
+    row.tuples_per_sec = static_cast<double>(tuples.size()) / (ms / 1000.0);
+    row.bytes_per_sec = static_cast<double>(coded_bytes) / (ms / 1000.0);
+    row.hot_grow_events = arena.stats().grow_events - grows_before;
+    if (row.kernel == "scalar") scalar_ms = ms;
+    row.speedup_vs_scalar = scalar_ms > 0 ? scalar_ms / ms : 1.0;
+    rows->push_back(row);
+  }
+}
+
+void PrintTable(const std::vector<Row>& rows) {
+  PrintHeader(
+      "Decode kernels -- single-thread block decode throughput per kernel\n"
+      "(same blocks, same digits out; scalar is the dispatch baseline)");
+  std::printf("%-10s %-10s %4s %7s %-8s %7s %14s %12s %9s %6s\n", "schema",
+              "content", "m", "block", "kernel", "blocks", "tuples/s",
+              "MB/s", "speedup", "allocs");
+  PrintRule();
+  for (const Row& r : rows) {
+    std::printf(
+        "%-10s %-10s %4zu %7zu %-8s %7zu %14.0f %12.1f %8.2fx %6llu\n",
+        r.schema.c_str(), r.content.c_str(), r.m, r.block_size,
+        r.kernel.c_str(), r.blocks, r.tuples_per_sec, r.bytes_per_sec / 1e6,
+        r.speedup_vs_scalar,
+        static_cast<unsigned long long>(r.hot_grow_events));
+  }
+}
+
+void WriteJson(const std::vector<Row>& rows) {
+  std::string kernels;
+  for (const DecodeKernel* kernel : AllDecodeKernels()) {
+    if (!kernel->Available()) continue;
+    if (!kernels.empty()) kernels += ", ";
+    kernels += StringFormat("\"%s\"", kernel->name());
+  }
+  const std::string bench = StringFormat(
+      "{\"name\": \"decode_kernel\", "
+      "\"kernels\": [%s], "
+      "\"selected_kernel\": \"%s\", "
+      "\"tuples_per_relation\": %zu, "
+      "\"note\": \"single-thread DecodeBlockToArena over whole coded "
+      "relations; allocs counts arena growth during the timed loop (0 = "
+      "zero-allocation hot path)\"}",
+      kernels.c_str(), SelectedDecodeKernel().name(), kTuplesPerRelation);
+  std::string results = "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    results += StringFormat(
+        "    {\"schema\": \"%s\", \"content\": \"%s\", \"tuple_width\": %zu, "
+        "\"block_size\": %zu, \"kernel\": \"%s\", \"blocks\": %zu, "
+        "\"tuples\": %zu, \"decode_ms\": %.3f, \"tuples_per_sec\": %.0f, "
+        "\"bytes_per_sec\": %.0f, \"speedup_vs_scalar\": %.3f, "
+        "\"allocs_per_block\": %.6f}%s\n",
+        r.schema.c_str(), r.content.c_str(), r.m, r.block_size,
+        r.kernel.c_str(), r.blocks,
+        r.tuples, r.decode_ms, r.tuples_per_sec, r.bytes_per_sec,
+        r.speedup_vs_scalar,
+        static_cast<double>(r.hot_grow_events) /
+            static_cast<double>(r.blocks),
+        i + 1 < rows.size() ? "," : "");
+  }
+  results += "  ]";
+  WriteBenchJson("BENCH_decode_kernel.json", bench, results);
+}
+
+void Run() {
+  std::vector<Row> rows;
+  for (const SchemaCase& sc : SchemaCases()) {
+    for (const char* content : {"clustered", "uniform"}) {
+      for (size_t block_size :
+           {size_t{4096}, size_t{8192}, size_t{32768}}) {
+        RunConfig(sc, content, block_size, &rows);
+      }
+    }
+  }
+  PrintTable(rows);
+  WriteJson(rows);
+}
+
+}  // namespace
+}  // namespace avqdb::bench
+
+int main() {
+  avqdb::bench::Run();
+  return 0;
+}

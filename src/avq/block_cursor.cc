@@ -27,6 +27,13 @@ Status CheckGovernance(size_t step) {
   return ctx != nullptr ? ctx->Check() : Status::OK();
 }
 
+// DecodeJob checkpoint adapter: the kernel layer cannot depend on the db
+// layer, so the cursor injects the ExecContext consult via this hook.
+Status KernelCheckpoint(void* /*arg*/, size_t /*step*/) {
+  const ExecContext* ctx = ExecContext::Current();
+  return ctx != nullptr ? ctx->Check() : Status::OK();
+}
+
 // Arithmetic failures while replaying a chain mean the stored differences
 // are inconsistent: surface them as corruption, like DecodeBlock does.
 Status AsCorruption(const Status& s, const char* what) {
@@ -118,39 +125,14 @@ Slice BlockCursor::Stream() const {
 }
 
 Status BlockCursor::DecodePrefix() {
+  // The whole backward half is one kernel batch: expanded, widened and
+  // replayed inside prefix_arena_ with zero per-tuple allocations.
   const size_t rep = header_.rep_index;
-  const auto& radices = schema_->radices();
-  std::vector<OrdinalTuple> diffs(rep);
-  Slice stream = Stream();
-  for (size_t i = 0; i < rep; ++i) {
-    AVQDB_RETURN_IF_ERROR(CheckGovernance(i));
-    AVQDB_RETURN_IF_ERROR(ReadCodedDifference(
-        layout_, header_.has_run_length(), &stream, &diffs[i]));
-  }
-  stream_offset_ = payload_end_ - stream.size();
-  prefix_.assign(rep, OrdinalTuple());
-  if (header_.variant == CodecVariant::kChainDelta) {
-    // Backward chain: t_i = t_{i+1} − d_i, rolled back from the
-    // representative.
-    for (size_t i = rep; i-- > 0;) {
-      const OrdinalTuple& next = (i + 1 == rep) ? rep_tuple_ : prefix_[i + 1];
-      AVQDB_RETURN_IF_ERROR(
-          AsCorruption(mixed_radix::Sub(radices, next, diffs[i], &prefix_[i]),
-                       "chain-delta underflow"));
-    }
-  } else {
-    for (size_t i = 0; i < rep; ++i) {
-      AVQDB_RETURN_IF_ERROR(AsCorruption(
-          mixed_radix::Sub(radices, rep_tuple_, diffs[i], &prefix_[i]),
-          "representative-delta underflow"));
-    }
-  }
-  for (size_t i = 0; i < rep; ++i) {
-    const OrdinalTuple& next = (i + 1 == rep) ? rep_tuple_ : prefix_[i + 1];
-    if (CompareTuples(prefix_[i], next) > 0) {
-      return Status::Corruption("decoded block is not φ-sorted");
-    }
-  }
+  size_t consumed = 0;
+  AVQDB_RETURN_IF_ERROR(KernelDecodePrefix(
+      *schema_, layout_, header_, rep_tuple_, Stream(), &KernelCheckpoint,
+      nullptr, SelectedDecodeKernel(), &prefix_arena_, &consumed));
+  stream_offset_ += consumed;
   decoded_ += rep;
   prefix_decoded_ = true;
   return Status::OK();
@@ -175,7 +157,12 @@ Status BlockCursor::SeekToFirst() {
   CursorMetrics::Get().seeks->Increment();
   AVQDB_RETURN_IF_ERROR(DecodePrefix());
   position_ = 0;
-  current_ = prefix_.empty() ? rep_tuple_ : prefix_[0];
+  if (header_.rep_index == 0) {
+    current_ = rep_tuple_;
+  } else {
+    const uint64_t* row = PrefixRow(0);
+    current_.assign(row, row + schema_->radices().size());
+  }
   valid_ = true;
   return Status::OK();
 }
@@ -194,11 +181,14 @@ Status BlockCursor::Seek(const OrdinalTuple& key) {
     // The target sits in [0, rep]; the backward chain must be rolled back
     // from the representative regardless, then binary search finds it.
     AVQDB_RETURN_IF_ERROR(DecodePrefix());
-    const size_t idx = LowerBoundInBlock(prefix_, key);
+    const size_t n = schema_->radices().size();
+    const size_t idx =
+        rep == 0 ? 0 : LowerBoundRows(PrefixRow(0), rep, n, key);
     valid_ = true;
-    if (idx < prefix_.size()) {
+    if (idx < rep) {
       position_ = idx;
-      current_ = prefix_[idx];
+      const uint64_t* row = PrefixRow(idx);
+      current_.assign(row, row + n);
     } else {
       position_ = rep;
       current_ = rep_tuple_;
@@ -222,26 +212,26 @@ Status BlockCursor::Seek(const OrdinalTuple& key) {
 }
 
 Status BlockCursor::StepForward() {
-  OrdinalTuple diff;
+  // diff_ and next_ are members so the steady-state walk reuses their
+  // capacity: zero allocations per tuple.
   Slice stream = Stream();
   AVQDB_RETURN_IF_ERROR(ReadCodedDifference(
-      layout_, header_.has_run_length(), &stream, &diff));
+      layout_, header_.has_run_length(), &stream, &diff_));
   stream_offset_ = payload_end_ - stream.size();
   const auto& radices = schema_->radices();
-  OrdinalTuple next;
   if (header_.variant == CodecVariant::kChainDelta) {
     AVQDB_RETURN_IF_ERROR(AsCorruption(
-        mixed_radix::Add(radices, current_, diff, &next),
+        mixed_radix::Add(radices, current_, diff_, &next_),
         "chain-delta overflow"));
   } else {
     AVQDB_RETURN_IF_ERROR(AsCorruption(
-        mixed_radix::Add(radices, rep_tuple_, diff, &next),
+        mixed_radix::Add(radices, rep_tuple_, diff_, &next_),
         "representative-delta overflow"));
   }
-  if (CompareTuples(current_, next) > 0) {
+  if (CompareTuples(current_, next_) > 0) {
     return Status::Corruption("decoded block is not φ-sorted");
   }
-  current_ = std::move(next);
+  current_.swap(next_);
   ++decoded_;
   return Status::OK();
 }
@@ -252,7 +242,8 @@ Status BlockCursor::Next() {
   const size_t count = header_.tuple_count;
   ++position_;
   if (position_ < rep) {
-    current_ = prefix_[position_];
+    const uint64_t* row = PrefixRow(position_);
+    current_.assign(row, row + schema_->radices().size());
     return Status::OK();
   }
   if (position_ == rep) {

@@ -93,7 +93,7 @@ class BlockCursor {
   BlockCursor(SchemaPtr schema, DigitLayout layout, std::string block);
 
   Status Init();  // header + checksum + representative
-  // Decodes the backward half into prefix_ (positions [0, rep)).
+  // Decodes the backward half into prefix_arena_ (positions [0, rep)).
   Status DecodePrefix();
   // Byte-skips the backward half's differences (no arithmetic).
   Status SkipPrefix();
@@ -101,6 +101,10 @@ class BlockCursor {
   Status StepForward();
   // Remaining payload as a slice starting at stream_offset_.
   Slice Stream() const;
+  // Flat digit row for prefix position i (valid once prefix_decoded_).
+  const uint64_t* PrefixRow(size_t i) const {
+    return prefix_arena_.digit_row(i);
+  }
 
   SchemaPtr schema_;
   DigitLayout layout_;
@@ -111,11 +115,16 @@ class BlockCursor {
   size_t stream_offset_ = 0;  // next unread forward-chain byte
 
   OrdinalTuple rep_tuple_;
-  std::vector<OrdinalTuple> prefix_;  // positions [0, rep) once decoded
+  // The backward half, kernel-decoded into a cursor-private arena: a
+  // shared thread-local arena would be clobbered by interleaved cursors
+  // on one thread (merge joins walk two at once).
+  DecodeArena prefix_arena_;
   bool prefix_decoded_ = false;
   bool positioned_ = false;
 
   OrdinalTuple current_;
+  OrdinalTuple diff_;  // StepForward scratch (reused, no per-tuple alloc)
+  OrdinalTuple next_;
   size_t position_ = 0;
   bool valid_ = false;
   uint64_t decoded_ = 0;

@@ -81,15 +81,6 @@ Status SkipCodedDifference(const DigitLayout& layout, bool run_length,
 
 namespace {
 
-// Wraps arithmetic failures (which indicate inconsistent coded data) as
-// corruption.
-Status AsCorruption(const Status& s, const char* what) {
-  if (s.ok()) return s;
-  return Status::Corruption(
-      StringFormat("%s while decoding block: %s", what,
-                   s.message().c_str()));
-}
-
 void RecordCrcFailure() {
   static obs::Counter* const crc_failures =
       obs::MetricsRegistry::Global().GetCounter(obs::kCrcFailures);
@@ -98,7 +89,9 @@ void RecordCrcFailure() {
 
 }  // namespace
 
-Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block) {
+Status DecodeBlockToArena(const Schema& schema, Slice block,
+                          const DecodeKernel& kernel, DecodeArena* arena,
+                          BlockHeader* header_out) {
   AVQDB_ASSIGN_OR_RETURN(BlockHeader header, BlockHeader::DecodeFrom(block));
   Slice payload = block.Subslice(kBlockHeaderSize, header.payload_size);
   if (header.has_checksum()) {
@@ -115,82 +108,24 @@ Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block) {
   AVQDB_ASSIGN_OR_RETURN(DigitLayout layout,
                          DigitLayout::Create(schema.digit_widths()));
   AVQDB_RETURN_IF_ERROR(ValidateBlockCapacity(layout, header));
-  const auto& radices = schema.radices();
-  const size_t m = layout.total_width();
-  const size_t count = header.tuple_count;
-  const size_t rep = header.rep_index;
-
-  Slice stream = payload;
-  OrdinalTuple rep_tuple;
-  AVQDB_RETURN_IF_ERROR(layout.ParseImage(stream, &rep_tuple));
-  stream.RemovePrefix(m);
   AVQDB_RETURN_IF_ERROR(
-      AsCorruption(mixed_radix::Validate(radices, rep_tuple),
-                   "invalid representative"));
+      KernelDecodeBlock(schema, layout, header, payload, kernel, arena));
+  if (header_out != nullptr) *header_out = header;
+  return Status::OK();
+}
 
-  // Differences appear in tuple (φ) order with the representative's slot
-  // skipped: positions 0..rep-1, then rep+1..count-1.
-  std::vector<OrdinalTuple> diffs(count);
-  for (size_t i = 0; i < count; ++i) {
-    if (i == rep) continue;
-    AVQDB_RETURN_IF_ERROR(ReadCodedDifference(layout, header.has_run_length(),
-                                              &stream, &diffs[i]));
-  }
-  if (!stream.empty()) {
-    return Status::Corruption(StringFormat(
-        "%zu trailing bytes after difference stream", stream.size()));
-  }
-
+Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block) {
+  DecodeArena& arena = DecodeArena::ThreadLocal();
   DecodedBlock out;
-  out.header = header;
-  out.tuples.assign(count, OrdinalTuple());
-  out.tuples[rep] = rep_tuple;
-
-  if (header.variant == CodecVariant::kChainDelta) {
-    // Backward: t_i = t_{i+1} − d_i (d_i was t_{i+1} − t_i).
-    for (size_t i = rep; i-- > 0;) {
-      AVQDB_RETURN_IF_ERROR(AsCorruption(
-          mixed_radix::Sub(radices, out.tuples[i + 1], diffs[i],
-                           &out.tuples[i]),
-          "chain-delta underflow"));
-    }
-    // Forward: t_i = t_{i−1} + d_i.
-    for (size_t i = rep + 1; i < count; ++i) {
-      AVQDB_RETURN_IF_ERROR(AsCorruption(
-          mixed_radix::Add(radices, out.tuples[i - 1], diffs[i],
-                           &out.tuples[i]),
-          "chain-delta overflow"));
-    }
-  } else {
-    for (size_t i = 0; i < count; ++i) {
-      if (i == rep) continue;
-      if (i < rep) {
-        AVQDB_RETURN_IF_ERROR(AsCorruption(
-            mixed_radix::Sub(radices, rep_tuple, diffs[i], &out.tuples[i]),
-            "representative-delta underflow"));
-      } else {
-        AVQDB_RETURN_IF_ERROR(AsCorruption(
-            mixed_radix::Add(radices, rep_tuple, diffs[i], &out.tuples[i]),
-            "representative-delta overflow"));
-      }
-    }
+  AVQDB_RETURN_IF_ERROR(DecodeBlockToArena(
+      schema, block, SelectedDecodeKernel(), &arena, &out.header));
+  const size_t count = out.header.tuple_count;
+  const size_t n = schema.radices().size();
+  out.tuples.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t* row = arena.digit_row(i);
+    out.tuples[i].assign(row, row + n);
   }
-
-  // The block must be internally sorted; a violation means the stored
-  // differences are inconsistent.
-  for (size_t i = 1; i < count; ++i) {
-    if (CompareTuples(out.tuples[i - 1], out.tuples[i]) > 0) {
-      return Status::Corruption("decoded block is not φ-sorted");
-    }
-  }
-
-  // One batched update per fully decoded block.
-  static obs::Counter* const decode_blocks =
-      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeBlocks);
-  static obs::Counter* const decode_tuples =
-      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeTuples);
-  decode_blocks->Increment();
-  decode_tuples->Add(count);
   return out;
 }
 
@@ -202,6 +137,23 @@ size_t LowerBoundInBlock(const std::vector<OrdinalTuple>& tuples,
         return CompareTuples(a, b) < 0;
       });
   return static_cast<size_t>(it - tuples.begin());
+}
+
+size_t LowerBoundRows(const uint64_t* rows, size_t count, size_t arity,
+                      const OrdinalTuple& key) {
+  const TupleView key_view = ViewOf(key);
+  size_t lo = 0;
+  size_t hi = count;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareTupleViews(TupleView{rows + mid * arity, arity}, key_view) <
+        0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 }  // namespace avqdb

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/avq/block_format.h"
+#include "src/avq/decode_kernel.h"
 #include "src/common/result.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
@@ -30,12 +31,26 @@ struct DecodedBlock {
 };
 
 // Fully decodes `block` (a block_size-byte image) against `schema`.
+// Convenience wrapper over DecodeBlockToArena that materializes owning
+// OrdinalTuples; hot paths should decode into an arena instead.
 Result<DecodedBlock> DecodeBlock(const Schema& schema, Slice block);
+
+// Zero-materialization decode: validates the envelope (header, checksum,
+// layout, capacity) and runs `kernel` so the block's tuples land in
+// arena->digit_row(0 .. header.tuple_count). Rows obey the arena's
+// lifetime rule (valid until its next Reserve).
+Status DecodeBlockToArena(const Schema& schema, Slice block,
+                          const DecodeKernel& kernel, DecodeArena* arena,
+                          BlockHeader* header_out);
 
 // Binary search over a decoded block: index of the first tuple >= `key`
 // in φ order (== tuples.size() when all are smaller).
 size_t LowerBoundInBlock(const std::vector<OrdinalTuple>& tuples,
                          const OrdinalTuple& key);
+
+// Same search over a flat arena digit matrix of `count` rows.
+size_t LowerBoundRows(const uint64_t* rows, size_t count, size_t arity,
+                      const OrdinalTuple& key);
 
 // Upfront resource validation shared by DecodeBlock and BlockCursor:
 // checks the header's claims against what the payload can physically

@@ -1,0 +1,302 @@
+#include "src/avq/decode_kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/avq/decode_kernel_impl.h"
+#include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+
+namespace avqdb {
+
+// ---- DecodeArena ----
+
+void DecodeArena::Reserve(size_t rows, size_t arity, size_t width) {
+  // Slack after the last image row so LoadDigitBE may read a full 8 bytes
+  // starting at any digit field.
+  const size_t image_bytes = rows * width + 8;
+  const size_t digit_count = rows * arity;
+  bool grew = false;
+  if (images_.size() < image_bytes) {
+    grew = grew || image_bytes > images_.capacity();
+    images_.resize(image_bytes);
+  }
+  if (digits_.size() < digit_count) {
+    grew = grew || digit_count > digits_.capacity();
+    digits_.resize(digit_count);
+  }
+  if (lz_.size() < rows) {
+    grew = grew || rows > lz_.capacity();
+    lz_.resize(rows);
+  }
+  rows_ = rows;
+  arity_ = arity;
+  width_ = width;
+  ++stats_.blocks_decoded;
+  UpdateCapacityStats(grew);
+}
+
+void DecodeArena::UpdateCapacityStats(bool grew) {
+  if (grew) {
+    ++stats_.grow_events;
+    static obs::Counter* const arena_grows =
+        obs::MetricsRegistry::Global().GetCounter(obs::kDecodeArenaGrows);
+    arena_grows->Increment();
+  }
+  stats_.reserved_bytes = images_.capacity() +
+                          digits_.capacity() * sizeof(uint64_t) +
+                          lz_.capacity() +
+                          (lz_first_digit_.capacity() +
+                           digit_offset_.capacity()) * sizeof(uint16_t);
+  static obs::Gauge* const arena_bytes =
+      obs::MetricsRegistry::Global().GetGauge(obs::kDecodeArenaReservedBytes);
+  arena_bytes->Set(static_cast<int64_t>(stats_.reserved_bytes));
+}
+
+void DecodeArena::BuildLayoutIndex(const DigitLayout& layout) {
+  const auto& widths = layout.widths();
+  const size_t m = layout.total_width();
+  if (lz_first_digit_.size() < m + 1 ||
+      digit_offset_.size() < widths.size() + 1) {
+    const bool grew = m + 1 > lz_first_digit_.capacity() ||
+                      widths.size() + 1 > digit_offset_.capacity();
+    lz_first_digit_.resize(m + 1);
+    digit_offset_.resize(widths.size() + 1);
+    UpdateCapacityStats(grew);
+  }
+  uint16_t off = 0;
+  for (size_t d = 0; d < widths.size(); ++d) {
+    digit_offset_[d] = off;
+    off = static_cast<uint16_t>(off + widths[d]);
+  }
+  digit_offset_[widths.size()] = off;
+  // lz_first_digit_[z] = count of digits whose byte span ends at or before
+  // byte z, i.e. the first digit a z-byte zero run does not fully cover.
+  size_t fd = 0;
+  size_t end = widths.empty() ? 0 : widths[0];
+  for (size_t z = 0; z <= m; ++z) {
+    while (fd < widths.size() && end <= z) {
+      ++fd;
+      if (fd < widths.size()) end += widths[fd];
+    }
+    lz_first_digit_[z] = static_cast<uint16_t>(fd);
+  }
+}
+
+DecodeArena& DecodeArena::ThreadLocal() {
+  thread_local DecodeArena arena;
+  return arena;
+}
+
+// ---- Scalar kernel: a faithful port of the legacy per-byte loops ----
+
+namespace {
+
+struct ScalarOps {
+  static constexpr bool kZeroSkip = false;
+  static void ZeroBytes(uint8_t* dst, size_t n) { std::memset(dst, 0, n); }
+  static void CopyBytes(uint8_t* dst, const uint8_t* src, size_t n) {
+    std::memcpy(dst, src, n);
+  }
+  static uint64_t LoadDigitBE(const uint8_t* p, unsigned width) {
+    uint64_t digit = 0;
+    for (unsigned b = 0; b < width; ++b) digit = (digit << 8) | p[b];
+    return digit;
+  }
+  static void CopyDigits(uint64_t* dst, const uint64_t* src, size_t n) {
+    std::memcpy(dst, src, n * sizeof(uint64_t));
+  }
+};
+
+class ScalarDecodeKernel final : public DecodeKernel {
+ public:
+  const char* name() const override { return "scalar"; }
+  bool Available() const override { return true; }
+  Status Decode(const DecodeJob& job, DecodeArena* arena) const override {
+    return decode_impl::DecodeRows<ScalarOps>(job, arena);
+  }
+};
+
+Status AsCorruption(const Status& s, const char* what) {
+  if (s.ok()) return s;
+  return Status::Corruption(StringFormat("%s while decoding block: %s",
+                                         what, s.message().c_str()));
+}
+
+}  // namespace
+
+// Arch-gated kernel factories (defined in decode_kernel_<isa>.cc, which
+// src/CMakeLists.txt only compiles on the matching architecture).
+#if defined(__x86_64__)
+const DecodeKernel* GetSse42DecodeKernel();
+const DecodeKernel* GetAvx2DecodeKernel();
+#elif defined(__aarch64__)
+const DecodeKernel* GetNeonDecodeKernel();
+#endif
+
+const std::vector<const DecodeKernel*>& AllDecodeKernels() {
+  static const std::vector<const DecodeKernel*> kernels = [] {
+    static ScalarDecodeKernel scalar;
+    std::vector<const DecodeKernel*> all;
+    all.push_back(&scalar);
+#if defined(__x86_64__)
+    all.push_back(GetSse42DecodeKernel());
+    all.push_back(GetAvx2DecodeKernel());
+#elif defined(__aarch64__)
+    all.push_back(GetNeonDecodeKernel());
+#endif
+    return all;
+  }();
+  return kernels;
+}
+
+const DecodeKernel* FindDecodeKernel(std::string_view name) {
+  for (const DecodeKernel* k : AllDecodeKernels()) {
+    if (name == k->name()) return k;
+  }
+  return nullptr;
+}
+
+const DecodeKernel& ResolveDecodeKernel(const char* requested,
+                                        bool* fell_back) {
+  if (fell_back != nullptr) *fell_back = false;
+  const auto& kernels = AllDecodeKernels();
+  if (requested == nullptr || requested[0] == '\0' ||
+      std::string_view(requested) == "auto") {
+    for (size_t i = kernels.size(); i-- > 0;) {
+      if (kernels[i]->Available()) return *kernels[i];
+    }
+    return *kernels[0];  // unreachable: scalar is always available
+  }
+  const DecodeKernel* named = FindDecodeKernel(requested);
+  if (named != nullptr && named->Available()) return *named;
+  if (fell_back != nullptr) *fell_back = true;
+  static obs::Counter* const fallbacks =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeKernelFallbacks);
+  fallbacks->Increment();
+  return *kernels[0];
+}
+
+namespace {
+std::atomic<const DecodeKernel*> g_selected{nullptr};
+}  // namespace
+
+const DecodeKernel& SelectedDecodeKernel() {
+  const DecodeKernel* cached = g_selected.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  const DecodeKernel& resolved =
+      ResolveDecodeKernel(std::getenv("AVQDB_DECODE_KERNEL"), nullptr);
+  g_selected.store(&resolved, std::memory_order_release);
+  return resolved;
+}
+
+void SetDecodeKernelForTesting(const DecodeKernel* kernel) {
+  g_selected.store(kernel, std::memory_order_release);
+}
+
+// ---- Drivers ----
+
+Status KernelDecodeBlock(const Schema& schema, const DigitLayout& layout,
+                         const BlockHeader& header, Slice payload,
+                         const DecodeKernel& kernel, DecodeArena* arena) {
+  const auto& radices = schema.radices();
+  const size_t m = layout.total_width();
+  const size_t count = header.tuple_count;
+  const size_t rep = header.rep_index;
+  arena->Reserve(count, radices.size(), m);
+  arena->BuildLayoutIndex(layout);
+
+  Slice stream = payload;
+  mixed_radix::Digits& rep_tuple = arena->rep_scratch();
+  AVQDB_RETURN_IF_ERROR(layout.ParseImage(stream, &rep_tuple));
+  stream.RemovePrefix(m);
+  AVQDB_RETURN_IF_ERROR(
+      AsCorruption(mixed_radix::Validate(radices, rep_tuple),
+                   "invalid representative"));
+  ScalarOps::CopyDigits(arena->digit_row(rep), rep_tuple.data(),
+                        rep_tuple.size());
+
+  DecodeJob job;
+  job.radices = radices.data();
+  job.arity = radices.size();
+  job.layout = &layout;
+  job.variant = header.variant;
+  job.run_length = header.has_run_length();
+  job.count = count;
+  job.rep = rep;
+  job.stream = stream;
+  job.require_full_consume = true;
+  AVQDB_RETURN_IF_ERROR(kernel.Decode(job, arena));
+
+  // The block must be internally sorted; a violation means the stored
+  // differences are inconsistent.
+  const size_t n = radices.size();
+  for (size_t i = 1; i < count; ++i) {
+    if (CompareTupleViews(TupleView{arena->digit_row(i - 1), n},
+                          TupleView{arena->digit_row(i), n}) > 0) {
+      return Status::Corruption("decoded block is not φ-sorted");
+    }
+  }
+
+  // One batched update per fully decoded block.
+  static obs::Counter* const decode_blocks =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeBlocks);
+  static obs::Counter* const decode_tuples =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeTuples);
+  static obs::Counter* const kernel_blocks =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeKernelBlocks);
+  static obs::Counter* const kernel_tuples =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeKernelTuples);
+  decode_blocks->Increment();
+  decode_tuples->Add(count);
+  kernel_blocks->Increment();
+  kernel_tuples->Add(count);
+  return Status::OK();
+}
+
+Status KernelDecodePrefix(const Schema& schema, const DigitLayout& layout,
+                          const BlockHeader& header,
+                          const OrdinalTuple& rep_tuple, Slice stream,
+                          Status (*checkpoint)(void*, size_t),
+                          void* checkpoint_arg, const DecodeKernel& kernel,
+                          DecodeArena* arena, size_t* consumed) {
+  const auto& radices = schema.radices();
+  const size_t rep = header.rep_index;
+  arena->Reserve(rep + 1, radices.size(), layout.total_width());
+  arena->BuildLayoutIndex(layout);
+  ScalarOps::CopyDigits(arena->digit_row(rep), rep_tuple.data(),
+                        rep_tuple.size());
+
+  DecodeJob job;
+  job.radices = radices.data();
+  job.arity = radices.size();
+  job.layout = &layout;
+  job.variant = header.variant;
+  job.run_length = header.has_run_length();
+  job.count = rep + 1;  // rows [0, rep], the representative's prefix
+  job.rep = rep;
+  job.stream = stream;
+  job.checkpoint = checkpoint;
+  job.checkpoint_arg = checkpoint_arg;
+  job.consumed = consumed;
+  AVQDB_RETURN_IF_ERROR(kernel.Decode(job, arena));
+
+  const size_t n = radices.size();
+  for (size_t i = 1; i <= rep; ++i) {
+    if (CompareTupleViews(TupleView{arena->digit_row(i - 1), n},
+                          TupleView{arena->digit_row(i), n}) > 0) {
+      return Status::Corruption("decoded block is not φ-sorted");
+    }
+  }
+  static obs::Counter* const kernel_blocks =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeKernelBlocks);
+  static obs::Counter* const kernel_tuples =
+      obs::MetricsRegistry::Global().GetCounter(obs::kDecodeKernelTuples);
+  kernel_blocks->Increment();
+  kernel_tuples->Add(rep);
+  return Status::OK();
+}
+
+}  // namespace avqdb

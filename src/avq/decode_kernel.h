@@ -1,0 +1,245 @@
+// Batch decode kernels: runtime-dispatched, SIMD-accelerated replay of a
+// block's difference chains into a reusable flat arena.
+//
+// DecodeBlock and BlockCursor historically reconstructed tuples one
+// OrdinalTuple (std::vector) at a time: every difference and every output
+// tuple paid an allocation, and the RLE expand / digit widening / carry
+// replay all ran byte-at-a-time. A DecodeKernel instead decodes a whole
+// chain into a DecodeArena — a flat byte matrix for expanded difference
+// images plus a flat uint64 digit matrix for the reconstructed tuples —
+// so the hot path performs zero per-tuple allocations and the inner loops
+// can use wide copies and 64-bit big-endian loads.
+//
+// Kernels never touch the on-disk format (docs/FORMAT.md): they parse the
+// identical byte stream DecodeBlock always parsed and must produce
+// byte-identical digit output on every valid block (pinned by
+// decode_kernel_test across the random schema/options matrix). The
+// scalar kernel is the behavioral baseline: a faithful port of the
+// legacy per-byte loops. SIMD kernels (SSE4.2/AVX2 on x86-64, NEON on
+// aarch64) are selected at startup via CPUID, overridable with the
+// AVQDB_DECODE_KERNEL environment variable ("scalar", "sse42", "avx2",
+// "neon"); naming an absent or unavailable ISA falls back to scalar and
+// bumps avq.decode.kernel_fallbacks.
+//
+// Arena lifetime rule: rows returned by DecodeArena::ThreadLocal() are
+// valid only until the next decode on the same thread. Consumers that
+// hold tuples across decodes (caches, cursors, result sets) must
+// materialize first; BlockCursor therefore owns a private arena for its
+// prefix, which lives as long as the cursor.
+
+#ifndef AVQDB_AVQ_DECODE_KERNEL_H_
+#define AVQDB_AVQ_DECODE_KERNEL_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/avq/block_format.h"
+#include "src/avq/codec_options.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/ordinal/digit_bytes.h"
+#include "src/ordinal/mixed_radix.h"
+#include "src/schema/schema.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+// Reusable flat decode workspace. One matrix row per tuple position:
+// image_row(i) holds the expanded m-byte difference image, digit_row(i)
+// the reconstructed digit vector. Reserve() keeps capacity across blocks
+// (growth is counted, steady state allocates nothing).
+class DecodeArena {
+ public:
+  struct Stats {
+    uint64_t blocks_decoded = 0;   // Reserve() calls (one per decode)
+    uint64_t grow_events = 0;      // reservations that had to allocate
+    uint64_t reserved_bytes = 0;   // current capacity across all buffers
+  };
+
+  // Sizes the arena for `rows` tuples of `arity` digits whose byte images
+  // are `width` bytes each. Existing capacity is reused.
+  void Reserve(size_t rows, size_t arity, size_t width);
+
+  size_t rows() const { return rows_; }
+  size_t arity() const { return arity_; }
+  size_t width() const { return width_; }
+
+  uint8_t* image_row(size_t i) { return images_.data() + i * width_; }
+  uint64_t* digit_row(size_t i) { return digits_.data() + i * arity_; }
+  const uint64_t* digit_row(size_t i) const {
+    return digits_.data() + i * arity_;
+  }
+  // Leading-zero byte count per difference row (RLE blocks; 0 otherwise).
+  uint8_t* lz_data() { return lz_.data(); }
+  // First digit index not entirely covered by `z` leading zero bytes,
+  // indexed by z in [0, width]. Built by BuildLayoutIndex().
+  const uint16_t* lz_first_digit() const { return lz_first_digit_.data(); }
+  // Byte offset of digit d's field in the image, d in [0, arity]
+  // (entry arity == total width). Built by BuildLayoutIndex().
+  const uint16_t* digit_offset() const { return digit_offset_.data(); }
+
+  const Stats& stats() const { return stats_; }
+
+  // Scratch digit vector reused by drivers (representative parse).
+  mixed_radix::Digits& rep_scratch() { return rep_scratch_; }
+
+  // The calling thread's arena. Rows are clobbered by the next decode on
+  // this thread — see the lifetime rule above.
+  static DecodeArena& ThreadLocal();
+
+  // Rebuilds lz_first_digit_ for `layout`; called by Reserve()'s caller
+  // via the driver. Cheap (O(width)), reuses capacity.
+  void BuildLayoutIndex(const DigitLayout& layout);
+
+ private:
+  // Recomputes reserved_bytes (and the gauge) after a buffer changed;
+  // `grew` records an actual allocation.
+  void UpdateCapacityStats(bool grew);
+
+  std::vector<uint8_t> images_;   // rows * width, + slack for wide loads
+  std::vector<uint64_t> digits_;  // rows * arity
+  std::vector<uint8_t> lz_;       // rows
+  std::vector<uint16_t> lz_first_digit_;  // width + 1 entries
+  std::vector<uint16_t> digit_offset_;    // arity + 1 entries
+  mixed_radix::Digits rep_scratch_;
+  size_t rows_ = 0;
+  size_t arity_ = 0;
+  size_t width_ = 0;
+  Stats stats_;
+};
+
+// One chain-decode request. The driver pre-fills digit_row(rep) with the
+// representative; the kernel expands/widens one coded difference per
+// non-representative row in [0, count) and replays the chains in place.
+struct DecodeJob {
+  const uint64_t* radices = nullptr;
+  size_t arity = 0;
+  const DigitLayout* layout = nullptr;
+  CodecVariant variant = CodecVariant::kChainDelta;
+  bool run_length = false;
+  size_t count = 0;  // rows to reconstruct, representative included
+  size_t rep = 0;    // representative row index (< count)
+  Slice stream;      // coded differences (positioned after the rep image)
+  // Cooperative cancellation hook, consulted every kDecodeGovernanceStride
+  // rows during stream expansion (nullable). Mirrors BlockCursor's legacy
+  // checkpoint cadence.
+  Status (*checkpoint)(void* arg, size_t step) = nullptr;
+  void* checkpoint_arg = nullptr;
+  // Full-block decodes set this: trailing bytes after the last coded
+  // difference are corruption, reported after stream expansion but before
+  // chain replay (matching the legacy decoder's error precedence). Prefix
+  // decodes leave it false — the stream legitimately continues.
+  bool require_full_consume = false;
+  // Out (nullable): stream bytes consumed; prefix callers use it to
+  // advance their cursor.
+  size_t* consumed = nullptr;
+};
+
+// Governance cadence shared with the legacy cursor replay.
+inline constexpr size_t kDecodeGovernanceStride = 512;
+
+class DecodeKernel {
+ public:
+  virtual ~DecodeKernel() = default;
+
+  virtual const char* name() const = 0;
+  // Runtime ISA check (CPUID); compile-time presence is the registry's
+  // concern.
+  virtual bool Available() const = 0;
+  // Decodes job.count rows into the arena's digit matrix. All corruption
+  // errors (truncated stream, bad leading-zero count, chain under/
+  // overflow) match the legacy scalar decoder's wording.
+  virtual Status Decode(const DecodeJob& job, DecodeArena* arena) const = 0;
+};
+
+// Every compiled-in kernel, scalar first, in ascending preference order.
+const std::vector<const DecodeKernel*>& AllDecodeKernels();
+
+// Lookup by name ("scalar", "sse42", "avx2", "neon"); nullptr when the
+// kernel is not compiled into this binary.
+const DecodeKernel* FindDecodeKernel(std::string_view name);
+
+// Resolution policy: `requested` (may be null/empty = auto) names a
+// kernel; unknown or unavailable requests fall back to scalar, set
+// *fell_back, and bump avq.decode.kernel_fallbacks. Auto picks the most
+// preferred Available() kernel.
+const DecodeKernel& ResolveDecodeKernel(const char* requested,
+                                        bool* fell_back);
+
+// The process-wide dispatched kernel: resolved once from the
+// AVQDB_DECODE_KERNEL environment variable (then cached).
+const DecodeKernel& SelectedDecodeKernel();
+
+// Test hook: forces `kernel` as the dispatched kernel; nullptr clears the
+// cache so the next SelectedDecodeKernel() re-resolves from the
+// environment.
+void SetDecodeKernelForTesting(const DecodeKernel* kernel);
+
+// ---- Driver entry points ----
+
+// Full-block decode: parses and validates the representative from
+// `payload` (which starts with its m-byte image), runs the dispatched
+// kernel over header.tuple_count rows, verifies φ order and that the
+// difference stream was fully consumed, and bumps the avq.decode.*
+// metrics. The caller has already validated the header, checksum and
+// block capacity.
+Status KernelDecodeBlock(const Schema& schema, const DigitLayout& layout,
+                         const BlockHeader& header, Slice payload,
+                         const DecodeKernel& kernel, DecodeArena* arena);
+
+// Prefix decode for BlockCursor: reconstructs rows [0, rep_index] from
+// `stream` (positioned at the first difference) with the representative
+// supplied by the caller, reporting consumed stream bytes. φ order is
+// verified across the decoded prefix.
+Status KernelDecodePrefix(const Schema& schema, const DigitLayout& layout,
+                          const BlockHeader& header,
+                          const OrdinalTuple& rep_tuple, Slice stream,
+                          Status (*checkpoint)(void*, size_t),
+                          void* checkpoint_arg, const DecodeKernel& kernel,
+                          DecodeArena* arena, size_t* consumed);
+
+// ---- Raw-pointer digit arithmetic (exact mixed_radix::Add/Sub
+// semantics, no allocation; out may alias a or b) ----
+
+inline bool RawAddRows(const uint64_t* radices, const uint64_t* a,
+                       const uint64_t* b, uint64_t* out, size_t n) {
+  uint64_t carry = 0;
+  for (size_t idx = n; idx-- > 0;) {
+    uint64_t sum = a[idx] + carry;
+    uint64_t overflowed = (sum < a[idx]) ? 1 : 0;
+    uint64_t sum2 = sum + b[idx];
+    overflowed |= (sum2 < sum) ? 1 : 0;
+    if (overflowed) {
+      out[idx] = sum2 + (0 - radices[idx]);
+      carry = 1;
+    } else if (sum2 >= radices[idx]) {
+      out[idx] = sum2 - radices[idx];
+      carry = 1;
+    } else {
+      out[idx] = sum2;
+      carry = 0;
+    }
+  }
+  return carry == 0;
+}
+
+inline bool RawSubRows(const uint64_t* radices, const uint64_t* a,
+                       const uint64_t* b, uint64_t* out, size_t n) {
+  uint64_t borrow = 0;
+  for (size_t idx = n; idx-- > 0;) {
+    const uint64_t sub = b[idx] + borrow;
+    if (a[idx] >= sub) {
+      out[idx] = a[idx] - sub;
+      borrow = 0;
+    } else {
+      out[idx] = a[idx] + radices[idx] - sub;
+      borrow = 1;
+    }
+  }
+  return borrow == 0;
+}
+
+}  // namespace avqdb
+
+#endif  // AVQDB_AVQ_DECODE_KERNEL_H_

@@ -1,0 +1,68 @@
+// AVX2 decode kernel (x86-64). Compiled with -mavx2 (see
+// src/CMakeLists.txt); only the runtime CPUID check gates its use.
+// Same structure as the SSE4.2 kernel with 32-byte expand chunks.
+
+#include "src/avq/decode_kernel.h"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "src/avq/decode_kernel_impl.h"
+
+namespace avqdb {
+namespace {
+
+struct Avx2Ops {
+  static constexpr bool kZeroSkip = true;
+  static void ZeroBytes(uint8_t* dst, size_t n) {
+    const __m256i zero = _mm256_setzero_si256();
+    while (n >= 32) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), zero);
+      dst += 32;
+      n -= 32;
+    }
+    if (n != 0) std::memset(dst, 0, n);
+  }
+  static void CopyBytes(uint8_t* dst, const uint8_t* src, size_t n) {
+    while (n >= 32) {  // chunks never cross the source end: no over-read
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src)));
+      dst += 32;
+      src += 32;
+      n -= 32;
+    }
+    if (n != 0) std::memcpy(dst, src, n);
+  }
+  static uint64_t LoadDigitBE(const uint8_t* p, unsigned width) {
+    uint64_t raw;
+    std::memcpy(&raw, p, sizeof(raw));  // in bounds via arena slack
+    return __builtin_bswap64(raw) >> (8 * (8 - width));
+  }
+  static void CopyDigits(uint64_t* dst, const uint64_t* src, size_t n) {
+    std::memcpy(dst, src, n * sizeof(uint64_t));
+  }
+};
+
+class Avx2DecodeKernel final : public DecodeKernel {
+ public:
+  const char* name() const override { return "avx2"; }
+  bool Available() const override { return __builtin_cpu_supports("avx2"); }
+  Status Decode(const DecodeJob& job, DecodeArena* arena) const override {
+    return decode_impl::DecodeRows<Avx2Ops>(job, arena);
+  }
+};
+
+}  // namespace
+
+const DecodeKernel* GetAvx2DecodeKernel() {
+  static Avx2DecodeKernel kernel;
+  return &kernel;
+}
+
+}  // namespace avqdb
+
+#endif  // defined(__x86_64__)

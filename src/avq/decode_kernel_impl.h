@@ -1,0 +1,242 @@
+// Shared decode pipeline, stamped out per kernel via an Ops policy.
+//
+// Every kernel runs the same three phases over a DecodeJob:
+//   1. expand  — walk the coded stream, materializing each difference as
+//                a full m-byte image row (RLE leading zeros re-inserted);
+//   2. widen   — convert each image row's big-endian digit fields into
+//                the flat uint64 digit matrix;
+//   3. replay  — roll the chains (backward subs from the representative,
+//                forward adds after it) in place over the digit matrix.
+//
+// Ops supplies the primitives the phases differ on:
+//   ZeroBytes / CopyBytes — image-row fills (vector registers vs loops);
+//   LoadDigitBE           — one digit from its big-endian field;
+//   CopyDigits            — uint64 row prefix copy (zero-skip replay);
+//   kZeroSkip             — replay only digits the difference can touch
+//                           (derived from the RLE leading-zero count),
+//                           copying the untouched prefix from the
+//                           neighbor row. The scalar kernel keeps this
+//                           off to stay a faithful port of the legacy
+//                           full-width loops (bit-exact even on corrupt
+//                           digit values); SIMD kernels enable it, which
+//                           is identical on every valid block.
+//
+// LoadDigitBE implementations may read up to 8 bytes starting at the
+// field — DecodeArena::Reserve leaves slack after the last image row to
+// keep such loads in bounds.
+
+#ifndef AVQDB_AVQ_DECODE_KERNEL_IMPL_H_
+#define AVQDB_AVQ_DECODE_KERNEL_IMPL_H_
+
+#include <cstdint>
+
+#include "src/avq/decode_kernel.h"
+#include "src/common/string_util.h"
+
+namespace avqdb::decode_impl {
+
+// out_row initially holds the difference digits; digits [0, fd) are known
+// zero (covered by the RLE leading-zero run). Computes
+// out_row = prev + out_row with mixed_radix::Add's exact semantics,
+// copying the carry-untouched prefix from prev. False on overflow.
+template <typename Ops>
+inline bool AddFrom(const uint64_t* radices, const uint64_t* prev,
+                    uint64_t* out_row, size_t n, size_t fd) {
+  uint64_t carry = 0;
+  for (size_t idx = n; idx-- > fd;) {
+    uint64_t sum = prev[idx] + carry;
+    uint64_t overflowed = (sum < prev[idx]) ? 1 : 0;
+    uint64_t sum2 = sum + out_row[idx];
+    overflowed |= (sum2 < sum) ? 1 : 0;
+    if (overflowed) {
+      out_row[idx] = sum2 + (0 - radices[idx]);
+      carry = 1;
+    } else if (sum2 >= radices[idx]) {
+      out_row[idx] = sum2 - radices[idx];
+      carry = 1;
+    } else {
+      out_row[idx] = sum2;
+      carry = 0;
+    }
+  }
+  size_t stop = fd;
+  while (carry != 0 && stop > 0) {
+    --stop;
+    uint64_t sum = prev[stop] + 1;
+    if (sum == 0) {  // prev[stop] was 2^64-1 (corrupt digit); match Add
+      out_row[stop] = 0 - radices[stop];
+      carry = 1;
+    } else if (sum >= radices[stop]) {
+      out_row[stop] = sum - radices[stop];
+      carry = 1;
+    } else {
+      out_row[stop] = sum;
+      carry = 0;
+    }
+  }
+  if (carry != 0) return false;
+  if (stop > 0) Ops::CopyDigits(out_row, prev, stop);
+  return true;
+}
+
+// Backward analogue: out_row = prev − out_row (borrow chain).
+template <typename Ops>
+inline bool SubFrom(const uint64_t* radices, const uint64_t* prev,
+                    uint64_t* out_row, size_t n, size_t fd) {
+  uint64_t borrow = 0;
+  for (size_t idx = n; idx-- > fd;) {
+    const uint64_t sub = out_row[idx] + borrow;
+    if (prev[idx] >= sub) {
+      out_row[idx] = prev[idx] - sub;
+      borrow = 0;
+    } else {
+      out_row[idx] = prev[idx] + radices[idx] - sub;
+      borrow = 1;
+    }
+  }
+  size_t stop = fd;
+  while (borrow != 0 && stop > 0) {
+    --stop;
+    if (prev[stop] >= 1) {
+      out_row[stop] = prev[stop] - 1;
+      borrow = 0;
+    } else {
+      out_row[stop] = prev[stop] + radices[stop] - 1;
+      borrow = 1;
+    }
+  }
+  if (borrow != 0) return false;
+  if (stop > 0) Ops::CopyDigits(out_row, prev, stop);
+  return true;
+}
+
+template <typename Ops>
+Status DecodeRows(const DecodeJob& job, DecodeArena* arena) {
+  const size_t m = job.layout->total_width();
+  const size_t n = job.arity;
+  const auto& widths = job.layout->widths();
+
+  // Phase 1: expand the coded stream into the image matrix.
+  //
+  // Zero-skip kernels never read the image bytes (or digits) of the
+  // fully-zero digit prefix a leading-zero run covers — replay rebuilds
+  // those digits from the neighbor row — so they only zero-fill from the
+  // first partially-covered digit's field onward, and phase 2 starts
+  // widening there too.
+  Slice stream = job.stream;
+  uint8_t* lz = arena->lz_data();
+  const uint16_t* first_digit = arena->lz_first_digit();
+  const uint16_t* digit_offset = arena->digit_offset();
+  for (size_t i = 0; i < job.count; ++i) {
+    if (i == job.rep) continue;
+    if (job.checkpoint != nullptr && i % kDecodeGovernanceStride == 0) {
+      AVQDB_RETURN_IF_ERROR(job.checkpoint(job.checkpoint_arg, i));
+    }
+    uint8_t* row = arena->image_row(i);
+    if (job.run_length) {
+      if (stream.empty()) {
+        return Status::Corruption(
+            "difference stream truncated at count byte");
+      }
+      const size_t z = stream[0];
+      stream.RemovePrefix(1);
+      if (z > m) {
+        return Status::Corruption(StringFormat(
+            "leading-zero count %zu exceeds tuple width %zu", z, m));
+      }
+      const size_t suffix = m - z;
+      if (stream.size() < suffix) {
+        return Status::Corruption(StringFormat(
+            "tuple suffix truncated: %zu of %zu bytes", stream.size(),
+            suffix));
+      }
+      const size_t zero_from =
+          Ops::kZeroSkip ? digit_offset[first_digit[z]] : 0;
+      Ops::ZeroBytes(row + zero_from, z - zero_from);
+      Ops::CopyBytes(row + z, stream.data(), suffix);
+      stream.RemovePrefix(suffix);
+      lz[i] = static_cast<uint8_t>(z);
+    } else {
+      if (stream.size() < m) {
+        return Status::Corruption(StringFormat(
+            "tuple image truncated: %zu of %zu bytes", stream.size(), m));
+      }
+      Ops::CopyBytes(row, stream.data(), m);
+      stream.RemovePrefix(m);
+      lz[i] = 0;
+    }
+  }
+  if (job.consumed != nullptr) {
+    *job.consumed = job.stream.size() - stream.size();
+  }
+  if (job.require_full_consume && !stream.empty()) {
+    return Status::Corruption(StringFormat(
+        "%zu trailing bytes after difference stream", stream.size()));
+  }
+
+  // Phase 2: widen image rows into the digit matrix. Zero-skip kernels
+  // start at the first digit the difference can touch; replay fills the
+  // prefix digits from the neighbor row without reading them here.
+  for (size_t i = 0; i < job.count; ++i) {
+    if (i == job.rep) continue;
+    const uint8_t* row = arena->image_row(i);
+    uint64_t* out = arena->digit_row(i);
+    const size_t start = Ops::kZeroSkip ? first_digit[lz[i]] : 0;
+    size_t off = digit_offset[start];
+    for (size_t d = start; d < n; ++d) {
+      out[d] = Ops::LoadDigitBE(row + off, widths[d]);
+      off += widths[d];
+    }
+  }
+
+  // Phase 3: replay the chains in place.
+  const uint64_t* radices = job.radices;
+  auto fd_of = [&](size_t i) -> size_t {
+    return Ops::kZeroSkip ? first_digit[lz[i]] : 0;
+  };
+  if (job.variant == CodecVariant::kChainDelta) {
+    // Backward: t_i = t_{i+1} − d_i, rolled back from the representative.
+    for (size_t i = job.rep; i-- > 0;) {
+      if (!SubFrom<Ops>(radices, arena->digit_row(i + 1),
+                        arena->digit_row(i), n, fd_of(i))) {
+        return Status::Corruption(
+            "chain-delta underflow while decoding block: mixed-radix "
+            "subtraction underflow (a < b)");
+      }
+    }
+    // Forward: t_i = t_{i−1} + d_i.
+    for (size_t i = job.rep + 1; i < job.count; ++i) {
+      if (!AddFrom<Ops>(radices, arena->digit_row(i - 1),
+                        arena->digit_row(i), n, fd_of(i))) {
+        return Status::Corruption(
+            "chain-delta overflow while decoding block: mixed-radix "
+            "addition overflow");
+      }
+    }
+  } else {
+    const uint64_t* rep_row = arena->digit_row(job.rep);
+    for (size_t i = 0; i < job.count; ++i) {
+      if (i == job.rep) continue;
+      if (i < job.rep) {
+        if (!SubFrom<Ops>(radices, rep_row, arena->digit_row(i), n,
+                          fd_of(i))) {
+          return Status::Corruption(
+              "representative-delta underflow while decoding block: "
+              "mixed-radix subtraction underflow (a < b)");
+        }
+      } else {
+        if (!AddFrom<Ops>(radices, rep_row, arena->digit_row(i), n,
+                          fd_of(i))) {
+          return Status::Corruption(
+              "representative-delta overflow while decoding block: "
+              "mixed-radix addition overflow");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace avqdb::decode_impl
+
+#endif  // AVQDB_AVQ_DECODE_KERNEL_IMPL_H_

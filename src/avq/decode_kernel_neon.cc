@@ -1,0 +1,66 @@
+// NEON decode kernel (aarch64, where Advanced SIMD is architectural —
+// always available). Same structure as the x86 kernels: 16-byte expand
+// chunks, 8-byte big-endian digit loads, zero-skip replay.
+
+#include "src/avq/decode_kernel.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+#include "src/avq/decode_kernel_impl.h"
+
+namespace avqdb {
+namespace {
+
+struct NeonOps {
+  static constexpr bool kZeroSkip = true;
+  static void ZeroBytes(uint8_t* dst, size_t n) {
+    const uint8x16_t zero = vdupq_n_u8(0);
+    while (n >= 16) {
+      vst1q_u8(dst, zero);
+      dst += 16;
+      n -= 16;
+    }
+    if (n != 0) std::memset(dst, 0, n);
+  }
+  static void CopyBytes(uint8_t* dst, const uint8_t* src, size_t n) {
+    while (n >= 16) {  // chunks never cross the source end: no over-read
+      vst1q_u8(dst, vld1q_u8(src));
+      dst += 16;
+      src += 16;
+      n -= 16;
+    }
+    if (n != 0) std::memcpy(dst, src, n);
+  }
+  static uint64_t LoadDigitBE(const uint8_t* p, unsigned width) {
+    uint64_t raw;
+    std::memcpy(&raw, p, sizeof(raw));  // in bounds via arena slack
+    return __builtin_bswap64(raw) >> (8 * (8 - width));
+  }
+  static void CopyDigits(uint64_t* dst, const uint64_t* src, size_t n) {
+    std::memcpy(dst, src, n * sizeof(uint64_t));
+  }
+};
+
+class NeonDecodeKernel final : public DecodeKernel {
+ public:
+  const char* name() const override { return "neon"; }
+  bool Available() const override { return true; }
+  Status Decode(const DecodeJob& job, DecodeArena* arena) const override {
+    return decode_impl::DecodeRows<NeonOps>(job, arena);
+  }
+};
+
+}  // namespace
+
+const DecodeKernel* GetNeonDecodeKernel() {
+  static NeonDecodeKernel kernel;
+  return &kernel;
+}
+
+}  // namespace avqdb
+
+#endif  // defined(__aarch64__)

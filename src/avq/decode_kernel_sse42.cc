@@ -1,0 +1,78 @@
+// SSE4.2 decode kernel (x86-64). Compiled with -msse4.2 (see
+// src/CMakeLists.txt); only the runtime CPUID check gates its use.
+//
+// Differences vs the scalar baseline:
+//   - expand copies the difference stream in 16-byte chunks (chunks never
+//     cross the source end, so no over-read of the block image);
+//   - widen loads each digit field as one unaligned 8-byte big-endian
+//     load (safe via the arena's trailing slack) instead of a byte loop;
+//   - replay is zero-skip: digits fully covered by a difference's RLE
+//     leading-zero run are copied from the neighbor row, with only the
+//     carry ripple touching them.
+
+#include "src/avq/decode_kernel.h"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "src/avq/decode_kernel_impl.h"
+
+namespace avqdb {
+namespace {
+
+struct Sse42Ops {
+  static constexpr bool kZeroSkip = true;
+  static void ZeroBytes(uint8_t* dst, size_t n) {
+    const __m128i zero = _mm_setzero_si128();
+    while (n >= 16) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), zero);
+      dst += 16;
+      n -= 16;
+    }
+    if (n != 0) std::memset(dst, 0, n);
+  }
+  static void CopyBytes(uint8_t* dst, const uint8_t* src, size_t n) {
+    while (n >= 16) {
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(dst),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src)));
+      dst += 16;
+      src += 16;
+      n -= 16;
+    }
+    if (n != 0) std::memcpy(dst, src, n);
+  }
+  static uint64_t LoadDigitBE(const uint8_t* p, unsigned width) {
+    uint64_t raw;
+    std::memcpy(&raw, p, sizeof(raw));  // in bounds via arena slack
+    return __builtin_bswap64(raw) >> (8 * (8 - width));
+  }
+  static void CopyDigits(uint64_t* dst, const uint64_t* src, size_t n) {
+    std::memcpy(dst, src, n * sizeof(uint64_t));
+  }
+};
+
+class Sse42DecodeKernel final : public DecodeKernel {
+ public:
+  const char* name() const override { return "sse42"; }
+  bool Available() const override {
+    return __builtin_cpu_supports("sse4.2");
+  }
+  Status Decode(const DecodeJob& job, DecodeArena* arena) const override {
+    return decode_impl::DecodeRows<Sse42Ops>(job, arena);
+  }
+};
+
+}  // namespace
+
+const DecodeKernel* GetSse42DecodeKernel() {
+  static Sse42DecodeKernel kernel;
+  return &kernel;
+}
+
+}  // namespace avqdb
+
+#endif  // defined(__x86_64__)

@@ -229,6 +229,7 @@ Result<EncodedRelation> RelationCodec::EncodeSorted(
     const std::vector<OrdinalTuple>& tuples) const {
   const size_t shards = ResolveParallelism(options_.parallelism);
   if (shards > 1) return EncodeSortedParallel(tuples, shards);
+  AVQDB_RETURN_IF_ERROR(ValidateAll(tuples, 1, /*check_order=*/true));
 
   EncodedRelation out;
   out.stats.tuple_count = tuples.size();
@@ -237,25 +238,23 @@ Result<EncodedRelation> RelationCodec::EncodeSorted(
   out.stats.uncoded_blocks = UncodedBlockCount(tuples.size());
   out.stats.uncoded_bytes =
       static_cast<uint64_t>(tuples.size()) * schema_->tuple_width();
+  if (tuples.empty()) return out;
 
-  BlockEncoder encoder(schema_, options_);
-  for (const auto& tuple : tuples) {
-    AVQDB_ASSIGN_OR_RETURN(bool added, encoder.TryAdd(tuple));
-    if (!added) {
-      out.stats.coded_payload_bytes += encoder.encoded_size();
-      AVQDB_ASSIGN_OR_RETURN(std::string block, encoder.Finish());
-      out.blocks.push_back(std::move(block));
-      AVQDB_ASSIGN_OR_RETURN(added, encoder.TryAdd(tuple));
-      if (!added) {
-        return Status::Internal(
-            "tuple does not fit in an empty block; options invalid");
-      }
-    }
-  }
-  if (!encoder.empty()) {
-    out.stats.coded_payload_bytes += encoder.encoded_size();
-    AVQDB_ASSIGN_OR_RETURN(std::string block, encoder.Finish());
+  // Same two-pass shape as the parallel path, without the fan-out: the
+  // partition fixes every boundary up front, then each range codes once
+  // via EncodeSpan into a pre-sized block. The incremental TryAdd path
+  // copied every tuple into the encoder's working vector first; this one
+  // never grows a container per tuple.
+  const std::vector<BlockRange> ranges = PartitionSorted(tuples);
+  out.blocks.reserve(ranges.size());
+  for (const BlockRange& range : ranges) {
+    AVQDB_ASSIGN_OR_RETURN(std::string block,
+                           BlockEncoder::EncodeSpan(
+                               *schema_, layout_, options_,
+                               tuples.data() + range.begin,
+                               range.end - range.begin));
     out.blocks.push_back(std::move(block));
+    out.stats.coded_payload_bytes += kBlockHeaderSize + range.payload_size;
   }
   out.stats.coded_blocks = out.blocks.size();
   return out;
@@ -272,11 +271,29 @@ Result<EncodedRelation> RelationCodec::EncodeRows(
   return Encode(std::move(tuples));
 }
 
+namespace {
+
+// Sum of the header tuple counts, so DecodeAll can size its output once
+// instead of growing it per tuple. Advisory only: short or corrupt blocks
+// contribute zero here and fail properly inside DecodeBlock.
+size_t TotalHeaderTupleCount(const std::vector<std::string>& blocks) {
+  size_t total = 0;
+  for (const auto& block : blocks) {
+    if (block.size() < kBlockHeaderSize) continue;
+    total += DecodeFixed16(
+        reinterpret_cast<const uint8_t*>(block.data()) + 4);
+  }
+  return total;
+}
+
+}  // namespace
+
 Result<std::vector<OrdinalTuple>> RelationCodec::DecodeAll(
     const std::vector<std::string>& blocks) const {
   const size_t shards = ResolveParallelism(options_.parallelism);
   if (shards <= 1 || blocks.size() <= 1) {
     std::vector<OrdinalTuple> tuples;
+    tuples.reserve(TotalHeaderTupleCount(blocks));
     for (const auto& block : blocks) {
       AVQDB_ASSIGN_OR_RETURN(DecodedBlock decoded,
                              DecodeBlock(*schema_, Slice(block)));

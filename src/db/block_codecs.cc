@@ -79,6 +79,17 @@ class AvqBlockCodec final : public TupleBlockCodec {
     return std::move(decoded.tuples);
   }
 
+  bool SupportsArenaDecode() const override { return true; }
+
+  Status DecodeToArena(Slice block, DecodeArena* arena,
+                       size_t* tuple_count) const override {
+    BlockHeader header;
+    AVQDB_RETURN_IF_ERROR(DecodeBlockToArena(
+        *schema_, block, SelectedDecodeKernel(), arena, &header));
+    if (tuple_count != nullptr) *tuple_count = header.tuple_count;
+    return Status::OK();
+  }
+
   Result<std::unique_ptr<TupleBlockCursor>> NewCursor(
       std::string block) const override {
     AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<BlockCursor> impl,
@@ -350,6 +361,13 @@ class RawBlockCodec final : public TupleBlockCodec {
 };
 
 }  // namespace
+
+Status TupleBlockCodec::DecodeToArena(Slice /*block*/,
+                                      DecodeArena* /*arena*/,
+                                      size_t* /*tuple_count*/) const {
+  return Status::InvalidArgument(
+      StringFormat("codec %s does not support arena decode", name()));
+}
 
 std::unique_ptr<TupleBlockCodec> MakeAvqBlockCodec(
     SchemaPtr schema, const CodecOptions& options) {

@@ -25,6 +25,8 @@
 
 namespace avqdb {
 
+class DecodeArena;  // avq/decode_kernel.h
+
 // Streaming view over one block image: tuples come out one at a time in
 // φ order, decoding only what iteration touches. Seek positions at the
 // first tuple >= key; abandoning the cursor early leaves the rest of the
@@ -69,6 +71,15 @@ class TupleBlockCodec {
   // Inverse of EncodeBlock.
   virtual Result<std::vector<OrdinalTuple>> DecodeBlock(
       Slice block) const = 0;
+
+  // Arena-backed full decode: reconstructs the block's tuples into
+  // arena->digit_row(0 .. *tuple_count) with zero per-tuple allocations.
+  // Only implemented when SupportsArenaDecode() (the AVQ codec); the
+  // default returns InvalidArgument. Rows obey the arena lifetime rule
+  // (avq/decode_kernel.h) — callers materialize what they keep.
+  virtual bool SupportsArenaDecode() const { return false; }
+  virtual Status DecodeToArena(Slice block, DecodeArena* arena,
+                               size_t* tuple_count) const;
 
   // Streaming partial decode of one block image (which the cursor takes
   // ownership of). Validates the header/checksum eagerly; tuple

@@ -111,6 +111,12 @@ inline uint64_t EstimateTupleBytes(const OrdinalTuple& tuple) {
   return sizeof(OrdinalTuple) + tuple.capacity() * sizeof(uint64_t);
 }
 
+// View variant: the footprint the tuple WILL have once materialized
+// (a fresh vector's capacity equals its size).
+inline uint64_t EstimateTupleBytes(const TupleView& view) {
+  return sizeof(OrdinalTuple) + view.arity * sizeof(uint64_t);
+}
+
 // Shared cancellation flag. Cancel() may be called from any thread, any
 // number of times; queries observe it at block boundaries.
 class CancellationToken {

@@ -85,12 +85,18 @@ struct JoinMetrics {
   }
 };
 
-OrdinalTuple Concatenate(const OrdinalTuple& a, const OrdinalTuple& b) {
+// Joins traffic in views up to this point — the single allocation per
+// output tuple happens here, at the emit boundary.
+OrdinalTuple Concatenate(const TupleView& a, const TupleView& b) {
   OrdinalTuple out;
-  out.reserve(a.size() + b.size());
-  out.insert(out.end(), a.begin(), a.end());
-  out.insert(out.end(), b.begin(), b.end());
+  out.reserve(a.arity + b.arity);
+  out.insert(out.end(), a.digits, a.digits + a.arity);
+  out.insert(out.end(), b.digits, b.digits + b.arity);
   return out;
+}
+
+OrdinalTuple Concatenate(const OrdinalTuple& a, const OrdinalTuple& b) {
+  return Concatenate(ViewOf(a), ViewOf(b));
 }
 
 bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
@@ -241,15 +247,18 @@ Status BlockNestedLoopJoin(const Table& left, size_t left_attr,
     AVQDB_ASSIGN_OR_RETURN(
         DecodedBlockCache::TuplesPtr block,
         left.ReadDecodedBlock(static_cast<BlockId>(block_iter.value())));
-    std::unordered_map<uint64_t, std::vector<const OrdinalTuple*>> bucket;
-    for (const OrdinalTuple& t : *block) bucket[t[left_attr]].push_back(&t);
+    std::unordered_map<uint64_t, std::vector<TupleView>> bucket;
+    for (const OrdinalTuple& t : *block) {
+      bucket[t[left_attr]].push_back(ViewOf(t));  // backed by the cache pin
+    }
     AVQDB_ASSIGN_OR_RETURN(Table::Cursor probe, right.NewCursor());
     while (probe.Valid()) {
       AVQDB_RETURN_IF_ERROR(CheckAtBlockStart(probe, ctx));
       auto it = bucket.find(probe.tuple()[right_attr]);
       if (it != bucket.end()) {
-        for (const OrdinalTuple* l : it->second) {
-          AVQDB_RETURN_IF_ERROR(emit(Concatenate(*l, probe.tuple())));
+        const TupleView probe_view = ViewOf(probe.tuple());
+        for (const TupleView& l : it->second) {
+          AVQDB_RETURN_IF_ERROR(emit(Concatenate(l, probe_view)));
         }
       }
       AVQDB_RETURN_IF_ERROR(probe.Next());

@@ -85,10 +85,34 @@ bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
   return CompareTuples(a, b) < 0;
 }
 
+// Shared cache back-fill: budget-gated admission — an over-budget query
+// skips the fill (the scan already has its answer) instead of evicting
+// entries hot queries rely on.
+Status MaybeFillCache(const Table& table, BlockId id,
+                      DecodedBlockCache* cache, const ExecContext* ctx,
+                      std::vector<OrdinalTuple> walked) {
+  MemoryBudget* budget = ctx != nullptr ? ctx->memory_budget() : nullptr;
+  if (budget != nullptr &&
+      !budget->CouldCharge(DecodedBlockCache::EstimateBytes(walked))) {
+    return Status::OK();
+  }
+  obs::TraceSpanScope fill("cache_fill");
+  fill.AddAttr("tuples", walked.size());
+  CacheFillCounter()->Increment();
+  cache->Put(&table, id,
+             std::make_shared<const std::vector<OrdinalTuple>>(
+                 std::move(walked)));
+  return Status::OK();
+}
+
 // Streams the tuples of data block `id` through `visit`, cheapest source
 // first:
 //   * a decoded-block cache hit serves the materialized vector (no I/O,
 //     no decode);
+//   * an unbounded walk (no seek, no stop — the secondary-index and
+//     full-scan paths) batch-decodes the whole block into the thread's
+//     DecodeArena via the dispatched kernel and visits flat rows, with
+//     zero per-tuple allocations until the cache fill;
 //   * otherwise a TupleBlockCursor partially decodes the block — `seek`
 //     (nullable) positions at the first tuple >= it, `stop` (nullable)
 //     abandons the walk once a tuple exceeds it, leaving the tail of the
@@ -97,13 +121,17 @@ bool TupleLess(const OrdinalTuple& a, const OrdinalTuple& b) {
 // cache, so repeated scans converge to all-hits; bounded walks (point
 // lookups, range edges) stay partial and are not cached.
 //
+// The views handed to `visit` obey the arena lifetime rule: they die at
+// the visit call's return (the next block reuses the arena), so visitors
+// materialize what they keep.
+//
 // This is the query path's block-granularity governance checkpoint: the
 // ExecContext (nullable) is consulted before anything is fetched or
 // decoded, so an expired deadline or a cancellation stops the scan here.
 Status FilterDataBlock(
     const Table& table, BlockId id, const OrdinalTuple* seek,
     const OrdinalTuple* stop, QueryStats* stats, const ExecContext* ctx,
-    const std::function<Status(const OrdinalTuple&)>& visit) {
+    const std::function<Status(const TupleView&)>& visit) {
   if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
   DecodedBlockCache* cache = table.decoded_block_cache();
   if (cache != nullptr) {
@@ -120,7 +148,7 @@ Status FilterDataBlock(
           EarlyExitCounter()->Increment();
           break;
         }
-        AVQDB_RETURN_IF_ERROR(visit(block[i]));
+        AVQDB_RETURN_IF_ERROR(visit(ViewOf(block[i])));
         ++visited;
       }
       span.AddAttr("tuples", visited);
@@ -130,6 +158,29 @@ Status FilterDataBlock(
   ++stats->decoded_cache_misses;
   obs::TraceSpanScope span("block:decode");
   span.AddAttr("block", id);
+  if (seek == nullptr && stop == nullptr && table.SupportsArenaDecode()) {
+    // Unbounded walk: decode the whole block in one kernel batch. The
+    // bounded paths below keep the cursor so their early-exit and
+    // partial-decode accounting (and cache-fill exclusion) is unchanged.
+    DecodeArena& arena = DecodeArena::ThreadLocal();
+    AVQDB_ASSIGN_OR_RETURN(const size_t count,
+                           table.ReadBlockToArena(id, &arena));
+    const size_t arity = table.schema()->num_attributes();
+    for (size_t i = 0; i < count; ++i) {
+      AVQDB_RETURN_IF_ERROR(visit(TupleView{arena.digit_row(i), arity}));
+    }
+    stats->tuples_decoded += count;
+    span.AddAttr("tuples_decoded", count);
+    if (cache != nullptr) {
+      std::vector<OrdinalTuple> walked(count);
+      for (size_t i = 0; i < count; ++i) {
+        const uint64_t* row = arena.digit_row(i);
+        walked[i].assign(row, row + arity);
+      }
+      return MaybeFillCache(table, id, cache, ctx, std::move(walked));
+    }
+    return Status::OK();
+  }
   AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<TupleBlockCursor> cursor,
                          table.NewBlockCursor(id));
   if (seek != nullptr) {
@@ -150,26 +201,13 @@ Status FilterDataBlock(
       break;
     }
     if (collect) walked.push_back(tuple);
-    AVQDB_RETURN_IF_ERROR(visit(tuple));
+    AVQDB_RETURN_IF_ERROR(visit(ViewOf(tuple)));
     AVQDB_RETURN_IF_ERROR(cursor->Next());
   }
   stats->tuples_decoded += cursor->tuples_decoded();
   span.AddAttr("tuples_decoded", cursor->tuples_decoded());
   if (collect) {
-    // Budget-gated admission: an over-budget query skips the fill (the
-    // scan already has its answer) instead of evicting entries hot
-    // queries rely on.
-    MemoryBudget* budget = ctx != nullptr ? ctx->memory_budget() : nullptr;
-    if (budget != nullptr &&
-        !budget->CouldCharge(DecodedBlockCache::EstimateBytes(walked))) {
-      return Status::OK();
-    }
-    obs::TraceSpanScope fill("cache_fill");
-    fill.AddAttr("tuples", walked.size());
-    CacheFillCounter()->Increment();
-    cache->Put(&table, id,
-               std::make_shared<const std::vector<OrdinalTuple>>(
-                   std::move(walked)));
+    return MaybeFillCache(table, id, cache, ctx, std::move(walked));
   }
   return Status::OK();
 }
@@ -204,7 +242,7 @@ Result<bool> NormalizePredicates(const Schema& schema,
 }
 
 bool MatchesAll(
-    const OrdinalTuple& tuple,
+    const TupleView& tuple,
     const std::map<size_t, std::pair<uint64_t, uint64_t>>& preds) {
   for (const auto& [attr, range] : preds) {
     if (tuple[attr] < range.first || tuple[attr] > range.second) {
@@ -228,7 +266,7 @@ namespace {
 Status ScanMatching(
     const Table& table, const ConjunctiveQuery& query, QueryStats* stats,
     const ExecContext* ctx,
-    const std::function<Status(const OrdinalTuple&)>& on_match) {
+    const std::function<Status(const TupleView&)>& on_match) {
   const bool collect_trace = stats->collect_trace;
   *stats = QueryStats{};
   stats->collect_trace = collect_trace;
@@ -261,7 +299,7 @@ Status ScanMatching(
   const IoStats data_before = table.data_pager().stats();
   const IoStats index_before = table.index_pager().stats();
 
-  auto visit = [&](const OrdinalTuple& tuple) -> Status {
+  auto visit = [&](const TupleView& tuple) -> Status {
     ++stats->tuples_examined;
     if (MatchesAll(tuple, preds)) {
       ++stats->tuples_matched;
@@ -393,12 +431,14 @@ Result<std::vector<OrdinalTuple>> ExecuteConjunctiveSelect(
   // against the context's budget as they accumulate.
   BudgetLease lease(ctx != nullptr ? ctx->memory_budget() : nullptr);
   AVQDB_RETURN_IF_ERROR(ScanMatching(
-      table, query, stats, ctx, [&](const OrdinalTuple& tuple) -> Status {
+      table, query, stats, ctx, [&](const TupleView& tuple) -> Status {
         if (!lease.Charge(EstimateTupleBytes(tuple))) {
           return Status::ResourceExhausted(
               "query memory budget exhausted materializing results");
         }
-        results.push_back(tuple);
+        // Views die with the arena; the result set is the API boundary
+        // where tuples materialize.
+        results.push_back(tuple.ToOrdinalTuple());
         return Status::OK();
       }));
   if (stats->path == AccessPath::kSecondaryIndex) {
@@ -441,7 +481,7 @@ Result<AggregateResult> ExecuteAggregate(const Table& table,
   if (stats == nullptr) stats = &local;
   AggregateResult result;
   AVQDB_RETURN_IF_ERROR(ScanMatching(
-      table, query, stats, ctx, [&](const OrdinalTuple& tuple) -> Status {
+      table, query, stats, ctx, [&](const TupleView& tuple) -> Status {
         const uint64_t v = tuple[aggregate_attribute];
         if (result.count == 0) {
           result.min = v;
@@ -476,7 +516,7 @@ Result<std::vector<OrdinalTuple>> ExecuteProject(
   std::vector<OrdinalTuple> projected;
   BudgetLease lease(ctx != nullptr ? ctx->memory_budget() : nullptr);
   AVQDB_RETURN_IF_ERROR(ScanMatching(
-      table, query, stats, ctx, [&](const OrdinalTuple& tuple) -> Status {
+      table, query, stats, ctx, [&](const TupleView& tuple) -> Status {
         OrdinalTuple row(attributes.size());
         for (size_t i = 0; i < attributes.size(); ++i) {
           row[i] = tuple[attributes[i]];

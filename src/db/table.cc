@@ -76,6 +76,13 @@ Result<std::vector<OrdinalTuple>> Table::ReadDataBlock(BlockId id) const {
   return codec_->DecodeBlock(Slice(raw));
 }
 
+Result<size_t> Table::ReadBlockToArena(BlockId id, DecodeArena* arena) const {
+  AVQDB_ASSIGN_OR_RETURN(std::string raw, data_pager_->Read(id));
+  size_t count = 0;
+  AVQDB_RETURN_IF_ERROR(codec_->DecodeToArena(Slice(raw), arena, &count));
+  return count;
+}
+
 Table::~Table() {
   if (decoded_cache_ != nullptr) decoded_cache_->InvalidateOwner(this);
 }

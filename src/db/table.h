@@ -164,6 +164,12 @@ class Table {
   // Reads + decodes one data block (counted as data I/O).
   Result<std::vector<OrdinalTuple>> ReadDataBlock(BlockId id) const;
 
+  // Arena-backed variant of ReadDataBlock: decodes straight into `arena`
+  // (zero per-tuple allocations) and returns the tuple count. Only valid
+  // when SupportsArenaDecode(); rows obey the arena lifetime rule.
+  bool SupportsArenaDecode() const { return codec_->SupportsArenaDecode(); }
+  Result<size_t> ReadBlockToArena(BlockId id, DecodeArena* arena) const;
+
   // --- decoded-block cache (read-path fast lane) ---
 
   // Attaches an externally owned cache of decoded blocks (nullptr

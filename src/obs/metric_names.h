@@ -63,6 +63,15 @@ inline constexpr char kEncodeBlockPayloadBytes[] =
 inline constexpr char kDecodeBlocks[] = "avq.decode.blocks";
 inline constexpr char kDecodeTuples[] = "avq.decode.tuples";
 
+// --- avq decode kernels (avq/decode_kernel.cc) ---
+inline constexpr char kDecodeKernelBlocks[] = "avq.decode.kernel_blocks";
+inline constexpr char kDecodeKernelTuples[] = "avq.decode.kernel_tuples";
+inline constexpr char kDecodeKernelFallbacks[] =
+    "avq.decode.kernel_fallbacks";
+inline constexpr char kDecodeArenaGrows[] = "avq.decode.arena_grows";
+inline constexpr char kDecodeArenaReservedBytes[] =
+    "avq.decode.arena_reserved_bytes";
+
 // --- avq streaming cursor ---
 inline constexpr char kCursorOpens[] = "avq.cursor.opens";
 inline constexpr char kCursorSeeks[] = "avq.cursor.seeks";

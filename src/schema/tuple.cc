@@ -69,6 +69,17 @@ int CompareTuples(const OrdinalTuple& a, const OrdinalTuple& b) {
   return 0;
 }
 
+int CompareTupleViews(const TupleView& a, const TupleView& b) {
+  const size_t n = a.arity < b.arity ? a.arity : b.arity;
+  for (size_t i = 0; i < n; ++i) {
+    if (a.digits[i] < b.digits[i]) return -1;
+    if (a.digits[i] > b.digits[i]) return 1;
+  }
+  if (a.arity < b.arity) return -1;
+  if (a.arity > b.arity) return 1;
+  return 0;
+}
+
 std::string TupleToString(const OrdinalTuple& tuple) {
   std::string out = "(";
   for (size_t i = 0; i < tuple.size(); ++i) {

@@ -38,6 +38,26 @@ Status ValidateTuple(const Schema& schema, const OrdinalTuple& tuple);
 // arity; trailing digits break ties.
 int CompareTuples(const OrdinalTuple& a, const OrdinalTuple& b);
 
+// Non-owning view of a tuple's digits — the currency of the arena-backed
+// decode path. Views into a DecodeArena are valid only until the next
+// decode on the owning thread; materialize (ToOrdinalTuple) to keep one.
+struct TupleView {
+  const uint64_t* digits = nullptr;
+  size_t arity = 0;
+
+  uint64_t operator[](size_t i) const { return digits[i]; }
+  OrdinalTuple ToOrdinalTuple() const {
+    return OrdinalTuple(digits, digits + arity);
+  }
+};
+
+inline TupleView ViewOf(const OrdinalTuple& t) {
+  return TupleView{t.data(), t.size()};
+}
+
+// Same ordering contract as CompareTuples.
+int CompareTupleViews(const TupleView& a, const TupleView& b);
+
 // "(3, 08, 36, 39, 35)"
 std::string TupleToString(const OrdinalTuple& tuple);
 

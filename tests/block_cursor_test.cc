@@ -15,6 +15,7 @@
 #include "src/avq/block_cursor.h"
 #include "src/avq/block_decoder.h"
 #include "src/avq/codec_options.h"
+#include "src/avq/decode_kernel.h"
 #include "src/common/random.h"
 #include "src/db/block_codecs.h"
 #include "tests/test_util.h"
@@ -132,50 +133,70 @@ CodecCase MakeCase(bool avq, uint64_t seed) {
 
 class BlockCursorProperty : public ::testing::TestWithParam<bool> {};
 
-TEST_P(BlockCursorProperty, FullWalkMatchesDecodeBlock) {
-  for (uint64_t seed = 1; seed <= 25; ++seed) {
-    CodecCase c = MakeCase(GetParam(), seed);
-    auto cursor = c.codec->NewCursor(c.image).value();
-    ASSERT_TRUE(cursor->SeekToFirst().ok());
-    std::vector<OrdinalTuple> walked;
-    while (cursor->Valid()) {
-      EXPECT_EQ(cursor->position(), walked.size());
-      walked.push_back(cursor->tuple());
-      ASSERT_TRUE(cursor->Next().ok());
-    }
-    EXPECT_EQ(walked, c.decoded) << "seed " << seed;
-    EXPECT_EQ(cursor->tuple_count(), c.decoded.size());
+// Runs `body` once per compiled-in, runtime-available decode kernel,
+// forcing each as the process dispatch; restores auto dispatch after.
+// Pins cursor == DecodeBlock under every kernel, not just the default.
+template <typename Fn>
+void ForEachAvailableKernel(Fn body) {
+  for (const DecodeKernel* kernel : AllDecodeKernels()) {
+    if (!kernel->Available()) continue;
+    SetDecodeKernelForTesting(kernel);
+    body(kernel->name());
   }
+  SetDecodeKernelForTesting(nullptr);
+}
+
+TEST_P(BlockCursorProperty, FullWalkMatchesDecodeBlock) {
+  ForEachAvailableKernel([&](const char* kernel_name) {
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+      CodecCase c = MakeCase(GetParam(), seed);
+      auto cursor = c.codec->NewCursor(c.image).value();
+      ASSERT_TRUE(cursor->SeekToFirst().ok());
+      std::vector<OrdinalTuple> walked;
+      while (cursor->Valid()) {
+        EXPECT_EQ(cursor->position(), walked.size());
+        walked.push_back(cursor->tuple());
+        ASSERT_TRUE(cursor->Next().ok());
+      }
+      EXPECT_EQ(walked, c.decoded) << "seed " << seed << " kernel "
+                                   << kernel_name;
+      EXPECT_EQ(cursor->tuple_count(), c.decoded.size());
+    }
+  });
 }
 
 TEST_P(BlockCursorProperty, SeekMatchesLowerBoundEverywhere) {
-  for (uint64_t seed = 100; seed <= 115; ++seed) {
-    CodecCase c = MakeCase(GetParam(), seed);
-    Random rng(seed * 31 + 7);
-    for (int trial = 0; trial < 12; ++trial) {
-      // Mix of present tuples (exact seeks, including into duplicate
-      // runs) and fresh uniform keys (between / beyond seeks).
-      OrdinalTuple key = rng.Bernoulli(0.5) && !c.decoded.empty()
-                             ? c.decoded[rng.Uniform(c.decoded.size())]
-                             : RandomTuple(*c.schema, rng);
-      const size_t expected = LowerBoundInBlock(c.decoded, key);
-      auto cursor = c.codec->NewCursor(c.image).value();
-      ASSERT_TRUE(cursor->Seek(key).ok());
-      if (expected == c.decoded.size()) {
-        EXPECT_FALSE(cursor->Valid()) << "seed " << seed;
-        continue;
-      }
-      ASSERT_TRUE(cursor->Valid());
-      EXPECT_EQ(cursor->position(), expected) << "seed " << seed;
-      // The remaining walk must reproduce the decoded suffix exactly.
-      for (size_t i = expected; i < c.decoded.size(); ++i) {
+  ForEachAvailableKernel([&](const char* kernel_name) {
+    for (uint64_t seed = 100; seed <= 115; ++seed) {
+      CodecCase c = MakeCase(GetParam(), seed);
+      Random rng(seed * 31 + 7);
+      for (int trial = 0; trial < 12; ++trial) {
+        // Mix of present tuples (exact seeks, including into duplicate
+        // runs) and fresh uniform keys (between / beyond seeks).
+        OrdinalTuple key = rng.Bernoulli(0.5) && !c.decoded.empty()
+                               ? c.decoded[rng.Uniform(c.decoded.size())]
+                               : RandomTuple(*c.schema, rng);
+        const size_t expected = LowerBoundInBlock(c.decoded, key);
+        auto cursor = c.codec->NewCursor(c.image).value();
+        ASSERT_TRUE(cursor->Seek(key).ok());
+        if (expected == c.decoded.size()) {
+          EXPECT_FALSE(cursor->Valid())
+              << "seed " << seed << " kernel " << kernel_name;
+          continue;
+        }
         ASSERT_TRUE(cursor->Valid());
-        EXPECT_EQ(cursor->tuple(), c.decoded[i]);
-        ASSERT_TRUE(cursor->Next().ok());
+        EXPECT_EQ(cursor->position(), expected)
+            << "seed " << seed << " kernel " << kernel_name;
+        // The remaining walk must reproduce the decoded suffix exactly.
+        for (size_t i = expected; i < c.decoded.size(); ++i) {
+          ASSERT_TRUE(cursor->Valid());
+          EXPECT_EQ(cursor->tuple(), c.decoded[i]);
+          ASSERT_TRUE(cursor->Next().ok());
+        }
+        EXPECT_FALSE(cursor->Valid());
       }
-      EXPECT_FALSE(cursor->Valid());
     }
-  }
+  });
 }
 
 TEST_P(BlockCursorProperty, SecondPositioningCallIsRejected) {

@@ -1,0 +1,391 @@
+// Decode-kernel dispatch and byte-identity: every compiled-in kernel must
+// produce the digit-for-digit output of the scalar baseline on every
+// valid block (the format contract of docs/FORMAT.md), the registry must
+// resolve names and ISA availability gracefully (unknown or unavailable
+// requests fall back to scalar), and the arena must stop allocating once
+// warm.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/avq/block_decoder.h"
+#include "src/avq/codec_options.h"
+#include "src/avq/decode_kernel.h"
+#include "src/common/random.h"
+#include "src/db/block_codecs.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+using ::avqdb::testing::IntSchema;
+using ::avqdb::testing::RandomTuple;
+
+// Restores auto dispatch (and the environment) no matter how a test exits.
+struct KernelOverrideGuard {
+  ~KernelOverrideGuard() {
+    unsetenv("AVQDB_DECODE_KERNEL");
+    SetDecodeKernelForTesting(nullptr);
+  }
+};
+
+uint64_t FallbackCount() {
+  return obs::MetricsRegistry::Global()
+      .GetCounter(obs::kDecodeKernelFallbacks)
+      ->value();
+}
+
+// ---- registry and resolution ----
+
+TEST(DecodeKernelRegistry, ScalarIsAlwaysFirstAndAvailable) {
+  const auto& kernels = AllDecodeKernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_STREQ(kernels[0]->name(), "scalar");
+  EXPECT_TRUE(kernels[0]->Available());
+  EXPECT_EQ(FindDecodeKernel("scalar"), kernels[0]);
+}
+
+TEST(DecodeKernelRegistry, FindByNameRoundTrips) {
+  for (const DecodeKernel* kernel : AllDecodeKernels()) {
+    EXPECT_EQ(FindDecodeKernel(kernel->name()), kernel);
+  }
+  EXPECT_EQ(FindDecodeKernel("no-such-isa"), nullptr);
+  EXPECT_EQ(FindDecodeKernel(""), nullptr);
+}
+
+TEST(DecodeKernelRegistry, AutoPicksAnAvailableKernelWithoutFallback) {
+  for (const char* request : {static_cast<const char*>(nullptr), "", "auto"}) {
+    bool fell_back = true;
+    const DecodeKernel& kernel = ResolveDecodeKernel(request, &fell_back);
+    EXPECT_FALSE(fell_back);
+    EXPECT_TRUE(kernel.Available());
+  }
+}
+
+TEST(DecodeKernelRegistry, ExplicitScalarResolvesWithoutFallback) {
+  bool fell_back = true;
+  const DecodeKernel& kernel = ResolveDecodeKernel("scalar", &fell_back);
+  EXPECT_FALSE(fell_back);
+  EXPECT_STREQ(kernel.name(), "scalar");
+}
+
+TEST(DecodeKernelRegistry, UnknownNameFallsBackToScalarAndCounts) {
+  const uint64_t before = FallbackCount();
+  bool fell_back = false;
+  const DecodeKernel& kernel = ResolveDecodeKernel("vliw9000", &fell_back);
+  EXPECT_TRUE(fell_back);
+  EXPECT_STREQ(kernel.name(), "scalar");
+  EXPECT_EQ(FallbackCount(), before + 1);
+}
+
+TEST(DecodeKernelRegistry, ForeignIsaNameFallsBackToScalar) {
+  // A kernel name that is real on some architecture but not compiled into
+  // this binary (x86-64 lacks neon; aarch64 lacks the x86 kernels) must
+  // degrade exactly like an unknown name.
+  for (const char* name : {"neon", "sse42", "avx2"}) {
+    if (FindDecodeKernel(name) != nullptr) continue;  // native here
+    bool fell_back = false;
+    const DecodeKernel& kernel = ResolveDecodeKernel(name, &fell_back);
+    EXPECT_TRUE(fell_back) << name;
+    EXPECT_STREQ(kernel.name(), "scalar") << name;
+  }
+}
+
+TEST(DecodeKernelDispatch, EnvironmentOverrideForcesKernel) {
+  KernelOverrideGuard guard;
+  setenv("AVQDB_DECODE_KERNEL", "scalar", 1);
+  SetDecodeKernelForTesting(nullptr);  // drop the cached resolution
+  EXPECT_STREQ(SelectedDecodeKernel().name(), "scalar");
+}
+
+TEST(DecodeKernelDispatch, BogusEnvironmentOverrideFallsBackToScalar) {
+  KernelOverrideGuard guard;
+  const uint64_t before = FallbackCount();
+  setenv("AVQDB_DECODE_KERNEL", "quantum", 1);
+  SetDecodeKernelForTesting(nullptr);
+  EXPECT_STREQ(SelectedDecodeKernel().name(), "scalar");
+  EXPECT_GT(FallbackCount(), before);
+}
+
+// ---- byte identity across the random schema/options/seed matrix ----
+
+// Cardinalities spanning 1..8-byte digits so the widening loops see every
+// width, including the 8-byte load path.
+const uint64_t kCardinalities[] = {2,          7,          256,
+                                   257,        4096,       65536,
+                                   1u << 20,   1ull << 33, 1ull << 47,
+                                   1ull << 62};
+
+SchemaPtr RandomSchema(Random& rng) {
+  const size_t num_attrs = 1 + rng.Uniform(6);
+  std::vector<uint64_t> cards;
+  for (size_t i = 0; i < num_attrs; ++i) {
+    cards.push_back(kCardinalities[rng.Uniform(std::size(kCardinalities))]);
+  }
+  return IntSchema(cards);
+}
+
+CodecOptions RandomOptions(Random& rng) {
+  CodecOptions options;
+  options.variant = rng.Bernoulli(0.5) ? CodecVariant::kChainDelta
+                                       : CodecVariant::kRepresentativeDelta;
+  options.representative = rng.Bernoulli(0.5)
+                               ? RepresentativeChoice::kMiddle
+                               : RepresentativeChoice::kFirst;
+  options.run_length_zeros = rng.Bernoulli(0.5);
+  options.checksum = rng.Bernoulli(0.5);
+  const size_t block_sizes[] = {512, 4096, 8192};
+  options.block_size = block_sizes[rng.Uniform(3)];
+  return options;
+}
+
+// One coded block of clustered random content (duplicates and zero deltas
+// included — the cases RLE elides hardest).
+std::string RandomBlock(const Schema& schema, const TupleBlockCodec& codec,
+                        Random& rng, std::vector<OrdinalTuple>* tuples_out) {
+  std::vector<OrdinalTuple> tuples;
+  for (size_t i = 0; i < 500; ++i) {
+    if (!tuples.empty() && rng.Bernoulli(0.25)) {
+      tuples.push_back(tuples[rng.Uniform(tuples.size())]);
+    } else {
+      tuples.push_back(RandomTuple(schema, rng));
+    }
+  }
+  std::sort(tuples.begin(), tuples.end(),
+            [](const OrdinalTuple& a, const OrdinalTuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  tuples.resize(codec.FillCount(tuples, 0));
+  if (tuples_out != nullptr) *tuples_out = tuples;
+  return codec.EncodeBlock(tuples).value();
+}
+
+TEST(DecodeKernelIdentity, AllKernelsMatchScalarAcrossPropertyMatrix) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Random rng(seed);
+    SchemaPtr schema = RandomSchema(rng);
+    auto codec = MakeAvqBlockCodec(schema, RandomOptions(rng));
+    std::vector<OrdinalTuple> expected;
+    const std::string image = RandomBlock(*schema, *codec, rng, &expected);
+    ASSERT_FALSE(expected.empty());
+
+    DecodeArena reference;
+    BlockHeader header;
+    ASSERT_TRUE(DecodeBlockToArena(*schema, Slice(image),
+                                   *FindDecodeKernel("scalar"), &reference,
+                                   &header)
+                    .ok())
+        << "seed " << seed;
+    ASSERT_EQ(header.tuple_count, expected.size());
+    const size_t arity = schema->num_attributes();
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(0, std::memcmp(reference.digit_row(i), expected[i].data(),
+                               arity * sizeof(uint64_t)))
+          << "seed " << seed << " row " << i;
+    }
+
+    for (const DecodeKernel* kernel : AllDecodeKernels()) {
+      if (!kernel->Available()) continue;
+      DecodeArena arena;
+      BlockHeader h;
+      ASSERT_TRUE(
+          DecodeBlockToArena(*schema, Slice(image), *kernel, &arena, &h).ok())
+          << kernel->name() << " seed " << seed;
+      ASSERT_EQ(h.tuple_count, header.tuple_count);
+      ASSERT_EQ(0, std::memcmp(arena.digit_row(0), reference.digit_row(0),
+                               expected.size() * arity * sizeof(uint64_t)))
+          << kernel->name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(DecodeKernelIdentity, ForcedKernelDecodeBlockMatchesScalar) {
+  // The full dispatched path: force each kernel as the process selection
+  // and run the public DecodeBlock wrapper.
+  KernelOverrideGuard guard;
+  for (uint64_t seed = 50; seed <= 62; ++seed) {
+    Random rng(seed);
+    SchemaPtr schema = RandomSchema(rng);
+    auto codec = MakeAvqBlockCodec(schema, RandomOptions(rng));
+    std::vector<OrdinalTuple> expected;
+    const std::string image = RandomBlock(*schema, *codec, rng, &expected);
+
+    for (const DecodeKernel* kernel : AllDecodeKernels()) {
+      if (!kernel->Available()) continue;
+      SetDecodeKernelForTesting(kernel);
+      auto decoded = DecodeBlock(*schema, Slice(image));
+      ASSERT_TRUE(decoded.ok()) << kernel->name() << " seed " << seed;
+      EXPECT_EQ(decoded->tuples, expected) << kernel->name() << " seed "
+                                           << seed;
+    }
+  }
+}
+
+// True when every decoded digit is inside its radix — the domain all
+// valid blocks decode into. When the scalar baseline's output is fully in
+// domain, the zero-skip kernels are provably byte-identical (row by row,
+// a valid predecessor plus the same difference yields the same digits);
+// out-of-domain digits only arise from corruption, where the kernel
+// contract (see decode_kernel_impl.h) requires matching *structural*
+// errors but not matching arithmetic on garbage.
+bool RowsInDomain(const DecodeArena& arena, const Schema& schema,
+                  size_t count) {
+  const auto& radices = schema.radices();
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t* row = arena.digit_row(i);
+    for (size_t d = 0; d < radices.size(); ++d) {
+      if (row[d] >= radices[d]) return false;
+    }
+  }
+  return true;
+}
+
+TEST(DecodeKernelIdentity, StructuralCorruptionFailsIdenticallyAcrossKernels) {
+  // Stream-structure damage (bad leading-zero counts, truncated suffixes,
+  // trailing bytes) is detected during expansion, which is the same code
+  // shape in every kernel — the Status must match word for word.
+  SchemaPtr schema = IntSchema({65536, 4096, 256});
+  CodecOptions options;
+  options.checksum = false;  // let the damage reach the kernels
+  options.run_length_zeros = true;
+  options.block_size = 4096;
+  auto codec = MakeAvqBlockCodec(schema, options);
+  Random rng(70);
+  const std::string image = RandomBlock(*schema, *codec, rng, nullptr);
+  const size_t m = schema->tuple_width();
+
+  // The first difference's RLE count byte sits right after the header and
+  // the representative's m-byte image.
+  const size_t first_count_byte = kBlockHeaderSize + m;
+  std::vector<std::string> mutants;
+  std::string bad_count = image;
+  bad_count[first_count_byte] = static_cast<char>(0xff);  // z > m
+  mutants.push_back(bad_count);
+  std::string short_suffix = image;
+  // Claiming zero elided bytes everywhere overruns the stream's real
+  // length: some suffix (or a later count byte) comes up short.
+  for (size_t i = first_count_byte; i < short_suffix.size(); i += m + 1) {
+    short_suffix[i] = 0;
+  }
+  mutants.push_back(short_suffix);
+
+  for (const std::string& mutated : mutants) {
+    DecodeArena scalar_arena;
+    BlockHeader h;
+    const Status scalar_status =
+        DecodeBlockToArena(*schema, Slice(mutated),
+                           *FindDecodeKernel("scalar"), &scalar_arena, &h);
+    ASSERT_FALSE(scalar_status.ok());
+    for (const DecodeKernel* kernel : AllDecodeKernels()) {
+      if (!kernel->Available()) continue;
+      DecodeArena arena;
+      BlockHeader kh;
+      const Status status =
+          DecodeBlockToArena(*schema, Slice(mutated), *kernel, &arena, &kh);
+      EXPECT_EQ(status.ToString(), scalar_status.ToString())
+          << kernel->name();
+    }
+  }
+}
+
+TEST(DecodeKernelIdentity, RandomFlipsNeverDivergeInsideTheValidDomain) {
+  // Random single-byte flips with checksums off: every kernel must
+  // survive (no crash, ASan-clean), and whenever the scalar baseline
+  // decodes to fully in-domain digits the others must reproduce them
+  // exactly.
+  for (uint64_t seed = 70; seed <= 77; ++seed) {
+    Random rng(seed);
+    SchemaPtr schema = RandomSchema(rng);
+    CodecOptions options = RandomOptions(rng);
+    options.checksum = false;
+    auto codec = MakeAvqBlockCodec(schema, options);
+    const std::string image = RandomBlock(*schema, *codec, rng, nullptr);
+
+    for (int trial = 0; trial < 40; ++trial) {
+      std::string mutated = image;
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<char>(1 + rng.Uniform(255));
+
+      DecodeArena scalar_arena;
+      BlockHeader h;
+      const Status scalar_status =
+          DecodeBlockToArena(*schema, Slice(mutated),
+                             *FindDecodeKernel("scalar"), &scalar_arena, &h);
+      const bool comparable =
+          scalar_status.ok() &&
+          RowsInDomain(scalar_arena, *schema, h.tuple_count);
+      for (const DecodeKernel* kernel : AllDecodeKernels()) {
+        if (!kernel->Available() ||
+            std::strcmp(kernel->name(), "scalar") == 0) {
+          continue;
+        }
+        DecodeArena arena;
+        BlockHeader kh;
+        const Status status =
+            DecodeBlockToArena(*schema, Slice(mutated), *kernel, &arena, &kh);
+        if (!comparable) continue;  // garbage domain: survival is enough
+        ASSERT_TRUE(status.ok())
+            << kernel->name() << " seed " << seed << " trial " << trial
+            << ": " << status.ToString();
+        EXPECT_EQ(0, std::memcmp(arena.digit_row(0),
+                                 scalar_arena.digit_row(0),
+                                 kh.tuple_count * schema->num_attributes() *
+                                     sizeof(uint64_t)))
+            << kernel->name() << " seed " << seed << " trial " << trial;
+      }
+    }
+  }
+}
+
+// ---- arena behavior ----
+
+TEST(DecodeArenaTest, SteadyStateDecodesWithoutGrowing) {
+  Random rng(7);
+  SchemaPtr schema = IntSchema({65536, 4096, 1u << 20});
+  auto codec = MakeAvqBlockCodec(schema, CodecOptions{});
+  const std::string image = RandomBlock(*schema, *codec, rng, nullptr);
+
+  DecodeArena arena;
+  BlockHeader header;
+  ASSERT_TRUE(DecodeBlockToArena(*schema, Slice(image),
+                                 SelectedDecodeKernel(), &arena, &header)
+                  .ok());
+  const DecodeArena::Stats warm = arena.stats();
+  EXPECT_GT(warm.blocks_decoded, 0u);
+  EXPECT_GT(warm.reserved_bytes, 0u);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(DecodeBlockToArena(*schema, Slice(image),
+                                   SelectedDecodeKernel(), &arena, &header)
+                    .ok());
+  }
+  const DecodeArena::Stats& after = arena.stats();
+  EXPECT_EQ(after.grow_events, warm.grow_events)
+      << "warm arena must not allocate";
+  EXPECT_EQ(after.blocks_decoded, warm.blocks_decoded + 5);
+  EXPECT_EQ(after.reserved_bytes, warm.reserved_bytes);
+}
+
+TEST(DecodeArenaTest, ThreadLocalArenaIsReusedAcrossDecodeBlockCalls) {
+  Random rng(11);
+  SchemaPtr schema = IntSchema({65536, 65536});
+  auto codec = MakeAvqBlockCodec(schema, CodecOptions{});
+  const std::string image = RandomBlock(*schema, *codec, rng, nullptr);
+
+  ASSERT_TRUE(DecodeBlock(*schema, Slice(image)).ok());
+  const uint64_t grows = DecodeArena::ThreadLocal().stats().grow_events;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(DecodeBlock(*schema, Slice(image)).ok());
+  }
+  EXPECT_EQ(DecodeArena::ThreadLocal().stats().grow_events, grows);
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -12,9 +12,15 @@
 #     admission control);
 #   * both sanitizers on the network serving tests (ctest label
 #     "server": protocol round-trips, malformed-frame fuzz, pipelined
-#     sessions, disconnect cancellation, multi-client soak).
+#     sessions, disconnect cancellation, multi-client soak);
+#   * both sanitizers on the decode-kernel-sensitive tests (kernel,
+#     codec, cursor, cache, query suites), each run twice: once with
+#     AVQDB_DECODE_KERNEL=scalar and once with the best SIMD kernel
+#     this host can run, so zero-skip replay and the wide loads get
+#     ASan/TSan coverage on both dispatch outcomes.
 #
-# Usage: tools/run_sanitized_tests.sh [tsan|asan|fault|resilience|server|all]
+# Usage: tools/run_sanitized_tests.sh
+#   [tsan|asan|fault|resilience|server|kernel|all]
 # (default: all)
 #
 # Build trees land in build-tsan/ and build-asan/ next to build/ so the
@@ -82,6 +88,53 @@ run_server() {
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L server
 }
 
+# The most-preferred SIMD kernel this host can run (the same choice
+# auto-dispatch makes); "scalar" when the host has none.
+best_simd_kernel() {
+  local arch
+  arch="$(uname -m)"
+  if [[ "${arch}" == "x86_64" ]]; then
+    if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+      echo avx2
+    elif grep -qw sse4_2 /proc/cpuinfo 2>/dev/null; then
+      echo sse42
+    else
+      echo scalar
+    fi
+  elif [[ "${arch}" == "aarch64" || "${arch}" == "arm64" ]]; then
+    echo neon
+  else
+    echo scalar
+  fi
+}
+
+run_kernel() {
+  local simd
+  simd="$(best_simd_kernel)"
+  echo "== Sanitized decode-kernel tests (scalar + ${simd}) =="
+  local kernel_targets="decode_kernel_test block_cursor_test \
+    relation_codec_test codec_determinism_test corruption_test \
+    decoded_block_cache_test query_test join_test table_test"
+  local kernel_regex='DecodeKernel|DecodeArena|BlockCursor|LowerBoundInBlock|RelationCodec|Determinism|Corruption|DecodedBlockCache|Query|Join|Table'
+  cmake -B build-tsan -S . -DAVQDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build build-tsan -j "${jobs}" --target ${kernel_targets}
+  cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build build-asan -j "${jobs}" --target ${kernel_targets}
+  local kernels="scalar"
+  [[ "${simd}" != "scalar" ]] && kernels="scalar ${simd}"
+  for kernel in ${kernels}; do
+    for tree in build-tsan build-asan; do
+      echo "-- ${tree} with AVQDB_DECODE_KERNEL=${kernel} --"
+      AVQDB_DECODE_KERNEL="${kernel}" ctest --test-dir "${tree}" \
+        --output-on-failure -j "${jobs}" -R "${kernel_regex}"
+    done
+  done
+}
+
 run_asan() {
   echo "== AddressSanitizer + UBSan (full suite) =="
   cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
@@ -96,15 +149,17 @@ case "${mode}" in
   fault) run_fault ;;
   resilience) run_resilience ;;
   server) run_server ;;
+  kernel) run_kernel ;;
   all)
     run_tsan
     run_fault
     run_resilience
     run_server
+    run_kernel
     run_asan
     ;;
   *)
-    echo "usage: $0 [tsan|asan|fault|resilience|server|all]" >&2
+    echo "usage: $0 [tsan|asan|fault|resilience|server|kernel|all]" >&2
     exit 2
     ;;
 esac
