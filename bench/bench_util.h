@@ -6,14 +6,19 @@
 #ifndef AVQDB_BENCH_BENCH_UTIL_H_
 #define AVQDB_BENCH_BENCH_UTIL_H_
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/avq/decode_kernel.h"
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
+#include "src/obs/quantile.h"
 #include "src/schema/tuple.h"
 #include "src/workload/generator.h"
 
@@ -58,14 +63,55 @@ inline void PrintRule() {
   std::printf("------------------------------------------------------------\n");
 }
 
+// The machine this bench ran on, as a JSON object — hostname, core
+// count, and the runtime-selected decode kernel — so BENCH_*.json
+// trajectories are comparable across hosts.
+inline std::string HostJson() {
+  char hostname[256] = "unknown";
+  if (::gethostname(hostname, sizeof(hostname)) != 0) {
+    std::snprintf(hostname, sizeof(hostname), "unknown");
+  }
+  hostname[sizeof(hostname) - 1] = '\0';
+  std::string out = "{\"hostname\": \"";
+  out += hostname;
+  out += "\", \"cpus\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += ", \"decode_kernel\": \"";
+  out += SelectedDecodeKernel().name();
+  out += "\"}";
+  return out;
+}
+
+// Estimator-derived p50/p95/p99 for every non-empty histogram in the
+// snapshot, as a JSON object keyed by metric name.
+inline std::string QuantilesJson(const obs::MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  char entry[256];
+  for (const auto& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    const obs::Quantiles q = obs::EstimateQuantiles(h);
+    std::snprintf(entry, sizeof(entry),
+                  "%s\"%s\": {\"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g}",
+                  first ? "" : ", ", h.name.c_str(), q.p50, q.p95, q.p99);
+    out += entry;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
 // Writes `path` as the schema-versioned machine-readable bench envelope
 //
-//   {"schema_version": 1, "bench": ..., "metrics": ..., "results": ...}
+//   {"schema_version": 2, "bench": ..., "host": ..., "metrics": ...,
+//    "quantiles": ..., "results": ...}
 //
 // where `bench_json` describes the run configuration (a JSON object),
-// `results_json` holds the measurements (any JSON value), and "metrics"
-// is a full snapshot of the process-wide registry so every BENCH_*.json
-// carries the runtime telemetry of the run that produced it.
+// `results_json` holds the measurements (any JSON value), "host" names
+// the machine/kernel that produced the numbers, "metrics" is a full
+// snapshot of the process-wide registry, and "quantiles" carries
+// estimator-derived p50/p95/p99 per histogram. (v2 added "host" and
+// "quantiles"; the embedded metrics schema is versioned separately.)
 inline bool WriteBenchJson(const char* path, const std::string& bench_json,
                            const std::string& results_json) {
   FILE* json = std::fopen(path, "w");
@@ -73,16 +119,21 @@ inline bool WriteBenchJson(const char* path, const std::string& bench_json,
     std::fprintf(stderr, "cannot write %s\n", path);
     return false;
   }
-  std::string metrics = obs::MetricsRegistry::Global().Snapshot().ToJson();
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  std::string metrics = snapshot.ToJson();
   while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
   std::fprintf(json,
                "{\n"
-               "\"schema_version\": 1,\n"
+               "\"schema_version\": 2,\n"
                "\"bench\": %s,\n"
+               "\"host\": %s,\n"
                "\"metrics\": %s,\n"
+               "\"quantiles\": %s,\n"
                "\"results\": %s\n"
                "}\n",
-               bench_json.c_str(), metrics.c_str(), results_json.c_str());
+               bench_json.c_str(), HostJson().c_str(), metrics.c_str(),
+               QuantilesJson(snapshot).c_str(), results_json.c_str());
   std::fclose(json);
   std::printf("wrote %s\n", path);
   return true;

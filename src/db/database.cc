@@ -1,11 +1,13 @@
 #include "src/db/database.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "src/common/string_util.h"
 #include "src/obs/metric_names.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace avqdb {
 
@@ -59,9 +61,21 @@ Result<std::vector<OrdinalTuple>> Database::Select(
     uint64_t memory_limit_bytes) {
   AVQDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
 
+  // When the caller wants a trace, own it here (not in the scan driver)
+  // so admission wait shows up in EXPLAIN output next to the execution
+  // spans. A query nested under an already-active trace (a join leg)
+  // still contributes to the enclosing trace instead.
+  std::shared_ptr<obs::QueryTrace> trace;
+  std::optional<obs::TraceActivation> activation;
+  if (stats != nullptr && stats->collect_trace && !obs::TracingActive()) {
+    trace = std::make_shared<obs::QueryTrace>();
+    activation.emplace(trace.get());
+  }
+
   // Admission first: a shed query must not consume budget or touch data.
   AdmissionController::Ticket ticket;
   if (admission_ != nullptr) {
+    obs::TraceSpanScope admission_span("admission");
     AVQDB_ASSIGN_OR_RETURN(ticket, admission_->Admit(ctx));
   }
 
@@ -74,6 +88,8 @@ Result<std::vector<OrdinalTuple>> Database::Select(
 
   Result<std::vector<OrdinalTuple>> result =
       ExecuteConjunctiveSelect(*table, query, stats, &governed);
+  // The scan driver resets *stats; hand the owned trace back afterwards.
+  if (trace != nullptr) stats->trace = trace;
   static obs::Histogram* peak_bytes =
       obs::MetricsRegistry::Global().GetHistogram(obs::kExecQueryPeakBytes);
   peak_bytes->Record(query_budget.peak());

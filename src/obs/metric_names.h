@@ -163,6 +163,16 @@ inline constexpr char kServerBytesSent[] = "server.net.bytes_sent";
 inline constexpr char kServerRequestLatencyMicros[] =
     "server.requests.latency_us";
 
+// --- per-request latency breakdown + remote telemetry (server/server.cc) ---
+inline constexpr char kServerRequestQueueMicros[] = "server.request.queue_us";
+inline constexpr char kServerRequestExecMicros[] = "server.request.exec_us";
+inline constexpr char kServerRequestSendMicros[] = "server.request.send_us";
+inline constexpr char kServerStatsRequests[] = "server.stats.requests";
+
+// --- query journal (obs/query_journal.cc) ---
+inline constexpr char kJournalAppends[] = "obs.journal.appends";
+inline constexpr char kJournalSlowQueries[] = "obs.journal.slow_queries";
+
 }  // namespace avqdb::obs
 
 #endif  // AVQDB_OBS_METRIC_NAMES_H_

@@ -1,0 +1,76 @@
+#include "src/obs/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/quantile.h"
+
+namespace avqdb::obs {
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "avqdb_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+void AppendQuantileGauge(std::string* out, const std::string& base,
+                         const char* suffix, double value) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "# TYPE %s%s gauge\n%s%s %.6g\n",
+                base.c_str(), suffix, base.c_str(), suffix, value);
+  *out += line;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[192];
+
+  for (const auto& c : snapshot.counters) {
+    const std::string name = PromName(c.name);
+    std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %" PRIu64 "\n",
+                  name.c_str(), name.c_str(), c.value);
+    out += line;
+  }
+
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = PromName(g.name);
+    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %" PRId64 "\n",
+                  name.c_str(), name.c_str(), g.value);
+    out += line;
+  }
+
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = PromName(h.name);
+    std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", name.c_str());
+    out += line;
+    // Snapshot buckets are per-bucket counts with inclusive upper bounds;
+    // Prometheus wants cumulative counts-at-or-below `le`.
+    uint64_t cumulative = 0;
+    for (const auto& [le, count] : h.buckets) {
+      cumulative += count;
+      std::snprintf(line, sizeof(line),
+                    "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                    name.c_str(), le, cumulative);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n%s_sum %" PRIu64
+                  "\n%s_count %" PRIu64 "\n",
+                  name.c_str(), h.count, name.c_str(), h.sum, name.c_str(),
+                  h.count);
+    out += line;
+    const Quantiles q = EstimateQuantiles(h);
+    AppendQuantileGauge(&out, name, "_p50", q.p50);
+    AppendQuantileGauge(&out, name, "_p95", q.p95);
+    AppendQuantileGauge(&out, name, "_p99", q.p99);
+  }
+
+  return out;
+}
+
+}  // namespace avqdb::obs

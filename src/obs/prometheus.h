@@ -1,0 +1,30 @@
+// Prometheus text-exposition (format 0.0.4) rendering of a
+// MetricsSnapshot, so any scraper in the ecosystem can consume avqdb's
+// registry without a sidecar.
+//
+// Mapping (pinned by tests/prometheus_test.cc):
+//   - names: "avqdb_" prefix, dots -> underscores
+//     ("server.requests.ok" -> "avqdb_server_requests_ok")
+//   - counters  -> `# TYPE ... counter`, one sample line
+//   - gauges    -> `# TYPE ... gauge`, one sample line
+//   - histograms -> `# TYPE ... histogram` with CUMULATIVE
+//     `_bucket{le="<upper>"}` lines derived from the registry's
+//     power-of-two buckets (inclusive upper bounds become `le` labels),
+//     a closing `_bucket{le="+Inf"}`, `_sum`, and `_count`, plus
+//     estimator-derived `avqdb_<name>_p50/_p95/_p99` gauges so
+//     dashboards get quantiles without PromQL histogram_quantile.
+
+#ifndef AVQDB_OBS_PROMETHEUS_H_
+#define AVQDB_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace avqdb::obs {
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace avqdb::obs
+
+#endif  // AVQDB_OBS_PROMETHEUS_H_

@@ -1,0 +1,55 @@
+#include "src/obs/quantile.h"
+
+#include <cmath>
+
+namespace avqdb::obs {
+
+double EstimateQuantile(const MetricsSnapshot::HistogramSample& hist,
+                        double q) {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+
+  uint64_t total = 0;
+  for (const auto& [le, count] : hist.buckets) total += count;
+  if (total == 0) return 0.0;
+
+  // Rank of the target sample, 1-based: ceil(q * total), at least 1.
+  const double exact = q * static_cast<double>(total);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(exact));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+
+  uint64_t cumulative = 0;
+  for (const auto& [le, count] : hist.buckets) {
+    if (count == 0) continue;
+    if (cumulative + count < rank) {
+      cumulative += count;
+      continue;
+    }
+    // Target rank lands in this bucket. Reconstruct its range from the
+    // inclusive upper bound: bucket 0 is exactly {0}; otherwise
+    // [le/2 + 1, le].
+    if (le == 0) return 0.0;
+    const double lo = static_cast<double>(le / 2 + 1);
+    const double hi = static_cast<double>(le);
+    // Fraction of the way through this bucket's samples.
+    const double into =
+        (static_cast<double>(rank - cumulative) - 0.5) /
+        static_cast<double>(count);
+    double v = lo + into * (hi - lo);
+    if (v < lo) v = lo;
+    if (v > hi) v = hi;
+    return v;
+  }
+  return 0.0;  // unreachable when counts are consistent
+}
+
+Quantiles EstimateQuantiles(const MetricsSnapshot::HistogramSample& hist) {
+  Quantiles out;
+  out.p50 = EstimateQuantile(hist, 0.50);
+  out.p95 = EstimateQuantile(hist, 0.95);
+  out.p99 = EstimateQuantile(hist, 0.99);
+  return out;
+}
+
+}  // namespace avqdb::obs

@@ -1,0 +1,37 @@
+// Quantile estimation over the registry's power-of-two histograms.
+//
+// A histogram stores only bucket counts, so quantiles are estimates: the
+// target rank is located in its bucket and the value is linearly
+// interpolated across that bucket's [lower, upper] range. Bucket 0 holds
+// exactly 0; bucket with inclusive upper bound `le` (le >= 1) covers
+// [le/2 + 1, le] — both bounds are recoverable from `le` alone, which is
+// all a MetricsSnapshot (or a wire-decoded copy of one) carries.
+//
+// One estimator serves every consumer — the Prometheus exporter,
+// avqdb_stats (local and remote), and the bench envelope — so a p95
+// printed by any of them means the same thing.
+
+#ifndef AVQDB_OBS_QUANTILE_H_
+#define AVQDB_OBS_QUANTILE_H_
+
+#include "src/obs/metrics.h"
+
+namespace avqdb::obs {
+
+// Estimated value at quantile q (clamped to [0, 1]) of a snapshotted
+// histogram. Returns 0.0 for an empty histogram. The estimate never
+// exceeds the populated buckets' upper bounds.
+double EstimateQuantile(const MetricsSnapshot::HistogramSample& hist,
+                        double q);
+
+// The standard latency trio, computed in one pass each.
+struct Quantiles {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+Quantiles EstimateQuantiles(const MetricsSnapshot::HistogramSample& hist);
+
+}  // namespace avqdb::obs
+
+#endif  // AVQDB_OBS_QUANTILE_H_

@@ -1,0 +1,148 @@
+#include "src/obs/query_journal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+
+namespace avqdb::obs {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  if (n < 2) return 2;
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+QueryJournal::QueryJournal(size_t capacity)
+    : capacity_(RoundUpPow2(capacity)),
+      slots_(new Slot[capacity_]),
+      slow_threshold_us_(ParseSlowThresholdMs(nullptr, 1000 * 1000)) {}
+
+QueryJournal& QueryJournal::Global() {
+  static QueryJournal* journal = [] {
+    auto* j = new QueryJournal(kDefaultCapacity);
+    j->SetSlowThresholdMicros(ParseSlowThresholdMs(
+        std::getenv("AVQDB_SLOW_QUERY_MS"), /*fallback_us=*/1000 * 1000));
+    return j;
+  }();
+  return *journal;
+}
+
+uint64_t QueryJournal::ParseSlowThresholdMs(const char* text,
+                                            uint64_t fallback_us) {
+  if (text == nullptr || *text == '\0') return fallback_us;
+  // strtoull silently negates "-5"; only digit-leading input is valid.
+  if (*text < '0' || *text > '9') return fallback_us;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long ms = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return fallback_us;
+  return static_cast<uint64_t>(ms) * 1000;
+}
+
+bool QueryJournal::Append(Record record) {
+  static obs::Counter* appends =
+      MetricsRegistry::Global().GetCounter(kJournalAppends);
+  static obs::Counter* slow_queries =
+      MetricsRegistry::Global().GetCounter(kJournalSlowQueries);
+  const uint64_t threshold = slow_threshold_us();
+  const bool slow = threshold != 0 && record.total_us() >= threshold;
+  if (slow) record.flags |= kFlagSlow;
+  appends->Increment();
+  if (slow) slow_queries->Increment();
+
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (capacity_ - 1)];
+  // Generation for this ticket: even = committed. Odd marks the write in
+  // progress so readers discard the slot while words are being replaced.
+  const uint64_t committed = 2 * (ticket / capacity_ + 1);
+  slot.seq.store(committed - 1, std::memory_order_release);
+
+  uint64_t words[kWordsPerRecord];
+  static_assert(sizeof(words) == sizeof(Record));
+  std::memcpy(words, &record, sizeof(record));
+  for (size_t i = 0; i < kWordsPerRecord; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(committed, std::memory_order_release);
+  return slow;
+}
+
+std::vector<QueryJournal::Record> QueryJournal::Tail(size_t max) const {
+  const uint64_t total = next_.load(std::memory_order_acquire);
+  uint64_t want = total < capacity_ ? total : capacity_;
+  if (want > max) want = max;
+
+  std::vector<Record> out;
+  out.reserve(want);
+  // Oldest first among the last `want` tickets.
+  for (uint64_t ticket = total - want; ticket < total; ++ticket) {
+    const Slot& slot = slots_[ticket & (capacity_ - 1)];
+    const uint64_t expected = 2 * (ticket / capacity_ + 1);
+    const uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 != expected) continue;  // mid-write or already overwritten
+    uint64_t words[kWordsPerRecord];
+    // Acquire loads keep the seq re-check below from being reordered
+    // before any word read (TSan cannot model a bare acquire fence).
+    for (size_t i = 0; i < kWordsPerRecord; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_acquire);
+    }
+    const uint64_t seq2 = slot.seq.load(std::memory_order_relaxed);
+    if (seq2 != expected) continue;  // torn by a wrapping writer
+    Record record;
+    std::memcpy(&record, words, sizeof(record));
+    out.push_back(record);
+  }
+  return out;
+}
+
+const char* ReasonLabel(QueryJournal::Reason reason) {
+  switch (reason) {
+    case QueryJournal::Reason::kNone:
+      return "-";
+    case QueryJournal::Reason::kShed:
+      return "shed";
+    case QueryJournal::Reason::kDeadline:
+      return "deadline";
+    case QueryJournal::Reason::kCancelled:
+      return "cancelled";
+    case QueryJournal::Reason::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string FormatJournal(const std::vector<QueryJournal::Record>& records) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-8s %-20s %-6s %-9s %10s %10s %10s %10s %s\n",
+                "rid", "table", "status", "reason", "queue_us", "exec_us",
+                "send_us", "tuples", "flags");
+  out += line;
+  for (const auto& r : records) {
+    std::snprintf(
+        line, sizeof(line),
+        "%-8llu %-20.*s %-6u %-9s %10llu %10llu %10llu %10llu %s\n",
+        static_cast<unsigned long long>(r.request_id),
+        static_cast<int>(r.table_name().size()), r.table,
+        static_cast<unsigned>(r.wire_status),
+        ReasonLabel(static_cast<QueryJournal::Reason>(r.reason)),
+        static_cast<unsigned long long>(r.queue_us),
+        static_cast<unsigned long long>(r.exec_us),
+        static_cast<unsigned long long>(r.send_us),
+        static_cast<unsigned long long>(r.tuples),
+        (r.flags & QueryJournal::kFlagSlow) ? "slow" : "-");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace avqdb::obs

@@ -1,0 +1,138 @@
+// QueryJournal: an always-on, fixed-capacity, lock-free ring of per-query
+// records — the server's flight recorder. Every request the serving path
+// finishes (ok, error, shed, cancelled) appends one compact record:
+// request id, table, wire status, shed/cancel reason, tuple count, and a
+// queue/exec/send latency breakdown. Operators read the tail after the
+// fact (via avqdb_stats or the kStats wire opcode) to answer "what were
+// the last N queries and where did their time go?" without having had
+// tracing enabled in advance.
+//
+// Concurrency model: a per-slot seqlock over plain atomic words. A writer
+// claims a ticket with one fetch_add, marks the slot odd (write in
+// progress), stores the record as relaxed uint64 words, then marks the
+// slot even with the ticket's generation. Readers snapshot slots and
+// discard any whose sequence was odd or changed across the copy — torn
+// records are skipped, never surfaced. Appends never block and never
+// allocate; readers allocate only their result vector. All shared state
+// is std::atomic, so the race-freedom claim is checkable under TSan
+// (tests/query_journal_test.cc hammers it).
+//
+// Records are POD with a fixed-width inline table name so a slot is a
+// fixed number of words; longer table names are truncated (the journal is
+// a debugging aid, not a system of record).
+
+#ifndef AVQDB_OBS_QUERY_JOURNAL_H_
+#define AVQDB_OBS_QUERY_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avqdb::obs {
+
+class QueryJournal {
+ public:
+  // Why a finished request did not produce a normal result.
+  enum class Reason : uint8_t {
+    kNone = 0,       // completed (ok or plain error status)
+    kShed = 1,       // admission control rejected it
+    kDeadline = 2,   // per-request deadline expired
+    kCancelled = 3,  // client disconnected mid-flight
+    kError = 4,      // any other failure status
+  };
+
+  // Record::flags bits.
+  static constexpr uint8_t kFlagSlow = 1;  // exceeded the slow-query threshold
+
+  struct Record {
+    static constexpr size_t kTableBytes = 24;
+
+    uint64_t request_id = 0;
+    uint64_t session_id = 0;
+    uint64_t start_unix_us = 0;  // wall-clock request arrival
+    uint64_t tuples = 0;         // matched tuples streamed back
+    uint64_t queue_us = 0;       // arrival -> execution start
+    uint64_t exec_us = 0;        // Database::Select wall time
+    uint64_t send_us = 0;        // result streaming wall time
+    uint32_t wire_status = 0;    // pinned wire code (server/wire_status.h)
+    uint8_t reason = 0;          // Reason enum
+    uint8_t flags = 0;           // kFlag* bits
+    uint16_t pad = 0;
+    char table[kTableBytes] = {};  // NUL-padded, truncated if longer
+
+    std::string_view table_name() const {
+      return {table, strnlen(table, kTableBytes)};
+    }
+    uint64_t total_us() const { return queue_us + exec_us + send_us; }
+  };
+  static_assert(sizeof(Record) == 88, "journal record layout is pinned");
+
+  // Capacity is rounded up to a power of two; minimum 2.
+  explicit QueryJournal(size_t capacity = kDefaultCapacity);
+
+  // The process-wide journal the server appends into. Never destroyed.
+  // Its slow-query threshold is seeded from AVQDB_SLOW_QUERY_MS on first
+  // use (default 1000 ms; 0 disables slow marking).
+  static QueryJournal& Global();
+
+  // Appends one record (lock-free, wait-free for writers, never
+  // allocates). Sets kFlagSlow when total_us crosses the threshold.
+  // Returns true when the record was marked slow.
+  bool Append(Record record);
+
+  // Copies the most recent `max` committed records, oldest first. Records
+  // mid-write or overwritten during the copy are skipped.
+  std::vector<Record> Tail(size_t max = SIZE_MAX) const;
+
+  // Total appends since construction (monotone; may exceed capacity).
+  uint64_t total_appends() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  uint64_t slow_threshold_us() const {
+    return slow_threshold_us_.load(std::memory_order_relaxed);
+  }
+  // 0 disables slow-query marking.
+  void SetSlowThresholdMicros(uint64_t us) {
+    slow_threshold_us_.store(us, std::memory_order_relaxed);
+  }
+
+  // Parses an AVQDB_SLOW_QUERY_MS-style value ("250" -> 250'000 us).
+  // Returns `fallback_us` on null/empty/malformed input. Exposed for
+  // tests.
+  static uint64_t ParseSlowThresholdMs(const char* text,
+                                       uint64_t fallback_us);
+
+  static constexpr size_t kDefaultCapacity = 512;
+
+ private:
+  static constexpr size_t kWordsPerRecord = sizeof(Record) / sizeof(uint64_t);
+
+  struct Slot {
+    // Even = committed generation, odd = write in progress.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> words[kWordsPerRecord] = {};
+  };
+
+  size_t capacity_;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> slow_threshold_us_;
+};
+
+// Human-readable one-line-per-record rendering (newest last), matching
+// the avqdb_stats --journal output.
+std::string FormatJournal(const std::vector<QueryJournal::Record>& records);
+
+// Short label for a Reason value ("-", "shed", "deadline", ...).
+const char* ReasonLabel(QueryJournal::Reason reason);
+
+}  // namespace avqdb::obs
+
+#endif  // AVQDB_OBS_QUERY_JOURNAL_H_

@@ -40,6 +40,14 @@ void AppendSpanTree(const QueryTrace& trace, size_t index, int depth,
 
 }  // namespace
 
+QueryTrace QueryTrace::FromParts(std::vector<Span> spans,
+                                 uint64_t dropped_spans) {
+  QueryTrace trace;
+  trace.spans_ = std::move(spans);
+  trace.dropped_ = dropped_spans;
+  return trace;
+}
+
 std::string QueryTrace::ToString() const {
   std::string out;
   for (size_t i = 0; i < spans_.size(); ++i) {

@@ -49,6 +49,12 @@ class QueryTrace {
     std::vector<std::pair<std::string, uint64_t>> attrs;
   };
 
+  // Rebuilds a trace from externally produced parts — the wire decoder
+  // reconstructing a server-side trace client-side. Spans must already be
+  // in pre-order with valid parent indices.
+  static QueryTrace FromParts(std::vector<Span> spans,
+                              uint64_t dropped_spans);
+
   // Spans in creation (pre-)order; children follow their parent.
   const std::vector<Span>& spans() const { return spans_; }
   bool empty() const { return spans_.empty(); }

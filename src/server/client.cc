@@ -74,7 +74,8 @@ Result<Client::QueryResponse> Client::ReadResponse() {
       case Opcode::kResultEnd: {
         uint64_t total = 0;
         AVQDB_RETURN_IF_ERROR(
-            ParseResultEndPayload(Slice(frame.payload), &total));
+            ParseResultEndPayload(Slice(frame.payload), &total,
+                                  &response.has_trace, &response.trace));
         if (total != response.tuples.size()) {
           return Status::Corruption(StringFormat(
               "RESULT_END total %llu != %zu streamed tuples",
@@ -109,6 +110,38 @@ Result<std::vector<OrdinalTuple>> Client::Query(
   }
   if (!response.status.ok()) return response.status;
   return std::move(response.tuples);
+}
+
+Result<Client::StatsResult> Client::FetchStats(uint32_t sections) {
+  const uint64_t id = next_request_id_++;
+  const std::string frame = EncodeFrame(Opcode::kStats, id,
+                                        Slice(EncodeStatsPayload(sections)));
+  AVQDB_RETURN_IF_ERROR(SendAll(fd_, frame.data(), frame.size()));
+  AVQDB_ASSIGN_OR_RETURN(
+      Frame reply, ReadFrame(fd_, options_.max_frame_bytes,
+                             options_.io_timeout_ms, nullptr));
+  if (reply.request_id != id) {
+    return Status::InvalidArgument(StringFormat(
+        "STATS_RESULT id %llu for request %llu",
+        static_cast<unsigned long long>(reply.request_id),
+        static_cast<unsigned long long>(id)));
+  }
+  if (reply.opcode == Opcode::kError) {
+    Status server_error = Status::OK();
+    AVQDB_RETURN_IF_ERROR(
+        ParseErrorPayload(Slice(reply.payload), &server_error));
+    return server_error;
+  }
+  if (reply.opcode != Opcode::kStatsResult) {
+    return Status::InvalidArgument(StringFormat(
+        "expected STATS_RESULT, got opcode %u",
+        static_cast<unsigned>(reply.opcode)));
+  }
+  StatsResult result;
+  AVQDB_RETURN_IF_ERROR(ParseStatsResultPayload(
+      Slice(reply.payload), &result.sections, &result.metrics,
+      &result.journal));
+  return result;
 }
 
 Status Client::SendGoodbye() {

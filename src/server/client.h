@@ -56,12 +56,29 @@ class Client {
     Status status;
     std::vector<OrdinalTuple> tuples;
     uint64_t chunks = 0;
+    // Server-side span tree, present only when the QUERY carried
+    // kQueryFlagCollectTrace and succeeded.
+    bool has_trace = false;
+    obs::QueryTrace trace;
   };
 
   // Reads frames until one response completes (RESULT_END or ERROR).
   // Non-OK only for transport/protocol failures; server-side query
   // errors arrive as an OK Result whose response.status is non-OK.
   Result<QueryResponse> ReadResponse();
+
+  // --- remote telemetry ---
+
+  struct StatsResult {
+    uint32_t sections = 0;  // kStatsSection* bits actually present
+    obs::MetricsSnapshot metrics;
+    std::vector<obs::QueryJournal::Record> journal;
+  };
+
+  // Requests the given kStatsSection* bits and waits for the
+  // STATS_RESULT. Send-and-wait: do not interleave with pipelined
+  // queries still awaiting their responses.
+  Result<StatsResult> FetchStats(uint32_t sections);
 
   // --- one-shot convenience ---
 

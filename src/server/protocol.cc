@@ -1,5 +1,6 @@
 #include "src/server/protocol.h"
 
+#include <cstring>
 #include <limits>
 
 #include "src/common/coding.h"
@@ -15,6 +16,11 @@ namespace {
 // counts and would otherwise drive large reserve() calls.
 constexpr uint64_t kMaxTableNameBytes = 4096;
 constexpr uint64_t kMaxPredicates = 4096;
+constexpr uint64_t kMaxWireSpans = 4096;
+constexpr uint64_t kMaxWireAttrs = 4096;
+constexpr uint64_t kMaxWireNameBytes = 4096;
+constexpr uint64_t kMaxWireInstruments = 65536;
+constexpr uint64_t kMaxWireJournalRecords = 65536;
 
 Status Truncated(const char* what) {
   return Status::InvalidArgument(std::string("truncated ") + what +
@@ -25,7 +31,7 @@ Status Truncated(const char* what) {
 
 bool IsKnownOpcode(uint8_t opcode) {
   return opcode >= static_cast<uint8_t>(Opcode::kHello) &&
-         opcode <= static_cast<uint8_t>(Opcode::kGoodbye);
+         opcode <= static_cast<uint8_t>(Opcode::kStatsResult);
 }
 
 FrameHeader DecodeFrameHeader(const uint8_t* src) {
@@ -110,6 +116,9 @@ std::string EncodeQueryPayload(const QueryRequest& request) {
     PutVarint64(&payload, predicate.lo);
     PutVarint64(&payload, predicate.hi);
   }
+  // Optional trailer: emitted only when a flag is set, so flagless
+  // frames keep the r1 byte layout.
+  if (request.flags != 0) PutFixed32(&payload, request.flags);
   return payload;
 }
 
@@ -139,6 +148,14 @@ Status ParseQueryPayload(Slice payload, QueryRequest* request) {
     }
     request->query.predicates.push_back(RangeQuery{
         .attribute = static_cast<size_t>(attribute), .lo = lo, .hi = hi});
+  }
+  request->flags = 0;
+  if (payload.size() == 4) {
+    request->flags = DecodeFixed32(payload.data());
+    payload.RemovePrefix(4);
+    if (request->flags == 0 || (request->flags & ~kQueryFlagsMask) != 0) {
+      return Status::InvalidArgument("unknown QUERY flags");
+    }
   }
   if (!payload.empty()) {
     return Status::InvalidArgument("trailing bytes after QUERY payload");
@@ -198,11 +215,318 @@ std::string EncodeResultEndPayload(uint64_t total_tuples) {
   return payload;
 }
 
+std::string EncodeResultEndPayload(uint64_t total_tuples,
+                                   const obs::QueryTrace& trace) {
+  std::string payload;
+  PutVarint64(&payload, total_tuples);
+  AppendQueryTrace(&payload, trace);
+  return payload;
+}
+
 Status ParseResultEndPayload(Slice payload, uint64_t* total_tuples) {
   if (!GetVarint64(&payload, total_tuples)) return Truncated("RESULT_END");
   if (!payload.empty()) {
     return Status::InvalidArgument(
         "trailing bytes after RESULT_END payload");
+  }
+  return Status::OK();
+}
+
+Status ParseResultEndPayload(Slice payload, uint64_t* total_tuples,
+                             bool* has_trace, obs::QueryTrace* trace) {
+  if (!GetVarint64(&payload, total_tuples)) return Truncated("RESULT_END");
+  *has_trace = !payload.empty();
+  if (!*has_trace) return Status::OK();
+  Status status = ParseQueryTrace(&payload, trace);
+  if (!status.ok()) return status;
+  if (!payload.empty()) {
+    return Status::InvalidArgument(
+        "trailing bytes after RESULT_END payload");
+  }
+  return Status::OK();
+}
+
+// --- trace wire form ---
+
+void AppendQueryTrace(std::string* dst, const obs::QueryTrace& trace) {
+  const auto& spans = trace.spans();
+  PutVarint32(dst, static_cast<uint32_t>(spans.size()));
+  for (const auto& span : spans) {
+    PutLengthPrefixed(dst, Slice(span.name));
+    // kNoParent maps to 0; a real parent index i maps to i + 1.
+    PutVarint64(dst, span.parent == obs::QueryTrace::kNoParent
+                         ? 0
+                         : static_cast<uint64_t>(span.parent) + 1);
+    PutVarint64(dst, span.start_ns);
+    PutVarint64(dst, span.duration_ns);
+    PutVarint32(dst, static_cast<uint32_t>(span.attrs.size()));
+    for (const auto& [key, value] : span.attrs) {
+      PutLengthPrefixed(dst, Slice(key));
+      PutVarint64(dst, value);
+    }
+  }
+  PutVarint64(dst, trace.dropped_spans());
+}
+
+Status ParseQueryTrace(Slice* src, obs::QueryTrace* trace) {
+  uint32_t num_spans = 0;
+  if (!GetVarint32(src, &num_spans)) return Truncated("trace");
+  if (num_spans > kMaxWireSpans) {
+    return Status::InvalidArgument("trace span count too large");
+  }
+  std::vector<obs::QueryTrace::Span> spans;
+  spans.reserve(num_spans);
+  for (uint32_t i = 0; i < num_spans; ++i) {
+    obs::QueryTrace::Span span;
+    Slice name;
+    if (!GetLengthPrefixed(src, &name)) return Truncated("trace");
+    if (name.size() > kMaxWireNameBytes) {
+      return Status::InvalidArgument("trace span name too long");
+    }
+    span.name = name.ToString();
+    uint64_t parent_plus_one = 0;
+    if (!GetVarint64(src, &parent_plus_one) ||
+        !GetVarint64(src, &span.start_ns) ||
+        !GetVarint64(src, &span.duration_ns)) {
+      return Truncated("trace");
+    }
+    if (parent_plus_one == 0) {
+      span.parent = obs::QueryTrace::kNoParent;
+    } else if (parent_plus_one <= i) {
+      span.parent = static_cast<size_t>(parent_plus_one - 1);
+    } else {
+      // Parents must precede children in pre-order.
+      return Status::InvalidArgument("trace span parent out of order");
+    }
+    uint32_t num_attrs = 0;
+    if (!GetVarint32(src, &num_attrs)) return Truncated("trace");
+    if (num_attrs > kMaxWireAttrs) {
+      return Status::InvalidArgument("trace attr count too large");
+    }
+    span.attrs.reserve(num_attrs);
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      Slice key;
+      uint64_t value = 0;
+      if (!GetLengthPrefixed(src, &key) || !GetVarint64(src, &value)) {
+        return Truncated("trace");
+      }
+      if (key.size() > kMaxWireNameBytes) {
+        return Status::InvalidArgument("trace attr key too long");
+      }
+      span.attrs.emplace_back(key.ToString(), value);
+    }
+    spans.push_back(std::move(span));
+  }
+  uint64_t dropped = 0;
+  if (!GetVarint64(src, &dropped)) return Truncated("trace");
+  *trace = obs::QueryTrace::FromParts(std::move(spans), dropped);
+  return Status::OK();
+}
+
+// --- STATS / STATS_RESULT ---
+
+std::string EncodeStatsPayload(uint32_t sections) {
+  std::string payload;
+  PutFixed32(&payload, sections);
+  return payload;
+}
+
+Status ParseStatsPayload(Slice payload, uint32_t* sections) {
+  if (payload.size() != 4) return Truncated("STATS");
+  *sections = DecodeFixed32(payload.data());
+  if (*sections == 0) {
+    return Status::InvalidArgument("STATS requests no sections");
+  }
+  if ((*sections & ~kStatsSectionsMask) != 0) {
+    return Status::InvalidArgument("unknown STATS sections");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void AppendSnapshot(std::string* dst, const obs::MetricsSnapshot& snapshot) {
+  PutVarint32(dst, static_cast<uint32_t>(snapshot.counters.size()));
+  for (const auto& c : snapshot.counters) {
+    PutLengthPrefixed(dst, Slice(c.name));
+    PutVarint64(dst, c.value);
+  }
+  PutVarint32(dst, static_cast<uint32_t>(snapshot.gauges.size()));
+  for (const auto& g : snapshot.gauges) {
+    PutLengthPrefixed(dst, Slice(g.name));
+    PutFixed64(dst, static_cast<uint64_t>(g.value));  // two's complement
+  }
+  PutVarint32(dst, static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const auto& h : snapshot.histograms) {
+    PutLengthPrefixed(dst, Slice(h.name));
+    PutVarint64(dst, h.count);
+    PutVarint64(dst, h.sum);
+    PutVarint32(dst, static_cast<uint32_t>(h.buckets.size()));
+    for (const auto& [le, count] : h.buckets) {
+      PutVarint64(dst, le);
+      PutVarint64(dst, count);
+    }
+  }
+}
+
+Status ParseMetricName(Slice* src, std::string* name) {
+  Slice raw;
+  if (!GetLengthPrefixed(src, &raw)) return Truncated("STATS_RESULT");
+  if (raw.size() > kMaxWireNameBytes) {
+    return Status::InvalidArgument("STATS_RESULT metric name too long");
+  }
+  *name = raw.ToString();
+  return Status::OK();
+}
+
+Status ParseSnapshot(Slice* src, obs::MetricsSnapshot* snapshot) {
+  uint32_t count = 0;
+  if (!GetVarint32(src, &count)) return Truncated("STATS_RESULT");
+  if (count > kMaxWireInstruments) {
+    return Status::InvalidArgument("STATS_RESULT counter count too large");
+  }
+  snapshot->counters.resize(count);
+  for (auto& c : snapshot->counters) {
+    Status s = ParseMetricName(src, &c.name);
+    if (!s.ok()) return s;
+    if (!GetVarint64(src, &c.value)) return Truncated("STATS_RESULT");
+  }
+  if (!GetVarint32(src, &count)) return Truncated("STATS_RESULT");
+  if (count > kMaxWireInstruments) {
+    return Status::InvalidArgument("STATS_RESULT gauge count too large");
+  }
+  snapshot->gauges.resize(count);
+  for (auto& g : snapshot->gauges) {
+    Status s = ParseMetricName(src, &g.name);
+    if (!s.ok()) return s;
+    if (src->size() < 8) return Truncated("STATS_RESULT");
+    g.value = static_cast<int64_t>(DecodeFixed64(src->data()));
+    src->RemovePrefix(8);
+  }
+  if (!GetVarint32(src, &count)) return Truncated("STATS_RESULT");
+  if (count > kMaxWireInstruments) {
+    return Status::InvalidArgument(
+        "STATS_RESULT histogram count too large");
+  }
+  snapshot->histograms.resize(count);
+  for (auto& h : snapshot->histograms) {
+    Status s = ParseMetricName(src, &h.name);
+    if (!s.ok()) return s;
+    uint32_t num_buckets = 0;
+    if (!GetVarint64(src, &h.count) || !GetVarint64(src, &h.sum) ||
+        !GetVarint32(src, &num_buckets)) {
+      return Truncated("STATS_RESULT");
+    }
+    if (num_buckets > obs::Histogram::kNumBuckets) {
+      return Status::InvalidArgument("STATS_RESULT bucket count too large");
+    }
+    h.buckets.resize(num_buckets);
+    for (auto& [le, bucket_count] : h.buckets) {
+      if (!GetVarint64(src, &le) || !GetVarint64(src, &bucket_count)) {
+        return Truncated("STATS_RESULT");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void AppendJournal(std::string* dst,
+                   const std::vector<obs::QueryJournal::Record>& records) {
+  PutVarint32(dst, static_cast<uint32_t>(records.size()));
+  for (const auto& r : records) {
+    PutVarint64(dst, r.request_id);
+    PutVarint64(dst, r.session_id);
+    PutVarint64(dst, r.start_unix_us);
+    PutVarint64(dst, r.tuples);
+    PutVarint64(dst, r.queue_us);
+    PutVarint64(dst, r.exec_us);
+    PutVarint64(dst, r.send_us);
+    PutFixed32(dst, r.wire_status);
+    dst->push_back(static_cast<char>(r.reason));
+    dst->push_back(static_cast<char>(r.flags));
+    PutLengthPrefixed(dst, Slice(r.table_name().data(),
+                                 r.table_name().size()));
+  }
+}
+
+Status ParseJournal(Slice* src,
+                    std::vector<obs::QueryJournal::Record>* records) {
+  uint32_t count = 0;
+  if (!GetVarint32(src, &count)) return Truncated("STATS_RESULT");
+  if (count > kMaxWireJournalRecords) {
+    return Status::InvalidArgument(
+        "STATS_RESULT journal record count too large");
+  }
+  records->clear();
+  records->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::QueryJournal::Record r;
+    if (!GetVarint64(src, &r.request_id) ||
+        !GetVarint64(src, &r.session_id) ||
+        !GetVarint64(src, &r.start_unix_us) || !GetVarint64(src, &r.tuples) ||
+        !GetVarint64(src, &r.queue_us) || !GetVarint64(src, &r.exec_us) ||
+        !GetVarint64(src, &r.send_us)) {
+      return Truncated("STATS_RESULT");
+    }
+    if (src->size() < 6) return Truncated("STATS_RESULT");
+    r.wire_status = DecodeFixed32(src->data());
+    r.reason = static_cast<uint8_t>(src->data()[4]);
+    r.flags = static_cast<uint8_t>(src->data()[5]);
+    src->RemovePrefix(6);
+    Slice table;
+    if (!GetLengthPrefixed(src, &table)) return Truncated("STATS_RESULT");
+    if (table.size() > obs::QueryJournal::Record::kTableBytes) {
+      return Status::InvalidArgument(
+          "STATS_RESULT journal table name too long");
+    }
+    std::memcpy(r.table, table.data(), table.size());
+    records->push_back(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeStatsResultPayload(
+    uint32_t sections, const obs::MetricsSnapshot* metrics,
+    const std::vector<obs::QueryJournal::Record>* journal) {
+  AVQDB_CHECK((sections & kStatsSectionMetrics) == 0 || metrics != nullptr,
+              "STATS_RESULT metrics section without a snapshot");
+  AVQDB_CHECK((sections & kStatsSectionJournal) == 0 || journal != nullptr,
+              "STATS_RESULT journal section without records");
+  std::string payload;
+  PutFixed32(&payload, sections);
+  if (sections & kStatsSectionMetrics) AppendSnapshot(&payload, *metrics);
+  if (sections & kStatsSectionJournal) AppendJournal(&payload, *journal);
+  return payload;
+}
+
+Status ParseStatsResultPayload(
+    Slice payload, uint32_t* sections, obs::MetricsSnapshot* metrics,
+    std::vector<obs::QueryJournal::Record>* journal) {
+  if (payload.size() < 4) return Truncated("STATS_RESULT");
+  *sections = DecodeFixed32(payload.data());
+  payload.RemovePrefix(4);
+  if ((*sections & ~kStatsSectionsMask) != 0) {
+    return Status::InvalidArgument("unknown STATS_RESULT sections");
+  }
+  if (*sections & kStatsSectionMetrics) {
+    if (metrics == nullptr) {
+      return Status::InvalidArgument("unexpected STATS_RESULT metrics");
+    }
+    Status s = ParseSnapshot(&payload, metrics);
+    if (!s.ok()) return s;
+  }
+  if (*sections & kStatsSectionJournal) {
+    if (journal == nullptr) {
+      return Status::InvalidArgument("unexpected STATS_RESULT journal");
+    }
+    Status s = ParseJournal(&payload, journal);
+    if (!s.ok()) return s;
+  }
+  if (!payload.empty()) {
+    return Status::InvalidArgument(
+        "trailing bytes after STATS_RESULT payload");
   }
   return Status::OK();
 }

@@ -34,6 +34,9 @@
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/db/query.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_journal.h"
+#include "src/obs/trace.h"
 #include "src/schema/tuple.h"
 
 namespace avqdb::server {
@@ -60,6 +63,8 @@ enum class Opcode : uint8_t {
   kResultEnd = 5,    // server -> client: end of stream + total count
   kError = 6,        // server -> client: wire status code + message
   kGoodbye = 7,      // client -> server: graceful close
+  kStats = 8,        // client -> server: telemetry section bitmask
+  kStatsResult = 9,  // server -> client: requested telemetry sections
 };
 
 bool IsKnownOpcode(uint8_t opcode);
@@ -100,6 +105,12 @@ Status ParseWelcomePayload(Slice payload, uint32_t* version,
 
 // --- QUERY ---
 
+// QueryRequest::flags bits. Unknown bits are a parse error (a client
+// asking for a capability this server does not know about should hear
+// so, not be silently half-served).
+inline constexpr uint32_t kQueryFlagCollectTrace = 1u << 0;
+inline constexpr uint32_t kQueryFlagsMask = kQueryFlagCollectTrace;
+
 // The wire image of one Database::Select call.
 struct QueryRequest {
   std::string table;
@@ -108,6 +119,10 @@ struct QueryRequest {
   uint32_t deadline_ms = 0;
   // 0 = no per-request cap (the database's own limits still apply).
   uint64_t max_memory_bytes = 0;
+  // kQueryFlag* bits. Encoded only when nonzero (the field is an
+  // optional trailer, so flagless frames are byte-identical to protocol
+  // revision r1 and old parsers keep accepting them).
+  uint32_t flags = 0;
   ConjunctiveQuery query;
 };
 
@@ -123,8 +138,48 @@ std::string EncodeResultChunkPayload(const std::vector<OrdinalTuple>& tuples,
 Status ParseResultChunkPayload(Slice payload,
                                std::vector<OrdinalTuple>* out);
 
+// Without a trace: just the varint total (the r1 layout). With one: the
+// server-side span tree rides home as a trailer — EXPLAIN ANALYZE over
+// TCP, only present when the QUERY carried kQueryFlagCollectTrace.
 std::string EncodeResultEndPayload(uint64_t total_tuples);
+std::string EncodeResultEndPayload(uint64_t total_tuples,
+                                   const obs::QueryTrace& trace);
+// Strict r1 parse: rejects any trailer.
 Status ParseResultEndPayload(Slice payload, uint64_t* total_tuples);
+// Trailer-aware parse: *has_trace says whether a trace followed the
+// total; *trace is filled only when it did.
+Status ParseResultEndPayload(Slice payload, uint64_t* total_tuples,
+                             bool* has_trace, obs::QueryTrace* trace);
+
+// --- trace wire form (RESULT_END trailer) ---
+
+void AppendQueryTrace(std::string* dst, const obs::QueryTrace& trace);
+// Consumes the trace encoding from *src (leaving any remainder);
+// validates structure (parents precede children, bounded counts).
+Status ParseQueryTrace(Slice* src, obs::QueryTrace* trace);
+
+// --- STATS / STATS_RESULT ---
+
+// Section bits a STATS request may ask for; unknown bits are a parse
+// error so callers learn immediately that this server cannot supply
+// what they asked for.
+inline constexpr uint32_t kStatsSectionMetrics = 1u << 0;
+inline constexpr uint32_t kStatsSectionJournal = 1u << 1;
+inline constexpr uint32_t kStatsSectionsMask =
+    kStatsSectionMetrics | kStatsSectionJournal;
+
+std::string EncodeStatsPayload(uint32_t sections);
+Status ParseStatsPayload(Slice payload, uint32_t* sections);
+
+// STATS_RESULT carries the echoed section bitmask, then each requested
+// section in bit order. `metrics`/`journal` may be null only when the
+// matching bit is clear.
+std::string EncodeStatsResultPayload(
+    uint32_t sections, const obs::MetricsSnapshot* metrics,
+    const std::vector<obs::QueryJournal::Record>* journal);
+Status ParseStatsResultPayload(Slice payload, uint32_t* sections,
+                               obs::MetricsSnapshot* metrics,
+                               std::vector<obs::QueryJournal::Record>* journal);
 
 // --- ERROR ---
 

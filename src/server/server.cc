@@ -4,15 +4,20 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/obs/metric_names.h"
 #include "src/obs/metrics.h"
+#include "src/obs/query_journal.h"
+#include "src/obs/trace.h"
 #include "src/server/socket_util.h"
+#include "src/server/wire_status.h"
 
 namespace avqdb::server {
 
@@ -30,6 +35,10 @@ struct ServerMetrics {
   obs::Counter* bytes_received;
   obs::Counter* bytes_sent;
   obs::Histogram* request_latency_us;
+  obs::Histogram* request_queue_us;
+  obs::Histogram* request_exec_us;
+  obs::Histogram* request_send_us;
+  obs::Counter* stats_requests;
 
   static ServerMetrics& Get() {
     static ServerMetrics metrics = [] {
@@ -46,11 +55,39 @@ struct ServerMetrics {
           registry.GetCounter(obs::kServerBytesReceived),
           registry.GetCounter(obs::kServerBytesSent),
           registry.GetHistogram(obs::kServerRequestLatencyMicros),
+          registry.GetHistogram(obs::kServerRequestQueueMicros),
+          registry.GetHistogram(obs::kServerRequestExecMicros),
+          registry.GetHistogram(obs::kServerRequestSendMicros),
+          registry.GetCounter(obs::kServerStatsRequests),
       };
     }();
     return metrics;
   }
 };
+
+uint64_t ElapsedMicros(ExecContext::Clock::time_point from,
+                       ExecContext::Clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+uint64_t WallClockMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::QueryJournal::Reason JournalReason(const Status& status) {
+  if (status.ok()) return obs::QueryJournal::Reason::kNone;
+  if (status.IsResourceExhausted()) return obs::QueryJournal::Reason::kShed;
+  if (status.IsDeadlineExceeded()) {
+    return obs::QueryJournal::Reason::kDeadline;
+  }
+  if (status.IsCancelled()) return obs::QueryJournal::Reason::kCancelled;
+  return obs::QueryJournal::Reason::kError;
+}
 
 }  // namespace
 
@@ -96,9 +133,14 @@ class Session : public std::enable_shared_from_this<Session> {
  private:
   struct PendingRequest {
     uint64_t id = 0;
+    // STATS rides the same strand as queries so responses keep arrival
+    // order; is_stats requests carry only `stats_sections`.
+    bool is_stats = false;
+    uint32_t stats_sections = 0;
     QueryRequest wire;
     ExecContext ctx;  // deadline set at parse time; token cancellable
     ExecContext::Clock::time_point arrival;
+    uint64_t arrival_unix_us = 0;  // wall clock, for journal records
   };
 
   void ReaderLoop() {
@@ -160,7 +202,12 @@ class Session : public std::enable_shared_from_this<Session> {
     switch (frame.opcode) {
       case Opcode::kQuery:
         return HandleQuery(frame);
+      case Opcode::kStats:
+        return HandleStats(frame);
       case Opcode::kGoodbye:
+        AVQDB_LOG_DEBUG("[sid %llu rid %llu] GOODBYE",
+                        static_cast<unsigned long long>(session_id_),
+                        static_cast<unsigned long long>(frame.request_id));
         goodbye_received_ = true;
         return false;
       case Opcode::kHello:
@@ -168,6 +215,10 @@ class Session : public std::enable_shared_from_this<Session> {
         // Server-to-client opcodes (or a second HELLO) from a client
         // are protocol errors.
         metrics.protocol_errors->Increment();
+        AVQDB_LOG_WARN("[sid %llu rid %llu] unexpected opcode %u from client",
+                       static_cast<unsigned long long>(session_id_),
+                       static_cast<unsigned long long>(frame.request_id),
+                       static_cast<unsigned>(frame.opcode));
         SendError(frame.request_id,
                   Status::InvalidArgument(StringFormat(
                       "unexpected opcode %u from client",
@@ -206,15 +257,59 @@ class Session : public std::enable_shared_from_this<Session> {
     if (!status.ok()) {
       metrics.protocol_errors->Increment();
       metrics.requests_errors->Increment();
+      AVQDB_LOG_WARN("[sid %llu rid %llu] bad QUERY payload: %s",
+                     static_cast<unsigned long long>(session_id_),
+                     static_cast<unsigned long long>(frame.request_id),
+                     status.message().c_str());
       SendError(frame.request_id, status);
       return false;
     }
+    AVQDB_LOG_DEBUG(
+        "[sid %llu rid %llu] QUERY table=%s predicates=%zu deadline_ms=%u "
+        "flags=%#x",
+        static_cast<unsigned long long>(session_id_),
+        static_cast<unsigned long long>(frame.request_id),
+        request.wire.table.c_str(), request.wire.query.predicates.size(),
+        request.wire.deadline_ms, request.wire.flags);
     request.arrival = ExecContext::Clock::now();
+    request.arrival_unix_us = WallClockMicros();
     if (request.wire.deadline_ms > 0) {
       request.ctx.set_deadline(
           request.arrival +
           std::chrono::milliseconds(request.wire.deadline_ms));
     }
+    Enqueue(std::move(request));
+    return true;
+  }
+
+  bool HandleStats(const Frame& frame) {
+    auto& metrics = ServerMetrics::Get();
+    PendingRequest request;
+    request.id = frame.request_id;
+    request.is_stats = true;
+    Status status =
+        ParseStatsPayload(Slice(frame.payload), &request.stats_sections);
+    if (!status.ok()) {
+      metrics.protocol_errors->Increment();
+      AVQDB_LOG_WARN("[sid %llu rid %llu] bad STATS payload: %s",
+                     static_cast<unsigned long long>(session_id_),
+                     static_cast<unsigned long long>(frame.request_id),
+                     status.message().c_str());
+      SendError(frame.request_id, status);
+      return false;
+    }
+    metrics.stats_requests->Increment();
+    AVQDB_LOG_DEBUG("[sid %llu rid %llu] STATS sections=%#x",
+                    static_cast<unsigned long long>(session_id_),
+                    static_cast<unsigned long long>(frame.request_id),
+                    request.stats_sections);
+    request.arrival = ExecContext::Clock::now();
+    request.arrival_unix_us = WallClockMicros();
+    Enqueue(std::move(request));
+    return true;
+  }
+
+  void Enqueue(PendingRequest request) {
     bool schedule = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -229,7 +324,6 @@ class Session : public std::enable_shared_from_this<Session> {
       auto self = shared_from_this();
       server_->workers_->Submit([self] { self->StrandLoop(); });
     }
-    return true;
   }
 
   // Runs this session's requests in arrival order until the queue is
@@ -247,7 +341,11 @@ class Session : public std::enable_shared_from_this<Session> {
         queue_.pop_front();
         current_ = request.ctx;  // shares the cancellation token
       }
-      Execute(request);
+      if (request.is_stats) {
+        ExecuteStats(request);
+      } else {
+        Execute(request);
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         current_.reset();
@@ -261,28 +359,101 @@ class Session : public std::enable_shared_from_this<Session> {
     const uint64_t memory_limit =
         request.wire.max_memory_bytes == 0 ? MemoryBudget::kUnlimited
                                            : request.wire.max_memory_bytes;
+    const auto exec_start = ExecContext::Clock::now();
+    const uint64_t queue_us = ElapsedMicros(request.arrival, exec_start);
+
+    QueryStats stats;
+    stats.collect_trace =
+        (request.wire.flags & kQueryFlagCollectTrace) != 0;
     Result<std::vector<OrdinalTuple>> result =
         server_->db()->Select(request.wire.table, request.wire.query,
-                              &request.ctx, /*stats=*/nullptr,
-                              memory_limit);
-    const auto elapsed = ExecContext::Clock::now() - request.arrival;
-    metrics.request_latency_us->Record(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-            .count()));
+                              &request.ctx, &stats, memory_limit);
+    const auto exec_end = ExecContext::Clock::now();
+    const uint64_t exec_us = ElapsedMicros(exec_start, exec_end);
+    metrics.request_latency_us->Record(
+        ElapsedMicros(request.arrival, exec_end));
+    metrics.request_queue_us->Record(queue_us);
+    metrics.request_exec_us->Record(exec_us);
+
+    uint64_t tuples = 0;
     if (!result.ok()) {
       metrics.requests_errors->Increment();
       if (result.status().IsResourceExhausted()) {
         metrics.requests_shed->Increment();
       }
       SendError(request.id, result.status());
-      return;
+    } else {
+      metrics.requests_ok->Increment();
+      tuples = result->size();
+      StreamResult(request.id, *result,
+                   stats.trace != nullptr ? stats.trace.get() : nullptr);
     }
-    metrics.requests_ok->Increment();
-    StreamResult(request.id, *result);
+    const uint64_t send_us =
+        ElapsedMicros(exec_end, ExecContext::Clock::now());
+    metrics.request_send_us->Record(send_us);
+
+    const Status status = result.ok() ? Status::OK() : result.status();
+    obs::QueryJournal::Record record;
+    record.request_id = request.id;
+    record.session_id = session_id_;
+    record.start_unix_us = request.arrival_unix_us;
+    record.tuples = tuples;
+    record.queue_us = queue_us;
+    record.exec_us = exec_us;
+    record.send_us = send_us;
+    record.wire_status = WireCodeForStatus(status.code());
+    record.reason =
+        static_cast<uint8_t>(JournalReason(status));
+    const std::string_view table = request.wire.table;
+    std::memcpy(record.table, table.data(),
+                std::min(table.size(),
+                         obs::QueryJournal::Record::kTableBytes));
+    const bool slow = obs::QueryJournal::Global().Append(record);
+    if (slow) {
+      AVQDB_LOG_WARN(
+          "[sid %llu rid %llu] slow query table=%s status=%u "
+          "queue_us=%llu exec_us=%llu send_us=%llu tuples=%llu",
+          static_cast<unsigned long long>(session_id_),
+          static_cast<unsigned long long>(request.id),
+          request.wire.table.c_str(),
+          static_cast<unsigned>(record.wire_status),
+          static_cast<unsigned long long>(queue_us),
+          static_cast<unsigned long long>(exec_us),
+          static_cast<unsigned long long>(send_us),
+          static_cast<unsigned long long>(tuples));
+    } else {
+      AVQDB_LOG_DEBUG(
+          "[sid %llu rid %llu] done status=%u queue_us=%llu exec_us=%llu "
+          "send_us=%llu tuples=%llu",
+          static_cast<unsigned long long>(session_id_),
+          static_cast<unsigned long long>(request.id),
+          static_cast<unsigned>(record.wire_status),
+          static_cast<unsigned long long>(queue_us),
+          static_cast<unsigned long long>(exec_us),
+          static_cast<unsigned long long>(send_us),
+          static_cast<unsigned long long>(tuples));
+    }
+  }
+
+  // Answers a STATS request on the strand so the reply keeps arrival
+  // order with the session's pipelined queries.
+  void ExecuteStats(const PendingRequest& request) {
+    obs::MetricsSnapshot snapshot;
+    std::vector<obs::QueryJournal::Record> journal;
+    if (request.stats_sections & kStatsSectionMetrics) {
+      snapshot = obs::MetricsRegistry::Global().Snapshot();
+    }
+    if (request.stats_sections & kStatsSectionJournal) {
+      journal = obs::QueryJournal::Global().Tail();
+    }
+    SendFrame(Opcode::kStatsResult, request.id,
+              EncodeStatsResultPayload(request.stats_sections, &snapshot,
+                                       &journal));
   }
 
   void StreamResult(uint64_t request_id,
-                    const std::vector<OrdinalTuple>& tuples) {
+                    const std::vector<OrdinalTuple>& tuples,
+                    const obs::QueryTrace* trace) {
     const size_t chunk = std::max<size_t>(server_->options().chunk_tuples, 1);
     for (size_t begin = 0; begin < tuples.size(); begin += chunk) {
       const size_t end = std::min(tuples.size(), begin + chunk);
@@ -293,7 +464,9 @@ class Session : public std::enable_shared_from_this<Session> {
       }
     }
     SendFrame(Opcode::kResultEnd, request_id,
-              EncodeResultEndPayload(tuples.size()));
+              trace != nullptr
+                  ? EncodeResultEndPayload(tuples.size(), *trace)
+                  : EncodeResultEndPayload(tuples.size()));
   }
 
   void SendError(uint64_t request_id, const Status& status) {
@@ -339,12 +512,15 @@ class Session : public std::enable_shared_from_this<Session> {
     }
     if (cancelled > 0) {
       ServerMetrics::Get().disconnect_cancels->Add(cancelled);
+      AVQDB_LOG_DEBUG("[sid %llu] abrupt disconnect cancelled %zu request(s)",
+                      static_cast<unsigned long long>(session_id_),
+                      cancelled);
     }
   }
 
   Server* const server_;
   const int fd_;
-  [[maybe_unused]] const uint64_t session_id_;
+  const uint64_t session_id_;
 
   std::thread reader_;
   std::atomic<bool> abort_{false};

@@ -1,0 +1,79 @@
+// Golden test for the Prometheus text exposition: the exact byte output
+// for a small registry is pinned, because scrapers parse it verbatim.
+
+#include "src/obs/prometheus.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/obs/metrics.h"
+
+namespace avqdb::obs {
+namespace {
+
+TEST(Prometheus, GoldenExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("queries.total")->Add(42);
+  registry.GetGauge("pool.resident_bytes")->Set(-7);
+  Histogram* hist = registry.GetHistogram("request.latency_us");
+  hist->Record(0);   // zero bucket, le = 0
+  hist->Record(3);   // bucket [2, 3], le = 3
+  hist->Record(3);
+  hist->Record(10);  // bucket [8, 15], le = 15
+
+  // p50: rank 2 of 4 lands in [2, 3] -> 2 + 0.25 * 1 = 2.25.
+  // p95/p99: rank 4 lands in [8, 15] -> 8 + 0.5 * 7 = 11.5.
+  const std::string kGolden =
+      "# TYPE avqdb_queries_total counter\n"
+      "avqdb_queries_total 42\n"
+      "# TYPE avqdb_pool_resident_bytes gauge\n"
+      "avqdb_pool_resident_bytes -7\n"
+      "# TYPE avqdb_request_latency_us histogram\n"
+      "avqdb_request_latency_us_bucket{le=\"0\"} 1\n"
+      "avqdb_request_latency_us_bucket{le=\"3\"} 3\n"
+      "avqdb_request_latency_us_bucket{le=\"15\"} 4\n"
+      "avqdb_request_latency_us_bucket{le=\"+Inf\"} 4\n"
+      "avqdb_request_latency_us_sum 16\n"
+      "avqdb_request_latency_us_count 4\n"
+      "# TYPE avqdb_request_latency_us_p50 gauge\n"
+      "avqdb_request_latency_us_p50 2.25\n"
+      "# TYPE avqdb_request_latency_us_p95 gauge\n"
+      "avqdb_request_latency_us_p95 11.5\n"
+      "# TYPE avqdb_request_latency_us_p99 gauge\n"
+      "avqdb_request_latency_us_p99 11.5\n";
+
+  EXPECT_EQ(ToPrometheusText(registry.Snapshot()), kGolden);
+}
+
+TEST(Prometheus, EmptyHistogramStillExposesSeries) {
+  MetricsRegistry registry;
+  registry.GetHistogram("idle.hist");
+  const std::string kGolden =
+      "# TYPE avqdb_idle_hist histogram\n"
+      "avqdb_idle_hist_bucket{le=\"+Inf\"} 0\n"
+      "avqdb_idle_hist_sum 0\n"
+      "avqdb_idle_hist_count 0\n"
+      "# TYPE avqdb_idle_hist_p50 gauge\n"
+      "avqdb_idle_hist_p50 0\n"
+      "# TYPE avqdb_idle_hist_p95 gauge\n"
+      "avqdb_idle_hist_p95 0\n"
+      "# TYPE avqdb_idle_hist_p99 gauge\n"
+      "avqdb_idle_hist_p99 0\n";
+  EXPECT_EQ(ToPrometheusText(registry.Snapshot()), kGolden);
+}
+
+TEST(Prometheus, EmptyRegistryIsEmptyOutput) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ToPrometheusText(registry.Snapshot()), "");
+}
+
+TEST(Prometheus, DotsBecomeUnderscoresEverywhere) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.b.c.d")->Increment();
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("avqdb_a_b_c_d 1"), std::string::npos);
+  EXPECT_EQ(text.find("a.b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avqdb::obs

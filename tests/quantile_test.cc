@@ -1,0 +1,113 @@
+// Quantile estimator edge cases: empty histograms, the all-zero bucket,
+// single samples, the top overflow bucket, and rank monotonicity.
+
+#include "src/obs/quantile.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "src/obs/metrics.h"
+
+namespace avqdb::obs {
+namespace {
+
+MetricsSnapshot::HistogramSample MakeSample(
+    std::vector<std::pair<uint64_t, uint64_t>> buckets) {
+  MetricsSnapshot::HistogramSample h;
+  h.name = "test.hist";
+  h.sum = 0;
+  h.count = 0;
+  for (const auto& [le, count] : buckets) h.count += count;
+  h.buckets = std::move(buckets);
+  return h;
+}
+
+TEST(Quantile, EmptyHistogramIsZero) {
+  MetricsSnapshot::HistogramSample h = MakeSample({});
+  EXPECT_EQ(EstimateQuantile(h, 0.5), 0.0);
+  const Quantiles q = EstimateQuantiles(h);
+  EXPECT_EQ(q.p50, 0.0);
+  EXPECT_EQ(q.p95, 0.0);
+  EXPECT_EQ(q.p99, 0.0);
+}
+
+TEST(Quantile, AllSamplesInZeroBucket) {
+  // Bucket with le == 0 holds exactly the value 0.
+  MetricsSnapshot::HistogramSample h = MakeSample({{0, 100}});
+  EXPECT_EQ(EstimateQuantile(h, 0.0), 0.0);
+  EXPECT_EQ(EstimateQuantile(h, 0.5), 0.0);
+  EXPECT_EQ(EstimateQuantile(h, 1.0), 0.0);
+}
+
+TEST(Quantile, SingleSampleStaysWithinItsBucket) {
+  // One sample in bucket [5, 7] (le = 7): every quantile must land
+  // inside the bucket's range.
+  MetricsSnapshot::HistogramSample h = MakeSample({{7, 1}});
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const double v = EstimateQuantile(h, q);
+    EXPECT_GE(v, 4.0) << "q=" << q;
+    EXPECT_LE(v, 7.0) << "q=" << q;
+  }
+}
+
+TEST(Quantile, TopOverflowBucketDoesNotOverflow) {
+  // The last histogram bucket has le = 2^64 - 1 and lower bound 2^63.
+  // The le/2 + 1 reconstruction must not wrap.
+  constexpr uint64_t kMaxLe = std::numeric_limits<uint64_t>::max();
+  MetricsSnapshot::HistogramSample h = MakeSample({{kMaxLe, 10}});
+  const double lo = std::ldexp(1.0, 63);  // 2^63
+  const double hi = std::ldexp(1.0, 64);  // ~2^64
+  for (double q : {0.01, 0.5, 0.99}) {
+    const double v = EstimateQuantile(h, q);
+    EXPECT_GE(v, lo) << "q=" << q;
+    EXPECT_LE(v, hi) << "q=" << q;
+  }
+}
+
+TEST(Quantile, QuantileIsClampedToUnitInterval) {
+  MetricsSnapshot::HistogramSample h = MakeSample({{1, 4}, {3, 4}});
+  EXPECT_EQ(EstimateQuantile(h, -2.0), EstimateQuantile(h, 0.0));
+  EXPECT_EQ(EstimateQuantile(h, 3.0), EstimateQuantile(h, 1.0));
+}
+
+TEST(Quantile, RanksLandInTheRightBuckets) {
+  // 50 samples at 0, 40 in [1,1], 10 in [9,16] (le = 1 and 15).
+  MetricsSnapshot::HistogramSample h =
+      MakeSample({{0, 50}, {1, 40}, {15, 10}});
+  EXPECT_EQ(EstimateQuantile(h, 0.25), 0.0);   // rank 25 -> zero bucket
+  EXPECT_EQ(EstimateQuantile(h, 0.75), 1.0);   // rank 75 -> [1, 1]
+  const double p99 = EstimateQuantile(h, 0.99);  // rank 99 -> [8, 15]
+  EXPECT_GE(p99, 8.0);
+  EXPECT_LE(p99, 15.0);
+}
+
+TEST(Quantile, TrioIsMonotonic) {
+  MetricsSnapshot::HistogramSample h =
+      MakeSample({{1, 100}, {3, 50}, {7, 25}, {255, 5}, {1023, 1}});
+  const Quantiles q = EstimateQuantiles(h);
+  EXPECT_LE(q.p50, q.p95);
+  EXPECT_LE(q.p95, q.p99);
+}
+
+TEST(Quantile, MatchesLiveHistogramBucketing) {
+  // Record through a real registry histogram and check the estimate
+  // against the known sample values.
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("latency_us");
+  for (int i = 0; i < 90; ++i) hist->Record(10);   // bucket [8, 15]
+  for (int i = 0; i < 10; ++i) hist->Record(1000);  // bucket [512, 1023]
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const auto& sample = snapshot.histograms[0];
+  const double p50 = EstimateQuantile(sample, 0.50);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LE(p50, 15.0);
+  const double p99 = EstimateQuantile(sample, 0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1023.0);
+}
+
+}  // namespace
+}  // namespace avqdb::obs

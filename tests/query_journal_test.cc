@@ -1,0 +1,197 @@
+// QueryJournal: ring semantics, slow-query marking, threshold parsing,
+// and the TSan-hammered concurrent writer/reader contract — a torn or
+// mid-write slot must be skipped, never surfaced.
+
+#include "src/obs/query_journal.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace avqdb::obs {
+namespace {
+
+QueryJournal::Record MakeRecord(uint64_t rid, const char* table = "orders") {
+  QueryJournal::Record r;
+  r.request_id = rid;
+  r.session_id = 7;
+  r.start_unix_us = 1000 + rid;
+  r.tuples = rid * 3;
+  r.queue_us = rid;
+  r.exec_us = rid * 2;
+  r.send_us = rid % 5;
+  r.wire_status = 0;
+  std::snprintf(r.table, sizeof(r.table), "%s", table);
+  return r;
+}
+
+TEST(QueryJournal, EmptyTailIsEmpty) {
+  QueryJournal journal(8);
+  EXPECT_TRUE(journal.Tail().empty());
+  EXPECT_EQ(journal.total_appends(), 0u);
+}
+
+TEST(QueryJournal, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(QueryJournal(5).capacity(), 8u);
+  EXPECT_EQ(QueryJournal(8).capacity(), 8u);
+  EXPECT_EQ(QueryJournal(0).capacity(), 2u);
+}
+
+TEST(QueryJournal, TailReturnsRecordsOldestFirst) {
+  QueryJournal journal(8);
+  journal.SetSlowThresholdMicros(0);
+  for (uint64_t rid = 1; rid <= 5; ++rid) journal.Append(MakeRecord(rid));
+  std::vector<QueryJournal::Record> tail = journal.Tail();
+  ASSERT_EQ(tail.size(), 5u);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].request_id, i + 1);
+    EXPECT_EQ(tail[i].tuples, (i + 1) * 3);
+    EXPECT_EQ(tail[i].table_name(), "orders");
+  }
+}
+
+TEST(QueryJournal, WrapKeepsOnlyTheNewestCapacityRecords) {
+  QueryJournal journal(4);
+  journal.SetSlowThresholdMicros(0);
+  for (uint64_t rid = 1; rid <= 11; ++rid) journal.Append(MakeRecord(rid));
+  EXPECT_EQ(journal.total_appends(), 11u);
+  std::vector<QueryJournal::Record> tail = journal.Tail();
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front().request_id, 8u);
+  EXPECT_EQ(tail.back().request_id, 11u);
+}
+
+TEST(QueryJournal, TailMaxBoundsTheResult) {
+  QueryJournal journal(16);
+  journal.SetSlowThresholdMicros(0);
+  for (uint64_t rid = 1; rid <= 10; ++rid) journal.Append(MakeRecord(rid));
+  std::vector<QueryJournal::Record> tail = journal.Tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail.front().request_id, 8u);
+  EXPECT_EQ(tail.back().request_id, 10u);
+}
+
+TEST(QueryJournal, LongTableNamesAreTruncatedNotOverrun) {
+  QueryJournal journal(4);
+  journal.SetSlowThresholdMicros(0);
+  const std::string long_name(100, 'x');
+  QueryJournal::Record r = MakeRecord(1);
+  std::memset(r.table, 0, sizeof(r.table));
+  std::memcpy(r.table, long_name.data(),
+              QueryJournal::Record::kTableBytes);
+  journal.Append(r);
+  std::vector<QueryJournal::Record> tail = journal.Tail();
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].table_name(),
+            long_name.substr(0, QueryJournal::Record::kTableBytes));
+}
+
+TEST(QueryJournal, SlowThresholdMarksAndCounts) {
+  QueryJournal journal(8);
+  journal.SetSlowThresholdMicros(100);
+  QueryJournal::Record fast = MakeRecord(1);
+  fast.queue_us = 10;
+  fast.exec_us = 20;
+  fast.send_us = 30;
+  EXPECT_FALSE(journal.Append(fast));
+
+  QueryJournal::Record slow = MakeRecord(2);
+  slow.queue_us = 50;
+  slow.exec_us = 40;
+  slow.send_us = 10;  // total exactly at the threshold counts as slow
+  EXPECT_TRUE(journal.Append(slow));
+
+  std::vector<QueryJournal::Record> tail = journal.Tail();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].flags & QueryJournal::kFlagSlow, 0);
+  EXPECT_NE(tail[1].flags & QueryJournal::kFlagSlow, 0);
+}
+
+TEST(QueryJournal, ZeroThresholdDisablesSlowMarking) {
+  QueryJournal journal(8);
+  journal.SetSlowThresholdMicros(0);
+  QueryJournal::Record r = MakeRecord(1);
+  r.exec_us = 1'000'000'000;
+  EXPECT_FALSE(journal.Append(r));
+}
+
+TEST(QueryJournal, ParseSlowThresholdMs) {
+  const uint64_t fallback = 1000 * 1000;
+  EXPECT_EQ(QueryJournal::ParseSlowThresholdMs(nullptr, fallback), fallback);
+  EXPECT_EQ(QueryJournal::ParseSlowThresholdMs("", fallback), fallback);
+  EXPECT_EQ(QueryJournal::ParseSlowThresholdMs("250", fallback), 250'000u);
+  EXPECT_EQ(QueryJournal::ParseSlowThresholdMs("0", fallback), 0u);
+  EXPECT_EQ(QueryJournal::ParseSlowThresholdMs("12abc", fallback), fallback);
+  EXPECT_EQ(QueryJournal::ParseSlowThresholdMs("abc", fallback), fallback);
+  EXPECT_EQ(QueryJournal::ParseSlowThresholdMs("-5", fallback), fallback);
+}
+
+TEST(QueryJournal, FormatJournalRendersOneLinePerRecord) {
+  QueryJournal journal(8);
+  journal.SetSlowThresholdMicros(0);
+  journal.Append(MakeRecord(1));
+  journal.Append(MakeRecord(2));
+  const std::string text = FormatJournal(journal.Tail());
+  // Header plus one line per record.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("orders"), std::string::npos);
+}
+
+// The TSan hammer: concurrent writers fill derived fields a reader can
+// validate, so any torn read surfaces as an inconsistent record even
+// without the sanitizer.
+TEST(QueryJournal, ConcurrentWritersAndReadersSeeOnlyConsistentRecords) {
+  QueryJournal journal(64);
+  journal.SetSlowThresholdMicros(0);
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr uint64_t kPerWriter = 5000;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> inconsistent{0};
+
+  auto validate = [&](const QueryJournal::Record& r) {
+    // Derived-field invariants every committed record satisfies.
+    if (r.tuples != r.request_id * 3 || r.exec_us != r.request_id * 2 ||
+        r.queue_us != r.request_id ||
+        r.start_unix_us != 1000 + r.request_id ||
+        r.table_name() != "orders") {
+      inconsistent.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&journal, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        journal.Append(
+            MakeRecord(static_cast<uint64_t>(w) * kPerWriter + i + 1));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&journal, &stop, &validate] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const auto& record : journal.Tail()) validate(record);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(inconsistent.load(), 0u);
+  EXPECT_EQ(journal.total_appends(), kWriters * kPerWriter);
+  // After the dust settles a full tail read returns exactly capacity
+  // records, all consistent.
+  std::vector<QueryJournal::Record> tail = journal.Tail();
+  EXPECT_EQ(tail.size(), journal.capacity());
+  for (const auto& record : tail) validate(record);
+  EXPECT_EQ(inconsistent.load(), 0u);
+}
+
+}  // namespace
+}  // namespace avqdb::obs

@@ -155,6 +155,285 @@ TEST(ProtocolPayloads, ErrorRoundTripAndOkRejected) {
             StatusCode::kInvalidArgument);
 }
 
+// --- QUERY flags (r2 optional trailer) -------------------------------
+
+TEST(ProtocolPayloads, QueryFlagsRoundTrip) {
+  QueryRequest request;
+  request.table = "orders";
+  request.flags = kQueryFlagCollectTrace;
+  request.query.predicates.push_back({1, 2, 3});
+
+  QueryRequest decoded;
+  ASSERT_TRUE(
+      ParseQueryPayload(Slice(EncodeQueryPayload(request)), &decoded).ok());
+  EXPECT_EQ(decoded.flags, kQueryFlagCollectTrace);
+  EXPECT_EQ(decoded.table, "orders");
+}
+
+TEST(ProtocolPayloads, FlaglessQueryEncodingIsByteIdenticalToR1) {
+  // The flags field is an optional trailer: a flagless request must not
+  // grow the frame, so r1 parsers keep accepting it.
+  QueryRequest flagless;
+  flagless.table = "orders";
+  flagless.query.predicates.push_back({0, 1, 2});
+  QueryRequest flagged = flagless;
+  flagged.flags = kQueryFlagCollectTrace;
+  EXPECT_EQ(EncodeQueryPayload(flagged).size(),
+            EncodeQueryPayload(flagless).size() + 4);
+
+  QueryRequest decoded;
+  ASSERT_TRUE(ParseQueryPayload(Slice(EncodeQueryPayload(flagless)),
+                                &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.flags, 0u);
+}
+
+TEST(ProtocolPayloads, QueryRejectsExplicitZeroFlagsTrailer) {
+  // Zero flags must be expressed by omitting the trailer, so there is
+  // exactly one wire image per request.
+  QueryRequest request;
+  request.table = "t";
+  std::string payload = EncodeQueryPayload(request);
+  PutFixed32(&payload, 0);
+  QueryRequest decoded;
+  EXPECT_EQ(ParseQueryPayload(Slice(payload), &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolPayloads, QueryRejectsUnknownFlagBits) {
+  QueryRequest request;
+  request.table = "t";
+  std::string payload = EncodeQueryPayload(request);
+  PutFixed32(&payload, kQueryFlagsMask << 1);
+  QueryRequest decoded;
+  EXPECT_EQ(ParseQueryPayload(Slice(payload), &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- RESULT_END trace trailer ----------------------------------------
+
+obs::QueryTrace MakeTrace() {
+  std::vector<obs::QueryTrace::Span> spans(3);
+  spans[0].name = "select";
+  spans[0].parent = obs::QueryTrace::kNoParent;
+  spans[0].start_ns = 100;
+  spans[0].duration_ns = 5000;
+  spans[0].attrs = {{"predicates", 2}};
+  spans[1].name = "plan";
+  spans[1].parent = 0;
+  spans[1].start_ns = 150;
+  spans[1].duration_ns = 400;
+  spans[2].name = "scan";
+  spans[2].parent = 0;
+  spans[2].start_ns = 600;
+  spans[2].duration_ns = 4400;
+  spans[2].attrs = {{"blocks", 7}, {"tuples", 123}};
+  return obs::QueryTrace::FromParts(std::move(spans), 2);
+}
+
+TEST(ProtocolPayloads, ResultEndTraceTrailerRoundTrip) {
+  const obs::QueryTrace trace = MakeTrace();
+  const std::string payload = EncodeResultEndPayload(123, trace);
+
+  uint64_t total = 0;
+  bool has_trace = false;
+  obs::QueryTrace decoded;
+  ASSERT_TRUE(
+      ParseResultEndPayload(Slice(payload), &total, &has_trace, &decoded)
+          .ok());
+  EXPECT_EQ(total, 123u);
+  ASSERT_TRUE(has_trace);
+  EXPECT_EQ(decoded.dropped_spans(), 2u);
+  ASSERT_EQ(decoded.spans().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded.spans()[i].name, trace.spans()[i].name);
+    EXPECT_EQ(decoded.spans()[i].parent, trace.spans()[i].parent);
+    EXPECT_EQ(decoded.spans()[i].start_ns, trace.spans()[i].start_ns);
+    EXPECT_EQ(decoded.spans()[i].duration_ns, trace.spans()[i].duration_ns);
+    EXPECT_EQ(decoded.spans()[i].attrs, trace.spans()[i].attrs);
+  }
+}
+
+TEST(ProtocolPayloads, ResultEndWithoutTrailerParsesEitherWay) {
+  const std::string payload = EncodeResultEndPayload(55);
+  uint64_t total = 0;
+  ASSERT_TRUE(ParseResultEndPayload(Slice(payload), &total).ok());
+  EXPECT_EQ(total, 55u);
+  bool has_trace = true;
+  obs::QueryTrace decoded;
+  ASSERT_TRUE(
+      ParseResultEndPayload(Slice(payload), &total, &has_trace, &decoded)
+          .ok());
+  EXPECT_FALSE(has_trace);
+}
+
+TEST(ProtocolPayloads, StrictResultEndParseRejectsTraceTrailer) {
+  // The r1 parser stays strict: a trailer it does not understand is a
+  // malformed payload, not silently ignored bytes.
+  const std::string payload = EncodeResultEndPayload(9, MakeTrace());
+  uint64_t total = 0;
+  EXPECT_EQ(ParseResultEndPayload(Slice(payload), &total).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolPayloads, TraceRejectsForwardParentReference) {
+  // Span 0 claiming a parent other than "none" would point at a span
+  // the decoder has not seen yet.
+  std::string encoded;
+  PutVarint32(&encoded, 1);  // span count
+  PutVarint32(&encoded, 4);  // name length
+  encoded += "span";
+  PutVarint64(&encoded, 2);  // parent_plus_one = 2 -> parent index 1 > 0
+  PutVarint64(&encoded, 0);  // start_ns
+  PutVarint64(&encoded, 0);  // duration_ns
+  PutVarint32(&encoded, 0);  // attr count
+  PutVarint64(&encoded, 0);  // dropped
+  Slice src(encoded);
+  obs::QueryTrace decoded;
+  EXPECT_EQ(ParseQueryTrace(&src, &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolPayloads, TraceRejectsOverclaimedSpanCount) {
+  std::string encoded;
+  PutVarint32(&encoded, 100000);  // far above the wire bound
+  Slice src(encoded);
+  obs::QueryTrace decoded;
+  EXPECT_EQ(ParseQueryTrace(&src, &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- STATS / STATS_RESULT --------------------------------------------
+
+TEST(ProtocolPayloads, StatsPayloadRoundTripAndRejections) {
+  uint32_t sections = 0;
+  ASSERT_TRUE(ParseStatsPayload(
+                  Slice(EncodeStatsPayload(kStatsSectionsMask)), &sections)
+                  .ok());
+  EXPECT_EQ(sections, kStatsSectionsMask);
+
+  // Asking for nothing, unknown bits, truncation, and trailing bytes
+  // are each malformed.
+  EXPECT_EQ(ParseStatsPayload(Slice(EncodeStatsPayload(0)), &sections).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseStatsPayload(Slice(EncodeStatsPayload(1u << 31)), &sections)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseStatsPayload(Slice(std::string("\x01", 1)), &sections)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseStatsPayload(
+                Slice(EncodeStatsPayload(kStatsSectionMetrics) + "x"),
+                &sections)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolPayloads, StatsResultRoundTrip) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"server.requests", 42});
+  snapshot.gauges.push_back({"pool.bytes", -123456});
+  obs::MetricsSnapshot::HistogramSample hist;
+  hist.name = "server.request.exec_us";
+  hist.count = 5;
+  hist.sum = 900;
+  hist.buckets = {{0, 1}, {255, 4}};
+  snapshot.histograms.push_back(hist);
+
+  std::vector<obs::QueryJournal::Record> journal(2);
+  journal[0].request_id = 7;
+  journal[0].session_id = 1;
+  journal[0].start_unix_us = 1754700000000000ull;
+  journal[0].tuples = 99;
+  journal[0].queue_us = 10;
+  journal[0].exec_us = 2000;
+  journal[0].send_us = 30;
+  journal[0].wire_status = 0;
+  journal[0].reason = static_cast<uint8_t>(obs::QueryJournal::Reason::kNone);
+  std::snprintf(journal[0].table, sizeof(journal[0].table), "orders");
+  journal[1] = journal[0];
+  journal[1].request_id = 8;
+  journal[1].wire_status = 11;  // DeadlineExceeded on the wire
+  journal[1].reason =
+      static_cast<uint8_t>(obs::QueryJournal::Reason::kDeadline);
+  journal[1].flags = obs::QueryJournal::kFlagSlow;
+
+  const std::string payload =
+      EncodeStatsResultPayload(kStatsSectionsMask, &snapshot, &journal);
+  uint32_t sections = 0;
+  obs::MetricsSnapshot decoded;
+  std::vector<obs::QueryJournal::Record> decoded_journal;
+  ASSERT_TRUE(ParseStatsResultPayload(Slice(payload), &sections, &decoded,
+                                      &decoded_journal)
+                  .ok());
+  EXPECT_EQ(sections, kStatsSectionsMask);
+  ASSERT_EQ(decoded.counters.size(), 1u);
+  EXPECT_EQ(decoded.counters[0].name, "server.requests");
+  EXPECT_EQ(decoded.counters[0].value, 42u);
+  ASSERT_EQ(decoded.gauges.size(), 1u);
+  EXPECT_EQ(decoded.gauges[0].value, -123456);
+  ASSERT_EQ(decoded.histograms.size(), 1u);
+  EXPECT_EQ(decoded.histograms[0].name, "server.request.exec_us");
+  EXPECT_EQ(decoded.histograms[0].count, 5u);
+  EXPECT_EQ(decoded.histograms[0].sum, 900u);
+  EXPECT_EQ(decoded.histograms[0].buckets, hist.buckets);
+  ASSERT_EQ(decoded_journal.size(), 2u);
+  EXPECT_EQ(decoded_journal[0].request_id, 7u);
+  EXPECT_EQ(decoded_journal[0].tuples, 99u);
+  EXPECT_EQ(decoded_journal[0].table_name(), "orders");
+  EXPECT_EQ(decoded_journal[1].wire_status, 11u);
+  EXPECT_EQ(decoded_journal[1].flags, obs::QueryJournal::kFlagSlow);
+  EXPECT_EQ(decoded_journal[1].reason,
+            static_cast<uint8_t>(obs::QueryJournal::Reason::kDeadline));
+}
+
+TEST(ProtocolPayloads, StatsResultMetricsOnlyOmitsJournal) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"c", 1});
+  const std::string payload =
+      EncodeStatsResultPayload(kStatsSectionMetrics, &snapshot, nullptr);
+  uint32_t sections = 0;
+  obs::MetricsSnapshot decoded;
+  std::vector<obs::QueryJournal::Record> decoded_journal;
+  ASSERT_TRUE(ParseStatsResultPayload(Slice(payload), &sections, &decoded,
+                                      &decoded_journal)
+                  .ok());
+  EXPECT_EQ(sections, kStatsSectionMetrics);
+  EXPECT_TRUE(decoded_journal.empty());
+}
+
+TEST(ProtocolPayloads, StatsResultRejectsUnknownSectionsAndOverclaims) {
+  uint32_t sections = 0;
+  obs::MetricsSnapshot decoded;
+  std::vector<obs::QueryJournal::Record> decoded_journal;
+
+  std::string unknown;
+  PutFixed32(&unknown, 1u << 30);
+  EXPECT_EQ(ParseStatsResultPayload(Slice(unknown), &sections, &decoded,
+                                    &decoded_journal)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Metrics section claiming a billion counters in a tiny payload.
+  std::string overclaimed;
+  PutFixed32(&overclaimed, kStatsSectionMetrics);
+  PutVarint32(&overclaimed, 1000000000);
+  EXPECT_EQ(ParseStatsResultPayload(Slice(overclaimed), &sections, &decoded,
+                                    &decoded_journal)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Trailing bytes after a well-formed result.
+  obs::MetricsSnapshot snapshot;
+  const std::string trailing =
+      EncodeStatsResultPayload(kStatsSectionMetrics, &snapshot, nullptr) +
+      "x";
+  EXPECT_EQ(ParseStatsResultPayload(Slice(trailing), &sections, &decoded,
+                                    &decoded_journal)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 // --- the stable wire-code table --------------------------------------
 
 // Every pair is pinned to a literal number: reordering StatusCode (or

@@ -1,0 +1,277 @@
+// Remote telemetry over the wire: STATS/STATS_RESULT round trips against
+// a live server, the always-on query journal, and EXPLAIN ANALYZE parity
+// between the wire trace trailer and an in-process traced Select.
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/db/query.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/quantile.h"
+#include "src/obs/query_journal.h"
+#include "src/obs/trace.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "tests/server_test_util.h"
+
+namespace avqdb::server {
+namespace {
+
+using avqdb::server::testing::CounterValue;
+using avqdb::server::testing::RangeOn;
+using avqdb::server::testing::RawConn;
+using avqdb::server::testing::ServerFixture;
+
+const obs::MetricsSnapshot::HistogramSample* FindHistogram(
+    const obs::MetricsSnapshot& snapshot, const char* name) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::set<std::string> SpanNames(const obs::QueryTrace& trace) {
+  std::set<std::string> names;
+  for (const auto& span : trace.spans()) names.insert(span.name);
+  return names;
+}
+
+TEST(ServerStats, FetchStatsReturnsRequestHistograms) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  // Drive a few queries so the per-request histograms have samples.
+  for (int i = 0; i < 3; ++i) {
+    QueryRequest request;
+    request.table = "orders";
+    request.query = RangeOn(0, 0, 3);
+    auto result = client->Query(request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  const uint64_t stats_before = CounterValue(obs::kServerStatsRequests);
+  auto stats = client->FetchStats(kStatsSectionMetrics);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->sections, kStatsSectionMetrics);
+  EXPECT_TRUE(stats->journal.empty());
+  EXPECT_EQ(CounterValue(obs::kServerStatsRequests), stats_before + 1);
+
+  for (const char* name :
+       {obs::kServerRequestQueueMicros, obs::kServerRequestExecMicros,
+        obs::kServerRequestSendMicros}) {
+    const auto* hist = FindHistogram(stats->metrics, name);
+    ASSERT_NE(hist, nullptr) << name << " missing from remote snapshot";
+    EXPECT_GE(hist->count, 3u) << name;
+    // The shared estimator works directly on the wire-decoded sample.
+    const obs::Quantiles q = obs::EstimateQuantiles(*hist);
+    EXPECT_LE(q.p50, q.p95) << name;
+    EXPECT_LE(q.p95, q.p99) << name;
+  }
+  EXPECT_TRUE(client->SendGoodbye().ok());
+}
+
+TEST(ServerStats, JournalSectionRecordsIssuedQueries) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  // Distinctive ids make our records findable in the process-global
+  // journal, which other tests in this binary also feed.
+  const uint64_t kBaseId = 0x9000000000000000ull;
+  std::vector<uint64_t> expected_tuples;
+  for (uint64_t i = 0; i < 4; ++i) {
+    QueryRequest request;
+    request.table = "orders";
+    request.query = RangeOn(0, 0, i);
+    ASSERT_TRUE(client->SendQuery(kBaseId + i, request).ok());
+    auto response = client->ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+    EXPECT_EQ(response->request_id, kBaseId + i);
+    expected_tuples.push_back(response->tuples.size());
+  }
+
+  auto stats = client->FetchStats(kStatsSectionJournal);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->sections, kStatsSectionJournal);
+  EXPECT_TRUE(stats->metrics.counters.empty());
+  EXPECT_TRUE(stats->metrics.histograms.empty());
+
+  size_t matched = 0;
+  for (const auto& record : stats->journal) {
+    if (record.request_id < kBaseId || record.request_id >= kBaseId + 4) {
+      continue;
+    }
+    const uint64_t i = record.request_id - kBaseId;
+    EXPECT_EQ(record.table_name(), "orders");
+    EXPECT_EQ(record.wire_status, 0u);  // wire code for OK
+    EXPECT_EQ(record.reason,
+              static_cast<uint8_t>(obs::QueryJournal::Reason::kNone));
+    EXPECT_EQ(record.tuples, expected_tuples[i]);
+    ++matched;
+  }
+  EXPECT_EQ(matched, 4u);
+  EXPECT_TRUE(client->SendGoodbye().ok());
+}
+
+TEST(ServerStats, FetchBothSectionsAtOnce) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+  QueryRequest request;
+  request.table = "orders";
+  request.query = RangeOn(0, 0, 2);
+  ASSERT_TRUE(client->Query(request).ok());
+
+  auto stats = client->FetchStats(kStatsSectionMetrics | kStatsSectionJournal);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->sections, kStatsSectionMetrics | kStatsSectionJournal);
+  EXPECT_FALSE(stats->metrics.counters.empty());
+  EXPECT_FALSE(stats->journal.empty());
+  EXPECT_TRUE(client->SendGoodbye().ok());
+}
+
+TEST(ServerStats, ExplainOverWireMatchesInProcessTrace) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  const ConjunctiveQuery query = RangeOn(1, 2, 9);
+
+  // Warm both paths once so the traced runs see identical cache state.
+  QueryRequest warm;
+  warm.table = "orders";
+  warm.query = query;
+  ASSERT_TRUE(client->Query(warm).ok());
+  fixture.DirectSelect(query);
+
+  // Traced over the wire.
+  QueryRequest traced = warm;
+  traced.flags = kQueryFlagCollectTrace;
+  ASSERT_TRUE(client->SendQuery(71, traced).ok());
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  ASSERT_TRUE(response->has_trace);
+  ASSERT_FALSE(response->trace.spans().empty());
+
+  // Traced in process: the same Select the server runs.
+  QueryStats stats;
+  stats.collect_trace = true;
+  auto direct = fixture.db().Select("orders", query, nullptr, &stats);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_NE(stats.trace, nullptr);
+
+  // The acceptance bar: same span set either way.
+  EXPECT_EQ(SpanNames(response->trace), SpanNames(*stats.trace));
+  // And the wire result itself still matches ground truth.
+  EXPECT_EQ(response->tuples, *direct);
+  EXPECT_TRUE(client->SendGoodbye().ok());
+}
+
+TEST(ServerStats, QueryWithoutTraceFlagHasNoTrailer) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+  QueryRequest request;
+  request.table = "orders";
+  request.query = RangeOn(0, 0, 1);
+  ASSERT_TRUE(client->SendQuery(5, request).ok());
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok());
+  EXPECT_FALSE(response->has_trace);
+  EXPECT_TRUE(response->trace.spans().empty());
+  EXPECT_TRUE(client->SendGoodbye().ok());
+}
+
+TEST(ServerStats, MalformedStatsPayloadIsATypedError) {
+  ServerFixture fixture;
+
+  {  // Truncated payload.
+    RawConn conn = RawConn::Connect(fixture.port());
+    ASSERT_TRUE(conn.valid());
+    conn.Handshake();
+    conn.SendFrame(Opcode::kStats, 7, std::string("\x01", 1));
+    Status error = conn.ReadErrorFor(7);
+    EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(conn.ServerClosed());
+  }
+  {  // Zero sections: asks for nothing, which is a caller bug.
+    RawConn conn = RawConn::Connect(fixture.port());
+    ASSERT_TRUE(conn.valid());
+    conn.Handshake();
+    conn.SendFrame(Opcode::kStats, 8, EncodeStatsPayload(0));
+    Status error = conn.ReadErrorFor(8);
+    EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(conn.ServerClosed());
+  }
+  {  // Unknown section bit.
+    RawConn conn = RawConn::Connect(fixture.port());
+    ASSERT_TRUE(conn.valid());
+    conn.Handshake();
+    conn.SendFrame(Opcode::kStats, 9, EncodeStatsPayload(1u << 31));
+    Status error = conn.ReadErrorFor(9);
+    EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(conn.ServerClosed());
+  }
+}
+
+TEST(ServerStats, StatsAnswersInOrderBehindPipelinedQueries) {
+  ServerFixture fixture;
+  RawConn conn = RawConn::Connect(fixture.port());
+  ASSERT_TRUE(conn.valid());
+  conn.Handshake();
+
+  // QUERY then STATS back to back; the STATS_RESULT must not overtake
+  // the query's response stream.
+  QueryRequest request;
+  request.table = "orders";
+  request.query = RangeOn(0, 0, 7);
+  conn.SendFrame(Opcode::kQuery, 1, EncodeQueryPayload(request));
+  conn.SendFrame(Opcode::kStats, 2, EncodeStatsPayload(kStatsSectionMetrics));
+
+  bool saw_result_end = false;
+  bool saw_stats_result = false;
+  for (int i = 0; i < 1000 && !saw_stats_result; ++i) {
+    Result<Frame> frame = conn.ReadOneFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    switch (frame->opcode) {
+      case Opcode::kResultChunk:
+        EXPECT_EQ(frame->request_id, 1u);
+        EXPECT_FALSE(saw_result_end);
+        break;
+      case Opcode::kResultEnd:
+        EXPECT_EQ(frame->request_id, 1u);
+        saw_result_end = true;
+        break;
+      case Opcode::kStatsResult: {
+        EXPECT_EQ(frame->request_id, 2u);
+        EXPECT_TRUE(saw_result_end)
+            << "STATS_RESULT overtook the pipelined query";
+        saw_stats_result = true;
+        uint32_t sections = 0;
+        obs::MetricsSnapshot metrics;
+        std::vector<obs::QueryJournal::Record> journal;
+        Status parsed = ParseStatsResultPayload(Slice(frame->payload),
+                                                &sections, &metrics, &journal);
+        EXPECT_TRUE(parsed.ok()) << parsed.ToString();
+        EXPECT_EQ(sections, kStatsSectionMetrics);
+        break;
+      }
+      default:
+        FAIL() << "unexpected opcode "
+               << static_cast<unsigned>(frame->opcode);
+    }
+  }
+  EXPECT_TRUE(saw_result_end);
+  EXPECT_TRUE(saw_stats_result);
+}
+
+}  // namespace
+}  // namespace avqdb::server

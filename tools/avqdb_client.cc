@@ -2,7 +2,7 @@
 //
 //   avqdb_client [--host H] [--port P] [--timeout-ms N]
 //                [--deadline-ms N] [--max-memory BYTES]
-//                [--max-rows N] [--exec "CMD; CMD; ..."]
+//                [--max-rows N] [--explain] [--exec "CMD; CMD; ..."]
 //
 // Without --exec the tool runs an interactive prompt; with it the
 // semicolon-separated commands run in order and the process exits
@@ -14,6 +14,9 @@
 //   count TABLE [ATTR:LO:HI ...]    same query, print only the count
 //   deadline MS                     set per-request deadline (0 = off)
 //   memory BYTES                    set per-request memory cap (0 = off)
+//   explain on|off                  request the server-side span tree
+//                                   with each query (EXPLAIN ANALYZE
+//                                   over the wire; --explain starts on)
 //   help / quit
 
 #include <cstdio>
@@ -32,13 +35,15 @@ struct Settings {
   uint32_t deadline_ms = 0;
   uint64_t max_memory_bytes = 0;
   size_t max_rows = 20;
+  bool explain = false;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--timeout-ms N]\n"
                "          [--deadline-ms N] [--max-memory BYTES]\n"
-               "          [--max-rows N] [--exec \"CMD; CMD; ...\"]\n",
+               "          [--max-rows N] [--explain] "
+               "[--exec \"CMD; CMD; ...\"]\n",
                argv0);
 }
 
@@ -50,7 +55,13 @@ void PrintHelp() {
       "  count  TABLE [ATTR:LO:HI ...]  same query, count only\n"
       "  deadline MS                    per-request deadline (0 = off)\n"
       "  memory BYTES                   per-request memory cap (0 = off)\n"
+      "  explain on|off                 server-side span tree per query\n"
       "  help | quit\n");
+}
+
+uint64_t NextRequestId() {
+  static uint64_t next = 1;
+  return next++;
 }
 
 std::vector<std::string> Tokenize(const std::string& line) {
@@ -107,6 +118,12 @@ bool RunCommand(avqdb::server::Client& client, Settings& settings,
                 static_cast<unsigned long long>(settings.max_memory_bytes));
     return true;
   }
+  if (cmd == "explain" && tokens.size() == 2 &&
+      (tokens[1] == "on" || tokens[1] == "off")) {
+    settings.explain = tokens[1] == "on";
+    std::printf("explain = %s\n", settings.explain ? "on" : "off");
+    return true;
+  }
   if (cmd == "select" || cmd == "count") {
     if (tokens.size() < 2) {
       std::fprintf(stderr, "error: %s needs a table name\n", cmd.c_str());
@@ -116,6 +133,9 @@ bool RunCommand(avqdb::server::Client& client, Settings& settings,
     request.table = tokens[1];
     request.deadline_ms = settings.deadline_ms;
     request.max_memory_bytes = settings.max_memory_bytes;
+    if (settings.explain) {
+      request.flags |= avqdb::server::kQueryFlagCollectTrace;
+    }
     for (size_t i = 2; i < tokens.size(); ++i) {
       avqdb::RangeQuery predicate;
       if (!ParsePredicate(tokens[i], &predicate)) {
@@ -125,29 +145,47 @@ bool RunCommand(avqdb::server::Client& client, Settings& settings,
       }
       request.query.predicates.push_back(predicate);
     }
-    auto tuples = client.Query(request);
-    if (!tuples.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   tuples.status().ToString().c_str());
+    const uint64_t request_id = NextRequestId();
+    if (!client.SendQuery(request_id, request).ok()) {
+      std::fprintf(stderr, "error: send failed\n");
       return false;
     }
+    auto response = client.ReadResponse();
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return false;
+    }
+    if (!response->status.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response->status.ToString().c_str());
+      return false;
+    }
+    const std::vector<avqdb::OrdinalTuple>& tuples = response->tuples;
     if (cmd == "select") {
       const size_t shown =
-          tuples->size() < settings.max_rows ? tuples->size()
-                                             : settings.max_rows;
+          tuples.size() < settings.max_rows ? tuples.size()
+                                            : settings.max_rows;
       for (size_t i = 0; i < shown; ++i) {
         std::string row;
-        for (size_t j = 0; j < (*tuples)[i].size(); ++j) {
+        for (size_t j = 0; j < tuples[i].size(); ++j) {
           if (j) row += ' ';
-          row += std::to_string((*tuples)[i][j]);
+          row += std::to_string(tuples[i][j]);
         }
         std::printf("%s\n", row.c_str());
       }
-      if (shown < tuples->size()) {
-        std::printf("... (%zu more)\n", tuples->size() - shown);
+      if (shown < tuples.size()) {
+        std::printf("... (%zu more)\n", tuples.size() - shown);
       }
     }
-    std::printf("%zu tuple(s)\n", tuples->size());
+    std::printf("%zu tuple(s)\n", tuples.size());
+    if (settings.explain) {
+      if (response->has_trace) {
+        std::printf("server trace:\n%s", response->trace.ToString().c_str());
+      } else {
+        std::printf("(no server trace in response)\n");
+      }
+    }
     return true;
   }
   std::fprintf(stderr, "error: unknown command '%s' (try help)\n",
@@ -187,6 +225,8 @@ int main(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--max-rows") {
       settings.max_rows = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--explain") {
+      settings.explain = true;
     } else if (arg == "--exec") {
       exec_script = next();
       have_exec = true;

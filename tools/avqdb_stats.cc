@@ -1,15 +1,29 @@
-// avqdb_stats: runtime-telemetry dump over a saved table image.
+// avqdb_stats: runtime-telemetry dump, local or remote.
 //
+// Local mode (saved table image):
 //   avqdb_stats <table.avqt> [--select attr lo hi] [--scan] [--trace]
-//               [--json]
+//               [--json | --prom]
 //
 // Loads the table, optionally exercises the query path (--select runs a
 // range selection, --scan a full scan), then dumps every metric the
-// process accumulated — counters, gauges and histograms from the pager,
-// buffer pool, decoded-block cache, codec, thread pool and query layers.
-// --trace additionally records and prints the query's span tree, EXPLAIN
-// ANALYZE-style. --json emits the machine-readable snapshot (the same
-// schema bench_util.h embeds in BENCH_*.json) instead of the text table.
+// process accumulated. --trace additionally records and prints the
+// query's span tree, EXPLAIN ANALYZE-style. --json emits the
+// machine-readable snapshot (the same schema bench_util.h embeds in
+// BENCH_*.json); --prom emits Prometheus text exposition.
+//
+// Remote mode (live server, kStats wire opcode):
+//   avqdb_stats --connect host:port [--watch [sec]] [--journal]
+//               [--json | --prom]
+//
+// Pulls the server's live metrics snapshot (and, with --journal, its
+// query-journal tail) over the wire. --watch re-polls every `sec`
+// seconds (default 2) until interrupted. Text output derives p50/p95/p99
+// for every histogram with the shared estimator (obs/quantile.h).
+//
+// Exit codes (scriptable): 0 ok, 1 local failure, 2 usage,
+// 3 remote connect failure, 4 malformed remote response.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,11 +34,21 @@
 #include "src/db/query.h"
 #include "src/db/table_io.h"
 #include "src/obs/metrics.h"
+#include "src/obs/prometheus.h"
+#include "src/obs/quantile.h"
+#include "src/obs/query_journal.h"
 #include "src/obs/trace.h"
+#include "src/server/client.h"
 
 using namespace avqdb;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitLocalFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitConnectFailure = 3;
+constexpr int kExitMalformedResponse = 4;
 
 Value ParseBound(const Schema& schema, size_t attr, const char* text) {
   if (schema.attribute(attr).domain->kind() == DomainKind::kIntegerRange) {
@@ -33,13 +57,43 @@ Value ParseBound(const Schema& schema, size_t attr, const char* text) {
   return Value(text);
 }
 
-int Run(const char* path, const char* select_attr, const char* lo_text,
-        const char* hi_text, bool scan, bool trace, bool json) {
+// Per-histogram p50/p95/p99 table via the shared estimator, appended to
+// text output so eyeballing latency does not require PromQL.
+std::string FormatQuantiles(const obs::MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    const obs::Quantiles q = obs::EstimateQuantiles(h);
+    out += StringFormat("%-44s p50=%-12.0f p95=%-12.0f p99=%.0f\n",
+                        h.name.c_str(), q.p50, q.p95, q.p99);
+  }
+  return out;
+}
+
+void PrintSnapshot(const obs::MetricsSnapshot& snapshot, bool json,
+                   bool prom) {
+  if (json) {
+    std::printf("%s\n", snapshot.ToJson().c_str());
+  } else if (prom) {
+    std::printf("%s", obs::ToPrometheusText(snapshot).c_str());
+  } else {
+    std::printf("metrics:\n%s", snapshot.ToText().c_str());
+    const std::string quantiles = FormatQuantiles(snapshot);
+    if (!quantiles.empty()) {
+      std::printf("\nhistogram quantiles (estimated):\n%s",
+                  quantiles.c_str());
+    }
+  }
+}
+
+int RunLocal(const char* path, const char* select_attr, const char* lo_text,
+             const char* hi_text, bool scan, bool trace, bool json,
+             bool prom) {
   auto loaded = LoadTable(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  loaded.status().ToString().c_str());
-    return 1;
+    return kExitLocalFailure;
   }
   Table& table = *loaded->table;
   const Schema& schema = *table.schema();
@@ -47,12 +101,13 @@ int Run(const char* path, const char* select_attr, const char* lo_text,
   QueryStats stats;
   stats.collect_trace = trace;
   bool ran_query = false;
+  const bool machine = json || prom;
 
   if (select_attr != nullptr) {
     auto attr = schema.AttributeIndex(select_attr);
     if (!attr.ok()) {
       std::fprintf(stderr, "%s\n", attr.status().ToString().c_str());
-      return 1;
+      return kExitLocalFailure;
     }
     auto rows = ExecuteRangeSelectRows(
         table, select_attr, ParseBound(schema, attr.value(), lo_text),
@@ -60,10 +115,10 @@ int Run(const char* path, const char* select_attr, const char* lo_text,
     if (!rows.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    rows.status().ToString().c_str());
-      return 1;
+      return kExitLocalFailure;
     }
     ran_query = true;
-    if (!json) {
+    if (!machine) {
       std::printf("select %s in [%s, %s]: %zu rows\n  %s\n", select_attr,
                   lo_text, hi_text, rows->size(), stats.ToString().c_str());
     }
@@ -72,16 +127,16 @@ int Run(const char* path, const char* select_attr, const char* lo_text,
     if (!tuples.ok()) {
       std::fprintf(stderr, "scan failed: %s\n",
                    tuples.status().ToString().c_str());
-      return 1;
+      return kExitLocalFailure;
     }
     ran_query = true;
-    if (!json) {
+    if (!machine) {
       std::printf("full scan: %zu tuples\n  %s\n", tuples->size(),
                   stats.ToString().c_str());
     }
   }
 
-  if (trace && ran_query && !json) {
+  if (trace && ran_query && !machine) {
     if (stats.trace != nullptr) {
       std::printf("\nquery trace:\n%s", stats.trace->ToString().c_str());
     } else {
@@ -89,33 +144,92 @@ int Run(const char* path, const char* select_attr, const char* lo_text,
     }
   }
 
-  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
-  if (json) {
-    std::printf("%s\n", snapshot.ToJson().c_str());
-  } else {
-    std::printf("\nmetrics:\n%s", snapshot.ToText().c_str());
+  if (!machine) std::printf("\n");
+  PrintSnapshot(obs::MetricsRegistry::Global().Snapshot(), json, prom);
+  return kExitOk;
+}
+
+int RunRemote(const std::string& host, uint16_t port, bool journal,
+              bool json, bool prom, bool watch, int watch_seconds) {
+  uint32_t sections = server::kStatsSectionMetrics;
+  if (journal) sections |= server::kStatsSectionJournal;
+
+  auto client = server::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect to %s:%u failed: %s\n", host.c_str(),
+                 static_cast<unsigned>(port),
+                 client.status().ToString().c_str());
+    return kExitConnectFailure;
   }
-  return 0;
+
+  while (true) {
+    auto stats = (*client)->FetchStats(sections);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats fetch failed: %s\n",
+                   stats.status().ToString().c_str());
+      return kExitMalformedResponse;
+    }
+    PrintSnapshot(stats->metrics, json, prom);
+    if (journal && !json && !prom) {
+      std::printf("\nquery journal (%zu record(s), oldest first):\n%s",
+                  stats->journal.size(),
+                  obs::FormatJournal(stats->journal).c_str());
+    }
+    if (!watch) break;
+    std::printf("\n--- watching %s:%u every %ds (Ctrl-C to stop) ---\n\n",
+                host.c_str(), static_cast<unsigned>(port), watch_seconds);
+    std::fflush(stdout);
+    ::sleep(static_cast<unsigned>(watch_seconds));
+  }
+  (*client)->SendGoodbye();
+  return kExitOk;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <table.avqt> [--select attr lo hi] [--scan] "
+               "[--trace] [--json | --prom]\n"
+               "       %s --connect host:port [--watch [sec]] [--journal] "
+               "[--json | --prom]\n",
+               argv0, argv0);
+  return kExitUsage;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <table.avqt> [--select attr lo hi] [--scan] "
-                 "[--trace] [--json]\n",
-                 argv[0]);
-    return 2;
-  }
+  if (argc < 2) return Usage(argv[0]);
+
+  std::string connect_host;
+  uint16_t connect_port = 0;
+  const char* table_path = nullptr;
   const char* select_attr = nullptr;
   const char* lo = nullptr;
   const char* hi = nullptr;
   bool scan = false;
   bool trace = false;
   bool json = false;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--select") == 0 && i + 3 < argc) {
+  bool prom = false;
+  bool journal = false;
+  bool watch = false;
+  int watch_seconds = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      const char* spec = argv[++i];
+      const char* colon = std::strrchr(spec, ':');
+      if (colon == nullptr || colon == spec) {
+        std::fprintf(stderr, "--connect wants host:port, got \"%s\"\n", spec);
+        return kExitUsage;
+      }
+      connect_host.assign(spec, colon - spec);
+      const long port = std::strtol(colon + 1, nullptr, 10);
+      if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "bad port in \"%s\"\n", spec);
+        return kExitUsage;
+      }
+      connect_port = static_cast<uint16_t>(port);
+    } else if (std::strcmp(argv[i], "--select") == 0 && i + 3 < argc) {
       select_attr = argv[++i];
       lo = argv[++i];
       hi = argv[++i];
@@ -125,10 +239,45 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      prom = true;
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      journal = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        const long seconds = std::strtol(argv[++i], nullptr, 10);
+        if (seconds <= 0) {
+          std::fprintf(stderr, "bad --watch interval\n");
+          return kExitUsage;
+        }
+        watch_seconds = static_cast<int>(seconds);
+      }
+    } else if (argv[i][0] != '-' && table_path == nullptr) {
+      table_path = argv[i];
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-      return 2;
+      return kExitUsage;
     }
   }
-  return Run(argv[1], select_attr, lo, hi, scan, trace, json);
+
+  if (json && prom) {
+    std::fprintf(stderr, "--json and --prom are mutually exclusive\n");
+    return kExitUsage;
+  }
+  if (!connect_host.empty()) {
+    if (table_path != nullptr || select_attr != nullptr || scan || trace) {
+      std::fprintf(stderr,
+                   "--connect does not combine with local-mode options\n");
+      return kExitUsage;
+    }
+    return RunRemote(connect_host, connect_port, journal, json, prom, watch,
+                     watch_seconds);
+  }
+  if (table_path == nullptr) return Usage(argv[0]);
+  if (journal || watch) {
+    std::fprintf(stderr, "--journal/--watch need --connect\n");
+    return kExitUsage;
+  }
+  return RunLocal(table_path, select_attr, lo, hi, scan, trace, json, prom);
 }

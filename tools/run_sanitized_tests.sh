@@ -17,10 +17,14 @@
 #     codec, cursor, cache, query suites), each run twice: once with
 #     AVQDB_DECODE_KERNEL=scalar and once with the best SIMD kernel
 #     this host can run, so zero-skip replay and the wide loads get
-#     ASan/TSan coverage on both dispatch outcomes.
+#     ASan/TSan coverage on both dispatch outcomes;
+#   * both sanitizers on the observability tests (ctest label "obs":
+#     metrics registry, trace spans, lock-free query journal, quantile
+#     estimator, Prometheus exporter, remote server-stats suite — the
+#     journal's seqlock ring in particular needs the TSan hammer).
 #
 # Usage: tools/run_sanitized_tests.sh
-#   [tsan|asan|fault|resilience|server|kernel|all]
+#   [tsan|asan|fault|resilience|server|kernel|obs|all]
 # (default: all)
 #
 # Build trees land in build-tsan/ and build-asan/ next to build/ so the
@@ -88,6 +92,22 @@ run_server() {
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L server
 }
 
+run_obs() {
+  echo "== Sanitized observability tests (label: obs) =="
+  local obs_targets="metrics_test trace_test query_journal_test \
+    quantile_test prometheus_test server_stats_test"
+  cmake -B build-tsan -S . -DAVQDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build build-tsan -j "${jobs}" --target ${obs_targets}
+  ctest --test-dir build-tsan --output-on-failure -j "${jobs}" -L obs
+  cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build build-asan -j "${jobs}" --target ${obs_targets}
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L obs
+}
+
 # The most-preferred SIMD kernel this host can run (the same choice
 # auto-dispatch makes); "scalar" when the host has none.
 best_simd_kernel() {
@@ -150,16 +170,18 @@ case "${mode}" in
   resilience) run_resilience ;;
   server) run_server ;;
   kernel) run_kernel ;;
+  obs) run_obs ;;
   all)
     run_tsan
     run_fault
     run_resilience
     run_server
     run_kernel
+    run_obs
     run_asan
     ;;
   *)
-    echo "usage: $0 [tsan|asan|fault|resilience|server|kernel|all]" >&2
+    echo "usage: $0 [tsan|asan|fault|resilience|server|kernel|obs|all]" >&2
     exit 2
     ;;
 esac
