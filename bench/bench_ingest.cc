@@ -1,0 +1,329 @@
+// Crash-safe ingest throughput — what group commit buys (DESIGN.md §11).
+//
+// All WAL configurations run on a FileBlockDevice in /tmp so Sync() is a
+// real fdatasync. Four experiments:
+//   * group commit vs single-write-fsync: the same concurrent writer
+//     fleet against max_group_batches = 0 (unbounded groups, many
+//     commits per fsync) and = 1 (one fsync per batch — the classical
+//     write-ahead discipline). The headline number is the speedup in
+//     durable-commit throughput. Both configurations defer the
+//     background apply (auto_apply off, wide backpressure window) so
+//     the comparison isolates the commit path — the apply work is
+//     identical either way and is timed separately via Flush().
+//   * concurrent-scan snapshot checks during the group-commit run: a
+//     scanner thread hammers SnapshotScan and verifies every result is
+//     φ-sorted, duplicate-free, and monotonically growing with the
+//     snapshot sequence (the full single-commit-seq property test lives
+//     in tests/ingest_snapshot_test.cc).
+//   * batch-size sweep: ops per batch 1..64 at a fixed op count — how
+//     framing and fsync amortize over larger atomic batches.
+//   * WAL-off baseline: the same ops applied straight through
+//     Table::Insert (no log, no fsync, no crash safety) for scale.
+//
+// Emits BENCH_ingest.json via WriteBenchJson.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+#include "src/db/table.h"
+#include "src/db/write_ahead_table.h"
+#include "src/db/write_batch.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+#include "src/storage/block_device.h"
+
+namespace avqdb::bench {
+namespace {
+
+constexpr size_t kBlockSize = 4096;
+constexpr size_t kWriters = 32;
+constexpr size_t kWritesPerThread = 120;
+constexpr size_t kSweepOps = 512;
+const char* kWalPath = "/tmp/avqdb_bench_ingest.avqw";
+
+// Per-writer tuple streams, partitioned by attributes 0 and 1 (domains
+// 8 and 16) so no two streams ever produce the same tuple and no batch
+// conflicts. Identical across configurations for a fair comparison.
+std::vector<std::vector<OrdinalTuple>> MakeStreams(const Schema& schema,
+                                                   size_t writers,
+                                                   size_t writes) {
+  std::vector<std::vector<OrdinalTuple>> streams(writers);
+  for (size_t w = 0; w < writers; ++w) {
+    Random rng(0xbe9c4 + w);
+    std::set<OrdinalTuple> seen;
+    while (streams[w].size() < writes) {
+      OrdinalTuple t(schema.num_attributes());
+      for (size_t a = 0; a < t.size(); ++a) {
+        t[a] = rng.Uniform(schema.radices()[a]);
+      }
+      t[0] = static_cast<uint64_t>(w % schema.radices()[0]);
+      t[1] = static_cast<uint64_t>((w / schema.radices()[0]) %
+                                   schema.radices()[1]);
+      if (seen.insert(t).second) streams[w].push_back(std::move(t));
+    }
+  }
+  return streams;
+}
+
+struct IngestRun {
+  double ms = 0.0;         // wall time of the commit phase
+  double apply_ms = 0.0;   // wall time of the deferred Flush (apply)
+  uint64_t syncs = 0;      // WAL fsyncs issued during the commit phase
+  uint64_t batches = 0;    // batches committed
+  uint64_t scans = 0;      // snapshot scans verified (when scanning)
+  bool scan_violation = false;
+};
+
+// Runs the writer fleet against a fresh table + fresh file-backed WAL.
+IngestRun RunIngest(const SchemaPtr& schema,
+                    const std::vector<std::vector<OrdinalTuple>>& streams,
+                    size_t max_group_batches, bool with_scanner) {
+  MemBlockDevice table_device(kBlockSize);
+  auto table = Table::CreateAvq(schema, &table_device).value();
+  std::remove(kWalPath);
+  auto wal_device = FileBlockDevice::Create(kWalPath, kBlockSize).value();
+
+  WriteAheadTableOptions options;
+  options.max_group_batches = max_group_batches;
+  // Defer the apply: the commit phase measures validation + WAL append
+  // + fsync only. The window must hold the whole run or backpressure
+  // would re-introduce apply time into the measurement.
+  options.auto_apply = false;
+  size_t total_writes = 0;
+  for (const auto& stream : streams) total_writes += stream.size();
+  options.max_unapplied_batches = total_writes + 1;
+  auto wat = WriteAheadTable::Create(table.get(), wal_device.get(),
+                                     GenerateWalUuid(), options)
+                 .value();
+
+  obs::Counter* sync_counter =
+      obs::MetricsRegistry::Global().GetCounter(obs::kWalSyncs);
+  const uint64_t syncs_before = sync_counter->value();
+
+  IngestRun run;
+  std::atomic<bool> writers_done{false};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<bool> violation{false};
+  run.ms = TimeMs([&] {
+    std::vector<std::thread> threads;
+    for (size_t w = 0; w < streams.size(); ++w) {
+      threads.emplace_back([&, w] {
+        for (const OrdinalTuple& t : streams[w]) {
+          WriteBatch batch;
+          batch.Insert(t);
+          Status status = wat->Write(std::move(batch));
+          AVQDB_CHECK(status.ok(), "write failed: %s",
+                      status.ToString().c_str());
+        }
+      });
+    }
+    std::thread scanner;
+    if (with_scanner) {
+      scanner = std::thread([&] {
+        size_t last_size = 0;
+        uint64_t last_seq = 0;
+        while (!writers_done.load(std::memory_order_relaxed)) {
+          // Throttled: verify snapshots while writers run without turning
+          // the scanner into a lock-contention benchmark of its own.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          uint64_t seq = 0;
+          auto scanned = wat->SnapshotScan(nullptr, &seq);
+          if (!scanned.ok()) {
+            violation.store(true);
+            break;
+          }
+          // Inserts only: later snapshots strictly contain earlier ones,
+          // so size must grow with the sequence; φ order and set
+          // semantics must hold at every point.
+          bool sorted = true;
+          for (size_t i = 1; i < scanned->size(); ++i) {
+            if (CompareTuples((*scanned)[i - 1], (*scanned)[i]) >= 0) {
+              sorted = false;
+              break;
+            }
+          }
+          if (!sorted || seq < last_seq ||
+              (seq >= last_seq && scanned->size() < last_size)) {
+            violation.store(true);
+            break;
+          }
+          last_size = scanned->size();
+          last_seq = seq;
+          scans.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    writers_done.store(true);
+    if (scanner.joinable()) scanner.join();
+  });
+  run.syncs = sync_counter->value() - syncs_before;
+  run.batches = wat->durable_seq();
+  run.scans = scans.load();
+  run.scan_violation = violation.load();
+
+  // The deferred apply: identical decode-splice-reencode work in every
+  // configuration, timed for the record.
+  run.apply_ms = TimeMs([&] {
+    Status flushed = wat->Flush();
+    AVQDB_CHECK(flushed.ok(), "flush failed: %s",
+                flushed.ToString().c_str());
+  });
+  const size_t final_size = table->ScanAll().value().size();
+  AVQDB_CHECK(final_size == total_writes,
+              "lost writes: table has %zu of %zu tuples", final_size,
+              total_writes);
+  wat.reset();
+  std::remove(kWalPath);
+  return run;
+}
+
+// Single-thread batch-size sweep: `kSweepOps` inserts grouped B at a
+// time, durable through the file-backed WAL.
+double SweepOpsPerSec(const SchemaPtr& schema,
+                      const std::vector<OrdinalTuple>& ops, size_t b) {
+  MemBlockDevice table_device(kBlockSize);
+  auto table = Table::CreateAvq(schema, &table_device).value();
+  std::remove(kWalPath);
+  auto wal_device = FileBlockDevice::Create(kWalPath, kBlockSize).value();
+  auto wat = WriteAheadTable::Create(table.get(), wal_device.get(),
+                                     GenerateWalUuid(),
+                                     WriteAheadTableOptions{})
+                 .value();
+  const double ms = TimeMs([&] {
+    size_t i = 0;
+    while (i < ops.size()) {
+      WriteBatch batch;
+      for (size_t k = 0; k < b && i < ops.size(); ++k, ++i) {
+        batch.Insert(ops[i]);
+      }
+      Status status = wat->Write(std::move(batch));
+      AVQDB_CHECK(status.ok(), "write failed: %s",
+                  status.ToString().c_str());
+    }
+  });
+  AVQDB_CHECK(wat->Flush().ok(), "flush failed");
+  wat.reset();
+  std::remove(kWalPath);
+  return static_cast<double>(ops.size()) / (ms / 1000.0);
+}
+
+}  // namespace
+
+int Main() {
+  PrintHeader("Crash-safe ingest: WAL group commit vs per-write fsync");
+
+  auto schema = MustGenerate([] {
+    RelationSpec spec;
+    spec.num_attributes = 5;
+    spec.explicit_domain_sizes = {8, 16, 64, 64, 64};
+    spec.num_tuples = 1;
+    return spec;
+  }()).schema;
+
+  const auto streams = MakeStreams(*schema, kWriters, kWritesPerThread);
+  const size_t total_writes = kWriters * kWritesPerThread;
+
+  // Warm-up: touch the WAL file path once so file creation cost is off
+  // the measured path of the first configuration.
+  (void)RunIngest(schema, MakeStreams(*schema, 2, 8), 0, false);
+
+  const IngestRun single = RunIngest(schema, streams, 1, false);
+  const IngestRun grouped = RunIngest(schema, streams, 0, true);
+
+  const double single_rate =
+      static_cast<double>(total_writes) / (single.ms / 1000.0);
+  const double group_rate =
+      static_cast<double>(total_writes) / (grouped.ms / 1000.0);
+  const double speedup = group_rate / single_rate;
+  const double batches_per_sync =
+      grouped.syncs > 0
+          ? static_cast<double>(grouped.batches) /
+                static_cast<double>(grouped.syncs)
+          : 0.0;
+
+  std::printf("%zu writer threads x %zu single-op batches, file-backed "
+              "WAL, apply deferred (durable-commit throughput):\n",
+              kWriters, kWritesPerThread);
+  std::printf("  %-26s %9.0f commits/s  %5llu fsyncs   apply %.0f ms\n",
+              "one fsync per batch", single_rate,
+              static_cast<unsigned long long>(single.syncs),
+              single.apply_ms);
+  std::printf("  %-26s %9.0f commits/s  %5llu fsyncs   apply %.0f ms  "
+              "(%.1f batches/sync)\n",
+              "group commit", group_rate,
+              static_cast<unsigned long long>(grouped.syncs),
+              grouped.apply_ms, batches_per_sync);
+  std::printf("  speedup: %.1fx %s\n", speedup,
+              speedup >= 5.0 ? "(target: >= 5x)" : "(BELOW 5x target)");
+  AVQDB_CHECK(!grouped.scan_violation,
+              "concurrent snapshot scans observed a torn state");
+  std::printf("  concurrent scans during group run: %llu, all φ-sorted "
+              "and monotone\n",
+              static_cast<unsigned long long>(grouped.scans));
+  PrintRule();
+
+  // Batch-size sweep (single writer, so every batch is its own group).
+  std::vector<OrdinalTuple> sweep_ops;
+  for (const auto& stream : MakeStreams(*schema, kWriters, kSweepOps /
+                                        kWriters)) {
+    sweep_ops.insert(sweep_ops.end(), stream.begin(), stream.end());
+  }
+  std::printf("batch-size sweep (%zu ops, single writer):\n", kSweepOps);
+  std::string sweep_json;
+  for (size_t b : {1, 4, 16, 64}) {
+    const double rate = SweepOpsPerSec(schema, sweep_ops, b);
+    std::printf("  batch of %-3zu %9.0f ops/s\n", b, rate);
+    sweep_json += StringFormat("%s\"batch_%zu_ops_per_s\": %.0f",
+                               sweep_json.empty() ? "" : ", ", b, rate);
+  }
+
+  // WAL-off baseline: straight Table::Insert, no durability.
+  double wal_off_rate = 0.0;
+  {
+    MemBlockDevice table_device(kBlockSize);
+    auto table = Table::CreateAvq(schema, &table_device).value();
+    const double ms = TimeMs([&] {
+      for (const OrdinalTuple& t : sweep_ops) {
+        AVQDB_CHECK_OK(table->Insert(t));
+      }
+    });
+    wal_off_rate = static_cast<double>(sweep_ops.size()) / (ms / 1000.0);
+  }
+  std::printf("  WAL off      %9.0f ops/s (Table::Insert, no crash "
+              "safety)\n",
+              wal_off_rate);
+
+  const std::string bench = StringFormat(
+      "{\"name\": \"ingest\", \"writers\": %zu, \"writes_per_thread\": "
+      "%zu, \"sweep_ops\": %zu, \"block_size\": %zu}",
+      kWriters, kWritesPerThread, kSweepOps, kBlockSize);
+  const std::string results = StringFormat(
+      "{\"single_fsync_writes_per_s\": %.0f, "
+      "\"group_commit_writes_per_s\": %.0f, \"group_speedup\": %.2f, "
+      "\"group_batches_per_sync\": %.2f, \"single_fsyncs\": %llu, "
+      "\"group_fsyncs\": %llu, \"apply_ms\": %.1f, "
+      "\"concurrent_scans\": %llu, \"scan_violations\": %s, %s, "
+      "\"wal_off_ops_per_s\": %.0f}",
+      single_rate, group_rate, speedup, batches_per_sync,
+      static_cast<unsigned long long>(single.syncs),
+      static_cast<unsigned long long>(grouped.syncs), grouped.apply_ms,
+      static_cast<unsigned long long>(grouped.scans),
+      grouped.scan_violation ? "true" : "false", sweep_json.c_str(),
+      wal_off_rate);
+  if (!WriteBenchJson("BENCH_ingest.json", bench, results)) return 1;
+  return 0;
+}
+
+}  // namespace avqdb::bench
+
+int main() { return avqdb::bench::Main(); }

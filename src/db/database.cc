@@ -55,11 +55,76 @@ void Database::EnableAdmissionControl(AdmissionOptions options) {
   admission_ = std::make_unique<AdmissionController>(options);
 }
 
+Status Database::EnableWriteAhead(const std::string& name,
+                                  WriteAheadTableOptions options,
+                                  BlockDevice* wal_device) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(
+        StringFormat("no table named \"%s\"", name.c_str()));
+  }
+  Entry& entry = it->second;
+  if (entry.ingest != nullptr) {
+    return Status::InvalidArgument(StringFormat(
+        "table \"%s\" already has a write-ahead log", name.c_str()));
+  }
+  BlockDevice* device = wal_device;
+  if (device == nullptr) {
+    entry.wal_device = std::make_unique<MemBlockDevice>(block_size_);
+    device = entry.wal_device.get();
+  }
+  entry.wal_uuid = GenerateWalUuid();
+  AVQDB_ASSIGN_OR_RETURN(
+      entry.ingest, WriteAheadTable::Create(entry.table.get(), device,
+                                            entry.wal_uuid, options));
+  return Status::OK();
+}
+
+Result<WriteAheadTable*> Database::GetIngest(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(
+        StringFormat("no table named \"%s\"", name.c_str()));
+  }
+  if (it->second.ingest == nullptr) {
+    return Status::InvalidArgument(StringFormat(
+        "table \"%s\" has no write-ahead log (ingest disabled)",
+        name.c_str()));
+  }
+  return it->second.ingest.get();
+}
+
+Status Database::Insert(const std::string& table_name,
+                        const OrdinalTuple& tuple, const ExecContext* ctx,
+                        uint64_t* commit_seq) {
+  AVQDB_ASSIGN_OR_RETURN(WriteAheadTable * ingest, GetIngest(table_name));
+  return ingest->Insert(tuple, ctx, commit_seq);
+}
+
+Status Database::Delete(const std::string& table_name,
+                        const OrdinalTuple& tuple, const ExecContext* ctx,
+                        uint64_t* commit_seq) {
+  AVQDB_ASSIGN_OR_RETURN(WriteAheadTable * ingest, GetIngest(table_name));
+  return ingest->Delete(tuple, ctx, commit_seq);
+}
+
+Status Database::Flush(const std::string& table_name,
+                       const ExecContext* ctx) {
+  AVQDB_ASSIGN_OR_RETURN(WriteAheadTable * ingest, GetIngest(table_name));
+  return ingest->Flush(ctx);
+}
+
 Result<std::vector<OrdinalTuple>> Database::Select(
     const std::string& table_name, const ConjunctiveQuery& query,
     const ExecContext* ctx, QueryStats* stats,
     uint64_t memory_limit_bytes) {
-  AVQDB_ASSIGN_OR_RETURN(Table * table, GetTable(table_name));
+  auto entry_it = tables_.find(table_name);
+  if (entry_it == tables_.end()) {
+    return Status::NotFound(
+        StringFormat("no table named \"%s\"", table_name.c_str()));
+  }
+  Table* table = entry_it->second.table.get();
+  WriteAheadTable* ingest = entry_it->second.ingest.get();
 
   // When the caller wants a trace, own it here (not in the scan driver)
   // so admission wait shows up in EXPLAIN output next to the execution
@@ -86,8 +151,13 @@ Result<std::vector<OrdinalTuple>> Database::Select(
   ExecContext governed = ctx != nullptr ? *ctx : ExecContext();
   governed.set_memory_budget(&query_budget);
 
+  // With a write-ahead log attached, reads go through snapshot isolation:
+  // the base table plus the unapplied-batch overlay at one commit
+  // sequence, so a Select never observes half an applied batch.
   Result<std::vector<OrdinalTuple>> result =
-      ExecuteConjunctiveSelect(*table, query, stats, &governed);
+      ingest != nullptr
+          ? ingest->SnapshotSelect(query, stats, &governed)
+          : ExecuteConjunctiveSelect(*table, query, stats, &governed);
   // The scan driver resets *stats; hand the owned trace back afterwards.
   if (trace != nullptr) stats->trace = trace;
   static obs::Histogram* peak_bytes =

@@ -19,6 +19,7 @@
 #include "src/db/exec_context.h"
 #include "src/db/query.h"
 #include "src/db/table.h"
+#include "src/db/write_ahead_table.h"
 #include "src/schema/schema.h"
 
 namespace avqdb {
@@ -82,10 +83,45 @@ class Database {
       const ExecContext* ctx = nullptr, QueryStats* stats = nullptr,
       uint64_t memory_limit_bytes = MemoryBudget::kUnlimited);
 
+  // --- crash-safe ingest (db/write_ahead_table.h) ---
+
+  // Attaches a WriteAheadTable to `name`: Insert/Delete/Flush become
+  // available and Select() reads through snapshot isolation. The WAL
+  // lives on `wal_device` when given (caller keeps ownership and may
+  // recover it later), else on a fresh in-memory device owned by the
+  // entry. InvalidArgument when already enabled, NotFound for an unknown
+  // table.
+  Status EnableWriteAhead(const std::string& name,
+                          WriteAheadTableOptions options =
+                              WriteAheadTableOptions{},
+                          BlockDevice* wal_device = nullptr);
+
+  // The ingest front for `name`; NotFound for an unknown table,
+  // InvalidArgument when EnableWriteAhead was never called.
+  Result<WriteAheadTable*> GetIngest(const std::string& name) const;
+
+  // Durable single-op mutations through the group-commit write path.
+  // On OK the op is fsynced into the WAL and visible to later Selects.
+  Status Insert(const std::string& table_name, const OrdinalTuple& tuple,
+                const ExecContext* ctx = nullptr,
+                uint64_t* commit_seq = nullptr);
+  Status Delete(const std::string& table_name, const OrdinalTuple& tuple,
+                const ExecContext* ctx = nullptr,
+                uint64_t* commit_seq = nullptr);
+
+  // Drains the applier and checkpoints the WAL for `table_name`.
+  Status Flush(const std::string& table_name,
+               const ExecContext* ctx = nullptr);
+
  private:
   struct Entry {
     std::unique_ptr<MemBlockDevice> device;
     std::unique_ptr<Table> table;
+    std::unique_ptr<MemBlockDevice> wal_device;  // null when caller-owned
+    WalUuid wal_uuid{};
+    // Declared after table/devices so it is destroyed first (drains the
+    // background applier before its table goes away).
+    std::unique_ptr<WriteAheadTable> ingest;
   };
 
   size_t block_size_;

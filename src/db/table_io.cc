@@ -198,29 +198,6 @@ Result<std::string> EncodeMetadataChecked(const Metadata& meta,
   return metadata;
 }
 
-// fsync the directory holding `path` so a just-renamed file's directory
-// entry survives a crash.
-Status SyncParentDirectory(const std::string& path) {
-  std::string copy = path;
-  const char* dir = ::dirname(copy.data());
-  const int fd = ::open(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::IOError(
-        StringFormat("open(%s): %s", dir, std::strerror(errno)));
-  }
-  if (::fsync(fd) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IOError(
-        StringFormat("fsync(%s): %s", dir, std::strerror(err)));
-  }
-  ::close(fd);
-  static obs::Counter* const fsyncs =
-      obs::MetricsRegistry::Global().GetCounter(obs::kDeviceFsyncs);
-  fsyncs->Increment();
-  return Status::OK();
-}
-
 std::unique_ptr<TupleBlockCodec> MakeLoadedCodec(const Metadata& meta,
                                                  size_t parallelism) {
   // The parallelism knob is runtime-only (never persisted): apply the

@@ -1,0 +1,543 @@
+#include "src/db/write_ahead_table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+
+namespace avqdb {
+namespace {
+
+struct WriteMetrics {
+  obs::Counter* batches;
+  obs::Counter* ops;
+  obs::Counter* group_commits;
+  obs::Histogram* group_batches;
+  obs::Histogram* commit_wait_us;
+  obs::Counter* backpressure_waits;
+  obs::Counter* applied_batches;
+  obs::Gauge* apply_lag;
+  obs::Counter* flushes;
+  obs::Counter* snapshot_scans;
+  obs::Counter* recovered_records;
+
+  static const WriteMetrics& Get() {
+    static const WriteMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return WriteMetrics{r.GetCounter(obs::kWriteBatches),
+                          r.GetCounter(obs::kWriteOps),
+                          r.GetCounter(obs::kWriteGroupCommits),
+                          r.GetHistogram(obs::kWriteGroupBatches),
+                          r.GetHistogram(obs::kWriteCommitWaitMicros),
+                          r.GetCounter(obs::kWriteBackpressureWaits),
+                          r.GetCounter(obs::kWriteAppliedBatches),
+                          r.GetGauge(obs::kWriteApplyLagBatches),
+                          r.GetCounter(obs::kWriteFlushes),
+                          r.GetCounter(obs::kWriteSnapshotScans),
+                          r.GetCounter(obs::kWriteRecoveredRecords)};
+    }();
+    return metrics;
+  }
+};
+
+// True when `tuple` satisfies every predicate (repeated attributes
+// intersect, matching ExecuteConjunctiveSelect).
+bool MatchesQuery(const OrdinalTuple& tuple, const ConjunctiveQuery& query) {
+  for (const RangeQuery& predicate : query.predicates) {
+    if (predicate.attribute >= tuple.size()) return false;
+    const uint64_t v = tuple[predicate.attribute];
+    if (v < predicate.lo || v > predicate.hi) return false;
+  }
+  return true;
+}
+
+// Merges a φ-ordered base result with a φ-ordered overlay of (tuple,
+// deleted) pairs: an overlay entry wins over a base tuple with the same
+// φ position (deletions suppress, inserts add).
+std::vector<OrdinalTuple> MergeOverlay(
+    std::vector<OrdinalTuple> base,
+    const std::vector<std::pair<OrdinalTuple, bool>>& overlay) {
+  if (overlay.empty()) return base;
+  std::vector<OrdinalTuple> merged;
+  merged.reserve(base.size() + overlay.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < base.size() && j < overlay.size()) {
+    const int cmp = CompareTuples(base[i], overlay[j].first);
+    if (cmp < 0) {
+      merged.push_back(std::move(base[i++]));
+    } else if (cmp > 0) {
+      if (!overlay[j].second) merged.push_back(overlay[j].first);
+      ++j;
+    } else {
+      if (!overlay[j].second) merged.push_back(std::move(base[i]));
+      ++i;
+      ++j;
+    }
+  }
+  while (i < base.size()) merged.push_back(std::move(base[i++]));
+  for (; j < overlay.size(); ++j) {
+    if (!overlay[j].second) merged.push_back(overlay[j].first);
+  }
+  return merged;
+}
+
+constexpr auto kBackpressureSlice = std::chrono::milliseconds(2);
+constexpr auto kFlushSlice = std::chrono::milliseconds(10);
+
+}  // namespace
+
+WriteAheadTable::WriteAheadTable(Table* table,
+                                 std::unique_ptr<WriteAheadLog> wal,
+                                 WriteAheadTableOptions options)
+    : table_(table),
+      wal_(std::move(wal)),
+      options_(options),
+      pool_(options.pool != nullptr ? options.pool : &SharedThreadPool()) {
+  if (options_.max_unapplied_batches == 0) options_.max_unapplied_batches = 1;
+  if (options_.apply_chunk_batches == 0) options_.apply_chunk_batches = 1;
+}
+
+Result<std::unique_ptr<WriteAheadTable>> WriteAheadTable::Create(
+    Table* table, BlockDevice* wal_device, const WalUuid& uuid,
+    WriteAheadTableOptions options) {
+  AVQDB_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
+                         WriteAheadLog::Create(wal_device, uuid));
+  return std::unique_ptr<WriteAheadTable>(
+      new WriteAheadTable(table, std::move(wal), options));
+}
+
+Result<std::unique_ptr<WriteAheadTable>> WriteAheadTable::Recover(
+    Table* table, BlockDevice* wal_device, const WalUuid& uuid,
+    WriteAheadTableOptions options, WalReplayStats* replay_stats) {
+  // Replaying a committed prefix onto a table image that already contains
+  // some of it converges: ops re-apply in their original order, so an
+  // insert that finds its tuple present (AlreadyExists) or a delete that
+  // finds it gone (NotFound) was simply applied before the crash.
+  auto replay_one = [table](uint64_t /*seq*/, Slice payload) -> Status {
+    AVQDB_ASSIGN_OR_RETURN(WriteBatch batch, WriteBatch::DecodePayload(payload));
+    for (const WriteBatch::Op& op : batch.ops()) {
+      AVQDB_RETURN_IF_ERROR(ValidateTuple(*table->schema(), op.tuple));
+      Status status = op.kind == WriteBatch::OpKind::kInsert
+                          ? table->Insert(op.tuple)
+                          : table->Delete(op.tuple);
+      if (!status.ok() && !status.IsAlreadyExists() && !status.IsNotFound()) {
+        return status;
+      }
+    }
+    return Status::OK();
+  };
+  WalReplayStats stats;
+  AVQDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<WriteAheadLog> wal,
+      WriteAheadLog::Open(wal_device, uuid, replay_one, &stats));
+  if (replay_stats != nullptr) *replay_stats = stats;
+  WriteMetrics::Get().recovered_records->Add(stats.records);
+  auto wat = std::unique_ptr<WriteAheadTable>(
+      new WriteAheadTable(table, std::move(wal), options));
+  wat->next_seq_ = wat->wal_->last_seq() + 1;
+  wat->durable_seq_ = wat->wal_->last_seq();
+  wat->applied_seq_ = wat->wal_->last_seq();
+  return wat;
+}
+
+WriteAheadTable::~WriteAheadTable() {
+  std::unique_lock<std::mutex> st(state_mu_);
+  stopping_ = true;
+  applier_cv_.wait(st, [this] { return !applier_scheduled_; });
+}
+
+Result<bool> WriteAheadTable::PresentLocked(const OrdinalTuple& tuple) const {
+  auto it = memtable_.find(tuple);
+  if (it != memtable_.end() && !it->second.empty()) {
+    return !it->second.back().deleted;
+  }
+  return table_->Contains(tuple);
+}
+
+void WriteAheadTable::RollbackVersionsLocked(
+    const std::vector<WriteBatch::Op>& ops, uint64_t seq) {
+  for (const WriteBatch::Op& op : ops) {
+    auto it = memtable_.find(op.tuple);
+    if (it == memtable_.end()) continue;
+    auto& versions = it->second;
+    versions.erase(std::remove_if(versions.begin(), versions.end(),
+                                  [seq](const Version& v) {
+                                    return v.seq == seq;
+                                  }),
+                   versions.end());
+    if (versions.empty()) memtable_.erase(it);
+  }
+}
+
+void WriteAheadTable::PruneVersionsLocked(
+    const std::vector<WriteBatch::Op>& ops, uint64_t seq) {
+  for (const WriteBatch::Op& op : ops) {
+    auto it = memtable_.find(op.tuple);
+    if (it == memtable_.end()) continue;
+    auto& versions = it->second;
+    versions.erase(std::remove_if(versions.begin(), versions.end(),
+                                  [seq](const Version& v) {
+                                    return v.seq <= seq;
+                                  }),
+                   versions.end());
+    if (versions.empty()) memtable_.erase(it);
+  }
+}
+
+void WriteAheadTable::UpdateLagGaugeLocked() {
+  WriteMetrics::Get().apply_lag->Set(
+      static_cast<int64_t>(wal_queue_.size() + apply_queue_.size()));
+}
+
+void WriteAheadTable::ScheduleApplierLocked() {
+  if (applier_scheduled_ || stopping_ || !poisoned_.ok()) return;
+  if (apply_queue_.empty()) return;
+  applier_scheduled_ = true;
+  pool_->Submit([this] { ApplierTask(); });
+}
+
+bool WriteAheadTable::ApplyOneBatch() {
+  // The exclusive apply lock makes the whole batch one atomic step for
+  // snapshot readers: they either see all its tuples through the memtable
+  // (before) or all through the base table (after), never a mix.
+  std::unique_lock<std::shared_mutex> apply_lk(apply_mu_);
+  PendingApply batch;
+  {
+    std::lock_guard<std::mutex> st(state_mu_);
+    if (stopping_ || apply_queue_.empty()) return false;
+    batch = std::move(apply_queue_.front());
+    apply_queue_.pop_front();
+  }
+  Status status;
+  for (const WriteBatch::Op& op : batch.ops) {
+    status = op.kind == WriteBatch::OpKind::kInsert ? table_->Insert(op.tuple)
+                                                    : table_->Delete(op.tuple);
+    if (!status.ok()) break;
+  }
+  std::lock_guard<std::mutex> st(state_mu_);
+  if (status.ok()) {
+    applied_seq_ = batch.seq;
+    PruneVersionsLocked(batch.ops, batch.seq);
+    WriteMetrics::Get().applied_batches->Increment();
+  } else {
+    // Validated ops must apply cleanly; a failure here means the table
+    // image itself is failing. Poison the write path — readers stay
+    // correct because the batch's memtable versions are retained.
+    poisoned_ = Status::Internal(StringFormat(
+        "applier failed at seq %llu: %s",
+        static_cast<unsigned long long>(batch.seq),
+        status.ToString().c_str()));
+  }
+  UpdateLagGaugeLocked();
+  writers_cv_.notify_all();
+  applier_cv_.notify_all();
+  return status.ok();
+}
+
+void WriteAheadTable::ApplierTask() {
+  size_t applied = 0;
+  while (applied < options_.apply_chunk_batches && ApplyOneBatch()) ++applied;
+  std::lock_guard<std::mutex> st(state_mu_);
+  if (!stopping_ && poisoned_.ok() && !apply_queue_.empty()) {
+    pool_->Submit([this] { ApplierTask(); });  // yield the worker, continue
+  } else {
+    applier_scheduled_ = false;
+    applier_cv_.notify_all();
+  }
+}
+
+Status WriteAheadTable::Write(WriteBatch batch, const ExecContext* ctx,
+                              uint64_t* commit_seq) {
+  if (batch.empty()) return Status::OK();
+  const WriteMetrics& metrics = WriteMetrics::Get();
+  for (const WriteBatch::Op& op : batch.ops()) {
+    AVQDB_RETURN_IF_ERROR(ValidateTuple(*table_->schema(), op.tuple));
+  }
+  if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
+  const auto start = std::chrono::steady_clock::now();
+
+  // Writers hold the flush gate shared for the whole commit, so Flush's
+  // exclusive hold guarantees a quiesced WAL.
+  std::shared_lock<std::shared_mutex> flush_lk(flush_mu_);
+  CommitRequest request;
+  std::unique_lock<std::mutex> st(state_mu_, std::defer_lock);
+  while (true) {
+    st.lock();
+    if (stopping_) {
+      return Status::Unavailable("write-ahead table is shutting down");
+    }
+    if (!poisoned_.ok()) return poisoned_;
+    if (wal_queue_.size() + apply_queue_.size() >=
+        options_.max_unapplied_batches) {
+      // Backpressure: the unapplied window is full. Wait with the apply
+      // lock NOT held so the applier can drain it. With auto_apply off
+      // nothing drains in the background by design — the writer waits
+      // for an explicit Flush or its deadline.
+      metrics.backpressure_waits->Increment();
+      if (options_.auto_apply) ScheduleApplierLocked();
+      writers_cv_.wait_for(st, kBackpressureSlice);
+      st.unlock();
+      if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
+      continue;
+    }
+    st.unlock();
+
+    // Validate against the latest accepted state. The shared apply lock
+    // pins the base table at a batch boundary; state_mu_ pins the
+    // memtable, so base + memtable is exactly the state after the last
+    // accepted batch.
+    std::shared_lock<std::shared_mutex> apply_lk(apply_mu_);
+    st.lock();
+    if (!poisoned_.ok()) return poisoned_;
+    if (wal_queue_.size() + apply_queue_.size() >=
+        options_.max_unapplied_batches) {
+      st.unlock();
+      continue;  // the window refilled while we reacquired; re-wait
+    }
+    std::map<OrdinalTuple, bool, TupleLess> batch_view;  // intra-batch state
+    Status validation;
+    for (const WriteBatch::Op& op : batch.ops()) {
+      bool present = false;
+      auto it = batch_view.find(op.tuple);
+      if (it != batch_view.end()) {
+        present = it->second;
+      } else {
+        Result<bool> lookup = PresentLocked(op.tuple);
+        if (!lookup.ok()) return lookup.status();
+        present = *lookup;
+      }
+      if (op.kind == WriteBatch::OpKind::kInsert && present) {
+        validation = Status::AlreadyExists("insert: tuple already present");
+        break;
+      }
+      if (op.kind == WriteBatch::OpKind::kDelete && !present) {
+        validation = Status::NotFound("delete: tuple not present");
+        break;
+      }
+      batch_view[op.tuple] = op.kind == WriteBatch::OpKind::kInsert;
+    }
+    if (!validation.ok()) return validation;
+
+    // Accepted: assign the commit sequence, stage memtable versions and
+    // join the group-commit queue in sequence order (both under state_mu_,
+    // so queue order == sequence order).
+    request.seq = next_seq_++;
+    request.payload = batch.EncodePayload();
+    request.ops = batch.ReleaseOps();
+    for (const WriteBatch::Op& op : request.ops) {
+      memtable_[op.tuple].push_back(
+          Version{request.seq, op.kind == WriteBatch::OpKind::kDelete});
+    }
+    wal_queue_.push_back(&request);
+    UpdateLagGaugeLocked();
+    break;  // st stays held for the group-commit protocol below
+  }
+
+  // Group commit: the writer at the queue front leads; everyone else
+  // waits for its leader to mark it done.
+  while (!request.done && wal_queue_.front() != &request) {
+    writers_cv_.wait(st);
+  }
+  Status result;
+  if (request.done) {
+    result = request.status;
+  } else {
+    const size_t group_size =
+        options_.max_group_batches == 0
+            ? wal_queue_.size()
+            : std::min(wal_queue_.size(), options_.max_group_batches);
+    std::vector<CommitRequest*> group(wal_queue_.begin(),
+                                      wal_queue_.begin() + group_size);
+    Status io = poisoned_;
+    st.unlock();
+    if (io.ok()) {
+      for (CommitRequest* r : group) {
+        io = wal_->Append(r->seq, Slice(r->payload));
+        if (!io.ok()) break;
+      }
+      if (io.ok()) io = wal_->Sync();  // ONE barrier for the whole group
+    }
+    st.lock();
+    uint64_t group_ops = 0;
+    for (CommitRequest* r : group) {
+      wal_queue_.pop_front();
+      r->done = true;
+      r->status = io;
+      if (io.ok()) {
+        group_ops += r->ops.size();
+        apply_queue_.push_back(PendingApply{r->seq, std::move(r->ops)});
+      } else {
+        // The group never became durable: withdraw its memtable versions
+        // so no snapshot can see an unacknowledged write.
+        RollbackVersionsLocked(r->ops, r->seq);
+      }
+    }
+    if (io.ok()) {
+      durable_seq_ = group.back()->seq;
+      metrics.group_commits->Increment();
+      metrics.group_batches->Record(group.size());
+      metrics.batches->Add(group.size());
+      metrics.ops->Add(group_ops);
+      if (options_.auto_apply) ScheduleApplierLocked();
+    } else {
+      poisoned_ = io;
+    }
+    UpdateLagGaugeLocked();
+    writers_cv_.notify_all();
+    result = io;
+  }
+  st.unlock();
+  metrics.commit_wait_us->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  if (result.ok() && commit_seq != nullptr) *commit_seq = request.seq;
+  return result;
+}
+
+Status WriteAheadTable::Insert(const OrdinalTuple& tuple,
+                               const ExecContext* ctx, uint64_t* commit_seq) {
+  WriteBatch batch;
+  batch.Insert(tuple);
+  return Write(std::move(batch), ctx, commit_seq);
+}
+
+Status WriteAheadTable::Delete(const OrdinalTuple& tuple,
+                               const ExecContext* ctx, uint64_t* commit_seq) {
+  WriteBatch batch;
+  batch.Delete(tuple);
+  return Write(std::move(batch), ctx, commit_seq);
+}
+
+std::vector<std::pair<OrdinalTuple, bool>> WriteAheadTable::OverlayAt(
+    uint64_t snapshot_seq) const {
+  std::vector<std::pair<OrdinalTuple, bool>> overlay;
+  for (const auto& [tuple, versions] : memtable_) {
+    const Version* visible = nullptr;
+    for (const Version& v : versions) {
+      if (v.seq <= snapshot_seq) visible = &v;
+    }
+    if (visible != nullptr) overlay.emplace_back(tuple, visible->deleted);
+  }
+  return overlay;
+}
+
+Result<std::vector<OrdinalTuple>> WriteAheadTable::SnapshotScan(
+    const ExecContext* ctx, uint64_t* snapshot_seq) const {
+  if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
+  std::shared_lock<std::shared_mutex> apply_lk(apply_mu_);
+  uint64_t snap = 0;
+  std::vector<std::pair<OrdinalTuple, bool>> overlay;
+  {
+    std::lock_guard<std::mutex> st(state_mu_);
+    snap = durable_seq_;
+    overlay = OverlayAt(snap);
+  }
+  AVQDB_ASSIGN_OR_RETURN(std::vector<OrdinalTuple> base, table_->ScanAll());
+  WriteMetrics::Get().snapshot_scans->Increment();
+  if (snapshot_seq != nullptr) *snapshot_seq = snap;
+  return MergeOverlay(std::move(base), overlay);
+}
+
+Result<std::vector<OrdinalTuple>> WriteAheadTable::SnapshotSelect(
+    const ConjunctiveQuery& query, QueryStats* stats, const ExecContext* ctx,
+    uint64_t* snapshot_seq) const {
+  if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
+  std::shared_lock<std::shared_mutex> apply_lk(apply_mu_);
+  uint64_t snap = 0;
+  std::vector<std::pair<OrdinalTuple, bool>> overlay;
+  {
+    std::lock_guard<std::mutex> st(state_mu_);
+    snap = durable_seq_;
+    overlay = OverlayAt(snap);
+  }
+  // Keep only overlay entries the query could touch; deletions must
+  // survive the filter so they still suppress matching base tuples.
+  std::vector<std::pair<OrdinalTuple, bool>> relevant;
+  relevant.reserve(overlay.size());
+  for (auto& entry : overlay) {
+    if (MatchesQuery(entry.first, query)) relevant.push_back(std::move(entry));
+  }
+  AVQDB_ASSIGN_OR_RETURN(
+      std::vector<OrdinalTuple> base,
+      ExecuteConjunctiveSelect(*table_, query, stats, ctx));
+  WriteMetrics::Get().snapshot_scans->Increment();
+  if (snapshot_seq != nullptr) *snapshot_seq = snap;
+  return MergeOverlay(std::move(base), relevant);
+}
+
+Result<bool> WriteAheadTable::Contains(const OrdinalTuple& tuple) const {
+  std::shared_lock<std::shared_mutex> apply_lk(apply_mu_);
+  {
+    std::lock_guard<std::mutex> st(state_mu_);
+    auto it = memtable_.find(tuple);
+    if (it != memtable_.end()) {
+      const Version* visible = nullptr;
+      for (const Version& v : it->second) {
+        if (v.seq <= durable_seq_) visible = &v;
+      }
+      if (visible != nullptr) return !visible->deleted;
+    }
+  }
+  return table_->Contains(tuple);
+}
+
+Status WriteAheadTable::Flush(const ExecContext* ctx) {
+  // Exclusive flush gate: every in-flight Write finishes (they hold the
+  // gate shared across their commit), new ones wait. With the gate held
+  // the WAL queue is empty and durable_seq_ is final.
+  std::unique_lock<std::shared_mutex> flush_lk(flush_mu_);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> st(state_mu_);
+      if (stopping_) {
+        return Status::Unavailable("write-ahead table is shutting down");
+      }
+      if (!poisoned_.ok()) return poisoned_;
+      if (applied_seq_ >= durable_seq_) break;
+      if (options_.auto_apply) {
+        ScheduleApplierLocked();
+        applier_cv_.wait_for(st, kFlushSlice);
+        st.unlock();
+        if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
+        continue;
+      }
+    }
+    // auto_apply off: drain inline on this thread.
+    ApplyOneBatch();
+    if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
+  }
+  {
+    // The shared apply lock keeps the commit callback's table reads
+    // consistent (nothing left to apply, but a scheduled applier task may
+    // still be winding down).
+    std::shared_lock<std::shared_mutex> apply_lk(apply_mu_);
+    if (commit_callback_) AVQDB_RETURN_IF_ERROR(commit_callback_());
+    if (wal_->last_seq() >= wal_->start_seq()) {
+      AVQDB_RETURN_IF_ERROR(wal_->Truncate(wal_->last_seq()));
+    }
+  }
+  WriteMetrics::Get().flushes->Increment();
+  return Status::OK();
+}
+
+uint64_t WriteAheadTable::durable_seq() const {
+  std::lock_guard<std::mutex> st(state_mu_);
+  return durable_seq_;
+}
+
+uint64_t WriteAheadTable::applied_seq() const {
+  std::lock_guard<std::mutex> st(state_mu_);
+  return applied_seq_;
+}
+
+uint64_t WriteAheadTable::unapplied_batches() const {
+  std::lock_guard<std::mutex> st(state_mu_);
+  return wal_queue_.size() + apply_queue_.size();
+}
+
+}  // namespace avqdb

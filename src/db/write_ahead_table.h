@@ -1,0 +1,231 @@
+// WriteAheadTable: the crash-safe, high-throughput ingest front for a
+// Table (DESIGN.md §11).
+//
+// Mutations no longer decode-splice-reencode a block inline. A Write:
+//   1. validates against the latest accepted state (base table plus the
+//      memtable of not-yet-applied batches),
+//   2. is assigned the next commit sequence and inserted into the
+//      memtable as pending versions,
+//   3. rides a group commit: the first queued writer becomes the leader,
+//      appends every queued batch to the WAL in sequence order and issues
+//      ONE Sync for all of them (many commits per fsync), then
+//   4. becomes durable and visible the moment the leader advances the
+//      durable sequence.
+// A background applier (shared ThreadPool) drains durable batches into
+// the table through the ordinary decode-splice-reencode path and prunes
+// the corresponding memtable versions; Flush() drains fully, runs the
+// optional commit callback (e.g. LoadedTable::Commit for file-backed
+// tables) and checkpoints the WAL. The unapplied window is bounded:
+// writers beyond `max_unapplied_batches` wait (backpressure), honoring
+// their ExecContext deadline/cancellation.
+//
+// Snapshot isolation on the cheap: a scan pins S = durable sequence,
+// reads the base table under a shared apply lock (the applier takes it
+// exclusively per batch, so the base always sits at a batch boundary
+// <= S) and merges the memtable versions with seq <= S in φ order. Every
+// scan therefore equals the table state at exactly one commit sequence —
+// never a torn read, and scans never block commits (they only delay the
+// background apply, which the bounded log absorbs).
+//
+// A WAL Sync failure poisons the write path: the failed group's memtable
+// versions are rolled back and every later Write fails with the sync
+// error — the log never diverges from what was acknowledged.
+
+#ifndef AVQDB_DB_WRITE_AHEAD_TABLE_H_
+#define AVQDB_DB_WRITE_AHEAD_TABLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/db/exec_context.h"
+#include "src/db/query.h"
+#include "src/db/table.h"
+#include "src/db/write_batch.h"
+#include "src/storage/wal.h"
+
+namespace avqdb {
+
+struct WriteAheadTableOptions {
+  // Backpressure bound: Writes wait while this many batches are accepted
+  // but not yet applied to the table (the WAL stays proportionally
+  // bounded).
+  size_t max_unapplied_batches = 256;
+  // Batches one applier task drains before rescheduling itself (keeps a
+  // pool worker from being monopolized).
+  size_t apply_chunk_batches = 32;
+  // Cap on batches per group commit; 0 = unbounded. 1 degenerates to one
+  // fsync per batch (the bench's single-write-fsync baseline).
+  size_t max_group_batches = 0;
+  // When false, nothing is applied in the background; Flush() drains
+  // inline (tests use this for deterministic interleavings).
+  bool auto_apply = true;
+  // Applier pool; null = SharedThreadPool().
+  ThreadPool* pool = nullptr;
+};
+
+class WriteAheadTable {
+ public:
+  // Wraps `table` with a fresh WAL on `wal_device` (must be freshly
+  // created; both must outlive the WriteAheadTable).
+  static Result<std::unique_ptr<WriteAheadTable>> Create(
+      Table* table, BlockDevice* wal_device, const WalUuid& uuid,
+      WriteAheadTableOptions options = WriteAheadTableOptions{});
+
+  // Opens an existing WAL and replays every intact record into `table`
+  // (idempotently: AlreadyExists/NotFound during replay mean the op was
+  // already applied before the crash). InvalidArgument on UUID mismatch.
+  static Result<std::unique_ptr<WriteAheadTable>> Recover(
+      Table* table, BlockDevice* wal_device, const WalUuid& uuid,
+      WriteAheadTableOptions options = WriteAheadTableOptions{},
+      WalReplayStats* replay_stats = nullptr);
+
+  // Drains the background applier. The caller must have stopped issuing
+  // Writes/Flushes first. Unapplied durable batches stay in the WAL and
+  // replay on the next Recover.
+  ~WriteAheadTable();
+
+  WriteAheadTable(const WriteAheadTable&) = delete;
+  WriteAheadTable& operator=(const WriteAheadTable&) = delete;
+
+  // --- write path ---
+
+  // Commits `batch` atomically. On OK the batch is durable in the WAL
+  // (fsynced) and visible to every later snapshot; `commit_seq` (optional)
+  // receives its commit sequence. AlreadyExists/NotFound on validation
+  // conflicts, DeadlineExceeded/Cancelled from `ctx` while waiting for
+  // backpressure, the poisoning error after a WAL failure.
+  Status Write(WriteBatch batch, const ExecContext* ctx = nullptr,
+               uint64_t* commit_seq = nullptr);
+
+  // One-op conveniences.
+  Status Insert(const OrdinalTuple& tuple, const ExecContext* ctx = nullptr,
+                uint64_t* commit_seq = nullptr);
+  Status Delete(const OrdinalTuple& tuple, const ExecContext* ctx = nullptr,
+                uint64_t* commit_seq = nullptr);
+
+  // --- snapshot reads ---
+
+  // All tuples at one commit sequence (the current durable one), in φ
+  // order. `snapshot_seq` (optional) reports which.
+  Result<std::vector<OrdinalTuple>> SnapshotScan(
+      const ExecContext* ctx = nullptr, uint64_t* snapshot_seq = nullptr) const;
+
+  // Conjunctive selection over the same pinned snapshot: the base table
+  // runs the ordinary governed access paths, unapplied versions merge in
+  // at the result level (both sides are φ-ordered).
+  Result<std::vector<OrdinalTuple>> SnapshotSelect(
+      const ConjunctiveQuery& query, QueryStats* stats = nullptr,
+      const ExecContext* ctx = nullptr,
+      uint64_t* snapshot_seq = nullptr) const;
+
+  // Membership at the current durable snapshot.
+  Result<bool> Contains(const OrdinalTuple& tuple) const;
+
+  // --- checkpoint ---
+
+  // Blocks new writes, drains the applier, runs the commit callback (when
+  // set) and truncates the WAL. After OK the log is empty and the table
+  // image alone carries every acknowledged write.
+  Status Flush(const ExecContext* ctx = nullptr);
+
+  // Invoked by Flush() after the table is fully applied and before the
+  // WAL truncate — the hook for durable table commits
+  // (LoadedTable::Commit). Runs under a shared apply lock.
+  void set_commit_callback(std::function<Status()> fn) {
+    commit_callback_ = std::move(fn);
+  }
+
+  // --- accounting ---
+
+  uint64_t durable_seq() const;
+  uint64_t applied_seq() const;
+  uint64_t unapplied_batches() const;
+  Table* table() const { return table_; }
+  const WriteAheadLog& wal() const { return *wal_; }
+
+ private:
+  struct Version {
+    uint64_t seq;
+    bool deleted;
+  };
+  struct TupleLess {
+    bool operator()(const OrdinalTuple& a, const OrdinalTuple& b) const {
+      return CompareTuples(a, b) < 0;
+    }
+  };
+  using Memtable = std::map<OrdinalTuple, std::vector<Version>, TupleLess>;
+
+  // A writer's batch queued for the group-commit leader.
+  struct CommitRequest {
+    uint64_t seq = 0;
+    std::string payload;
+    std::vector<WriteBatch::Op> ops;
+    bool done = false;
+    Status status;
+  };
+  struct PendingApply {
+    uint64_t seq = 0;
+    std::vector<WriteBatch::Op> ops;
+  };
+
+  WriteAheadTable(Table* table, std::unique_ptr<WriteAheadLog> wal,
+                  WriteAheadTableOptions options);
+
+  // Latest accepted presence of `tuple` (memtable over base). Requires
+  // apply_mu_ shared + state_mu_ held.
+  Result<bool> PresentLocked(const OrdinalTuple& tuple) const;
+  // Removes `seq`'s versions for each op's tuple (group-commit failure).
+  void RollbackVersionsLocked(const std::vector<WriteBatch::Op>& ops,
+                              uint64_t seq);
+  // Drops versions with seq <= `seq` for each op's tuple (post-apply).
+  void PruneVersionsLocked(const std::vector<WriteBatch::Op>& ops,
+                           uint64_t seq);
+  void ScheduleApplierLocked();
+  void ApplierTask();
+  // Applies one durable batch to the table under an exclusive apply lock;
+  // returns false when the queue is drained or the table is stopping.
+  bool ApplyOneBatch();
+  void UpdateLagGaugeLocked();
+
+  // Copies the memtable versions visible at `snapshot_seq` in φ order.
+  std::vector<std::pair<OrdinalTuple, bool>> OverlayAt(uint64_t snapshot_seq)
+      const;
+
+  Table* table_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  WriteAheadTableOptions options_;
+  ThreadPool* pool_;
+  std::function<Status()> commit_callback_;
+
+  // Lock order: flush_mu_ -> apply_mu_ -> state_mu_.
+  mutable std::shared_mutex flush_mu_;  // writers shared, Flush exclusive
+  mutable std::shared_mutex apply_mu_;  // readers/writers shared, applier excl
+  mutable std::mutex state_mu_;
+  std::condition_variable writers_cv_;  // group commit + backpressure
+  std::condition_variable applier_cv_;  // drain waits
+
+  // All below guarded by state_mu_.
+  Memtable memtable_;
+  std::deque<CommitRequest*> wal_queue_;
+  std::deque<PendingApply> apply_queue_;
+  uint64_t next_seq_ = 1;
+  uint64_t durable_seq_ = 0;
+  uint64_t applied_seq_ = 0;
+  bool applier_scheduled_ = false;
+  bool stopping_ = false;
+  Status poisoned_;  // non-OK after a WAL append/sync failure
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_WRITE_AHEAD_TABLE_H_

@@ -1,0 +1,75 @@
+#include "src/db/write_batch.h"
+
+#include "src/common/coding.h"
+#include "src/common/string_util.h"
+
+namespace avqdb {
+namespace {
+
+// Parse-time plausibility bounds: a batch is produced by one Write call,
+// so these are generous; they exist to stop a corrupt length from driving
+// a multi-gigabyte allocation before the CRC layer would catch it.
+constexpr uint64_t kMaxDecodedOps = 1u << 20;
+constexpr uint64_t kMaxDecodedArity = 1u << 12;
+
+}  // namespace
+
+std::string WriteBatch::EncodePayload() const {
+  std::string out;
+  PutVarint64(&out, ops_.size());
+  for (const Op& op : ops_) {
+    out.push_back(static_cast<char>(op.kind));
+    PutVarint64(&out, op.tuple.size());
+    for (uint64_t ordinal : op.tuple) PutVarint64(&out, ordinal);
+  }
+  return out;
+}
+
+Result<WriteBatch> WriteBatch::DecodePayload(Slice payload) {
+  Slice input = payload;
+  uint64_t count = 0;
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption("write batch: truncated op count");
+  }
+  if (count > kMaxDecodedOps) {
+    return Status::Corruption(StringFormat(
+        "write batch: implausible op count %llu",
+        static_cast<unsigned long long>(count)));
+  }
+  WriteBatch batch;
+  batch.ops_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (input.empty()) {
+      return Status::Corruption("write batch: truncated op kind");
+    }
+    const uint8_t kind = input[0];
+    input.RemovePrefix(1);
+    if (kind > static_cast<uint8_t>(OpKind::kDelete)) {
+      return Status::Corruption(
+          StringFormat("write batch: unknown op kind %u", kind));
+    }
+    uint64_t arity = 0;
+    if (!GetVarint64(&input, &arity)) {
+      return Status::Corruption("write batch: truncated arity");
+    }
+    if (arity > kMaxDecodedArity) {
+      return Status::Corruption(StringFormat(
+          "write batch: implausible arity %llu",
+          static_cast<unsigned long long>(arity)));
+    }
+    OrdinalTuple tuple(arity);
+    for (uint64_t a = 0; a < arity; ++a) {
+      if (!GetVarint64(&input, &tuple[a])) {
+        return Status::Corruption("write batch: truncated ordinal");
+      }
+    }
+    batch.ops_.push_back(Op{static_cast<OpKind>(kind), std::move(tuple)});
+  }
+  if (!input.empty()) {
+    return Status::Corruption(StringFormat(
+        "write batch: %zu trailing bytes after the last op", input.size()));
+  }
+  return batch;
+}
+
+}  // namespace avqdb

@@ -1,0 +1,64 @@
+// WriteBatch: an ordered group of insert/delete operations that commits
+// atomically through the write-ahead log (db/write_ahead_table.h).
+//
+// A batch is the unit of commit and of apply: all of its operations share
+// one commit sequence, replay together after a crash, and become visible
+// to snapshots together — a scan can never observe half a batch.
+//
+// The wire form (EncodePayload/DecodePayload) is the WAL record payload
+// documented in docs/FORMAT.md: op count, then per op a kind byte and the
+// tuple's ordinals as varints. The codec is schema-agnostic; the applier
+// validates tuples against the table schema.
+
+#ifndef AVQDB_DB_WRITE_BATCH_H_
+#define AVQDB_DB_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/schema/tuple.h"
+
+namespace avqdb {
+
+class WriteBatch {
+ public:
+  enum class OpKind : uint8_t { kInsert = 0, kDelete = 1 };
+
+  struct Op {
+    OpKind kind;
+    OrdinalTuple tuple;
+  };
+
+  WriteBatch() = default;
+
+  void Insert(OrdinalTuple tuple) {
+    ops_.push_back(Op{OpKind::kInsert, std::move(tuple)});
+  }
+  void Delete(OrdinalTuple tuple) {
+    ops_.push_back(Op{OpKind::kDelete, std::move(tuple)});
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  // Moves the ops out (the batch is empty afterwards).
+  std::vector<Op> ReleaseOps() { return std::move(ops_); }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  void Clear() { ops_.clear(); }
+
+  // WAL payload form. DecodePayload rejects trailing garbage, truncated
+  // varints, unknown op kinds and implausible counts (parse-time bounds;
+  // semantic validation happens at apply).
+  std::string EncodePayload() const;
+  static Result<WriteBatch> DecodePayload(Slice payload);
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_DB_WRITE_BATCH_H_

@@ -169,6 +169,30 @@ inline constexpr char kServerRequestExecMicros[] = "server.request.exec_us";
 inline constexpr char kServerRequestSendMicros[] = "server.request.send_us";
 inline constexpr char kServerStatsRequests[] = "server.stats.requests";
 
+// --- write-ahead log (storage/wal.cc) ---
+inline constexpr char kWalAppends[] = "wal.appends";
+inline constexpr char kWalAppendedBytes[] = "wal.appended_bytes";
+inline constexpr char kWalSyncs[] = "wal.syncs";
+inline constexpr char kWalTruncates[] = "wal.truncates";
+inline constexpr char kWalReplayRecords[] = "wal.replay_records";
+inline constexpr char kWalTornTails[] = "wal.torn_tails";
+inline constexpr char kWalPages[] = "wal.pages";
+
+// --- ingest write path (db/write_ahead_table.cc) ---
+inline constexpr char kWriteBatches[] = "db.write.batches";
+inline constexpr char kWriteOps[] = "db.write.ops";
+inline constexpr char kWriteGroupCommits[] = "db.write.group_commits";
+inline constexpr char kWriteGroupBatches[] = "db.write.group_batches";
+inline constexpr char kWriteCommitWaitMicros[] = "db.write.commit_wait_us";
+inline constexpr char kWriteBackpressureWaits[] =
+    "db.write.backpressure_waits";
+inline constexpr char kWriteAppliedBatches[] = "db.write.applied_batches";
+inline constexpr char kWriteApplyLagBatches[] = "db.write.apply_lag_batches";
+inline constexpr char kWriteFlushes[] = "db.write.flushes";
+inline constexpr char kWriteSnapshotScans[] = "db.write.snapshot_scans";
+inline constexpr char kWriteRecoveredRecords[] =
+    "db.write.recovered_records";
+
 // --- query journal (obs/query_journal.cc) ---
 inline constexpr char kJournalAppends[] = "obs.journal.appends";
 inline constexpr char kJournalSlowQueries[] = "obs.journal.slow_queries";

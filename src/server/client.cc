@@ -144,6 +144,56 @@ Result<Client::StatsResult> Client::FetchStats(uint32_t sections) {
   return result;
 }
 
+namespace {
+
+// Shared wait half of Mutate/Flush: both expect one MUTATE_OK (or an
+// ERROR carrying the server status).
+Result<uint64_t> ReadMutateOk(int fd, const ClientOptions& options,
+                              uint64_t id) {
+  AVQDB_ASSIGN_OR_RETURN(
+      Frame reply,
+      ReadFrame(fd, options.max_frame_bytes, options.io_timeout_ms, nullptr));
+  if (reply.request_id != id) {
+    return Status::InvalidArgument(StringFormat(
+        "MUTATE_OK id %llu for request %llu",
+        static_cast<unsigned long long>(reply.request_id),
+        static_cast<unsigned long long>(id)));
+  }
+  if (reply.opcode == Opcode::kError) {
+    Status server_error = Status::OK();
+    AVQDB_RETURN_IF_ERROR(
+        ParseErrorPayload(Slice(reply.payload), &server_error));
+    return server_error;
+  }
+  if (reply.opcode != Opcode::kMutateOk) {
+    return Status::InvalidArgument(StringFormat(
+        "expected MUTATE_OK, got opcode %u",
+        static_cast<unsigned>(reply.opcode)));
+  }
+  uint64_t commit_seq = 0;
+  AVQDB_RETURN_IF_ERROR(
+      ParseMutateOkPayload(Slice(reply.payload), &commit_seq));
+  return commit_seq;
+}
+
+}  // namespace
+
+Result<uint64_t> Client::Mutate(const MutateRequest& request) {
+  const uint64_t id = next_request_id_++;
+  const std::string frame = EncodeFrame(Opcode::kMutate, id,
+                                        Slice(EncodeMutatePayload(request)));
+  AVQDB_RETURN_IF_ERROR(SendAll(fd_, frame.data(), frame.size()));
+  return ReadMutateOk(fd_, options_, id);
+}
+
+Result<uint64_t> Client::Flush(const FlushRequest& request) {
+  const uint64_t id = next_request_id_++;
+  const std::string frame = EncodeFrame(Opcode::kFlush, id,
+                                        Slice(EncodeFlushPayload(request)));
+  AVQDB_RETURN_IF_ERROR(SendAll(fd_, frame.data(), frame.size()));
+  return ReadMutateOk(fd_, options_, id);
+}
+
 Status Client::SendGoodbye() {
   const std::string frame = EncodeFrame(Opcode::kGoodbye, 0, Slice());
   return SendAll(fd_, frame.data(), frame.size());

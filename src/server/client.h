@@ -80,6 +80,18 @@ class Client {
   // queries still awaiting their responses.
   Result<StatsResult> FetchStats(uint32_t sections);
 
+  // --- durable mutations ---
+
+  // Commits a batch of inserts/deletes through the server's write-ahead
+  // log; on OK the batch is fsynced server-side and returns its commit
+  // sequence. Send-and-wait like FetchStats. Server-side validation
+  // conflicts (AlreadyExists/NotFound) flatten into the returned status.
+  Result<uint64_t> Mutate(const MutateRequest& request);
+
+  // Drains the server-side applier and checkpoints the table's WAL;
+  // returns the durable sequence at the checkpoint.
+  Result<uint64_t> Flush(const FlushRequest& request);
+
   // --- one-shot convenience ---
 
   // SendQuery + ReadResponse with an internally generated id; flattens

@@ -31,7 +31,7 @@ Status Truncated(const char* what) {
 
 bool IsKnownOpcode(uint8_t opcode) {
   return opcode >= static_cast<uint8_t>(Opcode::kHello) &&
-         opcode <= static_cast<uint8_t>(Opcode::kStatsResult);
+         opcode <= static_cast<uint8_t>(Opcode::kFlush);
 }
 
 FrameHeader DecodeFrameHeader(const uint8_t* src) {
@@ -528,6 +528,63 @@ Status ParseStatsResultPayload(
     return Status::InvalidArgument(
         "trailing bytes after STATS_RESULT payload");
   }
+  return Status::OK();
+}
+
+// --- MUTATE / MUTATE_OK / FLUSH ---
+
+std::string EncodeMutatePayload(const MutateRequest& request) {
+  std::string payload;
+  PutLengthPrefixed(&payload, Slice(request.table));
+  PutFixed32(&payload, request.deadline_ms);
+  payload.append(request.batch.EncodePayload());
+  return payload;
+}
+
+Status ParseMutatePayload(Slice payload, MutateRequest* request) {
+  Slice table;
+  if (!GetLengthPrefixed(&payload, &table)) return Truncated("MUTATE");
+  if (table.size() > kMaxTableNameBytes) {
+    return Status::InvalidArgument("MUTATE table name too long");
+  }
+  request->table = table.ToString();
+  if (payload.size() < 4) return Truncated("MUTATE");
+  request->deadline_ms = DecodeFixed32(payload.data());
+  payload.RemovePrefix(4);
+  // The batch codec consumes the rest and rejects trailing garbage; its
+  // Corruption verdict becomes the wire parse error.
+  AVQDB_ASSIGN_OR_RETURN(request->batch, WriteBatch::DecodePayload(payload));
+  return Status::OK();
+}
+
+std::string EncodeMutateOkPayload(uint64_t commit_seq) {
+  std::string payload;
+  PutFixed64(&payload, commit_seq);
+  return payload;
+}
+
+Status ParseMutateOkPayload(Slice payload, uint64_t* commit_seq) {
+  if (payload.size() != 8) return Truncated("MUTATE_OK");
+  *commit_seq = DecodeFixed64(payload.data());
+  return Status::OK();
+}
+
+std::string EncodeFlushPayload(const FlushRequest& request) {
+  std::string payload;
+  PutLengthPrefixed(&payload, Slice(request.table));
+  PutFixed32(&payload, request.deadline_ms);
+  return payload;
+}
+
+Status ParseFlushPayload(Slice payload, FlushRequest* request) {
+  Slice table;
+  if (!GetLengthPrefixed(&payload, &table)) return Truncated("FLUSH");
+  if (table.size() > kMaxTableNameBytes) {
+    return Status::InvalidArgument("FLUSH table name too long");
+  }
+  request->table = table.ToString();
+  if (payload.size() != 4) return Truncated("FLUSH");
+  request->deadline_ms = DecodeFixed32(payload.data());
   return Status::OK();
 }
 

@@ -34,6 +34,7 @@
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/db/query.h"
+#include "src/db/write_batch.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_journal.h"
 #include "src/obs/trace.h"
@@ -65,6 +66,9 @@ enum class Opcode : uint8_t {
   kGoodbye = 7,      // client -> server: graceful close
   kStats = 8,        // client -> server: telemetry section bitmask
   kStatsResult = 9,  // server -> client: requested telemetry sections
+  kMutate = 10,      // client -> server: table + deadline + write batch
+  kMutateOk = 11,    // server -> client: commit sequence of the batch
+  kFlush = 12,       // client -> server: drain applier + checkpoint WAL
 };
 
 bool IsKnownOpcode(uint8_t opcode);
@@ -180,6 +184,39 @@ std::string EncodeStatsResultPayload(
 Status ParseStatsResultPayload(Slice payload, uint32_t* sections,
                                obs::MetricsSnapshot* metrics,
                                std::vector<obs::QueryJournal::Record>* journal);
+
+// --- MUTATE / MUTATE_OK / FLUSH ---
+
+// The wire image of one Database write: a batch of inserts/deletes that
+// commits atomically through the table's write-ahead log. Answered with
+// MUTATE_OK (carrying the batch's commit sequence) or ERROR (e.g.
+// AlreadyExists/NotFound validation conflicts, InvalidArgument when the
+// table has no WAL attached).
+struct MutateRequest {
+  std::string table;
+  // 0 = no deadline; bounds backpressure waits like QUERY's field bounds
+  // execution.
+  uint32_t deadline_ms = 0;
+  WriteBatch batch;
+};
+
+std::string EncodeMutatePayload(const MutateRequest& request);
+Status ParseMutatePayload(Slice payload, MutateRequest* request);
+
+// MUTATE_OK carries the commit sequence the batch (or flush checkpoint)
+// was assigned.
+std::string EncodeMutateOkPayload(uint64_t commit_seq);
+Status ParseMutateOkPayload(Slice payload, uint64_t* commit_seq);
+
+// FLUSH drains the table's applier and truncates its WAL; answered with
+// MUTATE_OK carrying the durable sequence at the checkpoint.
+struct FlushRequest {
+  std::string table;
+  uint32_t deadline_ms = 0;
+};
+
+std::string EncodeFlushPayload(const FlushRequest& request);
+Status ParseFlushPayload(Slice payload, FlushRequest* request);
 
 // --- ERROR ---
 

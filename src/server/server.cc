@@ -137,6 +137,12 @@ class Session : public std::enable_shared_from_this<Session> {
     // order; is_stats requests carry only `stats_sections`.
     bool is_stats = false;
     uint32_t stats_sections = 0;
+    // Mutations and flushes ride the strand too: a session's QUERY after
+    // its MUTATE sees the write (responses keep arrival order and the
+    // write committed before the query ran).
+    bool is_mutate = false;
+    bool is_flush = false;
+    MutateRequest mutate;  // is_flush uses only table/deadline_ms
     QueryRequest wire;
     ExecContext ctx;  // deadline set at parse time; token cancellable
     ExecContext::Clock::time_point arrival;
@@ -204,6 +210,10 @@ class Session : public std::enable_shared_from_this<Session> {
         return HandleQuery(frame);
       case Opcode::kStats:
         return HandleStats(frame);
+      case Opcode::kMutate:
+        return HandleMutate(frame);
+      case Opcode::kFlush:
+        return HandleFlush(frame);
       case Opcode::kGoodbye:
         AVQDB_LOG_DEBUG("[sid %llu rid %llu] GOODBYE",
                         static_cast<unsigned long long>(session_id_),
@@ -309,6 +319,76 @@ class Session : public std::enable_shared_from_this<Session> {
     return true;
   }
 
+  bool HandleMutate(const Frame& frame) {
+    auto& metrics = ServerMetrics::Get();
+    metrics.requests_received->Increment();
+    PendingRequest request;
+    request.id = frame.request_id;
+    request.is_mutate = true;
+    Status status = ParseMutatePayload(Slice(frame.payload), &request.mutate);
+    if (!status.ok()) {
+      metrics.protocol_errors->Increment();
+      metrics.requests_errors->Increment();
+      AVQDB_LOG_WARN("[sid %llu rid %llu] bad MUTATE payload: %s",
+                     static_cast<unsigned long long>(session_id_),
+                     static_cast<unsigned long long>(frame.request_id),
+                     status.message().c_str());
+      SendError(frame.request_id, status);
+      return false;
+    }
+    AVQDB_LOG_DEBUG("[sid %llu rid %llu] MUTATE table=%s ops=%zu "
+                    "deadline_ms=%u",
+                    static_cast<unsigned long long>(session_id_),
+                    static_cast<unsigned long long>(frame.request_id),
+                    request.mutate.table.c_str(), request.mutate.batch.size(),
+                    request.mutate.deadline_ms);
+    request.arrival = ExecContext::Clock::now();
+    request.arrival_unix_us = WallClockMicros();
+    if (request.mutate.deadline_ms > 0) {
+      request.ctx.set_deadline(
+          request.arrival +
+          std::chrono::milliseconds(request.mutate.deadline_ms));
+    }
+    Enqueue(std::move(request));
+    return true;
+  }
+
+  bool HandleFlush(const Frame& frame) {
+    auto& metrics = ServerMetrics::Get();
+    metrics.requests_received->Increment();
+    PendingRequest request;
+    request.id = frame.request_id;
+    request.is_flush = true;
+    FlushRequest flush;
+    Status status = ParseFlushPayload(Slice(frame.payload), &flush);
+    if (!status.ok()) {
+      metrics.protocol_errors->Increment();
+      metrics.requests_errors->Increment();
+      AVQDB_LOG_WARN("[sid %llu rid %llu] bad FLUSH payload: %s",
+                     static_cast<unsigned long long>(session_id_),
+                     static_cast<unsigned long long>(frame.request_id),
+                     status.message().c_str());
+      SendError(frame.request_id, status);
+      return false;
+    }
+    request.mutate.table = std::move(flush.table);
+    request.mutate.deadline_ms = flush.deadline_ms;
+    AVQDB_LOG_DEBUG("[sid %llu rid %llu] FLUSH table=%s deadline_ms=%u",
+                    static_cast<unsigned long long>(session_id_),
+                    static_cast<unsigned long long>(frame.request_id),
+                    request.mutate.table.c_str(),
+                    request.mutate.deadline_ms);
+    request.arrival = ExecContext::Clock::now();
+    request.arrival_unix_us = WallClockMicros();
+    if (request.mutate.deadline_ms > 0) {
+      request.ctx.set_deadline(
+          request.arrival +
+          std::chrono::milliseconds(request.mutate.deadline_ms));
+    }
+    Enqueue(std::move(request));
+    return true;
+  }
+
   void Enqueue(PendingRequest request) {
     bool schedule = false;
     {
@@ -343,6 +423,8 @@ class Session : public std::enable_shared_from_this<Session> {
       }
       if (request.is_stats) {
         ExecuteStats(request);
+      } else if (request.is_mutate || request.is_flush) {
+        ExecuteMutate(request);
       } else {
         Execute(request);
       }
@@ -433,6 +515,50 @@ class Session : public std::enable_shared_from_this<Session> {
           static_cast<unsigned long long>(send_us),
           static_cast<unsigned long long>(tuples));
     }
+  }
+
+  // Commits a MUTATE batch (or runs a FLUSH checkpoint) on the strand.
+  // The commit blocks this session only; other sessions' writes share the
+  // group commit, other sessions' queries snapshot past it.
+  void ExecuteMutate(PendingRequest& request) {
+    auto& metrics = ServerMetrics::Get();
+    const auto exec_start = ExecContext::Clock::now();
+    metrics.request_queue_us->Record(
+        ElapsedMicros(request.arrival, exec_start));
+    uint64_t commit_seq = 0;
+    Result<WriteAheadTable*> ingest =
+        server_->db()->GetIngest(request.mutate.table);
+    Status status;
+    if (!ingest.ok()) {
+      status = ingest.status();
+    } else if (request.is_flush) {
+      status = (*ingest)->Flush(&request.ctx);
+      if (status.ok()) commit_seq = (*ingest)->durable_seq();
+    } else {
+      status = (*ingest)->Write(std::move(request.mutate.batch),
+                                &request.ctx, &commit_seq);
+    }
+    const auto exec_end = ExecContext::Clock::now();
+    metrics.request_exec_us->Record(ElapsedMicros(exec_start, exec_end));
+    metrics.request_latency_us->Record(
+        ElapsedMicros(request.arrival, exec_end));
+    if (status.ok()) {
+      metrics.requests_ok->Increment();
+      SendFrame(Opcode::kMutateOk, request.id,
+                EncodeMutateOkPayload(commit_seq));
+    } else {
+      metrics.requests_errors->Increment();
+      if (status.IsResourceExhausted()) metrics.requests_shed->Increment();
+      SendError(request.id, status);
+    }
+    metrics.request_send_us->Record(
+        ElapsedMicros(exec_end, ExecContext::Clock::now()));
+    AVQDB_LOG_DEBUG("[sid %llu rid %llu] %s done status=%s seq=%llu",
+                    static_cast<unsigned long long>(session_id_),
+                    static_cast<unsigned long long>(request.id),
+                    request.is_flush ? "FLUSH" : "MUTATE",
+                    status.ToString().c_str(),
+                    static_cast<unsigned long long>(commit_seq));
   }
 
   // Answers a STATS request on the strand so the reply keeps arrival

@@ -84,7 +84,16 @@ Result<int> ConnectTo(const std::string& host, uint16_t port) {
   if (fd < 0) return Errno("socket");
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    Status status = Errno("connect");
+    // Classify transient connect failures as Unavailable so callers can
+    // retry-with-backoff on exactly these (a server still starting, a
+    // dropped network) without retrying hard errors like EACCES.
+    const int err = errno;
+    Status status = (err == ECONNREFUSED || err == ETIMEDOUT ||
+                     err == ECONNRESET || err == EHOSTUNREACH ||
+                     err == ENETUNREACH || err == EAGAIN)
+                        ? Status::Unavailable(StringFormat(
+                              "connect: %s", std::strerror(err)))
+                        : Errno("connect");
     CloseFd(fd);
     return status;
   }

@@ -1,6 +1,7 @@
 #include "src/storage/block_device.h"
 
 #include <fcntl.h>
+#include <libgen.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -88,6 +89,25 @@ Status PWriteFull(int fd, const void* buf, size_t count, off_t offset,
 
 }  // namespace
 
+Status SyncParentDirectory(const std::string& path) {
+  std::string copy = path;
+  const char* dir = ::dirname(copy.data());
+  const int fd = ::open(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(
+        StringFormat("open(%s): %s", dir, std::strerror(errno)));
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(
+        StringFormat("fsync(%s): %s", dir, std::strerror(err)));
+  }
+  ::close(fd);
+  RecordDeviceFsync();
+  return Status::OK();
+}
+
 MemBlockDevice::MemBlockDevice(size_t block_size) : block_size_(block_size) {}
 
 Status MemBlockDevice::CheckLive(BlockId id) const {
@@ -168,6 +188,14 @@ Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Create(
   if (fd < 0) {
     return Status::IOError(StringFormat("open(%s): %s", path.c_str(),
                                         std::strerror(errno)));
+  }
+  // Make the directory entry itself durable: a crash right after Create
+  // must not leave a file the next open cannot find even though blocks
+  // written to it were fsynced.
+  Status dir_status = SyncParentDirectory(path);
+  if (!dir_status.ok()) {
+    ::close(fd);
+    return dir_status;
   }
   return std::unique_ptr<FileBlockDevice>(
       new FileBlockDevice(fd, block_size, 0));

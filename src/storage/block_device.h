@@ -23,6 +23,11 @@ namespace avqdb {
 using BlockId = uint32_t;
 inline constexpr BlockId kInvalidBlockId = 0xffffffffu;
 
+// fsync the directory holding `path` so a just-created (or just-renamed)
+// file's directory entry survives a crash. Creating a file durably is a
+// two-step discipline: fsync the file, then fsync its parent directory.
+Status SyncParentDirectory(const std::string& path);
+
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;

@@ -1,0 +1,404 @@
+#include "src/storage/wal.h"
+
+#include <chrono>
+#include <random>
+#include <unordered_set>
+
+#include "src/common/coding.h"
+#include "src/common/crc32c.h"
+#include "src/common/string_util.h"
+#include "src/obs/metric_names.h"
+#include "src/obs/metrics.h"
+
+namespace avqdb {
+namespace {
+
+// Header block: magic | version | pad | uuid | generation | start_seq |
+// first_page | masked crc (over everything before it).
+constexpr uint32_t kWalMagic = 0x57515641;  // "AVQW" little-endian
+constexpr uint16_t kWalVersion = 1;
+constexpr size_t kHeaderSlotA = 0;
+constexpr size_t kHeaderSlotB = 1;
+constexpr size_t kHeaderBytes = 4 + 2 + 2 + 16 + 8 + 8 + 4 + 4;
+
+// Log page: generation stamp | next page id | payload bytes.
+constexpr size_t kPageHeaderBytes = 8 + 4;
+
+// Record frame: masked crc | payload length | commit seq | payload. The
+// CRC covers length + seq + payload.
+constexpr size_t kFrameHeaderBytes = 4 + 4 + 8;
+constexpr uint32_t kMaxWalRecordBytes = 64u << 20;
+
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* appended_bytes;
+  obs::Counter* syncs;
+  obs::Counter* truncates;
+  obs::Counter* replay_records;
+  obs::Counter* torn_tails;
+  obs::Gauge* pages;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return WalMetrics{r.GetCounter(obs::kWalAppends),
+                        r.GetCounter(obs::kWalAppendedBytes),
+                        r.GetCounter(obs::kWalSyncs),
+                        r.GetCounter(obs::kWalTruncates),
+                        r.GetCounter(obs::kWalReplayRecords),
+                        r.GetCounter(obs::kWalTornTails),
+                        r.GetGauge(obs::kWalPages)};
+    }();
+    return metrics;
+  }
+};
+
+struct DecodedHeader {
+  WalUuid uuid;
+  uint64_t generation;
+  uint64_t start_seq;
+  BlockId first_page;
+};
+
+std::string EncodeHeader(const WalUuid& uuid, uint64_t generation,
+                         uint64_t start_seq, BlockId first_page) {
+  std::string out;
+  out.reserve(kHeaderBytes);
+  PutFixed32(&out, kWalMagic);
+  PutFixed16(&out, kWalVersion);
+  PutFixed16(&out, 0);
+  out.append(reinterpret_cast<const char*>(uuid.data()), uuid.size());
+  PutFixed64(&out, generation);
+  PutFixed64(&out, start_seq);
+  PutFixed32(&out, first_page);
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(Slice(out))));
+  return out;
+}
+
+bool DecodeHeader(const std::string& block, DecodedHeader* out) {
+  if (block.size() < kHeaderBytes) return false;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(block.data());
+  if (DecodeFixed32(p) != kWalMagic) return false;
+  if (DecodeFixed16(p + 4) != kWalVersion) return false;
+  const uint32_t stored = crc32c::Unmask(DecodeFixed32(p + kHeaderBytes - 4));
+  if (stored != crc32c::Value(p, kHeaderBytes - 4)) return false;
+  std::copy(p + 8, p + 24, out->uuid.begin());
+  out->generation = DecodeFixed64(p + 24);
+  out->start_seq = DecodeFixed64(p + 32);
+  out->first_page = DecodeFixed32(p + 40);
+  return true;
+}
+
+std::string NewPageContent(uint64_t generation) {
+  std::string content;
+  content.reserve(kPageHeaderBytes);
+  PutFixed64(&content, generation);
+  PutFixed32(&content, kInvalidBlockId);
+  return content;
+}
+
+}  // namespace
+
+WalUuid GenerateWalUuid() {
+  // std::random_device plus a clock mix: good enough for a table-binding
+  // token; this is not a cryptographic identifier.
+  std::random_device rd;
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  uint64_t words[2];
+  words[0] = (static_cast<uint64_t>(rd()) << 32) ^ rd() ^ now;
+  words[1] = (static_cast<uint64_t>(rd()) << 32) ^ rd() ^ (now * 0x9e3779b9u);
+  WalUuid uuid;
+  for (size_t i = 0; i < 8; ++i) {
+    uuid[i] = static_cast<uint8_t>(words[0] >> (8 * i));
+    uuid[8 + i] = static_cast<uint8_t>(words[1] >> (8 * i));
+  }
+  return uuid;
+}
+
+std::string WalUuidToString(const WalUuid& uuid) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (uint8_t byte : uuid) {
+    out.push_back(hex[byte >> 4]);
+    out.push_back(hex[byte & 0xf]);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(
+    BlockDevice* device, const WalUuid& uuid) {
+  if (device->block_size() < kHeaderBytes ||
+      device->block_size() <= kPageHeaderBytes) {
+    return Status::InvalidArgument(
+        StringFormat("wal block size %zu is too small", device->block_size()));
+  }
+  AVQDB_ASSIGN_OR_RETURN(const BlockId slot_a, device->Allocate());
+  AVQDB_ASSIGN_OR_RETURN(const BlockId slot_b, device->Allocate());
+  if (slot_a != kHeaderSlotA || slot_b != kHeaderSlotB) {
+    return Status::InvalidArgument(
+        "wal device is not fresh (header slots unavailable)");
+  }
+  AVQDB_ASSIGN_OR_RETURN(const BlockId first_page, device->Allocate());
+
+  auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(device));
+  wal->uuid_ = uuid;
+  wal->generation_ = 1;
+  wal->start_seq_ = 1;
+  wal->last_seq_ = 0;
+  wal->pages_ = {first_page};
+  wal->tail_content_ = NewPageContent(wal->generation_);
+  wal->active_slot_ = kHeaderSlotA;
+  AVQDB_RETURN_IF_ERROR(wal->WriteTailPage());
+  AVQDB_RETURN_IF_ERROR(
+      wal->WriteHeader(wal->generation_, wal->start_seq_, first_page));
+  AVQDB_RETURN_IF_ERROR(device->Sync());
+  WalMetrics::Get().pages->Set(static_cast<int64_t>(wal->pages_.size()));
+  return wal;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    BlockDevice* device, const WalUuid& uuid,
+    const std::function<Status(uint64_t seq, Slice payload)>& fn,
+    WalReplayStats* stats) {
+  const WalMetrics& metrics = WalMetrics::Get();
+  WalReplayStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = WalReplayStats{};
+
+  // Pick the live header: the valid slot with the highest generation (a
+  // torn truncate leaves exactly one valid slot).
+  DecodedHeader header{};
+  bool have_header = false;
+  size_t active_slot = kHeaderSlotA;
+  for (size_t slot : {kHeaderSlotA, kHeaderSlotB}) {
+    std::string block;
+    if (!device->Read(static_cast<BlockId>(slot), &block).ok()) continue;
+    DecodedHeader candidate{};
+    if (!DecodeHeader(block, &candidate)) continue;
+    if (!have_header || candidate.generation > header.generation) {
+      header = candidate;
+      active_slot = slot;
+      have_header = true;
+    }
+  }
+  if (!have_header) {
+    return Status::Corruption("wal: no valid header slot");
+  }
+  if (header.uuid != uuid) {
+    return Status::InvalidArgument(StringFormat(
+        "wal uuid mismatch: log belongs to table %s, expected %s",
+        WalUuidToString(header.uuid).c_str(), WalUuidToString(uuid).c_str()));
+  }
+
+  // Walk the page chain of the live generation into one byte stream.
+  const size_t capacity = device->block_size() - kPageHeaderBytes;
+  std::vector<BlockId> chain;
+  std::string stream;
+  bool torn = false;
+  std::unordered_set<BlockId> visited;
+  BlockId page = header.first_page;
+  while (page != kInvalidBlockId) {
+    if (page == kHeaderSlotA || page == kHeaderSlotB ||
+        !visited.insert(page).second) {
+      torn = true;  // corrupt next pointer formed a cycle or hit a header
+      break;
+    }
+    std::string block;
+    if (!device->Read(page, &block).ok()) {
+      torn = true;
+      break;
+    }
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(block.data());
+    if (DecodeFixed64(p) != header.generation) break;  // unreached page
+    chain.push_back(page);
+    stream.append(block, kPageHeaderBytes, capacity);
+    page = DecodeFixed32(p + 8);
+  }
+
+  // Parse the record stream up to the first clean end or torn frame.
+  size_t pos = 0;
+  uint64_t prev_seq = 0;
+  while (true) {
+    if (stream.size() - pos < kFrameHeaderBytes) break;  // clean end
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(stream.data()) + pos;
+    const uint32_t stored_crc = DecodeFixed32(p);
+    const uint32_t length = DecodeFixed32(p + 4);
+    if (stored_crc == 0 && length == 0) break;  // clean end marker (zeros)
+    if (length == 0 || length > kMaxWalRecordBytes ||
+        kFrameHeaderBytes + length > stream.size() - pos) {
+      torn = true;
+      break;
+    }
+    const uint32_t actual =
+        crc32c::Value(p + 4, kFrameHeaderBytes - 4 + length);
+    if (crc32c::Unmask(stored_crc) != actual) {
+      torn = true;
+      break;
+    }
+    const uint64_t seq = DecodeFixed64(p + 8);
+    if (seq < header.start_seq || seq <= prev_seq) {
+      torn = true;  // framing is intact but the sequence is impossible
+      break;
+    }
+    AVQDB_RETURN_IF_ERROR(fn(
+        seq, Slice(p + kFrameHeaderBytes, length)));
+    prev_seq = seq;
+    ++stats->records;
+    stats->bytes += length;
+    if (stats->first_seq == 0) stats->first_seq = seq;
+    stats->last_seq = seq;
+    pos += kFrameHeaderBytes + length;
+  }
+  stats->torn_tail = torn;
+  metrics.replay_records->Add(stats->records);
+  if (torn) metrics.torn_tails->Increment();
+
+  // Rebuild writer state truncated at `pos`: the tail page is the one the
+  // next appended byte lands in; pages past it are recycled.
+  auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(device));
+  wal->uuid_ = uuid;
+  wal->generation_ = header.generation;
+  wal->start_seq_ = header.start_seq;
+  wal->last_seq_ = prev_seq == 0 ? header.start_seq - 1 : prev_seq;
+  wal->active_slot_ = active_slot;
+  const size_t tail_index = pos / capacity;
+  const size_t tail_fill = pos % capacity;
+  for (size_t i = 0; i < chain.size() && i <= tail_index; ++i) {
+    wal->pages_.push_back(chain[i]);
+  }
+  for (size_t i = tail_index + 1; i < chain.size(); ++i) {
+    (void)device->Free(chain[i]);
+  }
+  if (tail_index < chain.size()) {
+    // Reconstruct the tail image from the intact stream prefix; a torn
+    // suffix is dropped here and overwritten by the next append.
+    wal->tail_content_ = NewPageContent(wal->generation_);
+    wal->tail_content_.append(stream, tail_index * capacity, tail_fill);
+    if (torn) AVQDB_RETURN_IF_ERROR(wal->WriteTailPage());
+  } else {
+    // The stream ended exactly at a page boundary with every page full:
+    // keep the last full page as the sealed tail; the next Append links a
+    // fresh page behind it.
+    if (chain.empty()) {
+      // No page of this generation was ever written; recover the chain by
+      // starting a fresh one at the header's first page.
+      wal->pages_.push_back(header.first_page);
+      wal->tail_content_ = NewPageContent(wal->generation_);
+    } else {
+      wal->tail_content_ = NewPageContent(wal->generation_);
+      wal->tail_content_.append(stream, (chain.size() - 1) * capacity,
+                                capacity);
+    }
+  }
+  metrics.pages->Set(static_cast<int64_t>(wal->pages_.size()));
+  return wal;
+}
+
+Status WriteAheadLog::WriteHeader(uint64_t generation, uint64_t start_seq,
+                                  BlockId first_page) {
+  const std::string header =
+      EncodeHeader(uuid_, generation, start_seq, first_page);
+  return device_->Write(static_cast<BlockId>(active_slot_), Slice(header));
+}
+
+Status WriteAheadLog::WriteTailPage() {
+  return device_->Write(pages_.back(), Slice(tail_content_));
+}
+
+Status WriteAheadLog::SealTailPage() {
+  AVQDB_ASSIGN_OR_RETURN(const BlockId next, device_->Allocate());
+  // Patch the next pointer and rewrite the sealed page: every byte except
+  // the pointer is unchanged, so a torn rewrite can only lose the link to
+  // data that is not yet durable.
+  EncodeFixed32(reinterpret_cast<uint8_t*>(tail_content_.data()) + 8, next);
+  AVQDB_RETURN_IF_ERROR(WriteTailPage());
+  pages_.push_back(next);
+  tail_content_ = NewPageContent(generation_);
+  WalMetrics::Get().pages->Set(static_cast<int64_t>(pages_.size()));
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(uint64_t seq, Slice payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("wal record payload must be non-empty");
+  }
+  if (payload.size() > kMaxWalRecordBytes) {
+    return Status::InvalidArgument(
+        StringFormat("wal record of %zu bytes exceeds the %u-byte cap",
+                     payload.size(), kMaxWalRecordBytes));
+  }
+  if (seq <= last_seq_) {
+    return Status::InvalidArgument(StringFormat(
+        "wal seq %llu is not beyond last appended %llu",
+        static_cast<unsigned long long>(seq),
+        static_cast<unsigned long long>(last_seq_)));
+  }
+  std::string body;
+  body.reserve(kFrameHeaderBytes - 4 + payload.size());
+  PutFixed32(&body, static_cast<uint32_t>(payload.size()));
+  PutFixed64(&body, seq);
+  body.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+  std::string frame;
+  frame.reserve(4 + body.size());
+  PutFixed32(&frame, crc32c::Mask(crc32c::Value(Slice(body))));
+  frame.append(body);
+
+  size_t pos = 0;
+  while (pos < frame.size()) {
+    if (tail_content_.size() >= device_->block_size()) {
+      AVQDB_RETURN_IF_ERROR(SealTailPage());
+    }
+    const size_t room = device_->block_size() - tail_content_.size();
+    const size_t take = std::min(room, frame.size() - pos);
+    tail_content_.append(frame, pos, take);
+    pos += take;
+    AVQDB_RETURN_IF_ERROR(WriteTailPage());
+  }
+  last_seq_ = seq;
+  const WalMetrics& metrics = WalMetrics::Get();
+  metrics.appends->Increment();
+  metrics.appended_bytes->Add(frame.size());
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  AVQDB_RETURN_IF_ERROR(device_->Sync());
+  WalMetrics::Get().syncs->Increment();
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate(uint64_t applied_seq) {
+  if (applied_seq != last_seq_) {
+    return Status::InvalidArgument(StringFormat(
+        "wal truncate at seq %llu but the log extends to %llu",
+        static_cast<unsigned long long>(applied_seq),
+        static_cast<unsigned long long>(last_seq_)));
+  }
+  // A fresh first page (never part of the old chain, so a crash before
+  // the header flip leaves the old generation fully replayable).
+  AVQDB_ASSIGN_OR_RETURN(const BlockId fresh, device_->Allocate());
+  const uint64_t new_generation = generation_ + 1;
+  const uint64_t new_start = applied_seq + 1;
+  active_slot_ ^= 1;
+  Status status = WriteHeader(new_generation, new_start, fresh);
+  if (status.ok()) status = device_->Sync();
+  if (!status.ok()) {
+    active_slot_ ^= 1;  // the old header is still the live one
+    (void)device_->Free(fresh);
+    return status;
+  }
+  for (BlockId page : pages_) (void)device_->Free(page);
+  generation_ = new_generation;
+  start_seq_ = new_start;
+  last_seq_ = applied_seq;
+  pages_ = {fresh};
+  tail_content_ = NewPageContent(generation_);
+  const WalMetrics& metrics = WalMetrics::Get();
+  metrics.truncates->Increment();
+  metrics.pages->Set(static_cast<int64_t>(pages_.size()));
+  return Status::OK();
+}
+
+}  // namespace avqdb

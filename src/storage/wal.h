@@ -1,0 +1,125 @@
+// WriteAheadLog: an append-only, CRC-framed, length-prefixed redo log
+// layered on a BlockDevice (docs/FORMAT.md "WAL record layout & replay
+// rules" is normative).
+//
+// Layout: blocks 0 and 1 are the two header slots (same alternating
+// discipline as the table metadata slots — a torn header write leaves the
+// other slot intact); every other block is a log page. Pages form a
+// singly linked chain starting at the header's first page; each page is
+// stamped with the header's generation so pages left over from a previous
+// generation (before a checkpoint truncate) are never replayed. The
+// record stream is the concatenation of page payloads; records are framed
+// [masked crc32c | length | commit_seq | payload] and may span pages.
+//
+// Torn tails: replay stops cleanly at the first all-zero frame header,
+// and treats any other framing violation (CRC mismatch, impossible
+// length) as a torn tail — the suffix is discarded and the writer resumes
+// at the truncation point. A record is only guaranteed durable once
+// Sync() has returned OK after its Append(); nothing before that barrier
+// is promised to replay.
+//
+// The log is bound to one table by a 16-byte UUID stored in the header:
+// Open() refuses to replay a WAL whose UUID does not match the caller's.
+//
+// Thread safety: none. WriteAheadTable (db/write_ahead_table.h) owns the
+// log and serializes all access through its group-commit leader.
+
+#ifndef AVQDB_STORAGE_WAL_H_
+#define AVQDB_STORAGE_WAL_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+
+namespace avqdb {
+
+using WalUuid = std::array<uint8_t, 16>;
+
+// A random (non-RFC) UUID for binding a WAL to its table.
+WalUuid GenerateWalUuid();
+std::string WalUuidToString(const WalUuid& uuid);
+
+struct WalReplayStats {
+  uint64_t records = 0;        // intact records handed to the callback
+  uint64_t bytes = 0;          // payload bytes replayed
+  bool torn_tail = false;      // a torn/corrupt suffix was truncated
+  uint64_t first_seq = 0;      // seq of the first replayed record (0 if none)
+  uint64_t last_seq = 0;       // seq of the last replayed record (0 if none)
+};
+
+class WriteAheadLog {
+ public:
+  // Initializes an empty log on `device` (which must be freshly created:
+  // the two header slots and the first page are allocated here). The
+  // device must outlive the log.
+  static Result<std::unique_ptr<WriteAheadLog>> Create(BlockDevice* device,
+                                                       const WalUuid& uuid);
+
+  // Opens an existing log and replays every intact record in append order
+  // through `fn(seq, payload)`. Replay stops at the first torn frame and
+  // truncates it (the writer resumes from the last intact record).
+  // InvalidArgument when the header UUID does not match `uuid`;
+  // Corruption when neither header slot is readable. A non-OK status from
+  // `fn` aborts the open.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      BlockDevice* device, const WalUuid& uuid,
+      const std::function<Status(uint64_t seq, Slice payload)>& fn,
+      WalReplayStats* stats = nullptr);
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Appends one record. `seq` values must be strictly increasing across
+  // the life of the log. The record is written to the device but NOT
+  // durable until the next Sync() returns OK.
+  Status Append(uint64_t seq, Slice payload);
+
+  // Durability barrier over every Append so far.
+  Status Sync();
+
+  // Checkpoint: the caller promises every record with seq <= applied_seq
+  // is durable elsewhere (applied into the table image and committed).
+  // Requires applied_seq == last appended seq — the caller drains the log
+  // fully before checkpointing. Resets the log to empty under a new
+  // generation (old pages are recycled, the header flips slots) and
+  // syncs. A crash anywhere inside Truncate leaves either the old log
+  // (replayed records re-apply idempotently) or the new empty one.
+  Status Truncate(uint64_t applied_seq);
+
+  uint64_t start_seq() const { return start_seq_; }   // first seq to replay
+  uint64_t last_seq() const { return last_seq_; }     // 0 when empty
+  uint64_t generation() const { return generation_; }
+  size_t log_pages() const { return pages_.size(); }
+  const WalUuid& uuid() const { return uuid_; }
+
+ private:
+  explicit WriteAheadLog(BlockDevice* device) : device_(device) {}
+
+  Status WriteHeader(uint64_t generation, uint64_t start_seq,
+                     BlockId first_page);
+  // Flushes tail_content_ into the current tail page (zero-padded).
+  Status WriteTailPage();
+  // Seals the tail page by linking a freshly allocated page after it.
+  Status SealTailPage();
+
+  BlockDevice* device_;
+  WalUuid uuid_{};
+  uint64_t generation_ = 0;
+  uint64_t start_seq_ = 1;   // records below this were checkpointed away
+  uint64_t last_seq_ = 0;
+  std::vector<BlockId> pages_;  // page chain, pages_.back() = tail
+  std::string tail_content_;    // current tail page image (header + bytes)
+  size_t active_slot_ = 0;      // header slot holding the live generation
+};
+
+}  // namespace avqdb
+
+#endif  // AVQDB_STORAGE_WAL_H_

@@ -25,8 +25,11 @@
 #include "src/common/random.h"
 #include "src/db/table.h"
 #include "src/db/table_io.h"
+#include "src/db/write_ahead_table.h"
+#include "src/db/write_batch.h"
 #include "src/storage/block_device.h"
 #include "src/storage/fault_injection_device.h"
+#include "src/storage/wal.h"
 #include "tests/test_util.h"
 
 namespace avqdb {
@@ -157,6 +160,220 @@ TEST(CrashLoop, EveryCrashPointYieldsOldOrNewImage) {
   // Sanity: the schedule actually exercised both outcomes.
   EXPECT_GT(commits_survived, 0);
   EXPECT_GT(commits_failed, 0);
+}
+
+// Randomized crash loop for the WAL ingest path: every iteration runs a
+// few batches through WriteAheadTable::Write against a fault-injected WAL
+// device, crashes at a randomized point (mid-fsync, torn record write,
+// write failure, bit-flipped replay read, or cleanly), recovers via
+// WriteAheadTable::Recover, and checks the two durability invariants:
+//   * zero lost committed writes — every batch Write() acknowledged is in
+//     the recovered state;
+//   * zero visible uncommitted writes — the recovered state sits exactly
+//     at a batch boundary j with acked <= j <= attempted (an in-flight
+//     batch may surface whole or not at all, never partially).
+TEST(CrashLoop, WalReplayNeverLosesAcknowledgedBatches) {
+  const uint64_t seed = SeedFromEnv() ^ 0x77a1ULL;
+  SCOPED_TRACE("AVQDB_CRASH_SEED=" + std::to_string(seed));
+  Random rng(seed);
+  auto schema = testing::PaperShapeSchema();
+
+  MemBlockDevice source_device(kBlockSize);
+  auto source = Table::CreateAvq(schema, &source_device).value();
+  {
+    auto tuples = testing::RandomTuples(*schema, 160, seed ^ 0x5eedULL);
+    std::set<OrdinalTuple> unique(tuples.begin(), tuples.end());
+    ASSERT_TRUE(
+        source
+            ->BulkLoad(std::vector<OrdinalTuple>(unique.begin(), unique.end()))
+            .ok());
+  }
+  const std::set<OrdinalTuple> baseline = ToSet(source->ScanAll().value());
+
+  WriteAheadTableOptions options;
+  options.auto_apply = false;  // the table image stays at the baseline
+
+  int acked_survived = 0;
+  int writes_failed = 0;
+  int bitflip_iterations = 0;
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+
+    // Fresh baseline table and fresh fault-injected WAL device. The
+    // table device is NOT faulted: with auto_apply off nothing touches
+    // it, so recovery always replays into an intact baseline — exactly
+    // the Flush-checkpointed state a real restart starts from.
+    MemBlockDevice table_base(kBlockSize);
+    ASSERT_TRUE(SaveTableToDevice(*source, &table_base).ok());
+    auto opened = OpenTableOnDevice(&table_base);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    LoadedTable loaded = std::move(opened).value();
+
+    MemBlockDevice wal_base(kBlockSize);
+    FaultInjectionBlockDevice fault(&wal_base);
+    const WalUuid uuid = GenerateWalUuid();
+    auto wat = WriteAheadTable::Create(loaded.table.get(), &fault, uuid,
+                                       options);
+    ASSERT_TRUE(wat.ok()) << wat.status().ToString();
+
+    // Schedule the fault AFTER Create (creation itself syncs).
+    const uint64_t mode = rng.Uniform(8);
+    bool bitflip_recovery = false;
+    if (mode == 1) {
+      fault.FailWriteAt(1 + rng.Uniform(8));
+    } else if (mode == 2) {
+      fault.TearWriteAt(1 + rng.Uniform(8), rng.Uniform(kBlockSize));
+    } else if (mode <= 4) {
+      fault.CrashDuringSync(1 + rng.Uniform(3), rng.Uniform(4),
+                            rng.Bernoulli(0.5) ? rng.Uniform(kBlockSize) : 0);
+    } else if (mode == 5) {
+      bitflip_recovery = true;  // writes run clean; replay reads are hit
+      ++bitflip_iterations;
+    }
+    // mode 0, 6, 7: no fault — the clean-crash baseline.
+
+    // Issue 1..6 batches of 1..3 mutations. models[j] = intended tuple
+    // set after j batches; stop at the first failed Write (the write
+    // path is poisoned from then on).
+    std::vector<std::set<OrdinalTuple>> models = {baseline};
+    int acked = 0;
+    bool failed = false;
+    const int num_batches = 1 + static_cast<int>(rng.Uniform(6));
+    for (int b = 0; b < num_batches && !failed; ++b) {
+      std::set<OrdinalTuple> next = models.back();
+      WriteBatch batch;
+      const int num_ops = 1 + static_cast<int>(rng.Uniform(3));
+      for (int m = 0; m < num_ops; ++m) {
+        OrdinalTuple t = testing::RandomTuple(*schema, rng);
+        if (next.contains(t)) {
+          batch.Delete(t);
+          next.erase(t);
+        } else {
+          batch.Insert(t);
+          next.insert(t);
+        }
+      }
+      models.push_back(std::move(next));
+      if ((*wat)->Write(std::move(batch)).ok()) {
+        ++acked;
+      } else {
+        failed = true;
+        ++writes_failed;
+      }
+    }
+    const int attempted = acked + (failed ? 1 : 0);
+
+    // Power loss, then tear everything down over the dead device.
+    fault.ClearFaults();
+    if (!fault.crashed()) fault.Crash();
+    wat->reset();
+    loaded.table.reset();
+
+    // Restart: reopen the baseline image and replay the surviving WAL.
+    auto reopened = OpenTableOnDevice(&table_base);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    FaultInjectionBlockDevice recovery_fault(&wal_base);
+    if (bitflip_recovery) {
+      recovery_fault.FlipReadBitAt(1 + rng.Uniform(6),
+                                   rng.Uniform(kBlockSize),
+                                   static_cast<unsigned>(rng.Uniform(8)));
+    }
+    auto recovered = WriteAheadTable::Recover(
+        reopened.value().table.get(), &recovery_fault, uuid, options);
+    if (bitflip_recovery && !recovered.ok()) {
+      // A flip on the (single) valid header slot read leaves no header
+      // at all — that must surface as a clean Corruption, not a bogus
+      // replay.
+      EXPECT_TRUE(recovered.status().IsCorruption())
+          << recovered.status().ToString();
+      continue;
+    }
+    ASSERT_TRUE(recovered.ok())
+        << "recovery failed: " << recovered.status().ToString();
+    const std::set<OrdinalTuple> survived =
+        ToSet((*recovered)->SnapshotScan().value());
+
+    // Which batch boundary did we land on?
+    int landed = -1;
+    for (int j = 0; j < static_cast<int>(models.size()); ++j) {
+      if (survived == models[j]) {
+        landed = j;
+        break;
+      }
+    }
+    ASSERT_NE(landed, -1)
+        << "recovered state is not at a batch boundary (acked=" << acked
+        << " attempted=" << attempted << " survived=" << survived.size()
+        << " tuples)";
+    if (bitflip_recovery) {
+      // Silent media corruption truncates replay at some batch boundary;
+      // the durability promise needs a readable log, so only atomicity
+      // is asserted here.
+      EXPECT_LE(landed, attempted);
+    } else {
+      EXPECT_GE(landed, acked) << "acknowledged batch lost";
+      EXPECT_LE(landed, attempted) << "phantom batch appeared";
+      if (landed == acked) ++acked_survived;
+    }
+  }
+
+  // Sanity: the schedule exercised acked-exact recovery, write failures,
+  // and bit-flip replays.
+  EXPECT_GT(acked_survived, 0);
+  EXPECT_GT(writes_failed, 0);
+  EXPECT_GT(bitflip_iterations, 0);
+}
+
+// A crash inside WriteAheadLog::Truncate must leave either the old log
+// (fully replayable — records re-apply idempotently) or the new empty
+// generation, never a half-truncated hybrid.
+TEST(CrashLoop, WalTruncateCrashLeavesOldOrNewLog) {
+  const uint64_t seed = SeedFromEnv() ^ 0x7au;
+  SCOPED_TRACE("AVQDB_CRASH_SEED=" + std::to_string(seed));
+  Random rng(seed);
+
+  for (int iter = 0; iter < 200; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    MemBlockDevice base(kBlockSize);
+    FaultInjectionBlockDevice fault(&base);
+    const WalUuid uuid = GenerateWalUuid();
+    auto wal = WriteAheadLog::Create(&fault, uuid);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    const int records = 1 + static_cast<int>(rng.Uniform(8));
+    for (int r = 1; r <= records; ++r) {
+      ASSERT_TRUE(
+          (*wal)->Append(static_cast<uint64_t>(r), Slice("payload", 7)).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+
+    // Crash inside the truncate's sync (which covers the header flip).
+    fault.CrashDuringSync(1, rng.Uniform(3),
+                          rng.Bernoulli(0.5) ? rng.Uniform(kBlockSize) : 0);
+    const bool truncated =
+        (*wal)->Truncate(static_cast<uint64_t>(records)).ok();
+    fault.ClearFaults();
+    if (!fault.crashed()) fault.Crash();
+    wal->reset();
+
+    uint64_t replayed = 0;
+    auto reopened = WriteAheadLog::Open(
+        &base, uuid,
+        [&replayed](uint64_t, Slice) {
+          ++replayed;
+          return Status::OK();
+        });
+    ASSERT_TRUE(reopened.ok())
+        << "post-crash log unreadable: " << reopened.status().ToString();
+    if (truncated) {
+      EXPECT_EQ(replayed, 0u) << "records resurfaced after a checkpoint";
+    } else {
+      // Old or new, never partial: all records or none.
+      EXPECT_TRUE(replayed == static_cast<uint64_t>(records) ||
+                  replayed == 0u)
+          << "half-truncated log: " << replayed << " of " << records;
+    }
+  }
 }
 
 }  // namespace

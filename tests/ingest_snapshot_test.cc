@@ -1,0 +1,259 @@
+// Concurrent mutation-vs-scan property suite for WriteAheadTable
+// (DESIGN.md §11): with writers, scanners, and the background applier all
+// running, every snapshot read must equal the table state at exactly one
+// commit sequence — never a torn read, never a half-applied batch. Run
+// under TSan via `tools/run_sanitized_tests.sh ingest`.
+//
+// Writers partition the key space by attribute 0 so their batches never
+// conflict: each writer's ops always validate, and the global history is
+// the seq-ordered merge of all writers' logs. After the threads join, the
+// suite folds that history into a model and checks every recorded scan
+// against the model state at its snapshot sequence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/db/table.h"
+#include "src/db/write_ahead_table.h"
+#include "src/db/write_batch.h"
+#include "src/storage/block_device.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+constexpr size_t kBlockSize = 512;
+constexpr int kWriters = 4;          // <= domain size of attribute 0
+constexpr int kOpsPerWriter = 150;
+constexpr int kScanners = 3;
+
+struct CommittedOp {
+  uint64_t seq;
+  bool is_delete;
+  OrdinalTuple tuple;
+};
+
+struct RecordedScan {
+  uint64_t seq;
+  std::vector<OrdinalTuple> tuples;
+};
+
+struct TupleLess {
+  bool operator()(const OrdinalTuple& a, const OrdinalTuple& b) const {
+    return CompareTuples(a, b) < 0;
+  }
+};
+using TupleSet = std::set<OrdinalTuple, TupleLess>;
+
+TEST(IngestSnapshot, EveryScanIsOneCommitSequence) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice table_device(kBlockSize);
+  auto table = Table::CreateAvq(schema, &table_device).value();
+  MemBlockDevice wal_device(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+
+  WriteAheadTableOptions options;  // auto_apply: the applier races scans
+  options.apply_chunk_batches = 4;
+  options.max_unapplied_batches = 32;  // exercise backpressure under load
+  auto wat =
+      WriteAheadTable::Create(table.get(), &wal_device, uuid, options);
+  ASSERT_TRUE(wat.ok()) << wat.status().ToString();
+
+  std::atomic<bool> writers_done{false};
+  std::vector<std::vector<CommittedOp>> committed(kWriters);
+  std::vector<std::vector<RecordedScan>> scans(kScanners);
+  std::atomic<int> write_failures{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Random rng(0x1000 + static_cast<uint64_t>(w));
+      TupleSet mine;  // this writer's partition state
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        // 1..3 non-conflicting ops per batch, all in partition w.
+        WriteBatch batch;
+        std::vector<CommittedOp> staged;
+        TupleSet staged_state = mine;
+        const int ops = 1 + static_cast<int>(rng.Uniform(3));
+        for (int k = 0; k < ops; ++k) {
+          OrdinalTuple t = testing::RandomTuple(*schema, rng);
+          t[0] = static_cast<uint64_t>(w);
+          const bool is_delete = staged_state.contains(t);
+          if (is_delete) {
+            batch.Delete(t);
+            staged_state.erase(t);
+          } else {
+            batch.Insert(t);
+            staged_state.insert(t);
+          }
+          staged.push_back(CommittedOp{0, is_delete, std::move(t)});
+        }
+        uint64_t commit_seq = 0;
+        Status status =
+            (*wat)->Write(std::move(batch), nullptr, &commit_seq);
+        if (!status.ok()) {
+          ++write_failures;
+          continue;
+        }
+        mine = std::move(staged_state);
+        for (CommittedOp& op : staged) {
+          op.seq = commit_seq;
+          committed[w].push_back(std::move(op));
+        }
+      }
+    });
+  }
+  for (int s = 0; s < kScanners; ++s) {
+    threads.emplace_back([&, s] {
+      while (true) {
+        const bool last_pass = writers_done.load();
+        uint64_t snapshot_seq = 0;
+        auto scanned = (*wat)->SnapshotScan(nullptr, &snapshot_seq);
+        ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+        scans[s].push_back(RecordedScan{snapshot_seq, std::move(*scanned)});
+        if (last_pass) break;
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  // The partitioned key space means no batch ever conflicts.
+  EXPECT_EQ(write_failures.load(), 0);
+
+  // Global history: ops keyed by commit sequence. Sequences are unique
+  // per batch; within a batch ops stay in emission order.
+  std::map<uint64_t, std::vector<CommittedOp>> history;
+  for (const auto& log : committed) {
+    for (const CommittedOp& op : log) history[op.seq].push_back(op);
+  }
+
+  // Check every scan against the folded model at its snapshot sequence.
+  // Scans are grouped by seq so the model is folded once, in order.
+  std::vector<const RecordedScan*> ordered;
+  size_t total_scans = 0;
+  for (const auto& log : scans) {
+    total_scans += log.size();
+    for (const RecordedScan& scan : log) ordered.push_back(&scan);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const RecordedScan* a, const RecordedScan* b) {
+              return a->seq < b->seq;
+            });
+  TupleSet model;
+  auto next_op = history.begin();
+  size_t checked = 0;
+  for (const RecordedScan* scan : ordered) {
+    while (next_op != history.end() && next_op->first <= scan->seq) {
+      for (const CommittedOp& op : next_op->second) {
+        if (op.is_delete) {
+          ASSERT_EQ(model.erase(op.tuple), 1u);
+        } else {
+          ASSERT_TRUE(model.insert(op.tuple).second);
+        }
+      }
+      ++next_op;
+    }
+    // φ order first: a merge bug shows up as disorder before set drift.
+    EXPECT_TRUE(std::is_sorted(scan->tuples.begin(), scan->tuples.end(),
+                               TupleLess{}))
+        << "scan at seq " << scan->seq << " is not in tuple order";
+    const TupleSet observed(scan->tuples.begin(), scan->tuples.end());
+    EXPECT_EQ(observed, model)
+        << "scan at seq " << scan->seq
+        << " does not match the committed state at that sequence "
+           "(observed "
+        << observed.size() << " tuples, model " << model.size() << ")";
+    ++checked;
+  }
+  EXPECT_EQ(checked, total_scans);
+  EXPECT_GT(total_scans, 0u);
+
+  // Final drain: the base table itself converges to the full history.
+  ASSERT_TRUE((*wat)->Flush().ok());
+  while (next_op != history.end()) {
+    for (const CommittedOp& op : next_op->second) {
+      if (op.is_delete) {
+        ASSERT_EQ(model.erase(op.tuple), 1u);
+      } else {
+        ASSERT_TRUE(model.insert(op.tuple).second);
+      }
+    }
+    ++next_op;
+  }
+  auto final_scan = table->ScanAll();
+  ASSERT_TRUE(final_scan.ok());
+  EXPECT_EQ(TupleSet(final_scan->begin(), final_scan->end()), model);
+}
+
+TEST(IngestSnapshot, SnapshotSelectAgreesWithScanUnderLoad) {
+  auto schema = testing::PaperShapeSchema();
+  MemBlockDevice table_device(kBlockSize);
+  auto table = Table::CreateAvq(schema, &table_device).value();
+  MemBlockDevice wal_device(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  auto wat = WriteAheadTable::Create(table.get(), &wal_device, uuid,
+                                     WriteAheadTableOptions{});
+  ASSERT_TRUE(wat.ok());
+
+  ConjunctiveQuery query;
+  query.predicates.push_back(RangeQuery{2, 8, 48});
+
+  std::atomic<bool> done{false};
+  std::atomic<int> select_mismatches{0};
+  std::thread selector([&] {
+    // SnapshotSelect and SnapshotScan at the same pinned sequence must
+    // agree on the predicate's answer whenever the sequences line up.
+    while (!done.load()) {
+      uint64_t select_seq = 0;
+      auto selected = (*wat)->SnapshotSelect(query, nullptr, nullptr,
+                                             &select_seq);
+      ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+      uint64_t scan_seq = 0;
+      auto scanned = (*wat)->SnapshotScan(nullptr, &scan_seq);
+      ASSERT_TRUE(scanned.ok());
+      if (select_seq != scan_seq) continue;  // a commit slipped between
+      TupleSet filtered;
+      for (const OrdinalTuple& t : *scanned) {
+        if (t[2] >= 8 && t[2] <= 48) filtered.insert(t);
+      }
+      if (TupleSet(selected->begin(), selected->end()) != filtered) {
+        ++select_mismatches;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  Random rng(0x2222);
+  TupleSet present;
+  for (int i = 0; i < 400; ++i) {
+    OrdinalTuple t = testing::RandomTuple(*schema, rng);
+    WriteBatch batch;
+    if (present.contains(t)) {
+      batch.Delete(t);
+      present.erase(t);
+    } else {
+      batch.Insert(t);
+      present.insert(t);
+    }
+    ASSERT_TRUE((*wat)->Write(std::move(batch)).ok());
+  }
+  done.store(true);
+  selector.join();
+  EXPECT_EQ(select_mismatches.load(), 0);
+  ASSERT_TRUE((*wat)->Flush().ok());
+}
+
+}  // namespace
+}  // namespace avqdb

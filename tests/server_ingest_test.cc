@@ -1,0 +1,233 @@
+// End-to-end tests for the wire write path: MUTATE / MUTATE_OK / FLUSH
+// frames against a server whose table has ingest (WAL + group commit)
+// enabled, plus the error surfaces — mutations against a read-only
+// table, malformed payloads, unknown tables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/db/write_batch.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "tests/server_test_util.h"
+
+namespace avqdb::server {
+namespace {
+
+using avqdb::server::testing::RangeOn;
+using avqdb::server::testing::ServerFixture;
+
+// A fixture tuple mutated through the wire in these tests. Fixture
+// domains are {8, 16, 64, 64, 64}.
+OrdinalTuple FreshTuple(const ServerFixture& fixture, uint64_t salt) {
+  std::set<OrdinalTuple> base(fixture.tuples().begin(),
+                              fixture.tuples().end());
+  OrdinalTuple t{salt % 8, salt % 16, salt % 64, (salt / 3) % 64,
+                 (salt / 7) % 64};
+  while (base.contains(t)) {
+    t[4] = (t[4] + 1) % 64;
+    t[3] = t[4] == 0 ? (t[3] + 1) % 64 : t[3];
+  }
+  return t;
+}
+
+TEST(ServerIngest, MutateCommitsAndQueriesSeeIt) {
+  testing::FixtureOptions options;
+  options.num_tuples = 2000;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.db().EnableWriteAhead("orders").ok());
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  const OrdinalTuple added = FreshTuple(fixture, 0x91);
+  MutateRequest request;
+  request.table = "orders";
+  request.batch.Insert(added);
+  auto commit_seq = client->Mutate(request);
+  ASSERT_TRUE(commit_seq.ok()) << commit_seq.status().ToString();
+  EXPECT_EQ(*commit_seq, 1u);
+
+  // Read-your-writes on the same session: the strand runs the QUERY
+  // after the MUTATE, and the snapshot includes every durable commit.
+  QueryRequest query;
+  query.table = "orders";
+  query.query = RangeOn(0, added[0], added[0]);
+  auto rows = client->Query(query);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_TRUE(std::find(rows->begin(), rows->end(), added) != rows->end());
+
+  // Delete it again; the next query no longer sees it.
+  MutateRequest erase;
+  erase.table = "orders";
+  erase.batch.Delete(added);
+  auto erase_seq = client->Mutate(erase);
+  ASSERT_TRUE(erase_seq.ok()) << erase_seq.status().ToString();
+  EXPECT_EQ(*erase_seq, 2u);
+  rows = client->Query(query);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(std::find(rows->begin(), rows->end(), added) == rows->end());
+}
+
+TEST(ServerIngest, FlushReportsDurableSeqAndConflictsSurface) {
+  testing::FixtureOptions options;
+  options.num_tuples = 2000;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.db().EnableWriteAhead("orders").ok());
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  const OrdinalTuple added = FreshTuple(fixture, 0x17);
+  MutateRequest request;
+  request.table = "orders";
+  request.batch.Insert(added);
+  ASSERT_TRUE(client->Mutate(request).ok());
+
+  FlushRequest flush;
+  flush.table = "orders";
+  auto flushed = client->Flush(flush);
+  ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+  EXPECT_EQ(*flushed, 1u);
+
+  // Conflicts travel the wire as their status codes: inserting the same
+  // tuple again is AlreadyExists, deleting a phantom is NotFound.
+  auto dup = client->Mutate(request);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_TRUE(dup.status().IsAlreadyExists()) << dup.status().ToString();
+
+  MutateRequest phantom;
+  phantom.table = "orders";
+  phantom.batch.Delete(FreshTuple(fixture, 0x55));
+  auto missing = client->Mutate(phantom);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status().ToString();
+
+  // Unknown tables too.
+  MutateRequest unknown;
+  unknown.table = "no-such-table";
+  unknown.batch.Insert(added);
+  auto status = client->Mutate(unknown);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.status().IsNotFound()) << status.status().ToString();
+}
+
+TEST(ServerIngest, MutateWithoutIngestIsInvalidArgument) {
+  testing::FixtureOptions options;
+  options.num_tuples = 1000;
+  ServerFixture fixture(options);  // no EnableWriteAhead
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  MutateRequest request;
+  request.table = "orders";
+  request.batch.Insert(FreshTuple(fixture, 0x3));
+  auto result = client->Mutate(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+
+  FlushRequest flush;
+  flush.table = "orders";
+  auto flushed = client->Flush(flush);
+  ASSERT_FALSE(flushed.ok());
+  EXPECT_TRUE(flushed.status().IsInvalidArgument())
+      << flushed.status().ToString();
+}
+
+TEST(ServerIngest, MalformedMutatePayloadGetsErrorFrame) {
+  testing::FixtureOptions options;
+  options.num_tuples = 1000;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.db().EnableWriteAhead("orders").ok());
+
+  auto conn = testing::RawConn::Connect(fixture.port());
+  ASSERT_TRUE(conn.valid());
+  conn.Handshake();
+  // Truncated garbage where a MUTATE payload should be: the server
+  // answers with a well-formed ERROR frame and closes the session (the
+  // same protocol-fatal treatment a malformed QUERY gets).
+  conn.SendFrame(Opcode::kMutate, 7, std::string("\x02garbage", 8));
+  Status error = conn.ReadErrorFor(7);
+  EXPECT_FALSE(error.ok());
+  EXPECT_TRUE(conn.ServerClosed());
+
+  // Other sessions are unaffected: a valid FLUSH on a fresh connection
+  // still works.
+  auto conn2 = testing::RawConn::Connect(fixture.port());
+  ASSERT_TRUE(conn2.valid());
+  conn2.Handshake();
+  conn2.SendFrame(Opcode::kFlush, 8, EncodeFlushPayload(FlushRequest{
+                                         .table = "orders"}));
+  auto reply = conn2.ReadOneFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->opcode, Opcode::kMutateOk);
+  EXPECT_EQ(reply->request_id, 8u);
+}
+
+TEST(ServerIngest, ConcurrentSessionsShareGroupCommit) {
+  testing::FixtureOptions options;
+  options.num_tuples = 2000;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.db().EnableWriteAhead("orders").ok());
+
+  // Several sessions write disjoint tuples concurrently; every commit
+  // must be acknowledged with a unique sequence and every tuple must be
+  // visible afterwards.
+  constexpr int kSessions = 4;
+  constexpr int kWritesPerSession = 12;
+  std::vector<std::vector<uint64_t>> seqs(kSessions);
+  std::vector<std::vector<OrdinalTuple>> written(kSessions);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      auto client = fixture.Connect();
+      ASSERT_NE(client, nullptr);
+      for (int i = 0; i < kWritesPerSession; ++i) {
+        // Partition by attribute 1 (16 values >= kSessions).
+        OrdinalTuple t = FreshTuple(
+            fixture, 0x1000 + static_cast<uint64_t>(s * 100 + i));
+        t[1] = static_cast<uint64_t>(s);
+        t[2] = static_cast<uint64_t>(i);
+        MutateRequest request;
+        request.table = "orders";
+        request.batch.Insert(t);
+        auto seq = client->Mutate(request);
+        if (!seq.ok() && seq.status().IsAlreadyExists()) continue;
+        ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+        seqs[s].push_back(*seq);
+        written[s].push_back(std::move(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::set<uint64_t> all_seqs;
+  size_t total = 0;
+  for (const auto& log : seqs) {
+    total += log.size();
+    all_seqs.insert(log.begin(), log.end());
+    // Per session the strand preserves order: sequences ascend.
+    EXPECT_TRUE(std::is_sorted(log.begin(), log.end()));
+  }
+  EXPECT_EQ(all_seqs.size(), total);  // no sequence handed out twice
+
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+  for (int s = 0; s < kSessions; ++s) {
+    for (const OrdinalTuple& t : written[s]) {
+      QueryRequest query;
+      query.table = "orders";
+      query.query = RangeOn(1, t[1], t[1]);
+      auto rows = client->Query(query);
+      ASSERT_TRUE(rows.ok());
+      EXPECT_TRUE(std::find(rows->begin(), rows->end(), t) != rows->end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace avqdb::server

@@ -1,0 +1,265 @@
+// WriteAheadLog unit tests: record framing, multi-page chains, torn-tail
+// truncation, UUID binding, checkpoint truncation, and unsynced-loss
+// semantics under the fault-injection device.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/storage/block_device.h"
+#include "src/storage/fault_injection_device.h"
+#include "src/storage/wal.h"
+
+namespace avqdb {
+namespace {
+
+constexpr size_t kBlockSize = 512;
+
+using Replayed = std::vector<std::pair<uint64_t, std::string>>;
+
+Slice Lit(const char* s) { return Slice(s, std::strlen(s)); }
+
+// Opens `device` and collects every replayed (seq, payload).
+Result<std::unique_ptr<WriteAheadLog>> OpenCollecting(
+    BlockDevice* device, const WalUuid& uuid, Replayed* out,
+    WalReplayStats* stats = nullptr) {
+  return WriteAheadLog::Open(
+      device, uuid,
+      [out](uint64_t seq, Slice payload) {
+        out->emplace_back(seq, payload.ToString());
+        return Status::OK();
+      },
+      stats);
+}
+
+TEST(Wal, CreateAppendSyncReplayRoundTrip) {
+  MemBlockDevice device(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  auto wal = WriteAheadLog::Create(&device, uuid);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ((*wal)->last_seq(), 0u);
+  EXPECT_EQ((*wal)->start_seq(), 1u);
+
+  ASSERT_TRUE((*wal)->Append(1, Lit("alpha")).ok());
+  ASSERT_TRUE((*wal)->Append(2, Lit("beta")).ok());
+  ASSERT_TRUE((*wal)->Append(3, Lit("gamma")).ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  wal->reset();
+
+  Replayed replayed;
+  WalReplayStats stats;
+  auto reopened = OpenCollecting(&device, uuid, &replayed, &stats);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(replayed[0], (std::pair<uint64_t, std::string>{1, "alpha"}));
+  EXPECT_EQ(replayed[1], (std::pair<uint64_t, std::string>{2, "beta"}));
+  EXPECT_EQ(replayed[2], (std::pair<uint64_t, std::string>{3, "gamma"}));
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(stats.first_seq, 1u);
+  EXPECT_EQ(stats.last_seq, 3u);
+  EXPECT_EQ((*reopened)->last_seq(), 3u);
+
+  // The reopened log keeps accepting appends where it left off.
+  ASSERT_TRUE((*reopened)->Append(4, Lit("delta")).ok());
+  ASSERT_TRUE((*reopened)->Sync().ok());
+}
+
+TEST(Wal, EmptyLogReplaysNothing) {
+  MemBlockDevice device(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  ASSERT_TRUE(WriteAheadLog::Create(&device, uuid).ok());
+  Replayed replayed;
+  WalReplayStats stats;
+  auto wal = OpenCollecting(&device, uuid, &replayed, &stats);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_TRUE(replayed.empty());
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_FALSE(stats.torn_tail);
+}
+
+TEST(Wal, UuidMismatchRefusesReplay) {
+  MemBlockDevice device(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  {
+    auto wal = WriteAheadLog::Create(&device, uuid);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, Lit("payload")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  WalUuid other = uuid;
+  other[0] ^= 0xff;
+  Replayed replayed;
+  auto wal = OpenCollecting(&device, other, &replayed);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_TRUE(wal.status().IsInvalidArgument()) << wal.status().ToString();
+  EXPECT_TRUE(replayed.empty());
+}
+
+TEST(Wal, AppendRejectsNonMonotonicSeq) {
+  MemBlockDevice device(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  auto wal = WriteAheadLog::Create(&device, uuid);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(5, Lit("x")).ok());
+  EXPECT_FALSE((*wal)->Append(5, Lit("y")).ok());
+  EXPECT_FALSE((*wal)->Append(4, Lit("z")).ok());
+  EXPECT_TRUE((*wal)->Append(6, Lit("w")).ok());
+}
+
+TEST(Wal, RecordsSpanManyPages) {
+  MemBlockDevice device(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  auto wal = WriteAheadLog::Create(&device, uuid);
+  ASSERT_TRUE(wal.ok());
+  // Payloads larger than a page force every record to straddle at least
+  // one page boundary.
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 20; ++i) {
+    payloads.push_back(std::string(300 + 37 * i, static_cast<char>('a' + i)));
+    ASSERT_TRUE(
+        (*wal)->Append(static_cast<uint64_t>(i + 1), Slice(payloads.back()))
+            .ok());
+  }
+  ASSERT_TRUE((*wal)->Sync().ok());
+  EXPECT_GT((*wal)->log_pages(), 5u);
+  wal->reset();
+
+  Replayed replayed;
+  auto reopened = OpenCollecting(&device, uuid, &replayed);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(replayed.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(replayed[i].first, i + 1);
+    EXPECT_EQ(replayed[i].second, payloads[i]);
+  }
+}
+
+TEST(Wal, TornTailIsTruncatedAndWriterResumes) {
+  MemBlockDevice device(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  auto wal = WriteAheadLog::Create(&device, uuid);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, Lit("keep-me")).ok());
+  ASSERT_TRUE((*wal)->Append(2, Lit("tear-me")).ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  wal->reset();
+
+  // Corrupt a byte inside record 2's payload on the first log page
+  // (block 2: blocks 0/1 are the header slots). Record 1 occupies
+  // 16 + 7 bytes after the 12-byte page header.
+  std::string page;
+  ASSERT_TRUE(device.Read(2, &page).ok());
+  page[12 + 16 + 7 + 16 + 3] ^= 0x40;
+  ASSERT_TRUE(device.Write(2, Slice(page)).ok());
+
+  Replayed replayed;
+  WalReplayStats stats;
+  auto reopened = OpenCollecting(&device, uuid, &replayed, &stats);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].second, "keep-me");
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_EQ((*reopened)->last_seq(), 1u);
+
+  // The writer resumes at the truncation point; the torn suffix is gone
+  // for good.
+  ASSERT_TRUE((*reopened)->Append(2, Lit("replacement")).ok());
+  ASSERT_TRUE((*reopened)->Sync().ok());
+  reopened->reset();
+
+  Replayed again;
+  auto third = OpenCollecting(&device, uuid, &again);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[1].second, "replacement");
+}
+
+TEST(Wal, BitFlippedRecordDetectedAsTornTail) {
+  MemBlockDevice base(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  {
+    auto wal = WriteAheadLog::Create(&base, uuid);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, Lit("first")).ok());
+    ASSERT_TRUE((*wal)->Append(2, Lit("second")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Reads during Open: header slot 0, header slot 1, then the page.
+  // Flip a bit inside record 2's frame on the page read.
+  FaultInjectionBlockDevice fault(&base);
+  fault.FlipReadBitAt(3, 12 + 16 + 5 + 8, 2);
+  Replayed replayed;
+  WalReplayStats stats;
+  auto wal = OpenCollecting(&fault, uuid, &replayed, &stats);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(replayed.size(), 1u);
+  EXPECT_TRUE(stats.torn_tail);
+}
+
+TEST(Wal, TruncateStartsFreshGenerationOldRecordsGone) {
+  MemBlockDevice device(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  auto wal = WriteAheadLog::Create(&device, uuid);
+  ASSERT_TRUE(wal.ok());
+  for (uint64_t seq = 1; seq <= 10; ++seq) {
+    ASSERT_TRUE((*wal)->Append(seq, Lit("record")).ok());
+  }
+  ASSERT_TRUE((*wal)->Sync().ok());
+  const uint64_t old_generation = (*wal)->generation();
+
+  // Truncate requires a fully applied log.
+  EXPECT_FALSE((*wal)->Truncate(7).ok());
+  ASSERT_TRUE((*wal)->Truncate(10).ok());
+  EXPECT_GT((*wal)->generation(), old_generation);
+  EXPECT_EQ((*wal)->last_seq(), 10u);
+  EXPECT_EQ((*wal)->start_seq(), 11u);
+  EXPECT_EQ((*wal)->log_pages(), 1u);
+
+  // Records appended after the checkpoint replay alone.
+  ASSERT_TRUE((*wal)->Append(11, Lit("post-checkpoint")).ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  wal->reset();
+
+  Replayed replayed;
+  auto reopened = OpenCollecting(&device, uuid, &replayed);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0], (std::pair<uint64_t, std::string>{
+                             11, "post-checkpoint"}));
+}
+
+TEST(Wal, UnsyncedAppendsVanishOnCrash) {
+  MemBlockDevice base(kBlockSize);
+  const WalUuid uuid = GenerateWalUuid();
+  FaultInjectionBlockDevice fault(&base);
+  {
+    auto wal = WriteAheadLog::Create(&fault, uuid);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, Lit("durable")).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+    ASSERT_TRUE((*wal)->Append(2, Lit("in-flight")).ok());
+    // No sync: record 2 was never promised.
+    fault.Crash();
+  }
+  Replayed replayed;
+  WalReplayStats stats;
+  auto wal = OpenCollecting(&base, uuid, &replayed, &stats);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].second, "durable");
+  EXPECT_EQ((*wal)->last_seq(), 1u);
+}
+
+TEST(Wal, CreateRejectsNonFreshDevice) {
+  MemBlockDevice device(kBlockSize);
+  ASSERT_TRUE(device.Allocate().ok());  // device no longer fresh
+  auto wal = WriteAheadLog::Create(&device, GenerateWalUuid());
+  EXPECT_FALSE(wal.ok());
+}
+
+}  // namespace
+}  // namespace avqdb

@@ -1,0 +1,425 @@
+// WriteAheadTable unit tests: commit visibility, batch atomicity,
+// validation conflicts, snapshot merge correctness, recovery, WAL-failure
+// poisoning, backpressure, and Flush checkpointing. auto_apply=false
+// throughout so apply timing is deterministic; the concurrent suite lives
+// in ingest_snapshot_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/db/exec_context.h"
+#include "src/db/table.h"
+#include "src/db/write_ahead_table.h"
+#include "src/db/write_batch.h"
+#include "src/storage/block_device.h"
+#include "src/storage/fault_injection_device.h"
+#include "tests/test_util.h"
+
+namespace avqdb {
+namespace {
+
+constexpr size_t kBlockSize = 512;
+
+std::set<OrdinalTuple> ToSet(const std::vector<OrdinalTuple>& tuples) {
+  return {tuples.begin(), tuples.end()};
+}
+
+WriteAheadTableOptions ManualApply() {
+  WriteAheadTableOptions options;
+  options.auto_apply = false;
+  return options;
+}
+
+class WriteAheadTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = testing::PaperShapeSchema();
+    table_device_ = std::make_unique<MemBlockDevice>(kBlockSize);
+    table_ = Table::CreateAvq(schema_, table_device_.get()).value();
+    auto tuples = testing::RandomTuples(*schema_, 120, 0xbeefULL);
+    std::set<OrdinalTuple> unique(tuples.begin(), tuples.end());
+    baseline_.assign(unique.begin(), unique.end());
+    ASSERT_TRUE(table_->BulkLoad(baseline_).ok());
+    wal_device_ = std::make_unique<MemBlockDevice>(kBlockSize);
+    uuid_ = GenerateWalUuid();
+  }
+
+  // A tuple guaranteed absent from the base table.
+  OrdinalTuple FreshTuple(Random& rng) const {
+    while (true) {
+      OrdinalTuple t = testing::RandomTuple(*schema_, rng);
+      if (!std::binary_search(baseline_.begin(), baseline_.end(), t,
+                              [](const OrdinalTuple& a,
+                                 const OrdinalTuple& b) {
+                                return CompareTuples(a, b) < 0;
+                              })) {
+        return t;
+      }
+    }
+  }
+
+  SchemaPtr schema_;
+  std::unique_ptr<MemBlockDevice> table_device_;
+  std::unique_ptr<Table> table_;
+  std::vector<OrdinalTuple> baseline_;  // φ-sorted
+  std::unique_ptr<MemBlockDevice> wal_device_;
+  WalUuid uuid_;
+};
+
+TEST_F(WriteAheadTableTest, CommittedBatchVisibleBeforeApply) {
+  auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(), uuid_,
+                                     ManualApply());
+  ASSERT_TRUE(wat.ok()) << wat.status().ToString();
+  Random rng(1);
+  const OrdinalTuple added = FreshTuple(rng);
+  const OrdinalTuple removed = baseline_.front();
+
+  WriteBatch batch;
+  batch.Insert(added);
+  batch.Delete(removed);
+  uint64_t commit_seq = 0;
+  ASSERT_TRUE((*wat)->Write(std::move(batch), nullptr, &commit_seq).ok());
+  EXPECT_EQ(commit_seq, 1u);
+  EXPECT_EQ((*wat)->durable_seq(), 1u);
+  EXPECT_EQ((*wat)->applied_seq(), 0u);  // nothing applied yet
+
+  // The snapshot sees the committed batch even though the base table has
+  // not been touched.
+  uint64_t snapshot_seq = 0;
+  auto scanned = (*wat)->SnapshotScan(nullptr, &snapshot_seq);
+  ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+  EXPECT_EQ(snapshot_seq, 1u);
+  std::set<OrdinalTuple> expected = ToSet(baseline_);
+  expected.insert(added);
+  expected.erase(removed);
+  EXPECT_EQ(ToSet(*scanned), expected);
+  // φ order is preserved through the merge.
+  EXPECT_TRUE(std::is_sorted(scanned->begin(), scanned->end(),
+                             [](const OrdinalTuple& a, const OrdinalTuple& b) {
+                               return CompareTuples(a, b) < 0;
+                             }));
+
+  EXPECT_EQ(ToSet(table_->ScanAll().value()), ToSet(baseline_));
+  ASSERT_TRUE((*wat)->Flush().ok());
+  EXPECT_EQ((*wat)->applied_seq(), 1u);
+  EXPECT_EQ(ToSet(table_->ScanAll().value()), expected);
+}
+
+TEST_F(WriteAheadTableTest, ValidationConflictsRejectWholeBatch) {
+  auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(), uuid_,
+                                     ManualApply());
+  ASSERT_TRUE(wat.ok());
+  Random rng(2);
+  const OrdinalTuple fresh = FreshTuple(rng);
+
+  WriteBatch duplicate;
+  duplicate.Insert(fresh);
+  duplicate.Insert(fresh);  // second insert conflicts with the first
+  Status status = (*wat)->Write(std::move(duplicate));
+  EXPECT_TRUE(status.IsAlreadyExists()) << status.ToString();
+
+  WriteBatch missing;
+  missing.Delete(fresh);  // never inserted (the rejected batch left no trace)
+  status = (*wat)->Write(std::move(missing));
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+
+  // Inserting an existing base tuple conflicts too.
+  WriteBatch existing;
+  existing.Insert(baseline_.front());
+  status = (*wat)->Write(std::move(existing));
+  EXPECT_TRUE(status.IsAlreadyExists()) << status.ToString();
+
+  // A rejected batch consumes no commit sequence and leaves no versions.
+  EXPECT_EQ((*wat)->durable_seq(), 0u);
+  EXPECT_EQ(ToSet((*wat)->SnapshotScan().value()), ToSet(baseline_));
+
+  // Delete-then-reinsert within one batch is valid: ops validate in order.
+  WriteBatch cycle;
+  cycle.Delete(baseline_.front());
+  cycle.Insert(baseline_.front());
+  EXPECT_TRUE((*wat)->Write(std::move(cycle)).ok());
+
+  // Tuples that do not fit the schema are rejected up front.
+  WriteBatch malformed;
+  malformed.Insert(OrdinalTuple{999, 999});  // wrong arity
+  status = (*wat)->Write(std::move(malformed));
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST_F(WriteAheadTableTest, SnapshotSelectMergesOverlayAgainstModel) {
+  auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(), uuid_,
+                                     ManualApply());
+  ASSERT_TRUE(wat.ok());
+  Random rng(3);
+  std::set<OrdinalTuple> model = ToSet(baseline_);
+  for (int i = 0; i < 60; ++i) {
+    OrdinalTuple t = testing::RandomTuple(*schema_, rng);
+    WriteBatch batch;
+    if (model.contains(t)) {
+      batch.Delete(t);
+      model.erase(t);
+    } else {
+      batch.Insert(t);
+      model.insert(t);
+    }
+    ASSERT_TRUE((*wat)->Write(std::move(batch)).ok());
+  }
+
+  ConjunctiveQuery query;
+  query.predicates.push_back(RangeQuery{2, 10, 50});
+  query.predicates.push_back(RangeQuery{0, 1, 6});
+  auto selected = (*wat)->SnapshotSelect(query);
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+
+  std::set<OrdinalTuple> expected;
+  for (const OrdinalTuple& t : model) {
+    if (t[2] >= 10 && t[2] <= 50 && t[0] >= 1 && t[0] <= 6) {
+      expected.insert(t);
+    }
+  }
+  EXPECT_EQ(ToSet(*selected), expected);
+
+  // Contains agrees with the model for both present and absent tuples.
+  for (int i = 0; i < 40; ++i) {
+    OrdinalTuple t = testing::RandomTuple(*schema_, rng);
+    auto contains = (*wat)->Contains(t);
+    ASSERT_TRUE(contains.ok());
+    EXPECT_EQ(*contains, model.contains(t));
+  }
+}
+
+TEST_F(WriteAheadTableTest, RecoverReplaysUnappliedBatches) {
+  Random rng(4);
+  std::set<OrdinalTuple> model = ToSet(baseline_);
+  {
+    auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(),
+                                       uuid_, ManualApply());
+    ASSERT_TRUE(wat.ok());
+    for (int i = 0; i < 25; ++i) {
+      OrdinalTuple t = testing::RandomTuple(*schema_, rng);
+      WriteBatch batch;
+      if (model.contains(t)) {
+        batch.Delete(t);
+        model.erase(t);
+      } else {
+        batch.Insert(t);
+        model.insert(t);
+      }
+      ASSERT_TRUE((*wat)->Write(std::move(batch)).ok());
+    }
+    // Destroyed with every batch durable in the WAL but none applied:
+    // the base table still holds the baseline.
+  }
+  EXPECT_EQ(ToSet(table_->ScanAll().value()), ToSet(baseline_));
+
+  WalReplayStats stats;
+  auto recovered = WriteAheadTable::Recover(table_.get(), wal_device_.get(),
+                                            uuid_, ManualApply(), &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(stats.records, 25u);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ((*recovered)->durable_seq(), 25u);
+  EXPECT_EQ((*recovered)->applied_seq(), 25u);  // replay applies directly
+  EXPECT_EQ(ToSet(table_->ScanAll().value()), model);
+  EXPECT_EQ(ToSet((*recovered)->SnapshotScan().value()), model);
+
+  // The recovered table accepts new writes with continuing sequences.
+  uint64_t commit_seq = 0;
+  WriteBatch batch;
+  OrdinalTuple fresh = FreshTuple(rng);
+  while (model.contains(fresh)) fresh = FreshTuple(rng);
+  batch.Insert(fresh);
+  ASSERT_TRUE((*recovered)->Write(std::move(batch), nullptr, &commit_seq).ok());
+  EXPECT_EQ(commit_seq, 26u);
+}
+
+TEST_F(WriteAheadTableTest, RecoverToleratesAlreadyAppliedPrefix) {
+  // Apply everything, then "crash" before Flush truncates the WAL: replay
+  // re-applies batches the table already holds, which must be treated as
+  // idempotent, not as corruption.
+  Random rng(5);
+  std::set<OrdinalTuple> model = ToSet(baseline_);
+  {
+    auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(),
+                                       uuid_, ManualApply());
+    ASSERT_TRUE(wat.ok());
+    for (int i = 0; i < 10; ++i) {
+      OrdinalTuple t = testing::RandomTuple(*schema_, rng);
+      WriteBatch batch;
+      if (model.contains(t)) {
+        batch.Delete(t);
+        model.erase(t);
+      } else {
+        batch.Insert(t);
+        model.insert(t);
+      }
+      ASSERT_TRUE((*wat)->Write(std::move(batch)).ok());
+    }
+    // Destroyed without Flush: the WAL keeps all 10 batches.
+  }
+  // First recovery applies all 10 batches into the table...
+  ASSERT_TRUE(WriteAheadTable::Recover(table_.get(), wal_device_.get(), uuid_,
+                                       ManualApply())
+                  .ok());
+  EXPECT_EQ(ToSet(table_->ScanAll().value()), model);
+  // ...and since Recover never truncates, a second recovery replays the
+  // same records against the already-mutated table.
+  WalReplayStats stats;
+  auto again = WriteAheadTable::Recover(table_.get(), wal_device_.get(),
+                                        uuid_, ManualApply(), &stats);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(stats.records, 10u);
+  EXPECT_EQ(ToSet(table_->ScanAll().value()), model);
+}
+
+TEST_F(WriteAheadTableTest, RecoverRejectsUuidMismatch) {
+  {
+    auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(),
+                                       uuid_, ManualApply());
+    ASSERT_TRUE(wat.ok());
+  }
+  WalUuid other = uuid_;
+  other[3] ^= 0x10;
+  auto recovered = WriteAheadTable::Recover(table_.get(), wal_device_.get(),
+                                            other, ManualApply());
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().IsInvalidArgument())
+      << recovered.status().ToString();
+}
+
+TEST_F(WriteAheadTableTest, WalSyncFailurePoisonsWritePath) {
+  FaultInjectionBlockDevice fault(wal_device_.get());
+  auto wat = WriteAheadTable::Create(table_.get(), &fault, uuid_,
+                                     ManualApply());
+  ASSERT_TRUE(wat.ok()) << wat.status().ToString();
+  Random rng(6);
+  const OrdinalTuple first = FreshTuple(rng);
+  WriteBatch ok_batch;
+  ok_batch.Insert(first);
+  ASSERT_TRUE((*wat)->Write(std::move(ok_batch)).ok());
+
+  // The next group commit's fsync dies mid-flight.
+  fault.CrashDuringSync(1, 0);
+  OrdinalTuple doomed = FreshTuple(rng);
+  while (CompareTuples(doomed, first) == 0) doomed = FreshTuple(rng);
+  WriteBatch failing;
+  failing.Insert(doomed);
+  Status status = (*wat)->Write(std::move(failing));
+  ASSERT_FALSE(status.ok());
+
+  // The failed write is invisible; the earlier committed one stays.
+  std::set<OrdinalTuple> expected = ToSet(baseline_);
+  expected.insert(first);
+  EXPECT_EQ(ToSet((*wat)->SnapshotScan().value()), expected);
+  EXPECT_EQ((*wat)->durable_seq(), 1u);
+
+  // Every later write fails with the poisoned status, even after the
+  // device recovers: the log can no longer be trusted to match acks.
+  fault.Recover();
+  fault.ClearFaults();
+  WriteBatch later;
+  later.Insert(doomed);
+  Status poisoned = (*wat)->Write(std::move(later));
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.code(), status.code());
+
+  // Reads keep working on the poisoned table.
+  EXPECT_EQ(ToSet((*wat)->SnapshotScan().value()), expected);
+}
+
+TEST_F(WriteAheadTableTest, BackpressureHonorsDeadline) {
+  WriteAheadTableOptions options = ManualApply();
+  options.max_unapplied_batches = 4;
+  auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(), uuid_,
+                                     options);
+  ASSERT_TRUE(wat.ok());
+  Random rng(7);
+  std::set<OrdinalTuple> used;
+  auto next_fresh = [&] {
+    OrdinalTuple t = FreshTuple(rng);
+    while (!used.insert(t).second) t = FreshTuple(rng);
+    return t;
+  };
+  for (int i = 0; i < 4; ++i) {
+    WriteBatch batch;
+    batch.Insert(next_fresh());
+    ASSERT_TRUE((*wat)->Write(std::move(batch)).ok());
+  }
+  EXPECT_EQ((*wat)->unapplied_batches(), 4u);
+
+  // The window is full and nothing applies in the background: the fifth
+  // write must wait until its deadline expires.
+  ExecContext ctx;
+  ctx.SetDeadlineAfter(std::chrono::milliseconds(50));
+  WriteBatch fifth;
+  fifth.Insert(next_fresh());
+  Status status = (*wat)->Write(std::move(fifth), &ctx);
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+
+  // Draining the window lets writes through again.
+  ASSERT_TRUE((*wat)->Flush().ok());
+  EXPECT_EQ((*wat)->unapplied_batches(), 0u);
+  WriteBatch sixth;
+  sixth.Insert(next_fresh());
+  EXPECT_TRUE((*wat)->Write(std::move(sixth)).ok());
+}
+
+TEST_F(WriteAheadTableTest, FlushRunsCommitCallbackAndTruncatesWal) {
+  auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(), uuid_,
+                                     ManualApply());
+  ASSERT_TRUE(wat.ok());
+  int callbacks = 0;
+  (*wat)->set_commit_callback([&callbacks] {
+    ++callbacks;
+    return Status::OK();
+  });
+  Random rng(8);
+  WriteBatch batch;
+  batch.Insert(FreshTuple(rng));
+  ASSERT_TRUE((*wat)->Write(std::move(batch)).ok());
+  const uint64_t generation = (*wat)->wal().generation();
+  ASSERT_TRUE((*wat)->Flush().ok());
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_GT((*wat)->wal().generation(), generation);
+  EXPECT_EQ((*wat)->wal().last_seq(), 1u);
+  EXPECT_EQ((*wat)->wal().start_seq(), 2u);
+
+  // A flush with nothing new applied skips the truncate churn.
+  ASSERT_TRUE((*wat)->Flush().ok());
+  EXPECT_EQ(callbacks, 2);
+}
+
+TEST_F(WriteAheadTableTest, AutoApplyDrainsInBackground) {
+  WriteAheadTableOptions options;  // auto_apply = true
+  options.apply_chunk_batches = 2;
+  auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(), uuid_,
+                                     options);
+  ASSERT_TRUE(wat.ok());
+  Random rng(9);
+  std::set<OrdinalTuple> model = ToSet(baseline_);
+  for (int i = 0; i < 30; ++i) {
+    OrdinalTuple t = testing::RandomTuple(*schema_, rng);
+    WriteBatch batch;
+    if (model.contains(t)) {
+      batch.Delete(t);
+      model.erase(t);
+    } else {
+      batch.Insert(t);
+      model.insert(t);
+    }
+    ASSERT_TRUE((*wat)->Write(std::move(batch)).ok());
+  }
+  // Flush waits for the background applier rather than applying inline.
+  ASSERT_TRUE((*wat)->Flush().ok());
+  EXPECT_EQ((*wat)->applied_seq(), 30u);
+  EXPECT_EQ((*wat)->unapplied_batches(), 0u);
+  EXPECT_EQ(ToSet(table_->ScanAll().value()), model);
+}
+
+}  // namespace
+}  // namespace avqdb

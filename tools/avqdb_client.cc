@@ -3,15 +3,24 @@
 //   avqdb_client [--host H] [--port P] [--timeout-ms N]
 //                [--deadline-ms N] [--max-memory BYTES]
 //                [--max-rows N] [--explain] [--exec "CMD; CMD; ..."]
+//                [--retries N] [--retry-backoff-ms MS]
 //
 // Without --exec the tool runs an interactive prompt; with it the
 // semicolon-separated commands run in order and the process exits
 // non-zero if any command fails (scripted mode for CI and demos).
 //
+// Transient connect failures (ECONNREFUSED/ETIMEDOUT and kin — a server
+// still starting) are retried --retries times with exponential backoff
+// starting at --retry-backoff-ms. Exit codes: 0 ok, 1 command failure,
+// 2 usage, 5 connect retries exhausted.
+//
 // Commands:
 //   select TABLE [ATTR:LO:HI ...]   conjunctive range select; no
 //                                   predicates = scan everything
 //   count TABLE [ATTR:LO:HI ...]    same query, print only the count
+//   insert TABLE D1 D2 ...          durable insert (ordinal digits)
+//   delete TABLE D1 D2 ...          durable delete
+//   flush TABLE                     drain applier + checkpoint the WAL
 //   deadline MS                     set per-request deadline (0 = off)
 //   memory BYTES                    set per-request memory cap (0 = off)
 //   explain on|off                  request the server-side span tree
@@ -19,12 +28,14 @@
 //                                   over the wire; --explain starts on)
 //   help / quit
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/server/client.h"
@@ -43,9 +54,15 @@ void Usage(const char* argv0) {
                "usage: %s [--host H] [--port P] [--timeout-ms N]\n"
                "          [--deadline-ms N] [--max-memory BYTES]\n"
                "          [--max-rows N] [--explain] "
-               "[--exec \"CMD; CMD; ...\"]\n",
+               "[--exec \"CMD; CMD; ...\"]\n"
+               "          [--retries N] [--retry-backoff-ms MS]\n",
                argv0);
 }
+
+// Exit code when every connect attempt failed with a transient error —
+// distinct from command failure (1) so orchestration scripts can tell
+// "server never came up" from "query failed".
+constexpr int kExitRetriesExhausted = 5;
 
 void PrintHelp() {
   std::printf(
@@ -53,6 +70,9 @@ void PrintHelp() {
       "  select TABLE [ATTR:LO:HI ...]  range select (ordinals, "
       "inclusive)\n"
       "  count  TABLE [ATTR:LO:HI ...]  same query, count only\n"
+      "  insert TABLE D1 D2 ...         durable insert (ordinal digits)\n"
+      "  delete TABLE D1 D2 ...         durable delete\n"
+      "  flush  TABLE                   drain applier + checkpoint WAL\n"
       "  deadline MS                    per-request deadline (0 = off)\n"
       "  memory BYTES                   per-request memory cap (0 = off)\n"
       "  explain on|off                 server-side span tree per query\n"
@@ -122,6 +142,51 @@ bool RunCommand(avqdb::server::Client& client, Settings& settings,
       (tokens[1] == "on" || tokens[1] == "off")) {
     settings.explain = tokens[1] == "on";
     std::printf("explain = %s\n", settings.explain ? "on" : "off");
+    return true;
+  }
+  if (cmd == "insert" || cmd == "delete") {
+    if (tokens.size() < 3) {
+      std::fprintf(stderr, "error: %s needs a table and tuple digits\n",
+                   cmd.c_str());
+      return false;
+    }
+    avqdb::server::MutateRequest request;
+    request.table = tokens[1];
+    request.deadline_ms = settings.deadline_ms;
+    avqdb::OrdinalTuple tuple;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      char* end = nullptr;
+      tuple.push_back(std::strtoull(tokens[i].c_str(), &end, 10));
+      if (*end != '\0') {
+        std::fprintf(stderr, "error: bad digit '%s'\n", tokens[i].c_str());
+        return false;
+      }
+    }
+    if (cmd == "insert") {
+      request.batch.Insert(std::move(tuple));
+    } else {
+      request.batch.Delete(std::move(tuple));
+    }
+    auto seq = client.Mutate(request);
+    if (!seq.ok()) {
+      std::fprintf(stderr, "error: %s\n", seq.status().ToString().c_str());
+      return false;
+    }
+    std::printf("%s committed at seq %llu\n", cmd.c_str(),
+                static_cast<unsigned long long>(*seq));
+    return true;
+  }
+  if (cmd == "flush" && tokens.size() == 2) {
+    avqdb::server::FlushRequest request;
+    request.table = tokens[1];
+    request.deadline_ms = settings.deadline_ms;
+    auto seq = client.Flush(request);
+    if (!seq.ok()) {
+      std::fprintf(stderr, "error: %s\n", seq.status().ToString().c_str());
+      return false;
+    }
+    std::printf("flushed through seq %llu\n",
+                static_cast<unsigned long long>(*seq));
     return true;
   }
   if (cmd == "select" || cmd == "count") {
@@ -200,6 +265,8 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   std::string exec_script;
   bool have_exec = false;
+  int retries = 0;
+  int retry_backoff_ms = 100;
   Settings settings;
   avqdb::server::ClientOptions client_options;
 
@@ -230,6 +297,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--exec") {
       exec_script = next();
       have_exec = true;
+    } else if (arg == "--retries") {
+      retries = std::atoi(next());
+    } else if (arg == "--retry-backoff-ms") {
+      retry_backoff_ms = std::atoi(next());
     } else {
       Usage(argv[0]);
       return 2;
@@ -241,11 +312,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Connect, retrying transient failures (Unavailable: ECONNREFUSED,
+  // ETIMEDOUT, ...) with exponential backoff. Hard errors fail at once.
   auto client = avqdb::server::Client::Connect(host, port, client_options);
+  for (int attempt = 0;
+       !client.ok() && client.status().IsUnavailable() && attempt < retries;
+       ++attempt) {
+    const int backoff_ms = retry_backoff_ms << std::min(attempt, 10);
+    std::fprintf(stderr,
+                 "connect %s:%u: %s; retry %d/%d in %d ms\n", host.c_str(),
+                 port, client.status().ToString().c_str(), attempt + 1,
+                 retries, backoff_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    client = avqdb::server::Client::Connect(host, port, client_options);
+  }
   if (!client.ok()) {
     std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
                  client.status().ToString().c_str());
-    return 1;
+    return client.status().IsUnavailable() && retries > 0
+               ? kExitRetriesExhausted
+               : 1;
   }
   std::fprintf(stderr, "connected to %s:%u (%s)\n", host.c_str(), port,
                (*client)->banner().c_str());

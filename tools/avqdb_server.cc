@@ -5,6 +5,9 @@
 //                [--synthetic NAME=TUPLES[:SEED]]  generate a table
 //                [--max-concurrency N] [--queue-depth N]
 //                [--memory-limit BYTES] [--query-memory-limit BYTES]
+//                [--ingest]  attach a write-ahead log to every table:
+//                            MUTATE/FLUSH opcodes work and queries read
+//                            through snapshot isolation
 //
 // With no --table/--synthetic, serves a synthetic paper-shaped
 // "orders" table of 30000 tuples so the client tool works out of the
@@ -43,7 +46,8 @@ void Usage(const char* argv0) {
       "usage: %s [--port P] [--workers N] [--table NAME=PATH ...]\n"
       "          [--synthetic NAME=TUPLES[:SEED] ...]\n"
       "          [--max-concurrency N] [--queue-depth N]\n"
-      "          [--memory-limit BYTES] [--query-memory-limit BYTES]\n",
+      "          [--memory-limit BYTES] [--query-memory-limit BYTES]\n"
+      "          [--ingest]\n",
       argv0);
 }
 
@@ -137,6 +141,7 @@ int main(int argc, char** argv) {
   size_t queue_depth = 16;
   uint64_t memory_limit = 0;
   uint64_t query_memory_limit = 0;
+  bool ingest = false;
   struct TableArg {
     bool synthetic;
     std::string name;
@@ -172,6 +177,8 @@ int main(int argc, char** argv) {
       memory_limit = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--query-memory-limit") {
       query_memory_limit = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--ingest") {
+      ingest = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -196,6 +203,18 @@ int main(int argc, char** argv) {
     } else {
       if (!AddSavedTable(db, t.name, t.value)) return 1;
     }
+  }
+  if (ingest) {
+    for (const std::string& name : db.TableNames()) {
+      avqdb::Status status = db.EnableWriteAhead(name);
+      if (!status.ok()) {
+        std::fprintf(stderr, "enable ingest on %s: %s\n", name.c_str(),
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("ingest enabled: WAL + group commit on %zu table(s)\n",
+                db.TableNames().size());
   }
   if (memory_limit > 0) db.SetMemoryLimit(memory_limit);
   if (query_memory_limit > 0) db.SetQueryMemoryLimit(query_memory_limit);

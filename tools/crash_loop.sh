@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Repeated randomized crash-loop runs with rotating seeds.
 #
-# Each run executes the CrashLoop property test (1200 randomized crash
-# points per run: scheduled write faults, torn metadata writes, and
-# power loss mid-Sync) under a fresh AVQDB_CRASH_SEED, so N runs cover
-# N * 1200 distinct crash schedules.
+# Each run executes every CrashLoop property test under a fresh
+# AVQDB_CRASH_SEED:
+#   * the commit-protocol loop (1200 randomized crash points: scheduled
+#     write faults, torn metadata writes, power loss mid-Sync);
+#   * the WAL replay loop (1200 randomized crash points over the ingest
+#     path: mid-fsync crashes, torn tail records, bit-flipped replay
+#     reads — zero lost acknowledged batches, zero partial batches);
+#   * the WAL truncate-crash loop (200 points: a checkpoint crash leaves
+#     the old or the new log, never a hybrid).
+# N runs therefore cover N * 2600 distinct crash schedules.
 #
 # Usage: tools/crash_loop.sh [N] [build-dir]   (default: 5 runs, build/)
 
@@ -27,4 +33,4 @@ for ((i = 0; i < runs; ++i)); do
   AVQDB_CRASH_SEED="${seed}" "${binary}" --gtest_brief=1
 done
 
-echo "crash loop passed: $((runs * 1200)) randomized crash points"
+echo "crash loop passed: $((runs * 2600)) randomized crash points"

@@ -21,10 +21,14 @@
 #   * both sanitizers on the observability tests (ctest label "obs":
 #     metrics registry, trace spans, lock-free query journal, quantile
 #     estimator, Prometheus exporter, remote server-stats suite — the
-#     journal's seqlock ring in particular needs the TSan hammer).
+#     journal's seqlock ring in particular needs the TSan hammer);
+#   * both sanitizers on the crash-safe write path (ctest label
+#     "ingest": WAL framing/replay, group commit, the concurrent
+#     mutation-vs-scan snapshot property suite, wire mutations — the
+#     writer/applier/scanner interleavings need the TSan hammer).
 #
 # Usage: tools/run_sanitized_tests.sh
-#   [tsan|asan|fault|resilience|server|kernel|obs|all]
+#   [tsan|asan|fault|resilience|server|kernel|obs|ingest|all]
 # (default: all)
 #
 # Build trees land in build-tsan/ and build-asan/ next to build/ so the
@@ -108,6 +112,22 @@ run_obs() {
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L obs
 }
 
+run_ingest() {
+  echo "== Sanitized crash-safe write path tests (label: ingest) =="
+  local ingest_targets="wal_test write_ahead_table_test \
+    ingest_snapshot_test server_ingest_test"
+  cmake -B build-tsan -S . -DAVQDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build build-tsan -j "${jobs}" --target ${ingest_targets}
+  ctest --test-dir build-tsan --output-on-failure -j "${jobs}" -L ingest
+  cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build build-asan -j "${jobs}" --target ${ingest_targets}
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L ingest
+}
+
 # The most-preferred SIMD kernel this host can run (the same choice
 # auto-dispatch makes); "scalar" when the host has none.
 best_simd_kernel() {
@@ -171,6 +191,7 @@ case "${mode}" in
   server) run_server ;;
   kernel) run_kernel ;;
   obs) run_obs ;;
+  ingest) run_ingest ;;
   all)
     run_tsan
     run_fault
@@ -178,10 +199,11 @@ case "${mode}" in
     run_server
     run_kernel
     run_obs
+    run_ingest
     run_asan
     ;;
   *)
-    echo "usage: $0 [tsan|asan|fault|resilience|server|kernel|obs|all]" >&2
+    echo "usage: $0 [tsan|asan|fault|resilience|server|kernel|obs|ingest|all]" >&2
     exit 2
     ;;
 esac
