@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <utility>
 
 #include "src/common/string_util.h"
@@ -23,6 +24,8 @@ struct WriteMetrics {
   obs::Counter* flushes;
   obs::Counter* snapshot_scans;
   obs::Counter* recovered_records;
+  obs::Counter* dedup_hits;
+  obs::Counter* dedup_evictions;
 
   static const WriteMetrics& Get() {
     static const WriteMetrics metrics = [] {
@@ -37,7 +40,9 @@ struct WriteMetrics {
                           r.GetGauge(obs::kWriteApplyLagBatches),
                           r.GetCounter(obs::kWriteFlushes),
                           r.GetCounter(obs::kWriteSnapshotScans),
-                          r.GetCounter(obs::kWriteRecoveredRecords)};
+                          r.GetCounter(obs::kWriteRecoveredRecords),
+                          r.GetCounter(obs::kWriteDedupHits),
+                          r.GetCounter(obs::kWriteDedupEvictions)};
     }();
     return metrics;
   }
@@ -117,8 +122,22 @@ Result<std::unique_ptr<WriteAheadTable>> WriteAheadTable::Recover(
   // some of it converges: ops re-apply in their original order, so an
   // insert that finds its tuple present (AlreadyExists) or a delete that
   // finds it gone (NotFound) was simply applied before the crash.
-  auto replay_one = [table](uint64_t /*seq*/, Slice payload) -> Status {
-    AVQDB_ASSIGN_OR_RETURN(WriteBatch batch, WriteBatch::DecodePayload(payload));
+  // Idempotency tokens riding the record payloads are collected so the
+  // dedup window survives the restart (a client may still be retrying).
+  std::vector<std::pair<MutationToken, uint64_t>> recovered_tokens;
+  auto replay_one = [table, &recovered_tokens](uint64_t seq,
+                                               Slice payload) -> Status {
+    Slice input = payload;
+    AVQDB_ASSIGN_OR_RETURN(WriteBatch batch, WriteBatch::DecodeFrom(&input));
+    if (input.size() == kMutationTokenBytes) {
+      MutationToken token;
+      std::memcpy(token.data(), input.data(), token.size());
+      recovered_tokens.emplace_back(token, seq);
+    } else if (!input.empty()) {
+      return Status::Corruption(StringFormat(
+          "wal record %llu: %zu trailing bytes after the batch",
+          static_cast<unsigned long long>(seq), input.size()));
+    }
     for (const WriteBatch::Op& op : batch.ops()) {
       AVQDB_RETURN_IF_ERROR(ValidateTuple(*table->schema(), op.tuple));
       Status status = op.kind == WriteBatch::OpKind::kInsert
@@ -141,6 +160,17 @@ Result<std::unique_ptr<WriteAheadTable>> WriteAheadTable::Recover(
   wat->next_seq_ = wat->wal_->last_seq() + 1;
   wat->durable_seq_ = wat->wal_->last_seq();
   wat->applied_seq_ = wat->wal_->last_seq();
+  if (wat->options_.dedup_window > 0) {
+    // Rebuild the (bounded) window from the newest recovered tokens; the
+    // construction is single-threaded, so no lock is needed yet.
+    const size_t keep =
+        std::min(recovered_tokens.size(), wat->options_.dedup_window);
+    for (size_t i = recovered_tokens.size() - keep;
+         i < recovered_tokens.size(); ++i) {
+      wat->dedup_[recovered_tokens[i].first] = recovered_tokens[i].second;
+      wat->dedup_fifo_.push_back(recovered_tokens[i]);
+    }
+  }
   return wat;
 }
 
@@ -185,6 +215,25 @@ void WriteAheadTable::PruneVersionsLocked(
                                   }),
                    versions.end());
     if (versions.empty()) memtable_.erase(it);
+  }
+}
+
+void WriteAheadTable::EvictDedupLocked() {
+  while (dedup_fifo_.size() > options_.dedup_window) {
+    const auto& [token, seq] = dedup_fifo_.front();
+    auto it = dedup_.find(token);
+    if (it == dedup_.end() || it->second != seq) {
+      // Stale: the commit was rolled back (entry already withdrawn).
+      dedup_fifo_.pop_front();
+      continue;
+    }
+    // Never evict an entry whose commit is still in flight: a waiter
+    // blocked on it relies on the entry surviving until durable (or the
+    // write path poisoning). The fifo is seq-ordered, so stop here.
+    if (seq > durable_seq_) break;
+    dedup_.erase(it);
+    dedup_fifo_.pop_front();
+    WriteMetrics::Get().dedup_evictions->Increment();
   }
 }
 
@@ -251,7 +300,8 @@ void WriteAheadTable::ApplierTask() {
 }
 
 Status WriteAheadTable::Write(WriteBatch batch, const ExecContext* ctx,
-                              uint64_t* commit_seq) {
+                              uint64_t* commit_seq,
+                              const MutationToken* token) {
   if (batch.empty()) return Status::OK();
   const WriteMetrics& metrics = WriteMetrics::Get();
   for (const WriteBatch::Op& op : batch.ops()) {
@@ -271,6 +321,31 @@ Status WriteAheadTable::Write(WriteBatch batch, const ExecContext* ctx,
       return Status::Unavailable("write-ahead table is shutting down");
     }
     if (!poisoned_.ok()) return poisoned_;
+    if (token != nullptr && options_.dedup_window > 0) {
+      auto hit = dedup_.find(*token);
+      if (hit != dedup_.end()) {
+        // A retry of a batch that was already accepted: re-acknowledge
+        // the ORIGINAL commit once it is durable, never re-apply. The
+        // entry can only leave the window by durable-side eviction or
+        // by a rollback (which poisons the write path first), so
+        // reaching durable_seq_ >= seq means the batch is on disk.
+        const uint64_t original_seq = hit->second;
+        metrics.dedup_hits->Increment();
+        while (durable_seq_ < original_seq) {
+          if (!poisoned_.ok()) return poisoned_;
+          if (stopping_) {
+            return Status::Unavailable("write-ahead table is shutting down");
+          }
+          writers_cv_.wait_for(st, kBackpressureSlice);
+          st.unlock();
+          if (ctx != nullptr) AVQDB_RETURN_IF_ERROR(ctx->Check());
+          st.lock();
+        }
+        if (!poisoned_.ok()) return poisoned_;
+        if (commit_seq != nullptr) *commit_seq = original_seq;
+        return Status::OK();
+      }
+    }
     if (wal_queue_.size() + apply_queue_.size() >=
         options_.max_unapplied_batches) {
       // Backpressure: the unapplied window is full. Wait with the apply
@@ -327,10 +402,23 @@ Status WriteAheadTable::Write(WriteBatch batch, const ExecContext* ctx,
     // so queue order == sequence order).
     request.seq = next_seq_++;
     request.payload = batch.EncodePayload();
+    if (token != nullptr) {
+      // The token rides the WAL record payload (same trailer layout as
+      // the wire MUTATE) so Recover can rebuild the dedup window.
+      request.payload.append(reinterpret_cast<const char*>(token->data()),
+                             token->size());
+    }
     request.ops = batch.ReleaseOps();
     for (const WriteBatch::Op& op : request.ops) {
       memtable_[op.tuple].push_back(
           Version{request.seq, op.kind == WriteBatch::OpKind::kDelete});
+    }
+    if (token != nullptr && options_.dedup_window > 0) {
+      request.has_token = true;
+      request.token = *token;
+      dedup_[*token] = request.seq;
+      dedup_fifo_.emplace_back(*token, request.seq);
+      EvictDedupLocked();
     }
     wal_queue_.push_back(&request);
     UpdateLagGaugeLocked();
@@ -372,8 +460,13 @@ Status WriteAheadTable::Write(WriteBatch batch, const ExecContext* ctx,
         apply_queue_.push_back(PendingApply{r->seq, std::move(r->ops)});
       } else {
         // The group never became durable: withdraw its memtable versions
-        // so no snapshot can see an unacknowledged write.
+        // and its dedup entry so no snapshot can see — and no retry can
+        // be acknowledged against — an unacknowledged write.
         RollbackVersionsLocked(r->ops, r->seq);
+        if (r->has_token) {
+          auto it = dedup_.find(r->token);
+          if (it != dedup_.end() && it->second == r->seq) dedup_.erase(it);
+        }
       }
     }
     if (io.ok()) {
@@ -382,6 +475,7 @@ Status WriteAheadTable::Write(WriteBatch batch, const ExecContext* ctx,
       metrics.group_batches->Record(group.size());
       metrics.batches->Add(group.size());
       metrics.ops->Add(group_ops);
+      EvictDedupLocked();
       if (options_.auto_apply) ScheduleApplierLocked();
     } else {
       poisoned_ = io;

@@ -36,12 +36,15 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -71,6 +74,13 @@ struct WriteAheadTableOptions {
   bool auto_apply = true;
   // Applier pool; null = SharedThreadPool().
   ThreadPool* pool = nullptr;
+  // Bound on remembered idempotency tokens (exactly-once retried
+  // mutations): a Write carrying a token already in the window answers
+  // with the original commit sequence instead of re-applying the batch.
+  // Entries evict FIFO once durable and past the bound; the window is
+  // rebuilt from the WAL tail on Recover. 0 disables dedup (tokens are
+  // still recorded in WAL record payloads).
+  size_t dedup_window = 4096;
 };
 
 class WriteAheadTable {
@@ -104,8 +114,15 @@ class WriteAheadTable {
   // receives its commit sequence. AlreadyExists/NotFound on validation
   // conflicts, DeadlineExceeded/Cancelled from `ctx` while waiting for
   // backpressure, the poisoning error after a WAL failure.
+  //
+  // `token` (optional) is the batch's idempotency token: it rides the
+  // WAL record payload and, while it stays inside the dedup window, a
+  // retried Write with the same token returns OK with the ORIGINAL
+  // commit sequence instead of re-applying — the exactly-once contract
+  // for retries after an ambiguous network failure.
   Status Write(WriteBatch batch, const ExecContext* ctx = nullptr,
-               uint64_t* commit_seq = nullptr);
+               uint64_t* commit_seq = nullptr,
+               const MutationToken* token = nullptr);
 
   // One-op conveniences.
   Status Insert(const OrdinalTuple& tuple, const ExecContext* ctx = nullptr,
@@ -172,6 +189,9 @@ class WriteAheadTable {
     std::vector<WriteBatch::Op> ops;
     bool done = false;
     Status status;
+    // Staged dedup-window entry, withdrawn if the group commit fails.
+    bool has_token = false;
+    MutationToken token{};
   };
   struct PendingApply {
     uint64_t seq = 0;
@@ -190,6 +210,10 @@ class WriteAheadTable {
   // Drops versions with seq <= `seq` for each op's tuple (post-apply).
   void PruneVersionsLocked(const std::vector<WriteBatch::Op>& ops,
                            uint64_t seq);
+  // Drops the oldest durable dedup entries beyond options_.dedup_window
+  // (stale entries from rolled-back commits are skipped). Requires
+  // state_mu_ held.
+  void EvictDedupLocked();
   void ScheduleApplierLocked();
   void ApplierTask();
   // Applies one durable batch to the table under an exclusive apply lock;
@@ -214,10 +238,25 @@ class WriteAheadTable {
   std::condition_variable writers_cv_;  // group commit + backpressure
   std::condition_variable applier_cv_;  // drain waits
 
+  // Tokens are 128 uniformly random bits, so the first word is already
+  // a good hash.
+  struct TokenHash {
+    size_t operator()(const MutationToken& token) const {
+      uint64_t word;
+      std::memcpy(&word, token.data(), sizeof(word));
+      return static_cast<size_t>(word);
+    }
+  };
+
   // All below guarded by state_mu_.
   Memtable memtable_;
   std::deque<CommitRequest*> wal_queue_;
   std::deque<PendingApply> apply_queue_;
+  // Bounded idempotency window: token -> commit seq, with a FIFO of
+  // insertion order driving eviction (entries whose map slot no longer
+  // matches were rolled back and are skipped).
+  std::unordered_map<MutationToken, uint64_t, TokenHash> dedup_;
+  std::deque<std::pair<MutationToken, uint64_t>> dedup_fifo_;
   uint64_t next_seq_ = 1;
   uint64_t durable_seq_ = 0;
   uint64_t applied_seq_ = 0;

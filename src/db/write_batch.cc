@@ -1,5 +1,7 @@
 #include "src/db/write_batch.h"
 
+#include <random>
+
 #include "src/common/coding.h"
 #include "src/common/string_util.h"
 
@@ -14,6 +16,19 @@ constexpr uint64_t kMaxDecodedArity = 1u << 12;
 
 }  // namespace
 
+MutationToken GenerateMutationToken() {
+  std::random_device rd;
+  MutationToken token;
+  for (size_t i = 0; i < token.size(); i += 4) {
+    const uint32_t word = rd();
+    token[i + 0] = static_cast<uint8_t>(word);
+    token[i + 1] = static_cast<uint8_t>(word >> 8);
+    token[i + 2] = static_cast<uint8_t>(word >> 16);
+    token[i + 3] = static_cast<uint8_t>(word >> 24);
+  }
+  return token;
+}
+
 std::string WriteBatch::EncodePayload() const {
   std::string out;
   PutVarint64(&out, ops_.size());
@@ -27,6 +42,16 @@ std::string WriteBatch::EncodePayload() const {
 
 Result<WriteBatch> WriteBatch::DecodePayload(Slice payload) {
   Slice input = payload;
+  AVQDB_ASSIGN_OR_RETURN(WriteBatch batch, DecodeFrom(&input));
+  if (!input.empty()) {
+    return Status::Corruption(StringFormat(
+        "write batch: %zu trailing bytes after the last op", input.size()));
+  }
+  return batch;
+}
+
+Result<WriteBatch> WriteBatch::DecodeFrom(Slice* in) {
+  Slice& input = *in;
   uint64_t count = 0;
   if (!GetVarint64(&input, &count)) {
     return Status::Corruption("write batch: truncated op count");
@@ -64,10 +89,6 @@ Result<WriteBatch> WriteBatch::DecodePayload(Slice payload) {
       }
     }
     batch.ops_.push_back(Op{static_cast<OpKind>(kind), std::move(tuple)});
-  }
-  if (!input.empty()) {
-    return Status::Corruption(StringFormat(
-        "write batch: %zu trailing bytes after the last op", input.size()));
   }
   return batch;
 }

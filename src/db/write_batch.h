@@ -13,6 +13,7 @@
 #ifndef AVQDB_DB_WRITE_BATCH_H_
 #define AVQDB_DB_WRITE_BATCH_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -23,6 +24,19 @@
 #include "src/schema/tuple.h"
 
 namespace avqdb {
+
+// Client-supplied idempotency token carried with a mutation so a retry
+// after an ambiguous failure (MUTATE_OK lost to the network) can be
+// recognised and answered with the original commit sequence instead of
+// applying the batch twice. 128 random bits: collisions are not a
+// practical concern, so equality is identity.
+using MutationToken = std::array<uint8_t, 16>;
+inline constexpr size_t kMutationTokenBytes =
+    std::tuple_size<MutationToken>::value;
+
+// A fresh uniformly random token (seeded from std::random_device, like
+// the WAL's instance UUID).
+MutationToken GenerateMutationToken();
 
 class WriteBatch {
  public:
@@ -54,6 +68,13 @@ class WriteBatch {
   // semantic validation happens at apply).
   std::string EncodePayload() const;
   static Result<WriteBatch> DecodePayload(Slice payload);
+
+  // Consumes exactly the encoded batch from the front of *input and
+  // leaves the remainder in place — the building block for callers whose
+  // payload carries a trailer after the batch (the MUTATE idempotency
+  // token, docs/PROTOCOL.md). DecodePayload is DecodeFrom plus a
+  // no-trailing-bytes check.
+  static Result<WriteBatch> DecodeFrom(Slice* input);
 
  private:
   std::vector<Op> ops_;

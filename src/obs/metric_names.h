@@ -169,6 +169,19 @@ inline constexpr char kServerRequestExecMicros[] = "server.request.exec_us";
 inline constexpr char kServerRequestSendMicros[] = "server.request.send_us";
 inline constexpr char kServerStatsRequests[] = "server.stats.requests";
 
+// --- session lifecycle hardening (server/server.cc) ---
+inline constexpr char kServerSessionsAccepted[] = "server.session.accepted";
+inline constexpr char kServerSessionsRejectedAtCap[] =
+    "server.session.rejected_at_cap";
+inline constexpr char kServerSessionsIdleReaped[] =
+    "server.session.idle_reaped";
+inline constexpr char kServerSessionHandshakeTimeouts[] =
+    "server.session.handshake_timeouts";
+inline constexpr char kServerSessionKeepalives[] =
+    "server.session.keepalives";
+inline constexpr char kServerSessionBudgetRejections[] =
+    "server.session.budget_rejections";
+
 // --- write-ahead log (storage/wal.cc) ---
 inline constexpr char kWalAppends[] = "wal.appends";
 inline constexpr char kWalAppendedBytes[] = "wal.appended_bytes";
@@ -192,6 +205,8 @@ inline constexpr char kWriteFlushes[] = "db.write.flushes";
 inline constexpr char kWriteSnapshotScans[] = "db.write.snapshot_scans";
 inline constexpr char kWriteRecoveredRecords[] =
     "db.write.recovered_records";
+inline constexpr char kWriteDedupHits[] = "db.write.dedup_hits";
+inline constexpr char kWriteDedupEvictions[] = "db.write.dedup_evictions";
 
 // --- query journal (obs/query_journal.cc) ---
 inline constexpr char kJournalAppends[] = "obs.journal.appends";

@@ -1,0 +1,92 @@
+#include "src/server/chaos_socket.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+namespace avqdb::server {
+
+namespace {
+
+// fd -> injector. The count mirrors the map size so the uninstrumented
+// hot path (every production send/recv) is one relaxed load, no lock.
+std::mutex g_registry_mu;
+std::unordered_map<int, std::shared_ptr<SocketFaultInjector>>& Registry() {
+  static auto* registry =
+      new std::unordered_map<int, std::shared_ptr<SocketFaultInjector>>();
+  return *registry;
+}
+std::atomic<size_t> g_installed{0};
+
+}  // namespace
+
+void InstallSocketFault(int fd,
+                        std::shared_ptr<SocketFaultInjector> injector) {
+  if (fd < 0 || injector == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  Registry()[fd] = std::move(injector);
+  g_installed.store(Registry().size(), std::memory_order_relaxed);
+}
+
+void RemoveSocketFault(int fd) {
+  if (g_installed.load(std::memory_order_relaxed) == 0) return;
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  Registry().erase(fd);
+  g_installed.store(Registry().size(), std::memory_order_relaxed);
+}
+
+std::shared_ptr<SocketFaultInjector> SocketFaultFor(int fd) {
+  if (g_installed.load(std::memory_order_relaxed) == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  auto it = Registry().find(fd);
+  return it == Registry().end() ? nullptr : it->second;
+}
+
+ChaosScheduleOptions ChaosScheduleOptions::FromSeed(uint64_t seed) {
+  Random rng(seed);
+  ChaosScheduleOptions options;
+  options.seed = rng.Next();
+  options.short_io_probability = 0.05 + rng.NextDouble() * 0.45;
+  options.delay_probability = rng.NextDouble() * 0.20;
+  options.max_delay_ms = 1 + static_cast<uint32_t>(rng.Uniform(2));
+  options.stall_probability = rng.Bernoulli(0.3) ? 0.02 : 0.0;
+  options.stall_ms = 25;
+  // Half the schedules cut the connection; biased early so the cut
+  // lands inside handshakes and small request/response exchanges.
+  options.cut_at_step = rng.Bernoulli(0.5) ? 1 + rng.Uniform(48) : 0;
+  return options;
+}
+
+uint64_t FaultInjectionSocket::steps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return step_;
+}
+
+bool FaultInjectionSocket::cut() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cut_fired_;
+}
+
+ChaosDecision FaultInjectionSocket::Step(size_t want_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++step_;
+  ChaosDecision decision;
+  if (cut_fired_ ||
+      (options_.cut_at_step != 0 && step_ >= options_.cut_at_step)) {
+    cut_fired_ = true;
+    decision.reset = true;
+    return decision;
+  }
+  if (rng_.Bernoulli(options_.stall_probability)) {
+    decision.delay_ms = options_.stall_ms;
+  } else if (rng_.Bernoulli(options_.delay_probability)) {
+    decision.delay_ms = 1 + static_cast<uint32_t>(rng_.Uniform(
+                                std::max<uint32_t>(options_.max_delay_ms, 1)));
+  }
+  if (want_bytes > 1 && rng_.Bernoulli(options_.short_io_probability)) {
+    decision.max_bytes = 1 + rng_.Uniform(want_bytes - 1);
+  }
+  return decision;
+}
+
+}  // namespace avqdb::server

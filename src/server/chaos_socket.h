@@ -1,0 +1,111 @@
+// Chaos transport: scheduled network-fault injection for the serving
+// layer — the socket counterpart of storage/fault_injection_device.h.
+//
+// A SocketFaultInjector installed on a file descriptor is consulted by
+// SendAll/RecvExact (socket_util.cc) before every syscall-level I/O
+// step and may shorten the step (short read/write), delay it (slow or
+// stalled peer) or cut the connection (mid-frame disconnect / RST).
+// The registry is process-global and keyed by fd; CloseFd() removes any
+// installed injector so a recycled descriptor never inherits faults.
+// When nothing is installed the hot path costs one relaxed atomic load.
+//
+// FaultInjectionSocket is the seeded implementation: a deterministic
+// schedule of faults derived from one uint64 seed, mirroring how the
+// crash loop drives FaultInjectionBlockDevice. Tests rotate seeds
+// (AVQDB_CHAOS_SEED / tools/chaos_loop.sh) to cover many schedules.
+
+#ifndef AVQDB_SERVER_CHAOS_SOCKET_H_
+#define AVQDB_SERVER_CHAOS_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "src/common/random.h"
+
+namespace avqdb::server {
+
+// What an injector wants done to one I/O step. Applied in order: sleep
+// `delay_ms`, then either cut the connection (`reset`) or clamp the
+// step to at most `max_bytes` (>= 1 byte always moves, so a schedule
+// can slow a transfer but never wedge it byte-free forever).
+struct ChaosDecision {
+  size_t max_bytes = std::numeric_limits<size_t>::max();
+  uint32_t delay_ms = 0;
+  bool reset = false;
+};
+
+// Consulted once per send()/recv() syscall on an instrumented fd. Must
+// be thread-safe: a server session sends from worker strands while its
+// reader thread receives.
+class SocketFaultInjector {
+ public:
+  virtual ~SocketFaultInjector() = default;
+  virtual ChaosDecision OnSend(size_t want_bytes) = 0;
+  virtual ChaosDecision OnRecv(size_t want_bytes) = 0;
+};
+
+// Installs `injector` on `fd` (replacing any previous one). The
+// injector is dropped by RemoveSocketFault or by CloseFd on that fd.
+void InstallSocketFault(int fd, std::shared_ptr<SocketFaultInjector> injector);
+void RemoveSocketFault(int fd);
+
+// Lookup used by socket_util's I/O loops; null when nothing (or nothing
+// anymore) is installed. Cheap when no injector exists process-wide.
+std::shared_ptr<SocketFaultInjector> SocketFaultFor(int fd);
+
+// One seeded fault schedule. All randomness derives from `seed`, so a
+// failing schedule replays exactly; the *_probability knobs are drawn
+// per I/O step, `cut_at_step` is an absolute one-shot.
+struct ChaosScheduleOptions {
+  uint64_t seed = 1;
+  // Probability an I/O step moves only part of its bytes (short
+  // read/write exercising every resume loop).
+  double short_io_probability = 0.25;
+  // Probability an I/O step is delayed by up to max_delay_ms.
+  double delay_probability = 0.10;
+  uint32_t max_delay_ms = 2;
+  // Probability a delayed step stalls for stall_ms instead (a peer that
+  // stops moving without closing — what idle timeouts exist to reap).
+  double stall_probability = 0.02;
+  uint32_t stall_ms = 25;
+  // The 1-based I/O step (sends and recvs share the counter) at which
+  // the connection is cut: the step fails, the socket is shut down both
+  // ways and every later step fails too. 0 = never.
+  uint64_t cut_at_step = 0;
+
+  // A varied schedule derived entirely from `seed`: roughly half the
+  // schedules cut the connection somewhere in the first few dozen
+  // steps, fault probabilities jitter around the defaults.
+  static ChaosScheduleOptions FromSeed(uint64_t seed);
+};
+
+class FaultInjectionSocket : public SocketFaultInjector {
+ public:
+  explicit FaultInjectionSocket(ChaosScheduleOptions options)
+      : options_(options), rng_(options.seed) {}
+
+  ChaosDecision OnSend(size_t want_bytes) override { return Step(want_bytes); }
+  ChaosDecision OnRecv(size_t want_bytes) override { return Step(want_bytes); }
+
+  // I/O steps observed so far (schedule calibration, like the fault
+  // device's operation counters).
+  uint64_t steps() const;
+  // True once the cut fired (every later step keeps failing).
+  bool cut() const;
+
+ private:
+  ChaosDecision Step(size_t want_bytes);
+
+  mutable std::mutex mu_;
+  const ChaosScheduleOptions options_;
+  Random rng_;
+  uint64_t step_ = 0;
+  bool cut_fired_ = false;
+};
+
+}  // namespace avqdb::server
+
+#endif  // AVQDB_SERVER_CHAOS_SOCKET_H_

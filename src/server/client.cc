@@ -12,6 +12,7 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
                                                 ClientOptions options) {
   AVQDB_ASSIGN_OR_RETURN(int fd, ConnectTo(host, port));
   std::unique_ptr<Client> client(new Client(fd, options));
+  if (options.connect_hook) options.connect_hook(fd);
   const std::string hello =
       EncodeFrame(Opcode::kHello, 0, Slice(EncodeHelloPayload()));
   AVQDB_RETURN_IF_ERROR(SendAll(fd, hello.data(), hello.size()));
@@ -146,10 +147,12 @@ Result<Client::StatsResult> Client::FetchStats(uint32_t sections) {
 
 namespace {
 
-// Shared wait half of Mutate/Flush: both expect one MUTATE_OK (or an
-// ERROR carrying the server status).
-Result<uint64_t> ReadMutateOk(int fd, const ClientOptions& options,
-                              uint64_t id) {
+// Shared wait half of the mutate/flush calls: both expect one MUTATE_OK
+// (or an ERROR carrying the server's verdict). The outer Result stays
+// OK for a server verdict — only transport/protocol failures are non-OK.
+Result<Client::MutateOutcome> ReadMutateOk(int fd,
+                                           const ClientOptions& options,
+                                           uint64_t id) {
   AVQDB_ASSIGN_OR_RETURN(
       Frame reply,
       ReadFrame(fd, options.max_frame_bytes, options.io_timeout_ms, nullptr));
@@ -159,26 +162,26 @@ Result<uint64_t> ReadMutateOk(int fd, const ClientOptions& options,
         static_cast<unsigned long long>(reply.request_id),
         static_cast<unsigned long long>(id)));
   }
+  Client::MutateOutcome outcome;
   if (reply.opcode == Opcode::kError) {
-    Status server_error = Status::OK();
     AVQDB_RETURN_IF_ERROR(
-        ParseErrorPayload(Slice(reply.payload), &server_error));
-    return server_error;
+        ParseErrorPayload(Slice(reply.payload), &outcome.status));
+    return outcome;
   }
   if (reply.opcode != Opcode::kMutateOk) {
     return Status::InvalidArgument(StringFormat(
         "expected MUTATE_OK, got opcode %u",
         static_cast<unsigned>(reply.opcode)));
   }
-  uint64_t commit_seq = 0;
   AVQDB_RETURN_IF_ERROR(
-      ParseMutateOkPayload(Slice(reply.payload), &commit_seq));
-  return commit_seq;
+      ParseMutateOkPayload(Slice(reply.payload), &outcome.commit_seq));
+  return outcome;
 }
 
 }  // namespace
 
-Result<uint64_t> Client::Mutate(const MutateRequest& request) {
+Result<Client::MutateOutcome> Client::MutateCall(
+    const MutateRequest& request) {
   const uint64_t id = next_request_id_++;
   const std::string frame = EncodeFrame(Opcode::kMutate, id,
                                         Slice(EncodeMutatePayload(request)));
@@ -186,12 +189,47 @@ Result<uint64_t> Client::Mutate(const MutateRequest& request) {
   return ReadMutateOk(fd_, options_, id);
 }
 
-Result<uint64_t> Client::Flush(const FlushRequest& request) {
+Result<Client::MutateOutcome> Client::FlushCall(const FlushRequest& request) {
   const uint64_t id = next_request_id_++;
   const std::string frame = EncodeFrame(Opcode::kFlush, id,
                                         Slice(EncodeFlushPayload(request)));
   AVQDB_RETURN_IF_ERROR(SendAll(fd_, frame.data(), frame.size()));
   return ReadMutateOk(fd_, options_, id);
+}
+
+Result<uint64_t> Client::Mutate(const MutateRequest& request) {
+  AVQDB_ASSIGN_OR_RETURN(MutateOutcome outcome, MutateCall(request));
+  if (!outcome.status.ok()) return outcome.status;
+  return outcome.commit_seq;
+}
+
+Result<uint64_t> Client::Flush(const FlushRequest& request) {
+  AVQDB_ASSIGN_OR_RETURN(MutateOutcome outcome, FlushCall(request));
+  if (!outcome.status.ok()) return outcome.status;
+  return outcome.commit_seq;
+}
+
+Status Client::Ping() {
+  const uint64_t id = next_request_id_++;
+  const std::string frame = EncodeFrame(Opcode::kPing, id, Slice());
+  AVQDB_RETURN_IF_ERROR(SendAll(fd_, frame.data(), frame.size()));
+  AVQDB_ASSIGN_OR_RETURN(
+      Frame reply, ReadFrame(fd_, options_.max_frame_bytes,
+                             options_.io_timeout_ms, nullptr));
+  if (reply.opcode == Opcode::kError) {
+    Status server_error = Status::OK();
+    AVQDB_RETURN_IF_ERROR(
+        ParseErrorPayload(Slice(reply.payload), &server_error));
+    return server_error;
+  }
+  if (reply.opcode != Opcode::kPong || reply.request_id != id) {
+    return Status::InvalidArgument(StringFormat(
+        "expected PONG for request %llu, got opcode %u id %llu",
+        static_cast<unsigned long long>(id),
+        static_cast<unsigned>(reply.opcode),
+        static_cast<unsigned long long>(reply.request_id)));
+  }
+  return Status::OK();
 }
 
 Status Client::SendGoodbye() {

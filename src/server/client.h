@@ -13,6 +13,7 @@
 #define AVQDB_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,11 @@ struct ClientOptions {
   // per-request deadline in play. < 0 waits forever.
   int io_timeout_ms = 30000;
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Test seam: runs on every freshly connected descriptor before the
+  // HELLO goes out — the chaos harness installs per-fd fault injectors
+  // here (src/server/chaos_socket.h), so the handshake itself is under
+  // fault injection too.
+  std::function<void(int fd)> connect_hook;
 };
 
 class Client {
@@ -91,6 +97,26 @@ class Client {
   // Drains the server-side applier and checkpoints the table's WAL;
   // returns the durable sequence at the checkpoint.
   Result<uint64_t> Flush(const FlushRequest& request);
+
+  // Transport-aware variants for retry policies. The outer Result is
+  // non-OK ONLY for transport/protocol failures (the class where the
+  // mutation's fate is ambiguous and a resend with the same idempotency
+  // token is warranted); a server-side verdict — commit or typed
+  // rejection — arrives as an OK Result carrying MutateOutcome, and is
+  // final. Mutate/Flush above flatten the two layers for callers that
+  // don't retry.
+  struct MutateOutcome {
+    Status status;            // the server's verdict
+    uint64_t commit_seq = 0;  // valid when status is OK
+  };
+  Result<MutateOutcome> MutateCall(const MutateRequest& request);
+  Result<MutateOutcome> FlushCall(const FlushRequest& request);
+
+  // --- keepalive ---
+
+  // PING/PONG round trip; keeps an idle session from being reaped and
+  // doubles as a liveness probe. Send-and-wait like FetchStats.
+  Status Ping();
 
   // --- one-shot convenience ---
 

@@ -5,6 +5,7 @@
 
 #include "src/common/coding.h"
 #include "src/common/logging.h"
+#include "src/common/string_util.h"
 #include "src/server/wire_status.h"
 
 namespace avqdb::server {
@@ -31,7 +32,7 @@ Status Truncated(const char* what) {
 
 bool IsKnownOpcode(uint8_t opcode) {
   return opcode >= static_cast<uint8_t>(Opcode::kHello) &&
-         opcode <= static_cast<uint8_t>(Opcode::kFlush);
+         opcode <= static_cast<uint8_t>(Opcode::kPong);
 }
 
 FrameHeader DecodeFrameHeader(const uint8_t* src) {
@@ -538,6 +539,10 @@ std::string EncodeMutatePayload(const MutateRequest& request) {
   PutLengthPrefixed(&payload, Slice(request.table));
   PutFixed32(&payload, request.deadline_ms);
   payload.append(request.batch.EncodePayload());
+  if (request.has_token) {
+    payload.append(reinterpret_cast<const char*>(request.token.data()),
+                   request.token.size());
+  }
   return payload;
 }
 
@@ -551,9 +556,22 @@ Status ParseMutatePayload(Slice payload, MutateRequest* request) {
   if (payload.size() < 4) return Truncated("MUTATE");
   request->deadline_ms = DecodeFixed32(payload.data());
   payload.RemovePrefix(4);
-  // The batch codec consumes the rest and rejects trailing garbage; its
-  // Corruption verdict becomes the wire parse error.
-  AVQDB_ASSIGN_OR_RETURN(request->batch, WriteBatch::DecodePayload(payload));
+  // The batch codec consumes exactly the batch section (its Corruption
+  // verdict becomes the wire parse error); what remains is either
+  // nothing (tokenless, the original v1 encoding) or exactly one
+  // 16-byte idempotency token.
+  AVQDB_ASSIGN_OR_RETURN(request->batch, WriteBatch::DecodeFrom(&payload));
+  if (payload.empty()) {
+    request->has_token = false;
+  } else if (payload.size() == kMutationTokenBytes) {
+    request->has_token = true;
+    std::memcpy(request->token.data(), payload.data(), payload.size());
+  } else {
+    return Status::InvalidArgument(StringFormat(
+        "MUTATE trailer of %zu bytes is neither empty nor a %zu-byte "
+        "idempotency token",
+        payload.size(), kMutationTokenBytes));
+  }
   return Status::OK();
 }
 

@@ -69,6 +69,8 @@ enum class Opcode : uint8_t {
   kMutate = 10,      // client -> server: table + deadline + write batch
   kMutateOk = 11,    // server -> client: commit sequence of the batch
   kFlush = 12,       // client -> server: drain applier + checkpoint WAL
+  kPing = 13,        // client -> server: keepalive probe (empty payload)
+  kPong = 14,        // server -> client: keepalive answer (empty payload)
 };
 
 bool IsKnownOpcode(uint8_t opcode);
@@ -198,6 +200,13 @@ struct MutateRequest {
   // execution.
   uint32_t deadline_ms = 0;
   WriteBatch batch;
+  // Optional idempotency token (a 16-byte trailer after the batch
+  // section; absent = tokenless, byte-identical to the original v1
+  // encoding). With a token, a retried batch that already committed is
+  // answered with its original commit sequence instead of re-applying
+  // (docs/PROTOCOL.md, "Timeouts, retries & idempotency").
+  bool has_token = false;
+  MutationToken token{};
 };
 
 std::string EncodeMutatePayload(const MutateRequest& request);

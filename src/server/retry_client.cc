@@ -1,0 +1,180 @@
+#include "src/server/retry_client.h"
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/db/write_batch.h"
+
+namespace avqdb::server {
+
+namespace {
+
+uint64_t DeriveSeed(uint64_t requested) {
+  if (requested != 0) return requested;
+  std::random_device rd;
+  return (static_cast<uint64_t>(rd()) << 32) | rd();
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(std::string host, uint16_t port,
+                               RetryOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      rng_(DeriveSeed(options.jitter_seed)) {}
+
+bool RetryingClient::RetryableTransport(const Status& status) {
+  // NotFound is ReadFrame's clean-EOF verdict: the peer closed at a
+  // frame boundary, which for a client mid-call is just as ambiguous as
+  // a mid-frame cut. Server verdicts never travel as these codes — an
+  // ERROR frame parses fine and is captured by the caller, not here.
+  return status.IsUnavailable() || status.IsIOError() ||
+         status.IsDeadlineExceeded() || status.IsNotFound();
+}
+
+bool RetryingClient::BackoffBeforeAttempt(int attempt,
+                                          Clock::time_point deadline) {
+  uint64_t backoff = std::max<uint32_t>(options_.initial_backoff_ms, 1);
+  const uint64_t cap = std::max<uint32_t>(options_.max_backoff_ms, 1);
+  for (int i = 1; i < attempt && backoff < cap; ++i) backoff <<= 1;
+  backoff = std::min(backoff, cap);
+  uint64_t sleep_ms = backoff / 2 + rng_.Uniform(backoff / 2 + 1);
+  if (deadline != Clock::time_point::max()) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now())
+            .count();
+    if (remaining <= 0) return false;
+    sleep_ms = std::min<uint64_t>(sleep_ms, static_cast<uint64_t>(remaining));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  return true;
+}
+
+Status RetryingClient::EnsureConnected() {
+  if (client_ != nullptr) return Status::OK();
+  Result<std::unique_ptr<Client>> connected =
+      Client::Connect(host_, port_, options_.client);
+  if (!connected.ok()) return connected.status();
+  client_ = std::move(*connected);
+  return Status::OK();
+}
+
+Status RetryingClient::RunAttempts(
+    const std::function<Status(Client&)>& call) {
+  const auto deadline =
+      options_.overall_deadline_ms > 0
+          ? Clock::now() +
+                std::chrono::milliseconds(options_.overall_deadline_ms)
+          : Clock::time_point::max();
+  const int attempts = std::max(options_.max_attempts, 1);
+  Status last = Status::Unavailable("no attempt was made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      if (!BackoffBeforeAttempt(attempt, deadline)) {
+        return Status::DeadlineExceeded(StringFormat(
+            "retry budget exhausted after %d attempt(s): %s", attempt,
+            last.ToString().c_str()));
+      }
+    }
+    Status conn = EnsureConnected();
+    if (!conn.ok()) {
+      last = conn;
+      // A session-cap rejection (ResourceExhausted) surfaces during
+      // connect and is worth retrying — the cap frees up as sessions
+      // finish. Hard connect errors (bad address, EACCES) are final.
+      if (!RetryableTransport(conn) && !conn.IsResourceExhausted()) {
+        return conn;
+      }
+      continue;
+    }
+    last = call(*client_);
+    if (last.ok()) return last;
+    if (!RetryableTransport(last)) return last;
+    // Ambiguous transport failure: the request may or may not have been
+    // processed. Drop the connection and resend on a fresh one — for
+    // mutations the idempotency token makes the resend safe.
+    client_.reset();
+  }
+  return last;
+}
+
+Status RetryingClient::Connect() {
+  return RunAttempts([](Client&) { return Status::OK(); });
+}
+
+Result<Client::QueryResponse> RetryingClient::QueryCall(
+    const QueryRequest& request) {
+  Client::QueryResponse response;
+  Status transport = RunAttempts([&](Client& client) -> Status {
+    const uint64_t id = next_request_id_++;
+    AVQDB_RETURN_IF_ERROR(client.SendQuery(id, request));
+    Result<Client::QueryResponse> read = client.ReadResponse();
+    if (!read.ok()) return read.status();
+    if (read->request_id != id) {
+      return Status::InvalidArgument(StringFormat(
+          "response id %llu for request %llu",
+          static_cast<unsigned long long>(read->request_id),
+          static_cast<unsigned long long>(id)));
+    }
+    response = std::move(*read);
+    return Status::OK();
+  });
+  if (!transport.ok()) return transport;
+  return response;
+}
+
+Result<std::vector<OrdinalTuple>> RetryingClient::Query(
+    const QueryRequest& request) {
+  AVQDB_ASSIGN_OR_RETURN(Client::QueryResponse response, QueryCall(request));
+  if (!response.status.ok()) return response.status;  // server verdict
+  return std::move(response.tuples);
+}
+
+Result<uint64_t> RetryingClient::Mutate(MutateRequest request) {
+  if (!request.has_token) {
+    request.has_token = true;
+    request.token = GenerateMutationToken();
+  }
+  Client::MutateOutcome outcome;
+  Status transport = RunAttempts([&](Client& client) -> Status {
+    Result<Client::MutateOutcome> call = client.MutateCall(request);
+    if (!call.ok()) return call.status();
+    outcome = std::move(*call);
+    return Status::OK();
+  });
+  if (!transport.ok()) return transport;
+  if (!outcome.status.ok()) return outcome.status;  // server verdict
+  return outcome.commit_seq;
+}
+
+Result<uint64_t> RetryingClient::Flush(const FlushRequest& request) {
+  Client::MutateOutcome outcome;
+  Status transport = RunAttempts([&](Client& client) -> Status {
+    Result<Client::MutateOutcome> call = client.FlushCall(request);
+    if (!call.ok()) return call.status();
+    outcome = std::move(*call);
+    return Status::OK();
+  });
+  if (!transport.ok()) return transport;
+  if (!outcome.status.ok()) return outcome.status;
+  return outcome.commit_seq;
+}
+
+Status RetryingClient::Ping() {
+  return RunAttempts([](Client& client) { return client.Ping(); });
+}
+
+void RetryingClient::Goodbye() {
+  if (client_ != nullptr) {
+    client_->SendGoodbye();
+    client_.reset();
+  }
+}
+
+}  // namespace avqdb::server

@@ -1,0 +1,127 @@
+// RetryingClient: the fault-tolerant layer over Client.
+//
+// One policy governs connect, handshake and in-flight resend: every
+// call runs under a bounded number of attempts and one overall
+// deadline, with exponential backoff + jitter between attempts and an
+// automatic reconnect/re-handshake after any transport failure.
+//
+// Mutations are exactly-once: the first attempt stamps the batch with a
+// fresh idempotency token and every resend carries the SAME token, so a
+// MUTATE whose MUTATE_OK was lost to the network is answered by the
+// server's dedup window with the original commit sequence instead of
+// being applied twice (docs/PROTOCOL.md, "Timeouts, retries &
+// idempotency").
+//
+// What retries: the ambiguous transport class (Unavailable, IOError,
+// DeadlineExceeded, clean EOF) plus a session-cap rejection during
+// connect. What doesn't: server verdicts — validation conflicts,
+// parse errors, budget rejections — are final and surface immediately.
+//
+// Single-threaded by contract, like Client.
+
+#ifndef AVQDB_SERVER_RETRY_CLIENT_H_
+#define AVQDB_SERVER_RETRY_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+
+namespace avqdb::server {
+
+struct RetryOptions {
+  // Total attempts per call (first try included); at least 1.
+  int max_attempts = 5;
+  // Backoff before attempt k is min(initial << (k-1), max), jittered
+  // uniformly into [backoff/2, backoff] so retry storms decorrelate.
+  uint32_t initial_backoff_ms = 10;
+  uint32_t max_backoff_ms = 1000;
+  // One budget over everything a call does — connect, handshake,
+  // backoff sleeps, resends. <= 0 means no overall deadline (the
+  // per-frame io_timeout_ms still bounds each read).
+  int64_t overall_deadline_ms = 30000;
+  // Jitter seed; 0 derives one from the system entropy source.
+  uint64_t jitter_seed = 0;
+  // Transport options for each underlying connection (io timeout, frame
+  // bound, chaos connect_hook).
+  ClientOptions client;
+};
+
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, uint16_t port,
+                 RetryOptions options = RetryOptions{});
+
+  RetryingClient(const RetryingClient&) = delete;
+  RetryingClient& operator=(const RetryingClient&) = delete;
+
+  // Ensures a live handshaked session (with retries). Calls below
+  // connect lazily, so this is optional — an eager liveness check.
+  Status Connect();
+
+  // Retried one-shot query; server verdicts (including per-request
+  // deadline/shed) return as the status without a retry.
+  Result<std::vector<OrdinalTuple>> Query(const QueryRequest& request);
+
+  // Retried query returning the full response (chunk count, trace). The
+  // two-layer convention of Client::ReadResponse applies: the outer
+  // Result is non-OK only for transport exhaustion; a server verdict
+  // rides an OK Result in response.status.
+  Result<Client::QueryResponse> QueryCall(const QueryRequest& request);
+
+  // Exactly-once mutation: stamps an idempotency token on the first
+  // attempt (unless the caller provided one) and resends the identical
+  // frame across reconnects. OK returns the commit sequence — original,
+  // not re-applied, when a retry hit the server's dedup window.
+  Result<uint64_t> Mutate(MutateRequest request);
+
+  // Retried checkpoint (FLUSH is idempotent by construction).
+  Result<uint64_t> Flush(const FlushRequest& request);
+
+  // Retried keepalive round trip.
+  Status Ping();
+
+  // Best-effort GOODBYE on the current connection (no retries — a
+  // vanished peer needs no farewell). Drops the connection.
+  void Goodbye();
+
+  // Attempts beyond the first across all calls so far (observability
+  // for the soak harness).
+  uint64_t retries() const { return retries_; }
+
+  // The live underlying client, or null when disconnected.
+  Client* client() const { return client_.get(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Runs `call` under the retry policy. `call` must return non-OK ONLY
+  // for transport failures; server verdicts are captured by the caller
+  // and returned as OK.
+  Status RunAttempts(const std::function<Status(Client&)>& call);
+  Status EnsureConnected();
+  // Sleeps the jittered backoff for `attempt` (>= 1), clamped to the
+  // deadline budget; false when the budget is already spent.
+  bool BackoffBeforeAttempt(int attempt, Clock::time_point deadline);
+  static bool RetryableTransport(const Status& status);
+
+  const std::string host_;
+  const uint16_t port_;
+  const RetryOptions options_;
+  Random rng_;
+  std::unique_ptr<Client> client_;
+  uint64_t next_request_id_ = 1;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace avqdb::server
+
+#endif  // AVQDB_SERVER_RETRY_CLIENT_H_

@@ -39,6 +39,12 @@ struct ServerMetrics {
   obs::Histogram* request_exec_us;
   obs::Histogram* request_send_us;
   obs::Counter* stats_requests;
+  obs::Counter* sessions_accepted;
+  obs::Counter* sessions_rejected_at_cap;
+  obs::Counter* sessions_idle_reaped;
+  obs::Counter* session_handshake_timeouts;
+  obs::Counter* session_keepalives;
+  obs::Counter* session_budget_rejections;
 
   static ServerMetrics& Get() {
     static ServerMetrics metrics = [] {
@@ -59,6 +65,12 @@ struct ServerMetrics {
           registry.GetHistogram(obs::kServerRequestExecMicros),
           registry.GetHistogram(obs::kServerRequestSendMicros),
           registry.GetCounter(obs::kServerStatsRequests),
+          registry.GetCounter(obs::kServerSessionsAccepted),
+          registry.GetCounter(obs::kServerSessionsRejectedAtCap),
+          registry.GetCounter(obs::kServerSessionsIdleReaped),
+          registry.GetCounter(obs::kServerSessionHandshakeTimeouts),
+          registry.GetCounter(obs::kServerSessionKeepalives),
+          registry.GetCounter(obs::kServerSessionBudgetRejections),
       };
     }();
     return metrics;
@@ -147,14 +159,52 @@ class Session : public std::enable_shared_from_this<Session> {
     ExecContext ctx;  // deadline set at parse time; token cancellable
     ExecContext::Clock::time_point arrival;
     uint64_t arrival_unix_us = 0;  // wall clock, for journal records
+    size_t wire_bytes = 0;  // frame size on the wire, for byte budgets
   };
 
   void ReaderLoop() {
     auto& metrics = ServerMetrics::Get();
     while (!abort_.load(std::memory_order_relaxed)) {
-      Result<Frame> frame =
-          ReadFrame(fd_, server_->options().max_frame_bytes,
-                    /*timeout_ms=*/-1, &abort_);
+      // The lifecycle budget applies to waiting for a frame's FIRST
+      // byte: handshake deadline before HELLO, idle timeout after.
+      // Splitting the wait from the read keeps a timeout from firing
+      // mid-frame and misaligning the byte stream.
+      const uint32_t budget_ms = !hello_done_
+                                     ? server_->options().handshake_timeout_ms
+                                     : server_->options().idle_timeout_ms;
+      const int wait_ms = budget_ms > 0 ? static_cast<int>(budget_ms) : -1;
+      Result<bool> readable = WaitReadable(fd_, wait_ms, &abort_);
+      if (!readable.ok()) {
+        if (!readable.status().IsCancelled()) {
+          OnPeerGone(/*graceful=*/false);
+        }
+        break;
+      }
+      if (!*readable) {
+        if (!hello_done_) {
+          metrics.session_handshake_timeouts->Increment();
+          SendError(0, Status::DeadlineExceeded("handshake timeout"));
+          OnPeerGone(/*graceful=*/false);
+          break;
+        }
+        bool busy;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          busy = pending_ > 0;
+        }
+        // A session with requests queued or executing is waiting on us,
+        // not the other way round — never reap it as idle.
+        if (busy) continue;
+        metrics.sessions_idle_reaped->Increment();
+        SendError(0, Status::DeadlineExceeded("idle session timeout"));
+        OnPeerGone(/*graceful=*/false);
+        break;
+      }
+      // Once bytes are moving, the same budget bounds the whole frame
+      // transfer — a peer trickling a frame byte-by-byte (slowloris)
+      // hits DeadlineExceeded below, which is terminal.
+      Result<Frame> frame = ReadFrame(
+          fd_, server_->options().max_frame_bytes, wait_ms, &abort_);
       if (!frame.ok()) {
         const Status& status = frame.status();
         if (status.IsNotFound()) {
@@ -164,11 +214,13 @@ class Session : public std::enable_shared_from_this<Session> {
         } else if (status.IsCancelled()) {
           // Abort() already cancelled everything.
         } else {
-          // Truncated/oversized frame or socket error: answer when the
-          // failure is structural (the peer may still be reading), then
-          // drop the connection.
+          // Truncated/oversized frame, stalled mid-frame transfer, or
+          // socket error: answer when the failure is structural (the
+          // peer may still be reading), then drop the connection.
           metrics.protocol_errors->Increment();
-          if (status.IsInvalidArgument()) SendError(0, status);
+          if (status.IsInvalidArgument() || status.IsDeadlineExceeded()) {
+            SendError(0, status);
+          }
           OnPeerGone(/*graceful=*/false);
         }
         break;
@@ -214,6 +266,16 @@ class Session : public std::enable_shared_from_this<Session> {
         return HandleMutate(frame);
       case Opcode::kFlush:
         return HandleFlush(frame);
+      case Opcode::kPing:
+        if (!frame.payload.empty()) {
+          metrics.protocol_errors->Increment();
+          SendError(frame.request_id,
+                    Status::InvalidArgument("PING carries no payload"));
+          return false;
+        }
+        metrics.session_keepalives->Increment();
+        SendFrame(Opcode::kPong, frame.request_id, std::string());
+        return true;
       case Opcode::kGoodbye:
         AVQDB_LOG_DEBUG("[sid %llu rid %llu] GOODBYE",
                         static_cast<unsigned long long>(session_id_),
@@ -288,7 +350,8 @@ class Session : public std::enable_shared_from_this<Session> {
           request.arrival +
           std::chrono::milliseconds(request.wire.deadline_ms));
     }
-    Enqueue(std::move(request));
+    request.wire_bytes = kFrameHeaderBytes + frame.payload.size();
+    if (!Enqueue(std::move(request))) RejectOverBudget(frame.request_id);
     return true;
   }
 
@@ -315,7 +378,8 @@ class Session : public std::enable_shared_from_this<Session> {
                     request.stats_sections);
     request.arrival = ExecContext::Clock::now();
     request.arrival_unix_us = WallClockMicros();
-    Enqueue(std::move(request));
+    request.wire_bytes = kFrameHeaderBytes + frame.payload.size();
+    if (!Enqueue(std::move(request))) RejectOverBudget(frame.request_id);
     return true;
   }
 
@@ -349,7 +413,8 @@ class Session : public std::enable_shared_from_this<Session> {
           request.arrival +
           std::chrono::milliseconds(request.mutate.deadline_ms));
     }
-    Enqueue(std::move(request));
+    request.wire_bytes = kFrameHeaderBytes + frame.payload.size();
+    if (!Enqueue(std::move(request))) RejectOverBudget(frame.request_id);
     return true;
   }
 
@@ -385,14 +450,40 @@ class Session : public std::enable_shared_from_this<Session> {
           request.arrival +
           std::chrono::milliseconds(request.mutate.deadline_ms));
     }
-    Enqueue(std::move(request));
+    request.wire_bytes = kFrameHeaderBytes + frame.payload.size();
+    if (!Enqueue(std::move(request))) RejectOverBudget(frame.request_id);
     return true;
   }
 
-  void Enqueue(PendingRequest request) {
+  // Typed rejection for a request over the session's pipeline budgets.
+  // Sent from the reader thread, so it may overtake responses to
+  // earlier requests (documented in docs/PROTOCOL.md); the session
+  // itself stays up.
+  void RejectOverBudget(uint64_t request_id) {
+    auto& metrics = ServerMetrics::Get();
+    metrics.session_budget_rejections->Increment();
+    metrics.requests_errors->Increment();
+    metrics.requests_shed->Increment();
+    SendError(request_id,
+              Status::ResourceExhausted("session pipeline budget exceeded"));
+  }
+
+  // False when the request would push the session past its pipeline
+  // budgets (the caller answers with a typed rejection; the session
+  // stays up). A request arriving at an empty pipeline is always
+  // admitted so progress is never wedged by the byte bound alone.
+  bool Enqueue(PendingRequest request) {
     bool schedule = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      const ServerOptions& options = server_->options();
+      const bool over_frames = options.max_pending_frames > 0 &&
+                               pending_ >= options.max_pending_frames;
+      const bool over_bytes =
+          options.max_pending_bytes > 0 && pending_ > 0 &&
+          pending_bytes_ + request.wire_bytes > options.max_pending_bytes;
+      if (over_frames || over_bytes) return false;
+      pending_bytes_ += request.wire_bytes;
       queue_.push_back(std::move(request));
       ++pending_;
       if (!strand_running_) {
@@ -404,6 +495,7 @@ class Session : public std::enable_shared_from_this<Session> {
       auto self = shared_from_this();
       server_->workers_->Submit([self] { self->StrandLoop(); });
     }
+    return true;
   }
 
   // Runs this session's requests in arrival order until the queue is
@@ -432,6 +524,7 @@ class Session : public std::enable_shared_from_this<Session> {
         std::lock_guard<std::mutex> lock(mu_);
         current_.reset();
         --pending_;
+        pending_bytes_ -= request.wire_bytes;
       }
     }
   }
@@ -535,8 +628,9 @@ class Session : public std::enable_shared_from_this<Session> {
       status = (*ingest)->Flush(&request.ctx);
       if (status.ok()) commit_seq = (*ingest)->durable_seq();
     } else {
-      status = (*ingest)->Write(std::move(request.mutate.batch),
-                                &request.ctx, &commit_seq);
+      status = (*ingest)->Write(
+          std::move(request.mutate.batch), &request.ctx, &commit_seq,
+          request.mutate.has_token ? &request.mutate.token : nullptr);
     }
     const auto exec_end = ExecContext::Clock::now();
     metrics.request_exec_us->Record(ElapsedMicros(exec_start, exec_end));
@@ -657,6 +751,7 @@ class Session : public std::enable_shared_from_this<Session> {
   std::deque<PendingRequest> queue_;
   std::optional<ExecContext> current_;  // ctx of the executing request
   size_t pending_ = 0;                  // queued + executing
+  size_t pending_bytes_ = 0;            // wire bytes of queued + executing
   bool strand_running_ = false;
   bool reader_done_ = false;
   bool disconnect_handled_ = false;
@@ -706,7 +801,24 @@ void Server::AcceptLoop() {
       CloseFd(fd);
       continue;
     }
+    if (options_.accept_hook) options_.accept_hook(fd);
+    if (options_.max_sessions > 0 &&
+        active_sessions() >= options_.max_sessions) {
+      // Over the cap: answer with one typed ERROR frame instead of
+      // silently accepting a session that would never be served, then
+      // close. The peer's pending HELLO is never read — the rejection
+      // reaches it first.
+      metrics.sessions_rejected_at_cap->Increment();
+      const std::string frame = EncodeFrame(
+          Opcode::kError, 0,
+          Slice(EncodeErrorPayload(
+              Status::ResourceExhausted("session limit reached"))));
+      SendAll(fd, frame.data(), frame.size());
+      CloseFd(fd);
+      continue;
+    }
     metrics.connections_accepted->Increment();
+    metrics.sessions_accepted->Increment();
     std::shared_ptr<Session> session;
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);

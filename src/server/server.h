@@ -27,6 +27,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,6 +57,29 @@ struct ServerOptions {
   // Tuples per RESULT_CHUNK frame.
   size_t chunk_tuples = 512;
   std::string banner = "avqdb";
+  // Milliseconds a fresh connection gets to complete HELLO (and to move
+  // each pre-handshake frame's bytes) before it is reaped with a typed
+  // DeadlineExceeded ERROR. 0 = no deadline.
+  uint32_t handshake_timeout_ms = 0;
+  // Milliseconds a session may sit with no inbound bytes and no
+  // requests in flight before it is reaped (0 = never). A session with
+  // work queued or executing is never considered idle; clients on a
+  // quiet line keep a session alive with PING.
+  uint32_t idle_timeout_ms = 0;
+  // Live-session cap. Connections beyond it are answered with one typed
+  // ERROR frame (ResourceExhausted, request id 0) and closed instead of
+  // being silently accepted and starved. 0 = unlimited.
+  size_t max_sessions = 0;
+  // Per-session pipeline budgets (slowloris defense): a request that
+  // would push the session past either bound is answered with ERROR
+  // ResourceExhausted — possibly ahead of earlier responses — while the
+  // session itself stays up. 0 = unbounded.
+  size_t max_pending_frames = 0;
+  size_t max_pending_bytes = 0;
+  // Test seam: runs on the accept thread for every accepted descriptor
+  // before any I/O on it — the chaos harness installs per-fd fault
+  // injectors here (src/server/chaos_socket.h).
+  std::function<void(int fd)> accept_hook;
 };
 
 class Server {

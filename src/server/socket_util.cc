@@ -12,8 +12,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/common/string_util.h"
+#include "src/server/chaos_socket.h"
 
 namespace avqdb::server {
 
@@ -21,6 +23,25 @@ namespace {
 
 // Poll slice between abort-flag checks.
 constexpr int kPollSliceMs = 50;
+
+// Applies an installed chaos injector's verdict to one I/O step:
+// returns the (possibly clamped) byte count to attempt, after any
+// injected delay, or 0 when the schedule cuts the connection (the
+// socket is shut down both ways so the peer observes the cut too).
+size_t ApplyChaos(int fd, size_t want, bool is_send) {
+  std::shared_ptr<SocketFaultInjector> injector = SocketFaultFor(fd);
+  if (injector == nullptr) return want;
+  const ChaosDecision decision =
+      is_send ? injector->OnSend(want) : injector->OnRecv(want);
+  if (decision.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(decision.delay_ms));
+  }
+  if (decision.reset) {
+    ::shutdown(fd, SHUT_RDWR);
+    return 0;
+  }
+  return std::clamp<size_t>(decision.max_bytes, 1, want);
+}
 
 Status Errno(const char* what) {
   return Status::IOError(
@@ -102,13 +123,47 @@ Result<int> ConnectTo(const std::string& host, uint16_t port) {
 }
 
 void CloseFd(int fd) {
-  if (fd >= 0) ::close(fd);
+  if (fd >= 0) {
+    RemoveSocketFault(fd);
+    ::close(fd);
+  }
+}
+
+Result<bool> WaitReadable(int fd, int timeout_ms,
+                          const std::atomic<bool>* abort) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      timeout_ms >= 0
+          ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+          : Clock::time_point::max();
+  while (true) {
+    if (abort != nullptr && abort->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("socket wait aborted");
+    }
+    int slice = kPollSliceMs;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0) return false;
+      slice = static_cast<int>(std::min<long long>(left, kPollSliceMs));
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, slice);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready > 0) return true;
+  }
 }
 
 Status SendAll(int fd, const void* data, size_t n) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   while (n > 0) {
-    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    const size_t want = ApplyChaos(fd, n, /*is_send=*/true);
+    if (want == 0) return Status::IOError("injected connection reset");
+    const ssize_t sent = ::send(fd, p, want, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
       return Errno("send");
@@ -148,7 +203,9 @@ Result<size_t> RecvExact(int fd, void* data, size_t n, int timeout_ms,
       return Errno("poll");
     }
     if (ready == 0) continue;  // slice elapsed; re-check abort/deadline
-    const ssize_t got = ::recv(fd, p + done, n - done, 0);
+    const size_t want = ApplyChaos(fd, n - done, /*is_send=*/false);
+    if (want == 0) return Status::IOError("injected connection reset");
+    const ssize_t got = ::recv(fd, p + done, want, 0);
     if (got < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
         continue;
@@ -168,7 +225,8 @@ Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes, int timeout_ms,
       size_t got, RecvExact(fd, header, sizeof(header), timeout_ms, abort));
   if (got == 0) return Status::NotFound("peer closed the connection");
   if (got < sizeof(header)) {
-    return Status::InvalidArgument("truncated frame header");
+    return Status::IOError(
+        "connection closed mid-frame: truncated frame header");
   }
   const FrameHeader parsed = DecodeFrameHeader(header);
   if (parsed.payload_length > max_frame_bytes) {
@@ -185,7 +243,8 @@ Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes, int timeout_ms,
         got, RecvExact(fd, frame.payload.data(), frame.payload.size(),
                        timeout_ms, abort));
     if (got < frame.payload.size()) {
-      return Status::InvalidArgument("truncated frame payload");
+      return Status::IOError(
+          "connection closed mid-frame: truncated frame payload");
     }
   }
   return frame;

@@ -36,7 +36,15 @@ Result<int> ConnectTo(const std::string& host, uint16_t port);
 // a RESULT_END behind a delayed ACK costs tens of milliseconds.
 void SetNoDelay(int fd);
 
+// Closes the descriptor and drops any chaos injector installed on it
+// (src/server/chaos_socket.h) so a recycled fd never inherits faults.
 void CloseFd(int fd);
+
+// Polls until `fd` is readable (data or EOF — the caller's next read
+// tells which), the timeout elapses (returns false), or the abort flag
+// trips (Cancelled). timeout_ms < 0 waits forever. `abort` may be null.
+Result<bool> WaitReadable(int fd, int timeout_ms,
+                          const std::atomic<bool>* abort);
 
 // Writes all n bytes. IOError on any failure (including a peer that
 // went away: EPIPE/ECONNRESET — delivered as a status, not a signal).
@@ -53,11 +61,14 @@ Result<size_t> RecvExact(int fd, void* data, size_t n, int timeout_ms,
 // Reads one whole frame (header + payload), enforcing the length bound
 // *before* sizing any buffer from the wire. Status taxonomy:
 //   * NotFound          — clean EOF at a frame boundary (peer closed);
-//   * InvalidArgument   — truncated header/payload, or payload length
-//                         beyond max_frame_bytes (message says which);
+//   * InvalidArgument   — payload length beyond max_frame_bytes;
+//   * IOError           — socket failure, or the peer vanished
+//                         mid-frame (truncated header/payload). Both
+//                         leave the outcome of any in-flight request
+//                         ambiguous, which is what makes them the
+//                         retryable class for clients;
 //   * DeadlineExceeded  — timeout_ms elapsed (timeout_ms < 0 = none);
-//   * Cancelled         — *abort became true;
-//   * IOError           — socket failure.
+//   * Cancelled         — *abort became true.
 // The opcode byte is NOT validated here — the caller decides how to
 // answer unknown opcodes.
 Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes, int timeout_ms,

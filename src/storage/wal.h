@@ -10,6 +10,10 @@
 // generation (before a checkpoint truncate) are never replayed. The
 // record stream is the concatenation of page payloads; records are framed
 // [masked crc32c | length | commit_seq | payload] and may span pages.
+// The payload is opaque to the log. WriteAheadTable stores
+// [encoded WriteBatch][16-byte idempotency token?] — the same layout as
+// a MUTATE frame's batch section, byte for byte — so retried mutations
+// stay recognizable across a crash (docs/PROTOCOL.md).
 //
 // Torn tails: replay stops cleanly at the first all-zero frame header,
 // and treats any other framing violation (CRC mismatch, impossible

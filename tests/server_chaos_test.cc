@@ -1,0 +1,527 @@
+// Network-fault soak + session lifecycle suite (ctest label: chaos).
+//
+// The soak drives one live server through hundreds of seeded fault
+// schedules (FaultInjectionSocket on the client side, and on the
+// server's accepted sockets for a third of the schedules) while a
+// RetryingClient runs a mixed query+mutation workload with retries on.
+// Invariants after every schedule and at the end:
+//   - no acknowledged mutation is ever lost,
+//   - no batch is ever applied twice (retried MUTATEs dedup by token),
+//   - an ambiguous outcome (retry budget exhausted mid-command) is
+//     resolved by replaying the SAME token on a clean connection, which
+//     must return the original commit sequence if the batch committed,
+//   - the server still serves a clean connection after every schedule.
+// The final state is checked the ingest_snapshot_test way: the acked
+// ops folded in commit-sequence order must equal a SnapshotScan.
+//
+// Seeds rotate like the crash loop's: AVQDB_CHAOS_SEED overrides the
+// base (tools/chaos_loop.sh), AVQDB_CHAOS_SCHEDULES overrides the
+// schedule count (the sanitizer wrapper runs fewer, slower schedules).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/db/write_ahead_table.h"
+#include "src/db/write_batch.h"
+#include "src/obs/metric_names.h"
+#include "src/server/chaos_socket.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/retry_client.h"
+#include "tests/server_test_util.h"
+
+namespace avqdb::server {
+namespace {
+
+using avqdb::server::testing::CounterValue;
+using avqdb::server::testing::RangeOn;
+using avqdb::server::testing::RawConn;
+using avqdb::server::testing::ServerFixture;
+
+struct TupleLess {
+  bool operator()(const OrdinalTuple& a, const OrdinalTuple& b) const {
+    return CompareTuples(a, b) < 0;
+  }
+};
+using TupleSet = std::set<OrdinalTuple, TupleLess>;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+// Fixture domains are {8, 16, 64, 64, 64}; the counter walks the tuple
+// space deterministically so every insert targets a never-seen tuple.
+OrdinalTuple TupleFromCounter(uint64_t c) {
+  return OrdinalTuple{c % 8, (c / 8) % 16, (c / 128) % 64, (c / 8192) % 64,
+                      (c / 524288) % 64};
+}
+
+OrdinalTuple NextFreshTuple(uint64_t* counter, const TupleSet& seen) {
+  while (true) {
+    OrdinalTuple t = TupleFromCounter((*counter)++);
+    if (!seen.contains(t)) return t;
+  }
+}
+
+// Deterministic idempotency token (the soak must replay exactly from
+// one seed, so tokens can't come from the entropy source).
+MutationToken TokenFor(uint64_t hi, uint64_t lo) {
+  MutationToken token{};
+  std::memcpy(token.data(), &hi, sizeof(hi));
+  std::memcpy(token.data() + sizeof(hi), &lo, sizeof(lo));
+  return token;
+}
+
+// The ambiguous transport class a retry policy works on — anything else
+// coming back from a chaotic call is a server verdict and means the
+// exactly-once contract broke (e.g. AlreadyExists = double apply).
+bool IsTransportExhaustion(const Status& status) {
+  return status.IsUnavailable() || status.IsIOError() ||
+         status.IsDeadlineExceeded() || status.IsNotFound();
+}
+
+struct AckedOp {
+  uint64_t seq = 0;
+  bool is_delete = false;
+  OrdinalTuple tuple;
+};
+
+TEST(ServerChaos, SoakMixedWorkloadUnderFaultSchedules) {
+  const uint64_t base_seed = EnvOr("AVQDB_CHAOS_SEED", 0xC4A05EEDull);
+  const uint64_t schedules = EnvOr("AVQDB_CHAOS_SCHEDULES", 500);
+
+  // Server-side chaos: the accept hook installs a schedule on the
+  // accepted socket whenever this is nonzero. It is set only while the
+  // chaotic client of a schedule connects, so liveness checks and
+  // reconciliation always ride clean sessions.
+  std::atomic<uint64_t> server_seed{0};
+
+  testing::FixtureOptions options;
+  options.num_tuples = 500;
+  options.server.handshake_timeout_ms = 5000;  // never trips on 25ms stalls
+  options.server.accept_hook = [&server_seed](int fd) {
+    const uint64_t seed = server_seed.load();
+    if (seed != 0) {
+      InstallSocketFault(fd, std::make_shared<FaultInjectionSocket>(
+                                 ChaosScheduleOptions::FromSeed(seed)));
+    }
+  };
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.db().EnableWriteAhead("orders").ok());
+
+  // Clean liveness session, connected before any fault is armed.
+  auto clean = fixture.Connect();
+  ASSERT_NE(clean, nullptr);
+
+  TupleSet model(fixture.tuples().begin(), fixture.tuples().end());
+  TupleSet generated = model;  // everything ever handed to an insert
+  std::vector<AckedOp> acked;
+  std::set<uint64_t> acked_seqs;
+  std::vector<OrdinalTuple> deletable;  // committed inserts not yet deleted
+  uint64_t tuple_counter = 1;
+  uint64_t ambiguous = 0;
+
+  for (uint64_t i = 0; i < schedules; ++i) {
+    const uint64_t seed = base_seed + i * 7919;
+
+    // Every third schedule also faults the server's end of the socket.
+    if (i % 3 == 2) server_seed.store(seed ^ 0x5EEDF00Dull);
+
+    // Each (re)connect of this schedule gets a distinct sub-schedule, so
+    // a cut-heavy seed doesn't doom every retry attempt identically.
+    std::atomic<uint64_t> attempt{0};
+    RetryOptions retry_options;
+    retry_options.max_attempts = 6;
+    retry_options.initial_backoff_ms = 1;
+    retry_options.max_backoff_ms = 16;
+    retry_options.overall_deadline_ms = 15000;
+    retry_options.jitter_seed = seed;
+    retry_options.client.io_timeout_ms = 2000;
+    retry_options.client.connect_hook = [seed, &attempt](int fd) {
+      const uint64_t sub = seed + 0x9E3779B9ull * attempt.fetch_add(1);
+      InstallSocketFault(fd, std::make_shared<FaultInjectionSocket>(
+                                 ChaosScheduleOptions::FromSeed(sub)));
+    };
+    RetryingClient chaotic("127.0.0.1", fixture.port(), retry_options);
+
+    // Query leg: the state is fully resolved between schedules, so an
+    // answer that survives the faults must match the model exactly.
+    {
+      QueryRequest query;
+      query.table = "orders";
+      query.query = RangeOn(0, i % 8, i % 8);
+      auto rows = chaotic.Query(query);
+      if (rows.ok()) {
+        TupleSet expected;
+        for (const OrdinalTuple& t : model) {
+          if (t[0] == i % 8) expected.insert(t);
+        }
+        EXPECT_EQ(TupleSet(rows->begin(), rows->end()), expected)
+            << "schedule " << i << " (seed " << seed
+            << "): query result diverged from the committed state";
+      } else {
+        ASSERT_TRUE(IsTransportExhaustion(rows.status()))
+            << "schedule " << i << " (seed " << seed
+            << "): query failed with a non-transport verdict: "
+            << rows.status().ToString();
+      }
+    }
+
+    // Mutation leg: mostly fresh inserts, every third schedule deletes
+    // a previously committed insert instead.
+    MutateRequest request;
+    request.table = "orders";
+    request.has_token = true;
+    request.token = TokenFor(base_seed, i + 1);
+    bool is_delete = false;
+    OrdinalTuple target;
+    if (i % 3 == 1 && !deletable.empty()) {
+      is_delete = true;
+      target = deletable.front();
+      deletable.erase(deletable.begin());
+      request.batch.Delete(target);
+    } else {
+      target = NextFreshTuple(&tuple_counter, generated);
+      generated.insert(target);
+      request.batch.Insert(target);
+    }
+
+    auto seq = chaotic.Mutate(request);
+    if (!seq.ok()) {
+      // Ambiguous: the batch may or may not have committed. Replay the
+      // SAME token on a clean connection — the dedup window must answer
+      // with the original sequence if it did, or commit it now if not.
+      // Either way the op's fate becomes deterministic.
+      ASSERT_TRUE(IsTransportExhaustion(seq.status()))
+          << "schedule " << i << " (seed " << seed
+          << "): mutation failed with a non-transport verdict: "
+          << seq.status().ToString();
+      ++ambiguous;
+      server_seed.store(0);
+      auto reconcile = fixture.Connect();
+      ASSERT_NE(reconcile, nullptr);
+      auto replayed = reconcile->Mutate(request);
+      ASSERT_TRUE(replayed.ok())
+          << "schedule " << i << " (seed " << seed
+          << "): token replay on a clean connection failed: "
+          << replayed.status().ToString();
+      seq = replayed;
+    }
+    server_seed.store(0);
+
+    ASSERT_TRUE(acked_seqs.insert(*seq).second)
+        << "schedule " << i << " (seed " << seed << "): commit sequence "
+        << *seq << " was handed out twice";
+    acked.push_back(AckedOp{*seq, is_delete, target});
+    if (is_delete) {
+      ASSERT_EQ(model.erase(target), 1u);
+    } else {
+      ASSERT_TRUE(model.insert(target).second);
+      deletable.push_back(target);
+    }
+
+    // The server must keep serving clean sessions after every schedule.
+    Status alive = clean->Ping();
+    ASSERT_TRUE(alive.ok()) << "schedule " << i << " (seed " << seed
+                            << "): server unresponsive after the schedule: "
+                            << alive.ToString();
+
+    if ((i + 1) % 50 == 0) {
+      FlushRequest flush;
+      flush.table = "orders";
+      auto flushed = clean->Flush(flush);
+      ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+    }
+  }
+
+  // Exactly-once, end to end: fold the acked history in commit order
+  // over the seed data; a lost ack or double apply breaks the fold or
+  // the final comparison against a snapshot scan.
+  std::sort(acked.begin(), acked.end(),
+            [](const AckedOp& a, const AckedOp& b) { return a.seq < b.seq; });
+  TupleSet folded(fixture.tuples().begin(), fixture.tuples().end());
+  for (const AckedOp& op : acked) {
+    if (op.is_delete) {
+      ASSERT_EQ(folded.erase(op.tuple), 1u)
+          << "acked delete at seq " << op.seq << " had nothing to delete";
+    } else {
+      ASSERT_TRUE(folded.insert(op.tuple).second)
+          << "acked insert at seq " << op.seq << " was applied twice";
+    }
+  }
+  FlushRequest flush;
+  flush.table = "orders";
+  ASSERT_TRUE(clean->Flush(flush).ok());
+  auto ingest = fixture.db().GetIngest("orders");
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+  auto scanned = (*ingest)->SnapshotScan();
+  ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+  EXPECT_EQ(TupleSet(scanned->begin(), scanned->end()), folded)
+      << "final table state diverged from the acked history ("
+      << scanned->size() << " scanned vs " << folded.size() << " folded)";
+
+  // The workload must actually have exercised the ambiguous path and
+  // the dedup window on a full-size run (statistically certain with
+  // ~half the schedules cutting the connection).
+  if (schedules >= 200) {
+    EXPECT_GT(ambiguous, 0u) << "no schedule ever ended ambiguous — the "
+                                "fault schedules are not biting";
+  }
+}
+
+TEST(ServerChaos, RetriedMutationDedupsByTokenOverTheWire) {
+  testing::FixtureOptions options;
+  options.num_tuples = 500;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.db().EnableWriteAhead("orders").ok());
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  MutateRequest request;
+  request.table = "orders";
+  request.has_token = true;
+  request.token = TokenFor(0xABCDull, 0x1234ull);
+  uint64_t counter = 1;
+  TupleSet base(fixture.tuples().begin(), fixture.tuples().end());
+  request.batch.Insert(NextFreshTuple(&counter, base));
+
+  const uint64_t hits_before = CounterValue(obs::kWriteDedupHits);
+  auto first = client->Mutate(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // A byte-identical resend (same token) must answer with the original
+  // sequence — not AlreadyExists, not a new commit.
+  auto second = client->Mutate(request);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(*second, *first);
+  EXPECT_GE(CounterValue(obs::kWriteDedupHits), hits_before + 1);
+
+  // And from a different session too (a reconnecting retry).
+  auto other = fixture.Connect();
+  ASSERT_NE(other, nullptr);
+  auto third = other->Mutate(request);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ(*third, *first);
+}
+
+TEST(ServerChaos, IdleSessionIsReaped) {
+  testing::FixtureOptions options;
+  options.num_tuples = 200;
+  options.server.idle_timeout_ms = 100;
+  ServerFixture fixture(options);
+
+  const uint64_t reaped_before = CounterValue(obs::kServerSessionsIdleReaped);
+  auto conn = RawConn::Connect(fixture.port());
+  ASSERT_TRUE(conn.valid());
+  conn.Handshake();
+  // Send nothing: the server must reap the session with a typed ERROR
+  // and a close, within the timeout (plus slack for slow machines).
+  Status error = conn.ReadErrorFor(0);
+  EXPECT_TRUE(error.IsDeadlineExceeded()) << error.ToString();
+  EXPECT_TRUE(conn.ServerClosed());
+  EXPECT_GE(CounterValue(obs::kServerSessionsIdleReaped), reaped_before + 1);
+}
+
+TEST(ServerChaos, HandshakeStallIsReaped) {
+  testing::FixtureOptions options;
+  options.num_tuples = 200;
+  options.server.handshake_timeout_ms = 100;
+  ServerFixture fixture(options);
+
+  const uint64_t timeouts_before =
+      CounterValue(obs::kServerSessionHandshakeTimeouts);
+  auto conn = RawConn::Connect(fixture.port());
+  ASSERT_TRUE(conn.valid());
+  // No HELLO: a slowloris-style opener is cut loose at the deadline.
+  Status error = conn.ReadErrorFor(0);
+  EXPECT_TRUE(error.IsDeadlineExceeded()) << error.ToString();
+  EXPECT_TRUE(conn.ServerClosed());
+  EXPECT_GE(CounterValue(obs::kServerSessionHandshakeTimeouts),
+            timeouts_before + 1);
+}
+
+TEST(ServerChaos, PingKeepsAnIdleSessionAlive) {
+  testing::FixtureOptions options;
+  options.num_tuples = 200;
+  options.server.idle_timeout_ms = 1000;
+  ServerFixture fixture(options);
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+
+  const uint64_t keepalives_before =
+      CounterValue(obs::kServerSessionKeepalives);
+  // Pings spaced well inside the timeout, for longer than the timeout:
+  // the session must survive because each PING resets the idle clock.
+  for (int i = 0; i < 12; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    Status ping = client->Ping();
+    ASSERT_TRUE(ping.ok()) << "ping " << i << ": " << ping.ToString();
+  }
+  QueryRequest query;
+  query.table = "orders";
+  auto rows = client->Query(query);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GE(CounterValue(obs::kServerSessionKeepalives),
+            keepalives_before + 12);
+}
+
+TEST(ServerChaos, SessionCapRejectsWithTypedError) {
+  testing::FixtureOptions options;
+  options.num_tuples = 200;
+  options.server.max_sessions = 1;
+  ServerFixture fixture(options);
+
+  auto first = fixture.Connect();
+  ASSERT_NE(first, nullptr);
+
+  const uint64_t rejected_before =
+      CounterValue(obs::kServerSessionsRejectedAtCap);
+  auto second = Client::Connect("127.0.0.1", fixture.port());
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsResourceExhausted())
+      << second.status().ToString();
+  EXPECT_GE(CounterValue(obs::kServerSessionsRejectedAtCap),
+            rejected_before + 1);
+
+  // Capacity frees up when the first session ends (session teardown is
+  // asynchronous, so poll briefly).
+  first.reset();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  Result<std::unique_ptr<Client>> replacement = Status::Unavailable("never");
+  while (std::chrono::steady_clock::now() < deadline) {
+    replacement = Client::Connect("127.0.0.1", fixture.port());
+    if (replacement.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(replacement.ok()) << replacement.status().ToString();
+}
+
+TEST(ServerChaos, PipelineFrameBudgetRejectsExcessButKeepsSession) {
+  testing::FixtureOptions options;
+  options.num_tuples = 200;
+  options.server.max_pending_frames = 2;
+  ServerFixture fixture(options);
+  // auto_apply off with a one-batch unapplied window: the first MUTATE
+  // commits and fills the window, the second blocks in backpressure
+  // until its deadline — wedging the strand so pipelined frames pile up
+  // against the budget deterministically.
+  WriteAheadTableOptions ingest;
+  ingest.auto_apply = false;
+  ingest.max_unapplied_batches = 1;
+  ASSERT_TRUE(fixture.db().EnableWriteAhead("orders", ingest).ok());
+
+  uint64_t counter = 1;
+  TupleSet base(fixture.tuples().begin(), fixture.tuples().end());
+  auto mutate_payload = [&](uint32_t deadline_ms) {
+    MutateRequest request;
+    request.table = "orders";
+    request.deadline_ms = deadline_ms;
+    OrdinalTuple t = NextFreshTuple(&counter, base);
+    base.insert(t);
+    request.batch.Insert(t);
+    return EncodeMutatePayload(request);
+  };
+
+  auto conn = RawConn::Connect(fixture.port());
+  ASSERT_TRUE(conn.valid());
+  conn.Handshake();
+
+  conn.SendFrame(Opcode::kMutate, 1, mutate_payload(0));
+  auto ok1 = conn.ReadOneFrame();
+  ASSERT_TRUE(ok1.ok()) << ok1.status().ToString();
+  EXPECT_EQ(ok1->opcode, Opcode::kMutateOk);
+
+  const uint64_t rejected_before =
+      CounterValue(obs::kServerSessionBudgetRejections);
+  // #2 executes (blocked in backpressure) and later frames pile up
+  // against the budget of 2. One timing freedom remains: #1's budget
+  // slot is released just *after* its MUTATE_OK was sent, so at the
+  // moment #2..#5 arrive at most one stale slot may still be held. #2
+  // is therefore always admitted, and of #3..#5 either the last two or
+  // all three are rejected (the stale slot can also free between
+  // rejections, letting #4 in while #3 and #5 bounce) — but never fewer
+  // than two, and rejections must not kill the session or the admitted
+  // requests.
+  conn.SendFrame(Opcode::kMutate, 2, mutate_payload(500));
+  conn.SendFrame(Opcode::kMutate, 3, mutate_payload(500));
+  conn.SendFrame(Opcode::kMutate, 4, mutate_payload(500));
+  conn.SendFrame(Opcode::kMutate, 5, mutate_payload(500));
+
+  int budget_rejections = 0;
+  int backpressure_failures = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto reply = conn.ReadOneFrame();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply->opcode, Opcode::kError);
+    ASSERT_GE(reply->request_id, 2u);
+    ASSERT_LE(reply->request_id, 5u);
+    Status carried = Status::OK();
+    ASSERT_TRUE(ParseErrorPayload(Slice(reply->payload), &carried).ok());
+    if (carried.IsResourceExhausted()) {
+      EXPECT_GE(reply->request_id, 3u) << reply->request_id;
+      ++budget_rejections;
+    } else {
+      EXPECT_TRUE(carried.IsDeadlineExceeded()) << carried.ToString();
+      ++backpressure_failures;
+    }
+  }
+  EXPECT_GE(budget_rejections, 2);
+  EXPECT_LE(budget_rejections, 3);
+  EXPECT_EQ(backpressure_failures, 4 - budget_rejections);
+  EXPECT_GE(CounterValue(obs::kServerSessionBudgetRejections),
+            rejected_before + static_cast<uint64_t>(budget_rejections));
+
+  // The session survived the rejections: keepalive still answers.
+  conn.SendFrame(Opcode::kPing, 6, "");
+  auto pong = conn.ReadOneFrame();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->opcode, Opcode::kPong);
+  EXPECT_EQ(pong->request_id, 6u);
+}
+
+TEST(ServerChaos, ServerSurvivesHandshakesCutMidFrame) {
+  testing::FixtureOptions options;
+  options.num_tuples = 200;
+  ServerFixture fixture(options);
+
+  // A burst of connections whose client side dies at every possible
+  // early step (including inside the HELLO frame) must leave the server
+  // serving normally.
+  for (uint64_t step = 1; step <= 8; ++step) {
+    ClientOptions chaotic;
+    chaotic.io_timeout_ms = 2000;
+    chaotic.connect_hook = [step](int fd) {
+      ChaosScheduleOptions schedule;
+      schedule.seed = step;
+      schedule.short_io_probability = 0.9;  // crawl through the frame
+      schedule.cut_at_step = step;
+      InstallSocketFault(
+          fd, std::make_shared<FaultInjectionSocket>(schedule));
+    };
+    // Almost every schedule dies inside the handshake; the outcome is
+    // irrelevant — the server's health afterwards is what's under test.
+    auto doomed = Client::Connect("127.0.0.1", fixture.port(), chaotic);
+    (void)doomed;
+  }
+  auto client = fixture.Connect();
+  ASSERT_NE(client, nullptr);
+  QueryRequest query;
+  query.table = "orders";
+  auto rows = client->Query(query);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), fixture.tuples().size());
+}
+
+}  // namespace
+}  // namespace avqdb::server

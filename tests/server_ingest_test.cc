@@ -168,6 +168,62 @@ TEST(ServerIngest, MalformedMutatePayloadGetsErrorFrame) {
   EXPECT_EQ(reply->request_id, 8u);
 }
 
+TEST(ServerIngest, GoodbyeRacingMutateNeverAcksAndDrops) {
+  testing::FixtureOptions options;
+  options.num_tuples = 1000;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.db().EnableWriteAhead("orders").ok());
+
+  // MUTATE and GOODBYE land in one write: the graceful drain must
+  // either commit the batch AND deliver its MUTATE_OK, or reject it
+  // cleanly — an ack for a batch that never commits (or a commit whose
+  // ack is dropped on the floor during drain) breaks exactly-once.
+  for (uint64_t round = 0; round < 16; ++round) {
+    auto conn = testing::RawConn::Connect(fixture.port());
+    ASSERT_TRUE(conn.valid());
+    conn.Handshake();
+
+    const OrdinalTuple added = FreshTuple(fixture, 0x7000 + round * 17);
+    MutateRequest request;
+    request.table = "orders";
+    request.batch.Insert(added);
+    std::string burst =
+        EncodeFrame(Opcode::kMutate, 31, Slice(EncodeMutatePayload(request)));
+    burst += EncodeFrame(Opcode::kGoodbye, 0, Slice());
+    conn.SendBytes(burst);
+
+    bool acked = false;
+    auto reply = conn.ReadOneFrame();
+    if (reply.ok() && reply->opcode == Opcode::kMutateOk) {
+      ASSERT_EQ(reply->request_id, 31u);
+      acked = true;
+    } else if (reply.ok()) {
+      // A clean rejection must be a well-formed ERROR for the request.
+      ASSERT_EQ(reply->opcode, Opcode::kError) << "round " << round;
+      ASSERT_EQ(reply->request_id, 31u);
+    } else {
+      // No reply at all is only acceptable as a clean close — and then
+      // the batch must NOT have committed.
+      ASSERT_TRUE(reply.status().IsNotFound())
+          << "round " << round << ": " << reply.status().ToString();
+    }
+
+    auto checker = fixture.Connect();
+    ASSERT_NE(checker, nullptr);
+    QueryRequest query;
+    query.table = "orders";
+    query.query = RangeOn(0, added[0], added[0]);
+    auto rows = checker->Query(query);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    const bool present =
+        std::find(rows->begin(), rows->end(), added) != rows->end();
+    EXPECT_EQ(present, acked)
+        << "round " << round << ": drain "
+        << (acked ? "acked a batch that is not committed"
+                  : "committed a batch without delivering its ack");
+  }
+}
+
 TEST(ServerIngest, ConcurrentSessionsShareGroupCommit) {
   testing::FixtureOptions options;
   options.num_tuples = 2000;

@@ -434,6 +434,99 @@ TEST(ProtocolPayloads, StatsResultRejectsUnknownSectionsAndOverclaims) {
             StatusCode::kInvalidArgument);
 }
 
+// --- MUTATE idempotency tokens & keepalive opcodes --------------------
+
+TEST(ProtocolPayloads, MutateTokenTrailerRoundTrip) {
+  MutateRequest request;
+  request.table = "orders";
+  request.deadline_ms = 250;
+  request.batch.Insert(OrdinalTuple{1, 2, 3});
+  request.has_token = true;
+  for (size_t i = 0; i < kMutationTokenBytes; ++i) {
+    request.token[i] = static_cast<uint8_t>(0xA0 + i);
+  }
+  const std::string payload = EncodeMutatePayload(request);
+  MutateRequest decoded;
+  ASSERT_TRUE(ParseMutatePayload(Slice(payload), &decoded).ok());
+  EXPECT_EQ(decoded.table, "orders");
+  EXPECT_EQ(decoded.deadline_ms, 250u);
+  ASSERT_TRUE(decoded.has_token);
+  EXPECT_EQ(decoded.token, request.token);
+}
+
+TEST(ProtocolPayloads, TokenlessMutateEncodingIsByteIdenticalToR1) {
+  // The token is a pure trailer: a tokenless MUTATE must encode to
+  // exactly the pre-token bytes, and a tokened one to those bytes plus
+  // the 16-byte token — nothing else may shift.
+  MutateRequest request;
+  request.table = "t";
+  request.batch.Delete(OrdinalTuple{7});
+  const std::string without = EncodeMutatePayload(request);
+  request.has_token = true;
+  request.token.fill(0x5C);
+  const std::string with = EncodeMutatePayload(request);
+  ASSERT_EQ(with.size(), without.size() + kMutationTokenBytes);
+  EXPECT_EQ(with.substr(0, without.size()), without);
+
+  MutateRequest decoded;
+  ASSERT_TRUE(ParseMutatePayload(Slice(without), &decoded).ok());
+  EXPECT_FALSE(decoded.has_token);
+}
+
+TEST(ProtocolPayloads, MutateRejectsBadTokenTrailerLength) {
+  MutateRequest request;
+  request.table = "t";
+  request.batch.Insert(OrdinalTuple{1});
+  const std::string payload = EncodeMutatePayload(request);
+  // Any trailer that is neither empty nor exactly one token is garbage.
+  for (size_t extra : {size_t{1}, size_t{8}, kMutationTokenBytes - 1,
+                       kMutationTokenBytes + 1}) {
+    MutateRequest decoded;
+    const std::string bad = payload + std::string(extra, '\x00');
+    EXPECT_EQ(ParseMutatePayload(Slice(bad), &decoded).code(),
+              StatusCode::kInvalidArgument)
+        << "trailer of " << extra << " bytes";
+  }
+}
+
+TEST(ProtocolGolden, KeepaliveOpcodesArePinned) {
+  // PING/PONG are an additive revision: 13/14, protocol version still 1.
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kPing), 13);
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kPong), 14);
+  EXPECT_EQ(kProtocolVersion, 1u);
+  EXPECT_TRUE(IsKnownOpcode(13));
+  EXPECT_TRUE(IsKnownOpcode(14));
+  EXPECT_FALSE(IsKnownOpcode(15));
+}
+
+TEST(ProtocolLive, PingPongRoundTrip) {
+  testing::FixtureOptions options;
+  options.num_tuples = 200;
+  ServerFixture fixture(options);
+  auto conn = RawConn::Connect(fixture.port());
+  ASSERT_TRUE(conn.valid());
+  conn.Handshake();
+  conn.SendFrame(Opcode::kPing, 77, "");
+  auto pong = conn.ReadOneFrame();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->opcode, Opcode::kPong);
+  EXPECT_EQ(pong->request_id, 77u);
+  EXPECT_TRUE(pong->payload.empty());
+}
+
+TEST(ProtocolLive, PingWithPayloadIsProtocolFatal) {
+  testing::FixtureOptions options;
+  options.num_tuples = 200;
+  ServerFixture fixture(options);
+  auto conn = RawConn::Connect(fixture.port());
+  ASSERT_TRUE(conn.valid());
+  conn.Handshake();
+  conn.SendFrame(Opcode::kPing, 78, "x");
+  Status error = conn.ReadErrorFor(78);
+  EXPECT_FALSE(error.ok());
+  EXPECT_TRUE(conn.ServerClosed());
+}
+
 // --- the stable wire-code table --------------------------------------
 
 // Every pair is pinned to a literal number: reordering StatusCode (or

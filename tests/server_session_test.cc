@@ -265,8 +265,10 @@ TEST(ServerSession, ShutdownDrainsInFlightResponsesBeforeClosing) {
   }
   shutdown.join();
   // New connections are refused after drain began.
-  auto refused = Client::Connect("127.0.0.1", fixture.port(),
-                                 ClientOptions{.io_timeout_ms = 2000});
+  ClientOptions refused_options;
+  refused_options.io_timeout_ms = 2000;
+  auto refused =
+      Client::Connect("127.0.0.1", fixture.port(), refused_options);
   EXPECT_FALSE(refused.ok());
 }
 

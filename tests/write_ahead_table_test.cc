@@ -421,5 +421,191 @@ TEST_F(WriteAheadTableTest, AutoApplyDrainsInBackground) {
   EXPECT_EQ(ToSet(table_->ScanAll().value()), model);
 }
 
+// --- exactly-once: the idempotency-token dedup window ------------------
+
+MutationToken FilledToken(uint8_t fill) {
+  MutationToken token;
+  token.fill(fill);
+  return token;
+}
+
+TEST_F(WriteAheadTableTest, DedupAnswersRetryWithOriginalSequence) {
+  auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(), uuid_,
+                                     ManualApply());
+  ASSERT_TRUE(wat.ok());
+  Random rng(10);
+  const OrdinalTuple added = FreshTuple(rng);
+  const MutationToken token = FilledToken(0x11);
+
+  WriteBatch batch;
+  batch.Insert(added);
+  uint64_t first_seq = 0;
+  ASSERT_TRUE((*wat)->Write(std::move(batch), nullptr, &first_seq, &token)
+                  .ok());
+  EXPECT_EQ(first_seq, 1u);
+
+  // A retry of the same (acknowledged) batch must NOT re-validate —
+  // re-inserting the tuple would be AlreadyExists — and must answer
+  // with the original sequence.
+  WriteBatch retry;
+  retry.Insert(added);
+  uint64_t retry_seq = 0;
+  Status status = (*wat)->Write(std::move(retry), nullptr, &retry_seq, &token);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(retry_seq, first_seq);
+  EXPECT_EQ((*wat)->durable_seq(), 1u);  // nothing was committed twice
+
+  std::set<OrdinalTuple> expected = ToSet(baseline_);
+  expected.insert(added);
+  EXPECT_EQ(ToSet((*wat)->SnapshotScan().value()), expected);
+}
+
+TEST_F(WriteAheadTableTest, DedupWindowEvictsOldestDurableTokens) {
+  WriteAheadTableOptions options = ManualApply();
+  options.dedup_window = 2;
+  auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(), uuid_,
+                                     options);
+  ASSERT_TRUE(wat.ok());
+  Random rng(11);
+  std::set<OrdinalTuple> used;
+  std::vector<OrdinalTuple> added;
+  for (uint8_t i = 1; i <= 4; ++i) {
+    OrdinalTuple t = FreshTuple(rng);
+    while (!used.insert(t).second) t = FreshTuple(rng);
+    added.push_back(t);
+    WriteBatch batch;
+    batch.Insert(t);
+    const MutationToken token = FilledToken(i);
+    ASSERT_TRUE((*wat)->Write(std::move(batch), nullptr, nullptr, &token)
+                    .ok());
+  }
+
+  // Token 4 is still inside the two-entry window: dedup answers.
+  WriteBatch recent;
+  recent.Insert(added[3]);
+  const MutationToken recent_token = FilledToken(4);
+  uint64_t seq = 0;
+  ASSERT_TRUE(
+      (*wat)->Write(std::move(recent), nullptr, &seq, &recent_token).ok());
+  EXPECT_EQ(seq, 4u);
+
+  // Token 1 was evicted: the retry re-validates like a fresh batch and
+  // the duplicate insert surfaces as AlreadyExists.
+  WriteBatch stale;
+  stale.Insert(added[0]);
+  const MutationToken stale_token = FilledToken(1);
+  Status status = (*wat)->Write(std::move(stale), nullptr, nullptr,
+                                &stale_token);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsAlreadyExists()) << status.ToString();
+}
+
+TEST_F(WriteAheadTableTest, RecoverRebuildsDedupWindowFromWalTail) {
+  Random rng(12);
+  const OrdinalTuple added = FreshTuple(rng);
+  const MutationToken token = FilledToken(0x22);
+  {
+    auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(),
+                                       uuid_, ManualApply());
+    ASSERT_TRUE(wat.ok());
+    WriteBatch batch;
+    batch.Insert(added);
+    uint64_t seq = 0;
+    ASSERT_TRUE((*wat)->Write(std::move(batch), nullptr, &seq, &token).ok());
+    ASSERT_EQ(seq, 1u);
+    // Destroyed without Flush: the record (with its token) stays in the
+    // WAL, exactly the crash-then-client-retries scenario.
+  }
+  auto recovered = WriteAheadTable::Recover(table_.get(), wal_device_.get(),
+                                            uuid_, ManualApply());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  // The retried batch arrives at the recovered server: the rebuilt
+  // window must answer with the ORIGINAL sequence, not AlreadyExists.
+  WriteBatch retry;
+  retry.Insert(added);
+  uint64_t retry_seq = 0;
+  Status status =
+      (*recovered)->Write(std::move(retry), nullptr, &retry_seq, &token);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(retry_seq, 1u);
+
+  // A genuinely new batch touching the same tuple still validates.
+  WriteBatch fresh;
+  fresh.Insert(added);
+  const MutationToken other = FilledToken(0x23);
+  Status conflict =
+      (*recovered)->Write(std::move(fresh), nullptr, nullptr, &other);
+  EXPECT_TRUE(conflict.IsAlreadyExists()) << conflict.ToString();
+}
+
+TEST_F(WriteAheadTableTest, RolledBackTokenNeverAnswersWithSuccess) {
+  FaultInjectionBlockDevice fault(wal_device_.get());
+  {
+    auto wat = WriteAheadTable::Create(table_.get(), &fault, uuid_,
+                                       ManualApply());
+    ASSERT_TRUE(wat.ok());
+    Random rng(13);
+    WriteBatch committed;
+    committed.Insert(FreshTuple(rng));
+    ASSERT_TRUE((*wat)->Write(std::move(committed)).ok());
+
+    // This write's fsync dies: the batch is rolled back and must never
+    // be acknowledged — not now, and not to a retry of its token.
+    fault.CrashDuringSync(1, 0);
+    OrdinalTuple doomed_tuple = FreshTuple(rng);
+    const MutationToken token = FilledToken(0x33);
+    WriteBatch doomed;
+    doomed.Insert(doomed_tuple);
+    ASSERT_FALSE(
+        (*wat)->Write(std::move(doomed), nullptr, nullptr, &token).ok());
+
+    fault.Recover();
+    fault.ClearFaults();
+    WriteBatch retry;
+    retry.Insert(doomed_tuple);
+    uint64_t seq = 0;
+    Status status = (*wat)->Write(std::move(retry), nullptr, &seq, &token);
+    ASSERT_FALSE(status.ok()) << "a rolled-back token answered a retry "
+                                 "with success at seq "
+                              << seq;
+  }
+}
+
+TEST_F(WriteAheadTableTest, DedupWindowZeroDisablesButStillLogsTokens) {
+  WriteAheadTableOptions options = ManualApply();
+  options.dedup_window = 0;
+  Random rng(14);
+  const OrdinalTuple added = FreshTuple(rng);
+  const MutationToken token = FilledToken(0x44);
+  {
+    auto wat = WriteAheadTable::Create(table_.get(), wal_device_.get(),
+                                       uuid_, options);
+    ASSERT_TRUE(wat.ok());
+    WriteBatch batch;
+    batch.Insert(added);
+    ASSERT_TRUE((*wat)->Write(std::move(batch), nullptr, nullptr, &token)
+                    .ok());
+
+    // Dedup off: the retry re-validates and conflicts.
+    WriteBatch retry;
+    retry.Insert(added);
+    Status status = (*wat)->Write(std::move(retry), nullptr, nullptr, &token);
+    EXPECT_TRUE(status.IsAlreadyExists()) << status.ToString();
+  }
+  // The token was still recorded in the WAL payload: recovering with a
+  // window enabled rebuilds it, and the retry dedups again.
+  auto recovered = WriteAheadTable::Recover(table_.get(), wal_device_.get(),
+                                            uuid_, ManualApply());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  WriteBatch retry;
+  retry.Insert(added);
+  uint64_t seq = 0;
+  Status status =
+      (*recovered)->Write(std::move(retry), nullptr, &seq, &token);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(seq, 1u);
+}
+
 }  // namespace
 }  // namespace avqdb

@@ -4,15 +4,23 @@
 //                [--deadline-ms N] [--max-memory BYTES]
 //                [--max-rows N] [--explain] [--exec "CMD; CMD; ..."]
 //                [--retries N] [--retry-backoff-ms MS]
+//                [--retry-deadline-ms MS]
 //
 // Without --exec the tool runs an interactive prompt; with it the
 // semicolon-separated commands run in order and the process exits
 // non-zero if any command fails (scripted mode for CI and demos).
 //
-// Transient connect failures (ECONNREFUSED/ETIMEDOUT and kin — a server
-// still starting) are retried --retries times with exponential backoff
-// starting at --retry-backoff-ms. Exit codes: 0 ok, 1 command failure,
-// 2 usage, 5 connect retries exhausted.
+// One retry policy (RetryingClient) governs everything: the initial
+// connect, the handshake, and in-flight resends after a connection
+// failure mid-command. --retries bounds the extra attempts per
+// operation, --retry-backoff-ms seeds the exponential backoff (with
+// jitter), and --retry-deadline-ms is an overall budget per operation
+// covering connects, sleeps and resends (0 = none). Retried mutations
+// carry an idempotency token, so an insert whose ack was lost is NOT
+// applied twice — the server answers the resend with the original
+// commit sequence. Exit codes: 0 ok, 1 command failure, 2 usage,
+// 5 retries exhausted on a transport failure (server never reachable,
+// or the connection kept dying mid-command).
 //
 // Commands:
 //   select TABLE [ATTR:LO:HI ...]   conjunctive range select; no
@@ -28,17 +36,16 @@
 //                                   over the wire; --explain starts on)
 //   help / quit
 
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "src/server/client.h"
+#include "src/server/retry_client.h"
 
 namespace {
 
@@ -55,14 +62,23 @@ void Usage(const char* argv0) {
                "          [--deadline-ms N] [--max-memory BYTES]\n"
                "          [--max-rows N] [--explain] "
                "[--exec \"CMD; CMD; ...\"]\n"
-               "          [--retries N] [--retry-backoff-ms MS]\n",
+               "          [--retries N] [--retry-backoff-ms MS]\n"
+               "          [--retry-deadline-ms MS]\n",
                argv0);
 }
 
-// Exit code when every connect attempt failed with a transient error —
-// distinct from command failure (1) so orchestration scripts can tell
-// "server never came up" from "query failed".
+// Exit code when an operation exhausted its retry budget on a transport
+// failure — distinct from command failure (1) so orchestration scripts
+// can tell "server unreachable / connection kept dying" from "query
+// failed".
 constexpr int kExitRetriesExhausted = 5;
+
+// True for the ambiguous transport class the retry policy works on; a
+// final failure of this kind with retries enabled exits 5, not 1.
+bool IsTransportFailure(const avqdb::Status& status) {
+  return status.IsUnavailable() || status.IsIOError() ||
+         status.IsDeadlineExceeded() || status.IsNotFound();
+}
 
 void PrintHelp() {
   std::printf(
@@ -77,11 +93,6 @@ void PrintHelp() {
       "  memory BYTES                   per-request memory cap (0 = off)\n"
       "  explain on|off                 server-side span tree per query\n"
       "  help | quit\n");
-}
-
-uint64_t NextRequestId() {
-  static uint64_t next = 1;
-  return next++;
 }
 
 std::vector<std::string> Tokenize(const std::string& line) {
@@ -108,11 +119,13 @@ bool ParsePredicate(const std::string& token, avqdb::RangeQuery* out) {
   return *end == '\0';
 }
 
-// Executes one command line. Returns false only on a hard failure
-// (unusable connection or a failed command in scripted mode matters to
-// the caller); *quit is set by the quit command.
-bool RunCommand(avqdb::server::Client& client, Settings& settings,
-                const std::string& line, bool* quit) {
+// Executes one command line under the retry policy. Returns false on a
+// failed command (scripted mode cares); *failure captures the status of
+// the failed operation so main() can map transport exhaustion to exit
+// code 5; *quit is set by the quit command.
+bool RunCommand(avqdb::server::RetryingClient& client, Settings& settings,
+                const std::string& line, avqdb::Status* failure,
+                bool* quit) {
   std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) return true;
   const std::string& cmd = tokens[0];
@@ -170,6 +183,7 @@ bool RunCommand(avqdb::server::Client& client, Settings& settings,
     auto seq = client.Mutate(request);
     if (!seq.ok()) {
       std::fprintf(stderr, "error: %s\n", seq.status().ToString().c_str());
+      *failure = seq.status();
       return false;
     }
     std::printf("%s committed at seq %llu\n", cmd.c_str(),
@@ -183,6 +197,7 @@ bool RunCommand(avqdb::server::Client& client, Settings& settings,
     auto seq = client.Flush(request);
     if (!seq.ok()) {
       std::fprintf(stderr, "error: %s\n", seq.status().ToString().c_str());
+      *failure = seq.status();
       return false;
     }
     std::printf("flushed through seq %llu\n",
@@ -210,20 +225,17 @@ bool RunCommand(avqdb::server::Client& client, Settings& settings,
       }
       request.query.predicates.push_back(predicate);
     }
-    const uint64_t request_id = NextRequestId();
-    if (!client.SendQuery(request_id, request).ok()) {
-      std::fprintf(stderr, "error: send failed\n");
-      return false;
-    }
-    auto response = client.ReadResponse();
+    auto response = client.QueryCall(request);
     if (!response.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    response.status().ToString().c_str());
+      *failure = response.status();
       return false;
     }
     if (!response->status.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    response->status.ToString().c_str());
+      *failure = response->status;
       return false;
     }
     const std::vector<avqdb::OrdinalTuple>& tuples = response->tuples;
@@ -267,6 +279,7 @@ int main(int argc, char** argv) {
   bool have_exec = false;
   int retries = 0;
   int retry_backoff_ms = 100;
+  int64_t retry_deadline_ms = 30000;
   Settings settings;
   avqdb::server::ClientOptions client_options;
 
@@ -301,6 +314,8 @@ int main(int argc, char** argv) {
       retries = std::atoi(next());
     } else if (arg == "--retry-backoff-ms") {
       retry_backoff_ms = std::atoi(next());
+    } else if (arg == "--retry-deadline-ms") {
+      retry_deadline_ms = std::atoll(next());
     } else {
       Usage(argv[0]);
       return 2;
@@ -312,39 +327,41 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Connect, retrying transient failures (Unavailable: ECONNREFUSED,
-  // ETIMEDOUT, ...) with exponential backoff. Hard errors fail at once.
-  auto client = avqdb::server::Client::Connect(host, port, client_options);
-  for (int attempt = 0;
-       !client.ok() && client.status().IsUnavailable() && attempt < retries;
-       ++attempt) {
-    const int backoff_ms = retry_backoff_ms << std::min(attempt, 10);
-    std::fprintf(stderr,
-                 "connect %s:%u: %s; retry %d/%d in %d ms\n", host.c_str(),
-                 port, client.status().ToString().c_str(), attempt + 1,
-                 retries, backoff_ms);
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    client = avqdb::server::Client::Connect(host, port, client_options);
-  }
-  if (!client.ok()) {
+  // One policy for every operation: --retries extra attempts, jittered
+  // exponential backoff from --retry-backoff-ms, all budgeted by
+  // --retry-deadline-ms. The same policy covers the initial connect,
+  // the handshake, and resends after a mid-command connection failure.
+  avqdb::server::RetryOptions retry_options;
+  retry_options.max_attempts = retries + 1;
+  retry_options.initial_backoff_ms =
+      static_cast<uint32_t>(std::max(retry_backoff_ms, 1));
+  retry_options.overall_deadline_ms = retry_deadline_ms;
+  retry_options.client = client_options;
+  avqdb::server::RetryingClient client(host, port, retry_options);
+
+  avqdb::Status connected = client.Connect();
+  if (!connected.ok()) {
     std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
-                 client.status().ToString().c_str());
-    return client.status().IsUnavailable() && retries > 0
+                 connected.ToString().c_str());
+    return IsTransportFailure(connected) && retries > 0
                ? kExitRetriesExhausted
                : 1;
   }
   std::fprintf(stderr, "connected to %s:%u (%s)\n", host.c_str(), port,
-               (*client)->banner().c_str());
+               client.client()->banner().c_str());
 
   bool ok = true;
   bool quit = false;
+  avqdb::Status failure;
   if (have_exec) {
     std::istringstream script(exec_script);
     std::string command;
     while (std::getline(script, command, ';')) {
       if (Tokenize(command).empty()) continue;
       std::fprintf(stderr, ">%s\n", command.c_str());
-      if (!RunCommand(**client, settings, command, &quit)) ok = false;
+      if (!RunCommand(client, settings, command, &failure, &quit)) {
+        ok = false;
+      }
       if (quit) break;
     }
   } else {
@@ -353,10 +370,11 @@ int main(int argc, char** argv) {
       std::fputs("avqdb> ", stderr);
       std::fflush(stderr);
       if (!std::getline(std::cin, line)) break;
-      RunCommand(**client, settings, line, &quit);
+      RunCommand(client, settings, line, &failure, &quit);
     }
   }
-  avqdb::Status goodbye = (*client)->SendGoodbye();
-  (void)goodbye;
-  return ok ? 0 : 1;
+  client.Goodbye();
+  if (ok) return 0;
+  return IsTransportFailure(failure) && retries > 0 ? kExitRetriesExhausted
+                                                    : 1;
 }

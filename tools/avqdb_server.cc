@@ -5,6 +5,12 @@
 //                [--synthetic NAME=TUPLES[:SEED]]  generate a table
 //                [--max-concurrency N] [--queue-depth N]
 //                [--memory-limit BYTES] [--query-memory-limit BYTES]
+//                [--handshake-timeout-ms N]  reap sessions with no HELLO
+//                [--idle-timeout-ms N]       reap idle sessions (PING
+//                                            keeps a session alive)
+//                [--max-sessions N]          cap concurrent sessions;
+//                                            excess connects get a typed
+//                                            ERROR (ResourceExhausted)
 //                [--ingest]  attach a write-ahead log to every table:
 //                            MUTATE/FLUSH opcodes work and queries read
 //                            through snapshot isolation
@@ -47,7 +53,8 @@ void Usage(const char* argv0) {
       "          [--synthetic NAME=TUPLES[:SEED] ...]\n"
       "          [--max-concurrency N] [--queue-depth N]\n"
       "          [--memory-limit BYTES] [--query-memory-limit BYTES]\n"
-      "          [--ingest]\n",
+      "          [--handshake-timeout-ms N] [--idle-timeout-ms N]\n"
+      "          [--max-sessions N] [--ingest]\n",
       argv0);
 }
 
@@ -177,6 +184,13 @@ int main(int argc, char** argv) {
       memory_limit = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--query-memory-limit") {
       query_memory_limit = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--handshake-timeout-ms") {
+      options.handshake_timeout_ms =
+          static_cast<uint32_t>(std::atoll(next()));
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms = static_cast<uint32_t>(std::atoll(next()));
+    } else if (arg == "--max-sessions") {
+      options.max_sessions = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--ingest") {
       ingest = true;
     } else {

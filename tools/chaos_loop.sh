@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repeated network-chaos soak runs with rotating fault-schedule seeds —
+# the socket counterpart of tools/crash_loop.sh.
+#
+# Each run executes the full server_chaos_test suite under a fresh
+# AVQDB_CHAOS_SEED. The soak inside drives 500 seeded fault schedules
+# (short reads/writes, stalled sends, mid-frame disconnects, server-side
+# resets) against a mixed query+mutation workload with client retries
+# on, checking exactly-once: zero acknowledged mutations lost, zero
+# batches applied twice, server serving after every schedule. N runs
+# therefore cover N * 500 distinct fault schedules. A failing seed is
+# printed and replays the identical schedule deterministically.
+#
+# Usage: tools/chaos_loop.sh [N] [build-dir]   (default: 5 runs, build/)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+runs="${1:-5}"
+build_dir="${2:-build}"
+binary="${build_dir}/tests/server_chaos_test"
+
+if [[ ! -x "${binary}" ]]; then
+  echo "server_chaos_test not built; run: cmake --build ${build_dir} --target server_chaos_test" >&2
+  exit 2
+fi
+
+base_seed="${AVQDB_CHAOS_SEED:-$(date +%s)}"
+schedules="${AVQDB_CHAOS_SCHEDULES:-500}"
+for ((i = 0; i < runs; ++i)); do
+  seed=$((base_seed + i * 7919))
+  echo "== chaos loop run $((i + 1))/${runs} (AVQDB_CHAOS_SEED=${seed}) =="
+  AVQDB_CHAOS_SEED="${seed}" AVQDB_CHAOS_SCHEDULES="${schedules}" \
+    "${binary}" --gtest_brief=1
+done
+
+echo "chaos loop passed: $((runs * schedules)) seeded fault schedules"

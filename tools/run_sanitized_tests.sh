@@ -25,10 +25,15 @@
 #   * both sanitizers on the crash-safe write path (ctest label
 #     "ingest": WAL framing/replay, group commit, the concurrent
 #     mutation-vs-scan snapshot property suite, wire mutations — the
-#     writer/applier/scanner interleavings need the TSan hammer).
+#     writer/applier/scanner interleavings need the TSan hammer);
+#   * both sanitizers on the network fault-tolerance suite (ctest label
+#     "chaos": seeded socket-fault schedules, retried mutations with
+#     idempotency tokens, session reaping — the chaos injector races the
+#     reader/strand/sender threads, so TSan coverage matters; the soak
+#     runs a reduced schedule count under the sanitizers' slowdown).
 #
 # Usage: tools/run_sanitized_tests.sh
-#   [tsan|asan|fault|resilience|server|kernel|obs|ingest|all]
+#   [tsan|asan|fault|resilience|server|kernel|obs|ingest|chaos|all]
 # (default: all)
 #
 # Build trees land in build-tsan/ and build-asan/ next to build/ so the
@@ -128,6 +133,21 @@ run_ingest() {
   ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L ingest
 }
 
+run_chaos() {
+  echo "== Sanitized network fault-tolerance tests (label: chaos) =="
+  local schedules="${AVQDB_CHAOS_SCHEDULES:-60}"
+  cmake -B build-tsan -S . -DAVQDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j "${jobs}" --target server_chaos_test
+  AVQDB_CHAOS_SCHEDULES="${schedules}" ctest --test-dir build-tsan \
+    --output-on-failure -j "${jobs}" -L chaos
+  cmake -B build-asan -S . -DAVQDB_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j "${jobs}" --target server_chaos_test
+  AVQDB_CHAOS_SCHEDULES="${schedules}" ctest --test-dir build-asan \
+    --output-on-failure -j "${jobs}" -L chaos
+}
+
 # The most-preferred SIMD kernel this host can run (the same choice
 # auto-dispatch makes); "scalar" when the host has none.
 best_simd_kernel() {
@@ -192,6 +212,7 @@ case "${mode}" in
   kernel) run_kernel ;;
   obs) run_obs ;;
   ingest) run_ingest ;;
+  chaos) run_chaos ;;
   all)
     run_tsan
     run_fault
@@ -200,10 +221,11 @@ case "${mode}" in
     run_kernel
     run_obs
     run_ingest
+    run_chaos
     run_asan
     ;;
   *)
-    echo "usage: $0 [tsan|asan|fault|resilience|server|kernel|obs|ingest|all]" >&2
+    echo "usage: $0 [tsan|asan|fault|resilience|server|kernel|obs|ingest|chaos|all]" >&2
     exit 2
     ;;
 esac
